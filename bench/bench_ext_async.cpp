@@ -1,0 +1,106 @@
+// Extension (paper future-work 1) — asynchronous ADMM, measured.
+//
+// The synchronous engine barriers after every phase; the asynchronous
+// engine sweeps factor-local pipelines with no global barrier, tolerating
+// stale neighbor messages.  This bench measures, on real workloads, the
+// price/benefit in *sweeps to convergence* (one sweep = |F| factor steps,
+// the work of one synchronous iteration).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/async_solver.hpp"
+#include "core/solver.hpp"
+#include "problems/lasso/lasso.hpp"
+#include "problems/packing/builder.hpp"
+#include "support/cli.hpp"
+
+using namespace paradmm;
+
+int main(int argc, char** argv) {
+  CliFlags flags("bench_ext_async");
+  flags.add_bool("csv", false, "emit CSV instead of aligned tables");
+  flags.parse(argc, argv);
+
+  bench::print_banner(
+      "Extension: asynchronous (barrier-free) ADMM vs synchronous",
+      "paper future work: 'not all cores need to wait for the busiest "
+      "core'");
+
+  Table table({"problem", "sync iterations", "async sweeps (round-robin)",
+               "async sweeps (randomized)"});
+
+  // Lasso (convex).
+  {
+    const auto instance = lasso::make_lasso_instance(60, 12, 3, 0.02, 5);
+    lasso::LassoConfig config;
+    config.blocks = 4;
+    config.lambda = 0.05;
+
+    lasso::LassoProblem sync_problem(instance, config);
+    SolverOptions sync_options;
+    sync_options.max_iterations = 50000;
+    sync_options.check_interval = 50;
+    sync_options.primal_tolerance = 1e-9;
+    sync_options.dual_tolerance = 1e-9;
+    const SolverReport sync = solve(sync_problem.graph(), sync_options);
+
+    AsyncSolverOptions async_options;
+    async_options.max_sweeps = 50000;
+    async_options.check_interval = 50;
+    async_options.primal_tolerance = 1e-9;
+    async_options.dual_tolerance = 1e-9;
+
+    lasso::LassoProblem rr_problem(instance, config);
+    async_options.order = AsyncOrder::kRoundRobin;
+    const AsyncSolverReport rr = solve_async(rr_problem.graph(), async_options);
+
+    lasso::LassoProblem rand_problem(instance, config);
+    async_options.order = AsyncOrder::kRandomized;
+    const AsyncSolverReport rand =
+        solve_async(rand_problem.graph(), async_options);
+
+    table.add_row({"lasso 60x12", std::to_string(sync.iterations),
+                   std::to_string(rr.sweeps), std::to_string(rand.sweeps)});
+  }
+
+  // Packing (non-convex).
+  {
+    packing::PackingConfig config;
+    config.circles = 6;
+    config.seed = 11;
+
+    packing::PackingProblem sync_problem(config);
+    SolverOptions sync_options;
+    sync_options.max_iterations = 60000;
+    sync_options.check_interval = 250;
+    sync_options.primal_tolerance = 1e-8;
+    sync_options.dual_tolerance = 1e-8;
+    const SolverReport sync = solve(sync_problem.graph(), sync_options);
+
+    AsyncSolverOptions async_options;
+    async_options.max_sweeps = 60000;
+    async_options.check_interval = 250;
+    async_options.primal_tolerance = 1e-8;
+    async_options.dual_tolerance = 1e-8;
+
+    packing::PackingProblem rr_problem(config);
+    async_options.order = AsyncOrder::kRoundRobin;
+    const AsyncSolverReport rr = solve_async(rr_problem.graph(), async_options);
+
+    packing::PackingProblem rand_problem(config);
+    async_options.order = AsyncOrder::kRandomized;
+    const AsyncSolverReport rand =
+        solve_async(rand_problem.graph(), async_options);
+
+    table.add_row({"packing N=6", std::to_string(sync.iterations),
+                   std::to_string(rr.sweeps), std::to_string(rand.sweeps)});
+  }
+
+  if (flags.get_bool("csv")) table.print_csv(std::cout);
+  else table.print(std::cout);
+  std::cout << "(on convex problems async needs a comparable sweep count; "
+               "on non-convex packing staleness costs extra sweeps — the "
+               "trade the paper anticipated: each sweep is barrier-free, "
+               "so slow tasks no longer stall the rest)\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 5 — the paper's survey of optimization solvers and their
+// parallelism support (a static landscape table, reprinted for
+// completeness; the 2016 snapshot, as published).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "support/table.hpp"
+
+using namespace paradmm;
+
+int main() {
+  bench::print_banner(
+      "Figure 5: state-of-the-art optimization solvers (2016 snapshot)",
+      "most open solvers have no parallelism; none are GPU-accelerated and "
+      "general-purpose");
+
+  Table table({"solver", "generality", "parallelism", "open"});
+  table.add_row({"Bonmin", "LP, MILP, NLP, MINLP", "-", "Y"});
+  table.add_row({"Couenne", "LP, MILP, NLP, MINLP", "-", "Y"});
+  table.add_row({"ECOS", "LP, SOCP", "-", "Y"});
+  table.add_row({"GLPK", "LP, MILP", "-", "Y"});
+  table.add_row({"Ipopt", "LP, NLP", "-", "Y"});
+  table.add_row({"NLopt", "NLP", "-", "Y"});
+  table.add_row({"SCS", "LP, SOCP, SDP", "-", "Y"});
+  table.add_row({"CPLEX", "LP, MILP, SOCP, MISOCP", "SMMP, CC (MILP)", "-"});
+  table.add_row({"Gurobi", "LP, MILP, SOCP, MISOCP", "SMMP, CC (MILP)", "-"});
+  table.add_row({"KNITRO", "LP, MILP, NLP, MINLP", "SMMP", "-"});
+  table.add_row({"Mosek", "LP, MILP, SOCP, MISOCP, SDP, NLP", "SMMP", "-"});
+  table.add_row({"parADMM (this repo)", "any factor-graph ADMM (incl. "
+                 "non-convex)", "SMMP + GPU", "Y"});
+  table.print(std::cout);
+  std::cout << "SMMP = shared-memory multi-processing, CC = computer "
+               "cluster.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 8 — multicore (shared-memory) vs single-core speedup for circle
+// packing.
+//
+// Left panel: combined speedup vs N on 32 cores, with the GPU curve for
+// reference (paper: up to ~9x around N=2500, settling toward 6x for the
+// largest problems — well below the GPU's 16x).
+// Right panel: speedup vs core count at N=5000 (paper: saturates around
+// 6-7x as memory bandwidth and NUMA effects bite).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "problems/packing/cost_spec.hpp"
+#include "support/cli.hpp"
+
+using namespace paradmm;
+using namespace paradmm::devsim;
+
+int main(int argc, char** argv) {
+  CliFlags flags("bench_fig08_packing_multicore");
+  flags.add_int("cores", 32, "cores for the N sweep");
+  flags.add_bool("csv", false, "emit CSV instead of aligned tables");
+  flags.parse(argc, argv);
+  const int cores = static_cast<int>(flags.get_int("cores"));
+
+  bench::print_banner(
+      "Figure 8: packing, multiple CPU cores vs 1 core",
+      "<=9x on 32 cores, below the GPU's 16x; saturates with more cores");
+
+  const MulticoreSpec cpu = opteron_32core();
+  const SerialSpec serial = opteron_serial();
+  const GpuSpec gpu = tesla_k40();
+
+  Table combined({"N", "cpu t/10it", "multicore t/10it", "speedup",
+                  "gpu speedup (ref)"});
+  const std::size_t sweep[] = {250, 500, 1000, 2000, 2500, 3000, 4000, 5000};
+  for (const std::size_t n : sweep) {
+    const auto costs = packing::packing_iteration_costs(n);
+    const SpeedupReport report = compare_multicore(costs, cpu, serial, cores);
+    const SpeedupReport gpu_report = compare_gpu(costs, gpu, serial, 32);
+    combined.add_row({std::to_string(n),
+                      format_duration(report.serial_total() * 10),
+                      format_duration(report.device_total() * 10),
+                      format_fixed(report.combined_speedup(), 2),
+                      format_fixed(gpu_report.combined_speedup(), 2)});
+  }
+  std::cout << "\n[Fig 8-left] combined updates on " << cores << " cores\n";
+  if (flags.get_bool("csv")) combined.print_csv(std::cout);
+  else combined.print(std::cout);
+
+  Table by_cores({"cores", "speedup"});
+  const auto costs = packing::packing_iteration_costs(5000);
+  for (const int c : {1, 2, 4, 8, 12, 16, 20, 25, 28, 32}) {
+    const SpeedupReport report = compare_multicore(costs, cpu, serial, c);
+    by_cores.add_row({std::to_string(c),
+                      format_fixed(report.combined_speedup(), 2)});
+  }
+  std::cout << "\n[Fig 8-right] speedup vs cores, N=5000\n";
+  if (flags.get_bool("csv")) by_cores.print_csv(std::cout);
+  else by_cores.print(std::cout);
+
+  const SpeedupReport at32 = compare_multicore(costs, cpu, serial, 32);
+  bench::print_fractions(at32, "\n[in-text] N=5000, 32 cores");
+  std::cout << "(paper: multicore shares are more uniform than GPU; x+z "
+               "drop to 18%+11%)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 10 — GPU speedup for MPC as a function of the prediction horizon.
+//
+// Left panel: time per 100 iterations and combined speedup vs K (paper: up
+// to ~10x at K = 1e5; time linear in K).  Right panel: per-update speedups
+// (paper: x and z slowest; the x-update alone takes 59% of iteration time
+// at K = 1e5 because the dynamics prox is the heaviest operator).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/solver.hpp"
+#include "problems/mpc/builder.hpp"
+#include "problems/mpc/cost_spec.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+using namespace paradmm;
+using namespace paradmm::devsim;
+
+int main(int argc, char** argv) {
+  CliFlags flags("bench_fig10_mpc_gpu");
+  flags.add_int("ntb", 32, "threads per block");
+  flags.add_bool("csv", false, "emit CSV instead of aligned tables");
+  flags.parse(argc, argv);
+  const int ntb = static_cast<int>(flags.get_int("ntb"));
+
+  bench::print_banner(
+      "Figure 10: MPC, GPU vs 1 CPU core",
+      "speedup grows with horizon K to ~10x; x-update dominates (59%)");
+
+  const GpuSpec gpu = tesla_k40();
+  const SerialSpec serial = opteron_serial();
+
+  Table combined({"K", "elements", "cpu t/100it", "gpu t/100it", "speedup"});
+  Table per_update({"K", "x", "m", "z", "u", "n"});
+  const std::size_t sweep[] = {200, 1000, 5000, 10000, 50000, 100000};
+  SpeedupReport last;
+  for (const std::size_t k : sweep) {
+    const auto costs = mpc::mpc_iteration_costs(k);
+    const SpeedupReport report = compare_gpu(costs, gpu, serial, ntb);
+    combined.add_row({std::to_string(k), format_si(double(costs.elements())),
+                      format_duration(report.serial_total() * 100),
+                      format_duration(report.device_total() * 100),
+                      format_fixed(report.combined_speedup(), 2)});
+    per_update.add_row(bench::per_update_row(k, report));
+    last = report;
+  }
+  std::cout << "\n[Fig 10-left] combined updates (ntb=" << ntb << ")\n";
+  if (flags.get_bool("csv")) combined.print_csv(std::cout);
+  else combined.print(std::cout);
+  std::cout << "\n[Fig 10-right] per-update speedups\n";
+  if (flags.get_bool("csv")) per_update.print_csv(std::cout);
+  else per_update.print(std::cout);
+  bench::print_fractions(last, "\n[in-text] K=1e5");
+  std::cout << "(paper: x+z take 59%+21% of GPU iteration time)\n";
+
+  std::cout << "\n[validation] real serial engine at K=2000:\n";
+  mpc::MpcConfig config;
+  config.horizon = 2000;
+  mpc::MpcProblem problem(config);
+  SolverOptions options;
+  options.max_iterations = 100;
+  options.check_interval = 100;
+  options.primal_tolerance = 0.0;
+  options.dual_tolerance = 0.0;
+  options.record_phase_timings = false;
+  WallTimer timer;
+  solve(problem.graph(), options);
+  const double measured = timer.seconds() / 100.0;
+  const double modeled =
+      serial_iteration_seconds(mpc::mpc_iteration_costs(2000), serial);
+  std::cout << "  measured " << format_duration(measured)
+            << " per iteration vs modeled serial "
+            << format_duration(modeled) << " (ratio "
+            << format_fixed(measured / modeled, 2) << "x)\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 11 — multicore speedup for MPC.
+//
+// Left panel: combined speedup vs horizon K at 25 cores — the paper uses 25
+// "since this seems to produce the highest speedup" (best ~5x).  Right
+// panel: speedup vs core count at K = 1e5 — the paper's striking result
+// that *adding cores past ~25 hurts* (NUMA traffic + per-loop overhead),
+// which the model reproduces.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "problems/mpc/cost_spec.hpp"
+#include "support/cli.hpp"
+
+using namespace paradmm;
+using namespace paradmm::devsim;
+
+int main(int argc, char** argv) {
+  CliFlags flags("bench_fig11_mpc_multicore");
+  flags.add_int("cores", 25, "cores for the K sweep (paper's best)");
+  flags.add_bool("csv", false, "emit CSV instead of aligned tables");
+  flags.parse(argc, argv);
+  const int cores = static_cast<int>(flags.get_int("cores"));
+
+  bench::print_banner(
+      "Figure 11: MPC, multiple CPU cores vs 1 core",
+      "best ~5x around 25 cores; MORE cores can reduce speedup");
+
+  const MulticoreSpec cpu = opteron_32core();
+  const SerialSpec serial = opteron_serial();
+  const GpuSpec gpu = tesla_k40();
+
+  Table combined({"K", "cpu t/100it", "multicore t/100it", "speedup",
+                  "gpu speedup (ref)"});
+  const std::size_t sweep[] = {200, 1000, 5000, 10000, 50000, 100000};
+  for (const std::size_t k : sweep) {
+    const auto costs = mpc::mpc_iteration_costs(k);
+    const SpeedupReport report = compare_multicore(costs, cpu, serial, cores);
+    const SpeedupReport gpu_report = compare_gpu(costs, gpu, serial, 32);
+    combined.add_row({std::to_string(k),
+                      format_duration(report.serial_total() * 100),
+                      format_duration(report.device_total() * 100),
+                      format_fixed(report.combined_speedup(), 2),
+                      format_fixed(gpu_report.combined_speedup(), 2)});
+  }
+  std::cout << "\n[Fig 11-left] combined updates on " << cores << " cores\n";
+  if (flags.get_bool("csv")) combined.print_csv(std::cout);
+  else combined.print(std::cout);
+
+  Table by_cores({"cores", "speedup"});
+  const auto costs = mpc::mpc_iteration_costs(100000);
+  int best_cores = 1;
+  double best = 0.0;
+  for (const int c : {1, 2, 4, 8, 12, 16, 20, 25, 28, 32}) {
+    const SpeedupReport report = compare_multicore(costs, cpu, serial, c);
+    by_cores.add_row({std::to_string(c),
+                      format_fixed(report.combined_speedup(), 2)});
+    if (report.combined_speedup() > best) {
+      best = report.combined_speedup();
+      best_cores = c;
+    }
+  }
+  std::cout << "\n[Fig 11-right] speedup vs cores, K=1e5\n";
+  if (flags.get_bool("csv")) by_cores.print_csv(std::cout);
+  else by_cores.print(std::cout);
+  std::cout << "peak at " << best_cores
+            << " cores (paper: adding cores past ~25 hurts)\n";
+
+  const SpeedupReport at25 = compare_multicore(costs, cpu, serial, 25);
+  bench::print_fractions(at25, "\n[in-text] K=1e5, 25 cores");
+  std::cout << "(paper: the slowest multicore updates are m,u,n at "
+               "25%+19%+16%)\n";
+  return 0;
+}

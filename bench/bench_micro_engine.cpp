@@ -1,0 +1,93 @@
+// Micro-benchmarks (google-benchmark): engine-level throughput.
+//
+// Measures the real engine's per-iteration cost on materialized graphs
+// (what the serial baseline of every figure divides by), graph
+// construction, and residual evaluation.
+#include <benchmark/benchmark.h>
+
+#include "core/residuals.hpp"
+#include "core/solver.hpp"
+#include "problems/mpc/builder.hpp"
+#include "problems/packing/builder.hpp"
+#include "problems/svm/builder.hpp"
+
+namespace {
+
+using namespace paradmm;
+
+void BM_PackingIteration(benchmark::State& state) {
+  packing::PackingConfig config;
+  config.circles = static_cast<std::size_t>(state.range(0));
+  packing::PackingProblem problem(config);
+  SolverOptions options;
+  options.max_iterations = 1;
+  options.check_interval = 1;
+  options.primal_tolerance = 0.0;
+  options.dual_tolerance = 0.0;
+  options.record_phase_timings = false;
+  AdmmSolver solver(problem.graph(), options);
+  for (auto _ : state) solver.run();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(problem.graph().elements()));
+}
+BENCHMARK(BM_PackingIteration)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_MpcIteration(benchmark::State& state) {
+  mpc::MpcConfig config;
+  config.horizon = static_cast<std::size_t>(state.range(0));
+  mpc::MpcProblem problem(config);
+  SolverOptions options;
+  options.max_iterations = 1;
+  options.check_interval = 1;
+  options.primal_tolerance = 0.0;
+  options.dual_tolerance = 0.0;
+  options.record_phase_timings = false;
+  AdmmSolver solver(problem.graph(), options);
+  for (auto _ : state) solver.run();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(problem.graph().elements()));
+}
+BENCHMARK(BM_MpcIteration)->Arg(500)->Arg(5000);
+
+void BM_SvmIteration(benchmark::State& state) {
+  const auto dataset = svm::make_gaussian_blobs(
+      static_cast<std::size_t>(state.range(0)), 2, 5.0, 1);
+  svm::SvmProblem problem(dataset, svm::SvmConfig{});
+  SolverOptions options;
+  options.max_iterations = 1;
+  options.check_interval = 1;
+  options.primal_tolerance = 0.0;
+  options.dual_tolerance = 0.0;
+  options.record_phase_timings = false;
+  AdmmSolver solver(problem.graph(), options);
+  for (auto _ : state) solver.run();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(problem.graph().elements()));
+}
+BENCHMARK(BM_SvmIteration)->Arg(1000)->Arg(5000);
+
+void BM_PackingGraphBuild(benchmark::State& state) {
+  packing::PackingConfig config;
+  config.circles = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    packing::PackingProblem problem(config);
+    benchmark::DoNotOptimize(problem.graph().num_edges());
+  }
+}
+BENCHMARK(BM_PackingGraphBuild)->Arg(50)->Arg(200);
+
+void BM_ResidualEvaluation(benchmark::State& state) {
+  packing::PackingConfig config;
+  config.circles = 200;
+  packing::PackingProblem problem(config);
+  const auto z = problem.graph().z_values();
+  const std::vector<double> snapshot(z.begin(), z.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_residuals(problem.graph(), snapshot));
+  }
+}
+BENCHMARK(BM_ResidualEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark): proximal-operator latencies.
+//
+// These are the per-task costs the device models abstract over; running
+// them keeps the cost annotations honest on real hardware.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/prox.hpp"
+#include "core/prox_library.hpp"
+#include "problems/mpc/prox_ops.hpp"
+#include "problems/packing/prox_ops.hpp"
+#include "problems/svm/prox_ops.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace paradmm;
+
+/// Minimal stand-alone harness (bench twin of tests/test_util.hpp).
+class ProxBench {
+ public:
+  ProxBench(std::vector<std::uint32_t> dims, double rho)
+      : dims_(std::move(dims)) {
+    offsets_.resize(dims_.size());
+    std::uint64_t at = 0;
+    for (std::size_t k = 0; k < dims_.size(); ++k) {
+      offsets_[k] = at;
+      at += dims_[k];
+    }
+    n_.assign(at, 0.0);
+    x_.assign(at, 0.0);
+    rhos_.assign(dims_.size(), rho);
+    vars_.assign(dims_.size(), 0);
+    weights_.assign(dims_.size(), Weight::kStandard);
+    Rng rng(42);
+    for (auto& v : n_) v = rng.uniform(-1.0, 1.0);
+  }
+
+  void run(const ProxOperator& op) {
+    GraphSoa soa;
+    soa.n = n_.data();
+    soa.x = x_.data();
+    soa.edge_offset = offsets_.data();
+    soa.edge_dim = dims_.data();
+    soa.edge_rho = rhos_.data();
+    soa.edge_var = vars_.data();
+    soa.edge_weight = weights_.data();
+    op.apply(ProxContext(soa, 0, static_cast<std::uint32_t>(dims_.size())));
+    benchmark::DoNotOptimize(x_.data());
+  }
+
+ private:
+  std::vector<std::uint32_t> dims_;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<double> n_, x_, rhos_;
+  std::vector<VariableId> vars_;
+  std::vector<Weight> weights_;
+};
+
+void BM_ProxZero(benchmark::State& state) {
+  ProxBench bench({4}, 1.0);
+  ZeroProx op;
+  for (auto _ : state) bench.run(op);
+}
+BENCHMARK(BM_ProxZero);
+
+void BM_ProxSoftThreshold(benchmark::State& state) {
+  ProxBench bench({static_cast<std::uint32_t>(state.range(0))}, 1.0);
+  SoftThresholdProx op(0.5);
+  for (auto _ : state) bench.run(op);
+}
+BENCHMARK(BM_ProxSoftThreshold)->Arg(4)->Arg(64);
+
+void BM_ProxPackingCollision(benchmark::State& state) {
+  ProxBench bench({2, 1, 2, 1}, 1.0);
+  packing::NoCollisionProx op;
+  for (auto _ : state) bench.run(op);
+}
+BENCHMARK(BM_ProxPackingCollision);
+
+void BM_ProxPackingWall(benchmark::State& state) {
+  ProxBench bench({2, 1}, 1.0);
+  packing::WallProx op(packing::Triangle::equilateral().walls()[0]);
+  for (auto _ : state) bench.run(op);
+}
+BENCHMARK(BM_ProxPackingWall);
+
+void BM_ProxMpcStageCost(benchmark::State& state) {
+  ProxBench bench({5}, 1.0);
+  mpc::StageCostProx op({1.0, 0.1, 10.0, 0.1}, {0.01});
+  for (auto _ : state) bench.run(op);
+}
+BENCHMARK(BM_ProxMpcStageCost);
+
+void BM_ProxMpcDynamics(benchmark::State& state) {
+  ProxBench bench({5, 5}, 1.0);
+  const auto op = mpc::make_dynamics_prox(mpc::linearized_pendulum());
+  for (auto _ : state) bench.run(*op);
+}
+BENCHMARK(BM_ProxMpcDynamics);
+
+void BM_ProxSvmMargin(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  ProxBench bench({static_cast<std::uint32_t>(d + 1), 1}, 1.0);
+  Rng rng(3);
+  svm::MarginProx op(rng.gaussian_vector(d), 1);
+  for (auto _ : state) bench.run(op);
+}
+BENCHMARK(BM_ProxSvmMargin)->Arg(2)->Arg(200);
+
+void BM_ProxConsensusEquality(benchmark::State& state) {
+  ProxBench bench({3, 3}, 1.0);
+  ConsensusEqualityProx op;
+  for (auto _ : state) bench.run(op);
+}
+BENCHMARK(BM_ProxConsensusEquality);
+
+}  // namespace
+
+BENCHMARK_MAIN();

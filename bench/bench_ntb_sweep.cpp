@@ -1,0 +1,84 @@
+// In-text threads-per-block (ntb) study.
+//
+// The paper reports, against NVIDIA's "make ntb as large as possible"
+// guidance, that small thread blocks win:
+//  * packing x-update at N=5000: speedups 5.6, 5.6, 5.8, 5.8, 5.8, 7.4,
+//    5.5, 3.5, 2.0, 2.0, 3.6 for ntb = 1..1024 (peak at 32);
+//  * MPC z-update: the optimal ntb per K in {200, 1e3, 1e4, 5e4, 1e5} is
+//    2, 8, 16, 16, 16 (even smaller than 32);
+//  * everywhere else ntb = 32 is the repeated optimum.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "problems/mpc/cost_spec.hpp"
+#include "problems/packing/cost_spec.hpp"
+#include "problems/svm/cost_spec.hpp"
+#include "support/cli.hpp"
+
+using namespace paradmm;
+using namespace paradmm::devsim;
+
+int main(int argc, char** argv) {
+  CliFlags flags("bench_ntb_sweep");
+  flags.add_bool("csv", false, "emit CSV instead of aligned tables");
+  flags.parse(argc, argv);
+
+  bench::print_banner(
+      "In-text: threads-per-block sweeps",
+      "small ntb (~32) beats the vendor-suggested 1024 for these kernels");
+
+  const GpuSpec gpu = tesla_k40();
+  const SerialSpec serial = opteron_serial();
+
+  // Packing x-update sweep at N = 5000.
+  const auto packing_costs = packing::packing_iteration_costs(5000);
+  Table x_sweep({"ntb", "x-update speedup"});
+  for (int ntb = 1; ntb <= 1024; ntb *= 2) {
+    const double speedup =
+        serial_phase_seconds(packing_costs.phases[0], serial) /
+        simulate_kernel(packing_costs.phases[0], gpu, ntb).seconds;
+    x_sweep.add_row({std::to_string(ntb), format_fixed(speedup, 2)});
+  }
+  std::cout << "\n[packing x-update, N=5000]\n";
+  if (flags.get_bool("csv")) x_sweep.print_csv(std::cout);
+  else x_sweep.print(std::cout);
+  std::cout << "(paper: 5.6 ... 7.4 at ntb=32 ... 2.0, peak at 32)\n";
+
+  // MPC z-update optimal ntb per horizon.
+  Table z_best({"K", "optimal ntb (z-update)", "paper"});
+  const std::size_t horizons[] = {200, 1000, 10000, 50000, 100000};
+  const char* paper_values[] = {"2", "8", "16", "16", "16"};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto costs = mpc::mpc_iteration_costs(horizons[i]);
+    z_best.add_row({std::to_string(horizons[i]),
+                    std::to_string(best_ntb(costs.phases[2], gpu)),
+                    paper_values[i]});
+  }
+  std::cout << "\n[MPC z-update optimal ntb per K]\n";
+  if (flags.get_bool("csv")) z_best.print_csv(std::cout);
+  else z_best.print(std::cout);
+
+  // Best ntb per phase for each problem at paper scale.
+  Table best_table({"problem", "x", "m", "z", "u", "n"});
+  struct Case {
+    const char* name;
+    IterationCosts costs;
+  };
+  const Case cases[] = {
+      {"packing N=5000", packing::packing_iteration_costs(5000)},
+      {"mpc K=1e5", mpc::mpc_iteration_costs(100000)},
+      {"svm N=1e5 d=2", svm::svm_iteration_costs(100000, 2)},
+  };
+  for (const auto& c : cases) {
+    std::vector<std::string> row = {c.name};
+    for (std::size_t p = 0; p < 5; ++p) {
+      row.push_back(std::to_string(best_ntb(c.costs.phases[p], gpu)));
+    }
+    best_table.add_row(row);
+  }
+  std::cout << "\n[optimal ntb per update kind]\n";
+  if (flags.get_bool("csv")) best_table.print_csv(std::cout);
+  else best_table.print(std::cout);
+  std::cout << "(paper: ntb=32 'most of the time'; never 512/1024)\n";
+  return 0;
+}

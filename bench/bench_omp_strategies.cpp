@@ -1,0 +1,107 @@
+// Figure 4 — the two shared-memory scheduling strategies (REAL measured).
+//
+// Strategy A: one fork/join parallel-for per update phase (five per
+// iteration).  Strategy B: a single persistent parallel region for the
+// whole batch with a barrier after every phase.  The paper: "We found the
+// first approach to be substantially faster ... in all the three problems
+// tested."  This bench times both (std::thread and OpenMP realizations)
+// on a real packing workload; on a single-core host the absolute numbers
+// compress, but the per-iteration overhead ordering is still measurable.
+#include <iostream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "core/solver.hpp"
+#include "devsim/calibration.hpp"
+#include "problems/mpc/cost_spec.hpp"
+#include "problems/packing/cost_spec.hpp"
+#include "problems/svm/cost_spec.hpp"
+#include "parallel/backend.hpp"
+#include "problems/packing/builder.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+using namespace paradmm;
+
+int main(int argc, char** argv) {
+  CliFlags flags("bench_omp_strategies");
+  flags.add_int("circles", 150, "packing size");
+  flags.add_int("iterations", 60, "iterations to time per backend");
+  flags.add_int("threads", 4, "team size");
+  flags.add_bool("csv", false, "emit CSV instead of aligned tables");
+  flags.parse(argc, argv);
+
+  bench::print_banner(
+      "Figure 4: strategy A (parallel-for per phase) vs B (persistent "
+      "region) - measured",
+      "strategy A was faster on all three problems in the paper");
+
+  const auto iterations = static_cast<int>(flags.get_int("iterations"));
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads"));
+
+  packing::PackingConfig config;
+  config.circles = static_cast<std::size_t>(flags.get_int("circles"));
+
+  Table table({"backend", "strategy", "s/iter", "vs serial"});
+  double serial_seconds = 0.0;
+  const BackendKind kinds[] = {
+      BackendKind::kSerial, BackendKind::kForkJoin, BackendKind::kPersistent,
+      BackendKind::kOmpForkJoin, BackendKind::kOmpPersistent};
+  const char* strategy_names[] = {"-", "A (fork/join)", "B (persistent)",
+                                  "A (fork/join)", "B (persistent)"};
+  for (std::size_t i = 0; i < 5; ++i) {
+    packing::PackingProblem problem(config);  // fresh identical instance
+    SolverOptions options;
+    options.backend = kinds[i];
+    options.threads = threads;
+    options.max_iterations = iterations;
+    options.check_interval = iterations;
+    options.primal_tolerance = 0.0;
+    options.dual_tolerance = 0.0;
+    options.record_phase_timings = false;
+    AdmmSolver solver(problem.graph(), options);
+    WallTimer timer;
+    solver.run();
+    const double seconds = timer.seconds() / iterations;
+    if (i == 0) serial_seconds = seconds;
+    table.add_row({std::string(to_string(kinds[i])), strategy_names[i],
+                   format_duration(seconds),
+                   format_fixed(serial_seconds / seconds, 2) + "x"});
+  }
+  if (flags.get_bool("csv")) table.print_csv(std::cout);
+  else table.print(std::cout);
+  std::cout << "(this host has " << std::thread::hardware_concurrency()
+            << " hardware thread(s); with one core the parallel backends "
+               "mostly expose scheduling overhead, which is exactly what "
+               "separates A from B)\n";
+
+  // The paper measured the A-vs-B gap on 32 contended cores — that part is
+  // modeled: strategy B's hand-rolled central barrier costs linear-in-team
+  // time after every one of the five phases.
+  using namespace devsim;
+  const MulticoreSpec cpu = opteron_32core();
+  const SerialSpec serial_spec = opteron_serial();
+  Table modeled({"problem (32 cores, modeled)", "A s/iter", "B s/iter",
+                 "A advantage"});
+  struct Case {
+    const char* name;
+    IterationCosts costs;
+  };
+  const Case cases[] = {
+      {"packing N=2500", packing::packing_iteration_costs(2500)},
+      {"mpc K=1e4", mpc::mpc_iteration_costs(10000)},
+      {"svm N=1e4", svm::svm_iteration_costs(10000, 2)},
+  };
+  for (const auto& c : cases) {
+    const double a = multicore_iteration_seconds(
+        c.costs, cpu, 32, OmpStrategy::kForkJoinPerPhase);
+    const double b = multicore_iteration_seconds(
+        c.costs, cpu, 32, OmpStrategy::kPersistentBarrier);
+    modeled.add_row({c.name, format_duration(a), format_duration(b),
+                     format_fixed(b / a, 2) + "x"});
+  }
+  modeled.print(std::cout);
+  std::cout << "(paper: strategy A was 'substantially faster' on all three "
+               "problems)\n";
+  return 0;
+}

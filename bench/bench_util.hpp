@@ -1,0 +1,60 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints (a) the series the paper's figure plots, via the
+// calibrated device models at full paper scale, and (b) where feasible, a
+// real measured run of the actual engine at a reduced size that ties the
+// model's serial base to reality.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "devsim/calibration.hpp"
+#include "devsim/report.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace paradmm::bench {
+
+/// Standard header every bench prints.
+inline void print_banner(const std::string& id, const std::string& claim) {
+  std::cout << "=====================================================\n"
+            << id << '\n'
+            << "paper: " << claim << '\n'
+            << "=====================================================\n";
+}
+
+/// One row of a combined-speedup table: problem size, serial/device time
+/// for `iterations` iterations, combined speedup.
+inline std::vector<std::string> speedup_row(
+    std::size_t size, const devsim::SpeedupReport& report, int iterations) {
+  return {std::to_string(size),
+          format_duration(report.serial_total() * iterations),
+          format_duration(report.device_total() * iterations),
+          format_fixed(report.combined_speedup(), 2)};
+}
+
+/// One row of a per-update-speedup table (the figures' right panels).
+inline std::vector<std::string> per_update_row(
+    std::size_t size, const devsim::SpeedupReport& report) {
+  std::vector<std::string> row = {std::to_string(size)};
+  for (std::size_t p = 0; p < 5; ++p) {
+    row.push_back(format_fixed(report.phase_speedup(p), 1));
+  }
+  return row;
+}
+
+/// Device-time share per update kind (the in-text percentage claims).
+inline void print_fractions(const devsim::SpeedupReport& report,
+                            const std::string& label) {
+  std::cout << label << " device time shares: ";
+  for (std::size_t p = 0; p < 5; ++p) {
+    std::cout << devsim::SpeedupReport::kPhases[p] << '='
+              << format_fixed(100.0 * report.device_fraction(p), 0) << "% ";
+  }
+  std::cout << '\n';
+}
+
+inline const char* kPerUpdateHeader[6] = {"size", "x", "m", "z", "u", "n"};
+
+}  // namespace paradmm::bench

@@ -1,0 +1,86 @@
+// Receding-horizon control of an inverted pendulum (the paper's MPC
+// benchmark, §V-B), demonstrating the real-time pattern the paper
+// describes: the factor graph is built ONCE; each controller cycle only
+// moves the initial-state clamp to the measured state and runs a few more
+// ADMM iterations warm-started from the previous solution.
+//
+//   ./mpc_pendulum --horizon 40 --cycles 30
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "problems/mpc/builder.hpp"
+#include "support/cli.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+using namespace paradmm;
+using namespace paradmm::mpc;
+
+int main(int argc, char** argv) {
+  CliFlags flags("mpc_pendulum");
+  flags.add_int("horizon", 60, "prediction horizon K");
+  flags.add_int("cycles", 80, "closed-loop controller cycles to simulate");
+  flags.add_int("warmup-iterations", 60000, "ADMM iterations, first solve");
+  flags.add_int("cycle-iterations", 6000, "ADMM iterations per cycle");
+  flags.add_int("threads", 4, "backend threads");
+  flags.parse(argc, argv);
+
+  MpcConfig config;
+  config.horizon = static_cast<std::size_t>(flags.get_int("horizon"));
+  config.initial_state = {0.4, 0.0, 0.2, 0.0};  // cart offset + pole tilt
+  MpcProblem problem(config);
+
+  std::printf("MPC horizon K=%zu: %zu factors, %zu edges (3K+2)\n",
+              config.horizon, problem.graph().num_factors(),
+              problem.graph().num_edges());
+
+  SolverOptions options;
+  options.backend = BackendKind::kForkJoin;
+  options.threads = static_cast<std::size_t>(flags.get_int("threads"));
+  options.max_iterations = static_cast<int>(flags.get_int("warmup-iterations"));
+  options.check_interval = 500;
+  options.primal_tolerance = 1e-8;
+  options.dual_tolerance = 1e-8;
+
+  // First solve (cold start, random initialization).
+  {
+    AdmmSolver solver(problem.graph(), options);
+    const SolverReport report = solver.run();
+    std::printf("first solve: %s after %d iterations (%s)\n",
+                report.converged ? "converged" : "stopped", report.iterations,
+                format_duration(report.wall_seconds).c_str());
+  }
+
+  // Closed loop: apply the first input, step the plant, re-solve warm.
+  options.max_iterations = static_cast<int>(flags.get_int("cycle-iterations"));
+  std::vector<double> state = config.initial_state;
+  Table table({"cycle", "cart x", "pole angle", "input u", "admm iters"});
+  const int cycles = static_cast<int>(flags.get_int("cycles"));
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const auto plan = problem.trajectory();
+    const double input = plan[0].input;
+    state = step(problem.model(), state, input);
+
+    problem.set_initial_state(state);
+    AdmmSolver solver(problem.graph(), options);
+    const SolverReport report = solver.run();
+
+    if (cycle % 5 == 0 || cycle == cycles - 1) {
+      table.add_row({std::to_string(cycle), format_fixed(state[0], 4),
+                     format_fixed(state[2], 4), format_fixed(input, 3),
+                     std::to_string(report.iterations)});
+    }
+  }
+  table.print(std::cout);
+
+  const double final_deviation =
+      std::fabs(state[0]) + std::fabs(state[2]);
+  std::printf("final |cart| + |angle| = %.4f (started at %.4f)\n",
+              final_deviation, 0.4 + 0.2);
+  std::printf(final_deviation < 0.12
+                  ? "pendulum stabilized.\n"
+                  : "pendulum NOT stabilized - increase iterations.\n");
+  return final_deviation < 0.12 ? 0 : 1;
+}

@@ -1,0 +1,134 @@
+// Writing your own proximal operator: 1-D total-variation denoising.
+//
+//   min_x  0.5 Σ_i (x_i - y_i)^2  +  lambda Σ_i |x_{i+1} - x_i|
+//
+// This is the fine-grained decomposition the paper advocates taken to a
+// new problem: one data factor per sample plus one custom pairwise-TV
+// factor per neighboring pair — a chain factor graph with 3N - 2 edges.
+// The only new code a user writes is the closed-form prox below; the
+// engine parallelizes everything else.
+//
+//   ./tv_denoise --samples 400 --lambda 0.8
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/factor_graph.hpp"
+#include "core/prox_library.hpp"
+#include "core/solver.hpp"
+#include "support/cli.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+using namespace paradmm;
+
+namespace {
+
+/// Custom operator: Prox of f(a, b) = lambda |b - a| over two 1-D edges.
+///
+/// Writing the optimality conditions with multiplier s in lambda*d|b-a|:
+///   rho_a (a - n_a) = s,   rho_b (b - n_b) = -s
+/// the difference shrinks by s (1/rho_a + 1/rho_b); if the input
+/// difference is within the shrinkage budget the two ends meet at their
+/// rho-weighted average, otherwise the difference shortens by the budget.
+class PairwiseTvProx final : public ProxOperator {
+ public:
+  explicit PairwiseTvProx(double lambda) : lambda_(lambda) {
+    require(lambda >= 0.0, "PairwiseTvProx lambda must be non-negative");
+  }
+
+  void apply(const ProxContext& ctx) const override {
+    const double n_a = ctx.input(0)[0];
+    const double n_b = ctx.input(1)[0];
+    const double inv_budget = 1.0 / ctx.rho(0) + 1.0 / ctx.rho(1);
+    const double difference = n_b - n_a;
+    double s;  // the multiplier on the pair constraint
+    if (std::fabs(difference) <= lambda_ * inv_budget) {
+      s = difference / inv_budget;  // ends meet: |b - a| collapses to 0
+    } else {
+      s = lambda_ * (difference > 0 ? 1.0 : -1.0);
+    }
+    ctx.output(0)[0] = n_a + s / ctx.rho(0);
+    ctx.output(1)[0] = n_b - s / ctx.rho(1);
+  }
+
+  std::string_view name() const override { return "pairwise-tv"; }
+
+  double evaluate(
+      std::span<const std::span<const double>> values) const override {
+    return lambda_ * std::fabs(values[1][0] - values[0][0]);
+  }
+
+ private:
+  double lambda_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("tv_denoise");
+  flags.add_int("samples", 400, "signal length");
+  flags.add_double("lambda", 0.8, "TV regularization weight");
+  flags.add_double("noise", 0.25, "observation noise sigma");
+  flags.add_int("iterations", 30000, "ADMM iteration budget");
+  flags.parse(argc, argv);
+
+  const auto n = static_cast<std::size_t>(flags.get_int("samples"));
+  const double lambda = flags.get_double("lambda");
+
+  // Piecewise-constant ground truth + Gaussian noise.
+  Rng rng(4);
+  std::vector<double> truth(n), noisy(n);
+  double level = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % (n / 5) == 0) level = rng.uniform(-2.0, 2.0);
+    truth[i] = level;
+    noisy[i] = level + rng.gaussian(0.0, flags.get_double("noise"));
+  }
+
+  // Chain factor graph.
+  FactorGraph graph;
+  std::vector<VariableId> x;
+  for (std::size_t i = 0; i < n; ++i) x.push_back(graph.add_variable(1));
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.add_factor(std::make_shared<SumSquaresProx>(
+                         1.0, std::vector<double>{noisy[i]}),
+                     {x[i]});
+  }
+  const auto tv = std::make_shared<PairwiseTvProx>(lambda);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    graph.add_factor(tv, {x[i], x[i + 1]});
+  }
+  graph.set_uniform_parameters(1.0, 1.0);
+
+  SolverOptions options;
+  options.max_iterations = static_cast<int>(flags.get_int("iterations"));
+  options.check_interval = 500;
+  options.primal_tolerance = 1e-9;
+  options.dual_tolerance = 1e-9;
+  const SolverReport report = solve(graph, options);
+
+  auto rmse = [&](auto value_of) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = value_of(i) - truth[i];
+      total += d * d;
+    }
+    return std::sqrt(total / static_cast<double>(n));
+  };
+  const double noisy_rmse = rmse([&](std::size_t i) { return noisy[i]; });
+  const double denoised_rmse =
+      rmse([&](std::size_t i) { return graph.solution(x[i])[0]; });
+
+  std::printf("%s after %d iterations\n",
+              report.converged ? "converged" : "stopped", report.iterations);
+  Table table({"signal", "rmse vs truth"});
+  table.add_row({"noisy input", format_fixed(noisy_rmse, 4)});
+  table.add_row({"TV-denoised", format_fixed(denoised_rmse, 4)});
+  table.print(std::cout);
+  std::printf(denoised_rmse < 0.5 * noisy_rmse
+                  ? "denoising removed >50%% of the error.\n"
+                  : "weak denoising - tune --lambda.\n");
+  return denoised_rmse < 0.5 * noisy_rmse ? 0 : 1;
+}

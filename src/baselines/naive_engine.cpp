@@ -1,0 +1,150 @@
+#include "baselines/naive_engine.hpp"
+
+#include "support/error.hpp"
+
+namespace paradmm::baselines {
+
+struct NaiveGraphEngine::Edge {
+  std::vector<double> x, m, u, n;
+  double rho = 1.0;
+  double alpha = 1.0;
+  Variable* variable = nullptr;
+};
+
+struct NaiveGraphEngine::Variable {
+  std::vector<double> z;
+  std::vector<Edge*> edges;  // insertion order, as in the flat engine
+};
+
+struct NaiveGraphEngine::Factor {
+  const ProxOperator* op = nullptr;
+  std::vector<Edge*> edges;
+};
+
+NaiveGraphEngine::NaiveGraphEngine(const FactorGraph& graph) {
+  variables_.reserve(graph.num_variables());
+  for (VariableId b = 0; b < graph.num_variables(); ++b) {
+    auto variable = std::make_unique<Variable>();
+    const auto z = graph.solution(b);
+    variable->z.assign(z.begin(), z.end());
+    variables_.push_back(std::move(variable));
+  }
+
+  edges_.reserve(graph.num_edges());
+  const auto x = graph.x_values();
+  const auto m = graph.m_values();
+  const auto u = graph.u_values();
+  const auto n = graph.n_values();
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    auto edge = std::make_unique<Edge>();
+    const std::uint64_t at = graph.edge_offset(e);
+    const std::uint32_t dim = graph.edge_dim(e);
+    edge->x.assign(x.begin() + at, x.begin() + at + dim);
+    edge->m.assign(m.begin() + at, m.begin() + at + dim);
+    edge->u.assign(u.begin() + at, u.begin() + at + dim);
+    edge->n.assign(n.begin() + at, n.begin() + at + dim);
+    edge->rho = graph.edge_rho(e);
+    edge->alpha = graph.edge_alpha(e);
+    edge->variable = variables_[graph.edge_variable(e)].get();
+    edge->variable->edges.push_back(edge.get());
+    edges_.push_back(std::move(edge));
+  }
+
+  factors_.reserve(graph.num_factors());
+  for (FactorId a = 0; a < graph.num_factors(); ++a) {
+    auto factor = std::make_unique<Factor>();
+    factor->op = &graph.factor_op(a);
+    const EdgeId begin = graph.factor_edge_begin(a);
+    for (std::uint32_t k = 0; k < graph.factor_degree(a); ++k) {
+      factor->edges.push_back(edges_[begin + k].get());
+    }
+    factors_.push_back(std::move(factor));
+  }
+}
+
+NaiveGraphEngine::~NaiveGraphEngine() = default;
+
+void NaiveGraphEngine::run(int iterations) {
+  for (int iter = 0; iter < iterations; ++iter) {
+    // x-phase: gather each factor's inputs into a scratch SoA view, run the
+    // operator, scatter the outputs back — buffer churn included.
+    for (const auto& factor : factors_) {
+      const std::size_t degree = factor->edges.size();
+      std::vector<double> scratch_n, scratch_x;
+      std::vector<std::uint64_t> offsets(degree);
+      std::vector<std::uint32_t> dims(degree);
+      std::vector<double> rhos(degree);
+      std::vector<VariableId> vars(degree, 0);
+      std::vector<Weight> weights(degree, Weight::kStandard);
+      std::uint64_t at = 0;
+      for (std::size_t k = 0; k < degree; ++k) {
+        Edge* edge = factor->edges[k];
+        offsets[k] = at;
+        dims[k] = static_cast<std::uint32_t>(edge->n.size());
+        rhos[k] = edge->rho;
+        scratch_n.insert(scratch_n.end(), edge->n.begin(), edge->n.end());
+        at += edge->n.size();
+      }
+      scratch_x.assign(at, 0.0);
+
+      GraphSoa soa;
+      soa.n = scratch_n.data();
+      soa.x = scratch_x.data();
+      soa.edge_offset = offsets.data();
+      soa.edge_dim = dims.data();
+      soa.edge_rho = rhos.data();
+      soa.edge_var = vars.data();
+      soa.edge_weight = weights.data();
+      factor->op->apply(
+          ProxContext(soa, 0, static_cast<std::uint32_t>(degree)));
+
+      for (std::size_t k = 0; k < degree; ++k) {
+        Edge* edge = factor->edges[k];
+        for (std::size_t i = 0; i < edge->x.size(); ++i) {
+          edge->x[i] = scratch_x[offsets[k] + i];
+        }
+      }
+    }
+
+    // m-phase.
+    for (const auto& edge : edges_) {
+      for (std::size_t i = 0; i < edge->m.size(); ++i) {
+        edge->m[i] = edge->x[i] + edge->u[i];
+      }
+    }
+
+    // z-phase.
+    for (const auto& variable : variables_) {
+      for (std::size_t i = 0; i < variable->z.size(); ++i) {
+        double numerator = 0.0;
+        double denominator = 0.0;
+        for (Edge* edge : variable->edges) {
+          numerator += edge->rho * edge->m[i];
+          denominator += edge->rho;
+        }
+        if (denominator > 0.0) variable->z[i] = numerator / denominator;
+      }
+    }
+
+    // u-phase.
+    for (const auto& edge : edges_) {
+      for (std::size_t i = 0; i < edge->u.size(); ++i) {
+        edge->u[i] += edge->alpha * (edge->x[i] - edge->variable->z[i]);
+      }
+    }
+
+    // n-phase.
+    for (const auto& edge : edges_) {
+      for (std::size_t i = 0; i < edge->n.size(); ++i) {
+        edge->n[i] = edge->variable->z[i] - edge->u[i];
+      }
+    }
+  }
+}
+
+std::vector<double> NaiveGraphEngine::solution(VariableId var) const {
+  require(var < variables_.size(), "variable id out of range");
+  return variables_[var]->z;
+}
+
+}  // namespace paradmm::baselines

@@ -1,0 +1,37 @@
+// Textbook two-block ADMM (the paper's Algorithm 1), specialized to Lasso:
+//
+//   min 0.5 ||A x - y||^2 + lambda ||z||_1   s.t.  x = z
+//
+//   x <- (A'A + rho I)^-1 (A'y + rho (z - u))
+//   z <- soft_threshold(x + u, lambda / rho)
+//   u <- u + x - z
+//
+// Serves as the independent correctness oracle for the factor-graph engine
+// (the same optimum must come out of both formulations) and as the
+// conventional-formulation baseline in benches.
+#pragma once
+
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "problems/lasso/lasso.hpp"
+
+namespace paradmm::baselines {
+
+struct TwoBlockOptions {
+  double rho = 1.0;
+  double lambda = 0.1;
+  int max_iterations = 5000;
+  double tolerance = 1e-10;  ///< on max(||x-z||_inf, rho ||z-z_prev||_inf)
+};
+
+struct TwoBlockResult {
+  std::vector<double> solution;  // z at termination
+  int iterations = 0;
+  bool converged = false;
+};
+
+TwoBlockResult solve_lasso_two_block(const lasso::LassoInstance& instance,
+                                     const TwoBlockOptions& options);
+
+}  // namespace paradmm::baselines

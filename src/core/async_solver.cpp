@@ -1,0 +1,112 @@
+#include "core/async_solver.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace paradmm {
+
+AsyncSolverReport solve_async(
+    FactorGraph& graph, const AsyncSolverOptions& options,
+    const std::function<bool(int, const Residuals&)>& callback) {
+  require(options.max_sweeps >= 0, "max_sweeps must be >= 0");
+  const std::size_t factors = graph.num_factors();
+
+  const GraphSoa soa = graph.soa();
+  double* x = graph.x_values().data();
+  double* m = graph.m_values().data();
+  double* z = graph.z_values().data();
+  double* u = graph.u_values().data();
+  double* n = graph.n_values().data();
+
+  std::vector<FactorId> order(factors);
+  std::iota(order.begin(), order.end(), 0u);
+  Rng rng(options.shuffle_seed);
+
+  auto step = [&](FactorId a) {
+    const EdgeId begin = graph.factor_edge_begin(a);
+    const std::uint32_t degree = graph.factor_degree(a);
+
+    // Local x-update.
+    const ProxContext ctx(soa, begin, degree);
+    graph.factor_op(a).apply(ctx);
+
+    // Local m-update.
+    for (std::uint32_t k = 0; k < degree; ++k) {
+      const EdgeId e = begin + k;
+      const std::uint64_t at = graph.edge_offset(e);
+      const std::uint32_t dim = graph.edge_dim(e);
+      for (std::uint32_t d = 0; d < dim; ++d) {
+        m[at + d] = x[at + d] + u[at + d];
+      }
+    }
+
+    // Refresh the consensus of the touched variables (reads neighbors'
+    // possibly-stale m — that is the "async" part).
+    for (std::uint32_t k = 0; k < degree; ++k) {
+      const VariableId b = graph.edge_variable(begin + k);
+      const std::uint64_t z_at = graph.variable_offset(b);
+      const std::uint32_t dim = graph.variable_dim(b);
+      const auto incident = graph.variable_edges(b);
+      for (std::uint32_t d = 0; d < dim; ++d) {
+        double numerator = 0.0;
+        double denominator = 0.0;
+        for (const EdgeId e : incident) {
+          const double rho = graph.edge_rho(e);
+          numerator += rho * m[graph.edge_offset(e) + d];
+          denominator += rho;
+        }
+        if (denominator > 0.0) z[z_at + d] = numerator / denominator;
+      }
+    }
+
+    // Local u- and n-updates.
+    for (std::uint32_t k = 0; k < degree; ++k) {
+      const EdgeId e = begin + k;
+      const std::uint64_t at = graph.edge_offset(e);
+      const std::uint64_t z_at =
+          graph.variable_offset(graph.edge_variable(e));
+      const std::uint32_t dim = graph.edge_dim(e);
+      const double alpha = graph.edge_alpha(e);
+      for (std::uint32_t d = 0; d < dim; ++d) {
+        u[at + d] += alpha * (x[at + d] - z[z_at + d]);
+        n[at + d] = z[z_at + d] - u[at + d];
+      }
+    }
+  };
+
+  AsyncSolverReport report;
+  std::vector<double> z_snapshot;
+  int sweep = 0;
+  while (sweep < options.max_sweeps) {
+    const int batch = options.check_interval > 0
+                          ? std::min(options.check_interval,
+                                     options.max_sweeps - sweep)
+                          : options.max_sweeps - sweep;
+    for (int s = 0; s < batch; ++s) {
+      if (options.order == AsyncOrder::kRandomized) {
+        std::shuffle(order.begin(), order.end(), rng);
+      }
+      if (s == batch - 1) {
+        const auto current = graph.z_values();
+        z_snapshot.assign(current.begin(), current.end());
+      }
+      for (const FactorId a : order) step(a);
+    }
+    sweep += batch;
+
+    const Residuals residuals = compute_residuals(graph, z_snapshot);
+    report.final_residuals = residuals;
+    if (callback && !callback(sweep, residuals)) break;
+    if (residuals.within(options.primal_tolerance,
+                         options.dual_tolerance)) {
+      report.converged = true;
+      break;
+    }
+  }
+  report.sweeps = sweep;
+  return report;
+}
+
+}  // namespace paradmm

@@ -1,0 +1,60 @@
+// Asynchronous (per-factor) ADMM — the paper's future-work item 1:
+// "Use asynchronous implementations of the ADMM so that not all cores need
+//  to wait for the busiest core."
+//
+// Instead of five globally-barriered phases, one *step* picks a single
+// factor a and runs its whole local pipeline:
+//
+//   x(a,·) ← Prox_{f_a,ρ}(n(a,·))
+//   m(a,b) ← x(a,b) + u(a,b)                for b ∈ ∂a
+//   z_b    ← Σ_{a'∈∂b} ρ m(a',b) / Σ ρ      for b ∈ ∂a   (reads possibly
+//                                                          stale m of other
+//                                                          factors)
+//   u(a,b) ← u(a,b) + α (x(a,b) − z_b)      for b ∈ ∂a
+//   n(a,b) ← z_b − u(a,b)                   for b ∈ ∂a
+//
+// A fixed point of these per-factor steps is a fixed point of the
+// synchronous Algorithm 2, and on convex problems the randomized sweep
+// converges in practice (the cited asynchronous-ADMM results guarantee it
+// for restricted topologies).  One "sweep" = |F| steps.
+//
+// This implementation is sequential (a correctness/behavior testbed for
+// the scheme — the interesting property is *staleness tolerance*, which is
+// what distinguishes async from the barriered engine, not raw speed).
+#pragma once
+
+#include <functional>
+
+#include "core/factor_graph.hpp"
+#include "core/residuals.hpp"
+#include "support/rng.hpp"
+
+namespace paradmm {
+
+enum class AsyncOrder {
+  kRoundRobin,  ///< factors visited 0, 1, ..., |F|-1 per sweep
+  kRandomized,  ///< factors visited in a seeded random order per sweep
+};
+
+struct AsyncSolverOptions {
+  int max_sweeps = 1000;
+  int check_interval = 25;  ///< sweeps between residual checks
+  double primal_tolerance = 1e-8;
+  double dual_tolerance = 1e-8;
+  AsyncOrder order = AsyncOrder::kRandomized;
+  std::uint64_t shuffle_seed = 0x5eedULL;
+};
+
+struct AsyncSolverReport {
+  int sweeps = 0;
+  bool converged = false;
+  Residuals final_residuals;
+};
+
+/// Runs asynchronous per-factor ADMM sweeps on the graph until both
+/// residuals fall below tolerance or the sweep budget is exhausted.
+AsyncSolverReport solve_async(
+    FactorGraph& graph, const AsyncSolverOptions& options,
+    const std::function<bool(int sweep, const Residuals&)>& callback = {});
+
+}  // namespace paradmm

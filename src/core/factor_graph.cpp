@@ -1,0 +1,179 @@
+#include "core/factor_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paradmm {
+
+VariableId FactorGraph::add_variable(std::uint32_t dim) {
+  require(dim > 0, "variable dimension must be positive");
+  const auto id = static_cast<VariableId>(var_dim_.size());
+  var_dim_.push_back(dim);
+  var_offset_.push_back(z_.size());
+  z_.resize(z_.size() + dim, 0.0);
+  csr_valid_ = false;
+  return id;
+}
+
+std::vector<VariableId> FactorGraph::add_variables(std::size_t count,
+                                                   std::uint32_t dim) {
+  std::vector<VariableId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ids.push_back(add_variable(dim));
+  return ids;
+}
+
+FactorId FactorGraph::add_factor(std::shared_ptr<const ProxOperator> op,
+                                 std::span<const VariableId> vars) {
+  require(op != nullptr, "add_factor requires a proximal operator");
+  require(!vars.empty(), "add_factor requires at least one variable");
+  const auto factor = static_cast<FactorId>(ops_.size());
+  ops_.push_back(std::move(op));
+  factor_edge_begin_.push_back(static_cast<EdgeId>(edge_var_.size()));
+  factor_degree_.push_back(static_cast<std::uint32_t>(vars.size()));
+
+  for (const VariableId var : vars) {
+    require(var < var_dim_.size(), "add_factor references unknown variable");
+    const std::uint32_t dim = var_dim_[var];
+    edge_var_.push_back(var);
+    edge_factor_.push_back(factor);
+    edge_offset_.push_back(edge_scalars_);
+    edge_dim_.push_back(dim);
+    edge_rho_.push_back(1.0);
+    edge_alpha_.push_back(1.0);
+    edge_weight_.push_back(Weight::kStandard);
+    edge_scalars_ += dim;
+  }
+  x_.resize(edge_scalars_, 0.0);
+  m_.resize(edge_scalars_, 0.0);
+  u_.resize(edge_scalars_, 0.0);
+  n_.resize(edge_scalars_, 0.0);
+  csr_valid_ = false;
+  return factor;
+}
+
+FactorId FactorGraph::add_factor(std::shared_ptr<const ProxOperator> op,
+                                 std::initializer_list<VariableId> vars) {
+  return add_factor(std::move(op),
+                    std::span<const VariableId>(vars.begin(), vars.size()));
+}
+
+void FactorGraph::set_uniform_parameters(double rho, double alpha) {
+  require(rho > 0.0, "rho must be positive");
+  require(alpha > 0.0, "alpha must be positive");
+  std::fill(edge_rho_.begin(), edge_rho_.end(), rho);
+  std::fill(edge_alpha_.begin(), edge_alpha_.end(), alpha);
+}
+
+void FactorGraph::set_edge_rho(EdgeId edge, double rho) {
+  require(edge < edge_rho_.size(), "edge id out of range");
+  require(rho > 0.0, "rho must be positive");
+  edge_rho_[edge] = rho;
+}
+
+void FactorGraph::set_edge_alpha(EdgeId edge, double alpha) {
+  require(edge < edge_alpha_.size(), "edge id out of range");
+  require(alpha > 0.0, "alpha must be positive");
+  edge_alpha_[edge] = alpha;
+}
+
+void FactorGraph::reset_state() {
+  std::fill(x_.begin(), x_.end(), 0.0);
+  std::fill(m_.begin(), m_.end(), 0.0);
+  std::fill(u_.begin(), u_.end(), 0.0);
+  std::fill(n_.begin(), n_.end(), 0.0);
+  std::fill(z_.begin(), z_.end(), 0.0);
+  std::fill(edge_weight_.begin(), edge_weight_.end(), Weight::kStandard);
+}
+
+void FactorGraph::randomize_state(double lo, double hi, Rng& rng) {
+  require(lo <= hi, "randomize_state requires lo <= hi");
+  for (auto& v : x_) v = rng.uniform(lo, hi);
+  for (auto& v : m_) v = rng.uniform(lo, hi);
+  for (auto& v : u_) v = rng.uniform(lo, hi);
+  for (auto& v : n_) v = rng.uniform(lo, hi);
+  for (auto& v : z_) v = rng.uniform(lo, hi);
+}
+
+std::span<const double> FactorGraph::solution(VariableId var) const {
+  require(var < var_dim_.size(), "variable id out of range");
+  return {z_.data() + var_offset_[var], var_dim_[var]};
+}
+
+std::span<double> FactorGraph::mutable_z(VariableId var) {
+  require(var < var_dim_.size(), "variable id out of range");
+  return {z_.data() + var_offset_[var], var_dim_[var]};
+}
+
+std::optional<double> FactorGraph::objective() const {
+  double total = 0.0;
+  std::vector<std::span<const double>> values;
+  for (FactorId a = 0; a < num_factors(); ++a) {
+    values.clear();
+    const EdgeId begin = factor_edge_begin_[a];
+    for (std::uint32_t k = 0; k < factor_degree_[a]; ++k) {
+      const VariableId var = edge_var_[begin + k];
+      values.emplace_back(z_.data() + var_offset_[var], var_dim_[var]);
+    }
+    const double term = ops_[a]->evaluate(values);
+    if (std::isnan(term)) return std::nullopt;
+    total += term;
+  }
+  return total;
+}
+
+std::uint32_t FactorGraph::variable_degree(VariableId var) const {
+  return static_cast<std::uint32_t>(variable_edges(var).size());
+}
+
+std::uint32_t FactorGraph::factor_degree(FactorId factor) const {
+  require(factor < factor_degree_.size(), "factor id out of range");
+  return factor_degree_[factor];
+}
+
+std::uint32_t FactorGraph::max_variable_degree() const {
+  ensure_variable_csr();
+  std::uint32_t best = 0;
+  for (VariableId b = 0; b < num_variables(); ++b) {
+    best = std::max(best, variable_degree(b));
+  }
+  return best;
+}
+
+std::span<const EdgeId> FactorGraph::variable_edges(VariableId var) const {
+  require(var < var_dim_.size(), "variable id out of range");
+  ensure_variable_csr();
+  const std::uint64_t begin = var_edges_offset_[var];
+  const std::uint64_t end = var_edges_offset_[var + 1];
+  return {var_edges_.data() + begin, end - begin};
+}
+
+void FactorGraph::ensure_variable_csr() const {
+  if (csr_valid_) return;
+  var_edges_offset_.assign(var_dim_.size() + 1, 0);
+  for (const VariableId var : edge_var_) ++var_edges_offset_[var + 1];
+  for (std::size_t b = 1; b < var_edges_offset_.size(); ++b) {
+    var_edges_offset_[b] += var_edges_offset_[b - 1];
+  }
+  var_edges_.resize(edge_var_.size());
+  std::vector<std::uint64_t> cursor(var_edges_offset_.begin(),
+                                    var_edges_offset_.end() - 1);
+  for (EdgeId e = 0; e < edge_var_.size(); ++e) {
+    var_edges_[cursor[edge_var_[e]]++] = e;
+  }
+  csr_valid_ = true;
+}
+
+GraphSoa FactorGraph::soa() {
+  GraphSoa soa;
+  soa.n = n_.data();
+  soa.x = x_.data();
+  soa.edge_offset = edge_offset_.data();
+  soa.edge_dim = edge_dim_.data();
+  soa.edge_rho = edge_rho_.data();
+  soa.edge_var = edge_var_.data();
+  soa.edge_weight = edge_weight_.data();
+  return soa;
+}
+
+}  // namespace paradmm

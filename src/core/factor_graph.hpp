@@ -1,0 +1,171 @@
+// The bipartite factor graph G = (F, V, E) and its ADMM state.
+//
+// Mirrors parADMM's `graph` struct: all five auxiliary variable families
+// live in flat arrays of doubles —
+//
+//   x, m, u, n : one slice per *edge*, laid out in edge-creation order
+//                (exactly the paper's `Gpu_graph.x = [x(1,1), x(1,2), ...]`)
+//   z          : one slice per *variable node*, in variable-creation order
+//
+// and a factor's edges are contiguous because `add_factor` creates them
+// together (the paper's `addNode`).  This layout is what gives the x-phase
+// coalesced reads on a GPU and is one of the design decisions the ablation
+// bench `bench_naive_vs_flat` quantifies.
+//
+// Unlike parADMM (one global `number_of_dims_per_edge`), variables may have
+// heterogeneous dimensions; a uniform dimension is simply the special case
+// where every `add_variable` uses the same dim.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/prox.hpp"
+#include "support/rng.hpp"
+
+namespace paradmm {
+
+class FactorGraph {
+ public:
+  FactorGraph() = default;
+
+  // ---- Topology construction ------------------------------------------
+
+  /// Adds a variable node w_b of the given dimension; returns its id.
+  VariableId add_variable(std::uint32_t dim);
+
+  /// Adds `count` variable nodes of equal dimension; returns their ids.
+  std::vector<VariableId> add_variables(std::size_t count, std::uint32_t dim);
+
+  /// Adds a function node f_a depending on the listed variables, creating
+  /// one edge (a, b) per entry of `vars` (the paper's addNode).  The same
+  /// `op` instance may back many factors — it must be stateless/const.
+  FactorId add_factor(std::shared_ptr<const ProxOperator> op,
+                      std::span<const VariableId> vars);
+
+  FactorId add_factor(std::shared_ptr<const ProxOperator> op,
+                      std::initializer_list<VariableId> vars);
+
+  // ---- Parameters -------------------------------------------------------
+
+  /// Sets every edge's rho and alpha (the paper's initialize_RHOS_ALPHAS).
+  void set_uniform_parameters(double rho, double alpha);
+
+  void set_edge_rho(EdgeId edge, double rho);
+  void set_edge_alpha(EdgeId edge, double alpha);
+  double edge_rho(EdgeId edge) const { return edge_rho_.at(edge); }
+  double edge_alpha(EdgeId edge) const { return edge_alpha_.at(edge); }
+
+  // ---- State ------------------------------------------------------------
+
+  /// Zeroes x, m, z, u, n and resets TWA weights to kStandard.
+  void reset_state();
+
+  /// Uniform-random initialization of all five families in [lo, hi]
+  /// (the paper's initialize_X_N_Z_M_U_rand).
+  void randomize_state(double lo, double hi, Rng& rng);
+
+  /// The consensus value z_b — the solution readout after convergence.
+  std::span<const double> solution(VariableId var) const;
+  std::span<double> mutable_z(VariableId var);
+
+  /// Evaluates sum_a f_a(z_{∂a}) at the current consensus point.  Returns
+  /// nullopt if any factor's PO does not implement `evaluate`.
+  std::optional<double> objective() const;
+
+  // ---- Introspection ------------------------------------------------------
+
+  std::size_t num_variables() const { return var_dim_.size(); }
+  std::size_t num_factors() const { return factor_edge_begin_.size(); }
+  std::size_t num_edges() const { return edge_var_.size(); }
+
+  /// Total scalars across all edge slices (length of x/m/u/n).
+  std::size_t edge_scalars() const { return edge_scalars_; }
+  /// Total scalars across all variable slices (length of z).
+  std::size_t variable_scalars() const { return z_.size(); }
+
+  /// Graph elements processed per iteration: |F| + 3|E| + |V| tasks.
+  std::size_t elements() const {
+    return num_factors() + 3 * num_edges() + num_variables();
+  }
+
+  std::uint32_t variable_dim(VariableId var) const { return var_dim_.at(var); }
+  std::uint32_t variable_degree(VariableId var) const;
+  std::uint32_t factor_degree(FactorId factor) const;
+  std::uint32_t max_variable_degree() const;
+
+  /// Edges of factor `a` are the contiguous range [begin, begin+degree).
+  EdgeId factor_edge_begin(FactorId factor) const {
+    return factor_edge_begin_.at(factor);
+  }
+
+  const ProxOperator& factor_op(FactorId factor) const {
+    return *ops_.at(factor);
+  }
+
+  VariableId edge_variable(EdgeId edge) const { return edge_var_.at(edge); }
+  FactorId edge_factor(EdgeId edge) const { return edge_factor_.at(edge); }
+  std::uint32_t edge_dim(EdgeId edge) const { return edge_dim_.at(edge); }
+
+  /// Incident edges of a variable (CSR, built lazily on first use).
+  std::span<const EdgeId> variable_edges(VariableId var) const;
+
+  // ---- Solver access -----------------------------------------------------
+
+  /// Raw SoA view used by the solver's phase bodies and by ProxContext.
+  /// Pointers are invalidated by any later add_variable/add_factor.
+  GraphSoa soa();
+
+  /// Direct array access (tests, recorders, device-transfer model).
+  std::span<double> x_values() { return x_; }
+  std::span<double> m_values() { return m_; }
+  std::span<double> z_values() { return z_; }
+  std::span<double> u_values() { return u_; }
+  std::span<double> n_values() { return n_; }
+  std::span<const double> x_values() const { return x_; }
+  std::span<const double> m_values() const { return m_; }
+  std::span<const double> z_values() const { return z_; }
+  std::span<const double> u_values() const { return u_; }
+  std::span<const double> n_values() const { return n_; }
+  std::span<const Weight> edge_weights() const { return edge_weight_; }
+
+  std::uint64_t edge_offset(EdgeId edge) const { return edge_offset_.at(edge); }
+  std::uint64_t variable_offset(VariableId var) const {
+    return var_offset_.at(var);
+  }
+
+ private:
+  void ensure_variable_csr() const;
+
+  // Variables.
+  std::vector<std::uint32_t> var_dim_;
+  std::vector<std::uint64_t> var_offset_;
+
+  // Factors.
+  std::vector<std::shared_ptr<const ProxOperator>> ops_;
+  std::vector<EdgeId> factor_edge_begin_;
+  std::vector<std::uint32_t> factor_degree_;
+
+  // Edges (creation order).
+  std::vector<VariableId> edge_var_;
+  std::vector<FactorId> edge_factor_;
+  std::vector<std::uint64_t> edge_offset_;
+  std::vector<std::uint32_t> edge_dim_;
+  std::vector<double> edge_rho_;
+  std::vector<double> edge_alpha_;
+  std::vector<Weight> edge_weight_;
+  std::uint64_t edge_scalars_ = 0;
+
+  // ADMM state.
+  std::vector<double> x_, m_, u_, n_;  // edge-indexed slices
+  std::vector<double> z_;              // variable-indexed slices
+
+  // Lazy CSR of variable -> incident edges.
+  mutable std::vector<std::uint64_t> var_edges_offset_;
+  mutable std::vector<EdgeId> var_edges_;
+  mutable bool csr_valid_ = false;
+};
+
+}  // namespace paradmm

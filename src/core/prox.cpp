@@ -1,0 +1,37 @@
+#include "core/prox.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace paradmm {
+namespace {
+
+// FNV-1a over the operator name: a stable default divergence class so that
+// distinct PO types land in distinct branch classes without registration.
+std::uint32_t hash_name(std::string_view name) {
+  std::uint32_t hash = 2166136261u;
+  for (const char c : name) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+}  // namespace
+
+double ProxOperator::evaluate(
+    std::span<const std::span<const double>>) const {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+ProxCost ProxOperator::cost(std::span<const std::uint32_t> dims) const {
+  double scalars = 0.0;
+  for (const auto d : dims) scalars += static_cast<double>(d);
+  ProxCost cost;
+  cost.flops = 25.0 * scalars;
+  cost.bytes = 2.0 * sizeof(double) * scalars;
+  cost.branch_class = hash_name(name());
+  return cost;
+}
+
+}  // namespace paradmm

@@ -1,0 +1,135 @@
+// Proximal-operator framework.
+//
+// A `ProxOperator` is the only piece of problem-specific code a user writes:
+// the serial solution of
+//
+//     Prox_{f,rho}(n) = argmin_s  f(s) + sum_e rho_e/2 ||s_e - n_e||^2
+//
+// for one factor `f` whose edges e = 0..edge_count-1 carry the per-edge
+// inputs n_e and weights rho_e.  The engine calls `apply` once per factor
+// per iteration, possibly from many threads at once, so implementations
+// must be `const` and must not share mutable state.
+//
+// The `ProxContext` passed to `apply` is a zero-allocation view into the
+// factor graph's flat arrays (the paper's Gpu_graph.x / .n / .rhos), scoped
+// to one factor's contiguous block of edges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "support/error.hpp"
+
+namespace paradmm {
+
+using VariableId = std::uint32_t;
+using FactorId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// Message weight classes of the three-weight algorithm (TWA, ref [9] of the
+/// paper).  Standard ADMM uses kStandard everywhere; a PO may mark an output
+/// edge kInfinite ("this value is certain") or kZero ("no opinion").
+enum class Weight : std::uint8_t {
+  kStandard = 0,
+  kZero = 1,
+  kInfinite = 2,
+};
+
+/// Borrowed pointers into the graph's structure-of-arrays storage.  Built by
+/// FactorGraph; never outlives it.  All arrays are indexed by EdgeId except
+/// where noted.
+struct GraphSoa {
+  // Edge-ordered value arrays (length = total edge dims).
+  const double* n = nullptr;   ///< PO inputs, written by the n-phase.
+  double* x = nullptr;         ///< PO outputs, written by the x-phase.
+  // Per-edge metadata (length = edge count).
+  const std::uint64_t* edge_offset = nullptr;  ///< slice start in n/x/m/u.
+  const std::uint32_t* edge_dim = nullptr;     ///< slice length.
+  const double* edge_rho = nullptr;
+  const VariableId* edge_var = nullptr;
+  Weight* edge_weight = nullptr;  ///< TWA weight of the x->z message.
+};
+
+/// View of one factor's edges during a proximal update.
+class ProxContext {
+ public:
+  ProxContext(const GraphSoa& soa, EdgeId first_edge, std::uint32_t edges)
+      : soa_(&soa), first_(first_edge), count_(edges) {}
+
+  /// Number of edges (neighbor variables) of this factor.
+  std::uint32_t edge_count() const { return count_; }
+
+  /// Dimension of the variable on local edge k.
+  std::uint32_t dim(std::uint32_t k) const {
+    return soa_->edge_dim[first_ + k];
+  }
+
+  /// The ADMM input message n(a,b) for local edge k.
+  std::span<const double> input(std::uint32_t k) const {
+    const EdgeId e = first_ + k;
+    return {soa_->n + soa_->edge_offset[e], soa_->edge_dim[e]};
+  }
+
+  /// The output slice x(a,b) the PO must write for local edge k.
+  std::span<double> output(std::uint32_t k) const {
+    const EdgeId e = first_ + k;
+    return {soa_->x + soa_->edge_offset[e], soa_->edge_dim[e]};
+  }
+
+  /// Per-edge proximal weight rho(a,b).
+  double rho(std::uint32_t k) const { return soa_->edge_rho[first_ + k]; }
+
+  /// Graph variable behind local edge k (rarely needed by POs).
+  VariableId variable(std::uint32_t k) const {
+    return soa_->edge_var[first_ + k];
+  }
+
+  /// Sets the TWA weight of the outgoing message on local edge k.  Only
+  /// meaningful when the solver runs with the three-weight policy; plain
+  /// ADMM ignores it.
+  void set_weight(std::uint32_t k, Weight weight) const {
+    soa_->edge_weight[first_ + k] = weight;
+  }
+
+ private:
+  const GraphSoa* soa_;
+  EdgeId first_;
+  std::uint32_t count_;
+};
+
+/// Static cost annotation consumed by the device models (src/devsim).
+/// Numbers describe one `apply` call for a factor of the annotated shape.
+struct ProxCost {
+  double flops = 0.0;        ///< arithmetic work
+  double bytes = 0.0;        ///< global-memory traffic (read + write)
+  std::uint32_t branch_class = 0;  ///< POs with different classes diverge
+                                   ///< when sharing a GPU warp
+};
+
+/// Interface for user proximal operators.
+class ProxOperator {
+ public:
+  virtual ~ProxOperator() = default;
+
+  /// Writes argmin_s f(s) + sum_k rho(k)/2 ||s_k - input(k)||^2 into the
+  /// context's outputs.  Must be thread-safe (called concurrently for
+  /// different factors).
+  virtual void apply(const ProxContext& ctx) const = 0;
+
+  /// Stable identifier used in diagnostics and as the default divergence
+  /// class in the GPU model.
+  virtual std::string_view name() const = 0;
+
+  /// Evaluates f at the given per-edge variable values (one span per edge,
+  /// same order as the factor's edges).  Optional — used for reporting the
+  /// objective, not by the solver.  Returns NaN when not implemented.
+  virtual double evaluate(std::span<const std::span<const double>> values) const;
+
+  /// Cost of one `apply` for a factor with the given per-edge dims.
+  /// The default assumes a cheap closed-form PO: ~25 flops per scalar and
+  /// one read + one write per scalar.
+  virtual ProxCost cost(std::span<const std::uint32_t> dims) const;
+};
+
+}  // namespace paradmm

@@ -1,0 +1,460 @@
+#include "core/prox_library.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "math/vec.hpp"
+#include "support/error.hpp"
+
+namespace paradmm {
+namespace {
+
+double huge() { return std::numeric_limits<double>::infinity(); }
+
+}  // namespace
+
+// ---------------------------------------------------------------- ZeroProx
+
+void ZeroProx::apply(const ProxContext& ctx) const {
+  for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+    vec::copy(ctx.input(k), ctx.output(k));
+  }
+}
+
+ProxCost ZeroProx::cost(std::span<const std::uint32_t> dims) const {
+  double scalars = 0.0;
+  for (const auto d : dims) scalars += d;
+  return {.flops = scalars,
+          .bytes = 2.0 * sizeof(double) * scalars,
+          .branch_class = 1};
+}
+
+// ---------------------------------------------------------- SumSquaresProx
+
+SumSquaresProx::SumSquaresProx(double curvature, std::vector<double> target)
+    : curvature_(curvature), target_(std::move(target)) {
+  require(curvature > 0.0, "SumSquaresProx curvature must be positive");
+}
+
+SumSquaresProx::SumSquaresProx(double curvature)
+    : SumSquaresProx(curvature, {}) {}
+
+void SumSquaresProx::apply(const ProxContext& ctx) const {
+  for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+    const auto input = ctx.input(k);
+    const auto output = ctx.output(k);
+    const double rho = ctx.rho(k);
+    const double blend = rho / (rho + curvature_);
+    if (target_.empty()) {
+      for (std::size_t d = 0; d < input.size(); ++d) {
+        output[d] = blend * input[d];
+      }
+    } else {
+      affirm(target_.size() == input.size(),
+             "SumSquaresProx target/edge dimension mismatch");
+      for (std::size_t d = 0; d < input.size(); ++d) {
+        output[d] = blend * input[d] + (1.0 - blend) * target_[d];
+      }
+    }
+  }
+}
+
+double SumSquaresProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  double total = 0.0;
+  for (const auto value : values) {
+    if (target_.empty()) {
+      total += 0.5 * curvature_ * vec::norm2_squared(value);
+    } else {
+      total += 0.5 * curvature_ *
+               vec::distance_squared(value, std::span<const double>(target_));
+    }
+  }
+  return total;
+}
+
+ProxCost SumSquaresProx::cost(std::span<const std::uint32_t> dims) const {
+  double scalars = 0.0;
+  for (const auto d : dims) scalars += d;
+  return {.flops = 4.0 * scalars,
+          .bytes = 2.0 * sizeof(double) * scalars,
+          .branch_class = 2};
+}
+
+// -------------------------------------------------------------- LinearProx
+
+LinearProx::LinearProx(std::vector<double> gradient)
+    : gradient_(std::move(gradient)) {
+  require(!gradient_.empty(), "LinearProx needs a gradient vector");
+}
+
+void LinearProx::apply(const ProxContext& ctx) const {
+  require(ctx.edge_count() == 1, "LinearProx expects a single edge");
+  const auto input = ctx.input(0);
+  const auto output = ctx.output(0);
+  affirm(input.size() == gradient_.size(),
+         "LinearProx gradient/edge dimension mismatch");
+  const double inv_rho = 1.0 / ctx.rho(0);
+  for (std::size_t d = 0; d < input.size(); ++d) {
+    output[d] = input[d] - gradient_[d] * inv_rho;
+  }
+}
+
+double LinearProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  affirm(values.size() == 1, "LinearProx evaluates one edge");
+  return vec::dot(std::span<const double>(gradient_), values[0]);
+}
+
+// ------------------------------------------------------- SoftThresholdProx
+
+SoftThresholdProx::SoftThresholdProx(double lambda) : lambda_(lambda) {
+  require(lambda >= 0.0, "SoftThresholdProx lambda must be non-negative");
+}
+
+void SoftThresholdProx::apply(const ProxContext& ctx) const {
+  for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+    const auto input = ctx.input(k);
+    const auto output = ctx.output(k);
+    const double threshold = lambda_ / ctx.rho(k);
+    for (std::size_t d = 0; d < input.size(); ++d) {
+      const double v = input[d];
+      if (v > threshold) {
+        output[d] = v - threshold;
+      } else if (v < -threshold) {
+        output[d] = v + threshold;
+      } else {
+        output[d] = 0.0;
+      }
+    }
+  }
+}
+
+double SoftThresholdProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  double total = 0.0;
+  for (const auto value : values) {
+    for (const double v : value) total += std::fabs(v);
+  }
+  return lambda_ * total;
+}
+
+ProxCost SoftThresholdProx::cost(std::span<const std::uint32_t> dims) const {
+  double scalars = 0.0;
+  for (const auto d : dims) scalars += d;
+  return {.flops = 4.0 * scalars,
+          .bytes = 2.0 * sizeof(double) * scalars,
+          .branch_class = 3};
+}
+
+// ----------------------------------------------------------------- BoxProx
+
+BoxProx::BoxProx(double lo, double hi) : lo_(lo), hi_(hi) {
+  require(lo <= hi, "BoxProx requires lo <= hi");
+}
+
+void BoxProx::apply(const ProxContext& ctx) const {
+  for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+    const auto input = ctx.input(k);
+    const auto output = ctx.output(k);
+    for (std::size_t d = 0; d < input.size(); ++d) {
+      output[d] = std::min(hi_, std::max(lo_, input[d]));
+    }
+  }
+}
+
+double BoxProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  constexpr double kSlack = 1e-9;
+  for (const auto value : values) {
+    for (const double v : value) {
+      if (v < lo_ - kSlack || v > hi_ + kSlack) return huge();
+    }
+  }
+  return 0.0;
+}
+
+// ----------------------------------------------------------- HalfspaceProx
+
+HalfspaceProx::HalfspaceProx(std::vector<double> normal, double offset)
+    : normal_(std::move(normal)), offset_(offset) {
+  require(!normal_.empty(), "HalfspaceProx needs a normal vector");
+  require(vec::norm2(std::span<const double>(normal_)) > 0.0,
+          "HalfspaceProx normal must be nonzero");
+}
+
+void HalfspaceProx::apply(const ProxContext& ctx) const {
+  // Weighted projection onto <normal, s> <= offset:
+  //   violation = <normal, n> - offset;  if <= 0 the input is feasible.
+  //   x = n - violation * W^-1 normal / <normal, W^-1 normal>.
+  double violation = -offset_;
+  double scale_denominator = 0.0;
+  std::size_t at = 0;
+  for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+    const auto input = ctx.input(k);
+    const double inv_rho = 1.0 / ctx.rho(k);
+    for (std::size_t d = 0; d < input.size(); ++d, ++at) {
+      affirm(at < normal_.size(), "HalfspaceProx normal shorter than edges");
+      violation += normal_[at] * input[d];
+      scale_denominator += normal_[at] * normal_[at] * inv_rho;
+    }
+  }
+  affirm(at == normal_.size(), "HalfspaceProx normal longer than edges");
+
+  if (violation <= 0.0) {
+    for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+      vec::copy(ctx.input(k), ctx.output(k));
+    }
+    return;
+  }
+
+  const double step = violation / scale_denominator;
+  at = 0;
+  for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+    const auto input = ctx.input(k);
+    const auto output = ctx.output(k);
+    const double inv_rho = 1.0 / ctx.rho(k);
+    for (std::size_t d = 0; d < input.size(); ++d, ++at) {
+      output[d] = input[d] - step * normal_[at] * inv_rho;
+    }
+  }
+}
+
+double HalfspaceProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  double activation = -offset_;
+  std::size_t at = 0;
+  for (const auto value : values) {
+    for (const double v : value) activation += normal_[at++] * v;
+  }
+  return activation <= 1e-9 ? 0.0 : huge();
+}
+
+// ------------------------------------------------------ AffineEqualityProx
+
+AffineEqualityProx::AffineEqualityProx(Matrix a, std::vector<double> b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  require(a_.rows() == b_.size(),
+          "AffineEqualityProx: A row count must match b length");
+  require(a_.rows() > 0, "AffineEqualityProx needs at least one constraint");
+}
+
+void AffineEqualityProx::apply(const ProxContext& ctx) const {
+  const std::size_t constraints = a_.rows();
+  const std::size_t total_dim = a_.cols();
+
+  // Gather the stacked input and the per-scalar inverse weights.
+  std::vector<double> stacked(total_dim);
+  std::vector<double> inv_weight(total_dim);
+  std::size_t at = 0;
+  for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+    const auto input = ctx.input(k);
+    const double inv_rho = 1.0 / ctx.rho(k);
+    for (std::size_t d = 0; d < input.size(); ++d, ++at) {
+      affirm(at < total_dim, "AffineEqualityProx: A narrower than edges");
+      stacked[at] = input[d];
+      inv_weight[at] = inv_rho;
+    }
+  }
+  affirm(at == total_dim, "AffineEqualityProx: A wider than edges");
+
+  // residual = A n - b.
+  std::vector<double> residual(constraints);
+  a_.multiply(stacked, residual);
+  for (std::size_t r = 0; r < constraints; ++r) residual[r] -= b_[r];
+
+  // gram = A W^-1 A^T.
+  Matrix gram(constraints, constraints);
+  for (std::size_t r = 0; r < constraints; ++r) {
+    for (std::size_t c = r; c < constraints; ++c) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < total_dim; ++j) {
+        sum += a_(r, j) * inv_weight[j] * a_(c, j);
+      }
+      gram(r, c) = sum;
+      gram(c, r) = sum;
+    }
+  }
+  const std::vector<double> multipliers = solve_spd(gram, residual);
+
+  // x = n - W^-1 A^T multipliers, scattered back per edge.
+  at = 0;
+  for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+    const auto input = ctx.input(k);
+    const auto output = ctx.output(k);
+    for (std::size_t d = 0; d < input.size(); ++d, ++at) {
+      double correction = 0.0;
+      for (std::size_t r = 0; r < constraints; ++r) {
+        correction += a_(r, at) * multipliers[r];
+      }
+      output[d] = input[d] - inv_weight[at] * correction;
+    }
+  }
+}
+
+double AffineEqualityProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  std::vector<double> stacked;
+  for (const auto value : values) {
+    stacked.insert(stacked.end(), value.begin(), value.end());
+  }
+  std::vector<double> image(a_.rows());
+  a_.multiply(stacked, image);
+  for (std::size_t r = 0; r < image.size(); ++r) {
+    if (std::fabs(image[r] - b_[r]) > 1e-7) return huge();
+  }
+  return 0.0;
+}
+
+ProxCost AffineEqualityProx::cost(std::span<const std::uint32_t> dims) const {
+  double scalars = 0.0;
+  for (const auto d : dims) scalars += d;
+  const auto rows = static_cast<double>(a_.rows());
+  // Gram assembly dominates: rows^2 * dim, plus the rows^3 solve.
+  return {.flops = rows * rows * scalars + rows * rows * rows / 3.0 +
+                   4.0 * scalars,
+          .bytes = 2.0 * sizeof(double) * (scalars + rows * scalars),
+          .branch_class = 4};
+}
+
+// -------------------------------------------------- ConsensusEqualityProx
+
+void ConsensusEqualityProx::apply(const ProxContext& ctx) const {
+  require(ctx.edge_count() >= 2,
+          "ConsensusEqualityProx needs at least two edges");
+  const auto dim = ctx.input(0).size();
+  for (std::uint32_t k = 1; k < ctx.edge_count(); ++k) {
+    affirm(ctx.input(k).size() == dim,
+           "ConsensusEqualityProx edges must share one dimension");
+  }
+  // x_k = (sum_j rho_j n_j) / (sum_j rho_j) for every edge k.
+  for (std::size_t d = 0; d < dim; ++d) {
+    double numerator = 0.0;
+    double denominator = 0.0;
+    for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+      const double rho = ctx.rho(k);
+      numerator += rho * ctx.input(k)[d];
+      denominator += rho;
+    }
+    const double average = numerator / denominator;
+    for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+      ctx.output(k)[d] = average;
+    }
+  }
+}
+
+double ConsensusEqualityProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  for (std::size_t k = 1; k < values.size(); ++k) {
+    for (std::size_t d = 0; d < values[0].size(); ++d) {
+      if (std::fabs(values[k][d] - values[0][d]) > 1e-7) return huge();
+    }
+  }
+  return 0.0;
+}
+
+ProxCost ConsensusEqualityProx::cost(
+    std::span<const std::uint32_t> dims) const {
+  double scalars = 0.0;
+  for (const auto d : dims) scalars += d;
+  return {.flops = 4.0 * scalars,
+          .bytes = 2.0 * sizeof(double) * scalars,
+          .branch_class = 5};
+}
+
+// ------------------------------------------------------------ SimplexProx
+
+SimplexProx::SimplexProx(double total) : total_(total) {
+  require(total > 0.0, "SimplexProx total must be positive");
+}
+
+void SimplexProx::apply(const ProxContext& ctx) const {
+  require(ctx.edge_count() == 1, "SimplexProx expects a single edge");
+  const auto input = ctx.input(0);
+  const auto output = ctx.output(0);
+
+  // Projection threshold tau: x_i = max(0, n_i - tau) with
+  // sum max(0, n_i - tau) = total.  Standard scan (Duchi et al. 2008):
+  // tau comes from the largest support size j whose running threshold
+  // still keeps sorted[j-1] positive.
+  std::vector<double> sorted(input.begin(), input.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double prefix = 0.0;
+  double tau = 0.0;
+  for (std::size_t j = 0; j < sorted.size(); ++j) {
+    prefix += sorted[j];
+    const double candidate = (prefix - total_) / static_cast<double>(j + 1);
+    if (sorted[j] - candidate > 0.0) tau = candidate;
+  }
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    output[i] = std::max(0.0, input[i] - tau);
+  }
+}
+
+double SimplexProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  double sum = 0.0;
+  for (const double v : values[0]) {
+    if (v < -1e-9) return huge();
+    sum += v;
+  }
+  return std::fabs(sum - total_) <= 1e-7 ? 0.0 : huge();
+}
+
+ProxCost SimplexProx::cost(std::span<const std::uint32_t> dims) const {
+  double scalars = 0.0;
+  for (const auto d : dims) scalars += d;
+  // Dominated by the sort: ~ d log d compare/swap work.
+  const double sort_work =
+      scalars * std::max(1.0, std::log2(std::max(2.0, scalars)));
+  return {.flops = 4.0 * scalars + 3.0 * sort_work,
+          .bytes = 2.0 * sizeof(double) * scalars + 16.0,
+          .branch_class = 6};
+}
+
+// ---------------------------------------------------- SecondOrderConeProx
+
+void SecondOrderConeProx::apply(const ProxContext& ctx) const {
+  require(ctx.edge_count() == 1, "SecondOrderConeProx expects a single edge");
+  const auto input = ctx.input(0);
+  const auto output = ctx.output(0);
+  require(input.size() >= 2, "SecondOrderConeProx needs dim >= 2 (v, t)");
+  const std::size_t d = input.size() - 1;
+  const std::span<const double> v = input.subspan(0, d);
+  const double t = input[d];
+  const double norm = vec::norm2(v);
+
+  if (norm <= t) {  // already inside the cone
+    vec::copy(input, output);
+    return;
+  }
+  if (norm <= -t) {  // inside the polar cone: projects to the origin
+    vec::fill(output, 0.0);
+    return;
+  }
+  // Standard closed form: scale v to length (norm + t) / 2.
+  const double target = 0.5 * (norm + t);
+  const double scale = target / norm;
+  for (std::size_t i = 0; i < d; ++i) output[i] = v[i] * scale;
+  output[d] = target;
+}
+
+double SecondOrderConeProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  const auto value = values[0];
+  const std::size_t d = value.size() - 1;
+  return vec::norm2(value.subspan(0, d)) <= value[d] + 1e-7 ? 0.0 : huge();
+}
+
+ProxCost SecondOrderConeProx::cost(
+    std::span<const std::uint32_t> dims) const {
+  double scalars = 0.0;
+  for (const auto d : dims) scalars += d;
+  return {.flops = 6.0 * scalars + 20.0,
+          .bytes = 2.0 * sizeof(double) * scalars + 16.0,
+          .branch_class = 7};
+}
+
+}  // namespace paradmm

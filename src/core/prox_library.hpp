@@ -1,0 +1,178 @@
+// General-purpose proximal operators.
+//
+// These cover the textbook pieces users compose factor graphs from —
+// quadratic terms, L1, box/halfspace/affine constraints, consensus
+// equality — each with a closed-form `apply`, an `evaluate` for objective
+// reporting, and a calibrated cost annotation for the device models.
+// Domain-specific operators (packing collisions, SVM margins, MPC dynamics)
+// live with their problems under src/problems/.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/prox.hpp"
+#include "math/matrix.hpp"
+
+namespace paradmm {
+
+/// f(s) = 0: the prox is the identity, x = n.  Useful to anchor variables
+/// into the graph and in backend-equivalence tests.
+class ZeroProx final : public ProxOperator {
+ public:
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "zero"; }
+  double evaluate(std::span<const std::span<const double>>) const override {
+    return 0.0;
+  }
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+};
+
+/// f(s) = (curvature/2) ||s - target||^2 on a single edge.
+/// Prox: x = (rho n + curvature * target) / (rho + curvature).
+class SumSquaresProx final : public ProxOperator {
+ public:
+  SumSquaresProx(double curvature, std::vector<double> target);
+  /// Convenience: target = 0.
+  explicit SumSquaresProx(double curvature);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "sum-squares"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+
+ private:
+  double curvature_;
+  std::vector<double> target_;  // empty means the origin
+};
+
+/// f(s) = <gradient, s> on a single edge.  Prox: x = n - gradient / rho.
+class LinearProx final : public ProxOperator {
+ public:
+  explicit LinearProx(std::vector<double> gradient);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "linear"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+
+ private:
+  std::vector<double> gradient_;
+};
+
+/// f(s) = lambda ||s||_1 on a single edge.  Prox: soft-thresholding with
+/// threshold lambda / rho.
+class SoftThresholdProx final : public ProxOperator {
+ public:
+  explicit SoftThresholdProx(double lambda);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "soft-threshold"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+
+ private:
+  double lambda_;
+};
+
+/// Indicator of the box [lo, hi]^d on a single edge.  Prox: clamp(n).
+class BoxProx final : public ProxOperator {
+ public:
+  BoxProx(double lo, double hi);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "box"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Indicator of the halfspace { s : <normal, s> <= offset } over the
+/// concatenation of the factor's edges, with per-edge rho weighting:
+///   argmin sum_k rho_k/2 ||s_k - n_k||^2  s.t.  <normal, s> <= offset.
+class HalfspaceProx final : public ProxOperator {
+ public:
+  HalfspaceProx(std::vector<double> normal, double offset);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "halfspace"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+
+ private:
+  std::vector<double> normal_;
+  double offset_;
+};
+
+/// Indicator of { s : A s = b } over the concatenation of the factor's
+/// edges.  The weighted projection
+///   x = n - W^-1 A^T (A W^-1 A^T)^-1 (A n - b),  W = diag(rho per scalar)
+/// is computed with a dense solve; A is small (constraint count x total dim).
+/// Note: because W depends on the per-edge rho at apply time, the solve is
+/// performed per call — suitable for modest constraint counts.
+class AffineEqualityProx final : public ProxOperator {
+ public:
+  AffineEqualityProx(Matrix a, std::vector<double> b);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "affine-equality"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+
+ private:
+  Matrix a_;
+  std::vector<double> b_;
+};
+
+/// Indicator of { (s_1, ..., s_k) : s_1 = s_2 = ... = s_k } across the
+/// factor's edges (all edges must share one dimension).  Prox: the
+/// rho-weighted average, written to every edge.  This is the paper's SVM
+/// "equality proximal operator" generalized to k copies.
+class ConsensusEqualityProx final : public ProxOperator {
+ public:
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "consensus-equality"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+};
+
+/// Indicator of the probability simplex { s : s >= 0, sum s = total } on a
+/// single edge.  Prox: Euclidean projection (Held/Wolfe/Crowder threshold
+/// algorithm) — the building block of portfolio, assignment-relaxation and
+/// mixture-weight factors.  Note the projection is rho-invariant on a
+/// single edge (one uniform weight scales the whole objective).
+class SimplexProx final : public ProxOperator {
+ public:
+  explicit SimplexProx(double total = 1.0);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "simplex"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+
+ private:
+  double total_;
+};
+
+/// Indicator of the second-order (Lorentz) cone { (v, t) : ||v|| <= t }
+/// over a single edge whose last component is t.  Prox: the standard
+/// closed-form SOC projection — the factor SCS-style conic solvers are
+/// built from.
+class SecondOrderConeProx final : public ProxOperator {
+ public:
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "second-order-cone"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+};
+
+}  // namespace paradmm

@@ -1,0 +1,57 @@
+#include "core/residuals.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/factor_graph.hpp"
+#include "support/error.hpp"
+
+namespace paradmm {
+
+Residuals compute_residuals(const FactorGraph& graph,
+                            std::span<const double> z_previous) {
+  Residuals residuals;
+
+  const std::span<const double> x = graph.x_values();
+  const std::span<const double> z = graph.z_values();
+
+  double primal_sq = 0.0;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const std::uint64_t edge_at = graph.edge_offset(e);
+    const std::uint64_t var_at = graph.variable_offset(graph.edge_variable(e));
+    const std::uint32_t dim = graph.edge_dim(e);
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      const double gap = x[edge_at + d] - z[var_at + d];
+      primal_sq += gap * gap;
+    }
+  }
+  const auto edge_scalars = static_cast<double>(graph.edge_scalars());
+  residuals.primal =
+      edge_scalars == 0.0 ? 0.0 : std::sqrt(primal_sq / edge_scalars);
+
+  if (z_previous.empty()) {
+    residuals.dual = std::numeric_limits<double>::infinity();
+    return residuals;
+  }
+  require(z_previous.size() == z.size(),
+          "z_previous snapshot has the wrong length");
+
+  // Mean rho as the dual scaling, standard practice for consensus ADMM.
+  double rho_sum = 0.0;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) rho_sum += graph.edge_rho(e);
+  const double rho_mean =
+      graph.num_edges() == 0
+          ? 1.0
+          : rho_sum / static_cast<double>(graph.num_edges());
+
+  double dual_sq = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const double step = rho_mean * (z[i] - z_previous[i]);
+    dual_sq += step * step;
+  }
+  const auto var_scalars = static_cast<double>(z.size());
+  residuals.dual = var_scalars == 0.0 ? 0.0 : std::sqrt(dual_sq / var_scalars);
+  return residuals;
+}
+
+}  // namespace paradmm

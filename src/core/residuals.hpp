@@ -1,0 +1,31 @@
+// Primal/dual residuals for the factor-graph ADMM.
+//
+// The factor-graph scheme is a consensus ADMM: the primal residual measures
+// edge-wise disagreement x(a,b) - z_b, the dual residual the movement of the
+// consensus z between consecutive iterations (scaled by rho).  Both are
+// reported as root-mean-square over scalars so tolerances are insensitive to
+// problem size.
+#pragma once
+
+#include <span>
+
+namespace paradmm {
+
+class FactorGraph;
+
+struct Residuals {
+  double primal = 0.0;  ///< rms over edge scalars of (x - z)
+  double dual = 0.0;    ///< rms over variable scalars of rho*(z - z_prev)
+
+  bool within(double primal_tolerance, double dual_tolerance) const {
+    return primal <= primal_tolerance && dual <= dual_tolerance;
+  }
+};
+
+/// Computes both residuals.  `z_previous` must be a snapshot of the graph's
+/// z array from the previous iteration (same length); pass an empty span to
+/// skip the dual residual (it is reported as +inf).
+Residuals compute_residuals(const FactorGraph& graph,
+                            std::span<const double> z_previous);
+
+}  // namespace paradmm

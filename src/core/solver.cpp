@@ -1,0 +1,283 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace paradmm {
+
+AdmmSolver::AdmmSolver(FactorGraph& graph, SolverOptions options)
+    : graph_(graph), options_(options) {
+  require(options_.max_iterations >= 0, "max_iterations must be >= 0");
+  require(options_.threads >= 1, "threads must be >= 1");
+  backend_ = make_backend(options_.backend, options_.threads);
+  build_phases();
+}
+
+AdmmSolver::~AdmmSolver() = default;
+
+namespace {
+
+/// Flat, bounds-check-free mirrors of the graph used by the phase bodies.
+/// Built once; valid while the graph topology is frozen.
+struct PhaseData {
+  GraphSoa soa;
+
+  // Raw value arrays.
+  double* x = nullptr;
+  double* m = nullptr;
+  double* z = nullptr;
+  double* u = nullptr;
+  double* n = nullptr;
+
+  // Edges.
+  const std::uint64_t* edge_offset = nullptr;
+  const std::uint32_t* edge_dim = nullptr;
+  const double* edge_rho = nullptr;
+  const Weight* edge_weight = nullptr;
+  std::vector<double> edge_alpha;              // copied from the graph
+  std::vector<std::uint64_t> edge_var_offset;  // z slice start per edge
+
+  // Factors.
+  std::vector<const ProxOperator*> ops;
+  std::vector<EdgeId> factor_begin;
+  std::vector<std::uint32_t> factor_degree;
+
+  // Variables (CSR over incident edges).
+  std::vector<std::uint64_t> var_offset;
+  std::vector<std::uint32_t> var_dim;
+  std::vector<std::uint64_t> var_edges_begin;
+  std::vector<EdgeId> var_edges;
+
+  bool three_weight = false;
+};
+
+}  // namespace
+
+// The PhaseData lives in the closures via shared_ptr so that the solver can
+// be moved/destroyed independently of copies of the phase list.
+void AdmmSolver::build_phases() {
+  auto data = std::make_shared<PhaseData>();
+  data->soa = graph_.soa();
+  data->x = graph_.x_values().data();
+  data->m = graph_.m_values().data();
+  data->z = graph_.z_values().data();
+  data->u = graph_.u_values().data();
+  data->n = graph_.n_values().data();
+  data->three_weight = options_.rho_policy == RhoPolicy::kThreeWeight;
+
+  const std::size_t edges = graph_.num_edges();
+  const std::size_t factors = graph_.num_factors();
+  const std::size_t variables = graph_.num_variables();
+
+  data->edge_offset = data->soa.edge_offset;
+  data->edge_dim = data->soa.edge_dim;
+  data->edge_rho = data->soa.edge_rho;
+  data->edge_weight = data->soa.edge_weight;
+
+  // The SoA view does not carry alpha (POs never see it); copy it out of
+  // the graph once so the u-phase reads a flat array it owns.
+  data->edge_alpha.reserve(edges);
+  for (EdgeId e = 0; e < edges; ++e) {
+    data->edge_alpha.push_back(graph_.edge_alpha(e));
+  }
+
+  data->edge_var_offset.resize(edges);
+  for (EdgeId e = 0; e < edges; ++e) {
+    data->edge_var_offset[e] = graph_.variable_offset(graph_.edge_variable(e));
+  }
+
+  data->ops.reserve(factors);
+  data->factor_begin.reserve(factors);
+  data->factor_degree.reserve(factors);
+  for (FactorId a = 0; a < factors; ++a) {
+    data->ops.push_back(&graph_.factor_op(a));
+    data->factor_begin.push_back(graph_.factor_edge_begin(a));
+    data->factor_degree.push_back(graph_.factor_degree(a));
+  }
+
+  data->var_offset.reserve(variables);
+  data->var_dim.reserve(variables);
+  data->var_edges_begin.assign(1, 0);
+  for (VariableId b = 0; b < variables; ++b) {
+    data->var_offset.push_back(graph_.variable_offset(b));
+    data->var_dim.push_back(graph_.variable_dim(b));
+    const auto incident = graph_.variable_edges(b);
+    data->var_edges.insert(data->var_edges.end(), incident.begin(),
+                           incident.end());
+    data->var_edges_begin.push_back(data->var_edges.size());
+  }
+
+  phases_.clear();
+  phases_.reserve(5);
+
+  // x-phase: one proximal operator per factor.
+  phases_.push_back(Phase{
+      "x", factors, [data](std::size_t a) {
+        const ProxContext ctx(data->soa, data->factor_begin[a],
+                              data->factor_degree[a]);
+        data->ops[a]->apply(ctx);
+      }});
+
+  // m-phase: m <- x + u, per edge.
+  phases_.push_back(Phase{"m", edges, [data](std::size_t e) {
+                            const std::uint64_t at = data->edge_offset[e];
+                            const std::uint32_t dim = data->edge_dim[e];
+                            for (std::uint32_t d = 0; d < dim; ++d) {
+                              data->m[at + d] =
+                                  data->x[at + d] + data->u[at + d];
+                            }
+                          }});
+
+  // z-phase: weighted consensus average per variable node.
+  phases_.push_back(Phase{"z", variables, [data](std::size_t b) {
+    const std::uint64_t z_at = data->var_offset[b];
+    const std::uint32_t dim = data->var_dim[b];
+    const std::uint64_t first = data->var_edges_begin[b];
+    const std::uint64_t last = data->var_edges_begin[b + 1];
+
+    if (data->three_weight) {
+      // TWA: infinite-weight messages override; zero-weight messages are
+      // ignored; with no opinion at all, z keeps its previous value.
+      std::uint32_t infinite_count = 0;
+      for (std::uint64_t i = first; i < last; ++i) {
+        if (data->edge_weight[data->var_edges[i]] == Weight::kInfinite) {
+          ++infinite_count;
+        }
+      }
+      for (std::uint32_t d = 0; d < dim; ++d) {
+        double numerator = 0.0;
+        double denominator = 0.0;
+        for (std::uint64_t i = first; i < last; ++i) {
+          const EdgeId e = data->var_edges[i];
+          const Weight w = data->edge_weight[e];
+          if (infinite_count > 0) {
+            if (w != Weight::kInfinite) continue;
+            numerator += data->m[data->edge_offset[e] + d];
+            denominator += 1.0;
+          } else {
+            if (w == Weight::kZero) continue;
+            const double rho = data->edge_rho[e];
+            numerator += rho * data->m[data->edge_offset[e] + d];
+            denominator += rho;
+          }
+        }
+        if (denominator > 0.0) data->z[z_at + d] = numerator / denominator;
+      }
+      return;
+    }
+
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      double numerator = 0.0;
+      double denominator = 0.0;
+      for (std::uint64_t i = first; i < last; ++i) {
+        const EdgeId e = data->var_edges[i];
+        const double rho = data->edge_rho[e];
+        numerator += rho * data->m[data->edge_offset[e] + d];
+        denominator += rho;
+      }
+      if (denominator > 0.0) data->z[z_at + d] = numerator / denominator;
+    }
+  }});
+
+  // u-phase: u <- u + alpha (x - z_b), per edge.
+  phases_.push_back(Phase{"u", edges, [data](std::size_t e) {
+    const std::uint64_t at = data->edge_offset[e];
+    const std::uint64_t z_at = data->edge_var_offset[e];
+    const std::uint32_t dim = data->edge_dim[e];
+    if (data->three_weight &&
+        data->edge_weight[e] != Weight::kStandard) {
+      // TWA: certain/no-opinion messages carry no running disagreement.
+      for (std::uint32_t d = 0; d < dim; ++d) data->u[at + d] = 0.0;
+      return;
+    }
+    const double alpha = data->edge_alpha[e];
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      data->u[at + d] += alpha * (data->x[at + d] - data->z[z_at + d]);
+    }
+  }});
+
+  // n-phase: n <- z_b - u, per edge.
+  phases_.push_back(Phase{"n", edges, [data](std::size_t e) {
+    const std::uint64_t at = data->edge_offset[e];
+    const std::uint64_t z_at = data->edge_var_offset[e];
+    const std::uint32_t dim = data->edge_dim[e];
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      data->n[at + d] = data->z[z_at + d] - data->u[at + d];
+    }
+  }});
+}
+
+void AdmmSolver::balance_rho(const Residuals& residuals) {
+  // Boyd et al. §3.4.1: keep primal and dual residuals within a factor of
+  // each other by scaling rho; the scaled dual variable u is rescaled to
+  // keep the underlying multiplier lambda = rho * u unchanged.
+  double scale = 1.0;
+  if (residuals.primal > options_.balancing_threshold * residuals.dual) {
+    scale = options_.balancing_factor;
+  } else if (residuals.dual > options_.balancing_threshold * residuals.primal) {
+    scale = 1.0 / options_.balancing_factor;
+  }
+  if (scale == 1.0) return;
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    graph_.set_edge_rho(e, graph_.edge_rho(e) * scale);
+  }
+  for (auto& value : graph_.u_values()) value /= scale;
+}
+
+SolverReport AdmmSolver::run(
+    const std::function<bool(const IterationStatus&)>& callback) {
+  WallTimer total;
+  PhaseTimings timings(phases_.size());
+  PhaseTimings* timings_ptr =
+      options_.record_phase_timings ? &timings : nullptr;
+
+  SolverReport report;
+  const int interval =
+      options_.check_interval > 0 ? options_.check_interval : 0;
+
+  int iteration = 0;
+  while (iteration < options_.max_iterations) {
+    const int remaining = options_.max_iterations - iteration;
+    const int batch = interval > 0 ? std::min(interval, remaining) : remaining;
+
+    // Run batch-1 iterations blind, snapshot z, then one more iteration so
+    // the dual residual sees exactly one z step.
+    if (batch > 1) backend_->run(phases_, batch - 1, timings_ptr);
+    const auto z = graph_.z_values();
+    z_snapshot_.assign(z.begin(), z.end());
+    backend_->run(phases_, 1, timings_ptr);
+    iteration += batch;
+
+    const Residuals residuals = compute_residuals(graph_, z_snapshot_);
+    report.final_residuals = residuals;
+
+    if (options_.rho_policy == RhoPolicy::kResidualBalancing) {
+      balance_rho(residuals);
+    }
+    if (callback && !callback(IterationStatus{iteration, residuals})) break;
+    if (residuals.within(options_.primal_tolerance, options_.dual_tolerance)) {
+      report.converged = true;
+      break;
+    }
+  }
+
+  report.iterations = iteration;
+  report.wall_seconds = total.seconds();
+  if (options_.record_phase_timings) {
+    report.phase_seconds.resize(phases_.size());
+    for (std::size_t p = 0; p < phases_.size(); ++p) {
+      report.phase_seconds[p] = timings.seconds(p);
+    }
+  }
+  return report;
+}
+
+SolverReport solve(FactorGraph& graph, const SolverOptions& options) {
+  AdmmSolver solver(graph, options);
+  return solver.run();
+}
+
+}  // namespace paradmm

@@ -1,0 +1,117 @@
+// The message-passing ADMM engine (Algorithm 2 of the paper).
+//
+// One iteration is five phases with a barrier after each:
+//
+//   x-phase  per factor a :  x(a,·) <- Prox_{f_a, rho(a,·)}(n(a,·))
+//   m-phase  per edge (a,b):  m <- x + u
+//   z-phase  per variable b:  z_b <- sum_{a} rho m(a,b) / sum_a rho
+//   u-phase  per edge (a,b):  u <- u + alpha (x - z_b)
+//   n-phase  per edge (a,b):  n <- z_b - u
+//
+// Each phase's tasks are independent, which is the fine-grained parallelism
+// the paper exploits; scheduling is delegated to an ExecutionBackend
+// (serial / fork-join / persistent, std::thread or OpenMP) and every
+// backend computes bit-identical trajectories.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/factor_graph.hpp"
+#include "core/residuals.hpp"
+#include "parallel/backend.hpp"
+
+namespace paradmm {
+
+/// Rho handling across iterations.
+enum class RhoPolicy {
+  kConstant,           ///< classical ADMM, fixed per-edge rho
+  kResidualBalancing,  ///< grow/shrink rho to balance primal vs dual residual
+  kThreeWeight,        ///< TWA (ref [9]): POs may emit 0 / standard / inf weights
+};
+
+struct SolverOptions {
+  BackendKind backend = BackendKind::kSerial;
+  std::size_t threads = 1;
+
+  int max_iterations = 1000;
+  /// Residuals/stopping are evaluated every `check_interval` iterations;
+  /// between checks the backend runs uninterrupted (the paper runs "a fixed
+  /// number of iterations" between criteria evaluations).
+  int check_interval = 25;
+  double primal_tolerance = 1e-8;
+  double dual_tolerance = 1e-8;
+
+  RhoPolicy rho_policy = RhoPolicy::kConstant;
+  /// Residual-balancing parameters (Boyd et al. §3.4.1).
+  double balancing_factor = 2.0;     ///< multiply/divide rho by this
+  double balancing_threshold = 10.0; ///< act when residuals differ by this ratio
+
+  /// Collect per-phase wall-clock timings (small overhead).
+  bool record_phase_timings = true;
+};
+
+/// Status handed to the iteration callback after every check interval.
+struct IterationStatus {
+  int iteration = 0;
+  Residuals residuals;
+};
+
+/// Result of AdmmSolver::run.
+struct SolverReport {
+  int iterations = 0;
+  bool converged = false;
+  Residuals final_residuals;
+  double wall_seconds = 0.0;
+  /// Accumulated seconds per phase (x, m, z, u, n), when enabled.
+  std::vector<double> phase_seconds;
+  static constexpr std::array<const char*, 5> kPhaseNames = {"x", "m", "z",
+                                                             "u", "n"};
+};
+
+/// Runs Algorithm 2 on a FactorGraph.
+///
+/// The solver borrows the graph; topology must not change between
+/// construction and the last `run` call (state arrays may be read/written
+/// freely between runs).
+class AdmmSolver {
+ public:
+  AdmmSolver(FactorGraph& graph, SolverOptions options);
+  ~AdmmSolver();
+
+  AdmmSolver(const AdmmSolver&) = delete;
+  AdmmSolver& operator=(const AdmmSolver&) = delete;
+
+  /// Runs until convergence or options.max_iterations.  `callback`, when
+  /// given, is invoked after every check interval; returning false stops
+  /// the solve early (reported as not converged unless tolerances were met).
+  SolverReport run(
+      const std::function<bool(const IterationStatus&)>& callback = {});
+
+  /// The five phases of one iteration — exposed so benches and the device
+  /// models can schedule exactly what the solver runs.
+  std::span<const Phase> phases() const { return phases_; }
+
+  const SolverOptions& options() const { return options_; }
+
+ private:
+  void build_phases();
+  void balance_rho(const Residuals& residuals);
+
+  FactorGraph& graph_;
+  SolverOptions options_;
+  std::unique_ptr<ExecutionBackend> backend_;
+  std::vector<Phase> phases_;
+
+  // Flat helpers captured by phase closures (precomputed once).
+  std::vector<std::uint64_t> edge_var_offset_;  // z offset per edge
+  std::vector<double> z_snapshot_;
+};
+
+/// Convenience: solve `graph` with the given options and no callback.
+SolverReport solve(FactorGraph& graph, const SolverOptions& options = {});
+
+}  // namespace paradmm

@@ -1,0 +1,106 @@
+// Per-task cost descriptions of one ADMM iteration.
+//
+// This environment has one CPU core and no GPU, so the paper's parallel
+// hardware is reproduced as analytic device models (see DESIGN.md §2).  The
+// bridge between the real engine and those models is this cost layer: every
+// task of every phase (one PO per factor, one slice update per edge, one
+// consensus average per variable) is described by a TaskCost — flops, bytes
+// of global-memory traffic, and a branch class — and a phase carries the
+// memory-access pattern its CUDA kernel would have.
+//
+// Costs can be extracted exactly from a materialized FactorGraph
+// (`extract_iteration_costs`) or supplied analytically by the problem
+// builders for sizes too large to materialize; the test suite checks that
+// both paths agree on small instances.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/prox.hpp"
+
+namespace paradmm {
+class FactorGraph;
+}
+
+namespace paradmm::devsim {
+
+/// How a phase's tasks touch global memory; determines how many bytes the
+/// device actually moves per useful byte (coalescing expansion on GPUs).
+enum class MemoryPattern : std::uint8_t {
+  kCoalesced,  ///< adjacent tasks touch adjacent slices (m-phase)
+  kStrided,    ///< contiguous per-task slices, task-sized stride (x-phase)
+  kMixed,      ///< streaming plus one gathered input (u-/n-phase read z)
+  kGather,     ///< scattered reads across the edge arrays (z-phase)
+};
+
+std::string_view to_string(MemoryPattern pattern);
+
+/// Cost of one task (reusing the PO annotation type for all phases).
+using TaskCost = ProxCost;
+
+/// One phase of an iteration: `count` tasks whose costs are produced on
+/// demand by `cost_at` (so graphs too large to materialize can still be
+/// modeled via index arithmetic).
+struct PhaseCostSpec {
+  std::string name;
+  std::size_t count = 0;
+  MemoryPattern pattern = MemoryPattern::kCoalesced;
+  std::function<TaskCost(std::size_t)> cost_at;
+};
+
+/// The five phases (x, m, z, u, n) of one Algorithm-2 iteration.
+struct IterationCosts {
+  std::array<PhaseCostSpec, 5> phases;
+
+  /// Total graph elements processed per iteration (paper: |F|+3|E|+|V|).
+  std::size_t elements() const {
+    std::size_t total = 0;
+    for (const auto& p : phases) total += p.count;
+    return total;
+  }
+};
+
+/// Host-to-device / device-to-host traffic of a problem (for the copy-time
+/// model): value bytes of the five families plus per-edge metadata.
+struct GraphFootprint {
+  std::size_t edges = 0;
+  std::size_t edge_scalars = 0;      // length of x/m/u/n
+  std::size_t variable_scalars = 0;  // length of z
+
+  double value_bytes() const {
+    return 8.0 * (4.0 * static_cast<double>(edge_scalars) +
+                  static_cast<double>(variable_scalars));
+  }
+  double metadata_bytes() const {
+    // offset (8) + dim (4) + rho/alpha (16) + variable id (4) per edge.
+    return 32.0 * static_cast<double>(edges);
+  }
+  double z_bytes() const { return 8.0 * static_cast<double>(variable_scalars); }
+};
+
+/// Exact cost extraction from a materialized graph.  The x-phase calls each
+/// factor's ProxOperator::cost; the edge/variable phases use fixed per-scalar
+/// formulas (documented in cost_model.cpp, shared with the analytic
+/// builders).  The graph must outlive the returned closures.
+IterationCosts extract_iteration_costs(const FactorGraph& graph);
+
+GraphFootprint extract_footprint(const FactorGraph& graph);
+
+/// Per-scalar edge-phase costs used by both extraction and the analytic
+/// problem descriptors — keep the two paths consistent by construction.
+TaskCost m_phase_cost(std::uint32_t dim);
+TaskCost z_phase_cost(std::uint32_t degree, std::uint32_t dim);
+TaskCost u_phase_cost(std::uint32_t dim);
+TaskCost n_phase_cost(std::uint32_t dim);
+
+/// Cost of one x-phase task: the operator's own annotation plus the
+/// per-factor dispatch overhead (indirect call + context setup) that a
+/// serial sweep pays per factor.  Analytic problem descriptors must use
+/// this same helper so they match extraction exactly.
+TaskCost x_phase_task_cost(const ProxOperator& op,
+                           std::span<const std::uint32_t> dims);
+
+}  // namespace paradmm::devsim

@@ -1,0 +1,119 @@
+#include "devsim/cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace paradmm::devsim {
+namespace {
+
+constexpr std::size_t kWindowCap = 1u << 20;
+
+struct PhaseTotals {
+  double flops = 0.0;
+  double bytes = 0.0;
+  double max_task_flops = 0.0;
+  double max_task_bytes = 0.0;
+};
+
+PhaseTotals accumulate(const PhaseCostSpec& phase) {
+  require(phase.cost_at != nullptr, "phase has no cost function");
+  PhaseTotals totals;
+  const std::size_t window = std::min(phase.count, kWindowCap);
+  if (window == 0) return totals;
+  for (std::size_t i = 0; i < window; ++i) {
+    const TaskCost task = phase.cost_at(i);
+    totals.flops += task.flops;
+    totals.bytes += task.bytes;
+    totals.max_task_flops = std::max(totals.max_task_flops, task.flops);
+    totals.max_task_bytes = std::max(totals.max_task_bytes, task.bytes);
+  }
+  const double scale =
+      static_cast<double>(phase.count) / static_cast<double>(window);
+  totals.flops *= scale;
+  totals.bytes *= scale;
+  return totals;
+}
+
+}  // namespace
+
+double serial_phase_seconds(const PhaseCostSpec& phase,
+                            const SerialSpec& cpu) {
+  const PhaseTotals totals = accumulate(phase);
+  // Roofline: a single in-order-ish core overlaps arithmetic and memory
+  // imperfectly; the max() is the standard optimistic bound and is what the
+  // calibration constants absorb.
+  return std::max(totals.flops / cpu.flops_per_second,
+                  totals.bytes / cpu.bytes_per_second);
+}
+
+double serial_iteration_seconds(const IterationCosts& costs,
+                                const SerialSpec& cpu) {
+  double total = 0.0;
+  for (const auto& phase : costs.phases) {
+    total += serial_phase_seconds(phase, cpu);
+  }
+  return total;
+}
+
+MulticorePhaseEstimate simulate_multicore_phase(const PhaseCostSpec& phase,
+                                                const MulticoreSpec& cpu,
+                                                int cores,
+                                                OmpStrategy strategy) {
+  require(cores >= 1, "cores must be >= 1");
+  MulticorePhaseEstimate estimate;
+  if (phase.count == 0) return estimate;
+  const PhaseTotals totals = accumulate(phase);
+  const double p = cores;
+
+  const int nodes_used =
+      (cores + cpu.cores_per_node - 1) / cpu.cores_per_node;
+  const double bandwidth =
+      std::min(p * cpu.single_core_bandwidth_gbs,
+               static_cast<double>(nodes_used) * cpu.node_bandwidth_gbs) *
+      1e9;
+
+  // Remote traffic appears once the team spans NUMA nodes.
+  const double remote_fraction =
+      nodes_used <= 1 ? 0.0
+                      : static_cast<double>(nodes_used - 1) /
+                            static_cast<double>(nodes_used);
+  double effective_bytes =
+      totals.bytes * (1.0 + remote_fraction * cpu.remote_access_penalty);
+
+  // Gathered phases fight over the shared arrays' cache lines.
+  if (phase.pattern == MemoryPattern::kGather ||
+      phase.pattern == MemoryPattern::kMixed) {
+    effective_bytes *= 1.0 + cpu.gather_contention_per_core * (p - 1.0);
+  }
+
+  estimate.compute_seconds = totals.flops / (p * cpu.core_flops_per_second);
+  estimate.memory_seconds = effective_bytes / bandwidth;
+  estimate.tail_seconds =
+      std::max(totals.max_task_flops / cpu.core_flops_per_second,
+               totals.max_task_bytes /
+                   (cpu.single_core_bandwidth_gbs * 1e9));
+  // Per-phase synchronization: strategy A pays a runtime fork/join;
+  // strategy B pays its hand-rolled central barrier, linear in the team.
+  estimate.fork_join_seconds =
+      strategy == OmpStrategy::kForkJoinPerPhase
+          ? (cpu.fork_join_base_us + cpu.fork_join_per_core_us * p) * 1e-6
+          : cpu.central_barrier_us_per_core * p * 1e-6;
+  estimate.seconds =
+      std::max(estimate.compute_seconds, estimate.memory_seconds) +
+      estimate.tail_seconds + estimate.fork_join_seconds;
+  return estimate;
+}
+
+double multicore_iteration_seconds(const IterationCosts& costs,
+                                   const MulticoreSpec& cpu, int cores,
+                                   OmpStrategy strategy) {
+  double total = 0.0;
+  for (const auto& phase : costs.phases) {
+    total += simulate_multicore_phase(phase, cpu, cores, strategy).seconds;
+  }
+  return total;
+}
+
+}  // namespace paradmm::devsim

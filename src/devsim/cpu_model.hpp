@@ -1,0 +1,77 @@
+// Analytic shared-memory multicore model (the stand-in for the paper's
+// 32-core AMD Opteron 6300 "Abu Dhabi" machine) plus the single-core serial
+// reference both speedup families divide by.
+//
+// The multicore model reproduces the mechanisms behind the paper's Fig. 8 /
+// 11 / 14 shapes:
+//   * each parallel-for pays a fork/join cost that grows with the number of
+//     threads (the paper's strategy A runs five of these per iteration);
+//   * per-core arithmetic scales linearly, but memory bandwidth is capped
+//     per NUMA node, so memory-bound phases saturate (speedup flattens);
+//   * once threads span multiple nodes, a fraction of traffic goes remote
+//     and gathered access patterns pay growing coherence contention — which
+//     is why adding cores past ~25 can *reduce* speedup (Fig. 11-right);
+//   * static chunking charges the slowest task once (imbalance tail).
+#pragma once
+
+#include "devsim/cost_model.hpp"
+
+namespace paradmm::devsim {
+
+/// Single-core reference (the paper's serial optimized C baseline).
+struct SerialSpec {
+  double flops_per_second = 1.1e9;  ///< scalar, branchy, double-precision
+  double bytes_per_second = 6.0e9;  ///< streaming effective bandwidth
+};
+
+struct MulticoreSpec {
+  int max_cores = 32;
+  int cores_per_node = 8;  ///< Opteron 6300: 8 cores share one memory node
+  double core_flops_per_second = 1.1e9;
+  double node_bandwidth_gbs = 14.0;
+  double single_core_bandwidth_gbs = 6.0;
+  double fork_join_base_us = 4.0;
+  double fork_join_per_core_us = 0.45;
+  /// Extra bytes per additional core on gather/mixed phases (coherence and
+  /// bank contention on the shared z / m arrays).
+  double gather_contention_per_core = 0.008;
+  /// Multiplier on the remote fraction of traffic once threads span nodes.
+  double remote_access_penalty = 0.35;
+  /// Strategy B (persistent region, Fig. 4 right): per-phase cost of the
+  /// hand-rolled central barrier, which serializes on a shared counter and
+  /// so scales linearly with the team size — the main reason the paper
+  /// found strategy A "substantially faster".
+  double central_barrier_us_per_core = 0.9;
+};
+
+/// Which Fig.-4 scheduling strategy the multicore model charges for.
+enum class OmpStrategy {
+  kForkJoinPerPhase,   ///< strategy A: tree fork/join per parallel-for
+  kPersistentBarrier,  ///< strategy B: persistent region, central barrier
+};
+
+/// Seconds for one phase on the serial reference.
+double serial_phase_seconds(const PhaseCostSpec& phase, const SerialSpec& cpu);
+
+/// Seconds for one full iteration on the serial reference.
+double serial_iteration_seconds(const IterationCosts& costs,
+                                const SerialSpec& cpu);
+
+/// Time breakdown of one phase on `cores` cores.
+struct MulticorePhaseEstimate {
+  double seconds = 0.0;
+  double compute_seconds = 0.0;
+  double memory_seconds = 0.0;
+  double fork_join_seconds = 0.0;
+  double tail_seconds = 0.0;
+};
+
+MulticorePhaseEstimate simulate_multicore_phase(
+    const PhaseCostSpec& phase, const MulticoreSpec& cpu, int cores,
+    OmpStrategy strategy = OmpStrategy::kForkJoinPerPhase);
+
+double multicore_iteration_seconds(
+    const IterationCosts& costs, const MulticoreSpec& cpu, int cores,
+    OmpStrategy strategy = OmpStrategy::kForkJoinPerPhase);
+
+}  // namespace paradmm::devsim

@@ -1,0 +1,225 @@
+#include "devsim/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace paradmm::devsim {
+namespace {
+
+/// Tasks actually walked when a phase is too large to enumerate; totals are
+/// scaled by count/window.  Large phases are periodic/uniform in structure,
+/// so a prefix window is representative (documented model limitation).
+constexpr std::size_t kWindowCap = 1u << 20;
+
+struct WarpAccumulator {
+  // Distinct branch classes seen in the current warp with their max flops.
+  static constexpr int kMaxClasses = 8;
+  std::uint32_t classes[kMaxClasses];
+  double class_max_flops[kMaxClasses];
+  int class_count = 0;
+  double bytes = 0.0;
+  double flops_no_divergence = 0.0;
+
+  void reset() {
+    class_count = 0;
+    bytes = 0.0;
+    flops_no_divergence = 0.0;
+  }
+
+  void add(const TaskCost& task) {
+    bytes += task.bytes;
+    flops_no_divergence = std::max(flops_no_divergence, task.flops);
+    for (int c = 0; c < class_count; ++c) {
+      if (classes[c] == task.branch_class) {
+        class_max_flops[c] = std::max(class_max_flops[c], task.flops);
+        return;
+      }
+    }
+    if (class_count < kMaxClasses) {
+      classes[class_count] = task.branch_class;
+      class_max_flops[class_count] = task.flops;
+      ++class_count;
+    } else {
+      // Extremely heterogeneous warp: charge the overflow class fully.
+      class_max_flops[kMaxClasses - 1] += task.flops;
+    }
+  }
+
+  /// Lockstep warp time in flop units: divergent classes serialize.
+  double serialized_flops() const {
+    double total = 0.0;
+    for (int c = 0; c < class_count; ++c) total += class_max_flops[c];
+    return total;
+  }
+};
+
+}  // namespace
+
+double GpuSpec::expansion(MemoryPattern pattern) const {
+  switch (pattern) {
+    case MemoryPattern::kCoalesced: return expansion_coalesced;
+    case MemoryPattern::kStrided: return expansion_strided;
+    case MemoryPattern::kMixed: return expansion_mixed;
+    case MemoryPattern::kGather: return expansion_gather;
+  }
+  return 1.0;
+}
+
+KernelEstimate simulate_kernel(const PhaseCostSpec& phase, const GpuSpec& gpu,
+                               int ntb) {
+  require(ntb >= 1, "threads per block must be >= 1");
+  require(phase.cost_at != nullptr, "phase has no cost function");
+  KernelEstimate estimate;
+  if (phase.count == 0) return estimate;
+
+  const auto warp = static_cast<std::size_t>(gpu.warp_width);
+  const std::size_t warps_per_block =
+      (static_cast<std::size_t>(ntb) + warp - 1) / warp;
+  const std::size_t block_threads = warps_per_block * warp;  // hw rounding
+  const std::size_t blocks =
+      (phase.count + static_cast<std::size_t>(ntb) - 1) /
+      static_cast<std::size_t>(ntb);
+  estimate.blocks = blocks;
+
+  // Residency: how much of the grid is in flight at once.
+  const std::size_t blocks_by_threads = std::max<std::size_t>(
+      1, static_cast<std::size_t>(gpu.max_threads_per_sm) / block_threads);
+  const std::size_t resident_blocks_per_sm = std::min(
+      static_cast<std::size_t>(gpu.max_blocks_per_sm), blocks_by_threads);
+  const double resident_blocks_total =
+      std::min<double>(static_cast<double>(blocks),
+                       static_cast<double>(gpu.sm_count) *
+                           static_cast<double>(resident_blocks_per_sm));
+  const double resident_warps_total =
+      resident_blocks_total * static_cast<double>(warps_per_block);
+  const double resident_threads_per_sm =
+      static_cast<double>(resident_blocks_per_sm) *
+      static_cast<double>(ntb);
+  estimate.occupancy = std::min(
+      1.0, resident_threads_per_sm / static_cast<double>(gpu.max_threads_per_sm));
+
+  // Walk a representative window of tasks, accumulating warp and block
+  // statistics.
+  const std::size_t window = std::min(phase.count, kWindowCap);
+  const double scale =
+      static_cast<double>(phase.count) / static_cast<double>(window);
+
+  WarpAccumulator accumulator;
+  accumulator.reset();
+  double total_warp_flops = 0.0;       // with divergence serialization
+  double total_ideal_flops = 0.0;      // without
+  double total_bytes = 0.0;
+  double block_flops = 0.0;
+  double block_bytes = 0.0;
+  double max_block_flops = 0.0;
+  double max_block_bytes = 0.0;
+  std::size_t lane = 0;
+  std::size_t thread_in_block = 0;
+
+  auto close_warp = [&] {
+    total_warp_flops += accumulator.serialized_flops();
+    total_ideal_flops += accumulator.flops_no_divergence;
+    total_bytes += accumulator.bytes;
+    block_flops += accumulator.serialized_flops();
+    block_bytes += accumulator.bytes;
+    accumulator.reset();
+    lane = 0;
+  };
+  auto close_block = [&] {
+    max_block_flops = std::max(max_block_flops, block_flops);
+    max_block_bytes = std::max(max_block_bytes, block_bytes);
+    block_flops = 0.0;
+    block_bytes = 0.0;
+    thread_in_block = 0;
+  };
+
+  for (std::size_t i = 0; i < window; ++i) {
+    accumulator.add(phase.cost_at(i));
+    if (++lane == warp) close_warp();
+    if (++thread_in_block == static_cast<std::size_t>(ntb)) {
+      if (lane != 0) close_warp();  // partial warp at block end
+      close_block();
+    }
+  }
+  if (lane != 0) close_warp();
+  if (thread_in_block != 0) close_block();
+
+  total_warp_flops *= scale;
+  total_ideal_flops *= scale;
+  total_bytes *= scale;
+  estimate.divergence_factor =
+      total_ideal_flops > 0.0 ? total_warp_flops / total_ideal_flops : 1.0;
+
+  // Arithmetic roofline: warps issue on the SM's schedulers.
+  const double schedulers_effective = std::min(
+      static_cast<double>(gpu.warp_schedulers_per_sm),
+      std::max(1.0, static_cast<double>(resident_blocks_per_sm) *
+                        static_cast<double>(warps_per_block)));
+  const double device_flops_per_second =
+      gpu.flops_per_cycle_per_lane * gpu.clock_hz() *
+      static_cast<double>(gpu.sm_count) * schedulers_effective;
+  estimate.compute_seconds = total_warp_flops / device_flops_per_second;
+
+  // Memory roofline: pattern expansion, latency-bound concurrency, and
+  // cache thrash above the residency sweet spot.  A warp narrower than 32
+  // lanes sustains proportionally fewer outstanding requests, which is why
+  // tiny ntb under-uses the memory system (and why the paper's optimum is
+  // 32, the smallest full warp).
+  const double fetched = total_bytes * gpu.expansion(phase.pattern);
+  const double lane_utilization =
+      std::min<double>(ntb, gpu.warp_width) / gpu.warp_width;
+  const double latency_throughput =
+      resident_warps_total * gpu.outstanding_requests_per_warp *
+      lane_utilization * gpu.cache_line_bytes /
+      (gpu.memory_latency_ns * 1e-9);
+  const double throughput =
+      std::min(gpu.bandwidth_bytes_per_second(), latency_throughput);
+  const double thrash =
+      1.0 + gpu.thrash_coefficient *
+                std::max(0.0, resident_threads_per_sm -
+                                  gpu.sweet_threads_per_sm) /
+                gpu.sweet_threads_per_sm;
+  estimate.memory_seconds = fetched * thrash / throughput;
+
+  // Tail: the slowest block charged once at single-SM rates.
+  const double sm_flops_per_second = gpu.flops_per_cycle_per_lane *
+                                     gpu.clock_hz() * schedulers_effective;
+  const double sm_bandwidth = gpu.bandwidth_bytes_per_second() /
+                              static_cast<double>(gpu.sm_count);
+  estimate.tail_seconds =
+      std::max(max_block_flops / sm_flops_per_second,
+               max_block_bytes * gpu.expansion(phase.pattern) / sm_bandwidth);
+
+  estimate.launch_seconds = gpu.kernel_launch_us * 1e-6;
+  estimate.seconds =
+      estimate.launch_seconds +
+      std::max(estimate.compute_seconds, estimate.memory_seconds) +
+      estimate.tail_seconds;
+  return estimate;
+}
+
+double gpu_iteration_seconds(const IterationCosts& costs, const GpuSpec& gpu,
+                             int ntb) {
+  double total = 0.0;
+  for (const auto& phase : costs.phases) {
+    total += simulate_kernel(phase, gpu, ntb).seconds;
+  }
+  return total;
+}
+
+int best_ntb(const PhaseCostSpec& phase, const GpuSpec& gpu) {
+  int best = 1;
+  double best_seconds = simulate_kernel(phase, gpu, 1).seconds;
+  for (int ntb = 2; ntb <= 1024; ntb *= 2) {
+    const double seconds = simulate_kernel(phase, gpu, ntb).seconds;
+    if (seconds < best_seconds) {
+      best_seconds = seconds;
+      best = ntb;
+    }
+  }
+  return best;
+}
+
+}  // namespace paradmm::devsim

@@ -1,0 +1,78 @@
+#include "devsim/multi_gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace paradmm::devsim {
+
+double dense_cut_fraction(int devices) {
+  require(devices >= 1, "devices must be >= 1");
+  return devices == 1 ? 0.0
+                      : static_cast<double>(devices - 1) /
+                            static_cast<double>(devices);
+}
+
+double chain_cut_fraction(std::size_t factors, int devices) {
+  require(devices >= 1, "devices must be >= 1");
+  if (devices == 1 || factors == 0) return 0.0;
+  // One boundary factor (two edges) per shard seam.
+  return std::min(1.0, static_cast<double>(devices - 1) /
+                           static_cast<double>(factors));
+}
+
+MultiGpuEstimate simulate_multi_gpu_iteration(const IterationCosts& costs,
+                                              const GraphFootprint& footprint,
+                                              const MultiGpuSpec& spec,
+                                              int ntb) {
+  require(spec.devices >= 1, "devices must be >= 1");
+  require(spec.cut_fraction >= 0.0 && spec.cut_fraction <= 1.0,
+          "cut_fraction must lie in [0, 1]");
+  MultiGpuEstimate estimate;
+  const auto devices = static_cast<std::size_t>(spec.devices);
+
+  // Slowest device over its contiguous shard of every phase.  Shard d of a
+  // phase covers [d*count/D, (d+1)*count/D); its cost function indexes into
+  // the original with the shard offset so heterogeneous runs (e.g. packing
+  // collisions vs walls) land on the right devices.
+  for (std::size_t d = 0; d < devices; ++d) {
+    double device_seconds = 0.0;
+    for (const auto& phase : costs.phases) {
+      const std::size_t begin = d * phase.count / devices;
+      const std::size_t end = (d + 1) * phase.count / devices;
+      if (begin == end) continue;
+      PhaseCostSpec shard;
+      shard.name = phase.name;
+      shard.count = end - begin;
+      shard.pattern = phase.pattern;
+      shard.cost_at = [cost_at = phase.cost_at, begin](std::size_t i) {
+        return cost_at(begin + i);
+      };
+      device_seconds += simulate_kernel(shard, spec.gpu, ntb).seconds;
+    }
+    estimate.compute_seconds =
+        std::max(estimate.compute_seconds, device_seconds);
+  }
+
+  // Exchange: replicate z everywhere (ring allreduce-style) plus the m
+  // messages of cut edges.
+  if (spec.devices > 1) {
+    const double link = spec.interconnect_gbs * 1e9;
+    const double ring_factor =
+        2.0 * static_cast<double>(spec.devices - 1) /
+        static_cast<double>(spec.devices);
+    const double z_exchange = ring_factor * footprint.z_bytes() / link;
+    const double edge_value_bytes =
+        8.0 * static_cast<double>(footprint.edge_scalars);
+    const double m_exchange = spec.cut_fraction * edge_value_bytes / link;
+    const double latency = spec.sync_latency_us * 1e-6 *
+                           std::ceil(std::log2(spec.devices) + 1.0);
+    estimate.exchange_seconds = z_exchange + m_exchange + latency;
+  }
+
+  estimate.seconds = estimate.compute_seconds + estimate.exchange_seconds;
+  return estimate;
+}
+
+}  // namespace paradmm::devsim

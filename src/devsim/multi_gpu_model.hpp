@@ -1,0 +1,54 @@
+// Multi-GPU extension of the device model — the paper's future-work item 3
+// ("extend the code to allow the use of multiple GPUs and multiple
+// computers").
+//
+// Model: factors/edges/variables are sharded contiguously across D devices;
+// each device runs the five kernels on its shard; after every iteration the
+// devices must exchange consensus state:
+//   * an allreduce-style exchange of the z array (every device needs the
+//     consensus of variables its edges touch), and
+//   * the m messages of *cut* edges (edges whose factor lives on one device
+//     but whose variable is averaged on another).
+// Communication rides a peer interconnect (2016-era PCIe peer-to-peer by
+// default).  Dense graphs (packing's all-pairs collisions) have a high cut
+// fraction and saturate quickly; chain graphs (MPC, SVM) have a tiny cut
+// and scale further — the bench shows exactly that contrast.
+#pragma once
+
+#include "devsim/cost_model.hpp"
+#include "devsim/gpu_model.hpp"
+
+namespace paradmm::devsim {
+
+struct MultiGpuSpec {
+  GpuSpec gpu;
+  int devices = 2;
+  double interconnect_gbs = 10.0;  ///< PCIe 3.0 peer-to-peer, per direction
+  double sync_latency_us = 25.0;   ///< per exchange step
+  /// Fraction of edges whose factor and variable land on different
+  /// devices under contiguous sharding (0 = perfectly partitionable,
+  /// (D-1)/D = fully dense).
+  double cut_fraction = 0.5;
+};
+
+struct MultiGpuEstimate {
+  double seconds = 0.0;          ///< full iteration including exchange
+  double compute_seconds = 0.0;  ///< slowest device's five kernels
+  double exchange_seconds = 0.0;
+};
+
+/// One iteration on `spec.devices` devices with threads-per-block `ntb`.
+MultiGpuEstimate simulate_multi_gpu_iteration(const IterationCosts& costs,
+                                              const GraphFootprint& footprint,
+                                              const MultiGpuSpec& spec,
+                                              int ntb);
+
+/// Cut fraction of a graph whose factors form one dense all-pairs layer
+/// over the variables (packing-like): approaches (D-1)/D.
+double dense_cut_fraction(int devices);
+
+/// Cut fraction of a chain-structured graph (MPC/SVM-like): only the
+/// shard-boundary factors are cut.
+double chain_cut_fraction(std::size_t factors, int devices);
+
+}  // namespace paradmm::devsim

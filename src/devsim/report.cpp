@@ -1,0 +1,28 @@
+#include "devsim/report.hpp"
+
+namespace paradmm::devsim {
+
+SpeedupReport compare_gpu(const IterationCosts& costs, const GpuSpec& gpu,
+                          const SerialSpec& serial, int ntb) {
+  SpeedupReport report;
+  for (std::size_t p = 0; p < costs.phases.size(); ++p) {
+    report.serial_seconds[p] = serial_phase_seconds(costs.phases[p], serial);
+    report.device_seconds[p] =
+        simulate_kernel(costs.phases[p], gpu, ntb).seconds;
+  }
+  return report;
+}
+
+SpeedupReport compare_multicore(const IterationCosts& costs,
+                                const MulticoreSpec& cpu,
+                                const SerialSpec& serial, int cores) {
+  SpeedupReport report;
+  for (std::size_t p = 0; p < costs.phases.size(); ++p) {
+    report.serial_seconds[p] = serial_phase_seconds(costs.phases[p], serial);
+    report.device_seconds[p] =
+        simulate_multicore_phase(costs.phases[p], cpu, cores).seconds;
+  }
+  return report;
+}
+
+}  // namespace paradmm::devsim

@@ -1,0 +1,57 @@
+// Speedup reports: the quantities the paper's figures plot.
+#pragma once
+
+#include <array>
+
+#include "devsim/cost_model.hpp"
+#include "devsim/cpu_model.hpp"
+#include "devsim/gpu_model.hpp"
+
+namespace paradmm::devsim {
+
+/// Serial vs device per-phase times for one iteration, in seconds.
+struct SpeedupReport {
+  std::array<double, 5> serial_seconds{};
+  std::array<double, 5> device_seconds{};
+  static constexpr std::array<const char*, 5> kPhases = {"x", "m", "z", "u",
+                                                         "n"};
+
+  double serial_total() const {
+    double total = 0.0;
+    for (const double s : serial_seconds) total += s;
+    return total;
+  }
+  double device_total() const {
+    double total = 0.0;
+    for (const double s : device_seconds) total += s;
+    return total;
+  }
+  /// The paper's headline metric: serial time / device time, same iteration
+  /// count on both sides.
+  double combined_speedup() const {
+    return device_total() > 0.0 ? serial_total() / device_total() : 0.0;
+  }
+  /// Per-update-kind speedups (Figs. 7/10/13 right panels).
+  double phase_speedup(std::size_t phase) const {
+    return device_seconds[phase] > 0.0
+               ? serial_seconds[phase] / device_seconds[phase]
+               : 0.0;
+  }
+  /// Fraction of device iteration time in a phase (the in-text "x and z
+  /// updates take 31% + 40% of the time" numbers).
+  double device_fraction(std::size_t phase) const {
+    const double total = device_total();
+    return total > 0.0 ? device_seconds[phase] / total : 0.0;
+  }
+};
+
+/// GPU-vs-serial comparison at a fixed threads-per-block.
+SpeedupReport compare_gpu(const IterationCosts& costs, const GpuSpec& gpu,
+                          const SerialSpec& serial, int ntb);
+
+/// Multicore-vs-serial comparison at a fixed core count.
+SpeedupReport compare_multicore(const IterationCosts& costs,
+                                const MulticoreSpec& cpu,
+                                const SerialSpec& serial, int cores);
+
+}  // namespace paradmm::devsim

@@ -1,0 +1,21 @@
+#include "devsim/transfer_model.hpp"
+
+namespace paradmm::devsim {
+
+double graph_upload_seconds(const GraphFootprint& footprint,
+                            const TransferSpec& spec) {
+  const double build = static_cast<double>(footprint.edges) *
+                       spec.host_build_us_per_edge * 1e-6;
+  const double copy =
+      (footprint.value_bytes() + footprint.metadata_bytes()) /
+      (spec.pcie_gbs * 1e9);
+  return build + spec.transfer_latency_us * 1e-6 + copy;
+}
+
+double z_download_seconds(const GraphFootprint& footprint,
+                          const TransferSpec& spec) {
+  return spec.transfer_latency_us * 1e-6 +
+         footprint.z_bytes() / (spec.pcie_gbs * 1e9);
+}
+
+}  // namespace paradmm::devsim

@@ -1,0 +1,31 @@
+// Host <-> device transfer and graph-construction time model.
+//
+// Reproduces the paper's in-text copy-time observations: copying the result
+// z back is sub-millisecond (latency + a small PCIe transfer), while
+// creating the factor graph and shipping it to the GPU takes seconds to
+// minutes for millions of edges (per-edge host-side construction dominates:
+// the paper reports 450 s for the N=5000 packing graph) — and both are
+// negligible next to the iterations needed for convergence.
+#pragma once
+
+#include "devsim/cost_model.hpp"
+
+namespace paradmm::devsim {
+
+struct TransferSpec {
+  double pcie_gbs = 6.0;             ///< effective PCIe 3.0 throughput
+  double transfer_latency_us = 15.0; ///< per-cudaMemcpy fixed cost
+  /// Host-side cost to build one edge of the CPU graph (allocation-heavy C
+  /// construction; calibrated from the paper's 450 s / ~50M edges).
+  double host_build_us_per_edge = 8.5;
+};
+
+/// Seconds to build the host graph and copy it to device memory.
+double graph_upload_seconds(const GraphFootprint& footprint,
+                            const TransferSpec& spec);
+
+/// Seconds to copy only the z (solution) array back to the host.
+double z_download_seconds(const GraphFootprint& footprint,
+                          const TransferSpec& spec);
+
+}  // namespace paradmm::devsim

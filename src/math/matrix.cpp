@@ -1,0 +1,209 @@
+#include "math/matrix.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace paradmm {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> values) {
+  rows_ = values.size();
+  cols_ = rows_ == 0 ? 0 : values.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : values) {
+    require(row.size() == cols_, "Matrix initializer rows must be equal length");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(std::span<const double> entries) {
+  Matrix m(entries.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) m(i, i) = entries[i];
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  affirm(r < rows_ && c < cols_, "Matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  affirm(r < rows_ && c < cols_, "Matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  affirm(r < rows_, "Matrix row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  affirm(r < rows_, "Matrix row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+void Matrix::multiply(std::span<const double> x, std::span<double> out) const {
+  require(x.size() == cols_ && out.size() == rows_,
+          "Matrix::multiply dimension mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) sum += row_ptr[c] * x[c];
+    out[r] = sum;
+  }
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  require(cols_ == rhs.rows_, "Matrix product dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) += a * rhs(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  Matrix out = *this;
+  out += rhs;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  require(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+          "Matrix difference dimension mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  require(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+          "Matrix sum dimension mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+Matrix cholesky_factor(const Matrix& a) {
+  require(a.square(), "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0) {
+      throw NumericalError("cholesky_factor: matrix is not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return l;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   std::span<const double> b) {
+  require(l.square() && l.rows() == b.size(),
+          "cholesky_solve dimension mismatch");
+  const std::size_t n = l.rows();
+  std::vector<double> y(b.begin(), b.end());
+  // Forward substitution: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) y[i] -= l(i, k) * y[k];
+    y[i] /= l(i, i);
+  }
+  // Back substitution: L^T x = y.
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t k = i + 1; k < n; ++k) y[i] -= l(k, i) * y[k];
+    y[i] /= l(i, i);
+  }
+  return y;
+}
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
+  return cholesky_solve(cholesky_factor(a), b);
+}
+
+std::vector<double> solve_lu(Matrix a, std::vector<double> b) {
+  require(a.square() && a.rows() == b.size(), "solve_lu dimension mismatch");
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a(pivot, col)) < 1e-14) {
+      throw NumericalError("solve_lu: matrix is singular to working precision");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a(i, c) * x[c];
+    x[i] = sum / a(i, i);
+  }
+  return x;
+}
+
+Matrix inverse(const Matrix& a) {
+  require(a.square(), "inverse requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix out(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<double> e(n, 0.0);
+    e[c] = 1.0;
+    const std::vector<double> col = solve_lu(a, std::move(e));
+    for (std::size_t r = 0; r < n; ++r) out(r, c) = col[r];
+  }
+  return out;
+}
+
+}  // namespace paradmm

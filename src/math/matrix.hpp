@@ -1,0 +1,82 @@
+// Small dense row-major matrices.
+//
+// The MPC proximal operators and the two-block baseline need dense solves on
+// matrices of at most a few hundred rows (state dimension x horizon blocks),
+// so this is a deliberately small, dependency-free implementation: row-major
+// storage, Cholesky for SPD systems, partially-pivoted LU for general ones.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace paradmm {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Build from nested initializer lists: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> values);
+
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from a vector of entries.
+  static Matrix diagonal(std::span<const double> entries);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  std::span<const double> data() const { return data_; }
+  std::span<double> data() { return data_; }
+
+  Matrix transposed() const;
+
+  /// out = this * x  (matrix-vector product).
+  void multiply(std::span<const double> x, std::span<double> out) const;
+
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator*=(double scalar);
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization of an SPD matrix: returns lower-triangular L with
+/// A = L L^T.  Throws NumericalError if A is not (numerically) SPD.
+Matrix cholesky_factor(const Matrix& a);
+
+/// Solves A x = b given the Cholesky factor L of A (forward + back subst.).
+std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b);
+
+/// Solves the SPD system A x = b (factor + solve in one call).
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);
+
+/// Solves a general square system A x = b via LU with partial pivoting.
+/// Throws NumericalError on singular input.
+std::vector<double> solve_lu(Matrix a, std::vector<double> b);
+
+/// Inverse via LU; only used on small matrices in setup paths.
+Matrix inverse(const Matrix& a);
+
+}  // namespace paradmm

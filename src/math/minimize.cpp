@@ -1,0 +1,113 @@
+#include "math/minimize.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace paradmm {
+
+double golden_section_minimize(const std::function<double(double)>& objective,
+                               double lo, double hi, double tolerance) {
+  require(lo <= hi, "golden_section_minimize requires lo <= hi");
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo;
+  double b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = objective(c);
+  double fd = objective(d);
+  while (b - a > tolerance) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = objective(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = objective(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+namespace {
+
+std::vector<double> numerical_gradient(
+    const std::function<double(std::span<const double>)>& objective,
+    std::span<const double> point) {
+  constexpr double kStep = 1e-6;
+  std::vector<double> shifted(point.begin(), point.end());
+  std::vector<double> gradient(point.size(), 0.0);
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    const double original = shifted[i];
+    shifted[i] = original + kStep;
+    const double forward = objective(shifted);
+    shifted[i] = original - kStep;
+    const double backward = objective(shifted);
+    shifted[i] = original;
+    gradient[i] = (forward - backward) / (2.0 * kStep);
+  }
+  return gradient;
+}
+
+}  // namespace
+
+MinimizeResult projected_gradient_minimize(
+    const std::function<double(std::span<const double>)>& objective,
+    const std::function<void(std::span<double>)>& project,
+    std::vector<double> start, int max_iterations, double tolerance) {
+  MinimizeResult result;
+  std::vector<double> current = std::move(start);
+  project(current);
+  double current_value = objective(current);
+  double step = 1.0;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    const std::vector<double> gradient = numerical_gradient(objective, current);
+    double gradient_norm_sq = 0.0;
+    for (double g : gradient) gradient_norm_sq += g * g;
+
+    // Backtracking line search along the projected gradient direction.
+    bool improved = false;
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      std::vector<double> candidate = current;
+      for (std::size_t i = 0; i < candidate.size(); ++i) {
+        candidate[i] -= step * gradient[i];
+      }
+      project(candidate);
+      const double candidate_value = objective(candidate);
+      if (candidate_value < current_value - 1e-16) {
+        double move_sq = 0.0;
+        for (std::size_t i = 0; i < candidate.size(); ++i) {
+          const double d = candidate[i] - current[i];
+          move_sq += d * d;
+        }
+        current = std::move(candidate);
+        current_value = candidate_value;
+        improved = true;
+        step *= 1.3;  // Expand after success.
+        if (move_sq < tolerance * tolerance) {
+          result.argmin = current;
+          result.value = current_value;
+          result.iterations = iter + 1;
+          return result;
+        }
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!improved && gradient_norm_sq < tolerance) break;
+    if (!improved && step < 1e-18) break;
+  }
+
+  result.argmin = current;
+  result.value = current_value;
+  result.iterations = max_iterations;
+  return result;
+}
+
+}  // namespace paradmm

@@ -1,0 +1,36 @@
+// Reference numerical minimizers.
+//
+// These are *not* used inside the solver.  They provide independent ground
+// truth for the property tests: every closed-form proximal operator in the
+// library is cross-checked against one of these generic minimizers on
+// randomized inputs.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace paradmm {
+
+/// Golden-section search for a unimodal function on [lo, hi].
+/// Returns the argmin to within `tolerance`.
+double golden_section_minimize(const std::function<double(double)>& objective,
+                               double lo, double hi, double tolerance = 1e-10);
+
+/// Result of a multi-dimensional numerical minimization.
+struct MinimizeResult {
+  std::vector<double> argmin;
+  double value = 0.0;
+  int iterations = 0;
+};
+
+/// Projected gradient descent with a numerical (central-difference) gradient
+/// and adaptive step size.  `project` maps a point onto the feasible set; use
+/// the identity for unconstrained problems.  Slow but generic — test-only.
+MinimizeResult projected_gradient_minimize(
+    const std::function<double(std::span<const double>)>& objective,
+    const std::function<void(std::span<double>)>& project,
+    std::vector<double> start, int max_iterations = 20000,
+    double tolerance = 1e-12);
+
+}  // namespace paradmm

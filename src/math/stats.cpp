@@ -1,0 +1,56 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace paradmm::stats {
+
+double sum(std::span<const double> values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+double mean(std::span<const double> values) {
+  require(!values.empty(), "stats::mean of empty range");
+  return sum(values) / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double accum = 0.0;
+  for (double v : values) accum += (v - m) * (v - m);
+  return accum / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double min(std::span<const double> values) {
+  require(!values.empty(), "stats::min of empty range");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max(std::span<const double> values) {
+  require(!values.empty(), "stats::max of empty range");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::span<const double> values, double q) {
+  require(!values.empty(), "stats::percentile of empty range");
+  require(q >= 0.0 && q <= 1.0, "percentile q must lie in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const std::size_t upper = std::min(lower + 1, sorted.size() - 1);
+  const double fraction = position - static_cast<double>(lower);
+  return sorted[lower] + fraction * (sorted[upper] - sorted[lower]);
+}
+
+}  // namespace paradmm::stats

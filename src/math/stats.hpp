@@ -1,0 +1,21 @@
+// Descriptive statistics used by benches (timing summaries) and tests.
+#pragma once
+
+#include <span>
+
+namespace paradmm::stats {
+
+double sum(std::span<const double> values);
+double mean(std::span<const double> values);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+double variance(std::span<const double> values);
+double stddev(std::span<const double> values);
+
+double min(std::span<const double> values);
+double max(std::span<const double> values);
+
+/// Linear-interpolated percentile, q in [0, 1].  q=0.5 is the median.
+double percentile(std::span<const double> values, double q);
+
+}  // namespace paradmm::stats

@@ -1,0 +1,100 @@
+// Dense vector kernels over std::span<double>.
+//
+// These are the primitives the proximal operators and the ADMM update
+// phases are written in.  They operate on caller-owned storage (the factor
+// graph's flat arrays), never allocate, and are kept trivially inlinable —
+// the engine's inner loops compile down to straight-line code.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "support/error.hpp"
+
+namespace paradmm::vec {
+
+/// y[i] = value for all i.
+inline void fill(std::span<double> y, double value) {
+  for (auto& v : y) v = value;
+}
+
+/// y[i] = x[i].
+inline void copy(std::span<const double> x, std::span<double> y) {
+  affirm(x.size() == y.size(), "vec::copy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+/// y[i] += a * x[i].
+inline void axpy(double a, std::span<const double> x, std::span<double> y) {
+  affirm(x.size() == y.size(), "vec::axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+/// y[i] *= a.
+inline void scale(std::span<double> y, double a) {
+  for (auto& v : y) v *= a;
+}
+
+/// out[i] = x[i] + y[i].
+inline void add(std::span<const double> x, std::span<const double> y,
+                std::span<double> out) {
+  affirm(x.size() == y.size() && x.size() == out.size(),
+         "vec::add size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+}
+
+/// out[i] = x[i] - y[i].
+inline void sub(std::span<const double> x, std::span<const double> y,
+                std::span<double> out) {
+  affirm(x.size() == y.size() && x.size() == out.size(),
+         "vec::sub size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+}
+
+/// Inner product <x, y>.
+inline double dot(std::span<const double> x, std::span<const double> y) {
+  affirm(x.size() == y.size(), "vec::dot size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+/// Squared Euclidean norm.
+inline double norm2_squared(std::span<const double> x) { return dot(x, x); }
+
+/// Euclidean norm.
+inline double norm2(std::span<const double> x) {
+  return std::sqrt(norm2_squared(x));
+}
+
+/// Max-norm.
+inline double norm_inf(std::span<const double> x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+/// Squared Euclidean distance ||x - y||^2.
+inline double distance_squared(std::span<const double> x,
+                               std::span<const double> y) {
+  affirm(x.size() == y.size(), "vec::distance size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// Euclidean distance ||x - y||.
+inline double distance(std::span<const double> x, std::span<const double> y) {
+  return std::sqrt(distance_squared(x, y));
+}
+
+/// Clamp each component into [lo, hi].
+inline void clamp(std::span<double> y, double lo, double hi) {
+  for (auto& v : y) v = std::min(hi, std::max(lo, v));
+}
+
+}  // namespace paradmm::vec

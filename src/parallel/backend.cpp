@@ -1,0 +1,148 @@
+#include "parallel/backend.hpp"
+
+#include <barrier>
+#include <thread>
+
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace paradmm {
+namespace {
+
+class SerialBackend final : public ExecutionBackend {
+ public:
+  void run(std::span<const Phase> phases, int iterations,
+           PhaseTimings* timings) override {
+    for (int iter = 0; iter < iterations; ++iter) {
+      for (std::size_t p = 0; p < phases.size(); ++p) {
+        WallTimer timer;
+        const Phase& phase = phases[p];
+        for (std::size_t i = 0; i < phase.count; ++i) phase.apply(i);
+        if (timings) timings->add(p, timer.seconds());
+      }
+    }
+  }
+
+  std::size_t concurrency() const override { return 1; }
+  std::string_view name() const override { return "serial"; }
+};
+
+// Paper's Fig. 4 "first approach": one fork/join parallel loop per phase.
+class ForkJoinBackend final : public ExecutionBackend {
+ public:
+  explicit ForkJoinBackend(std::size_t threads) : pool_(threads) {}
+
+  void run(std::span<const Phase> phases, int iterations,
+           PhaseTimings* timings) override {
+    for (int iter = 0; iter < iterations; ++iter) {
+      for (std::size_t p = 0; p < phases.size(); ++p) {
+        WallTimer timer;
+        const Phase& phase = phases[p];
+        pool_.parallel_for_chunks(
+            phase.count, [&phase](std::size_t begin, std::size_t end) {
+              for (std::size_t i = begin; i < end; ++i) phase.apply(i);
+            });
+        if (timings) timings->add(p, timer.seconds());
+      }
+    }
+  }
+
+  std::size_t concurrency() const override { return pool_.concurrency(); }
+  std::string_view name() const override { return "fork-join"; }
+
+ private:
+  ThreadPool pool_;
+};
+
+// Paper's Fig. 4 "second approach": one persistent parallel region for the
+// whole batch of iterations; threads meet at a barrier after every phase.
+class PersistentBackend final : public ExecutionBackend {
+ public:
+  explicit PersistentBackend(std::size_t threads) : threads_(threads) {
+    require(threads >= 1, "PersistentBackend needs at least one thread");
+  }
+
+  void run(std::span<const Phase> phases, int iterations,
+           PhaseTimings* timings) override {
+    if (threads_ == 1) {
+      SerialBackend().run(phases, iterations, timings);
+      return;
+    }
+    std::barrier sync(static_cast<std::ptrdiff_t>(threads_));
+    auto participant = [&](std::size_t rank) {
+      WallTimer timer;
+      for (int iter = 0; iter < iterations; ++iter) {
+        for (std::size_t p = 0; p < phases.size(); ++p) {
+          const Phase& phase = phases[p];
+          const auto [begin, end] =
+              ThreadPool::static_chunk(phase.count, rank, threads_);
+          for (std::size_t i = begin; i < end; ++i) phase.apply(i);
+          sync.arrive_and_wait();
+          if (rank == 0 && timings) {
+            // Rank 0's view of the phase: its own work + barrier wait, which
+            // is the wall time of the slowest participant.
+            timings->add(p, timer.seconds());
+            timer.reset();
+          }
+        }
+      }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads_ - 1);
+    for (std::size_t rank = 1; rank < threads_; ++rank) {
+      workers.emplace_back(participant, rank);
+    }
+    participant(0);
+    for (auto& worker : workers) worker.join();
+  }
+
+  std::size_t concurrency() const override { return threads_; }
+  std::string_view name() const override { return "persistent"; }
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace
+
+std::string_view to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSerial: return "serial";
+    case BackendKind::kForkJoin: return "fork-join";
+    case BackendKind::kPersistent: return "persistent";
+    case BackendKind::kOmpForkJoin: return "omp-fork-join";
+    case BackendKind::kOmpPersistent: return "omp-persistent";
+  }
+  return "unknown";
+}
+
+// Defined in omp_backends.cpp (returns nullptr when built without OpenMP).
+std::unique_ptr<ExecutionBackend> make_omp_backend(BackendKind kind,
+                                                   std::size_t threads);
+
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind,
+                                               std::size_t threads) {
+  switch (kind) {
+    case BackendKind::kSerial:
+      return std::make_unique<SerialBackend>();
+    case BackendKind::kForkJoin:
+      return std::make_unique<ForkJoinBackend>(threads);
+    case BackendKind::kPersistent:
+      return std::make_unique<PersistentBackend>(threads);
+    case BackendKind::kOmpForkJoin:
+    case BackendKind::kOmpPersistent: {
+      if (auto backend = make_omp_backend(kind, threads)) return backend;
+      // Build without OpenMP: fall back to the equivalent std::thread
+      // strategy so callers keep working with identical numerics.
+      return make_backend(kind == BackendKind::kOmpForkJoin
+                              ? BackendKind::kForkJoin
+                              : BackendKind::kPersistent,
+                          threads);
+    }
+  }
+  throw PreconditionError("unknown BackendKind");
+}
+
+}  // namespace paradmm

@@ -1,0 +1,102 @@
+// Execution backends: how the five ADMM update phases are scheduled.
+//
+// The engine (src/core) describes one ADMM iteration as an ordered list of
+// `Phase`s — independent task sets with a barrier between consecutive
+// phases.  A backend decides *where* the tasks run.  Every backend performs
+// numerically identical updates; only scheduling differs, which the test
+// suite exploits by asserting trajectory equality across backends.
+//
+// Backends provided (mirroring the paper):
+//  * kSerial           — one core; the baseline all speedups compare against.
+//  * kForkJoin         — paper's OpenMP "first approach" (Fig. 4 top-left):
+//                        one fork/join parallel-for per phase, std::thread
+//                        pool implementation.
+//  * kPersistent       — paper's "second approach" (Fig. 4 right): a single
+//                        persistent parallel region for the whole batch of
+//                        iterations with a barrier between phases.
+//  * kOmpForkJoin /
+//    kOmpPersistent    — the same two strategies expressed with real OpenMP
+//                        pragmas (available when compiled with OpenMP).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paradmm {
+
+/// One parallel update phase: `count` independent tasks plus a barrier at
+/// the end.  `apply(i)` must be safe to run concurrently for distinct i and
+/// must not touch state written by other tasks of the same phase.
+struct Phase {
+  std::string name;
+  std::size_t count = 0;
+  std::function<void(std::size_t)> apply;
+};
+
+/// Accumulated wall-clock seconds per phase index, across iterations.
+class PhaseTimings {
+ public:
+  explicit PhaseTimings(std::size_t phases) : seconds_(phases, 0.0) {}
+
+  void add(std::size_t phase, double seconds) { seconds_[phase] += seconds; }
+  double seconds(std::size_t phase) const { return seconds_[phase]; }
+  std::size_t phases() const { return seconds_.size(); }
+
+  double total_seconds() const {
+    double total = 0.0;
+    for (double s : seconds_) total += s;
+    return total;
+  }
+
+  /// Fraction of total time spent in `phase` (the paper's "% of time per
+  /// update" in-text numbers).
+  double fraction(std::size_t phase) const {
+    const double total = total_seconds();
+    return total == 0.0 ? 0.0 : seconds_[phase] / total;
+  }
+
+ private:
+  std::vector<double> seconds_;
+};
+
+/// Strategy interface.  `run` executes `iterations` sweeps over `phases`
+/// in order, honoring the inter-phase barrier semantics.
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual void run(std::span<const Phase> phases, int iterations,
+                   PhaseTimings* timings = nullptr) = 0;
+
+  /// Number of OS threads participating.
+  virtual std::size_t concurrency() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+enum class BackendKind {
+  kSerial,
+  kForkJoin,       // std::thread pool, one fork/join per phase (strategy A)
+  kPersistent,     // persistent std::thread region + barriers (strategy B)
+  kOmpForkJoin,    // OpenMP parallel-for per phase (strategy A)
+  kOmpPersistent,  // OpenMP persistent region + barriers (strategy B)
+};
+
+/// Human-readable backend-kind name (for tables and logs).
+std::string_view to_string(BackendKind kind);
+
+/// True when this build can honor OpenMP backend kinds natively.
+bool openmp_available();
+
+/// Creates a backend.  `threads` is ignored by kSerial.  When OpenMP kinds
+/// are requested in a build without OpenMP, the equivalent std::thread
+/// strategy is returned instead (same schedule, same numerics).
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind,
+                                               std::size_t threads);
+
+}  // namespace paradmm

@@ -1,0 +1,121 @@
+// OpenMP realizations of the paper's two scheduling strategies (Fig. 4).
+// Compiled in every build; the pragmas are no-ops without -fopenmp and
+// make_omp_backend then reports OpenMP as unavailable.
+#include "parallel/backend.hpp"
+
+#include <memory>
+
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace paradmm {
+
+#ifdef _OPENMP
+namespace {
+
+// Strategy A: `#pragma omp parallel for` per phase — the variant the paper
+// found fastest on all three problems.
+class OmpForkJoinBackend final : public ExecutionBackend {
+ public:
+  explicit OmpForkJoinBackend(std::size_t threads) : threads_(threads) {
+    require(threads >= 1, "OmpForkJoinBackend needs at least one thread");
+  }
+
+  void run(std::span<const Phase> phases, int iterations,
+           PhaseTimings* timings) override {
+    omp_set_num_threads(static_cast<int>(threads_));
+    for (int iter = 0; iter < iterations; ++iter) {
+      for (std::size_t p = 0; p < phases.size(); ++p) {
+        WallTimer timer;
+        const Phase& phase = phases[p];
+        const auto count = static_cast<long long>(phase.count);
+#pragma omp parallel for schedule(static)
+        for (long long i = 0; i < count; ++i) {
+          phase.apply(static_cast<std::size_t>(i));
+        }
+        if (timings) timings->add(p, timer.seconds());
+      }
+    }
+  }
+
+  std::size_t concurrency() const override { return threads_; }
+  std::string_view name() const override { return "omp-fork-join"; }
+
+ private:
+  std::size_t threads_;
+};
+
+// Strategy B: one `#pragma omp parallel` region spanning every iteration,
+// with `#pragma omp barrier` between phases and manual range assignment
+// (the paper's AssignThreads).
+class OmpPersistentBackend final : public ExecutionBackend {
+ public:
+  explicit OmpPersistentBackend(std::size_t threads) : threads_(threads) {
+    require(threads >= 1, "OmpPersistentBackend needs at least one thread");
+  }
+
+  void run(std::span<const Phase> phases, int iterations,
+           PhaseTimings* timings) override {
+    omp_set_num_threads(static_cast<int>(threads_));
+#pragma omp parallel
+    {
+      const auto rank = static_cast<std::size_t>(omp_get_thread_num());
+      const auto parts = static_cast<std::size_t>(omp_get_num_threads());
+      WallTimer timer;
+      for (int iter = 0; iter < iterations; ++iter) {
+        for (std::size_t p = 0; p < phases.size(); ++p) {
+          const Phase& phase = phases[p];
+          const auto [begin, end] =
+              ThreadPool::static_chunk(phase.count, rank, parts);
+          for (std::size_t i = begin; i < end; ++i) phase.apply(i);
+#pragma omp barrier
+          if (rank == 0 && timings) {
+            timings->add(p, timer.seconds());
+            timer.reset();
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t concurrency() const override { return threads_; }
+  std::string_view name() const override { return "omp-persistent"; }
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace
+#endif  // _OPENMP
+
+bool openmp_available() {
+#ifdef _OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<ExecutionBackend> make_omp_backend(BackendKind kind,
+                                                   std::size_t threads) {
+#ifdef _OPENMP
+  if (kind == BackendKind::kOmpForkJoin) {
+    return std::make_unique<OmpForkJoinBackend>(threads);
+  }
+  if (kind == BackendKind::kOmpPersistent) {
+    return std::make_unique<OmpPersistentBackend>(threads);
+  }
+  return nullptr;
+#else
+  (void)kind;
+  (void)threads;
+  return nullptr;
+#endif
+}
+
+}  // namespace paradmm

@@ -1,0 +1,96 @@
+#include "parallel/thread_pool.hpp"
+
+#include "support/error.hpp"
+
+namespace paradmm {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  require(threads >= 1, "ThreadPool needs at least one thread");
+  workers_.reserve(threads - 1);
+  for (std::size_t rank = 1; rank < threads; ++rank) {
+    workers_.emplace_back([this, rank] { worker_loop(rank); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_workers_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::static_chunk(
+    std::size_t count, std::size_t rank, std::size_t parts) {
+  // Same arithmetic as the paper's AssignThreads: floor splits, remainder
+  // absorbed by the last participant.
+  const std::size_t begin = rank * count / parts;
+  std::size_t end = (rank + 1) * count / parts;
+  if (rank == parts - 1) end = count;
+  return {begin, end};
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(count, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t parts = concurrency();
+  if (parts == 1 || count == 1) {
+    body(0, count);
+    return;
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    job_.chunk_body = &body;
+    job_.count = count;
+    ++job_.epoch;
+    workers_remaining_ = workers_.size();
+  }
+  wake_workers_.notify_all();
+
+  // The calling thread processes chunk 0 while workers take 1..parts-1.
+  const auto [begin, end] = static_chunk(count, 0, parts);
+  body(begin, end);
+
+  std::unique_lock lock(mutex_);
+  job_done_.wait(lock, [this] { return workers_remaining_ == 0; });
+  job_.chunk_body = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t rank) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock lock(mutex_);
+      wake_workers_.wait(lock, [&] {
+        return shutting_down_ || (job_.chunk_body && job_.epoch != seen_epoch);
+      });
+      if (shutting_down_) return;
+      seen_epoch = job_.epoch;
+      body = job_.chunk_body;
+      count = job_.count;
+    }
+
+    const auto [begin, end] = static_chunk(count, rank, workers_.size() + 1);
+    if (begin < end) (*body)(begin, end);
+
+    {
+      std::lock_guard lock(mutex_);
+      --workers_remaining_;
+    }
+    job_done_.notify_one();
+  }
+}
+
+}  // namespace paradmm

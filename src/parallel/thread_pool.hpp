@@ -1,0 +1,69 @@
+// A small fixed-size worker pool with a blocking parallel_for.
+//
+// This is the std::thread counterpart of the paper's OpenMP strategy A
+// (five `#pragma omp parallel for` loops per ADMM iteration): each call to
+// parallel_for forks the index range across the workers and joins before
+// returning.  Workers are created once and reused, so the per-loop cost is
+// one mutex round-trip per worker, not thread creation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paradmm {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` persistent workers (>= 1).  The calling thread also
+  /// participates in parallel_for, so total concurrency is `threads`.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Invokes body(i) for every i in [0, count), split into contiguous
+  /// static chunks (one per participant, like OpenMP's schedule(static)).
+  /// Blocks until every invocation has completed.  `body` must be safe to
+  /// call concurrently for distinct indices.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Invokes body(begin, end) on each participant's chunk instead of per
+  /// index — lets hot loops avoid a std::function call per element.
+  void parallel_for_chunks(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Static chunk [begin, end) for participant `rank` of `parts` over
+  /// `count` items; mirrors the AssignThreads helper in the paper's Fig. 4.
+  static std::pair<std::size_t, std::size_t> static_chunk(std::size_t count,
+                                                          std::size_t rank,
+                                                          std::size_t parts);
+
+ private:
+  void worker_loop(std::size_t rank);
+
+  struct Job {
+    // Non-null while a parallel_for is in flight.
+    const std::function<void(std::size_t, std::size_t)>* chunk_body = nullptr;
+    std::size_t count = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable job_done_;
+  Job job_;
+  std::size_t workers_remaining_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace paradmm

@@ -1,0 +1,141 @@
+#include "problems/mpc/builder.hpp"
+
+#include <cmath>
+
+#include "math/vec.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace paradmm::mpc {
+
+MpcProblem::MpcProblem(const MpcConfig& config)
+    : config_(config), model_(linearized_pendulum(config.plant)) {
+  require(config.horizon >= 1, "MPC horizon must be at least 1");
+  require(config.q_weight.size() == kStateDim,
+          "q_weight must match the state dimension");
+  require(config.r_weight.size() == kInputDim,
+          "r_weight must match the input dimension");
+  require(config.initial_state.size() == kStateDim,
+          "initial_state must match the state dimension");
+
+  const std::size_t k = config.horizon;
+  const auto node_dim = static_cast<std::uint32_t>(kStateDim + kInputDim);
+  nodes_ = graph_.add_variables(k + 1, node_dim);
+
+  const auto stage_cost =
+      std::make_shared<StageCostProx>(config.q_weight, config.r_weight);
+  for (std::size_t t = 0; t <= k; ++t) {
+    graph_.add_factor(stage_cost, {nodes_[t]});
+  }
+  const auto dynamics = make_dynamics_prox(model_);
+  for (std::size_t t = 0; t < k; ++t) {
+    graph_.add_factor(dynamics, {nodes_[t], nodes_[t + 1]});
+  }
+  initial_ = std::make_shared<InitialStateProx>(config.initial_state);
+  graph_.add_factor(initial_, {nodes_[0]});
+
+  graph_.set_uniform_parameters(config.rho, config.alpha);
+  Rng rng(config.seed);
+  graph_.randomize_state(config.init_lo, config.init_hi, rng);
+}
+
+std::vector<StagePoint> MpcProblem::trajectory() const {
+  std::vector<StagePoint> points;
+  points.reserve(nodes_.size());
+  for (const VariableId node : nodes_) {
+    const auto z = graph_.solution(node);
+    StagePoint point;
+    point.state.assign(z.begin(), z.begin() + kStateDim);
+    point.input = z[kStateDim];
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+double MpcProblem::dynamics_violation() const {
+  const auto points = trajectory();
+  double worst = 0.0;
+  std::vector<double> delta(kStateDim);
+  for (std::size_t t = 0; t + 1 < points.size(); ++t) {
+    model_.a.multiply(points[t].state, delta);
+    for (std::size_t i = 0; i < kStateDim; ++i) {
+      const double residual = points[t + 1].state[i] - points[t].state[i] -
+                              delta[i] - model_.b(i, 0) * points[t].input;
+      worst = std::max(worst, std::fabs(residual));
+    }
+  }
+  return worst;
+}
+
+double MpcProblem::objective() const {
+  const auto points = trajectory();
+  double total = 0.0;
+  for (const auto& point : points) {
+    for (std::size_t i = 0; i < kStateDim; ++i) {
+      total += config_.q_weight[i] * point.state[i] * point.state[i];
+    }
+    total += config_.r_weight[0] * point.input * point.input;
+  }
+  return total;
+}
+
+void MpcProblem::set_initial_state(std::vector<double> q0) {
+  config_.initial_state = q0;
+  initial_->set_state(std::move(q0));
+}
+
+std::vector<StagePoint> solve_mpc_direct(const MpcConfig& config) {
+  const PendulumModel model = linearized_pendulum(config.plant);
+  const std::size_t k = config.horizon;
+  const std::size_t node = kStateDim + kInputDim;
+  const std::size_t vars = (k + 1) * node;
+  const std::size_t constraints = kStateDim + k * kStateDim;
+  const std::size_t dim = vars + constraints;
+
+  Matrix kkt(dim, dim);
+  std::vector<double> rhs(dim, 0.0);
+
+  // Hessian: 2 * diag(stacked stage weights).
+  for (std::size_t t = 0; t <= k; ++t) {
+    for (std::size_t i = 0; i < kStateDim; ++i) {
+      kkt(t * node + i, t * node + i) = 2.0 * config.q_weight[i];
+    }
+    kkt(t * node + kStateDim, t * node + kStateDim) =
+        2.0 * config.r_weight[0];
+  }
+
+  // Initial-state rows: q(0) = q0.
+  std::size_t row = vars;
+  for (std::size_t i = 0; i < kStateDim; ++i, ++row) {
+    kkt(row, i) = 1.0;
+    kkt(i, row) = 1.0;
+    rhs[row] = config.initial_state[i];
+  }
+
+  // Dynamics rows: -(I + A) q_t - B u_t + q_{t+1} = 0.
+  for (std::size_t t = 0; t < k; ++t) {
+    for (std::size_t r = 0; r < kStateDim; ++r, ++row) {
+      for (std::size_t c = 0; c < kStateDim; ++c) {
+        const double coefficient = -model.a(r, c) - (r == c ? 1.0 : 0.0);
+        kkt(row, t * node + c) = coefficient;
+        kkt(t * node + c, row) = coefficient;
+      }
+      kkt(row, t * node + kStateDim) = -model.b(r, 0);
+      kkt(t * node + kStateDim, row) = -model.b(r, 0);
+      kkt(row, (t + 1) * node + r) = 1.0;
+      kkt((t + 1) * node + r, row) = 1.0;
+    }
+  }
+
+  const std::vector<double> solution = solve_lu(kkt, rhs);
+
+  std::vector<StagePoint> points(k + 1);
+  for (std::size_t t = 0; t <= k; ++t) {
+    points[t].state.assign(solution.begin() + t * node,
+                           solution.begin() + t * node + kStateDim);
+    points[t].input = solution[t * node + kStateDim];
+  }
+  return points;
+}
+
+}  // namespace paradmm::mpc

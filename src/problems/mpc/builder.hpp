@@ -1,0 +1,73 @@
+// Factor-graph builder and direct (KKT) reference solver for the MPC
+// benchmark (§V-B of the paper).
+//
+// One variable node per time step stacks (q(t), u(t)); factors, added by
+// kind for warp-uniform layout:
+//   K+1 stage costs, K dynamics constraints, 1 initial-state clamp
+// giving 3K+2 edges — linear in the horizon K, as the paper notes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/factor_graph.hpp"
+#include "problems/mpc/prox_ops.hpp"
+
+namespace paradmm::mpc {
+
+struct MpcConfig {
+  std::size_t horizon = 50;  ///< K
+  PendulumParams plant;
+  std::vector<double> q_weight = {1.0, 0.1, 10.0, 0.1};  ///< diag(Q)
+  std::vector<double> r_weight = {0.01};                 ///< diag(R)
+  std::vector<double> initial_state = {0.3, 0.0, 0.15, 0.0};
+  double rho = 1.0;
+  double alpha = 1.0;
+  std::uint64_t seed = 99;
+  /// Random init range for the ADMM state (the paper initializes at random).
+  double init_lo = -0.1;
+  double init_hi = 0.1;
+};
+
+/// One (q, u) trajectory point.
+struct StagePoint {
+  std::vector<double> state;
+  double input = 0.0;
+};
+
+class MpcProblem {
+ public:
+  explicit MpcProblem(const MpcConfig& config);
+
+  FactorGraph& graph() { return graph_; }
+  const FactorGraph& graph() const { return graph_; }
+  const MpcConfig& config() const { return config_; }
+  const PendulumModel& model() const { return model_; }
+
+  /// Decoded trajectory from the consensus variables.
+  std::vector<StagePoint> trajectory() const;
+
+  /// Max dynamics violation ||q(t+1) - q(t) - A q(t) - B u(t)||_inf over t.
+  double dynamics_violation() const;
+
+  /// The quadratic objective at the current solution.
+  double objective() const;
+
+  /// Moves the initial-state clamp (real-time re-solve support).
+  void set_initial_state(std::vector<double> q0);
+
+  VariableId node_id(std::size_t t) const { return nodes_.at(t); }
+
+ private:
+  MpcConfig config_;
+  PendulumModel model_;
+  FactorGraph graph_;
+  std::vector<VariableId> nodes_;
+  std::shared_ptr<InitialStateProx> initial_;
+};
+
+/// Dense KKT reference: solves the same equality-constrained QP directly
+/// (test oracle; O((K nq)^3), use with modest K).
+std::vector<StagePoint> solve_mpc_direct(const MpcConfig& config);
+
+}  // namespace paradmm::mpc

@@ -1,0 +1,88 @@
+#include "problems/mpc/cost_spec.hpp"
+
+#include <array>
+#include <memory>
+
+#include "problems/mpc/builder.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::mpc {
+namespace {
+
+using devsim::IterationCosts;
+using devsim::MemoryPattern;
+using devsim::PhaseCostSpec;
+using devsim::TaskCost;
+
+constexpr std::uint32_t kNodeDim = kStateDim + kInputDim;
+
+}  // namespace
+
+devsim::IterationCosts mpc_iteration_costs(std::size_t horizon) {
+  require(horizon >= 1, "mpc_iteration_costs needs horizon >= 1");
+  const std::size_t k = horizon;
+  const std::size_t stage_factors = k + 1;
+  const std::size_t dynamics_factors = k;
+  const std::size_t factors = stage_factors + dynamics_factors + 1;
+  const std::size_t edges = stage_factors + 2 * dynamics_factors + 1;
+  const std::size_t variables = k + 1;
+
+  // Representative operators, used only for their cost annotations.
+  const MpcConfig defaults;
+  const auto stage =
+      std::make_shared<StageCostProx>(defaults.q_weight, defaults.r_weight);
+  const auto dynamics =
+      make_dynamics_prox(linearized_pendulum(defaults.plant));
+  const auto initial =
+      std::make_shared<InitialStateProx>(defaults.initial_state);
+
+  static constexpr std::array<std::uint32_t, 1> kOneNode = {kNodeDim};
+  static constexpr std::array<std::uint32_t, 2> kTwoNodes = {kNodeDim,
+                                                             kNodeDim};
+  const TaskCost stage_cost = devsim::x_phase_task_cost(*stage, kOneNode);
+  const TaskCost dynamics_cost =
+      devsim::x_phase_task_cost(*dynamics, kTwoNodes);
+  const TaskCost initial_cost =
+      devsim::x_phase_task_cost(*initial, kOneNode);
+
+  IterationCosts costs;
+  costs.phases[0] = PhaseCostSpec{
+      "x", factors, MemoryPattern::kGather,
+      [stage_factors, dynamics_factors, stage_cost, dynamics_cost,
+       initial_cost](std::size_t a) {
+        if (a < stage_factors) return stage_cost;
+        if (a < stage_factors + dynamics_factors) return dynamics_cost;
+        return initial_cost;
+      }};
+  costs.phases[1] = PhaseCostSpec{
+      "m", edges, MemoryPattern::kCoalesced,
+      [](std::size_t) { return devsim::m_phase_cost(kNodeDim); }};
+  costs.phases[2] = PhaseCostSpec{
+      "z", variables, MemoryPattern::kGather, [k](std::size_t b) {
+        // Node degrees: stage cost (1) + dynamics to the left/right + the
+        // initial clamp on node 0.
+        std::uint32_t degree = 1;
+        if (b > 0) ++degree;      // dynamics (b-1, b)
+        if (b < k) ++degree;      // dynamics (b, b+1)
+        if (b == 0) ++degree;     // initial-state factor
+        return devsim::z_phase_cost(degree, kNodeDim);
+      }};
+  costs.phases[3] = PhaseCostSpec{
+      "u", edges, MemoryPattern::kMixed,
+      [](std::size_t) { return devsim::u_phase_cost(kNodeDim); }};
+  costs.phases[4] = PhaseCostSpec{
+      "n", edges, MemoryPattern::kMixed,
+      [](std::size_t) { return devsim::n_phase_cost(kNodeDim); }};
+  return costs;
+}
+
+devsim::GraphFootprint mpc_footprint(std::size_t horizon) {
+  devsim::GraphFootprint footprint;
+  const std::size_t edges = 3 * horizon + 2;
+  footprint.edges = edges;
+  footprint.edge_scalars = edges * kNodeDim;
+  footprint.variable_scalars = (horizon + 1) * kNodeDim;
+  return footprint;
+}
+
+}  // namespace paradmm::mpc

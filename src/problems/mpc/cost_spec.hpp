@@ -1,0 +1,15 @@
+// Analytic iteration-cost descriptor for the MPC factor graph — the paper
+// sweeps the horizon K up to 1e5; this reproduces exactly what
+// devsim::extract_iteration_costs computes on the materialized graph
+// (asserted in tests) without building it.
+#pragma once
+
+#include "devsim/cost_model.hpp"
+
+namespace paradmm::mpc {
+
+devsim::IterationCosts mpc_iteration_costs(std::size_t horizon);
+
+devsim::GraphFootprint mpc_footprint(std::size_t horizon);
+
+}  // namespace paradmm::mpc

@@ -1,0 +1,51 @@
+#include "problems/mpc/pendulum.hpp"
+
+#include "support/error.hpp"
+
+namespace paradmm::mpc {
+
+PendulumModel linearized_pendulum(const PendulumParams& params) {
+  require(params.dt > 0.0, "pendulum sampling period must be positive");
+  require(params.cart_mass > 0.0 && params.pole_mass > 0.0 &&
+              params.pole_length > 0.0,
+          "pendulum masses and length must be positive");
+  const double m_cart = params.cart_mass;
+  const double m_pole = params.pole_mass;
+  const double length = params.pole_length;
+  const double g = params.gravity;
+
+  // Continuous-time linearization around the upright equilibrium
+  // (standard cart-pole, pole angle measured from vertical):
+  //   x_ddot     = ( u - m_p g theta ) / m_c               (small angle)
+  //   theta_ddot = ( (m_c + m_p) g theta - u ) / (m_c l)
+  Matrix a_c(4, 4);
+  a_c(0, 1) = 1.0;
+  a_c(1, 2) = -m_pole * g / m_cart;
+  a_c(2, 3) = 1.0;
+  a_c(3, 2) = (m_cart + m_pole) * g / (m_cart * length);
+
+  Matrix b_c(4, 1);
+  b_c(1, 0) = 1.0 / m_cart;
+  b_c(3, 0) = -1.0 / (m_cart * length);
+
+  PendulumModel model{Matrix(4, 4), Matrix(4, 1)};
+  model.a = a_c;
+  model.a *= params.dt;
+  model.b = b_c;
+  model.b *= params.dt;
+  return model;
+}
+
+std::vector<double> step(const PendulumModel& model,
+                         std::span<const double> state, double input) {
+  require(state.size() == kStateDim, "pendulum state must be 4-dimensional");
+  std::vector<double> delta(kStateDim);
+  model.a.multiply(state, delta);
+  std::vector<double> next(state.begin(), state.end());
+  for (std::size_t i = 0; i < kStateDim; ++i) {
+    next[i] += delta[i] + model.b(i, 0) * input;
+  }
+  return next;
+}
+
+}  // namespace paradmm::mpc

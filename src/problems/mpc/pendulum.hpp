@@ -1,0 +1,40 @@
+// Linearized inverted pendulum (cart-pole) — the plant behind the paper's
+// MPC benchmark (§V-B): "A in R^4x4 and B in R^4x1, obtained from
+// linearizing (around equilibrium) and sampling (every 40 ms) a continuous
+// time inverted-pendulum system".
+//
+// States: [cart position, cart velocity, pole angle, pole angular rate];
+// input: horizontal force on the cart.  The discrete difference form the
+// paper uses is q(t+1) - q(t) = A q(t) + B u(t) with A = A_c * dt and
+// B = B_c * dt (forward-Euler sampling of the continuous linearization).
+#pragma once
+
+#include "math/matrix.hpp"
+
+namespace paradmm::mpc {
+
+inline constexpr std::size_t kStateDim = 4;
+inline constexpr std::size_t kInputDim = 1;
+
+struct PendulumParams {
+  double cart_mass = 1.0;    ///< kg
+  double pole_mass = 0.2;    ///< kg
+  double pole_length = 0.5;  ///< m (pivot to center of mass)
+  double gravity = 9.81;     ///< m/s^2
+  double dt = 0.04;          ///< s (the paper's 40 ms sampling)
+};
+
+/// Discrete difference-form model: q(t+1) - q(t) = A q(t) + B u(t).
+struct PendulumModel {
+  Matrix a;  ///< 4x4
+  Matrix b;  ///< 4x1
+};
+
+/// Linearizes the cart-pole around the upright equilibrium and samples it.
+PendulumModel linearized_pendulum(const PendulumParams& params = {});
+
+/// One step of the open-loop dynamics (for closed-loop simulations).
+std::vector<double> step(const PendulumModel& model,
+                         std::span<const double> state, double input);
+
+}  // namespace paradmm::mpc

@@ -1,0 +1,131 @@
+#include "problems/mpc/prox_ops.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "math/vec.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::mpc {
+
+// ------------------------------------------------------------- StageCost
+
+StageCostProx::StageCostProx(std::vector<double> q_diag,
+                             std::vector<double> r_diag) {
+  require(!q_diag.empty() && !r_diag.empty(),
+          "StageCostProx needs both state and input weights");
+  for (const double w : q_diag) {
+    require(w >= 0.0, "StageCostProx state weights must be non-negative");
+  }
+  for (const double w : r_diag) {
+    require(w >= 0.0, "StageCostProx input weights must be non-negative");
+  }
+  weights_ = std::move(q_diag);
+  weights_.insert(weights_.end(), r_diag.begin(), r_diag.end());
+}
+
+void StageCostProx::apply(const ProxContext& ctx) const {
+  affirm(ctx.edge_count() == 1, "StageCostProx expects a single edge");
+  const auto input = ctx.input(0);
+  const auto output = ctx.output(0);
+  affirm(input.size() == weights_.size(),
+         "StageCostProx weight/edge dimension mismatch");
+  const double rho = ctx.rho(0);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    output[i] = rho * input[i] / (rho + 2.0 * weights_[i]);
+  }
+}
+
+double StageCostProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  const auto value = values[0];
+  double total = 0.0;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    total += weights_[i] * value[i] * value[i];
+  }
+  return total;
+}
+
+ProxCost StageCostProx::cost(std::span<const std::uint32_t> dims) const {
+  double scalars = 0.0;
+  for (const auto d : dims) scalars += d;
+  return {.flops = 4.0 * scalars,
+          .bytes = 8.0 * (3.0 * scalars) + 40.0,
+          .branch_class = 3001};
+}
+
+// ----------------------------------------------------------- InitialState
+
+InitialStateProx::InitialStateProx(std::vector<double> q0)
+    : q0_(std::move(q0)) {
+  require(!q0_.empty(), "InitialStateProx needs a state vector");
+}
+
+void InitialStateProx::apply(const ProxContext& ctx) const {
+  affirm(ctx.edge_count() == 1, "InitialStateProx expects a single edge");
+  const auto input = ctx.input(0);
+  const auto output = ctx.output(0);
+  affirm(input.size() >= q0_.size(),
+         "InitialStateProx edge shorter than the state");
+  for (std::size_t i = 0; i < q0_.size(); ++i) output[i] = q0_[i];
+  for (std::size_t i = q0_.size(); i < input.size(); ++i) {
+    output[i] = input[i];
+  }
+}
+
+double InitialStateProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  for (std::size_t i = 0; i < q0_.size(); ++i) {
+    if (std::fabs(values[0][i] - q0_[i]) > 1e-6) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return 0.0;
+}
+
+ProxCost InitialStateProx::cost(std::span<const std::uint32_t> dims) const {
+  double scalars = 0.0;
+  for (const auto d : dims) scalars += d;
+  return {.flops = scalars,
+          .bytes = 8.0 * 2.0 * scalars + 32.0,
+          .branch_class = 3002};
+}
+
+void InitialStateProx::set_state(std::vector<double> q0) {
+  require(q0.size() == q0_.size(),
+          "InitialStateProx state dimension cannot change");
+  q0_ = std::move(q0);
+}
+
+// --------------------------------------------------------------- dynamics
+
+Matrix dynamics_constraint_matrix(const PendulumModel& model) {
+  const std::size_t nq = model.a.rows();
+  const std::size_t nu = model.b.cols();
+  require(model.a.cols() == nq && model.b.rows() == nq,
+          "dynamics model dimension mismatch");
+  const std::size_t node = nq + nu;
+  Matrix constraint(nq, 2 * node);
+  for (std::size_t r = 0; r < nq; ++r) {
+    // -(I + A) q_t
+    for (std::size_t c = 0; c < nq; ++c) {
+      constraint(r, c) = -model.a(r, c) - (r == c ? 1.0 : 0.0);
+    }
+    // -B u_t
+    for (std::size_t c = 0; c < nu; ++c) {
+      constraint(r, nq + c) = -model.b(r, c);
+    }
+    // +q_{t+1}
+    constraint(r, node + r) = 1.0;
+  }
+  return constraint;
+}
+
+std::shared_ptr<const ProxOperator> make_dynamics_prox(
+    const PendulumModel& model) {
+  const std::size_t nq = model.a.rows();
+  return std::make_shared<AffineEqualityProx>(
+      dynamics_constraint_matrix(model), std::vector<double>(nq, 0.0));
+}
+
+}  // namespace paradmm::mpc

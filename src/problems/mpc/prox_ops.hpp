@@ -1,0 +1,67 @@
+// Proximal operators for the MPC factor graph (Appendix B of the paper).
+//
+// Each time step t owns one variable node stacking (q(t), u(t)).  Three
+// operator families appear:
+//   * StageCostProx     f(q,u) = q' diag(Q) q + u' diag(R) u   (per node)
+//   * dynamics factors  q(t+1) - q(t) = A q(t) + B u(t)        (per step,
+//     expressed with the generic AffineEqualityProx — see make_dynamics_*)
+//   * InitialStateProx  q(0) = q0, u(0) free                   (node 0)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/prox.hpp"
+#include "core/prox_library.hpp"
+#include "problems/mpc/pendulum.hpp"
+
+namespace paradmm::mpc {
+
+/// Quadratic stage cost with diagonal weights (the paper makes all Q_t and
+/// R_t equal and diagonal).  Single edge of dim |q| + |u|; closed form per
+/// component: x_i = rho n_i / (rho + 2 w_i).
+class StageCostProx final : public ProxOperator {
+ public:
+  StageCostProx(std::vector<double> q_diag, std::vector<double> r_diag);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "mpc-stage-cost"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+
+ private:
+  std::vector<double> weights_;  // stacked (q_diag, r_diag)
+};
+
+/// Clamps the state part of node 0 to the measured q0 (the paper's
+/// q(0) = q0 factor); the input part passes through.
+class InitialStateProx final : public ProxOperator {
+ public:
+  explicit InitialStateProx(std::vector<double> q0);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "mpc-initial-state"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+
+  /// Re-points the clamp at a new measured state (real-time MPC re-solve:
+  /// the paper notes only q0 needs updating between controller cycles).
+  /// Not thread-safe against a running solve.
+  void set_state(std::vector<double> q0);
+
+ private:
+  std::vector<double> q0_;
+};
+
+/// Builds the constraint matrix of one dynamics factor over the stacked
+/// edges ((q_t, u_t), (q_{t+1}, u_{t+1})):
+///   -(I + A) q_t - B u_t + q_{t+1} = 0   (|q| rows, 2(|q|+|u|) cols).
+Matrix dynamics_constraint_matrix(const PendulumModel& model);
+
+/// Convenience: the dynamics factor as a ready-to-share proximal operator.
+std::shared_ptr<const ProxOperator> make_dynamics_prox(
+    const PendulumModel& model);
+
+}  // namespace paradmm::mpc

@@ -1,0 +1,105 @@
+#include "problems/packing/builder.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace paradmm::packing {
+
+PackingProblem::PackingProblem(const PackingConfig& config)
+    : config_(config) {
+  require(config.circles >= 1, "packing needs at least one circle");
+  require(config.rho > config.radius_gain,
+          "packing requires rho > radius_gain (see RadiusRewardProx)");
+  const std::size_t n = config.circles;
+
+  centers_.reserve(n);
+  radii_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    centers_.push_back(graph_.add_variable(2));
+    radii_.push_back(graph_.add_variable(1));
+  }
+
+  // Shared stateless operators (one instance serves every factor).
+  const auto collision =
+      std::make_shared<NoCollisionProx>(config.use_three_weight);
+  const auto radius_reward =
+      std::make_shared<RadiusRewardProx>(config.radius_gain);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      graph_.add_factor(collision,
+                        {centers_[i], radii_[i], centers_[j], radii_[j]});
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& wall : config.triangle.walls()) {
+      graph_.add_factor(
+          std::make_shared<WallProx>(wall, config.use_three_weight),
+          {centers_[i], radii_[i]});
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    graph_.add_factor(radius_reward, {radii_[i]});
+  }
+
+  graph_.set_uniform_parameters(config.rho, config.alpha);
+  Rng rng(config.seed);
+  graph_.randomize_state(config.init_lo, config.init_hi, rng);
+}
+
+std::vector<Circle> PackingProblem::circles() const {
+  std::vector<Circle> result;
+  result.reserve(config_.circles);
+  for (std::size_t i = 0; i < config_.circles; ++i) {
+    const auto center = graph_.solution(centers_[i]);
+    const auto radius = graph_.solution(radii_[i]);
+    result.push_back(Circle{{center[0], center[1]}, radius[0]});
+  }
+  return result;
+}
+
+double PackingProblem::max_overlap() const {
+  return packing::max_overlap(circles());
+}
+
+double PackingProblem::max_wall_violation() const {
+  return packing::max_wall_violation(circles(), config_.triangle);
+}
+
+double PackingProblem::sum_radii_squared() const {
+  double total = 0.0;
+  for (const auto& circle : circles()) {
+    total += circle.radius * circle.radius;
+  }
+  return total;
+}
+
+void write_svg(const std::vector<Circle>& circles, const Triangle& triangle,
+               const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "write_svg: cannot open output file " + path);
+  constexpr double kScale = 400.0;
+  constexpr double kMargin = 20.0;
+  const auto& v = triangle.vertices();
+  double max_y = 0.0;
+  for (const auto& p : v) max_y = std::max(max_y, p.y);
+
+  auto sx = [&](double x) { return kMargin + x * kScale; };
+  auto sy = [&](double y) { return kMargin + (max_y - y) * kScale; };
+
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='"
+      << kScale + 2 * kMargin << "' height='" << max_y * kScale + 2 * kMargin
+      << "'>\n";
+  out << "<polygon points='";
+  for (const auto& p : v) out << sx(p.x) << ',' << sy(p.y) << ' ';
+  out << "' fill='none' stroke='black' stroke-width='2'/>\n";
+  for (const auto& circle : circles) {
+    out << "<circle cx='" << sx(circle.center.x) << "' cy='"
+        << sy(circle.center.y) << "' r='" << circle.radius * kScale
+        << "' fill='steelblue' fill-opacity='0.55' stroke='navy'/>\n";
+  }
+  out << "</svg>\n";
+}
+
+}  // namespace paradmm::packing

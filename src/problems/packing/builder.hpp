@@ -1,0 +1,75 @@
+// Factor-graph builder and solution readout for circle packing in a
+// triangle (the paper's combinatorial-optimization benchmark, §V-A).
+//
+// For N circles and a triangle of S = 3 walls the graph has (paper's
+// formula, verified in tests):
+//   2N variable nodes   (c_i in R^2, r_i in R)
+//   N(N-1)/2 + NS + N function nodes
+//   2N^2 - N + 2NS edges
+//
+// Factors are added by kind — all collisions, then all walls, then all
+// radius rewards — matching the paper's note that graph layout follows the
+// sequence of node additions and keeping GPU warps type-uniform.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/factor_graph.hpp"
+#include "problems/packing/geometry.hpp"
+#include "problems/packing/prox_ops.hpp"
+
+namespace paradmm::packing {
+
+struct PackingConfig {
+  std::size_t circles = 10;
+  Triangle triangle = Triangle::equilateral();
+  double rho = 1.0;
+  double alpha = 1.0;
+  /// Radius-reward gain; must stay below rho (see RadiusRewardProx).
+  double radius_gain = 0.5;
+  /// Uniform random initialization range for the ADMM state.
+  double init_lo = 0.0;
+  double init_hi = 0.3;
+  std::uint64_t seed = 1234;
+  /// Build the constraint operators in three-weight (TWA) mode; solve with
+  /// SolverOptions::rho_policy = RhoPolicy::kThreeWeight to activate.
+  bool use_three_weight = false;
+};
+
+/// A built packing instance: the graph plus the variable ids needed to read
+/// the solution back.
+class PackingProblem {
+ public:
+  explicit PackingProblem(const PackingConfig& config);
+
+  FactorGraph& graph() { return graph_; }
+  const FactorGraph& graph() const { return graph_; }
+  const PackingConfig& config() const { return config_; }
+
+  std::size_t circle_count() const { return config_.circles; }
+
+  /// Current circles decoded from the consensus variables z.
+  std::vector<Circle> circles() const;
+
+  /// Feasibility and quality metrics of the current solution.
+  double max_overlap() const;
+  double max_wall_violation() const;
+  double sum_radii_squared() const;
+
+  VariableId center_id(std::size_t i) const { return centers_.at(i); }
+  VariableId radius_id(std::size_t i) const { return radii_.at(i); }
+
+ private:
+  PackingConfig config_;
+  FactorGraph graph_;
+  std::vector<VariableId> centers_;
+  std::vector<VariableId> radii_;
+};
+
+/// Writes the configuration as a standalone SVG file (examples use this to
+/// make results inspectable).
+void write_svg(const std::vector<Circle>& circles, const Triangle& triangle,
+               const std::string& path);
+
+}  // namespace paradmm::packing

@@ -1,0 +1,123 @@
+#include "problems/packing/cost_spec.hpp"
+
+#include <array>
+#include <memory>
+
+#include "problems/packing/prox_ops.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::packing {
+namespace {
+
+using devsim::IterationCosts;
+using devsim::MemoryPattern;
+using devsim::PhaseCostSpec;
+using devsim::TaskCost;
+
+/// Factor/edge census of the packing graph (builder order: all collisions,
+/// then walls, then radius rewards; variables alternate center, radius).
+struct Census {
+  std::size_t n = 0;
+  std::size_t s = 0;
+  std::size_t collisions = 0;  // N(N-1)/2, 4 edges each (dims 2,1,2,1)
+  std::size_t wall_factors = 0;  // N*S, 2 edges each (dims 2,1)
+  std::size_t radius_factors = 0;  // N, 1 edge each (dim 1)
+
+  explicit Census(std::size_t circles, std::size_t walls)
+      : n(circles),
+        s(walls),
+        collisions(circles * (circles - 1) / 2),
+        wall_factors(circles * walls),
+        radius_factors(circles) {}
+
+  std::size_t factors() const {
+    return collisions + wall_factors + radius_factors;
+  }
+  std::size_t edges() const {
+    return 4 * collisions + 2 * wall_factors + radius_factors;
+  }
+  std::size_t variables() const { return 2 * n; }
+
+  /// Dim of edge `e` in creation order.
+  std::uint32_t edge_dim(std::size_t e) const {
+    if (e < 4 * collisions) {
+      return (e % 4 == 0 || e % 4 == 2) ? 2u : 1u;  // (c_i, r_i, c_j, r_j)
+    }
+    e -= 4 * collisions;
+    if (e < 2 * wall_factors) {
+      return e % 2 == 0 ? 2u : 1u;  // (c, r)
+    }
+    return 1u;  // radius reward
+  }
+};
+
+}  // namespace
+
+devsim::IterationCosts packing_iteration_costs(std::size_t circles,
+                                               std::size_t walls) {
+  require(circles >= 1, "packing_iteration_costs needs circles >= 1");
+  const auto census = std::make_shared<Census>(circles, walls);
+
+  // The same operators the builder installs, used only for their cost().
+  const auto collision = std::make_shared<NoCollisionProx>();
+  const auto wall = std::make_shared<WallProx>(
+      Triangle::equilateral().walls()[0]);
+  const auto radius = std::make_shared<RadiusRewardProx>(0.5);
+
+  static constexpr std::array<std::uint32_t, 4> kCollisionDims = {2, 1, 2, 1};
+  static constexpr std::array<std::uint32_t, 2> kWallDims = {2, 1};
+  static constexpr std::array<std::uint32_t, 1> kRadiusDims = {1};
+  const TaskCost collision_cost =
+      devsim::x_phase_task_cost(*collision, kCollisionDims);
+  const TaskCost wall_cost = devsim::x_phase_task_cost(*wall, kWallDims);
+  const TaskCost radius_cost =
+      devsim::x_phase_task_cost(*radius, kRadiusDims);
+
+  IterationCosts costs;
+  costs.phases[0] = PhaseCostSpec{
+      "x", census->factors(), MemoryPattern::kGather,
+      [census, collision_cost, wall_cost, radius_cost](std::size_t a) {
+        if (a < census->collisions) return collision_cost;
+        if (a < census->collisions + census->wall_factors) return wall_cost;
+        return radius_cost;
+      }};
+  costs.phases[1] = PhaseCostSpec{
+      "m", census->edges(), MemoryPattern::kCoalesced,
+      [census](std::size_t e) {
+        return devsim::m_phase_cost(census->edge_dim(e));
+      }};
+  costs.phases[2] = PhaseCostSpec{
+      "z", census->variables(), MemoryPattern::kGather,
+      [census](std::size_t b) {
+        // Variables alternate center (even), radius (odd).  Center degree:
+        // N-1 collisions + S walls; radius degree adds the reward factor.
+        const auto degree = static_cast<std::uint32_t>(
+            b % 2 == 0 ? census->n - 1 + census->s
+                       : census->n - 1 + census->s + 1);
+        return devsim::z_phase_cost(degree, b % 2 == 0 ? 2u : 1u);
+      }};
+  costs.phases[3] = PhaseCostSpec{
+      "u", census->edges(), MemoryPattern::kMixed,
+      [census](std::size_t e) {
+        return devsim::u_phase_cost(census->edge_dim(e));
+      }};
+  costs.phases[4] = PhaseCostSpec{
+      "n", census->edges(), MemoryPattern::kMixed,
+      [census](std::size_t e) {
+        return devsim::n_phase_cost(census->edge_dim(e));
+      }};
+  return costs;
+}
+
+devsim::GraphFootprint packing_footprint(std::size_t circles,
+                                         std::size_t walls) {
+  const Census census(circles, walls);
+  devsim::GraphFootprint footprint;
+  footprint.edges = census.edges();
+  footprint.edge_scalars = 6 * census.collisions + 3 * census.wall_factors +
+                           census.radius_factors;
+  footprint.variable_scalars = 3 * circles;
+  return footprint;
+}
+
+}  // namespace paradmm::packing

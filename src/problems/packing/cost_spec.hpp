@@ -1,0 +1,24 @@
+// Analytic iteration-cost descriptor for circle packing.
+//
+// The paper's figures sweep N up to 5000 circles — a graph of ~50M edges
+// that is too large to materialize here.  This descriptor reproduces, from
+// index arithmetic alone, exactly the IterationCosts that
+// devsim::extract_iteration_costs would compute on the materialized graph
+// (the test suite asserts equality on small N), so the device models can be
+// evaluated at full paper scale.
+#pragma once
+
+#include "devsim/cost_model.hpp"
+
+namespace paradmm::packing {
+
+/// Cost descriptor for N circles in an S-wall container (S = 3 for the
+/// paper's triangle).
+devsim::IterationCosts packing_iteration_costs(std::size_t circles,
+                                               std::size_t walls = 3);
+
+/// Value/metadata footprint for the transfer model.
+devsim::GraphFootprint packing_footprint(std::size_t circles,
+                                         std::size_t walls = 3);
+
+}  // namespace paradmm::packing

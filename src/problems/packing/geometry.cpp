@@ -1,0 +1,126 @@
+#include "problems/packing/geometry.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace paradmm::packing {
+namespace {
+
+double cross(const Point& origin, const Point& a, const Point& b) {
+  return (a.x - origin.x) * (b.y - origin.y) -
+         (a.y - origin.y) * (b.x - origin.x);
+}
+
+}  // namespace
+
+Triangle::Triangle(Point a, Point b, Point c) : vertices_{a, b, c} {
+  require(std::fabs(cross(a, b, c)) > 1e-12,
+          "Triangle vertices must not be collinear");
+  // Ensure counter-clockwise order so outward normals are consistent.
+  if (cross(a, b, c) < 0.0) std::swap(vertices_[1], vertices_[2]);
+
+  for (int side = 0; side < 3; ++side) {
+    const Point& p = vertices_[side];
+    const Point& q = vertices_[(side + 1) % 3];
+    // Edge direction (q - p); outward normal is its clockwise rotation for
+    // a CCW polygon.
+    Point normal{q.y - p.y, -(q.x - p.x)};
+    const double length = std::hypot(normal.x, normal.y);
+    normal.x /= length;
+    normal.y /= length;
+    walls_[side] = Halfplane{normal, normal.x * p.x + normal.y * p.y};
+  }
+}
+
+Triangle Triangle::equilateral() {
+  return Triangle({0.0, 0.0}, {1.0, 0.0}, {0.5, std::sqrt(3.0) / 2.0});
+}
+
+double Triangle::area() const {
+  return 0.5 * std::fabs(cross(vertices_[0], vertices_[1], vertices_[2]));
+}
+
+bool Triangle::contains(const Point& p, double slack) const {
+  for (const auto& wall : walls_) {
+    if (!wall.contains(p, slack)) return false;
+  }
+  return true;
+}
+
+bool Triangle::contains_circle(const Circle& c, double slack) const {
+  for (const auto& wall : walls_) {
+    if (wall.violation(c.center) > -c.radius + slack) return false;
+  }
+  return true;
+}
+
+Point Triangle::sample_interior(Rng& rng) const {
+  // Barycentric sampling with the square-root trick for uniformity.
+  const double r1 = std::sqrt(rng.uniform());
+  const double r2 = rng.uniform();
+  const double a = 1.0 - r1;
+  const double b = r1 * (1.0 - r2);
+  const double c = r1 * r2;
+  return {a * vertices_[0].x + b * vertices_[1].x + c * vertices_[2].x,
+          a * vertices_[0].y + b * vertices_[1].y + c * vertices_[2].y};
+}
+
+double overlap_depth(const Circle& a, const Circle& b) {
+  const double gap = std::hypot(a.center.x - b.center.x,
+                                a.center.y - b.center.y) -
+                     (a.radius + b.radius);
+  return gap >= 0.0 ? 0.0 : -gap;
+}
+
+double max_overlap(const std::vector<Circle>& circles) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < circles.size(); ++i) {
+    for (std::size_t j = i + 1; j < circles.size(); ++j) {
+      worst = std::max(worst, overlap_depth(circles[i], circles[j]));
+    }
+  }
+  return worst;
+}
+
+double max_wall_violation(const std::vector<Circle>& circles,
+                          const Triangle& triangle) {
+  double worst = 0.0;
+  for (const auto& circle : circles) {
+    for (const auto& wall : triangle.walls()) {
+      worst = std::max(worst,
+                       wall.violation(circle.center) + circle.radius);
+    }
+  }
+  return worst;
+}
+
+double coverage_fraction(const std::vector<Circle>& circles,
+                         const Triangle& triangle, Rng& rng, int samples) {
+  require(samples > 0, "coverage_fraction needs samples > 0");
+  int covered = 0;
+  for (int s = 0; s < samples; ++s) {
+    const Point p = triangle.sample_interior(rng);
+    for (const auto& circle : circles) {
+      const double dx = p.x - circle.center.x;
+      const double dy = p.y - circle.center.y;
+      if (dx * dx + dy * dy <= circle.radius * circle.radius) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(samples);
+}
+
+double area_ratio(const std::vector<Circle>& circles,
+                  const Triangle& triangle) {
+  double disks = 0.0;
+  for (const auto& circle : circles) {
+    disks += std::numbers::pi * circle.radius * circle.radius;
+  }
+  return disks / triangle.area();
+}
+
+}  // namespace paradmm::packing

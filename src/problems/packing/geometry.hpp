@@ -1,0 +1,84 @@
+// 2-D geometry helpers for the circle-packing problem.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace paradmm::packing {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct Circle {
+  Point center;
+  double radius = 0.0;
+};
+
+/// Halfplane { p : <normal, p> <= offset } with unit inward-facing normal
+/// convention handled by the caller; `contains` answers the constraint side.
+struct Halfplane {
+  Point normal;   ///< unit vector pointing *out* of the feasible side
+  double offset;  ///< <normal, p> <= offset is feasible
+
+  bool contains(const Point& p, double slack = 0.0) const {
+    return normal.x * p.x + normal.y * p.y <= offset + slack;
+  }
+
+  /// Signed distance of p to the boundary (positive = outside).
+  double violation(const Point& p) const {
+    return normal.x * p.x + normal.y * p.y - offset;
+  }
+};
+
+/// A triangle given by three counter-clockwise vertices, with its three
+/// bounding halfplanes (the paper's S = 3 walls).
+class Triangle {
+ public:
+  Triangle(Point a, Point b, Point c);
+
+  /// Unit triangle used throughout the paper-scale experiments:
+  /// (0,0), (1,0), (0.5, sqrt(3)/2).
+  static Triangle equilateral();
+
+  const std::array<Point, 3>& vertices() const { return vertices_; }
+  const std::array<Halfplane, 3>& walls() const { return walls_; }
+
+  double area() const;
+  bool contains(const Point& p, double slack = 0.0) const;
+
+  /// True when the whole disk lies inside (every wall at distance >= r).
+  bool contains_circle(const Circle& c, double slack = 0.0) const;
+
+  /// Uniform random point inside the triangle.
+  Point sample_interior(Rng& rng) const;
+
+ private:
+  std::array<Point, 3> vertices_;
+  std::array<Halfplane, 3> walls_;
+};
+
+/// Amount by which two circles overlap (0 when disjoint).
+double overlap_depth(const Circle& a, const Circle& b);
+
+/// Largest pairwise overlap in a configuration (feasibility metric).
+double max_overlap(const std::vector<Circle>& circles);
+
+/// Largest wall violation over all circles (feasibility metric).
+double max_wall_violation(const std::vector<Circle>& circles,
+                          const Triangle& triangle);
+
+/// Fraction of the triangle covered by the circles, estimated by Monte
+/// Carlo with `samples` points (circles may overlap; covered-once counts).
+double coverage_fraction(const std::vector<Circle>& circles,
+                         const Triangle& triangle, Rng& rng,
+                         int samples = 20000);
+
+/// Sum of disk areas / triangle area (exact, ignores overlap).
+double area_ratio(const std::vector<Circle>& circles,
+                  const Triangle& triangle);
+
+}  // namespace paradmm::packing

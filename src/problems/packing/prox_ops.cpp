@@ -1,0 +1,170 @@
+#include "problems/packing/prox_ops.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "math/vec.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::packing {
+namespace {
+
+double infinity() { return std::numeric_limits<double>::infinity(); }
+
+}  // namespace
+
+// ----------------------------------------------------------- NoCollision
+
+void NoCollisionProx::apply(const ProxContext& ctx) const {
+  affirm(ctx.edge_count() == 4, "NoCollisionProx expects 4 edges");
+  const auto nc1 = ctx.input(0);
+  const auto nr1 = ctx.input(1);
+  const auto nc2 = ctx.input(2);
+  const auto nr2 = ctx.input(3);
+  affirm(nc1.size() == 2 && nr1.size() == 1, "NoCollisionProx edge dims");
+
+  double dx = nc2[0] - nc1[0];
+  double dy = nc2[1] - nc1[1];
+  double distance = std::hypot(dx, dy);
+  if (distance < 1e-14) {
+    // Coincident centers: pick a deterministic separation direction.
+    dx = 1.0;
+    dy = 0.0;
+    distance = 0.0;
+  } else {
+    dx /= distance;
+    dy /= distance;
+  }
+
+  const double gap = nr1[0] + nr2[0] - distance;
+  if (gap <= 0.0) {
+    // Already separated: the prox is the identity; under TWA it has no
+    // opinion at all and withdraws from the consensus average.
+    for (std::uint32_t k = 0; k < 4; ++k) {
+      vec::copy(ctx.input(k), ctx.output(k));
+      if (three_weight_) ctx.set_weight(k, Weight::kZero);
+    }
+    return;
+  }
+  if (three_weight_) {
+    for (std::uint32_t k = 0; k < 4; ++k) {
+      ctx.set_weight(k, Weight::kStandard);
+    }
+  }
+
+  // Active constraint ||c1 - c2|| = r1 + r2.  Reduced along the center
+  // direction, the KKT system gives a shared multiplier lambda with each
+  // block moving inversely to its rho (centers move apart, radii shrink).
+  const double inv_sum = 1.0 / ctx.rho(0) + 1.0 / ctx.rho(1) +
+                         1.0 / ctx.rho(2) + 1.0 / ctx.rho(3);
+  const double lambda = gap / inv_sum;
+
+  const double c1_step = lambda / ctx.rho(0);
+  const double r1_step = lambda / ctx.rho(1);
+  const double c2_step = lambda / ctx.rho(2);
+  const double r2_step = lambda / ctx.rho(3);
+
+  ctx.output(0)[0] = nc1[0] - c1_step * dx;
+  ctx.output(0)[1] = nc1[1] - c1_step * dy;
+  ctx.output(1)[0] = nr1[0] - r1_step;
+  ctx.output(2)[0] = nc2[0] + c2_step * dx;
+  ctx.output(2)[1] = nc2[1] + c2_step * dy;
+  ctx.output(3)[0] = nr2[0] - r2_step;
+}
+
+double NoCollisionProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  const double distance = std::hypot(values[2][0] - values[0][0],
+                                     values[2][1] - values[0][1]);
+  return distance + 1e-7 >= values[1][0] + values[3][0] ? 0.0 : infinity();
+}
+
+ProxCost NoCollisionProx::cost(std::span<const std::uint32_t>) const {
+  // hypot + division + six multiply-adds per output block, plus the rho
+  // reads: ~40 flops, 6 scalars in, 6 out plus 4 rhos.
+  // 6 scalars in/out, 4 rhos, plus the factor/param block fetch.
+  return {.flops = 40.0, .bytes = 8.0 * (6 + 6 + 4) + 64.0, .branch_class = 2001};
+}
+
+// ------------------------------------------------------------------ Wall
+
+WallProx::WallProx(Halfplane wall, bool three_weight)
+    : wall_(wall), three_weight_(three_weight) {
+  const double norm = std::hypot(wall_.normal.x, wall_.normal.y);
+  require(std::fabs(norm - 1.0) < 1e-9, "WallProx needs a unit normal");
+}
+
+void WallProx::apply(const ProxContext& ctx) const {
+  affirm(ctx.edge_count() == 2, "WallProx expects 2 edges");
+  const auto nc = ctx.input(0);
+  const auto nr = ctx.input(1);
+  affirm(nc.size() == 2 && nr.size() == 1, "WallProx edge dims");
+
+  // Feasible iff <Q, c> + r <= offset.
+  const double violation =
+      wall_.normal.x * nc[0] + wall_.normal.y * nc[1] + nr[0] - wall_.offset;
+  if (violation <= 0.0) {
+    vec::copy(nc, ctx.output(0));
+    vec::copy(nr, ctx.output(1));
+    if (three_weight_) {
+      ctx.set_weight(0, Weight::kZero);
+      ctx.set_weight(1, Weight::kZero);
+    }
+    return;
+  }
+  if (three_weight_) {
+    ctx.set_weight(0, Weight::kStandard);
+    ctx.set_weight(1, Weight::kStandard);
+  }
+
+  // Project onto <Q, c> + r = offset with the per-edge rho weighting
+  // (||Q|| = 1, so the center block contributes 1/rho_c).
+  const double lambda = violation / (1.0 / ctx.rho(0) + 1.0 / ctx.rho(1));
+  const double c_step = lambda / ctx.rho(0);
+  const double r_step = lambda / ctx.rho(1);
+  ctx.output(0)[0] = nc[0] - c_step * wall_.normal.x;
+  ctx.output(0)[1] = nc[1] - c_step * wall_.normal.y;
+  ctx.output(1)[0] = nr[0] - r_step;
+}
+
+double WallProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  const double activation = wall_.normal.x * values[0][0] +
+                            wall_.normal.y * values[0][1] + values[1][0];
+  return activation <= wall_.offset + 1e-7 ? 0.0 : infinity();
+}
+
+ProxCost WallProx::cost(std::span<const std::uint32_t>) const {
+  return {.flops = 14.0, .bytes = 8.0 * (3 + 3 + 2) + 48.0, .branch_class = 2002};
+}
+
+// --------------------------------------------------------- RadiusReward
+
+RadiusRewardProx::RadiusRewardProx(double gain) : gain_(gain) {
+  require(gain > 0.0, "RadiusRewardProx gain must be positive");
+}
+
+void RadiusRewardProx::apply(const ProxContext& ctx) const {
+  affirm(ctx.edge_count() == 1, "RadiusRewardProx expects 1 edge");
+  const double rho = ctx.rho(0);
+  affirm(rho > gain_,
+         "RadiusRewardProx needs rho > gain for a well-posed subproblem");
+  // Radii are physically nonnegative.  Without the r >= 0 constraint the
+  // packing objective is unbounded below (r -> -inf trivially satisfies
+  // every collision and wall constraint while -gain/2 r^2 -> -inf); the
+  // paper leaves this implicit.
+  ctx.output(0)[0] = std::max(0.0, rho * ctx.input(0)[0] / (rho - gain_));
+}
+
+double RadiusRewardProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  const double r = values[0][0];
+  if (r < -1e-9) return infinity();
+  return -0.5 * gain_ * r * r;
+}
+
+ProxCost RadiusRewardProx::cost(std::span<const std::uint32_t>) const {
+  return {.flops = 4.0, .bytes = 8.0 * 3 + 16.0, .branch_class = 2003};
+}
+
+}  // namespace paradmm::packing

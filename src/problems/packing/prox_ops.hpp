@@ -1,0 +1,80 @@
+// Proximal operators for circle packing (Appendix A of the paper).
+//
+// Variables: each circle i contributes a 2-D center node c_i and a 1-D
+// radius node r_i.  Three operator families build the packing objective:
+//
+//   * NoCollisionProx over (c_i, r_i, c_j, r_j): ||c_i - c_j|| >= r_i + r_j
+//   * WallProx        over (c_i, r_i):           <Q, c_i - V> <= -r_i
+//     (the disk stays on the inner side of a wall halfplane)
+//   * RadiusRewardProx over (r_i):               f(r) = -(gain/2) r^2
+//     (the non-convex term that inflates disks to maximize covered area)
+//
+// All three have closed forms.  Note: the paper's appendix prints the
+// radius component of the no-collision solution with a '+' sign; the
+// correct first-order conditions give a '-' (both radii shrink when
+// resolving an overlap), which is what we implement and property-test
+// against a numerical minimizer.
+#pragma once
+
+#include "core/prox.hpp"
+#include "problems/packing/geometry.hpp"
+
+namespace paradmm::packing {
+
+/// No-collision constraint between two circles.  Factor edge order must be
+/// (center_i, radius_i, center_j, radius_j) with dims (2, 1, 2, 1).
+class NoCollisionProx final : public ProxOperator {
+ public:
+  /// With `three_weight` set, an *inactive* constraint emits zero-weight
+  /// ("no opinion") messages instead of echoing its input — the TWA
+  /// behaviour of the paper's refs [9]/[24] that speeds packing up.
+  explicit NoCollisionProx(bool three_weight = false)
+      : three_weight_(three_weight) {}
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "pack-no-collision"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+
+ private:
+  bool three_weight_;
+};
+
+/// Containment of one circle inside one wall halfplane.  Edge order
+/// (center, radius), dims (2, 1).  The wall is <normal, p> <= offset with
+/// unit outward normal (Triangle::walls() convention), so feasibility for
+/// the disk is <normal, c> + r <= offset.
+class WallProx final : public ProxOperator {
+ public:
+  explicit WallProx(Halfplane wall, bool three_weight = false);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "pack-wall"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+
+ private:
+  Halfplane wall_;
+  bool three_weight_;
+};
+
+/// The radius-growing reward f(r) = -(gain/2) r^2 on a single 1-D edge.
+/// Closed form: r = rho n / (rho - gain); requires rho > gain to stay a
+/// well-posed (strongly convex) subproblem.
+class RadiusRewardProx final : public ProxOperator {
+ public:
+  explicit RadiusRewardProx(double gain);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "pack-radius-reward"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+
+ private:
+  double gain_;
+};
+
+}  // namespace paradmm::packing

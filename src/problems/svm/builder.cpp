@@ -1,0 +1,90 @@
+#include "problems/svm/builder.hpp"
+
+#include <cmath>
+
+#include "core/prox_library.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::svm {
+
+SvmProblem::SvmProblem(Dataset dataset, const SvmConfig& config)
+    : dataset_(std::move(dataset)), config_(config) {
+  require(dataset_.size() >= 2, "SVM needs at least two data points");
+  require(dataset_.points.size() == dataset_.labels.size(),
+          "points/labels size mismatch");
+  const std::size_t n = dataset_.size();
+  const std::size_t d = dataset_.dimension();
+  const auto plane_dim = static_cast<std::uint32_t>(d + 1);
+
+  planes_.reserve(n);
+  slacks_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    planes_.push_back(graph_.add_variable(plane_dim));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    slacks_.push_back(graph_.add_variable(1));
+  }
+
+  // The norm term is split into N equal parts (1/2N ||w_i||^2 each) — the
+  // paper's trick for a balanced degree distribution.
+  const auto norm = std::make_shared<PlaneNormProx>(
+      d, 1.0 / static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    graph_.add_factor(norm, {planes_[i]});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    graph_.add_factor(
+        std::make_shared<MarginProx>(dataset_.points[i], dataset_.labels[i]),
+        {planes_[i], slacks_[i]});
+  }
+  const auto slack_cost = std::make_shared<SlackCostProx>(config.lambda);
+  for (std::size_t i = 0; i < n; ++i) {
+    graph_.add_factor(slack_cost, {slacks_[i]});
+  }
+  const auto equality = std::make_shared<ConsensusEqualityProx>();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    graph_.add_factor(equality, {planes_[i], planes_[i + 1]});
+  }
+
+  graph_.set_uniform_parameters(config.rho, config.alpha);
+  Rng rng(config.seed);
+  graph_.randomize_state(config.init_lo, config.init_hi, rng);
+}
+
+std::vector<double> SvmProblem::plane_w() const {
+  const std::size_t d = dataset_.dimension();
+  std::vector<double> w(d, 0.0);
+  for (const VariableId plane : planes_) {
+    const auto z = graph_.solution(plane);
+    for (std::size_t i = 0; i < d; ++i) w[i] += z[i];
+  }
+  for (auto& v : w) v /= static_cast<double>(planes_.size());
+  return w;
+}
+
+double SvmProblem::plane_b() const {
+  const std::size_t d = dataset_.dimension();
+  double b = 0.0;
+  for (const VariableId plane : planes_) {
+    b += graph_.solution(plane)[d];
+  }
+  return b / static_cast<double>(planes_.size());
+}
+
+double SvmProblem::max_copy_disagreement() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i + 1 < planes_.size(); ++i) {
+    const auto a = graph_.solution(planes_[i]);
+    const auto b = graph_.solution(planes_[i + 1]);
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      worst = std::max(worst, std::fabs(a[j] - b[j]));
+    }
+  }
+  return worst;
+}
+
+double SvmProblem::train_accuracy() const {
+  return accuracy(dataset_, plane_w(), plane_b());
+}
+
+}  // namespace paradmm::svm

@@ -1,0 +1,60 @@
+// Factor-graph builder for soft-margin SVM training (§V-C of the paper).
+//
+// Per data point i: a plane copy (w_i, b_i) and a slack xi_i.  Factors are
+// added by kind: N plane-norm, N margins, N slack costs, then the N-1
+// consensus-equality links chaining the copies — 6N - 2 edges total,
+// linear in N, with the copy trick keeping node degrees balanced (the
+// paper's note about equilibrated edge-per-node distributions).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/factor_graph.hpp"
+#include "problems/svm/data.hpp"
+#include "problems/svm/prox_ops.hpp"
+
+namespace paradmm::svm {
+
+struct SvmConfig {
+  /// Slack penalty weight (the paper's lambda).
+  double lambda = 1.0;
+  double rho = 1.0;
+  double alpha = 1.0;
+  std::uint64_t seed = 7;
+  double init_lo = -0.5;
+  double init_hi = 0.5;
+};
+
+class SvmProblem {
+ public:
+  SvmProblem(Dataset dataset, const SvmConfig& config);
+
+  FactorGraph& graph() { return graph_; }
+  const FactorGraph& graph() const { return graph_; }
+  const Dataset& dataset() const { return dataset_; }
+  const SvmConfig& config() const { return config_; }
+
+  /// The trained separator: the average of the plane copies' consensus
+  /// values (they coincide at convergence).
+  std::vector<double> plane_w() const;
+  double plane_b() const;
+
+  /// Largest disagreement between consecutive plane copies (consensus
+  /// quality metric).
+  double max_copy_disagreement() const;
+
+  double train_accuracy() const;
+
+  VariableId plane_id(std::size_t i) const { return planes_.at(i); }
+  VariableId slack_id(std::size_t i) const { return slacks_.at(i); }
+
+ private:
+  Dataset dataset_;
+  SvmConfig config_;
+  FactorGraph graph_;
+  std::vector<VariableId> planes_;
+  std::vector<VariableId> slacks_;
+};
+
+}  // namespace paradmm::svm

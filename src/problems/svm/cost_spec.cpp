@@ -1,0 +1,123 @@
+#include "problems/svm/cost_spec.hpp"
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/prox_library.hpp"
+#include "problems/svm/prox_ops.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::svm {
+namespace {
+
+using devsim::IterationCosts;
+using devsim::MemoryPattern;
+using devsim::PhaseCostSpec;
+using devsim::TaskCost;
+
+}  // namespace
+
+devsim::IterationCosts svm_iteration_costs(std::size_t points,
+                                           std::size_t dimension) {
+  require(points >= 2, "svm_iteration_costs needs points >= 2");
+  const std::size_t n = points;
+  const auto plane_dim = static_cast<std::uint32_t>(dimension + 1);
+  const std::size_t factors = 3 * n + (n - 1);
+  const std::size_t edges = n + 2 * n + n + 2 * (n - 1);
+  const std::size_t variables = 2 * n;
+
+  // Representative operators for cost annotations.
+  const auto norm = std::make_shared<PlaneNormProx>(
+      dimension, 1.0 / static_cast<double>(n));
+  const auto margin = std::make_shared<MarginProx>(
+      std::vector<double>(dimension, 0.0), 1);
+  const auto slack = std::make_shared<SlackCostProx>(1.0);
+  const auto equality = std::make_shared<ConsensusEqualityProx>();
+
+  const std::array<std::uint32_t, 1> plane_dims = {plane_dim};
+  const std::array<std::uint32_t, 2> margin_dims = {plane_dim, 1};
+  const std::array<std::uint32_t, 1> slack_dims = {1};
+  const std::array<std::uint32_t, 2> equality_dims = {plane_dim, plane_dim};
+  const TaskCost norm_cost = devsim::x_phase_task_cost(*norm, plane_dims);
+  const TaskCost margin_cost =
+      devsim::x_phase_task_cost(*margin, margin_dims);
+  const TaskCost slack_cost = devsim::x_phase_task_cost(*slack, slack_dims);
+  const TaskCost equality_cost =
+      devsim::x_phase_task_cost(*equality, equality_dims);
+
+  IterationCosts costs;
+  costs.phases[0] = PhaseCostSpec{
+      "x", factors, MemoryPattern::kGather,
+      [n, norm_cost, margin_cost, slack_cost, equality_cost](std::size_t a) {
+        if (a < n) return norm_cost;
+        if (a < 2 * n) return margin_cost;
+        if (a < 3 * n) return slack_cost;
+        return equality_cost;
+      }};
+  costs.phases[1] = PhaseCostSpec{
+      "m", edges, MemoryPattern::kCoalesced, [n, plane_dim](std::size_t e) {
+        // Edge dims in creation order: n plane edges (norm), then per
+        // margin factor (plane, slack), then n slack edges, then equality
+        // pairs (plane, plane).
+        std::uint32_t dim = plane_dim;
+        if (e < n) {
+          dim = plane_dim;
+        } else if (e < 3 * n) {
+          dim = (e - n) % 2 == 0 ? plane_dim : 1u;
+        } else if (e < 4 * n) {
+          dim = 1u;
+        }
+        return devsim::m_phase_cost(dim);
+      }};
+  costs.phases[2] = PhaseCostSpec{
+      "z", variables, MemoryPattern::kGather, [n, plane_dim](std::size_t b) {
+        if (b < n) {
+          // Plane copy: norm + margin + chain links (1 at the ends, 2 in
+          // the middle).
+          std::uint32_t degree = 2;
+          if (b > 0) ++degree;
+          if (b + 1 < n) ++degree;
+          return devsim::z_phase_cost(degree, plane_dim);
+        }
+        return devsim::z_phase_cost(2, 1);  // slack: margin + slack cost
+      }};
+  costs.phases[3] = PhaseCostSpec{
+      "u", edges, MemoryPattern::kMixed,
+      [m = costs.phases[1].cost_at, n, plane_dim](std::size_t e) {
+        std::uint32_t dim = plane_dim;
+        if (e >= n && e < 3 * n) {
+          dim = (e - n) % 2 == 0 ? plane_dim : 1u;
+        } else if (e >= 3 * n && e < 4 * n) {
+          dim = 1u;
+        }
+        return devsim::u_phase_cost(dim);
+      }};
+  costs.phases[4] = PhaseCostSpec{
+      "n", edges, MemoryPattern::kMixed, [n, plane_dim](std::size_t e) {
+        std::uint32_t dim = plane_dim;
+        if (e >= n && e < 3 * n) {
+          dim = (e - n) % 2 == 0 ? plane_dim : 1u;
+        } else if (e >= 3 * n && e < 4 * n) {
+          dim = 1u;
+        }
+        return devsim::n_phase_cost(dim);
+      }};
+  return costs;
+}
+
+devsim::GraphFootprint svm_footprint(std::size_t points,
+                                     std::size_t dimension) {
+  const std::size_t n = points;
+  const std::size_t plane_dim = dimension + 1;
+  devsim::GraphFootprint footprint;
+  footprint.edges = 6 * n - 2;
+  footprint.edge_scalars = n * plane_dim        // norm edges
+                           + n * (plane_dim + 1)  // margin edges
+                           + n                    // slack-cost edges
+                           + 2 * (n - 1) * plane_dim;  // equality edges
+  footprint.variable_scalars = n * plane_dim + n;
+  return footprint;
+}
+
+}  // namespace paradmm::svm

@@ -1,0 +1,16 @@
+// Analytic iteration-cost descriptor for the SVM factor graph (the paper
+// sweeps N up to 1e5 points and dimension up to 200).  Matches
+// devsim::extract_iteration_costs on materialized graphs (tested).
+#pragma once
+
+#include "devsim/cost_model.hpp"
+
+namespace paradmm::svm {
+
+devsim::IterationCosts svm_iteration_costs(std::size_t points,
+                                           std::size_t dimension);
+
+devsim::GraphFootprint svm_footprint(std::size_t points,
+                                     std::size_t dimension);
+
+}  // namespace paradmm::svm

@@ -1,0 +1,57 @@
+#include "problems/svm/data.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace paradmm::svm {
+
+Dataset make_gaussian_blobs(std::size_t count, std::size_t dimension,
+                            double separation, std::uint64_t seed) {
+  require(count >= 2, "make_gaussian_blobs needs at least two points");
+  require(dimension >= 1, "make_gaussian_blobs needs dimension >= 1");
+  Dataset dataset;
+  dataset.points.reserve(count);
+  dataset.labels.reserve(count);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int label = i % 2 == 0 ? 1 : -1;
+    std::vector<double> point = rng.gaussian_vector(dimension);
+    point[0] += 0.5 * separation * label;
+    dataset.points.push_back(std::move(point));
+    dataset.labels.push_back(label);
+  }
+  return dataset;
+}
+
+double accuracy(const Dataset& dataset, std::span<const double> w, double b) {
+  require(dataset.size() > 0, "accuracy of an empty dataset");
+  require(w.size() == dataset.dimension(), "plane/dataset dim mismatch");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    double margin = b;
+    for (std::size_t d = 0; d < w.size(); ++d) {
+      margin += w[d] * dataset.points[i][d];
+    }
+    const int predicted = margin >= 0.0 ? 1 : -1;
+    correct += predicted == dataset.labels[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+double mean_hinge_loss(const Dataset& dataset, std::span<const double> w,
+                       double b) {
+  require(dataset.size() > 0, "hinge loss of an empty dataset");
+  double total = 0.0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    double margin = b;
+    for (std::size_t d = 0; d < w.size(); ++d) {
+      margin += w[d] * dataset.points[i][d];
+    }
+    total += std::max(0.0, 1.0 - dataset.labels[i] * margin);
+  }
+  return total / static_cast<double>(dataset.size());
+}
+
+}  // namespace paradmm::svm

@@ -1,0 +1,37 @@
+// Synthetic datasets and evaluation metrics for the SVM benchmark.
+//
+// The paper draws "N random data points from two Gaussian distributions
+// with mean a certain distance apart" — reproduced here with a
+// deterministic generator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace paradmm::svm {
+
+struct Dataset {
+  std::vector<std::vector<double>> points;
+  std::vector<int> labels;  ///< +1 / -1
+
+  std::size_t size() const { return points.size(); }
+  std::size_t dimension() const {
+    return points.empty() ? 0 : points.front().size();
+  }
+};
+
+/// Two Gaussian classes of `count/2` points each in `dimension` dims, unit
+/// covariance, means +/- separation/2 along the first axis.
+Dataset make_gaussian_blobs(std::size_t count, std::size_t dimension,
+                            double separation, std::uint64_t seed);
+
+/// Classification accuracy of the plane (w, b): sign(w.x + b) vs labels.
+double accuracy(const Dataset& dataset, std::span<const double> w, double b);
+
+/// Mean hinge loss (1/N) sum max(0, 1 - y (w.x + b)).
+double mean_hinge_loss(const Dataset& dataset, std::span<const double> w,
+                       double b);
+
+}  // namespace paradmm::svm

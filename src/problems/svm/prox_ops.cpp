@@ -1,0 +1,135 @@
+#include "problems/svm/prox_ops.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "math/vec.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::svm {
+namespace {
+
+double infinity() { return std::numeric_limits<double>::infinity(); }
+
+}  // namespace
+
+// ------------------------------------------------------------ PlaneNorm
+
+PlaneNormProx::PlaneNormProx(std::size_t dimension, double curvature)
+    : dimension_(dimension), curvature_(curvature) {
+  require(dimension >= 1, "PlaneNormProx needs dimension >= 1");
+  require(curvature > 0.0, "PlaneNormProx curvature must be positive");
+}
+
+void PlaneNormProx::apply(const ProxContext& ctx) const {
+  affirm(ctx.edge_count() == 1, "PlaneNormProx expects a single edge");
+  const auto input = ctx.input(0);
+  const auto output = ctx.output(0);
+  affirm(input.size() == dimension_ + 1, "PlaneNormProx edge dim mismatch");
+  const double rho = ctx.rho(0);
+  const double blend = rho / (rho + curvature_);
+  for (std::size_t i = 0; i < dimension_; ++i) output[i] = blend * input[i];
+  output[dimension_] = input[dimension_];  // b is free
+}
+
+double PlaneNormProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    norm_sq += values[0][i] * values[0][i];
+  }
+  return 0.5 * curvature_ * norm_sq;
+}
+
+ProxCost PlaneNormProx::cost(std::span<const std::uint32_t> dims) const {
+  double scalars = 0.0;
+  for (const auto d : dims) scalars += d;
+  return {.flops = 2.0 * scalars,
+          .bytes = 8.0 * 2.0 * scalars + 16.0,
+          .branch_class = 4001};
+}
+
+// ------------------------------------------------------------ SlackCost
+
+SlackCostProx::SlackCostProx(double lambda) : lambda_(lambda) {
+  require(lambda >= 0.0, "SlackCostProx lambda must be non-negative");
+}
+
+void SlackCostProx::apply(const ProxContext& ctx) const {
+  affirm(ctx.edge_count() == 1, "SlackCostProx expects a single edge");
+  const double n = ctx.input(0)[0];
+  ctx.output(0)[0] = std::max(0.0, n - lambda_ / ctx.rho(0));
+}
+
+double SlackCostProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  const double xi = values[0][0];
+  if (xi < -1e-9) return infinity();
+  return lambda_ * xi;
+}
+
+ProxCost SlackCostProx::cost(std::span<const std::uint32_t>) const {
+  return {.flops = 3.0, .bytes = 8.0 * 3.0 + 16.0, .branch_class = 4002};
+}
+
+// --------------------------------------------------------------- Margin
+
+MarginProx::MarginProx(std::vector<double> point, int label)
+    : point_(std::move(point)), label_(static_cast<double>(label)) {
+  require(!point_.empty(), "MarginProx needs a data point");
+  require(label == 1 || label == -1, "MarginProx label must be +1 or -1");
+  point_norm_sq_ = vec::norm2_squared(point_);
+}
+
+void MarginProx::apply(const ProxContext& ctx) const {
+  affirm(ctx.edge_count() == 2, "MarginProx expects (plane, slack) edges");
+  const auto plane_in = ctx.input(0);
+  const auto slack_in = ctx.input(1);
+  const auto plane_out = ctx.output(0);
+  const auto slack_out = ctx.output(1);
+  const std::size_t d = point_.size();
+  affirm(plane_in.size() == d + 1 && slack_in.size() == 1,
+         "MarginProx edge dims mismatch");
+
+  double margin = plane_in[d];  // b
+  for (std::size_t i = 0; i < d; ++i) margin += plane_in[i] * point_[i];
+  const double violation = 1.0 - label_ * margin - slack_in[0];
+  if (violation <= 0.0) {
+    vec::copy(plane_in, plane_out);
+    vec::copy(slack_in, slack_out);
+    return;
+  }
+
+  // Weighted projection onto y (w.x + b) + xi = 1 (Appendix C, with the
+  // plane edge's rho covering both w and b).
+  const double rho_plane = ctx.rho(0);
+  const double rho_slack = ctx.rho(1);
+  const double alpha = violation / (point_norm_sq_ / rho_plane +
+                                    1.0 / rho_plane + 1.0 / rho_slack);
+  const double plane_step = alpha * label_ / rho_plane;
+  for (std::size_t i = 0; i < d; ++i) {
+    plane_out[i] = plane_in[i] + plane_step * point_[i];
+  }
+  plane_out[d] = plane_in[d] + plane_step;
+  slack_out[0] = slack_in[0] + alpha / rho_slack;
+}
+
+double MarginProx::evaluate(
+    std::span<const std::span<const double>> values) const {
+  const std::size_t d = point_.size();
+  double margin = values[0][d];
+  for (std::size_t i = 0; i < d; ++i) margin += values[0][i] * point_[i];
+  return label_ * margin + 1e-7 >= 1.0 - values[1][0] ? 0.0 : infinity();
+}
+
+ProxCost MarginProx::cost(std::span<const std::uint32_t> dims) const {
+  double scalars = 0.0;
+  for (const auto d : dims) scalars += d;
+  // Dot product + projection update, plus streaming the data point itself.
+  return {.flops = 6.0 * scalars,
+          .bytes = 8.0 * (2.0 * scalars + static_cast<double>(point_.size())) +
+                   32.0,
+          .branch_class = 4003};
+}
+
+}  // namespace paradmm::svm

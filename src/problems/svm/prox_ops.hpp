@@ -1,0 +1,70 @@
+// Proximal operators for soft-margin SVM training (Appendix C of the
+// paper).
+//
+// Variables: one plane copy (w_i, b_i) in R^{d+1} per data point, plus one
+// slack xi_i in R.  Four operator families:
+//   * PlaneNormProx   f(w,b) = (1/2N)||w||^2       (b unpenalized)
+//   * MarginProx      y_i (w.x_i + b) >= 1 - xi_i  (per data point)
+//   * SlackCostProx   f(xi) = lambda xi + indicator(xi >= 0)
+//   * ConsensusEqualityProx (from the core library) chains the copies
+//     (w_i, b_i) = (w_{i+1}, b_{i+1}).
+#pragma once
+
+#include <vector>
+
+#include "core/prox.hpp"
+
+namespace paradmm::svm {
+
+/// The "minimal norm two" operator: shrinks w toward the origin, leaves the
+/// offset b untouched.  Single edge of dim d+1 (w stacked with b).
+class PlaneNormProx final : public ProxOperator {
+ public:
+  PlaneNormProx(std::size_t dimension, double curvature);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "svm-plane-norm"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+
+ private:
+  std::size_t dimension_;
+  double curvature_;
+};
+
+/// The "minimal error" operator (a semi-lasso): xi = max(0, n - lambda/rho).
+class SlackCostProx final : public ProxOperator {
+ public:
+  explicit SlackCostProx(double lambda);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "svm-slack-cost"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+
+ private:
+  double lambda_;
+};
+
+/// The "one-point minimal margin" operator: projection onto the halfspace
+/// y (w.x + b) >= 1 - xi over the stacked (w, b, xi).  Edge order must be
+/// (plane, slack) with dims (d+1, 1).
+class MarginProx final : public ProxOperator {
+ public:
+  MarginProx(std::vector<double> point, int label);
+
+  void apply(const ProxContext& ctx) const override;
+  std::string_view name() const override { return "svm-margin"; }
+  double evaluate(
+      std::span<const std::span<const double>> values) const override;
+  ProxCost cost(std::span<const std::uint32_t> dims) const override;
+
+ private:
+  std::vector<double> point_;
+  double label_;
+  double point_norm_sq_;
+};
+
+}  // namespace paradmm::svm

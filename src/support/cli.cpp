@@ -1,0 +1,130 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace paradmm {
+namespace {
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "int";
+    case 1: return "double";
+    case 2: return "string";
+    default: return "bool";
+  }
+}
+
+}  // namespace
+
+CliFlags::CliFlags(std::string program_name)
+    : program_name_(std::move(program_name)) {}
+
+void CliFlags::add_int(const std::string& name, long long default_value,
+                       const std::string& help) {
+  require(!flags_.count(name), "duplicate flag registration");
+  flags_[name] = Flag{Kind::kInt, std::to_string(default_value),
+                      std::to_string(default_value), help};
+  declaration_order_.push_back(name);
+}
+
+void CliFlags::add_double(const std::string& name, double default_value,
+                          const std::string& help) {
+  require(!flags_.count(name), "duplicate flag registration");
+  std::ostringstream out;
+  out << default_value;
+  flags_[name] = Flag{Kind::kDouble, out.str(), out.str(), help};
+  declaration_order_.push_back(name);
+}
+
+void CliFlags::add_string(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  require(!flags_.count(name), "duplicate flag registration");
+  flags_[name] = Flag{Kind::kString, default_value, default_value, help};
+  declaration_order_.push_back(name);
+}
+
+void CliFlags::add_bool(const std::string& name, bool default_value,
+                        const std::string& help) {
+  require(!flags_.count(name), "duplicate flag registration");
+  const std::string text = default_value ? "true" : "false";
+  flags_[name] = Flag{Kind::kBool, text, text, help};
+  declaration_order_.push_back(name);
+}
+
+void CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    require(token.rfind("--", 0) == 0,
+            "flags must start with --; got '" + token + "'");
+    token.erase(0, 2);
+    if (token == "help") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    std::string name = token;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      name = token.substr(0, eq);
+      value = token.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    require(it != flags_.end(), "unknown flag --" + name + "\n" + usage());
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.kind == Kind::kBool) {
+        value = "true";
+      } else {
+        require(i + 1 < argc, "flag --" + name + " expects a value");
+        value = argv[++i];
+      }
+    }
+    flag.value = value;
+  }
+}
+
+const CliFlags::Flag& CliFlags::find(const std::string& name,
+                                     Kind kind) const {
+  auto it = flags_.find(name);
+  require(it != flags_.end(), "flag --" + name + " was never registered");
+  require(it->second.kind == kind,
+          "flag --" + name + " accessed with the wrong type (declared as " +
+              kind_name(static_cast<int>(it->second.kind)) + ")");
+  return it->second;
+}
+
+long long CliFlags::get_int(const std::string& name) const {
+  return std::stoll(find(name, Kind::kInt).value);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::stod(find(name, Kind::kDouble).value);
+}
+
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string& text = find(name, Kind::kBool).value;
+  return text == "true" || text == "1" || text == "yes";
+}
+
+std::string CliFlags::usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_name_ << " [--flag value | --flag=value]\n";
+  for (const auto& name : declaration_order_) {
+    const Flag& flag = flags_.at(name);
+    out << "  --" << name << " (" << kind_name(static_cast<int>(flag.kind))
+        << ", default " << flag.default_value << ")  " << flag.help << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace paradmm

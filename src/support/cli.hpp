@@ -1,0 +1,62 @@
+// Minimal command-line flag parser for the examples and bench harnesses.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name` forms.
+// Unknown flags raise a PreconditionError listing the registered options, so
+// typos fail loudly instead of being silently ignored.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace paradmm {
+
+/// Declarative flag set.
+///
+///   CliFlags flags("bench_fig07");
+///   flags.add_int("max-n", 5000, "largest circle count in the sweep");
+///   flags.add_bool("quick", false, "run a reduced sweep");
+///   flags.parse(argc, argv);
+///   int max_n = flags.get_int("max-n");
+class CliFlags {
+ public:
+  explicit CliFlags(std::string program_name);
+
+  void add_int(const std::string& name, long long default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parses argv; prints usage and exits(0) on --help.
+  void parse(int argc, const char* const* argv);
+
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Renders the usage/help text.
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+
+  std::string program_name_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> declaration_order_;
+};
+
+}  // namespace paradmm

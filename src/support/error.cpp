@@ -1,0 +1,28 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace paradmm::detail {
+namespace {
+
+std::string render(std::string_view kind, std::string_view message,
+                   const std::source_location& where) {
+  std::ostringstream out;
+  out << kind << ": " << message << " [" << where.file_name() << ':'
+      << where.line() << " in " << where.function_name() << ']';
+  return out.str();
+}
+
+}  // namespace
+
+void throw_precondition(std::string_view message,
+                        const std::source_location& where) {
+  throw PreconditionError(render("precondition violated", message, where));
+}
+
+void throw_invariant(std::string_view message,
+                     const std::source_location& where) {
+  throw InvariantError(render("invariant violated", message, where));
+}
+
+}  // namespace paradmm::detail

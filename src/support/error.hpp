@@ -1,0 +1,63 @@
+// Error handling for parADMM++.
+//
+// Follows the C++ Core Guidelines: errors that indicate broken preconditions
+// or invariants throw exceptions derived from `paradmm::Error`; we never
+// signal failure through error codes in the public API.  All checks are
+// active in release builds — this library's workloads are dominated by the
+// inner solver loops, and the checks sit on setup paths.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace paradmm {
+
+/// Base class for all exceptions thrown by parADMM++.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an internal invariant fails (library bug, not user error).
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a numerical routine cannot proceed (singular matrix, ...).
+class NumericalError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(std::string_view message,
+                                     const std::source_location& where);
+[[noreturn]] void throw_invariant(std::string_view message,
+                                  const std::source_location& where);
+}  // namespace detail
+
+/// Verifies a documented precondition of a public API entry point.
+/// Throws `PreconditionError` (with file:line context) when violated.
+inline void require(
+    bool condition, std::string_view message,
+    const std::source_location where = std::source_location::current()) {
+  if (!condition) detail::throw_precondition(message, where);
+}
+
+/// Verifies an internal invariant; failure indicates a bug in parADMM++.
+inline void affirm(
+    bool condition, std::string_view message,
+    const std::source_location where = std::source_location::current()) {
+  if (!condition) detail::throw_invariant(message, where);
+}
+
+}  // namespace paradmm

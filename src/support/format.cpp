@@ -1,0 +1,76 @@
+#include "support/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+
+namespace paradmm {
+namespace {
+
+std::string printf_string(const char* spec, int decimals, double value) {
+  std::array<char, 64> buffer{};
+  std::snprintf(buffer.data(), buffer.size(), spec, decimals, value);
+  return std::string(buffer.data());
+}
+
+}  // namespace
+
+std::string format_fixed(double value, int decimals) {
+  return printf_string("%.*f", decimals, value);
+}
+
+std::string format_sci(double value, int decimals) {
+  return printf_string("%.*e", decimals, value);
+}
+
+std::string format_si(double value, int decimals) {
+  const double magnitude = std::fabs(value);
+  struct Scale {
+    double factor;
+    const char* suffix;
+  };
+  static constexpr std::array<Scale, 4> scales{{{1e9, "G"},
+                                                {1e6, "M"},
+                                                {1e3, "k"},
+                                                {1.0, ""}}};
+  for (const auto& scale : scales) {
+    if (magnitude >= scale.factor || scale.factor == 1.0) {
+      return format_fixed(value / scale.factor, decimals) + scale.suffix;
+    }
+  }
+  return format_fixed(value, decimals);
+}
+
+std::string format_thousands(long long value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string grouped;
+  grouped.reserve(digits.size() + digits.size() / 3 + 1);
+  std::size_t leading = digits.size() % 3;
+  if (leading == 0) leading = 3;
+  grouped.append(digits, 0, leading);
+  for (std::size_t i = leading; i < digits.size(); i += 3) {
+    grouped.push_back(',');
+    grouped.append(digits, i, 3);
+  }
+  return value < 0 ? "-" + grouped : grouped;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text);
+  return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text);
+  return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+std::string format_duration(double seconds) {
+  const double magnitude = std::fabs(seconds);
+  if (magnitude >= 1.0) return format_fixed(seconds, 2) + "s";
+  if (magnitude >= 1e-3) return format_fixed(seconds * 1e3, 2) + "ms";
+  if (magnitude >= 1e-6) return format_fixed(seconds * 1e6, 1) + "us";
+  return format_fixed(seconds * 1e9, 0) + "ns";
+}
+
+}  // namespace paradmm

@@ -1,0 +1,36 @@
+// Small string-formatting helpers.
+//
+// libstdc++ 12 does not ship <format>, so benches and the table writer use
+// these snprintf-backed helpers instead.  They are deliberately minimal —
+// fixed/scientific doubles, engineering suffixes, padding.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace paradmm {
+
+/// Fixed-point rendering, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int decimals);
+
+/// Scientific rendering, e.g. format_sci(12345.0, 2) == "1.23e+04".
+std::string format_sci(double value, int decimals);
+
+/// Engineering suffixes: 12_345 -> "12.3k", 5e6 -> "5.0M".
+std::string format_si(double value, int decimals = 1);
+
+/// Thousands separators: 1234567 -> "1,234,567".
+std::string format_thousands(long long value);
+
+/// Right-align `text` into a field of `width` characters (spaces on the
+/// left); text longer than the field is returned unchanged.
+std::string pad_left(std::string_view text, std::size_t width);
+
+/// Left-align `text` into a field of `width` characters.
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// Seconds rendered with a sensible unit: 0.00042 -> "420us".
+std::string format_duration(double seconds);
+
+}  // namespace paradmm

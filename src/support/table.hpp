@@ -1,0 +1,39 @@
+// Console table writer used by the benchmark harnesses to print the same
+// rows/series the paper's figures report.  Columns are aligned, headers are
+// underlined, and the whole table can also be exported as CSV for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace paradmm {
+
+/// A simple column-aligned text table.
+///
+/// Usage:
+///   Table t({"N", "cpu time (s)", "gpu time (s)", "speedup"});
+///   t.add_row({"1000", "1.23", "0.11", "11.2"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the aligned table (header, rule, rows) to `out`.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (no alignment padding).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace paradmm

@@ -1,0 +1,59 @@
+// Wall-clock timing utilities used by benches and the serial reference
+// measurements.  Modeled (simulated-device) time is a separate concept and
+// lives in src/devsim.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace paradmm {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop windows, e.g. to time one
+/// update phase across many iterations.
+class AccumulatingTimer {
+ public:
+  void start() { running_ = true; window_.reset(); }
+
+  void stop() {
+    if (running_) {
+      total_seconds_ += window_.seconds();
+      ++windows_;
+      running_ = false;
+    }
+  }
+
+  double total_seconds() const { return total_seconds_; }
+  std::uint64_t windows() const { return windows_; }
+
+  double mean_seconds() const {
+    return windows_ == 0 ? 0.0 : total_seconds_ / static_cast<double>(windows_);
+  }
+
+ private:
+  WallTimer window_;
+  double total_seconds_ = 0.0;
+  std::uint64_t windows_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace paradmm

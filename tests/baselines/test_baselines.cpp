@@ -1,0 +1,143 @@
+// Baselines: the two-block Algorithm-1 ADMM must agree with the
+// factor-graph engine on shared problems, and the naive pointer-chasing
+// engine must track the flat engine's trajectory exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/naive_engine.hpp"
+#include "baselines/two_block_admm.hpp"
+#include "core/prox_library.hpp"
+#include "core/solver.hpp"
+#include "problems/lasso/lasso.hpp"
+#include "problems/packing/builder.hpp"
+
+namespace paradmm::baselines {
+namespace {
+
+TEST(TwoBlockAdmm, SolvesScalarSoftThreshold) {
+  // A = [1], y = [3], lambda = 1: optimum soft(3, 1) = 2.
+  lasso::LassoInstance instance;
+  instance.a = Matrix{{1.0}};
+  instance.y = {3.0};
+  instance.truth = {2.0};
+  TwoBlockOptions options;
+  options.lambda = 1.0;
+  const TwoBlockResult result = solve_lasso_two_block(instance, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.solution[0], 2.0, 1e-8);
+}
+
+TEST(TwoBlockAdmm, AgreesWithFactorGraphLasso) {
+  const auto instance = lasso::make_lasso_instance(50, 10, 3, 0.02, 17);
+  TwoBlockOptions two_block;
+  two_block.lambda = 0.05;
+  two_block.max_iterations = 20000;
+  const TwoBlockResult reference = solve_lasso_two_block(instance, two_block);
+  ASSERT_TRUE(reference.converged);
+
+  lasso::LassoConfig config;
+  config.blocks = 5;
+  config.lambda = 0.05;
+  lasso::LassoProblem problem(instance, config);
+  SolverOptions options;
+  options.max_iterations = 30000;
+  options.check_interval = 200;
+  options.primal_tolerance = 1e-11;
+  options.dual_tolerance = 1e-11;
+  solve(problem.graph(), options);
+
+  const auto solution = problem.solution();
+  for (std::size_t i = 0; i < solution.size(); ++i) {
+    EXPECT_NEAR(solution[i], reference.solution[i], 1e-5)
+        << "coordinate " << i;
+  }
+}
+
+TEST(TwoBlockAdmm, KktHoldsAtItsSolution) {
+  const auto instance = lasso::make_lasso_instance(40, 8, 2, 0.01, 9);
+  TwoBlockOptions options;
+  options.lambda = 0.1;
+  const TwoBlockResult result = solve_lasso_two_block(instance, options);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LT(lasso::kkt_violation(instance, options.lambda, result.solution),
+            1e-5);
+}
+
+FactorGraph make_mixed_graph() {
+  Rng rng(5);
+  FactorGraph graph;
+  std::vector<VariableId> vars;
+  for (int i = 0; i < 12; ++i) vars.push_back(graph.add_variable(2));
+  const auto equality = std::make_shared<ConsensusEqualityProx>();
+  for (int i = 0; i + 1 < 12; ++i) {
+    graph.add_factor(equality, {vars[i], vars[i + 1]});
+  }
+  for (int i = 0; i < 12; ++i) {
+    graph.add_factor(std::make_shared<SumSquaresProx>(
+                         0.5 + 0.1 * i, rng.gaussian_vector(2)),
+                     {vars[i]});
+  }
+  graph.set_uniform_parameters(0.8, 1.0);
+  Rng init(11);
+  graph.randomize_state(-1.0, 1.0, init);
+  return graph;
+}
+
+TEST(NaiveEngine, TracksFlatEngineExactly) {
+  FactorGraph flat = make_mixed_graph();
+  const NaiveGraphEngine naive(flat);  // snapshot before the flat solve
+  // Run the flat engine for a fixed number of iterations, no stopping.
+  SolverOptions options;
+  options.max_iterations = 73;
+  options.check_interval = 73;
+  options.primal_tolerance = 0.0;
+  options.dual_tolerance = 0.0;
+  solve(flat, options);
+
+  NaiveGraphEngine& mutable_naive = const_cast<NaiveGraphEngine&>(naive);
+  mutable_naive.run(73);
+
+  for (VariableId b = 0; b < flat.num_variables(); ++b) {
+    const auto expected = flat.solution(b);
+    const auto actual = naive.solution(b);
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i], actual[i]) << "var " << b << " dim " << i;
+    }
+  }
+}
+
+TEST(NaiveEngine, TracksFlatEngineOnPacking) {
+  packing::PackingConfig config;
+  config.circles = 4;
+  config.seed = 8;
+  packing::PackingProblem problem(config);
+  const NaiveGraphEngine naive(problem.graph());
+
+  SolverOptions options;
+  options.max_iterations = 50;
+  options.check_interval = 50;
+  options.primal_tolerance = 0.0;
+  options.dual_tolerance = 0.0;
+  solve(problem.graph(), options);
+
+  const_cast<NaiveGraphEngine&>(naive).run(50);
+  for (VariableId b = 0; b < problem.graph().num_variables(); ++b) {
+    const auto expected = problem.graph().solution(b);
+    const auto actual = naive.solution(b);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i], actual[i]) << "var " << b << " dim " << i;
+    }
+  }
+}
+
+TEST(NaiveEngine, RejectsBadVariableId) {
+  FactorGraph graph = make_mixed_graph();
+  const NaiveGraphEngine naive(graph);
+  EXPECT_THROW(naive.solution(10000), PreconditionError);
+}
+
+}  // namespace
+}  // namespace paradmm::baselines

@@ -1,0 +1,229 @@
+// FactorGraph topology, layout, and bookkeeping tests, anchored on the
+// paper's Figure-1 example graph.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/factor_graph.hpp"
+#include "core/prox_library.hpp"
+#include "support/rng.hpp"
+
+namespace paradmm {
+namespace {
+
+/// The paper's Figure-1 graph:
+///   f1(w1,w2,w3), f2(w1,w4,w5), f3(w2,w5), f4(w5)
+/// with every variable of dimension `dim`.
+FactorGraph make_figure1_graph(std::uint32_t dim) {
+  FactorGraph graph;
+  const auto w = graph.add_variables(5, dim);
+  const auto op = std::make_shared<ZeroProx>();
+  graph.add_factor(op, {w[0], w[1], w[2]});
+  graph.add_factor(op, {w[0], w[3], w[4]});
+  graph.add_factor(op, {w[1], w[4]});
+  graph.add_factor(op, {w[4]});
+  return graph;
+}
+
+TEST(FactorGraphTopology, Figure1Counts) {
+  const FactorGraph graph = make_figure1_graph(2);
+  EXPECT_EQ(graph.num_variables(), 5u);
+  EXPECT_EQ(graph.num_factors(), 4u);
+  EXPECT_EQ(graph.num_edges(), 9u);
+  // |F| + 3|E| + |V| parallel tasks per iteration.
+  EXPECT_EQ(graph.elements(), 4u + 27u + 5u);
+}
+
+TEST(FactorGraphTopology, EdgeOrderFollowsCreation) {
+  const FactorGraph graph = make_figure1_graph(1);
+  // Edge-ordered arrays exactly as the paper's Gpu_graph.x:
+  // [(1,1),(1,2),(1,3),(2,1),(2,4),(2,5),(3,2),(3,5),(4,5)]
+  const std::vector<VariableId> expected_vars = {0, 1, 2, 0, 3, 4, 1, 4, 4};
+  const std::vector<FactorId> expected_factors = {0, 0, 0, 1, 1, 1, 2, 2, 3};
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_EQ(graph.edge_variable(e), expected_vars[e]) << "edge " << e;
+    EXPECT_EQ(graph.edge_factor(e), expected_factors[e]) << "edge " << e;
+  }
+}
+
+TEST(FactorGraphTopology, FactorEdgesAreContiguous) {
+  const FactorGraph graph = make_figure1_graph(3);
+  EXPECT_EQ(graph.factor_edge_begin(0), 0u);
+  EXPECT_EQ(graph.factor_edge_begin(1), 3u);
+  EXPECT_EQ(graph.factor_edge_begin(2), 6u);
+  EXPECT_EQ(graph.factor_edge_begin(3), 8u);
+  EXPECT_EQ(graph.factor_degree(0), 3u);
+  EXPECT_EQ(graph.factor_degree(3), 1u);
+}
+
+TEST(FactorGraphTopology, EdgeOffsetsArePrefixSumsOfDims) {
+  const FactorGraph graph = make_figure1_graph(4);
+  std::uint64_t expected = 0;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_EQ(graph.edge_offset(e), expected);
+    expected += graph.edge_dim(e);
+  }
+  EXPECT_EQ(graph.edge_scalars(), expected);
+  EXPECT_EQ(graph.edge_scalars(), 9u * 4u);
+}
+
+TEST(FactorGraphTopology, HeterogeneousDims) {
+  FactorGraph graph;
+  const VariableId center = graph.add_variable(2);  // 2-D center
+  const VariableId radius = graph.add_variable(1);  // 1-D radius
+  graph.add_factor(std::make_shared<ZeroProx>(), {center, radius});
+  EXPECT_EQ(graph.edge_dim(0), 2u);
+  EXPECT_EQ(graph.edge_dim(1), 1u);
+  EXPECT_EQ(graph.edge_scalars(), 3u);
+  EXPECT_EQ(graph.variable_scalars(), 3u);
+  EXPECT_EQ(graph.variable_offset(radius), 2u);
+}
+
+TEST(FactorGraphTopology, VariableDegreesAndCsr) {
+  const FactorGraph graph = make_figure1_graph(1);
+  EXPECT_EQ(graph.variable_degree(0), 2u);
+  EXPECT_EQ(graph.variable_degree(1), 2u);
+  EXPECT_EQ(graph.variable_degree(2), 1u);
+  EXPECT_EQ(graph.variable_degree(3), 1u);
+  EXPECT_EQ(graph.variable_degree(4), 3u);
+  EXPECT_EQ(graph.max_variable_degree(), 3u);
+
+  const auto w5_edges = graph.variable_edges(4);
+  ASSERT_EQ(w5_edges.size(), 3u);
+  EXPECT_EQ(w5_edges[0], 5u);  // (f2, w5)
+  EXPECT_EQ(w5_edges[1], 7u);  // (f3, w5)
+  EXPECT_EQ(w5_edges[2], 8u);  // (f4, w5)
+}
+
+TEST(FactorGraphTopology, CsrRebuildsAfterGrowth) {
+  FactorGraph graph = make_figure1_graph(1);
+  EXPECT_EQ(graph.variable_degree(4), 3u);
+  graph.add_factor(std::make_shared<ZeroProx>(), {VariableId{4}});
+  EXPECT_EQ(graph.variable_degree(4), 4u);
+  EXPECT_EQ(graph.num_edges(), 10u);
+}
+
+TEST(FactorGraphParameters, UniformAssignment) {
+  FactorGraph graph = make_figure1_graph(1);
+  graph.set_uniform_parameters(2.5, 0.9);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(graph.edge_rho(e), 2.5);
+    EXPECT_DOUBLE_EQ(graph.edge_alpha(e), 0.9);
+  }
+}
+
+TEST(FactorGraphParameters, PerEdgeOverride) {
+  FactorGraph graph = make_figure1_graph(1);
+  graph.set_uniform_parameters(1.0, 1.0);
+  graph.set_edge_rho(3, 7.0);
+  graph.set_edge_alpha(3, 0.5);
+  EXPECT_DOUBLE_EQ(graph.edge_rho(3), 7.0);
+  EXPECT_DOUBLE_EQ(graph.edge_alpha(3), 0.5);
+  EXPECT_DOUBLE_EQ(graph.edge_rho(2), 1.0);
+}
+
+TEST(FactorGraphParameters, RejectsNonPositiveRho) {
+  FactorGraph graph = make_figure1_graph(1);
+  EXPECT_THROW(graph.set_uniform_parameters(0.0, 1.0), PreconditionError);
+  EXPECT_THROW(graph.set_edge_rho(0, -1.0), PreconditionError);
+}
+
+TEST(FactorGraphState, RandomizeWithinBounds) {
+  FactorGraph graph = make_figure1_graph(3);
+  Rng rng(42);
+  graph.randomize_state(-0.5, 0.25, rng);
+  auto check = [](std::span<const double> values) {
+    for (const double v : values) {
+      EXPECT_GE(v, -0.5);
+      EXPECT_LE(v, 0.25);
+    }
+  };
+  check(graph.x_values());
+  check(graph.m_values());
+  check(graph.z_values());
+  check(graph.u_values());
+  check(graph.n_values());
+}
+
+TEST(FactorGraphState, ResetClearsEverything) {
+  FactorGraph graph = make_figure1_graph(2);
+  Rng rng(7);
+  graph.randomize_state(1.0, 2.0, rng);
+  graph.reset_state();
+  for (const double v : graph.x_values()) EXPECT_EQ(v, 0.0);
+  for (const double v : graph.z_values()) EXPECT_EQ(v, 0.0);
+  for (const double v : graph.n_values()) EXPECT_EQ(v, 0.0);
+  for (const Weight w : graph.edge_weights()) {
+    EXPECT_EQ(w, Weight::kStandard);
+  }
+}
+
+TEST(FactorGraphState, SolutionSpansAlias) {
+  FactorGraph graph = make_figure1_graph(2);
+  graph.mutable_z(3)[1] = 9.5;
+  EXPECT_DOUBLE_EQ(graph.solution(3)[1], 9.5);
+  EXPECT_DOUBLE_EQ(graph.z_values()[3 * 2 + 1], 9.5);
+}
+
+TEST(FactorGraphValidation, RejectsUnknownVariable) {
+  FactorGraph graph;
+  graph.add_variable(1);
+  EXPECT_THROW(
+      graph.add_factor(std::make_shared<ZeroProx>(), {VariableId{3}}),
+      PreconditionError);
+}
+
+TEST(FactorGraphValidation, RejectsEmptyFactor) {
+  FactorGraph graph;
+  EXPECT_THROW(graph.add_factor(std::make_shared<ZeroProx>(),
+                                std::span<const VariableId>{}),
+               PreconditionError);
+}
+
+TEST(FactorGraphValidation, RejectsNullOperator) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  EXPECT_THROW(graph.add_factor(nullptr, {w}), PreconditionError);
+}
+
+TEST(FactorGraphValidation, RejectsZeroDimensionVariable) {
+  FactorGraph graph;
+  EXPECT_THROW(graph.add_variable(0), PreconditionError);
+}
+
+// The packing element-count formula the paper states: a factor graph for N
+// circles and S walls has 2N^2 - N + 2NS edges, 2N variable nodes, and
+// N(N-1)/2 + N + NS function nodes.  Built here structurally (with ZeroProx
+// placeholders) to pin the topology math the packing builder must follow.
+TEST(FactorGraphTopology, PackingCountFormula) {
+  constexpr std::size_t kCircles = 7;
+  constexpr std::size_t kWalls = 3;
+  FactorGraph graph;
+  std::vector<VariableId> centers;
+  std::vector<VariableId> radii;
+  for (std::size_t i = 0; i < kCircles; ++i) {
+    centers.push_back(graph.add_variable(2));
+    radii.push_back(graph.add_variable(1));
+  }
+  const auto op = std::make_shared<ZeroProx>();
+  for (std::size_t i = 0; i < kCircles; ++i) {
+    for (std::size_t j = i + 1; j < kCircles; ++j) {
+      graph.add_factor(op, {centers[i], radii[i], centers[j], radii[j]});
+    }
+  }
+  for (std::size_t i = 0; i < kCircles; ++i) {
+    for (std::size_t s = 0; s < kWalls; ++s) {
+      graph.add_factor(op, {centers[i], radii[i]});
+    }
+  }
+  for (std::size_t i = 0; i < kCircles; ++i) graph.add_factor(op, {radii[i]});
+
+  EXPECT_EQ(graph.num_variables(), 2 * kCircles);
+  EXPECT_EQ(graph.num_edges(),
+            2 * kCircles * kCircles - kCircles + 2 * kCircles * kWalls);
+  EXPECT_EQ(graph.num_factors(),
+            kCircles * (kCircles - 1) / 2 + kCircles + kCircles * kWalls);
+}
+
+}  // namespace
+}  // namespace paradmm

@@ -1,0 +1,403 @@
+// Generic proximal operators: closed forms checked against analytic results
+// and, property-style, against the reference numerical minimizer on random
+// inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/prox_library.hpp"
+#include "math/minimize.hpp"
+#include "math/vec.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace paradmm {
+namespace {
+
+using testing::ProxHarness;
+using testing::prox_objective;
+
+TEST(ZeroProxTest, CopiesInput) {
+  ProxHarness harness({3, 2}, {1.0, 2.0});
+  harness.input(0)[0] = 1.5;
+  harness.input(0)[2] = -2.5;
+  harness.input(1)[1] = 0.25;
+  harness.run(ZeroProx{});
+  EXPECT_DOUBLE_EQ(harness.output(0)[0], 1.5);
+  EXPECT_DOUBLE_EQ(harness.output(0)[2], -2.5);
+  EXPECT_DOUBLE_EQ(harness.output(1)[1], 0.25);
+}
+
+TEST(SumSquaresProxTest, ShrinksTowardOrigin) {
+  // argmin c/2 s^2 + rho/2 (s-n)^2 = rho n / (rho + c).
+  ProxHarness harness({1}, {2.0});
+  harness.input(0)[0] = 3.0;
+  harness.run(SumSquaresProx{1.0});
+  EXPECT_NEAR(harness.output(0)[0], 2.0 * 3.0 / 3.0, 1e-12);
+}
+
+TEST(SumSquaresProxTest, ShrinksTowardTarget) {
+  ProxHarness harness({2}, {1.0});
+  harness.input(0)[0] = 0.0;
+  harness.input(0)[1] = 4.0;
+  harness.run(SumSquaresProx{3.0, std::vector<double>{1.0, 2.0}});
+  // blend = 1/(1+3) = 0.25 -> x = 0.25 n + 0.75 target.
+  EXPECT_NEAR(harness.output(0)[0], 0.75, 1e-12);
+  EXPECT_NEAR(harness.output(0)[1], 2.5, 1e-12);
+}
+
+TEST(SumSquaresProxTest, RejectsNonPositiveCurvature) {
+  EXPECT_THROW(SumSquaresProx(-1.0), PreconditionError);
+  EXPECT_THROW(SumSquaresProx(0.0), PreconditionError);
+}
+
+TEST(LinearProxTest, ShiftsByGradientOverRho) {
+  ProxHarness harness({2}, {4.0});
+  harness.input(0)[0] = 1.0;
+  harness.input(0)[1] = -1.0;
+  harness.run(LinearProx{{2.0, -6.0}});
+  EXPECT_NEAR(harness.output(0)[0], 0.5, 1e-12);
+  EXPECT_NEAR(harness.output(0)[1], 0.5, 1e-12);
+}
+
+TEST(SoftThresholdProxTest, ThreeRegimes) {
+  ProxHarness harness({3}, {2.0});
+  harness.input(0)[0] = 3.0;    // above threshold 0.5
+  harness.input(0)[1] = -0.2;   // inside
+  harness.input(0)[2] = -4.0;   // below
+  harness.run(SoftThresholdProx{1.0});
+  EXPECT_NEAR(harness.output(0)[0], 2.5, 1e-12);
+  EXPECT_DOUBLE_EQ(harness.output(0)[1], 0.0);
+  EXPECT_NEAR(harness.output(0)[2], -3.5, 1e-12);
+}
+
+TEST(BoxProxTest, Clamps) {
+  ProxHarness harness({3}, {1.0});
+  harness.input(0)[0] = -2.0;
+  harness.input(0)[1] = 0.25;
+  harness.input(0)[2] = 9.0;
+  harness.run(BoxProx{0.0, 1.0});
+  EXPECT_DOUBLE_EQ(harness.output(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(harness.output(0)[1], 0.25);
+  EXPECT_DOUBLE_EQ(harness.output(0)[2], 1.0);
+}
+
+TEST(HalfspaceProxTest, FeasibleInputUntouched) {
+  ProxHarness harness({2}, {1.0});
+  harness.input(0)[0] = -1.0;
+  harness.input(0)[1] = -1.0;
+  harness.run(HalfspaceProx{{1.0, 1.0}, 0.0});
+  EXPECT_DOUBLE_EQ(harness.output(0)[0], -1.0);
+  EXPECT_DOUBLE_EQ(harness.output(0)[1], -1.0);
+}
+
+TEST(HalfspaceProxTest, UnweightedProjection) {
+  // Project (2,0) onto x + y <= 0: lands at (1,-1).
+  ProxHarness harness({2}, {1.0});
+  harness.input(0)[0] = 2.0;
+  harness.input(0)[1] = 0.0;
+  harness.run(HalfspaceProx{{1.0, 1.0}, 0.0});
+  EXPECT_NEAR(harness.output(0)[0], 1.0, 1e-12);
+  EXPECT_NEAR(harness.output(0)[1], -1.0, 1e-12);
+}
+
+TEST(HalfspaceProxTest, RhoWeightingBiasesProjection) {
+  // Two 1-D edges with different rhos; constraint s0 + s1 <= 0.  The edge
+  // with the larger rho should move less.
+  ProxHarness harness({1, 1}, {10.0, 1.0});
+  harness.input(0)[0] = 1.0;
+  harness.input(1)[0] = 1.0;
+  harness.run(HalfspaceProx{{1.0, 1.0}, 0.0});
+  const double moved_heavy = std::fabs(harness.output(0)[0] - 1.0);
+  const double moved_light = std::fabs(harness.output(1)[0] - 1.0);
+  EXPECT_LT(moved_heavy, moved_light);
+  EXPECT_NEAR(harness.output(0)[0] + harness.output(1)[0], 0.0, 1e-10);
+}
+
+TEST(AffineEqualityProxTest, SatisfiesConstraintExactly) {
+  // Constraint s0 - s1 = 1 over two 1-D edges.
+  Matrix a{{1.0, -1.0}};
+  ProxHarness harness({1, 1}, {1.0, 1.0});
+  harness.input(0)[0] = 0.0;
+  harness.input(1)[0] = 0.0;
+  harness.run(AffineEqualityProx{a, {1.0}});
+  EXPECT_NEAR(harness.output(0)[0] - harness.output(1)[0], 1.0, 1e-10);
+  // Symmetric weights -> symmetric split.
+  EXPECT_NEAR(harness.output(0)[0], 0.5, 1e-10);
+  EXPECT_NEAR(harness.output(1)[0], -0.5, 1e-10);
+}
+
+TEST(ConsensusEqualityProxTest, WeightedAverage) {
+  ProxHarness harness({2, 2}, {3.0, 1.0});
+  harness.input(0)[0] = 4.0;
+  harness.input(0)[1] = 0.0;
+  harness.input(1)[0] = 0.0;
+  harness.input(1)[1] = 8.0;
+  harness.run(ConsensusEqualityProx{});
+  // (3*4 + 1*0)/4 = 3 and (3*0 + 1*8)/4 = 2 on both edges.
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(harness.output(k)[0], 3.0, 1e-12);
+    EXPECT_NEAR(harness.output(k)[1], 2.0, 1e-12);
+  }
+}
+
+// ---- property tests: closed forms beat/match the numerical minimizer.
+
+struct ProxPropertyCase {
+  std::uint64_t seed;
+};
+
+class ProxProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProxProperty, SoftThresholdMatchesGoldenSection) {
+  Rng rng(GetParam());
+  const double lambda = rng.uniform(0.0, 2.0);
+  const double rho = rng.uniform(0.1, 5.0);
+  const double n = rng.uniform(-4.0, 4.0);
+  ProxHarness harness({1}, {rho});
+  harness.input(0)[0] = n;
+  harness.run(SoftThresholdProx{lambda});
+  const double numeric = golden_section_minimize(
+      [&](double s) {
+        return lambda * std::fabs(s) + 0.5 * rho * (s - n) * (s - n);
+      },
+      -10.0, 10.0);
+  EXPECT_NEAR(harness.output(0)[0], numeric, 1e-6);
+}
+
+TEST_P(ProxProperty, HalfspaceBeatsNumericalMinimizer) {
+  Rng rng(GetParam() ^ 0xabcdULL);
+  const std::vector<std::uint32_t> dims = {2, 1};
+  const std::vector<double> rhos = {rng.uniform(0.2, 4.0),
+                                    rng.uniform(0.2, 4.0)};
+  ProxHarness harness(dims, rhos);
+  std::vector<double> normal(3);
+  for (auto& v : normal) v = rng.gaussian();
+  if (vec::norm2(std::span<const double>(normal)) < 0.1) normal[0] += 1.0;
+  const double offset = rng.uniform(-1.0, 1.0);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (auto& v : harness.input(k)) v = rng.uniform(-2.0, 2.0);
+  }
+  harness.run(HalfspaceProx{normal, offset});
+
+  const auto scalar_rho = harness.scalar_rhos();
+  const auto n = harness.stacked_input();
+  const auto x = harness.stacked_output();
+
+  // Feasibility.
+  double activation = -offset;
+  for (std::size_t i = 0; i < x.size(); ++i) activation += normal[i] * x[i];
+  EXPECT_LE(activation, 1e-8);
+
+  // Optimality: no feasible point found numerically does better.
+  auto objective = [&](std::span<const double> s) {
+    return prox_objective(0.0, s, n, scalar_rho);
+  };
+  auto project = [&](std::span<double> s) {
+    double a = -offset;
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      a += normal[i] * s[i];
+      norm_sq += normal[i] * normal[i];
+    }
+    if (a > 0.0) {
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        s[i] -= a * normal[i] / norm_sq;
+      }
+    }
+  };
+  const MinimizeResult numeric =
+      projected_gradient_minimize(objective, project, n, 5000, 1e-12);
+  EXPECT_LE(objective(x), numeric.value + 1e-6);
+}
+
+TEST_P(ProxProperty, AffineEqualityBeatsNumericalMinimizer) {
+  Rng rng(GetParam() ^ 0x1234ULL);
+  const std::vector<std::uint32_t> dims = {2, 2};
+  const std::vector<double> rhos = {rng.uniform(0.5, 2.0),
+                                    rng.uniform(0.5, 2.0)};
+  ProxHarness harness(dims, rhos);
+  Matrix a(1, 4);
+  for (std::size_t c = 0; c < 4; ++c) a(0, c) = rng.gaussian();
+  a(0, 0) += 2.0;  // keep the row well-conditioned
+  const double b = rng.uniform(-1.0, 1.0);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (auto& v : harness.input(k)) v = rng.uniform(-2.0, 2.0);
+  }
+  harness.run(AffineEqualityProx{a, {b}});
+
+  const auto x = harness.stacked_output();
+  double image = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) image += a(0, c) * x[c];
+  EXPECT_NEAR(image, b, 1e-9);
+
+  const auto scalar_rho = harness.scalar_rhos();
+  const auto n = harness.stacked_input();
+  auto objective = [&](std::span<const double> s) {
+    return prox_objective(0.0, s, n, scalar_rho);
+  };
+  double row_norm_sq = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) row_norm_sq += a(0, c) * a(0, c);
+  auto project = [&](std::span<double> s) {
+    double violation = -b;
+    for (std::size_t c = 0; c < 4; ++c) violation += a(0, c) * s[c];
+    for (std::size_t c = 0; c < 4; ++c) {
+      s[c] -= violation * a(0, c) / row_norm_sq;
+    }
+  };
+  const MinimizeResult numeric =
+      projected_gradient_minimize(objective, project, n, 5000, 1e-12);
+  EXPECT_LE(objective(x), numeric.value + 1e-6);
+}
+
+TEST_P(ProxProperty, ConsensusEqualityBeatsNumericalMinimizer) {
+  Rng rng(GetParam() ^ 0x9999ULL);
+  const std::vector<std::uint32_t> dims = {2, 2, 2};
+  const std::vector<double> rhos = {rng.uniform(0.2, 3.0),
+                                    rng.uniform(0.2, 3.0),
+                                    rng.uniform(0.2, 3.0)};
+  ProxHarness harness(dims, rhos);
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (auto& v : harness.input(k)) v = rng.uniform(-3.0, 3.0);
+  }
+  harness.run(ConsensusEqualityProx{});
+
+  // All edges equal.
+  for (std::size_t k = 1; k < 3; ++k) {
+    EXPECT_NEAR(harness.output(k)[0], harness.output(0)[0], 1e-12);
+    EXPECT_NEAR(harness.output(k)[1], harness.output(0)[1], 1e-12);
+  }
+
+  // The common value minimizes the weighted quadratic: compare against the
+  // direct scalar optimum per dimension.
+  for (std::size_t d = 0; d < 2; ++d) {
+    double numerator = 0.0;
+    double denominator = 0.0;
+    for (std::size_t k = 0; k < 3; ++k) {
+      numerator += rhos[k] * harness.input(k)[d];
+      denominator += rhos[k];
+    }
+    EXPECT_NEAR(harness.output(0)[d], numerator / denominator, 1e-12);
+  }
+}
+
+TEST_P(ProxProperty, SimplexProjectionIsFeasibleAndOptimal) {
+  Rng rng(GetParam() ^ 0x51u);
+  ProxHarness harness({5}, {rng.uniform(0.2, 3.0)});
+  for (auto& v : harness.input(0)) v = rng.uniform(-2.0, 2.0);
+  harness.run(SimplexProx{1.0});
+
+  // Feasibility: nonnegative, sums to one.
+  double sum = 0.0;
+  for (const double v : harness.output(0)) {
+    EXPECT_GE(v, -1e-12);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+
+  // Optimality vs exact brute force: enumerate every support set, solve
+  // the equality-constrained projection on it, keep the best feasible one.
+  const auto n = harness.stacked_input();
+  const auto scalar_rho = harness.scalar_rhos();
+  auto objective = [&](std::span<const double> s) {
+    return prox_objective(0.0, s, n, scalar_rho);
+  };
+  const std::size_t d = n.size();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 1; mask < (1u << d); ++mask) {
+    double support_sum = 0.0;
+    int support_size = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      if (mask & (1u << i)) {
+        support_sum += n[i];
+        ++support_size;
+      }
+    }
+    const double tau = (support_sum - 1.0) / support_size;
+    std::vector<double> candidate(d, 0.0);
+    bool feasible = true;
+    for (std::size_t i = 0; i < d; ++i) {
+      if (mask & (1u << i)) {
+        candidate[i] = n[i] - tau;
+        feasible = feasible && candidate[i] >= -1e-12;
+      }
+    }
+    if (feasible) best = std::min(best, objective(candidate));
+  }
+  EXPECT_LE(objective(harness.stacked_output()), best + 1e-9);
+  EXPECT_GE(objective(harness.stacked_output()), best - 1e-9);
+}
+
+TEST_P(ProxProperty, SecondOrderConeProjectionCases) {
+  Rng rng(GetParam() ^ 0x50cu);
+  ProxHarness harness({4}, {rng.uniform(0.2, 3.0)});
+  for (auto& v : harness.input(0)) v = rng.uniform(-2.0, 2.0);
+  const std::vector<double> n = harness.stacked_input();
+  harness.run(SecondOrderConeProx{});
+  const auto out = harness.output(0);
+
+  // Feasibility: ||v|| <= t.
+  const double norm = std::hypot(out[0], std::hypot(out[1], out[2]));
+  EXPECT_LE(norm, out[3] + 1e-9);
+
+  const double in_norm = std::hypot(n[0], std::hypot(n[1], n[2]));
+  if (in_norm <= n[3]) {
+    // Interior: identity.
+    for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(out[i], n[i]);
+  } else if (in_norm <= -n[3]) {
+    // Polar cone: origin.
+    for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(out[i], 0.0);
+  } else {
+    // Boundary case: the projection lands ON the cone surface and the
+    // residual (out - n) is orthogonal to the cone's ray through out.
+    EXPECT_NEAR(norm, out[3], 1e-9);
+    double residual_dot_ray = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      residual_dot_ray += (out[i] - n[i]) * out[i];
+    }
+    EXPECT_NEAR(residual_dot_ray, 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProxProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(SimplexProxTest, UniformInputGivesUniformWeights) {
+  ProxHarness harness({4}, {1.0});
+  for (auto& v : harness.input(0)) v = 7.0;
+  harness.run(SimplexProx{1.0});
+  for (const double v : harness.output(0)) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(SimplexProxTest, DominantCoordinateTakesAll) {
+  ProxHarness harness({3}, {1.0});
+  harness.input(0)[0] = 10.0;
+  harness.input(0)[1] = 0.0;
+  harness.input(0)[2] = -1.0;
+  harness.run(SimplexProx{1.0});
+  EXPECT_NEAR(harness.output(0)[0], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(harness.output(0)[1], 0.0);
+  EXPECT_DOUBLE_EQ(harness.output(0)[2], 0.0);
+}
+
+TEST(SimplexProxTest, RespectsCustomTotal) {
+  ProxHarness harness({2}, {1.0});
+  harness.input(0)[0] = 1.0;
+  harness.input(0)[1] = 1.0;
+  harness.run(SimplexProx{4.0});
+  EXPECT_NEAR(harness.output(0)[0], 2.0, 1e-12);
+  EXPECT_NEAR(harness.output(0)[1], 2.0, 1e-12);
+}
+
+TEST(SimplexProxTest, RejectsNonPositiveTotal) {
+  EXPECT_THROW(SimplexProx{0.0}, PreconditionError);
+}
+
+TEST(SecondOrderConeProxTest, RejectsScalarEdge) {
+  ProxHarness harness({1}, {1.0});
+  EXPECT_THROW(harness.run(SecondOrderConeProx{}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace paradmm

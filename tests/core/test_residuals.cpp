@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/factor_graph.hpp"
+#include "core/prox_library.hpp"
+#include "core/residuals.hpp"
+
+namespace paradmm {
+namespace {
+
+FactorGraph make_two_edge_graph() {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(std::make_shared<ZeroProx>(), {w});
+  graph.add_factor(std::make_shared<ZeroProx>(), {w});
+  graph.set_uniform_parameters(2.0, 1.0);
+  return graph;
+}
+
+TEST(ResidualsTest, ZeroWhenConsensusHolds) {
+  FactorGraph graph = make_two_edge_graph();
+  graph.x_values()[0] = 1.5;
+  graph.x_values()[1] = 1.5;
+  graph.mutable_z(0)[0] = 1.5;
+  const std::vector<double> z_prev = {1.5};
+  const Residuals residuals = compute_residuals(graph, z_prev);
+  EXPECT_DOUBLE_EQ(residuals.primal, 0.0);
+  EXPECT_DOUBLE_EQ(residuals.dual, 0.0);
+  EXPECT_TRUE(residuals.within(1e-12, 1e-12));
+}
+
+TEST(ResidualsTest, PrimalIsRmsOfEdgeGaps) {
+  FactorGraph graph = make_two_edge_graph();
+  graph.x_values()[0] = 1.0;  // gap 1
+  graph.x_values()[1] = -1.0; // gap -1
+  graph.mutable_z(0)[0] = 0.0;
+  const std::vector<double> z_prev = {0.0};
+  const Residuals residuals = compute_residuals(graph, z_prev);
+  EXPECT_NEAR(residuals.primal, 1.0, 1e-12);  // sqrt((1+1)/2)
+  EXPECT_DOUBLE_EQ(residuals.dual, 0.0);
+}
+
+TEST(ResidualsTest, DualScalesWithRhoAndZStep) {
+  FactorGraph graph = make_two_edge_graph();  // rho = 2 everywhere
+  graph.mutable_z(0)[0] = 3.0;
+  const std::vector<double> z_prev = {1.0};  // step of 2, times rho 2 -> 4
+  const Residuals residuals = compute_residuals(graph, z_prev);
+  EXPECT_NEAR(residuals.dual, 4.0, 1e-12);
+}
+
+TEST(ResidualsTest, MissingSnapshotReportsInfiniteDual) {
+  FactorGraph graph = make_two_edge_graph();
+  const Residuals residuals = compute_residuals(graph, {});
+  EXPECT_TRUE(std::isinf(residuals.dual));
+  EXPECT_FALSE(residuals.within(1.0, 1.0));
+}
+
+TEST(ResidualsTest, WrongSnapshotLengthThrows) {
+  FactorGraph graph = make_two_edge_graph();
+  const std::vector<double> bad = {0.0, 0.0};
+  EXPECT_THROW(compute_residuals(graph, bad), PreconditionError);
+}
+
+TEST(ResidualsTest, WithinChecksBothBounds) {
+  Residuals residuals;
+  residuals.primal = 0.5;
+  residuals.dual = 2.0;
+  EXPECT_TRUE(residuals.within(1.0, 3.0));
+  EXPECT_FALSE(residuals.within(0.1, 3.0));
+  EXPECT_FALSE(residuals.within(1.0, 1.0));
+}
+
+}  // namespace
+}  // namespace paradmm

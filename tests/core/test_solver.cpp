@@ -1,0 +1,324 @@
+// End-to-end tests of the Algorithm-2 engine on problems with known optima,
+// plus the backend-equivalence property the whole design rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/factor_graph.hpp"
+#include "core/prox_library.hpp"
+#include "core/solver.hpp"
+#include "support/rng.hpp"
+
+namespace paradmm {
+namespace {
+
+// ---- consensus averaging: min sum_i 1/2 (w - t_i)^2  =>  w* = mean(t_i).
+
+FactorGraph make_consensus_graph(const std::vector<double>& targets) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  for (const double t : targets) {
+    graph.add_factor(std::make_shared<SumSquaresProx>(1.0,
+                                                      std::vector<double>{t}),
+                     {w});
+  }
+  graph.set_uniform_parameters(1.0, 1.0);
+  return graph;
+}
+
+TEST(SolverConsensus, AveragesTargets) {
+  FactorGraph graph = make_consensus_graph({1.0, 2.0, 6.0});
+  SolverOptions options;
+  options.max_iterations = 400;
+  const SolverReport report = solve(graph, options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(graph.solution(0)[0], 3.0, 1e-6);
+}
+
+TEST(SolverConsensus, SingleFactorIsExactAfterOneCheck) {
+  FactorGraph graph = make_consensus_graph({5.0});
+  SolverOptions options;
+  options.max_iterations = 200;
+  const SolverReport report = solve(graph, options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(graph.solution(0)[0], 5.0, 1e-6);
+}
+
+TEST(SolverConsensus, WeightedByCurvature) {
+  // min 2/2 (w-1)^2 + 1/2 (w-4)^2  =>  w* = (2*1 + 1*4) / 3 = 2.
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(2.0, std::vector<double>{1.0}), {w});
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{4.0}), {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  SolverOptions options;
+  options.max_iterations = 600;
+  const SolverReport report = solve(graph, options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(graph.solution(0)[0], 2.0, 1e-6);
+}
+
+// ---- lasso scalar: min 1/2 (w - v)^2 + lambda |w|  =>  soft-threshold.
+
+double soft_threshold(double v, double lambda) {
+  if (v > lambda) return v - lambda;
+  if (v < -lambda) return v + lambda;
+  return 0.0;
+}
+
+class SolverLasso : public ::testing::TestWithParam<std::pair<double, double>> {
+};
+
+TEST_P(SolverLasso, MatchesSoftThreshold) {
+  const auto [v, lambda] = GetParam();
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{v}), {w});
+  graph.add_factor(std::make_shared<SoftThresholdProx>(lambda), {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  SolverOptions options;
+  options.max_iterations = 3000;
+  options.primal_tolerance = 1e-10;
+  options.dual_tolerance = 1e-10;
+  const SolverReport report = solve(graph, options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(graph.solution(0)[0], soft_threshold(v, lambda), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SolverLasso,
+    ::testing::Values(std::pair{3.0, 1.0}, std::pair{-3.0, 1.0},
+                      std::pair{0.4, 1.0}, std::pair{0.0, 0.5},
+                      std::pair{10.0, 0.1}, std::pair{-0.2, 0.3}));
+
+// ---- box-constrained proximity: min 1/2 ||w - v||^2 s.t. w in [0,1]^d.
+
+TEST(SolverBox, ProjectsOntoBox) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(3);
+  graph.add_factor(std::make_shared<SumSquaresProx>(
+                       1.0, std::vector<double>{-1.0, 0.5, 2.0}),
+                   {w});
+  graph.add_factor(std::make_shared<BoxProx>(0.0, 1.0), {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  SolverOptions options;
+  options.max_iterations = 2000;
+  const SolverReport report = solve(graph, options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(graph.solution(0)[0], 0.0, 1e-5);
+  EXPECT_NEAR(graph.solution(0)[1], 0.5, 1e-5);
+  EXPECT_NEAR(graph.solution(0)[2], 1.0, 1e-5);
+}
+
+// ---- halfspace-constrained: min 1/2||w - v||^2 s.t. <q,w> <= b.
+
+TEST(SolverHalfspace, BindingConstraintProjection) {
+  // v = (2,2), constraint x + y <= 2 -> w* = (1,1).
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(2);
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{2.0, 2.0}),
+      {w});
+  graph.add_factor(
+      std::make_shared<HalfspaceProx>(std::vector<double>{1.0, 1.0}, 2.0),
+      {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  SolverOptions options;
+  options.max_iterations = 2000;
+  const SolverReport report = solve(graph, options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(graph.solution(0)[0], 1.0, 1e-5);
+  EXPECT_NEAR(graph.solution(0)[1], 1.0, 1e-5);
+}
+
+// ---- multi-variable graph exercises m/z/u/n bookkeeping across edges.
+
+TEST(SolverMultiVariable, ChainConsensus) {
+  // w1 ~ 1, w3 ~ 5, w1 = w2 = w3 through equality factors =>
+  // all equal 3 at the optimum of 1/2(w1-1)^2 + 1/2(w3-5)^2.
+  FactorGraph graph;
+  const VariableId w1 = graph.add_variable(1);
+  const VariableId w2 = graph.add_variable(1);
+  const VariableId w3 = graph.add_variable(1);
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{1.0}), {w1});
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{5.0}), {w3});
+  const auto equality = std::make_shared<ConsensusEqualityProx>();
+  graph.add_factor(equality, {w1, w2});
+  graph.add_factor(equality, {w2, w3});
+  graph.set_uniform_parameters(1.0, 1.0);
+  SolverOptions options;
+  options.max_iterations = 5000;
+  options.primal_tolerance = 1e-9;
+  options.dual_tolerance = 1e-9;
+  const SolverReport report = solve(graph, options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(graph.solution(w1)[0], 3.0, 1e-5);
+  EXPECT_NEAR(graph.solution(w2)[0], 3.0, 1e-5);
+  EXPECT_NEAR(graph.solution(w3)[0], 3.0, 1e-5);
+}
+
+// ---- backend equivalence: every backend computes the same trajectory.
+
+class SolverBackends : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(SolverBackends, BitIdenticalToSerial) {
+  auto build = [] {
+    Rng rng(77);
+    FactorGraph graph;
+    std::vector<VariableId> vars;
+    for (int i = 0; i < 20; ++i) vars.push_back(graph.add_variable(3));
+    for (int i = 0; i < 19; ++i) {
+      graph.add_factor(std::make_shared<ConsensusEqualityProx>(),
+                       {vars[i], vars[i + 1]});
+    }
+    for (int i = 0; i < 20; ++i) {
+      graph.add_factor(std::make_shared<SumSquaresProx>(
+                           1.0, rng.gaussian_vector(3, 0.0, 2.0)),
+                       {vars[i]});
+    }
+    graph.set_uniform_parameters(0.7, 1.1);
+    Rng init(123);
+    graph.randomize_state(-1.0, 1.0, init);
+    return graph;
+  };
+
+  FactorGraph reference = build();
+  SolverOptions serial_options;
+  serial_options.max_iterations = 60;
+  serial_options.check_interval = 60;
+  serial_options.primal_tolerance = 0.0;  // run every iteration
+  serial_options.dual_tolerance = 0.0;
+  solve(reference, serial_options);
+
+  FactorGraph graph = build();
+  SolverOptions options = serial_options;
+  options.backend = GetParam();
+  options.threads = 4;
+  solve(graph, options);
+
+  const auto expected = reference.z_values();
+  const auto actual = graph.z_values();
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i], actual[i]) << "z mismatch at scalar " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SolverBackends,
+                         ::testing::Values(BackendKind::kForkJoin,
+                                           BackendKind::kPersistent,
+                                           BackendKind::kOmpForkJoin,
+                                           BackendKind::kOmpPersistent),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param)) == "omp-fork-join"
+                                      ? std::string("OmpForkJoin")
+                                  : to_string(param_info.param) == "omp-persistent"
+                                      ? std::string("OmpPersistent")
+                                  : to_string(param_info.param) == "fork-join"
+                                      ? std::string("ForkJoin")
+                                      : std::string("Persistent");
+                         });
+
+// ---- solver mechanics.
+
+TEST(SolverMechanics, RespectsMaxIterations) {
+  FactorGraph graph = make_consensus_graph({0.0, 10.0});
+  SolverOptions options;
+  options.max_iterations = 7;
+  options.check_interval = 3;
+  options.primal_tolerance = 0.0;
+  options.dual_tolerance = 0.0;
+  const SolverReport report = solve(graph, options);
+  EXPECT_EQ(report.iterations, 7);
+  EXPECT_FALSE(report.converged);
+}
+
+TEST(SolverMechanics, CallbackCanStopEarly) {
+  FactorGraph graph = make_consensus_graph({0.0, 10.0});
+  SolverOptions options;
+  options.max_iterations = 1000;
+  options.check_interval = 10;
+  options.primal_tolerance = 0.0;
+  options.dual_tolerance = 0.0;
+  AdmmSolver solver(graph, options);
+  int calls = 0;
+  const SolverReport report = solver.run([&calls](const IterationStatus&) {
+    ++calls;
+    return calls < 3;
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(report.iterations, 30);
+}
+
+TEST(SolverMechanics, CallbackSeesMonotoneIterations) {
+  FactorGraph graph = make_consensus_graph({1.0, 2.0});
+  SolverOptions options;
+  options.max_iterations = 50;
+  options.check_interval = 20;
+  options.primal_tolerance = 0.0;
+  options.dual_tolerance = 0.0;
+  AdmmSolver solver(graph, options);
+  std::vector<int> seen;
+  solver.run([&seen](const IterationStatus& status) {
+    seen.push_back(status.iteration);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 3u);  // 20, 40, 50
+  EXPECT_EQ(seen[0], 20);
+  EXPECT_EQ(seen[1], 40);
+  EXPECT_EQ(seen[2], 50);
+}
+
+TEST(SolverMechanics, PhaseTimingsCoverFivePhases) {
+  FactorGraph graph = make_consensus_graph({1.0, 2.0, 3.0});
+  SolverOptions options;
+  options.max_iterations = 50;
+  const SolverReport report = solve(graph, options);
+  ASSERT_EQ(report.phase_seconds.size(), 5u);
+  for (const double seconds : report.phase_seconds) {
+    EXPECT_GE(seconds, 0.0);
+  }
+}
+
+TEST(SolverMechanics, ResidualBalancingStillConverges) {
+  FactorGraph graph = make_consensus_graph({-4.0, 0.0, 13.0});
+  SolverOptions options;
+  options.max_iterations = 2000;
+  options.rho_policy = RhoPolicy::kResidualBalancing;
+  const SolverReport report = solve(graph, options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(graph.solution(0)[0], 3.0, 1e-5);
+}
+
+TEST(SolverMechanics, ObjectiveMatchesOptimum) {
+  FactorGraph graph = make_consensus_graph({1.0, 5.0});
+  SolverOptions options;
+  options.max_iterations = 500;
+  solve(graph, options);
+  const auto objective = graph.objective();
+  ASSERT_TRUE(objective.has_value());
+  // min (w-1)^2/2 + (w-5)^2/2 at w=3: 2 + 2 = 4.
+  EXPECT_NEAR(*objective, 4.0, 1e-5);
+}
+
+TEST(SolverMechanics, RerunRefinesSolution) {
+  FactorGraph graph = make_consensus_graph({2.0, 8.0});
+  SolverOptions options;
+  options.max_iterations = 5;
+  options.check_interval = 5;
+  AdmmSolver solver(graph, options);
+  solver.run();
+  const double first = graph.solution(0)[0];
+  solver.run();
+  const double second = graph.solution(0)[0];
+  EXPECT_LE(std::fabs(second - 5.0), std::fabs(first - 5.0) + 1e-12);
+}
+
+}  // namespace
+}  // namespace paradmm

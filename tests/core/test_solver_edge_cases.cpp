@@ -1,0 +1,147 @@
+// Solver edge cases: degenerate option values, phase exposure, objective
+// reporting, and state-reuse patterns.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/factor_graph.hpp"
+#include "core/prox_library.hpp"
+#include "core/solver.hpp"
+
+namespace paradmm {
+namespace {
+
+FactorGraph make_two_target_graph() {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{2.0}), {w});
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{8.0}), {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  return graph;
+}
+
+TEST(SolverEdgeCases, ZeroMaxIterationsIsANoOp) {
+  FactorGraph graph = make_two_target_graph();
+  SolverOptions options;
+  options.max_iterations = 0;
+  const SolverReport report = solve(graph, options);
+  EXPECT_EQ(report.iterations, 0);
+  EXPECT_FALSE(report.converged);
+  EXPECT_DOUBLE_EQ(graph.solution(0)[0], 0.0);  // untouched state
+}
+
+TEST(SolverEdgeCases, NonPositiveCheckIntervalRunsOneBatch) {
+  FactorGraph graph = make_two_target_graph();
+  SolverOptions options;
+  options.max_iterations = 37;
+  options.check_interval = 0;
+  options.primal_tolerance = 0.0;
+  options.dual_tolerance = 0.0;
+  const SolverReport report = solve(graph, options);
+  EXPECT_EQ(report.iterations, 37);
+}
+
+TEST(SolverEdgeCases, PhasesExposeTheFiveUpdates) {
+  FactorGraph graph = make_two_target_graph();
+  AdmmSolver solver(graph, SolverOptions{});
+  const auto phases = solver.phases();
+  ASSERT_EQ(phases.size(), 5u);
+  EXPECT_EQ(phases[0].name, "x");
+  EXPECT_EQ(phases[0].count, graph.num_factors());
+  EXPECT_EQ(phases[1].name, "m");
+  EXPECT_EQ(phases[1].count, graph.num_edges());
+  EXPECT_EQ(phases[2].name, "z");
+  EXPECT_EQ(phases[2].count, graph.num_variables());
+  EXPECT_EQ(phases[3].name, "u");
+  EXPECT_EQ(phases[4].name, "n");
+}
+
+TEST(SolverEdgeCases, TimingsCanBeDisabled) {
+  FactorGraph graph = make_two_target_graph();
+  SolverOptions options;
+  options.max_iterations = 20;
+  options.record_phase_timings = false;
+  const SolverReport report = solve(graph, options);
+  EXPECT_TRUE(report.phase_seconds.empty());
+}
+
+TEST(SolverEdgeCases, InvalidOptionsThrow) {
+  FactorGraph graph = make_two_target_graph();
+  SolverOptions options;
+  options.max_iterations = -1;
+  EXPECT_THROW(AdmmSolver(graph, options), PreconditionError);
+  options = SolverOptions{};
+  options.threads = 0;
+  EXPECT_THROW(AdmmSolver(graph, options), PreconditionError);
+}
+
+TEST(SolverEdgeCases, WallSecondsArePopulated) {
+  FactorGraph graph = make_two_target_graph();
+  SolverOptions options;
+  options.max_iterations = 100;
+  const SolverReport report = solve(graph, options);
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+/// An operator without `evaluate` forces objective() to report nullopt.
+class SilentProx final : public ProxOperator {
+ public:
+  void apply(const ProxContext& ctx) const override {
+    for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+      for (std::size_t d = 0; d < ctx.input(k).size(); ++d) {
+        ctx.output(k)[d] = ctx.input(k)[d];
+      }
+    }
+  }
+  std::string_view name() const override { return "silent"; }
+};
+
+TEST(SolverEdgeCases, ObjectiveIsNulloptWithoutEvaluate) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(std::make_shared<SilentProx>(), {w});
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{1.0}), {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  EXPECT_FALSE(graph.objective().has_value());
+}
+
+TEST(SolverEdgeCases, ObjectiveSumsAllFactors) {
+  FactorGraph graph = make_two_target_graph();
+  graph.mutable_z(0)[0] = 5.0;  // optimum of (w-2)^2/2 + (w-8)^2/2
+  const auto objective = graph.objective();
+  ASSERT_TRUE(objective.has_value());
+  EXPECT_NEAR(*objective, 0.5 * 9.0 + 0.5 * 9.0, 1e-12);
+}
+
+TEST(SolverEdgeCases, WarmRestartPreservesConvergedState) {
+  FactorGraph graph = make_two_target_graph();
+  SolverOptions options;
+  options.max_iterations = 2000;
+  const SolverReport first = solve(graph, options);
+  ASSERT_TRUE(first.converged);
+  const double solution = graph.solution(0)[0];
+  // A converged state must pass the very first check of a re-run.
+  const SolverReport second = solve(graph, options);
+  EXPECT_TRUE(second.converged);
+  EXPECT_LE(second.iterations, options.check_interval);
+  EXPECT_NEAR(graph.solution(0)[0], solution, 1e-12);
+}
+
+TEST(SolverEdgeCases, PerEdgeRhoChangesTheFixedPointWeights) {
+  // Heavier rho on the first factor's edge pulls the consensus toward it.
+  FactorGraph graph = make_two_target_graph();
+  graph.set_edge_rho(0, 10.0);
+  SolverOptions options;
+  options.max_iterations = 5000;
+  solve(graph, options);
+  // The optimum of the *objective* is 5 regardless of rho; rho changes the
+  // path, not the fixed point.
+  EXPECT_NEAR(graph.solution(0)[0], 5.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace paradmm

@@ -1,0 +1,130 @@
+// Three-weight-algorithm semantics (paper ref [9]): POs may mark messages
+// as certain (infinite weight) or no-opinion (zero weight), and the z- and
+// u-phases honor those classes when the solver runs with
+// RhoPolicy::kThreeWeight.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/factor_graph.hpp"
+#include "core/prox_library.hpp"
+#include "core/solver.hpp"
+
+namespace paradmm {
+namespace {
+
+/// Emits a fixed value and a fixed TWA weight on its single edge.
+class FixedOpinionProx final : public ProxOperator {
+ public:
+  FixedOpinionProx(double value, Weight weight)
+      : value_(value), weight_(weight) {}
+
+  void apply(const ProxContext& ctx) const override {
+    for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+      for (auto& v : ctx.output(k)) v = value_;
+      ctx.set_weight(k, weight_);
+    }
+  }
+  std::string_view name() const override { return "fixed-opinion"; }
+
+ private:
+  double value_;
+  Weight weight_;
+};
+
+SolverOptions twa_options(int iterations) {
+  SolverOptions options;
+  options.rho_policy = RhoPolicy::kThreeWeight;
+  options.max_iterations = iterations;
+  options.check_interval = iterations;
+  options.primal_tolerance = 0.0;
+  options.dual_tolerance = 0.0;
+  return options;
+}
+
+TEST(ThreeWeight, InfiniteWeightOverridesAverage) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(std::make_shared<FixedOpinionProx>(10.0, Weight::kStandard),
+                   {w});
+  graph.add_factor(std::make_shared<FixedOpinionProx>(2.0, Weight::kInfinite),
+                   {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  solve(graph, twa_options(3));
+  // The certain message wins outright; the standard one is ignored.
+  EXPECT_DOUBLE_EQ(graph.solution(w)[0], 2.0);
+}
+
+TEST(ThreeWeight, TiedInfiniteWeightsAverageEachOther) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(std::make_shared<FixedOpinionProx>(4.0, Weight::kInfinite),
+                   {w});
+  graph.add_factor(std::make_shared<FixedOpinionProx>(8.0, Weight::kInfinite),
+                   {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  solve(graph, twa_options(3));
+  EXPECT_DOUBLE_EQ(graph.solution(w)[0], 6.0);
+}
+
+TEST(ThreeWeight, ZeroWeightIsIgnored) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(std::make_shared<FixedOpinionProx>(100.0, Weight::kZero),
+                   {w});
+  graph.add_factor(std::make_shared<FixedOpinionProx>(7.0, Weight::kStandard),
+                   {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  solve(graph, twa_options(3));
+  // m for the standard edge is x + u; u stays 0 because x == z from the
+  // first z-update on, so z equals the standard opinion.
+  EXPECT_DOUBLE_EQ(graph.solution(w)[0], 7.0);
+}
+
+TEST(ThreeWeight, AllZeroWeightsKeepPreviousZ) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(std::make_shared<FixedOpinionProx>(5.0, Weight::kZero),
+                   {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  graph.mutable_z(w)[0] = -3.25;
+  solve(graph, twa_options(2));
+  EXPECT_DOUBLE_EQ(graph.solution(w)[0], -3.25);
+}
+
+TEST(ThreeWeight, NonStandardWeightsClearU) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(std::make_shared<FixedOpinionProx>(1.0, Weight::kInfinite),
+                   {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  graph.u_values()[0] = 42.0;
+  solve(graph, twa_options(1));
+  EXPECT_DOUBLE_EQ(graph.u_values()[0], 0.0);
+}
+
+TEST(ThreeWeight, StandardWeightsReduceToPlainAdmm) {
+  // With every weight standard, the TWA z-update must match classic ADMM.
+  auto build = [] {
+    FactorGraph graph;
+    const VariableId w = graph.add_variable(1);
+    graph.add_factor(
+        std::make_shared<SumSquaresProx>(1.0, std::vector<double>{1.0}), {w});
+    graph.add_factor(
+        std::make_shared<SumSquaresProx>(1.0, std::vector<double>{9.0}), {w});
+    graph.set_uniform_parameters(1.0, 1.0);
+    return graph;
+  };
+  FactorGraph twa_graph = build();
+  solve(twa_graph, twa_options(50));
+
+  FactorGraph plain_graph = build();
+  SolverOptions plain = twa_options(50);
+  plain.rho_policy = RhoPolicy::kConstant;
+  solve(plain_graph, plain);
+
+  EXPECT_DOUBLE_EQ(twa_graph.solution(0)[0], plain_graph.solution(0)[0]);
+}
+
+}  // namespace
+}  // namespace paradmm

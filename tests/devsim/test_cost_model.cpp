@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/factor_graph.hpp"
+#include "core/prox_library.hpp"
+#include "devsim/cost_model.hpp"
+
+namespace paradmm::devsim {
+namespace {
+
+FactorGraph make_figure1_graph(std::uint32_t dim) {
+  FactorGraph graph;
+  const auto w = graph.add_variables(5, dim);
+  const auto op = std::make_shared<ZeroProx>();
+  graph.add_factor(op, {w[0], w[1], w[2]});
+  graph.add_factor(op, {w[0], w[3], w[4]});
+  graph.add_factor(op, {w[1], w[4]});
+  graph.add_factor(op, {w[4]});
+  return graph;
+}
+
+TEST(CostModelExtraction, PhaseCountsMatchGraph) {
+  const FactorGraph graph = make_figure1_graph(2);
+  const IterationCosts costs = extract_iteration_costs(graph);
+  EXPECT_EQ(costs.phases[0].name, "x");
+  EXPECT_EQ(costs.phases[0].count, graph.num_factors());
+  EXPECT_EQ(costs.phases[1].name, "m");
+  EXPECT_EQ(costs.phases[1].count, graph.num_edges());
+  EXPECT_EQ(costs.phases[2].name, "z");
+  EXPECT_EQ(costs.phases[2].count, graph.num_variables());
+  EXPECT_EQ(costs.phases[3].count, graph.num_edges());
+  EXPECT_EQ(costs.phases[4].count, graph.num_edges());
+  EXPECT_EQ(costs.elements(), graph.elements());
+}
+
+TEST(CostModelExtraction, PatternsPerPhase) {
+  const FactorGraph graph = make_figure1_graph(1);
+  const IterationCosts costs = extract_iteration_costs(graph);
+  EXPECT_EQ(costs.phases[0].pattern, MemoryPattern::kGather);
+  EXPECT_EQ(costs.phases[1].pattern, MemoryPattern::kCoalesced);
+  EXPECT_EQ(costs.phases[2].pattern, MemoryPattern::kGather);
+  EXPECT_EQ(costs.phases[3].pattern, MemoryPattern::kMixed);
+  EXPECT_EQ(costs.phases[4].pattern, MemoryPattern::kMixed);
+}
+
+TEST(CostModelExtraction, XPhaseUsesOperatorCost) {
+  const FactorGraph graph = make_figure1_graph(2);
+  const IterationCosts costs = extract_iteration_costs(graph);
+  // Factor 0 has 3 edges of dim 2: ZeroProx cost is 1 flop and 16 B per
+  // scalar, plus the 22-flop per-factor dispatch overhead.
+  const TaskCost f0 = costs.phases[0].cost_at(0);
+  EXPECT_DOUBLE_EQ(f0.flops, 6.0 + 22.0);
+  EXPECT_DOUBLE_EQ(f0.bytes, 96.0);
+  // Factor 3 has 1 edge of dim 2.
+  const TaskCost f3 = costs.phases[0].cost_at(3);
+  EXPECT_DOUBLE_EQ(f3.flops, 2.0 + 22.0);
+}
+
+TEST(CostModelExtraction, EdgePhaseFormulas) {
+  const FactorGraph graph = make_figure1_graph(3);
+  const IterationCosts costs = extract_iteration_costs(graph);
+  const TaskCost m = costs.phases[1].cost_at(0);
+  EXPECT_DOUBLE_EQ(m.flops, 3.0);
+  EXPECT_DOUBLE_EQ(m.bytes, 72.0);
+  const TaskCost u = costs.phases[3].cost_at(0);
+  EXPECT_DOUBLE_EQ(u.flops, 9.0);
+  EXPECT_DOUBLE_EQ(u.bytes, 96.0);
+  const TaskCost n = costs.phases[4].cost_at(0);
+  EXPECT_DOUBLE_EQ(n.flops, 3.0);
+}
+
+TEST(CostModelExtraction, ZPhaseScalesWithDegree) {
+  const FactorGraph graph = make_figure1_graph(2);
+  const IterationCosts costs = extract_iteration_costs(graph);
+  // w5 (index 4) has degree 3; w3 (index 2) degree 1.
+  const TaskCost z_w5 = costs.phases[2].cost_at(4);
+  const TaskCost z_w3 = costs.phases[2].cost_at(2);
+  EXPECT_GT(z_w5.flops, z_w3.flops);
+  EXPECT_GT(z_w5.bytes, z_w3.bytes);
+  EXPECT_DOUBLE_EQ(z_w5.flops, (2.0 * 3 + 1) * 2);
+}
+
+TEST(CostModelExtraction, EdgePhasesShareBranchClassPerPhase) {
+  const FactorGraph graph = make_figure1_graph(1);
+  const IterationCosts costs = extract_iteration_costs(graph);
+  for (std::size_t p : {1u, 3u, 4u}) {
+    const auto cls = costs.phases[p].cost_at(0).branch_class;
+    for (std::size_t e = 1; e < costs.phases[p].count; ++e) {
+      EXPECT_EQ(costs.phases[p].cost_at(e).branch_class, cls);
+    }
+  }
+}
+
+TEST(CostModelExtraction, FootprintMatchesGraph) {
+  const FactorGraph graph = make_figure1_graph(2);
+  const GraphFootprint footprint = extract_footprint(graph);
+  EXPECT_EQ(footprint.edges, 9u);
+  EXPECT_EQ(footprint.edge_scalars, 18u);
+  EXPECT_EQ(footprint.variable_scalars, 10u);
+  EXPECT_DOUBLE_EQ(footprint.z_bytes(), 80.0);
+  EXPECT_DOUBLE_EQ(footprint.value_bytes(), 8.0 * (4 * 18 + 10));
+  EXPECT_DOUBLE_EQ(footprint.metadata_bytes(), 32.0 * 9);
+}
+
+TEST(CostModelFormulas, PatternNames) {
+  EXPECT_EQ(to_string(MemoryPattern::kCoalesced), "coalesced");
+  EXPECT_EQ(to_string(MemoryPattern::kGather), "gather");
+  EXPECT_EQ(to_string(MemoryPattern::kStrided), "strided");
+  EXPECT_EQ(to_string(MemoryPattern::kMixed), "mixed");
+}
+
+}  // namespace
+}  // namespace paradmm::devsim

@@ -1,0 +1,150 @@
+// Multicore/serial model invariants: saturation, NUMA effects, fork/join
+// overhead, and consistency between the serial and 1-core paths.
+#include <gtest/gtest.h>
+
+#include "devsim/calibration.hpp"
+#include "devsim/cpu_model.hpp"
+
+namespace paradmm::devsim {
+namespace {
+
+PhaseCostSpec uniform_phase(std::size_t count, double flops, double bytes,
+                            MemoryPattern pattern = MemoryPattern::kCoalesced) {
+  return PhaseCostSpec{"test", count, pattern, [=](std::size_t) {
+                         return TaskCost{flops, bytes, 1};
+                       }};
+}
+
+TEST(SerialModel, RooflineMax) {
+  SerialSpec cpu;
+  cpu.flops_per_second = 1e9;
+  cpu.bytes_per_second = 1e10;
+  // Compute-bound: 1e9 flops at 1e9 flops/s = 1 s.
+  EXPECT_NEAR(serial_phase_seconds(uniform_phase(1000, 1e6, 8.0), cpu), 1.0,
+              1e-9);
+  // Memory-bound: 1e10 bytes at 1e10 B/s = 1 s.
+  EXPECT_NEAR(serial_phase_seconds(uniform_phase(1000, 1.0, 1e7), cpu), 1.0,
+              1e-9);
+}
+
+TEST(SerialModel, IterationSumsPhases) {
+  const SerialSpec cpu = opteron_serial();
+  IterationCosts costs;
+  for (auto& phase : costs.phases) phase = uniform_phase(1000, 100.0, 80.0);
+  EXPECT_NEAR(serial_iteration_seconds(costs, cpu),
+              5.0 * serial_phase_seconds(costs.phases[0], cpu), 1e-12);
+}
+
+TEST(MulticoreModel, TwoCoresBeatOneOnBigPhases) {
+  const MulticoreSpec cpu = opteron_32core();
+  const auto phase = uniform_phase(1000000, 200.0, 60.0);
+  const double one = simulate_multicore_phase(phase, cpu, 1).seconds;
+  const double two = simulate_multicore_phase(phase, cpu, 2).seconds;
+  EXPECT_LT(two, one);
+}
+
+TEST(MulticoreModel, ComputeBoundScalesNearlyLinearly) {
+  const MulticoreSpec cpu = opteron_32core();
+  // Heavy flops, almost no memory: speedup at 8 cores should be near 8.
+  const auto phase = uniform_phase(1000000, 5000.0, 8.0);
+  const double one = simulate_multicore_phase(phase, cpu, 1).seconds;
+  const double eight = simulate_multicore_phase(phase, cpu, 8).seconds;
+  EXPECT_GT(one / eight, 6.5);
+  EXPECT_LE(one / eight, 8.0 + 1e-9);
+}
+
+TEST(MulticoreModel, MemoryBoundSaturates) {
+  const MulticoreSpec cpu = opteron_32core();
+  // Bandwidth-bound phase: 32 cores cannot give anywhere near 32x.
+  const auto phase = uniform_phase(1000000, 1.0, 2000.0);
+  const double one = simulate_multicore_phase(phase, cpu, 1).seconds;
+  const double thirty_two = simulate_multicore_phase(phase, cpu, 32).seconds;
+  const double speedup = one / thirty_two;
+  EXPECT_LT(speedup, 12.0);
+  EXPECT_GT(speedup, 1.0);
+}
+
+TEST(MulticoreModel, GatherPhasesCanDegradePastPeak) {
+  // The Fig-11-right effect: for gather-heavy phases, going from 25 to 32
+  // cores buys little or hurts.
+  const MulticoreSpec cpu = opteron_32core();
+  const auto phase =
+      uniform_phase(1000000, 2.0, 1500.0, MemoryPattern::kGather);
+  const double at25 = simulate_multicore_phase(phase, cpu, 25).seconds;
+  const double at32 = simulate_multicore_phase(phase, cpu, 32).seconds;
+  EXPECT_GT(at32, 0.98 * at25);
+}
+
+TEST(MulticoreModel, ForkJoinMakesTinyPhasesWorseWithMoreCores) {
+  const MulticoreSpec cpu = opteron_32core();
+  const auto phase = uniform_phase(64, 10.0, 80.0);
+  const double at2 = simulate_multicore_phase(phase, cpu, 2).seconds;
+  const double at32 = simulate_multicore_phase(phase, cpu, 32).seconds;
+  EXPECT_GT(at32, at2);
+}
+
+TEST(MulticoreModel, CrossingNodeBoundaryAddsRemoteTraffic) {
+  MulticoreSpec penalized = opteron_32core();
+  MulticoreSpec free_remote = penalized;
+  free_remote.remote_access_penalty = 0.0;
+  const auto phase = uniform_phase(1000000, 1.0, 800.0);
+  // Within one node the two models agree ...
+  EXPECT_DOUBLE_EQ(
+      simulate_multicore_phase(phase, penalized, 8).memory_seconds,
+      simulate_multicore_phase(phase, free_remote, 8).memory_seconds);
+  // ... but once threads span nodes the remote fraction costs extra.
+  EXPECT_GT(simulate_multicore_phase(phase, penalized, 16).memory_seconds,
+            simulate_multicore_phase(phase, free_remote, 16).memory_seconds);
+}
+
+TEST(MulticoreModel, EmptyPhaseIsFree) {
+  const MulticoreSpec cpu = opteron_32core();
+  EXPECT_DOUBLE_EQ(
+      simulate_multicore_phase(uniform_phase(0, 1.0, 1.0), cpu, 8).seconds,
+      0.0);
+}
+
+TEST(MulticoreModel, RejectsZeroCores) {
+  const MulticoreSpec cpu = opteron_32core();
+  EXPECT_THROW(simulate_multicore_phase(uniform_phase(10, 1.0, 1.0), cpu, 0),
+               PreconditionError);
+}
+
+TEST(MulticoreModel, PersistentBarrierCostsMoreAtScale) {
+  // Fig. 4: strategy B's central barrier scales linearly with the team, so
+  // at 32 cores strategy A must win on sync-sensitive (small-phase) work.
+  const MulticoreSpec cpu = opteron_32core();
+  const auto phase = uniform_phase(20000, 20.0, 60.0);
+  const double a =
+      simulate_multicore_phase(phase, cpu, 32,
+                               OmpStrategy::kForkJoinPerPhase)
+          .seconds;
+  const double b =
+      simulate_multicore_phase(phase, cpu, 32,
+                               OmpStrategy::kPersistentBarrier)
+          .seconds;
+  EXPECT_LT(a, b);
+  // At 2 cores the central barrier is cheaper than a full fork/join.
+  const double a2 =
+      simulate_multicore_phase(phase, cpu, 2,
+                               OmpStrategy::kForkJoinPerPhase)
+          .seconds;
+  const double b2 =
+      simulate_multicore_phase(phase, cpu, 2,
+                               OmpStrategy::kPersistentBarrier)
+          .seconds;
+  EXPECT_LT(b2, a2);
+}
+
+TEST(MulticoreModel, IterationSumsPhases) {
+  const MulticoreSpec cpu = opteron_32core();
+  IterationCosts costs;
+  for (auto& phase : costs.phases) phase = uniform_phase(10000, 50.0, 80.0);
+  EXPECT_NEAR(
+      multicore_iteration_seconds(costs, cpu, 16),
+      5.0 * simulate_multicore_phase(costs.phases[0], cpu, 16).seconds,
+      1e-12);
+}
+
+}  // namespace
+}  // namespace paradmm::devsim

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "devsim/calibration.hpp"
+#include "devsim/multi_gpu_model.hpp"
+
+namespace paradmm::devsim {
+namespace {
+
+IterationCosts uniform_costs(std::size_t count) {
+  IterationCosts costs;
+  const char* names[] = {"x", "m", "z", "u", "n"};
+  for (std::size_t p = 0; p < 5; ++p) {
+    costs.phases[p] =
+        PhaseCostSpec{names[p], count, MemoryPattern::kCoalesced,
+                      [](std::size_t) {
+                        return TaskCost{50.0, 100.0, 1};
+                      }};
+  }
+  return costs;
+}
+
+GraphFootprint footprint_of(std::size_t edges) {
+  GraphFootprint footprint;
+  footprint.edges = edges;
+  footprint.edge_scalars = 2 * edges;
+  footprint.variable_scalars = edges / 4;
+  return footprint;
+}
+
+TEST(MultiGpuModel, SingleDeviceHasNoExchange) {
+  MultiGpuSpec spec;
+  spec.devices = 1;
+  const auto estimate = simulate_multi_gpu_iteration(
+      uniform_costs(100000), footprint_of(100000), spec, 32);
+  EXPECT_DOUBLE_EQ(estimate.exchange_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.seconds, estimate.compute_seconds);
+}
+
+TEST(MultiGpuModel, SingleDeviceMatchesPlainGpuModel) {
+  MultiGpuSpec spec;
+  spec.devices = 1;
+  const auto costs = uniform_costs(100000);
+  const auto estimate = simulate_multi_gpu_iteration(
+      costs, footprint_of(100000), spec, 32);
+  EXPECT_NEAR(estimate.seconds, gpu_iteration_seconds(costs, spec.gpu, 32),
+              1e-12);
+}
+
+TEST(MultiGpuModel, ComputeShrinksWithDevices) {
+  const auto costs = uniform_costs(2000000);
+  const auto footprint = footprint_of(2000000);
+  double previous = 1e9;
+  for (const int devices : {1, 2, 4, 8}) {
+    MultiGpuSpec spec;
+    spec.devices = devices;
+    spec.cut_fraction = 0.0;
+    const auto estimate =
+        simulate_multi_gpu_iteration(costs, footprint, spec, 32);
+    EXPECT_LT(estimate.compute_seconds, previous);
+    previous = estimate.compute_seconds;
+  }
+}
+
+TEST(MultiGpuModel, ExchangeGrowsWithCutFraction) {
+  const auto costs = uniform_costs(500000);
+  const auto footprint = footprint_of(500000);
+  MultiGpuSpec low;
+  low.devices = 4;
+  low.cut_fraction = 0.01;
+  MultiGpuSpec high = low;
+  high.cut_fraction = 0.75;
+  EXPECT_GT(simulate_multi_gpu_iteration(costs, footprint, high, 32)
+                .exchange_seconds,
+            simulate_multi_gpu_iteration(costs, footprint, low, 32)
+                .exchange_seconds);
+}
+
+TEST(MultiGpuModel, DenseGraphsSaturateBeforeChains) {
+  const auto costs = uniform_costs(2000000);
+  const auto footprint = footprint_of(2000000);
+  MultiGpuSpec dense;
+  dense.devices = 8;
+  dense.cut_fraction = dense_cut_fraction(8);
+  MultiGpuSpec chain = dense;
+  chain.cut_fraction = chain_cut_fraction(2000000, 8);
+  const double dense_total =
+      simulate_multi_gpu_iteration(costs, footprint, dense, 32).seconds;
+  const double chain_total =
+      simulate_multi_gpu_iteration(costs, footprint, chain, 32).seconds;
+  EXPECT_GT(dense_total, chain_total);
+}
+
+TEST(MultiGpuModel, CutFractionHelpers) {
+  EXPECT_DOUBLE_EQ(dense_cut_fraction(1), 0.0);
+  EXPECT_DOUBLE_EQ(dense_cut_fraction(4), 0.75);
+  EXPECT_DOUBLE_EQ(chain_cut_fraction(1000, 1), 0.0);
+  EXPECT_NEAR(chain_cut_fraction(1000, 5), 4.0 / 1000.0, 1e-12);
+  EXPECT_DOUBLE_EQ(chain_cut_fraction(2, 8), 1.0);  // clamped
+}
+
+TEST(MultiGpuModel, ShardingPreservesHeterogeneousRuns) {
+  // Two cost classes in index order; device 1's shard must see the second
+  // class, not a copy of device 0's.
+  IterationCosts costs;
+  const char* names[] = {"x", "m", "z", "u", "n"};
+  for (std::size_t p = 0; p < 5; ++p) {
+    costs.phases[p] = PhaseCostSpec{
+        names[p], 1000, MemoryPattern::kCoalesced, [](std::size_t i) {
+          return i < 500 ? TaskCost{10.0, 10.0, 1}
+                         : TaskCost{1000.0, 10.0, 2};
+        }};
+  }
+  MultiGpuSpec spec;
+  spec.devices = 2;
+  spec.cut_fraction = 0.0;
+  const auto estimate = simulate_multi_gpu_iteration(
+      costs, footprint_of(1000), spec, 32);
+  // The slow half dominates: the makespan must be close to a single device
+  // running only the expensive class, not half the uniform average.
+  PhaseCostSpec slow{"x", 500, MemoryPattern::kCoalesced, [](std::size_t) {
+                       return TaskCost{1000.0, 10.0, 2};
+                     }};
+  const double slow_phase = simulate_kernel(slow, spec.gpu, 32).seconds;
+  EXPECT_GE(estimate.compute_seconds, 5.0 * slow_phase * 0.9);
+}
+
+TEST(MultiGpuModel, RejectsBadArguments) {
+  MultiGpuSpec spec;
+  spec.devices = 0;
+  EXPECT_THROW(simulate_multi_gpu_iteration(uniform_costs(10),
+                                            footprint_of(10), spec, 32),
+               PreconditionError);
+  spec.devices = 2;
+  spec.cut_fraction = 1.5;
+  EXPECT_THROW(simulate_multi_gpu_iteration(uniform_costs(10),
+                                            footprint_of(10), spec, 32),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace paradmm::devsim

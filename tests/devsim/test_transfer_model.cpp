@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "devsim/calibration.hpp"
+#include "devsim/transfer_model.hpp"
+
+namespace paradmm::devsim {
+namespace {
+
+GraphFootprint footprint_for(std::size_t edges, std::size_t edge_scalars,
+                             std::size_t variable_scalars) {
+  GraphFootprint footprint;
+  footprint.edges = edges;
+  footprint.edge_scalars = edge_scalars;
+  footprint.variable_scalars = variable_scalars;
+  return footprint;
+}
+
+TEST(TransferModel, DownloadIsLatencyBoundForSmallZ) {
+  const TransferSpec spec = k40_pcie();
+  // Packing N=5000-scale z: 15k scalars = 120 kB — well under a millisecond
+  // (paper reports 0.3 ms).
+  const double seconds = z_download_seconds(footprint_for(1, 1, 15000), spec);
+  EXPECT_LT(seconds, 1e-3);
+  EXPECT_GT(seconds, spec.transfer_latency_us * 1e-6 * 0.99);
+}
+
+TEST(TransferModel, UploadDominatedByHostConstruction) {
+  const TransferSpec spec = k40_pcie();
+  const auto footprint = footprint_for(50'000'000, 75'000'000, 15000);
+  const double upload = graph_upload_seconds(footprint, spec);
+  // Paper: ~450 s for the N=5000 packing graph.
+  EXPECT_GT(upload, 100.0);
+  EXPECT_LT(upload, 2000.0);
+  const double copy_only =
+      (footprint.value_bytes() + footprint.metadata_bytes()) /
+      (spec.pcie_gbs * 1e9);
+  EXPECT_GT(upload, 10.0 * copy_only);
+}
+
+TEST(TransferModel, UploadLinearInEdges) {
+  const TransferSpec spec = k40_pcie();
+  const double one =
+      graph_upload_seconds(footprint_for(1'000'000, 2'000'000, 1000), spec);
+  const double two =
+      graph_upload_seconds(footprint_for(2'000'000, 4'000'000, 2000), spec);
+  EXPECT_NEAR(two / one, 2.0, 0.01);
+}
+
+TEST(TransferModel, DownloadMuchCheaperThanUpload) {
+  const TransferSpec spec = k40_pcie();
+  const auto footprint = footprint_for(6'000'000, 9'000'000, 300'000);
+  EXPECT_LT(z_download_seconds(footprint, spec) * 100.0,
+            graph_upload_seconds(footprint, spec));
+}
+
+}  // namespace
+}  // namespace paradmm::devsim

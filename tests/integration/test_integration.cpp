@@ -1,0 +1,264 @@
+// Cross-module integration tests: whole problems solved through every
+// backend, policy combinations, and failure injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/prox_library.hpp"
+#include "core/solver.hpp"
+#include "problems/lasso/lasso.hpp"
+#include "problems/mpc/builder.hpp"
+#include "problems/packing/builder.hpp"
+#include "problems/svm/builder.hpp"
+
+namespace paradmm {
+namespace {
+
+// ---- every backend computes the same packing trajectory.
+
+class PackingBackends : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(PackingBackends, TrajectoryMatchesSerial) {
+  auto build = [] {
+    packing::PackingConfig config;
+    config.circles = 5;
+    config.seed = 31;
+    return packing::PackingProblem(config);
+  };
+  auto run = [](packing::PackingProblem& problem, BackendKind kind) {
+    SolverOptions options;
+    options.backend = kind;
+    options.threads = 3;
+    options.max_iterations = 120;
+    options.check_interval = 120;
+    options.primal_tolerance = 0.0;
+    options.dual_tolerance = 0.0;
+    solve(problem.graph(), options);
+  };
+  packing::PackingProblem reference = build();
+  run(reference, BackendKind::kSerial);
+  packing::PackingProblem problem = build();
+  run(problem, GetParam());
+  const auto expected = reference.graph().z_values();
+  const auto actual = problem.graph().z_values();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i], actual[i]) << "z scalar " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PackingBackends,
+                         ::testing::Values(BackendKind::kForkJoin,
+                                           BackendKind::kPersistent,
+                                           BackendKind::kOmpForkJoin,
+                                           BackendKind::kOmpPersistent),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case BackendKind::kForkJoin: return "ForkJoin";
+                             case BackendKind::kPersistent:
+                               return "Persistent";
+                             case BackendKind::kOmpForkJoin:
+                               return "OmpForkJoin";
+                             default: return "OmpPersistent";
+                           }
+                         });
+
+// ---- three-weight packing end to end.
+
+TEST(ThreeWeightPacking, ConvergesFeasiblyAndFaster) {
+  auto run = [](bool twa) {
+    packing::PackingConfig config;
+    config.circles = 5;
+    config.seed = 42;
+    config.use_three_weight = twa;
+    packing::PackingProblem problem(config);
+    SolverOptions options;
+    options.max_iterations = 40000;
+    options.check_interval = 250;
+    options.primal_tolerance = 1e-8;
+    options.dual_tolerance = 1e-8;
+    if (twa) options.rho_policy = RhoPolicy::kThreeWeight;
+    const SolverReport report = solve(problem.graph(), options);
+    EXPECT_TRUE(report.converged);
+    EXPECT_LT(problem.max_overlap(), 1e-4);
+    EXPECT_LT(problem.max_wall_violation(), 1e-4);
+    return report.iterations;
+  };
+  const int plain_iterations = run(false);
+  const int twa_iterations = run(true);
+  // TWA withdraws inactive constraints from the consensus; on packing this
+  // consistently shortens the path (bench_ablation_three_weight).
+  EXPECT_LE(twa_iterations, plain_iterations);
+}
+
+TEST(ThreeWeightPacking, WeightsAreEmittedDuringSolve) {
+  packing::PackingConfig config;
+  config.circles = 4;
+  config.use_three_weight = true;
+  packing::PackingProblem problem(config);
+  SolverOptions options;
+  options.rho_policy = RhoPolicy::kThreeWeight;
+  options.max_iterations = 200;
+  options.check_interval = 200;
+  options.primal_tolerance = 0.0;
+  options.dual_tolerance = 0.0;
+  solve(problem.graph(), options);
+  // After convergence-ish, disjoint circles exist, so some collision
+  // messages must carry the zero ("no opinion") weight.
+  bool saw_zero = false;
+  for (const Weight w : problem.graph().edge_weights()) {
+    saw_zero = saw_zero || w == Weight::kZero;
+  }
+  EXPECT_TRUE(saw_zero);
+}
+
+// ---- policy combinations on real problems.
+
+TEST(PolicyMatrix, ResidualBalancingSolvesLasso) {
+  const auto instance = lasso::make_lasso_instance(40, 8, 2, 0.01, 13);
+  lasso::LassoConfig config;
+  config.blocks = 4;
+  config.lambda = 0.05;
+  lasso::LassoProblem problem(instance, config);
+  SolverOptions options;
+  // Note: the Lasso block prox caches its factorization for the build rho,
+  // so balancing must stay off for it; use balancing on SVM instead.
+  options.max_iterations = 30000;
+  options.primal_tolerance = 1e-10;
+  options.dual_tolerance = 1e-10;
+  const SolverReport report = solve(problem.graph(), options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(lasso::kkt_violation(instance, config.lambda, problem.solution()),
+            1e-4);
+}
+
+TEST(PolicyMatrix, ResidualBalancingSolvesSvm) {
+  const auto dataset = svm::make_gaussian_blobs(30, 2, 6.0, 21);
+  svm::SvmProblem problem(dataset, svm::SvmConfig{});
+  SolverOptions options;
+  options.rho_policy = RhoPolicy::kResidualBalancing;
+  options.max_iterations = 30000;
+  options.check_interval = 500;
+  options.primal_tolerance = 1e-7;
+  options.dual_tolerance = 1e-7;
+  const SolverReport report = solve(problem.graph(), options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_GT(problem.train_accuracy(), 0.9);
+}
+
+// ---- rho/alpha sweep: the engine converges across the sensible range.
+
+class RhoAlphaSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(RhoAlphaSweep, ConsensusStillConverges) {
+  const auto [rho, alpha] = GetParam();
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(2);
+  graph.add_factor(std::make_shared<SumSquaresProx>(
+                       1.0, std::vector<double>{1.0, -1.0}),
+                   {w});
+  graph.add_factor(std::make_shared<SumSquaresProx>(
+                       1.0, std::vector<double>{3.0, 1.0}),
+                   {w});
+  graph.set_uniform_parameters(rho, alpha);
+  SolverOptions options;
+  options.max_iterations = 20000;
+  const SolverReport report = solve(graph, options);
+  EXPECT_TRUE(report.converged) << "rho=" << rho << " alpha=" << alpha;
+  EXPECT_NEAR(graph.solution(w)[0], 2.0, 1e-5);
+  EXPECT_NEAR(graph.solution(w)[1], 0.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RhoAlphaSweep,
+    ::testing::Values(std::pair{0.1, 1.0}, std::pair{1.0, 1.0},
+                      std::pair{10.0, 1.0}, std::pair{1.0, 0.5},
+                      std::pair{1.0, 1.5}, std::pair{5.0, 0.8}));
+
+// ---- failure injection.
+
+class ThrowingProx final : public ProxOperator {
+ public:
+  void apply(const ProxContext&) const override {
+    throw std::runtime_error("prox exploded");
+  }
+  std::string_view name() const override { return "throwing"; }
+};
+
+TEST(FailureInjection, ProxExceptionPropagatesFromSerialBackend) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(std::make_shared<ThrowingProx>(), {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  SolverOptions options;
+  options.max_iterations = 10;
+  EXPECT_THROW(solve(graph, options), std::runtime_error);
+}
+
+class NanProx final : public ProxOperator {
+ public:
+  void apply(const ProxContext& ctx) const override {
+    for (auto& v : ctx.output(0)) v = std::nan("");
+  }
+  std::string_view name() const override { return "nan"; }
+};
+
+TEST(FailureInjection, NanOutputsNeverReportConvergence) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(std::make_shared<NanProx>(), {w});
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{1.0}), {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  SolverOptions options;
+  options.max_iterations = 100;
+  const SolverReport report = solve(graph, options);
+  EXPECT_FALSE(report.converged);  // NaN residuals never pass tolerances
+  EXPECT_EQ(report.iterations, 100);
+}
+
+// ---- repeated variable within one factor is legal and correct.
+
+TEST(GraphShapes, FactorMayTouchSameVariableTwice) {
+  // f(w, w) with consensus equality is trivially satisfied; combined with
+  // an anchor the optimum is the anchor's target.
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(std::make_shared<ConsensusEqualityProx>(), {w, w});
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{2.5}), {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  SolverOptions options;
+  options.max_iterations = 2000;
+  const SolverReport report = solve(graph, options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(graph.solution(w)[0], 2.5, 1e-6);
+}
+
+// ---- MPC receding-horizon consistency across controller cycles.
+
+TEST(RecedingHorizon, DynamicsHoldAfterEveryResolve) {
+  mpc::MpcConfig config;
+  config.horizon = 15;
+  mpc::MpcProblem problem(config);
+  SolverOptions options;
+  options.max_iterations = 30000;
+  options.check_interval = 300;
+  options.primal_tolerance = 1e-9;
+  options.dual_tolerance = 1e-9;
+  solve(problem.graph(), options);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const auto plan = problem.trajectory();
+    const auto next =
+        mpc::step(problem.model(), plan[0].state, plan[0].input);
+    problem.set_initial_state(next);
+    const SolverReport report = solve(problem.graph(), options);
+    EXPECT_TRUE(report.converged) << "cycle " << cycle;
+    EXPECT_LT(problem.dynamics_violation(), 1e-5) << "cycle " << cycle;
+  }
+}
+
+}  // namespace
+}  // namespace paradmm

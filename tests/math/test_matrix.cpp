@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "math/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace paradmm {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  m(1, 0) = -5.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), -5.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 2), 0.0);
+  const std::vector<double> d = {2.0, 5.0};
+  const Matrix diag = Matrix::diagonal(d);
+  EXPECT_DOUBLE_EQ(diag(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(diag(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(diag(0, 1), 0.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> x = {1.0, -1.0};
+  std::vector<double> out(2);
+  m.multiply(x, out);
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(MatrixTest, ProductMatchesHand) {
+  const Matrix a{{1.0, 2.0}, {0.0, 1.0}};
+  const Matrix b{{3.0, 0.0}, {1.0, 4.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const Matrix round = t.transposed();
+  EXPECT_DOUBLE_EQ((round - a).frobenius_norm(), 0.0);
+}
+
+TEST(MatrixTest, CholeskyReconstructs) {
+  const Matrix a{{4.0, 2.0, 0.0}, {2.0, 5.0, 1.0}, {0.0, 1.0, 3.0}};
+  const Matrix l = cholesky_factor(a);
+  const Matrix reconstructed = l * l.transposed();
+  EXPECT_LT((reconstructed - a).frobenius_norm(), 1e-12);
+}
+
+TEST(MatrixTest, CholeskyRejectsIndefinite) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_factor(a), NumericalError);
+}
+
+TEST(MatrixTest, SolveSpdRecoversSolution) {
+  Rng rng(11);
+  const std::size_t n = 8;
+  Matrix basis(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) basis(r, c) = rng.gaussian();
+  Matrix spd = basis * basis.transposed();
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+
+  std::vector<double> truth(n);
+  for (auto& v : truth) v = rng.uniform(-2.0, 2.0);
+  std::vector<double> rhs(n);
+  spd.multiply(truth, rhs);
+
+  const std::vector<double> solved = solve_spd(spd, rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(solved[i], truth[i], 1e-9);
+}
+
+TEST(MatrixTest, LuSolvesGeneralSystem) {
+  const Matrix a{{0.0, 2.0, 1.0}, {1.0, -2.0, -3.0}, {-1.0, 1.0, 2.0}};
+  const std::vector<double> b = {-8.0, 0.0, 3.0};
+  const std::vector<double> x = solve_lu(a, b);
+  std::vector<double> check(3);
+  a.multiply(x, check);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(check[i], b[i], 1e-10);
+}
+
+TEST(MatrixTest, LuRejectsSingular) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(solve_lu(a, {1.0, 2.0}), NumericalError);
+}
+
+TEST(MatrixTest, InverseTimesSelfIsIdentity) {
+  const Matrix a{{2.0, 1.0}, {7.0, 4.0}};
+  const Matrix inv = inverse(a);
+  const Matrix eye = a * inv;
+  EXPECT_LT((eye - Matrix::identity(2)).frobenius_norm(), 1e-12);
+}
+
+TEST(MatrixTest, DimensionMismatchThrows) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{1.0, 2.0}};
+  EXPECT_THROW(a * b, PreconditionError);
+  std::vector<double> out(1);
+  EXPECT_THROW(a.multiply(std::vector<double>{1.0}, out), PreconditionError);
+}
+
+}  // namespace
+}  // namespace paradmm

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/minimize.hpp"
+
+namespace paradmm {
+namespace {
+
+TEST(GoldenSectionTest, FindsQuadraticMinimum) {
+  const double argmin = golden_section_minimize(
+      [](double x) { return (x - 2.5) * (x - 2.5); }, -10.0, 10.0);
+  EXPECT_NEAR(argmin, 2.5, 1e-8);
+}
+
+TEST(GoldenSectionTest, FindsAbsoluteValueKink) {
+  const double argmin = golden_section_minimize(
+      [](double x) { return std::fabs(x - 1.0) + 0.1 * x; }, -5.0, 5.0);
+  EXPECT_NEAR(argmin, 1.0, 1e-7);
+}
+
+TEST(GoldenSectionTest, RespectsBoundary) {
+  // Monotone decreasing on the interval: min at the right edge.
+  const double argmin =
+      golden_section_minimize([](double x) { return -x; }, 0.0, 3.0);
+  EXPECT_NEAR(argmin, 3.0, 1e-7);
+}
+
+TEST(ProjectedGradientTest, UnconstrainedQuadratic) {
+  auto objective = [](std::span<const double> s) {
+    return (s[0] - 1.0) * (s[0] - 1.0) + 2.0 * (s[1] + 2.0) * (s[1] + 2.0);
+  };
+  auto identity = [](std::span<double>) {};
+  const MinimizeResult result =
+      projected_gradient_minimize(objective, identity, {0.0, 0.0});
+  EXPECT_NEAR(result.argmin[0], 1.0, 1e-4);
+  EXPECT_NEAR(result.argmin[1], -2.0, 1e-4);
+  EXPECT_NEAR(result.value, 0.0, 1e-7);
+}
+
+TEST(ProjectedGradientTest, BoxConstrainedQuadratic) {
+  // min (x-2)^2 s.t. x in [0, 1]  ->  x = 1.
+  auto objective = [](std::span<const double> s) {
+    return (s[0] - 2.0) * (s[0] - 2.0);
+  };
+  auto project = [](std::span<double> s) {
+    s[0] = std::min(1.0, std::max(0.0, s[0]));
+  };
+  const MinimizeResult result =
+      projected_gradient_minimize(objective, project, {0.5});
+  EXPECT_NEAR(result.argmin[0], 1.0, 1e-6);
+}
+
+TEST(ProjectedGradientTest, ReportsIterations) {
+  auto objective = [](std::span<const double> s) { return s[0] * s[0]; };
+  auto identity = [](std::span<double>) {};
+  const MinimizeResult result =
+      projected_gradient_minimize(objective, identity, {4.0});
+  EXPECT_GT(result.iterations, 0);
+}
+
+}  // namespace
+}  // namespace paradmm

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "math/stats.hpp"
+#include "support/error.hpp"
+
+namespace paradmm {
+namespace {
+
+TEST(StatsTest, SumAndMean) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 6.0};
+  EXPECT_DOUBLE_EQ(stats::sum(v), 12.0);
+  EXPECT_DOUBLE_EQ(stats::mean(v), 3.0);
+}
+
+TEST(StatsTest, VarianceUnbiased) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(stats::variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats::stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, DegenerateVariance) {
+  const std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(stats::variance(one), 0.0);
+}
+
+TEST(StatsTest, MinMax) {
+  const std::vector<double> v = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(stats::min(v), -1.0);
+  EXPECT_DOUBLE_EQ(stats::max(v), 7.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(StatsTest, EmptyRangesThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(stats::mean(empty), PreconditionError);
+  EXPECT_THROW(stats::min(empty), PreconditionError);
+  EXPECT_THROW(stats::max(empty), PreconditionError);
+  EXPECT_THROW(stats::percentile(empty, 0.5), PreconditionError);
+}
+
+TEST(StatsTest, PercentileRejectsBadQ) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(stats::percentile(v, -0.1), PreconditionError);
+  EXPECT_THROW(stats::percentile(v, 1.1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace paradmm

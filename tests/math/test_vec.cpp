@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "math/vec.hpp"
+
+namespace paradmm {
+namespace {
+
+TEST(VecTest, FillAndCopy) {
+  std::vector<double> a(4);
+  vec::fill(a, 2.5);
+  for (const double v : a) EXPECT_DOUBLE_EQ(v, 2.5);
+  std::vector<double> b(4);
+  vec::copy(a, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(VecTest, Axpy) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  vec::axpy(3.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 26.0);
+}
+
+TEST(VecTest, AddSubScale) {
+  std::vector<double> x = {1.0, -2.0};
+  std::vector<double> y = {0.5, 0.5};
+  std::vector<double> out(2);
+  vec::add(x, y, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);
+  vec::sub(x, y, out);
+  EXPECT_DOUBLE_EQ(out[1], -2.5);
+  vec::scale(out, 2.0);
+  EXPECT_DOUBLE_EQ(out[1], -5.0);
+}
+
+TEST(VecTest, DotAndNorms) {
+  std::vector<double> x = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(vec::dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(vec::norm2_squared(x), 25.0);
+  EXPECT_DOUBLE_EQ(vec::norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(vec::norm_inf(x), 4.0);
+}
+
+TEST(VecTest, Distances) {
+  std::vector<double> x = {1.0, 1.0};
+  std::vector<double> y = {4.0, 5.0};
+  EXPECT_DOUBLE_EQ(vec::distance_squared(x, y), 25.0);
+  EXPECT_DOUBLE_EQ(vec::distance(x, y), 5.0);
+}
+
+TEST(VecTest, Clamp) {
+  std::vector<double> x = {-2.0, 0.5, 3.0};
+  vec::clamp(x, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+  EXPECT_DOUBLE_EQ(x[2], 1.0);
+}
+
+TEST(VecTest, EmptySpansAreFine) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(vec::norm2(empty), 0.0);
+  EXPECT_DOUBLE_EQ(vec::norm_inf(empty), 0.0);
+  vec::fill(empty, 1.0);
+  vec::scale(empty, 2.0);
+}
+
+}  // namespace
+}  // namespace paradmm

@@ -1,0 +1,156 @@
+// ExecutionBackend semantics: ordered phases, barrier correctness, timing
+// collection, and the OpenMP fallback path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "parallel/backend.hpp"
+
+namespace paradmm {
+namespace {
+
+/// Phases that append to per-index logs; used to verify barrier ordering.
+struct PhaseOrderProbe {
+  std::vector<std::atomic<int>> counters;
+  std::atomic<bool> saw_phase_interleave{false};
+
+  explicit PhaseOrderProbe(std::size_t count) : counters(count) {}
+};
+
+class BackendSemantics : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(BackendSemantics, AllTasksRunEveryIteration) {
+  auto backend = make_backend(GetParam(), 4);
+  std::vector<std::atomic<int>> hits(257);
+  std::vector<Phase> phases;
+  phases.push_back(
+      Phase{"only", hits.size(), [&](std::size_t i) { ++hits[i]; }});
+  backend->run(phases, 5);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 5);
+}
+
+TEST_P(BackendSemantics, PhasesAreOrderedWithinIteration) {
+  // Phase B reads what phase A wrote for the same index; any barrier
+  // violation shows up as a stale read.
+  auto backend = make_backend(GetParam(), 4);
+  constexpr std::size_t kCount = 4096;
+  std::vector<double> a(kCount, 0.0);
+  std::vector<double> b(kCount, 0.0);
+  std::atomic<int> violations{0};
+
+  std::vector<Phase> phases;
+  phases.push_back(Phase{"write", kCount, [&](std::size_t i) { a[i] += 1.0; }});
+  phases.push_back(Phase{"read", kCount, [&](std::size_t i) {
+                           if (b[i] + 1.0 != a[i]) ++violations;
+                           b[i] = a[i];
+                         }});
+  backend->run(phases, 10);
+  EXPECT_EQ(violations.load(), 0);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_DOUBLE_EQ(a[i], 10.0);
+}
+
+TEST_P(BackendSemantics, CrossIndexReductionSeesFullPreviousPhase) {
+  // A phase with a single task that sums the previous phase's output —
+  // catches backends that start phase p+1 before phase p fully finishes.
+  auto backend = make_backend(GetParam(), 4);
+  constexpr std::size_t kCount = 2048;
+  std::vector<double> values(kCount, 0.0);
+  std::atomic<int> bad_sums{0};
+  int iteration = 0;
+
+  std::vector<Phase> phases;
+  phases.push_back(
+      Phase{"bump", kCount, [&](std::size_t i) { values[i] += 1.0; }});
+  phases.push_back(Phase{"sum", 1, [&](std::size_t) {
+                           double total = 0.0;
+                           for (const double v : values) total += v;
+                           ++iteration;
+                           if (total != static_cast<double>(kCount) * iteration)
+                             ++bad_sums;
+                         }});
+  backend->run(phases, 8);
+  EXPECT_EQ(bad_sums.load(), 0);
+  EXPECT_EQ(iteration, 8);
+}
+
+TEST_P(BackendSemantics, TimingsAccumulatePerPhase) {
+  auto backend = make_backend(GetParam(), 2);
+  std::vector<Phase> phases;
+  phases.push_back(Phase{"a", 64, [](std::size_t) {}});
+  phases.push_back(Phase{"b", 64, [](std::size_t) {}});
+  PhaseTimings timings(2);
+  backend->run(phases, 3);  // no timings requested: must not crash
+  backend->run(phases, 3, &timings);
+  EXPECT_GE(timings.seconds(0), 0.0);
+  EXPECT_GE(timings.seconds(1), 0.0);
+  EXPECT_GE(timings.total_seconds(),
+            timings.seconds(0));
+  if (timings.total_seconds() > 0.0) {
+    EXPECT_NEAR(timings.fraction(0) + timings.fraction(1), 1.0, 1e-9);
+  }
+}
+
+TEST_P(BackendSemantics, EmptyPhaseListIsANoOp) {
+  auto backend = make_backend(GetParam(), 2);
+  backend->run({}, 100);
+  SUCCEED();
+}
+
+TEST_P(BackendSemantics, ZeroIterationsRunNothing) {
+  auto backend = make_backend(GetParam(), 2);
+  std::atomic<int> calls{0};
+  std::vector<Phase> phases;
+  phases.push_back(Phase{"x", 8, [&](std::size_t) { ++calls; }});
+  backend->run(phases, 0);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, BackendSemantics,
+    ::testing::Values(BackendKind::kSerial, BackendKind::kForkJoin,
+                      BackendKind::kPersistent, BackendKind::kOmpForkJoin,
+                      BackendKind::kOmpPersistent),
+    [](const auto& param_info) {
+      switch (param_info.param) {
+        case BackendKind::kSerial: return "Serial";
+        case BackendKind::kForkJoin: return "ForkJoin";
+        case BackendKind::kPersistent: return "Persistent";
+        case BackendKind::kOmpForkJoin: return "OmpForkJoin";
+        case BackendKind::kOmpPersistent: return "OmpPersistent";
+      }
+      return "Unknown";
+    });
+
+TEST(BackendFactory, NamesAreStable) {
+  EXPECT_EQ(to_string(BackendKind::kSerial), "serial");
+  EXPECT_EQ(to_string(BackendKind::kForkJoin), "fork-join");
+  EXPECT_EQ(to_string(BackendKind::kPersistent), "persistent");
+  EXPECT_EQ(to_string(BackendKind::kOmpForkJoin), "omp-fork-join");
+  EXPECT_EQ(to_string(BackendKind::kOmpPersistent), "omp-persistent");
+}
+
+TEST(BackendFactory, SerialReportsOneThread) {
+  EXPECT_EQ(make_backend(BackendKind::kSerial, 8)->concurrency(), 1u);
+}
+
+TEST(BackendFactory, ParallelKindsReportRequestedThreads) {
+  EXPECT_EQ(make_backend(BackendKind::kForkJoin, 3)->concurrency(), 3u);
+  EXPECT_EQ(make_backend(BackendKind::kPersistent, 5)->concurrency(), 5u);
+}
+
+TEST(BackendFactory, OmpKindsAlwaysConstruct) {
+  // With OpenMP they are native; without, they fall back to std::thread
+  // equivalents — either way construction succeeds and runs.
+  auto a = make_backend(BackendKind::kOmpForkJoin, 2);
+  auto b = make_backend(BackendKind::kOmpPersistent, 2);
+  std::atomic<int> calls{0};
+  std::vector<Phase> phases;
+  phases.push_back(Phase{"x", 4, [&](std::size_t) { ++calls; }});
+  a->run(phases, 1);
+  b->run(phases, 1);
+  EXPECT_EQ(calls.load(), 8);
+}
+
+}  // namespace
+}  // namespace paradmm

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace paradmm {
+namespace {
+
+TEST(ThreadPoolTest, ConcurrencyMatchesRequest) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  ThreadPool single(1);
+  EXPECT_EQ(single.concurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), PreconditionError);
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> visits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunksPartitionTheRange) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(100, [&](std::size_t begin, std::size_t end) {
+    std::lock_guard lock(mutex);
+    chunks.emplace_back(begin, end);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t covered = 0;
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LE(begin, end);
+    covered += end - begin;
+    expected_begin = end;
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsNoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  std::atomic<long long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(64, [&](std::size_t i) {
+      total += static_cast<long long>(i);
+    });
+  }
+  EXPECT_EQ(total.load(), 200LL * (63 * 64 / 2));
+}
+
+TEST(ThreadPoolTest, StaticChunkMatchesPaperFormula) {
+  // AssignThreads from the paper's Fig. 4: s = id*n/T, e = (id+1)*n/T,
+  // last thread absorbs the remainder.
+  const auto [b0, e0] = ThreadPool::static_chunk(10, 0, 3);
+  const auto [b1, e1] = ThreadPool::static_chunk(10, 1, 3);
+  const auto [b2, e2] = ThreadPool::static_chunk(10, 2, 3);
+  EXPECT_EQ(b0, 0u);
+  EXPECT_EQ(e0, 3u);
+  EXPECT_EQ(b1, 3u);
+  EXPECT_EQ(e1, 6u);
+  EXPECT_EQ(b2, 6u);
+  EXPECT_EQ(e2, 10u);
+}
+
+TEST(ThreadPoolTest, StaticChunkHandlesFewerItemsThanThreads) {
+  std::size_t covered = 0;
+  for (std::size_t rank = 0; rank < 8; ++rank) {
+    const auto [begin, end] = ThreadPool::static_chunk(3, rank, 8);
+    covered += end - begin;
+  }
+  EXPECT_EQ(covered, 3u);
+}
+
+TEST(ThreadPoolTest, ExceptionsDoNotDeadlockSingleThread) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  // Pool still usable afterwards.
+  int calls = 0;
+  pool.parallel_for(4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 4);
+}
+
+}  // namespace
+}  // namespace paradmm

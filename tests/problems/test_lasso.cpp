@@ -1,0 +1,116 @@
+// Lasso on the factor graph: block prox correctness, KKT optimality of the
+// solution, sparsity recovery, and block-count invariance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "problems/lasso/lasso.hpp"
+#include "test_util.hpp"
+
+namespace paradmm::lasso {
+namespace {
+
+using paradmm::testing::ProxHarness;
+
+SolverOptions lasso_options(int iterations = 20000) {
+  SolverOptions options;
+  options.max_iterations = iterations;
+  options.check_interval = 200;
+  options.primal_tolerance = 1e-11;
+  options.dual_tolerance = 1e-11;
+  return options;
+}
+
+TEST(BlockQuadraticProxTest, SolvesNormalEquations) {
+  // A = I_2, y = (3, -1), rho = 1: prox = (y + n) / 2.
+  Matrix a = Matrix::identity(2);
+  ProxHarness harness({2}, {1.0});
+  harness.input(0)[0] = 1.0;
+  harness.input(0)[1] = 1.0;
+  BlockQuadraticProx op(a, {3.0, -1.0}, 1.0);
+  harness.run(op);
+  EXPECT_NEAR(harness.output(0)[0], 2.0, 1e-12);
+  EXPECT_NEAR(harness.output(0)[1], 0.0, 1e-12);
+}
+
+TEST(BlockQuadraticProxTest, RejectsRhoMismatchAtApply) {
+  Matrix a = Matrix::identity(2);
+  ProxHarness harness({2}, {2.0});  // rho 2, but the op was built for 1
+  BlockQuadraticProx op(a, {0.0, 0.0}, 1.0);
+  EXPECT_THROW(harness.run(op), InvariantError);
+}
+
+TEST(LassoInstanceTest, GeneratorShapes) {
+  const LassoInstance instance = make_lasso_instance(40, 10, 3, 0.01, 5);
+  EXPECT_EQ(instance.a.rows(), 40u);
+  EXPECT_EQ(instance.a.cols(), 10u);
+  EXPECT_EQ(instance.y.size(), 40u);
+  std::size_t nonzeros = 0;
+  for (const double v : instance.truth) nonzeros += v != 0.0;
+  EXPECT_EQ(nonzeros, 3u);
+}
+
+TEST(LassoSolve, SatisfiesKktConditions) {
+  const LassoInstance instance = make_lasso_instance(60, 12, 3, 0.02, 21);
+  LassoConfig config;
+  config.blocks = 4;
+  config.lambda = 0.05;
+  LassoProblem problem(instance, config);
+  const SolverReport report = solve(problem.graph(), lasso_options());
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(kkt_violation(instance, config.lambda, problem.solution()), 1e-4);
+}
+
+TEST(LassoSolve, RecoversSupportOnCleanData) {
+  const LassoInstance instance = make_lasso_instance(80, 16, 4, 0.0, 33);
+  LassoConfig config;
+  config.blocks = 4;
+  config.lambda = 0.02;
+  LassoProblem problem(instance, config);
+  solve(problem.graph(), lasso_options());
+  const auto solution = problem.solution();
+  for (std::size_t i = 0; i < solution.size(); ++i) {
+    if (instance.truth[i] != 0.0) {
+      EXPECT_GT(std::fabs(solution[i]), 0.5) << "lost spike at " << i;
+      EXPECT_GT(solution[i] * instance.truth[i], 0.0) << "sign flip at " << i;
+    } else {
+      EXPECT_LT(std::fabs(solution[i]), 0.2) << "spurious weight at " << i;
+    }
+  }
+}
+
+TEST(LassoSolve, BlockCountDoesNotChangeTheOptimum) {
+  const LassoInstance instance = make_lasso_instance(48, 8, 2, 0.01, 77);
+  std::vector<double> reference;
+  for (const std::size_t blocks : {1u, 2u, 6u}) {
+    LassoConfig config;
+    config.blocks = blocks;
+    config.lambda = 0.05;
+    LassoProblem problem(instance, config);
+    solve(problem.graph(), lasso_options());
+    const auto solution = problem.solution();
+    if (reference.empty()) {
+      reference = solution;
+      continue;
+    }
+    for (std::size_t i = 0; i < solution.size(); ++i) {
+      EXPECT_NEAR(solution[i], reference[i], 1e-5)
+          << "blocks=" << blocks << " coordinate " << i;
+    }
+  }
+}
+
+TEST(LassoSolve, LargeLambdaGivesZero) {
+  const LassoInstance instance = make_lasso_instance(30, 6, 2, 0.0, 3);
+  LassoConfig config;
+  config.lambda = 1e3;
+  LassoProblem problem(instance, config);
+  solve(problem.graph(), lasso_options());
+  for (const double v : problem.solution()) {
+    EXPECT_NEAR(v, 0.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace paradmm::lasso

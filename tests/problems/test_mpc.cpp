@@ -1,0 +1,277 @@
+// MPC: plant linearization, Appendix-B proximal operators, builder
+// topology, ADMM-vs-direct-KKT agreement, closed-loop behaviour, and
+// cost-model consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "devsim/cost_model.hpp"
+#include "problems/mpc/builder.hpp"
+#include "problems/mpc/cost_spec.hpp"
+#include "test_util.hpp"
+
+namespace paradmm::mpc {
+namespace {
+
+using paradmm::testing::ProxHarness;
+
+// ---------------------------------------------------------------- plant
+
+TEST(Pendulum, ModelDimensions) {
+  const PendulumModel model = linearized_pendulum();
+  EXPECT_EQ(model.a.rows(), 4u);
+  EXPECT_EQ(model.a.cols(), 4u);
+  EXPECT_EQ(model.b.rows(), 4u);
+  EXPECT_EQ(model.b.cols(), 1u);
+}
+
+TEST(Pendulum, UprightEquilibriumIsUnstable) {
+  // Uncontrolled, a small pole angle must grow.
+  const PendulumModel model = linearized_pendulum();
+  std::vector<double> state = {0.0, 0.0, 0.01, 0.0};
+  for (int t = 0; t < 100; ++t) state = step(model, state, 0.0);
+  EXPECT_GT(std::fabs(state[2]), 0.1);
+}
+
+TEST(Pendulum, ZeroStateIsFixedPoint) {
+  const PendulumModel model = linearized_pendulum();
+  const std::vector<double> state = {0.0, 0.0, 0.0, 0.0};
+  const auto next = step(model, state, 0.0);
+  for (const double v : next) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Pendulum, ForceAcceleratesCart) {
+  const PendulumModel model = linearized_pendulum();
+  const std::vector<double> state = {0.0, 0.0, 0.0, 0.0};
+  const auto next = step(model, state, 1.0);
+  EXPECT_GT(next[1], 0.0);   // cart velocity increases
+  EXPECT_LT(next[3], 0.0);   // pole reacts opposite
+}
+
+// ---------------------------------------------------------------- prox ops
+
+TEST(StageCostProxTest, ClosedForm) {
+  ProxHarness harness({5}, {2.0});
+  for (int i = 0; i < 5; ++i) harness.input(0)[i] = 1.0;
+  StageCostProx op({1.0, 0.5, 0.0, 2.0}, {0.25});
+  harness.run(op);
+  // x_i = rho / (rho + 2 w_i) with rho = 2.
+  EXPECT_NEAR(harness.output(0)[0], 2.0 / 4.0, 1e-12);
+  EXPECT_NEAR(harness.output(0)[1], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(harness.output(0)[2], 1.0, 1e-12);     // zero weight: identity
+  EXPECT_NEAR(harness.output(0)[3], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(harness.output(0)[4], 2.0 / 2.5, 1e-12);
+}
+
+TEST(StageCostProxTest, RejectsNegativeWeights) {
+  EXPECT_THROW(StageCostProx({-1.0}, {1.0}), PreconditionError);
+  EXPECT_THROW(StageCostProx({1.0}, {-1.0}), PreconditionError);
+}
+
+TEST(InitialStateProxTest, ClampsStateKeepsInput) {
+  ProxHarness harness({5}, {1.0});
+  for (int i = 0; i < 5; ++i) harness.input(0)[i] = 9.0;
+  InitialStateProx op({1.0, 2.0, 3.0, 4.0});
+  harness.run(op);
+  EXPECT_DOUBLE_EQ(harness.output(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(harness.output(0)[3], 4.0);
+  EXPECT_DOUBLE_EQ(harness.output(0)[4], 9.0);  // input passes through
+}
+
+TEST(InitialStateProxTest, SetStateRepoints) {
+  ProxHarness harness({5}, {1.0});
+  InitialStateProx op({0.0, 0.0, 0.0, 0.0});
+  op.set_state({5.0, 6.0, 7.0, 8.0});
+  harness.run(op);
+  EXPECT_DOUBLE_EQ(harness.output(0)[0], 5.0);
+  EXPECT_THROW(op.set_state({1.0}), PreconditionError);
+}
+
+TEST(DynamicsProxTest, OutputSatisfiesDynamics) {
+  const PendulumModel model = linearized_pendulum();
+  const auto op = make_dynamics_prox(model);
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    ProxHarness harness({5, 5}, {rng.uniform(0.5, 2.0),
+                                 rng.uniform(0.5, 2.0)});
+    for (std::size_t k = 0; k < 2; ++k) {
+      for (auto& v : harness.input(k)) v = rng.uniform(-1.0, 1.0);
+    }
+    harness.run(*op);
+
+    // Verify q(t+1) - q(t) = A q(t) + B u(t) on the outputs.
+    std::vector<double> q_t(harness.output(0).begin(),
+                            harness.output(0).begin() + 4);
+    const double u_t = harness.output(0)[4];
+    std::vector<double> delta(4);
+    model.a.multiply(q_t, delta);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const double expected = q_t[i] + delta[i] + model.b(i, 0) * u_t;
+      EXPECT_NEAR(harness.output(1)[i], expected, 1e-9);
+    }
+  }
+}
+
+TEST(DynamicsConstraintMatrix, Shape) {
+  const Matrix constraint =
+      dynamics_constraint_matrix(linearized_pendulum());
+  EXPECT_EQ(constraint.rows(), 4u);
+  EXPECT_EQ(constraint.cols(), 10u);
+  // q_{t+1} block is the identity.
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(constraint(r, 5 + r), 1.0);
+  }
+}
+
+// ---------------------------------------------------------------- builder
+
+TEST(MpcBuilder, TopologyLinearInHorizon) {
+  for (const std::size_t k : {1u, 10u, 64u}) {
+    MpcConfig config;
+    config.horizon = k;
+    const MpcProblem problem(config);
+    EXPECT_EQ(problem.graph().num_variables(), k + 1);
+    EXPECT_EQ(problem.graph().num_factors(), (k + 1) + k + 1);
+    EXPECT_EQ(problem.graph().num_edges(), 3 * k + 2);
+  }
+}
+
+TEST(MpcBuilder, ValidatesConfig) {
+  MpcConfig config;
+  config.horizon = 0;
+  EXPECT_THROW(MpcProblem{config}, PreconditionError);
+  config = MpcConfig{};
+  config.q_weight = {1.0};
+  EXPECT_THROW(MpcProblem{config}, PreconditionError);
+}
+
+SolverOptions mpc_solver_options(int iterations) {
+  SolverOptions options;
+  options.max_iterations = iterations;
+  options.check_interval = 200;
+  options.primal_tolerance = 1e-10;
+  options.dual_tolerance = 1e-10;
+  return options;
+}
+
+TEST(MpcSolve, MatchesDirectKktSolution) {
+  MpcConfig config;
+  config.horizon = 12;
+  MpcProblem problem(config);
+  solve(problem.graph(), mpc_solver_options(60000));
+
+  const auto admm = problem.trajectory();
+  const auto direct = solve_mpc_direct(config);
+  ASSERT_EQ(admm.size(), direct.size());
+  for (std::size_t t = 0; t < admm.size(); ++t) {
+    for (std::size_t i = 0; i < kStateDim; ++i) {
+      EXPECT_NEAR(admm[t].state[i], direct[t].state[i], 2e-3)
+          << "t=" << t << " state " << i;
+    }
+    EXPECT_NEAR(admm[t].input, direct[t].input, 2e-2) << "t=" << t;
+  }
+}
+
+TEST(MpcSolve, TrajectoryIsDynamicallyConsistent) {
+  MpcConfig config;
+  config.horizon = 10;
+  MpcProblem problem(config);
+  solve(problem.graph(), mpc_solver_options(40000));
+  EXPECT_LT(problem.dynamics_violation(), 1e-4);
+  const auto points = problem.trajectory();
+  for (std::size_t i = 0; i < kStateDim; ++i) {
+    EXPECT_NEAR(points[0].state[i], config.initial_state[i], 1e-5);
+  }
+}
+
+TEST(MpcSolve, ControllerStabilizesPole) {
+  // The optimal trajectory must shrink the pole angle relative to its
+  // initial perturbation by the end of the horizon.
+  MpcConfig config;
+  config.horizon = 40;
+  MpcProblem problem(config);
+  solve(problem.graph(), mpc_solver_options(60000));
+  const auto points = problem.trajectory();
+  EXPECT_LT(std::fabs(points.back().state[2]),
+            0.5 * std::fabs(config.initial_state[2]));
+}
+
+TEST(MpcSolve, DirectSolverSatisfiesConstraints) {
+  MpcConfig config;
+  config.horizon = 8;
+  const auto points = solve_mpc_direct(config);
+  const PendulumModel model = linearized_pendulum(config.plant);
+  for (std::size_t i = 0; i < kStateDim; ++i) {
+    EXPECT_NEAR(points[0].state[i], config.initial_state[i], 1e-9);
+  }
+  std::vector<double> delta(kStateDim);
+  for (std::size_t t = 0; t + 1 < points.size(); ++t) {
+    model.a.multiply(points[t].state, delta);
+    for (std::size_t i = 0; i < kStateDim; ++i) {
+      EXPECT_NEAR(points[t + 1].state[i],
+                  points[t].state[i] + delta[i] +
+                      model.b(i, 0) * points[t].input,
+                  1e-9);
+    }
+  }
+}
+
+TEST(MpcSolve, ReSolveAfterStateUpdateConverges) {
+  // Real-time loop: solve, move q0, warm-start from the previous state.
+  MpcConfig config;
+  config.horizon = 10;
+  MpcProblem problem(config);
+  solve(problem.graph(), mpc_solver_options(40000));
+  problem.set_initial_state({0.1, 0.0, -0.05, 0.0});
+  const SolverReport second = solve(problem.graph(), mpc_solver_options(40000));
+  EXPECT_TRUE(second.converged);
+  const auto points = problem.trajectory();
+  EXPECT_NEAR(points[0].state[0], 0.1, 1e-5);
+  EXPECT_NEAR(points[0].state[2], -0.05, 1e-5);
+}
+
+// ----------------------------------------------- cost-model consistency
+
+TEST(MpcCostSpec, MatchesExtractionOnSmallGraphs) {
+  for (const std::size_t k : {1u, 4u, 9u}) {
+    MpcConfig config;
+    config.horizon = k;
+    const MpcProblem problem(config);
+    const auto extracted = devsim::extract_iteration_costs(problem.graph());
+    const auto analytic = mpc_iteration_costs(k);
+    for (std::size_t p = 0; p < 5; ++p) {
+      ASSERT_EQ(analytic.phases[p].count, extracted.phases[p].count)
+          << "phase " << p << " k=" << k;
+      for (std::size_t i = 0; i < analytic.phases[p].count; ++i) {
+        const auto a = analytic.phases[p].cost_at(i);
+        const auto b = extracted.phases[p].cost_at(i);
+        ASSERT_DOUBLE_EQ(a.flops, b.flops) << "phase " << p << " task " << i;
+        ASSERT_DOUBLE_EQ(a.bytes, b.bytes) << "phase " << p << " task " << i;
+        ASSERT_EQ(a.branch_class, b.branch_class)
+            << "phase " << p << " task " << i;
+      }
+    }
+  }
+}
+
+TEST(MpcCostSpec, FootprintMatchesExtraction) {
+  MpcConfig config;
+  config.horizon = 7;
+  const MpcProblem problem(config);
+  const auto extracted = devsim::extract_footprint(problem.graph());
+  const auto analytic = mpc_footprint(7);
+  EXPECT_EQ(analytic.edges, extracted.edges);
+  EXPECT_EQ(analytic.edge_scalars, extracted.edge_scalars);
+  EXPECT_EQ(analytic.variable_scalars, extracted.variable_scalars);
+}
+
+TEST(MpcCostSpec, ElementCountGrowsLinearly) {
+  const auto small = mpc_iteration_costs(1000).elements();
+  const auto large = mpc_iteration_costs(2000).elements();
+  EXPECT_NEAR(static_cast<double>(large) / static_cast<double>(small), 2.0,
+              0.01);
+}
+
+}  // namespace
+}  // namespace paradmm::mpc

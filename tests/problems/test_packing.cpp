@@ -1,0 +1,335 @@
+// Circle packing: geometry, the three Appendix-A proximal operators
+// (cross-checked against KKT conditions and the generic HalfspaceProx), the
+// builder's paper-formula topology, an end-to-end solve, and the
+// analytic-vs-extracted cost-model consistency the device simulation rests
+// on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "core/prox_library.hpp"
+#include "core/solver.hpp"
+#include "devsim/cost_model.hpp"
+#include "math/minimize.hpp"
+#include "problems/packing/builder.hpp"
+#include "problems/packing/cost_spec.hpp"
+#include "problems/packing/geometry.hpp"
+#include "problems/packing/prox_ops.hpp"
+#include "test_util.hpp"
+
+namespace paradmm::packing {
+namespace {
+
+using paradmm::testing::ProxHarness;
+
+// ---------------------------------------------------------------- geometry
+
+TEST(PackingGeometry, EquilateralTriangleBasics) {
+  const Triangle triangle = Triangle::equilateral();
+  EXPECT_NEAR(triangle.area(), std::sqrt(3.0) / 4.0, 1e-12);
+  EXPECT_TRUE(triangle.contains({0.5, 0.2}));
+  EXPECT_FALSE(triangle.contains({0.0, 0.5}));
+  EXPECT_FALSE(triangle.contains({1.2, 0.1}));
+}
+
+TEST(PackingGeometry, WallsFaceOutward) {
+  const Triangle triangle = Triangle::equilateral();
+  const Point inside{0.5, 0.25};
+  for (const auto& wall : triangle.walls()) {
+    EXPECT_LT(wall.violation(inside), 0.0);
+    EXPECT_NEAR(std::hypot(wall.normal.x, wall.normal.y), 1.0, 1e-12);
+  }
+}
+
+TEST(PackingGeometry, ContainsCircleNeedsRadiusClearance) {
+  const Triangle triangle = Triangle::equilateral();
+  const Point incenter{0.5, std::sqrt(3.0) / 6.0};  // inradius ~0.2887
+  EXPECT_TRUE(triangle.contains_circle({incenter, 0.25}));
+  EXPECT_FALSE(triangle.contains_circle({incenter, 0.30}));
+}
+
+TEST(PackingGeometry, OverlapDepth) {
+  EXPECT_DOUBLE_EQ(overlap_depth({{0, 0}, 1.0}, {{3.0, 0}, 1.0}), 0.0);
+  EXPECT_NEAR(overlap_depth({{0, 0}, 1.0}, {{1.5, 0}, 1.0}), 0.5, 1e-12);
+}
+
+TEST(PackingGeometry, InteriorSamplingStaysInside) {
+  const Triangle triangle = Triangle::equilateral();
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(triangle.contains(triangle.sample_interior(rng), 1e-12));
+  }
+}
+
+TEST(PackingGeometry, CoverageOfIncircle) {
+  const Triangle triangle = Triangle::equilateral();
+  const double inradius = std::sqrt(3.0) / 6.0;
+  const std::vector<Circle> circles = {{{0.5, inradius}, inradius}};
+  Rng rng(17);
+  const double coverage = coverage_fraction(circles, triangle, rng, 40000);
+  // pi r^2 / area = pi/(3 sqrt 3) ~ 0.6046.
+  EXPECT_NEAR(coverage, 0.6046, 0.02);
+  EXPECT_NEAR(area_ratio(circles, triangle), 0.6046, 1e-3);
+}
+
+// ------------------------------------------------------------ NoCollision
+
+TEST(NoCollisionProxTest, FeasibleInputIsIdentity) {
+  ProxHarness harness({2, 1, 2, 1}, {1.0, 1.0, 1.0, 1.0});
+  harness.input(0)[0] = 0.0;
+  harness.input(0)[1] = 0.0;
+  harness.input(1)[0] = 1.0;
+  harness.input(2)[0] = 3.0;
+  harness.input(2)[1] = 0.0;
+  harness.input(3)[0] = 1.0;
+  harness.run(NoCollisionProx{});
+  EXPECT_DOUBLE_EQ(harness.output(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(harness.output(2)[0], 3.0);
+  EXPECT_DOUBLE_EQ(harness.output(1)[0], 1.0);
+}
+
+TEST(NoCollisionProxTest, OverlapResolvedToTangency) {
+  ProxHarness harness({2, 1, 2, 1}, {1.0, 1.0, 1.0, 1.0});
+  harness.input(0)[0] = 0.0;
+  harness.input(0)[1] = 0.0;
+  harness.input(1)[0] = 1.0;
+  harness.input(2)[0] = 1.0;  // distance 1, radii sum 2 -> gap 1
+  harness.input(2)[1] = 0.0;
+  harness.input(3)[0] = 1.0;
+  harness.run(NoCollisionProx{});
+  const double distance = std::hypot(
+      harness.output(2)[0] - harness.output(0)[0],
+      harness.output(2)[1] - harness.output(0)[1]);
+  EXPECT_NEAR(distance, harness.output(1)[0] + harness.output(3)[0], 1e-10);
+  // Radii shrink (this is where the appendix's printed sign is wrong).
+  EXPECT_LT(harness.output(1)[0], 1.0);
+  EXPECT_LT(harness.output(3)[0], 1.0);
+  // Centers move apart along the x axis.
+  EXPECT_LT(harness.output(0)[0], 0.0);
+  EXPECT_GT(harness.output(2)[0], 1.0);
+}
+
+TEST(NoCollisionProxTest, KktStationarity) {
+  // At an active constraint, rho_k (x_k - n_k) must equal lambda * grad_k g
+  // for one shared multiplier lambda, where g = r1 + r2 - ||c1 - c2||.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> rhos = {rng.uniform(0.3, 3.0), rng.uniform(0.3, 3.0),
+                                rng.uniform(0.3, 3.0), rng.uniform(0.3, 3.0)};
+    ProxHarness harness({2, 1, 2, 1}, rhos);
+    harness.input(0)[0] = rng.uniform(-1, 1);
+    harness.input(0)[1] = rng.uniform(-1, 1);
+    harness.input(1)[0] = rng.uniform(0.5, 2.0);
+    harness.input(2)[0] = harness.input(0)[0] + rng.uniform(-0.5, 0.5);
+    harness.input(2)[1] = harness.input(0)[1] + rng.uniform(-0.5, 0.5);
+    harness.input(3)[0] = rng.uniform(0.5, 2.0);
+    harness.run(NoCollisionProx{});
+
+    const double dx = harness.output(2)[0] - harness.output(0)[0];
+    const double dy = harness.output(2)[1] - harness.output(0)[1];
+    const double distance = std::hypot(dx, dy);
+    const double r_sum = harness.output(1)[0] + harness.output(3)[0];
+    if (distance >= r_sum + 1e-9) continue;  // inactive: identity case
+    ASSERT_NEAR(distance, r_sum, 1e-9);
+
+    // lambda from the r1 block: rho1 (x - n) = -lambda.
+    const double lambda = -rhos[1] * (harness.output(1)[0] -
+                                      harness.input(1)[0]);
+    EXPECT_GE(lambda, -1e-9);
+    // Center block: rho_c (x - n) = lambda * (c1 - c2)/||c1 - c2||.
+    EXPECT_NEAR(rhos[0] * (harness.output(0)[0] - harness.input(0)[0]),
+                lambda * (-dx / distance), 1e-8);
+    EXPECT_NEAR(rhos[0] * (harness.output(0)[1] - harness.input(0)[1]),
+                lambda * (-dy / distance), 1e-8);
+    EXPECT_NEAR(rhos[2] * (harness.output(2)[0] - harness.input(2)[0]),
+                lambda * (dx / distance), 1e-8);
+    EXPECT_NEAR(rhos[3] * (harness.output(3)[0] - harness.input(3)[0]),
+                -lambda, 1e-8);
+  }
+}
+
+TEST(NoCollisionProxTest, CoincidentCentersSeparateDeterministically) {
+  ProxHarness harness({2, 1, 2, 1}, {1.0, 1.0, 1.0, 1.0});
+  harness.input(1)[0] = 1.0;
+  harness.input(3)[0] = 1.0;
+  // Both centers at the origin.
+  harness.run(NoCollisionProx{});
+  const double distance = std::hypot(
+      harness.output(2)[0] - harness.output(0)[0],
+      harness.output(2)[1] - harness.output(0)[1]);
+  EXPECT_NEAR(distance, harness.output(1)[0] + harness.output(3)[0], 1e-10);
+}
+
+// ------------------------------------------------------------------ Wall
+
+TEST(WallProxTest, MatchesGenericHalfspaceProx) {
+  // The wall constraint <Q,c> + r <= offset is the halfspace with normal
+  // (Qx, Qy, 1) over the stacked (c, r) — WallProx must agree with the
+  // generic projection for equal rhos per block.
+  const Halfplane wall{{0.6, 0.8}, 0.9};
+  Rng rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const double rho_c = rng.uniform(0.3, 3.0);
+    const double rho_r = rng.uniform(0.3, 3.0);
+    ProxHarness specialized({2, 1}, {rho_c, rho_r});
+    ProxHarness generic({2, 1}, {rho_c, rho_r});
+    for (auto* h : {&specialized, &generic}) {
+      h->input(0)[0] = specialized.input(0)[0];
+      h->input(0)[1] = specialized.input(0)[1];
+    }
+    const double cx = rng.uniform(-1.0, 2.0);
+    const double cy = rng.uniform(-1.0, 2.0);
+    const double r = rng.uniform(0.0, 1.0);
+    specialized.input(0)[0] = generic.input(0)[0] = cx;
+    specialized.input(0)[1] = generic.input(0)[1] = cy;
+    specialized.input(1)[0] = generic.input(1)[0] = r;
+
+    specialized.run(WallProx{wall});
+    generic.run(HalfspaceProx{{wall.normal.x, wall.normal.y, 1.0},
+                              wall.offset});
+    EXPECT_NEAR(specialized.output(0)[0], generic.output(0)[0], 1e-10);
+    EXPECT_NEAR(specialized.output(0)[1], generic.output(0)[1], 1e-10);
+    EXPECT_NEAR(specialized.output(1)[0], generic.output(1)[0], 1e-10);
+  }
+}
+
+TEST(WallProxTest, RequiresUnitNormal) {
+  EXPECT_THROW(WallProx(Halfplane{{2.0, 0.0}, 1.0}), PreconditionError);
+}
+
+// ---------------------------------------------------------- RadiusReward
+
+TEST(RadiusRewardProxTest, ClosedFormMatchesGoldenSection) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double gain = rng.uniform(0.1, 0.9);
+    const double rho = rng.uniform(gain + 0.2, 4.0);
+    const double n = rng.uniform(-1.0, 2.0);
+    ProxHarness harness({1}, {rho});
+    harness.input(0)[0] = n;
+    harness.run(RadiusRewardProx{gain});
+    // Minimize over r >= 0 (the operator enforces nonnegative radii).
+    const double numeric = golden_section_minimize(
+        [&](double r) {
+          return -0.5 * gain * r * r + 0.5 * rho * (r - n) * (r - n);
+        },
+        0.0, 20.0);
+    EXPECT_NEAR(harness.output(0)[0], numeric, 1e-6);
+  }
+}
+
+TEST(RadiusRewardProxTest, RejectsNonPositiveGain) {
+  EXPECT_THROW(RadiusRewardProx{0.0}, PreconditionError);
+  EXPECT_THROW(RadiusRewardProx{-0.5}, PreconditionError);
+}
+
+// ----------------------------------------------------------------- builder
+
+TEST(PackingBuilder, TopologyMatchesPaperFormula) {
+  for (const std::size_t n : {1u, 2u, 5u, 9u}) {
+    PackingConfig config;
+    config.circles = n;
+    const PackingProblem problem(config);
+    const auto& graph = problem.graph();
+    EXPECT_EQ(graph.num_variables(), 2 * n);
+    EXPECT_EQ(graph.num_edges(), 2 * n * n - n + 2 * n * 3);
+    EXPECT_EQ(graph.num_factors(), n * (n - 1) / 2 + n + n * 3);
+  }
+}
+
+TEST(PackingBuilder, RejectsRhoBelowGain) {
+  PackingConfig config;
+  config.rho = 0.4;
+  config.radius_gain = 0.5;
+  EXPECT_THROW(PackingProblem{config}, PreconditionError);
+}
+
+TEST(PackingBuilder, SolveSmallInstanceIsFeasibleAndCovers) {
+  PackingConfig config;
+  config.circles = 3;
+  config.rho = 1.0;
+  config.radius_gain = 0.5;
+  config.seed = 42;
+  PackingProblem problem(config);
+
+  SolverOptions options;
+  options.max_iterations = 20000;
+  options.check_interval = 500;
+  options.primal_tolerance = 1e-9;
+  options.dual_tolerance = 1e-9;
+  solve(problem.graph(), options);
+
+  EXPECT_LT(problem.max_overlap(), 5e-3);
+  EXPECT_LT(problem.max_wall_violation(), 5e-3);
+  for (const auto& circle : problem.circles()) {
+    EXPECT_GT(circle.radius, 0.02);
+  }
+  // Three disks in the unit equilateral triangle cover a decent fraction.
+  EXPECT_GT(area_ratio(problem.circles(), config.triangle), 0.25);
+}
+
+TEST(PackingBuilder, SvgExportWritesFile) {
+  const Triangle triangle = Triangle::equilateral();
+  const std::vector<Circle> circles = {{{0.5, 0.3}, 0.2}};
+  const std::string path = ::testing::TempDir() + "/packing_test.svg";
+  write_svg(circles, triangle, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("<svg"), std::string::npos);
+  EXPECT_NE(content.find("<circle"), std::string::npos);
+}
+
+// ----------------------------------------------- cost-model consistency
+
+TEST(PackingCostSpec, MatchesExtractionOnSmallGraphs) {
+  for (const std::size_t n : {2u, 3u, 6u}) {
+    PackingConfig config;
+    config.circles = n;
+    const PackingProblem problem(config);
+    const auto extracted =
+        devsim::extract_iteration_costs(problem.graph());
+    const auto analytic = packing_iteration_costs(n, 3);
+
+    for (std::size_t p = 0; p < 5; ++p) {
+      ASSERT_EQ(analytic.phases[p].count, extracted.phases[p].count)
+          << "phase " << p << " count, n=" << n;
+      EXPECT_EQ(analytic.phases[p].pattern, extracted.phases[p].pattern);
+      for (std::size_t i = 0; i < analytic.phases[p].count; ++i) {
+        const auto a = analytic.phases[p].cost_at(i);
+        const auto b = extracted.phases[p].cost_at(i);
+        ASSERT_DOUBLE_EQ(a.flops, b.flops)
+            << "phase " << p << " task " << i << " n=" << n;
+        ASSERT_DOUBLE_EQ(a.bytes, b.bytes)
+            << "phase " << p << " task " << i << " n=" << n;
+        ASSERT_EQ(a.branch_class, b.branch_class)
+            << "phase " << p << " task " << i << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(PackingCostSpec, FootprintMatchesExtraction) {
+  for (const std::size_t n : {2u, 5u}) {
+    PackingConfig config;
+    config.circles = n;
+    const PackingProblem problem(config);
+    const auto extracted = devsim::extract_footprint(problem.graph());
+    const auto analytic = packing_footprint(n, 3);
+    EXPECT_EQ(analytic.edges, extracted.edges);
+    EXPECT_EQ(analytic.edge_scalars, extracted.edge_scalars);
+    EXPECT_EQ(analytic.variable_scalars, extracted.variable_scalars);
+  }
+}
+
+TEST(PackingCostSpec, ElementCountGrowsQuadratically) {
+  const auto small = packing_iteration_costs(100).elements();
+  const auto large = packing_iteration_costs(200).elements();
+  // Edges dominate and scale with N^2: expect close to 4x.
+  EXPECT_GT(static_cast<double>(large) / static_cast<double>(small), 3.5);
+}
+
+}  // namespace
+}  // namespace paradmm::packing

@@ -1,0 +1,250 @@
+// SVM: data generation, the Appendix-C proximal operators (closed forms
+// plus KKT checks), builder topology (6N-2 edges), end-to-end training on
+// separable data, and cost-model consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "devsim/cost_model.hpp"
+#include "math/minimize.hpp"
+#include "problems/svm/builder.hpp"
+#include "problems/svm/cost_spec.hpp"
+#include "test_util.hpp"
+
+namespace paradmm::svm {
+namespace {
+
+using paradmm::testing::ProxHarness;
+
+// ------------------------------------------------------------------ data
+
+TEST(SvmData, GeneratorShapesAndLabels) {
+  const Dataset dataset = make_gaussian_blobs(100, 3, 4.0, 11);
+  EXPECT_EQ(dataset.size(), 100u);
+  EXPECT_EQ(dataset.dimension(), 3u);
+  int positives = 0;
+  for (const int label : dataset.labels) {
+    EXPECT_TRUE(label == 1 || label == -1);
+    positives += label == 1;
+  }
+  EXPECT_EQ(positives, 50);
+}
+
+TEST(SvmData, SeparatedBlobsAreLinearlySeparableAlongAxis) {
+  const Dataset dataset = make_gaussian_blobs(400, 2, 8.0, 5);
+  // The generating separator w = (1, 0), b = 0 classifies well.
+  const std::vector<double> w = {1.0, 0.0};
+  EXPECT_GT(accuracy(dataset, w, 0.0), 0.98);
+}
+
+TEST(SvmData, DeterministicPerSeed) {
+  const Dataset a = make_gaussian_blobs(50, 2, 3.0, 42);
+  const Dataset b = make_gaussian_blobs(50, 2, 3.0, 42);
+  EXPECT_EQ(a.points, b.points);
+  const Dataset c = make_gaussian_blobs(50, 2, 3.0, 43);
+  EXPECT_NE(a.points, c.points);
+}
+
+TEST(SvmData, HingeLossZeroForBigMargin) {
+  Dataset dataset;
+  dataset.points = {{2.0}, {-2.0}};
+  dataset.labels = {1, -1};
+  const std::vector<double> w = {1.0};
+  EXPECT_DOUBLE_EQ(mean_hinge_loss(dataset, w, 0.0), 0.0);
+  // Margin exactly at zero: hinge = 1 per point.
+  const std::vector<double> zero = {0.0};
+  EXPECT_DOUBLE_EQ(mean_hinge_loss(dataset, zero, 0.0), 1.0);
+}
+
+// -------------------------------------------------------------- prox ops
+
+TEST(PlaneNormProxTest, ShrinksWKeepsB) {
+  ProxHarness harness({3}, {2.0});  // w in R^2, b appended
+  harness.input(0)[0] = 1.0;
+  harness.input(0)[1] = -4.0;
+  harness.input(0)[2] = 0.7;
+  harness.run(PlaneNormProx{2, 0.5});
+  const double blend = 2.0 / 2.5;
+  EXPECT_NEAR(harness.output(0)[0], blend * 1.0, 1e-12);
+  EXPECT_NEAR(harness.output(0)[1], blend * -4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(harness.output(0)[2], 0.7);
+}
+
+TEST(SlackCostProxTest, SemiLassoClosedForm) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double lambda = rng.uniform(0.0, 2.0);
+    const double rho = rng.uniform(0.2, 4.0);
+    const double n = rng.uniform(-2.0, 3.0);
+    ProxHarness harness({1}, {rho});
+    harness.input(0)[0] = n;
+    harness.run(SlackCostProx{lambda});
+    const double numeric = golden_section_minimize(
+        [&](double xi) {
+          return lambda * xi + 0.5 * rho * (xi - n) * (xi - n);
+        },
+        0.0, 10.0);
+    EXPECT_NEAR(harness.output(0)[0], numeric, 1e-6);
+    EXPECT_GE(harness.output(0)[0], 0.0);
+  }
+}
+
+TEST(MarginProxTest, FeasibleInputIsIdentity) {
+  ProxHarness harness({3, 1}, {1.0, 1.0});
+  // Point (1, 0), label +1; w = (2, 0), b = 0, xi = 0: margin 2 >= 1.
+  harness.input(0)[0] = 2.0;
+  harness.input(0)[1] = 0.0;
+  harness.input(0)[2] = 0.0;
+  harness.input(1)[0] = 0.0;
+  harness.run(MarginProx{{1.0, 0.0}, 1});
+  EXPECT_DOUBLE_EQ(harness.output(0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(harness.output(1)[0], 0.0);
+}
+
+TEST(MarginProxTest, ViolatedConstraintBecomesTight) {
+  ProxHarness harness({3, 1}, {1.5, 0.8});
+  harness.input(0)[0] = 0.0;
+  harness.input(0)[1] = 0.0;
+  harness.input(0)[2] = 0.0;
+  harness.input(1)[0] = 0.0;
+  const std::vector<double> point = {0.5, -1.0};
+  harness.run(MarginProx{point, 1});
+  const auto plane = harness.output(0);
+  const double xi = harness.output(1)[0];
+  const double margin = plane[0] * point[0] + plane[1] * point[1] + plane[2];
+  EXPECT_NEAR(margin + xi, 1.0, 1e-10);  // y = +1: y*margin = 1 - xi
+  EXPECT_GT(xi, 0.0);
+}
+
+TEST(MarginProxTest, KktStationarity) {
+  // rho_k (x_k - n_k) = alpha * grad_k(y (w.x + b) + xi) at active
+  // constraints, for a single multiplier alpha >= 0.
+  Rng rng(21);
+  for (int trial = 0; trial < 15; ++trial) {
+    const double rho_plane = rng.uniform(0.3, 3.0);
+    const double rho_slack = rng.uniform(0.3, 3.0);
+    ProxHarness harness({4, 1}, {rho_plane, rho_slack});
+    std::vector<double> point = {rng.gaussian(), rng.gaussian(),
+                                 rng.gaussian()};
+    const int label = rng.uniform() < 0.5 ? 1 : -1;
+    for (auto& v : harness.input(0)) v = rng.uniform(-1.0, 1.0);
+    harness.input(1)[0] = rng.uniform(-0.5, 0.5);
+    harness.run(MarginProx{point, label});
+
+    const auto plane = harness.output(0);
+    const double xi = harness.output(1)[0];
+    double margin = plane[3];
+    for (int i = 0; i < 3; ++i) margin += plane[i] * point[i];
+    if (label * margin + xi > 1.0 + 1e-9) continue;  // inactive
+
+    const double alpha = rho_slack * (xi - harness.input(1)[0]);
+    EXPECT_GE(alpha, -1e-9);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_NEAR(rho_plane * (plane[i] - harness.input(0)[i]),
+                  alpha * label * point[i], 1e-8);
+    }
+    EXPECT_NEAR(rho_plane * (plane[3] - harness.input(0)[3]), alpha * label,
+                1e-8);
+  }
+}
+
+TEST(MarginProxTest, RejectsBadLabel) {
+  EXPECT_THROW(MarginProx({1.0}, 0), PreconditionError);
+  EXPECT_THROW(MarginProx({}, 1), PreconditionError);
+}
+
+// ---------------------------------------------------------------- builder
+
+TEST(SvmBuilder, TopologyMatchesPaperCount) {
+  for (const std::size_t n : {2u, 5u, 16u}) {
+    const Dataset dataset = make_gaussian_blobs(n, 2, 4.0, 1);
+    const SvmProblem problem(dataset, SvmConfig{});
+    EXPECT_EQ(problem.graph().num_variables(), 2 * n);
+    EXPECT_EQ(problem.graph().num_factors(), 3 * n + (n - 1));
+    EXPECT_EQ(problem.graph().num_edges(), 6 * n - 2);
+  }
+}
+
+TEST(SvmBuilder, TrainingSeparatesBlobs) {
+  const Dataset dataset = make_gaussian_blobs(60, 2, 6.0, 3);
+  SvmConfig config;
+  config.lambda = 0.5;
+  SvmProblem problem(dataset, config);
+  SolverOptions options;
+  options.max_iterations = 30000;
+  options.check_interval = 500;
+  options.primal_tolerance = 1e-7;
+  options.dual_tolerance = 1e-7;
+  solve(problem.graph(), options);
+
+  EXPECT_GT(problem.train_accuracy(), 0.95);
+  EXPECT_LT(problem.max_copy_disagreement(), 1e-3);
+  // The separating direction must be dominated by the first axis.
+  const auto w = problem.plane_w();
+  EXPECT_GT(std::fabs(w[0]), std::fabs(w[1]));
+}
+
+TEST(SvmBuilder, HigherDimensionStillTrains) {
+  const Dataset dataset = make_gaussian_blobs(40, 6, 8.0, 9);
+  SvmProblem problem(dataset, SvmConfig{});
+  SolverOptions options;
+  options.max_iterations = 30000;
+  options.check_interval = 500;
+  options.primal_tolerance = 1e-6;
+  options.dual_tolerance = 1e-6;
+  solve(problem.graph(), options);
+  EXPECT_GT(problem.train_accuracy(), 0.9);
+}
+
+TEST(SvmBuilder, RejectsDegenerateInput) {
+  Dataset tiny;
+  tiny.points = {{1.0}};
+  tiny.labels = {1};
+  EXPECT_THROW(SvmProblem(tiny, SvmConfig{}), PreconditionError);
+}
+
+// ----------------------------------------------- cost-model consistency
+
+TEST(SvmCostSpec, MatchesExtractionOnSmallGraphs) {
+  for (const std::size_t n : {2u, 3u, 7u}) {
+    const Dataset dataset = make_gaussian_blobs(n, 2, 4.0, 1);
+    const SvmProblem problem(dataset, SvmConfig{});
+    const auto extracted = devsim::extract_iteration_costs(problem.graph());
+    const auto analytic = svm_iteration_costs(n, 2);
+    for (std::size_t p = 0; p < 5; ++p) {
+      ASSERT_EQ(analytic.phases[p].count, extracted.phases[p].count)
+          << "phase " << p << " n=" << n;
+      for (std::size_t i = 0; i < analytic.phases[p].count; ++i) {
+        const auto a = analytic.phases[p].cost_at(i);
+        const auto b = extracted.phases[p].cost_at(i);
+        ASSERT_DOUBLE_EQ(a.flops, b.flops)
+            << "phase " << p << " task " << i << " n=" << n;
+        ASSERT_DOUBLE_EQ(a.bytes, b.bytes)
+            << "phase " << p << " task " << i << " n=" << n;
+        ASSERT_EQ(a.branch_class, b.branch_class)
+            << "phase " << p << " task " << i << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SvmCostSpec, FootprintMatchesExtraction) {
+  const Dataset dataset = make_gaussian_blobs(9, 4, 4.0, 2);
+  const SvmProblem problem(dataset, SvmConfig{});
+  const auto extracted = devsim::extract_footprint(problem.graph());
+  const auto analytic = svm_footprint(9, 4);
+  EXPECT_EQ(analytic.edges, extracted.edges);
+  EXPECT_EQ(analytic.edge_scalars, extracted.edge_scalars);
+  EXPECT_EQ(analytic.variable_scalars, extracted.variable_scalars);
+}
+
+TEST(SvmCostSpec, ElementCountGrowsLinearly) {
+  const auto small = svm_iteration_costs(1000, 2).elements();
+  const auto large = svm_iteration_costs(2000, 2).elements();
+  EXPECT_NEAR(static_cast<double>(large) / static_cast<double>(small), 2.0,
+              0.01);
+}
+
+}  // namespace
+}  // namespace paradmm::svm

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+
+namespace paradmm {
+namespace {
+
+CliFlags make_flags() {
+  CliFlags flags("test_program");
+  flags.add_int("iters", 100, "iteration count");
+  flags.add_double("rho", 1.5, "admm rho");
+  flags.add_string("mode", "gpu", "device kind");
+  flags.add_bool("quick", false, "reduced sweep");
+  return flags;
+}
+
+TEST(CliTest, DefaultsApply) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog"};
+  flags.parse(1, argv);
+  EXPECT_EQ(flags.get_int("iters"), 100);
+  EXPECT_DOUBLE_EQ(flags.get_double("rho"), 1.5);
+  EXPECT_EQ(flags.get_string("mode"), "gpu");
+  EXPECT_FALSE(flags.get_bool("quick"));
+}
+
+TEST(CliTest, SpaceSeparatedValues) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--iters", "42", "--mode", "cpu"};
+  flags.parse(5, argv);
+  EXPECT_EQ(flags.get_int("iters"), 42);
+  EXPECT_EQ(flags.get_string("mode"), "cpu");
+}
+
+TEST(CliTest, EqualsSeparatedValues) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--rho=0.25", "--quick=true"};
+  flags.parse(3, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("rho"), 0.25);
+  EXPECT_TRUE(flags.get_bool("quick"));
+}
+
+TEST(CliTest, BareBooleanFlag) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--quick"};
+  flags.parse(2, argv);
+  EXPECT_TRUE(flags.get_bool("quick"));
+}
+
+TEST(CliTest, UnknownFlagThrows) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(flags.parse(3, argv), PreconditionError);
+}
+
+TEST(CliTest, MissingValueThrows) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--iters"};
+  EXPECT_THROW(flags.parse(2, argv), PreconditionError);
+}
+
+TEST(CliTest, WrongTypeAccessThrows) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog"};
+  flags.parse(1, argv);
+  EXPECT_THROW(flags.get_int("rho"), PreconditionError);
+  EXPECT_THROW(flags.get_bool("mode"), PreconditionError);
+}
+
+TEST(CliTest, DuplicateRegistrationThrows) {
+  CliFlags flags("prog");
+  flags.add_int("n", 1, "x");
+  EXPECT_THROW(flags.add_double("n", 2.0, "y"), PreconditionError);
+}
+
+TEST(CliTest, UsageListsFlagsInOrder) {
+  CliFlags flags = make_flags();
+  const std::string usage = flags.usage();
+  const auto iters_at = usage.find("--iters");
+  const auto quick_at = usage.find("--quick");
+  EXPECT_NE(iters_at, std::string::npos);
+  EXPECT_NE(quick_at, std::string::npos);
+  EXPECT_LT(iters_at, quick_at);
+}
+
+}  // namespace
+}  // namespace paradmm

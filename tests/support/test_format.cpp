@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "support/format.hpp"
+
+namespace paradmm {
+namespace {
+
+TEST(FormatTest, FixedDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(FormatTest, Scientific) {
+  EXPECT_EQ(format_sci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(format_sci(0.00042, 1), "4.2e-04");
+}
+
+TEST(FormatTest, SiSuffixes) {
+  EXPECT_EQ(format_si(950.0, 1), "950.0");
+  EXPECT_EQ(format_si(12345.0, 1), "12.3k");
+  EXPECT_EQ(format_si(5e6, 1), "5.0M");
+  EXPECT_EQ(format_si(2.5e9, 1), "2.5G");
+  EXPECT_EQ(format_si(-12345.0, 1), "-12.3k");
+}
+
+TEST(FormatTest, ThousandsSeparators) {
+  EXPECT_EQ(format_thousands(0), "0");
+  EXPECT_EQ(format_thousands(999), "999");
+  EXPECT_EQ(format_thousands(1000), "1,000");
+  EXPECT_EQ(format_thousands(1234567), "1,234,567");
+  EXPECT_EQ(format_thousands(-45000), "-45,000");
+}
+
+TEST(FormatTest, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(FormatTest, Durations) {
+  EXPECT_EQ(format_duration(2.5), "2.50s");
+  EXPECT_EQ(format_duration(0.012), "12.00ms");
+  EXPECT_EQ(format_duration(42e-6), "42.0us");
+  EXPECT_EQ(format_duration(1.5e-8), "15ns");
+}
+
+}  // namespace
+}  // namespace paradmm

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.hpp"
+#include "support/rng.hpp"
+
+namespace paradmm {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) differing += a.next() != b.next();
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(9);
+  const auto first = rng.next();
+  rng.next();
+  rng.reseed(9);
+  EXPECT_EQ(rng.next(), first);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(5);
+  const auto values = rng.uniform_vector(200000, 0.0, 1.0);
+  EXPECT_NEAR(stats::mean(values), 0.5, 5e-3);
+}
+
+TEST(RngTest, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(17);
+  std::vector<int> histogram(7, 0);
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto idx = rng.uniform_index(7);
+    ASSERT_LT(idx, 7u);
+    ++histogram[idx];
+  }
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, kDraws / 7.0, kDraws * 0.01);
+  }
+}
+
+TEST(RngTest, UniformIndexRejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), PreconditionError);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(31);
+  const auto values = rng.gaussian_vector(200000, 1.5, 2.0);
+  EXPECT_NEAR(stats::mean(values), 1.5, 0.02);
+  EXPECT_NEAR(stats::stddev(values), 2.0, 0.02);
+}
+
+TEST(RngTest, GaussianRejectsNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), PreconditionError);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentButDeterministic) {
+  Rng parent_a(77);
+  Rng parent_b(77);
+  Rng child_a = parent_a.split();
+  Rng child_b = parent_b.split();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child_a.next(), child_b.next());
+  // Child differs from a fresh parent stream.
+  Rng parent_c(77);
+  Rng child_c = parent_c.split();
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += child_c.next() != parent_c.next();
+  EXPECT_GT(differing, 12);
+}
+
+TEST(RngTest, UsableWithStdShuffleConcept) {
+  // UniformRandomBitGenerator requirements.
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  Rng rng(3);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace paradmm

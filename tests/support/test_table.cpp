@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace paradmm {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"N", "speedup"});
+  table.add_row({"100", "1.5"});
+  table.add_row({"100000", "17.25"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("     N  speedup"), std::string::npos);
+  EXPECT_NE(text.find("100000    17.25"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  table.add_row({"3", "4"});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableTest, RowCount) {
+  Table table({"x"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableTest, RejectsMismatchedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace paradmm
