@@ -80,7 +80,6 @@ int main(int argc, char** argv) {
   // time after every one of the five phases.
   using namespace devsim;
   const MulticoreSpec cpu = opteron_32core();
-  const SerialSpec serial_spec = opteron_serial();
   Table modeled({"problem (32 cores, modeled)", "A s/iter", "B s/iter",
                  "A advantage"});
   struct Case {

@@ -1,0 +1,145 @@
+// Batch-solve runtime throughput: N small SVM solves through the
+// BatchRunner's shared worker pool vs the same solves run one at a time.
+//
+// Small jobs run whole-solve-per-worker (the scheduler's below-threshold
+// branch), so on a T-thread pool the runner should approach T jobs in
+// flight and beat the sequential loop by up to ~min(T, jobs) on real
+// multicore hardware.  Emits BENCH_runtime_throughput.json with the
+// headline numbers.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "problems/svm/registry.hpp"
+#include "runtime/batch_runner.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+using namespace paradmm;
+using namespace paradmm::runtime;
+
+namespace {
+
+svm::SvmJobParams job_params(std::size_t points, std::size_t dimension,
+                             int index) {
+  svm::SvmJobParams params;
+  params.points = points;
+  params.dimension = dimension;
+  params.data_seed = 1000 + static_cast<std::uint64_t>(index);
+  return params;
+}
+
+SolverOptions job_options(int iterations) {
+  SolverOptions options;
+  options.max_iterations = iterations;
+  options.check_interval = 25;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("bench_runtime_throughput");
+  flags.add_int("jobs", 64, "number of independent SVM solves");
+  flags.add_int("threads", 0, "pool threads (0 = hardware concurrency)");
+  flags.add_int("points", 16, "data points per SVM instance");
+  flags.add_int("dimension", 2, "feature dimension");
+  flags.add_int("iterations", 200, "ADMM iteration budget per solve");
+  flags.add_bool("csv", false, "emit CSV instead of aligned tables");
+  flags.parse(argc, argv);
+
+  const int jobs = static_cast<int>(flags.get_int("jobs"));
+  const auto points = static_cast<std::size_t>(flags.get_int("points"));
+  const auto dimension = static_cast<std::size_t>(flags.get_int("dimension"));
+  const int iterations = static_cast<int>(flags.get_int("iterations"));
+
+  BatchRunnerOptions runner_options;
+  runner_options.threads = static_cast<std::size_t>(flags.get_int("threads"));
+
+  bench::print_banner(
+      "Batch-solve runtime: jobs/sec over the shared pool",
+      "extension; the paper parallelizes within one solve, the runtime "
+      "parallelizes across solves");
+
+  // Sequential baseline: one solve at a time, serial backend.
+  WallTimer sequential_timer;
+  int sequential_converged = 0;
+  for (int i = 0; i < jobs; ++i) {
+    BuiltProblem built = ProblemRegistry::global().build(
+        "svm", job_params(points, dimension, i));
+    const SolverReport report = solve(*built.graph, job_options(iterations));
+    if (report.converged) ++sequential_converged;
+  }
+  const double sequential_seconds = sequential_timer.seconds();
+
+  // BatchRunner: same jobs through the shared pool.
+  WallTimer batch_timer;
+  int batch_converged = 0;
+  std::size_t pool_threads = 0;
+  RuntimeMetrics metrics;
+  {
+    BatchRunner runner(runner_options);
+    pool_threads = runner.threads();
+    std::vector<JobHandle> handles;
+    handles.reserve(static_cast<std::size_t>(jobs));
+    for (int i = 0; i < jobs; ++i) {
+      handles.push_back(runner.submit("svm", job_params(points, dimension, i),
+                                      job_options(iterations)));
+    }
+    runner.wait_all();
+    for (auto& handle : handles) {
+      if (handle.report().converged) ++batch_converged;
+    }
+    metrics = runner.metrics();
+  }
+  const double batch_seconds = batch_timer.seconds();
+
+  const double sequential_rate =
+      sequential_seconds > 0.0 ? jobs / sequential_seconds : 0.0;
+  const double batch_rate = batch_seconds > 0.0 ? jobs / batch_seconds : 0.0;
+  const double speedup =
+      sequential_rate > 0.0 ? batch_rate / sequential_rate : 0.0;
+
+  Table table({"mode", "jobs", "converged", "wall", "jobs/sec"});
+  table.add_row({"sequential", std::to_string(jobs),
+                 std::to_string(sequential_converged),
+                 format_duration(sequential_seconds),
+                 format_fixed(sequential_rate, 1)});
+  table.add_row({"batch-runner (" + std::to_string(pool_threads) + "t)",
+                 std::to_string(jobs), std::to_string(batch_converged),
+                 format_duration(batch_seconds), format_fixed(batch_rate, 1)});
+  if (flags.get_bool("csv")) table.print_csv(std::cout);
+  else table.print(std::cout);
+
+  std::cout << "\nthroughput speedup: " << format_fixed(speedup, 2) << "x on "
+            << pool_threads << " pool threads ("
+            << std::thread::hardware_concurrency() << " hardware threads)\n";
+  bool target_missed = false;
+  if (std::thread::hardware_concurrency() >= 4) {
+    target_missed = speedup < 2.0;
+    std::cout << (target_missed ? "FAIL" : "PASS")
+              << ": target is >= 2x jobs/sec on >= 4 hardware threads\n";
+  } else {
+    std::cout << "note: < 4 hardware threads; parallel speedup is not "
+                 "expected on this machine\n";
+  }
+
+  std::cout << "\nrunner metrics:\n";
+  metrics.print(std::cout);
+
+  bench::JsonResult result("runtime_throughput");
+  result.set("jobs", jobs)
+      .set("pool_threads", pool_threads)
+      .set("hardware_threads", std::thread::hardware_concurrency())
+      .set("svm_points", points)
+      .set("sequential_seconds", sequential_seconds)
+      .set("batch_seconds", batch_seconds)
+      .set("sequential_jobs_per_sec", sequential_rate)
+      .set("batch_jobs_per_sec", batch_rate)
+      .set("speedup", speedup)
+      .set("worker_utilization", metrics.worker_utilization());
+  result.write(result.default_path());
+  std::cout << "\nwrote " << result.default_path() << '\n';
+  // Nonzero exit lets CI catch a throughput regression on real multicore.
+  return target_missed ? 1 : 0;
+}

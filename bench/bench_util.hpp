@@ -6,11 +6,18 @@
 // model's serial base to reality.
 #pragma once
 
+#include <cmath>
+#include <concepts>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "devsim/calibration.hpp"
 #include "devsim/report.hpp"
+#include "support/error.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
 
@@ -56,5 +63,83 @@ inline void print_fractions(const devsim::SpeedupReport& report,
 }
 
 inline const char* kPerUpdateHeader[6] = {"size", "x", "m", "z", "u", "n"};
+
+/// Flat JSON result record every bench can emit (`BENCH_<id>.json`), so
+/// headline numbers accumulate as machine-readable data points alongside
+/// the printed tables.
+class JsonResult {
+ public:
+  explicit JsonResult(std::string bench_id) : bench_id_(std::move(bench_id)) {}
+
+  JsonResult& set(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      // JSON has no NaN/Infinity literals; null keeps the file parseable.
+      fields_.emplace_back(key, "null");
+      return *this;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    fields_.emplace_back(key, buffer);
+    return *this;
+  }
+
+  /// Any integer type; an exact template match so plain int/size_t
+  /// arguments don't sit ambiguously between double and a fixed overload.
+  template <std::integral T>
+  JsonResult& set(const std::string& key, T value) {
+    fields_.emplace_back(key,
+                         std::to_string(static_cast<long long>(value)));
+    return *this;
+  }
+
+  JsonResult& set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, quote(value));
+    return *this;
+  }
+
+  /// Default output path: BENCH_<id>.json in the working directory.
+  std::string default_path() const { return "BENCH_" + bench_id_ + ".json"; }
+
+  void render(std::ostream& out) const {
+    out << "{\"bench\": " << quote(bench_id_);
+    for (const auto& [key, value] : fields_) {
+      out << ", " << quote(key) << ": " << value;
+    }
+    out << "}\n";
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    require(out.good(), "cannot open bench JSON output path");
+    render(out);
+  }
+
+ private:
+  static std::string quote(const std::string& text) {
+    std::string out = "\"";
+    for (const char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+            out += buffer;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string bench_id_;
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> literal
+};
 
 }  // namespace paradmm::bench

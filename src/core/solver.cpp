@@ -12,7 +12,15 @@ AdmmSolver::AdmmSolver(FactorGraph& graph, SolverOptions options)
     : graph_(graph), options_(options) {
   require(options_.max_iterations >= 0, "max_iterations must be >= 0");
   require(options_.threads >= 1, "threads must be >= 1");
-  backend_ = make_backend(options_.backend, options_.threads);
+  owned_backend_ = make_backend(options_.backend, options_.threads);
+  backend_ = owned_backend_.get();
+  build_phases();
+}
+
+AdmmSolver::AdmmSolver(FactorGraph& graph, SolverOptions options,
+                       ExecutionBackend& backend)
+    : graph_(graph), options_(options), backend_(&backend) {
+  require(options_.max_iterations >= 0, "max_iterations must be >= 0");
   build_phases();
 }
 
@@ -257,11 +265,14 @@ SolverReport AdmmSolver::run(
     if (options_.rho_policy == RhoPolicy::kResidualBalancing) {
       balance_rho(residuals);
     }
-    if (callback && !callback(IterationStatus{iteration, residuals})) break;
+    // Convergence is decided before the callback's verdict is honored, so a
+    // stop request that lands on an already-converged interval still
+    // reports converged (the documented contract).
     if (residuals.within(options_.primal_tolerance, options_.dual_tolerance)) {
       report.converged = true;
-      break;
     }
+    if (callback && !callback(IterationStatus{iteration, residuals})) break;
+    if (report.converged) break;
   }
 
   report.iterations = iteration;

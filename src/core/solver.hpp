@@ -80,6 +80,16 @@ struct SolverReport {
 class AdmmSolver {
  public:
   AdmmSolver(FactorGraph& graph, SolverOptions options);
+
+  /// Constructs a solver that schedules its phases on `backend` instead of
+  /// creating one of its own (options.backend / options.threads are
+  /// ignored).  The backend is borrowed: it must outlive the solver, and
+  /// the caller must not run two solves on it concurrently.  This is what
+  /// lets the batch-solve runtime share one persistent worker pool across
+  /// many solver instances instead of paying one backend per solve.
+  AdmmSolver(FactorGraph& graph, SolverOptions options,
+             ExecutionBackend& backend);
+
   ~AdmmSolver();
 
   AdmmSolver(const AdmmSolver&) = delete;
@@ -103,7 +113,8 @@ class AdmmSolver {
 
   FactorGraph& graph_;
   SolverOptions options_;
-  std::unique_ptr<ExecutionBackend> backend_;
+  std::unique_ptr<ExecutionBackend> owned_backend_;  // empty when borrowed
+  ExecutionBackend* backend_ = nullptr;
   std::vector<Phase> phases_;
 
   // Flat helpers captured by phase closures (precomputed once).

@@ -105,7 +105,38 @@ class PersistentBackend final : public ExecutionBackend {
   std::size_t threads_;
 };
 
+// Fork/join over a pool the backend does not own (see make_pool_backend).
+class BorrowedPoolBackend final : public ExecutionBackend {
+ public:
+  explicit BorrowedPoolBackend(ThreadPool& pool) : pool_(pool) {}
+
+  void run(std::span<const Phase> phases, int iterations,
+           PhaseTimings* timings) override {
+    for (int iter = 0; iter < iterations; ++iter) {
+      for (std::size_t p = 0; p < phases.size(); ++p) {
+        WallTimer timer;
+        const Phase& phase = phases[p];
+        pool_.parallel_for_chunks(
+            phase.count, [&phase](std::size_t begin, std::size_t end) {
+              for (std::size_t i = begin; i < end; ++i) phase.apply(i);
+            });
+        if (timings) timings->add(p, timer.seconds());
+      }
+    }
+  }
+
+  std::size_t concurrency() const override { return pool_.concurrency(); }
+  std::string_view name() const override { return "pool-fork-join"; }
+
+ private:
+  ThreadPool& pool_;
+};
+
 }  // namespace
+
+std::unique_ptr<ExecutionBackend> make_pool_backend(ThreadPool& pool) {
+  return std::make_unique<BorrowedPoolBackend>(pool);
+}
 
 std::string_view to_string(BackendKind kind) {
   switch (kind) {

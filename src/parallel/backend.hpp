@@ -99,4 +99,15 @@ bool openmp_available();
 std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind,
                                                std::size_t threads);
 
+class ThreadPool;
+
+/// A fork/join backend over a *borrowed* ThreadPool: identical schedule and
+/// numerics to kForkJoin, but the pool is shared with other users instead
+/// of being owned by the backend.  The batch-solve runtime uses this to run
+/// many solver instances over one persistent pool.  The pool must outlive
+/// the backend, and callers must not run two solves on the same returned
+/// backend concurrently (distinct backends over the same pool are fine —
+/// their loops serialize through the pool).
+std::unique_ptr<ExecutionBackend> make_pool_backend(ThreadPool& pool);
+
 }  // namespace paradmm

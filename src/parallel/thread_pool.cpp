@@ -1,8 +1,16 @@
 #include "parallel/thread_pool.hpp"
 
+#include <utility>
+
 #include "support/error.hpp"
 
 namespace paradmm {
+
+namespace {
+// The pool whose worker_loop the current thread is running, if any; lets
+// parallel_for reject self-deadlocking calls from the pool's own workers.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   require(threads >= 1, "ThreadPool needs at least one thread");
@@ -42,54 +50,170 @@ void ThreadPool::parallel_for_chunks(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
+  require(current_worker_pool != this,
+          "parallel_for called from this pool's own worker would "
+          "self-deadlock; submitted tasks must not fork on their pool");
   const std::size_t parts = concurrency();
   if (parts == 1 || count == 1) {
     body(0, count);
     return;
   }
 
+  // One fork at a time: concurrent callers (e.g. two borrowed-pool
+  // backends) would otherwise clobber the shared Job slot mid-flight.
+  std::lock_guard fork_lock(fork_mutex_);
   {
     std::lock_guard lock(mutex_);
     job_.chunk_body = &body;
     job_.count = count;
     ++job_.epoch;
+    job_.error = nullptr;
     workers_remaining_ = workers_.size();
   }
   wake_workers_.notify_all();
 
   // The calling thread processes chunk 0 while workers take 1..parts-1.
+  // Exceptions from any participant's chunk (including our own) are
+  // collected into the job and rethrown here after the join — unwinding
+  // before the workers finish would destroy state they still reference.
   const auto [begin, end] = static_chunk(count, 0, parts);
-  body(begin, end);
+  try {
+    body(begin, end);
+  } catch (...) {
+    record_job_error(std::current_exception());
+  }
 
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    job_done_.wait(lock, [this] { return workers_remaining_ == 0; });
+    job_.chunk_body = nullptr;
+    error = std::exchange(job_.error, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::record_job_error(std::exception_ptr error) {
+  std::lock_guard lock(mutex_);
+  if (!job_.error) job_.error = std::move(error);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  require(static_cast<bool>(task), "submit requires a callable task");
+  if (workers_.empty()) {
+    // No workers to hand off to: run inline so the task is never stranded.
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push_back(std::move(task));
+    ++tasks_in_flight_;
+  }
+  wake_workers_.notify_one();
+}
+
+void ThreadPool::finish_task() {
+  {
+    std::lock_guard lock(mutex_);
+    --tasks_in_flight_;
+    if (tasks_in_flight_ > 0) return;
+  }
+  tasks_idle_.notify_all();
+}
+
+bool ThreadPool::pop_and_run_task(bool only_if_backlogged) {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    const std::size_t queued = tasks_.size();
+    if (queued == 0) return false;
+    if (only_if_backlogged) {
+      const std::size_t running = tasks_in_flight_ - queued;
+      const std::size_t free_workers =
+          workers_.size() > running ? workers_.size() - running : 0;
+      if (queued <= free_workers) return false;  // an idle worker takes it
+    }
+    task = std::move(tasks_.front());
+    tasks_.pop_front();
+  }
+  try {
+    task();
+  } catch (...) {
+    finish_task();  // a throwing task must not wedge wait_tasks_idle
+    throw;
+  }
+  finish_task();
+  return true;
+}
+
+bool ThreadPool::try_run_one_task() { return pop_and_run_task(false); }
+
+bool ThreadPool::try_run_one_backlogged_task() {
+  return pop_and_run_task(true);
+}
+
+void ThreadPool::wait_tasks_idle() {
   std::unique_lock lock(mutex_);
-  job_done_.wait(lock, [this] { return workers_remaining_ == 0; });
-  job_.chunk_body = nullptr;
+  tasks_idle_.wait(lock, [this] { return tasks_in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::queued_tasks() const {
+  std::lock_guard lock(mutex_);
+  return tasks_.size();
 }
 
 void ThreadPool::worker_loop(std::size_t rank) {
+  current_worker_pool = this;
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::size_t count = 0;
+    std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
       wake_workers_.wait(lock, [&] {
-        return shutting_down_ || (job_.chunk_body && job_.epoch != seen_epoch);
+        return shutting_down_ ||
+               (job_.chunk_body && job_.epoch != seen_epoch) ||
+               !tasks_.empty();
       });
       if (shutting_down_) return;
-      seen_epoch = job_.epoch;
-      body = job_.chunk_body;
-      count = job_.count;
+      if (job_.chunk_body && job_.epoch != seen_epoch) {
+        // Phase chunks outrank queued tasks: a fork/join in flight is
+        // latency-sensitive (the caller blocks at the phase barrier).
+        seen_epoch = job_.epoch;
+        body = job_.chunk_body;
+        count = job_.count;
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
     }
 
-    const auto [begin, end] = static_chunk(count, rank, workers_.size() + 1);
-    if (begin < end) (*body)(begin, end);
-
-    {
-      std::lock_guard lock(mutex_);
-      --workers_remaining_;
+    if (body) {
+      const auto [begin, end] = static_chunk(count, rank, workers_.size() + 1);
+      try {
+        if (begin < end) (*body)(begin, end);
+      } catch (...) {
+        // Must not escape the worker thread; handed to the caller instead.
+        record_job_error(std::current_exception());
+      }
+      {
+        std::lock_guard lock(mutex_);
+        --workers_remaining_;
+      }
+      job_done_.notify_one();
+    } else {
+      try {
+        task();
+      } catch (...) {
+        // Fire-and-forget: a worker has no caller to rethrow to, and
+        // terminating the process over one bad task is worse than dropping
+        // the exception.  (Helper threads running tasks via
+        // try_run_one_task DO receive the exception by rethrow.)
+      }
+      finish_task();
     }
-    job_done_.notify_one();
   }
 }
 

@@ -1,14 +1,23 @@
-// A small fixed-size worker pool with a blocking parallel_for.
+// A small fixed-size worker pool with a blocking parallel_for and an
+// external task queue.
 //
-// This is the std::thread counterpart of the paper's OpenMP strategy A
-// (five `#pragma omp parallel for` loops per ADMM iteration): each call to
-// parallel_for forks the index range across the workers and joins before
+// parallel_for is the std::thread counterpart of the paper's OpenMP
+// strategy A (five `#pragma omp parallel for` loops per ADMM iteration):
+// each call forks the index range across the workers and joins before
 // returning.  Workers are created once and reused, so the per-loop cost is
 // one mutex round-trip per worker, not thread creation.
+//
+// submit() feeds the same workers fire-and-forget tasks (the batch-solve
+// runtime schedules whole independent solves this way).  Phase chunks take
+// priority over queued tasks, but a worker already inside a task finishes
+// it before joining a parallel_for — callers that mix long tasks with
+// parallel_for should expect the fork to wait for those workers.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,7 +40,12 @@ class ThreadPool {
   /// Invokes body(i) for every i in [0, count), split into contiguous
   /// static chunks (one per participant, like OpenMP's schedule(static)).
   /// Blocks until every invocation has completed.  `body` must be safe to
-  /// call concurrently for distinct indices.
+  /// call concurrently for distinct indices.  Concurrent calls from
+  /// different external threads serialize against each other; calling from
+  /// one of this pool's own workers (e.g. inside a submitted task) is a
+  /// precondition error — it would self-deadlock.  If any chunk throws,
+  /// the join still completes and the first exception is rethrown to the
+  /// caller (remaining chunks run; later exceptions are dropped).
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
@@ -47,21 +61,63 @@ class ThreadPool {
                                                           std::size_t rank,
                                                           std::size_t parts);
 
+  /// Enqueues a fire-and-forget task for an idle worker.  Tasks run
+  /// concurrently with each other and interleave with parallel_for chunks
+  /// (chunks have priority).  With no workers (threads == 1) the task runs
+  /// inline before submit returns.  Destroying the pool discards tasks that
+  /// have not started; callers needing completion must track it themselves
+  /// (e.g. via state captured by the task).  An exception escaping a task
+  /// is dropped when a worker ran it (fire-and-forget has no caller to
+  /// receive it); a helper thread running it via try_run_one_task gets it
+  /// rethrown.  Tasks that care must catch and record their own errors.
+  void submit(std::function<void()> task);
+
+  /// Pops one queued task (if any) and runs it on the calling thread.
+  /// Returns whether a task ran.  Lets an otherwise-idle external thread
+  /// (e.g. the batch runtime's dispatcher) add a concurrent lane instead
+  /// of sleeping while work is queued.
+  bool try_run_one_task();
+
+  /// Like try_run_one_task, but only when the queue is deeper than the
+  /// workers not currently running a task could absorb — so a helping
+  /// thread that must stay responsive (the dispatcher) never steals work
+  /// an idle worker would have picked up anyway.
+  bool try_run_one_backlogged_task();
+
+  /// Blocks until no submitted task is queued or running.  Combined with
+  /// try_run_one_task this lets a caller quiesce the task lanes before a
+  /// latency-sensitive parallel_for sequence (phase barriers otherwise
+  /// wait on workers that are mid-task).
+  void wait_tasks_idle();
+
+  /// Tasks submitted but not yet picked up by a worker.
+  std::size_t queued_tasks() const;
+
  private:
   void worker_loop(std::size_t rank);
+  void finish_task();
+  bool pop_and_run_task(bool only_if_backlogged);
+  void record_job_error(std::exception_ptr error);
 
   struct Job {
     // Non-null while a parallel_for is in flight.
     const std::function<void(std::size_t, std::size_t)>* chunk_body = nullptr;
     std::size_t count = 0;
     std::uint64_t epoch = 0;
+    // First exception thrown by any participant's chunk; rethrown to the
+    // parallel_for caller after the join (later ones are dropped).
+    std::exception_ptr error;
   };
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  std::mutex fork_mutex_;  // serializes parallel_for callers
+  mutable std::mutex mutex_;
   std::condition_variable wake_workers_;
   std::condition_variable job_done_;
+  std::condition_variable tasks_idle_;
   Job job_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t tasks_in_flight_ = 0;  // queued + currently running
   std::size_t workers_remaining_ = 0;
   bool shutting_down_ = false;
 };

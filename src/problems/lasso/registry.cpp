@@ -1,0 +1,19 @@
+#include "problems/lasso/registry.hpp"
+
+namespace paradmm::lasso {
+
+void register_problem(runtime::ProblemRegistry& registry) {
+  registry.add(
+      "lasso",
+      "consensus-form Lasso on a synthetic sparse instance "
+      "(params: lasso::LassoJobParams)",
+      [](const std::any& params) {
+        const auto p = runtime::params_or_default<LassoJobParams>(params);
+        const LassoInstance instance = make_lasso_instance(
+            p.rows, p.cols, p.sparsity, p.noise, p.seed);
+        auto problem = std::make_shared<LassoProblem>(instance, p.config);
+        return runtime::BuiltProblem{problem, &problem->graph()};
+      });
+}
+
+}  // namespace paradmm::lasso

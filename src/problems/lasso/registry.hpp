@@ -1,0 +1,24 @@
+// Registry adapter: builds a synthetic consensus-Lasso instance by name
+// ("lasso").  BuiltProblem::owner holds a lasso::LassoProblem.
+#pragma once
+
+#include "problems/lasso/lasso.hpp"
+#include "runtime/problem_registry.hpp"
+
+namespace paradmm::lasso {
+
+struct LassoJobParams {
+  // Synthetic instance (make_lasso_instance).
+  std::size_t rows = 40;
+  std::size_t cols = 8;
+  std::size_t sparsity = 2;
+  double noise = 0.01;
+  std::uint64_t seed = 3;
+  // Graph construction.
+  LassoConfig config;
+};
+
+/// Registers "lasso" with `registry` (params: LassoJobParams).
+void register_problem(runtime::ProblemRegistry& registry);
+
+}  // namespace paradmm::lasso

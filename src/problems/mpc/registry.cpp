@@ -1,0 +1,17 @@
+#include "problems/mpc/registry.hpp"
+
+namespace paradmm::mpc {
+
+void register_problem(runtime::ProblemRegistry& registry) {
+  registry.add(
+      "mpc",
+      "pendulum model-predictive control over a horizon "
+      "(params: mpc::MpcJobParams)",
+      [](const std::any& params) {
+        const auto p = runtime::params_or_default<MpcJobParams>(params);
+        auto problem = std::make_shared<MpcProblem>(p.config);
+        return runtime::BuiltProblem{problem, &problem->graph()};
+      });
+}
+
+}  // namespace paradmm::mpc

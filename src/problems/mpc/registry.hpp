@@ -1,0 +1,17 @@
+// Registry adapter: builds the pendulum MPC problem by name ("mpc").
+// BuiltProblem::owner holds an mpc::MpcProblem.
+#pragma once
+
+#include "problems/mpc/builder.hpp"
+#include "runtime/problem_registry.hpp"
+
+namespace paradmm::mpc {
+
+struct MpcJobParams {
+  MpcConfig config;
+};
+
+/// Registers "mpc" with `registry` (params: MpcJobParams).
+void register_problem(runtime::ProblemRegistry& registry);
+
+}  // namespace paradmm::mpc

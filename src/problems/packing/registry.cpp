@@ -1,0 +1,17 @@
+#include "problems/packing/registry.hpp"
+
+namespace paradmm::packing {
+
+void register_problem(runtime::ProblemRegistry& registry) {
+  registry.add(
+      "packing",
+      "circle packing in a triangle "
+      "(params: packing::PackingJobParams)",
+      [](const std::any& params) {
+        const auto p = runtime::params_or_default<PackingJobParams>(params);
+        auto problem = std::make_shared<PackingProblem>(p.config);
+        return runtime::BuiltProblem{problem, &problem->graph()};
+      });
+}
+
+}  // namespace paradmm::packing

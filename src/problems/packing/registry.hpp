@@ -1,0 +1,17 @@
+// Registry adapter: builds circle packing in a triangle by name
+// ("packing").  BuiltProblem::owner holds a packing::PackingProblem.
+#pragma once
+
+#include "problems/packing/builder.hpp"
+#include "runtime/problem_registry.hpp"
+
+namespace paradmm::packing {
+
+struct PackingJobParams {
+  PackingConfig config;
+};
+
+/// Registers "packing" with `registry` (params: PackingJobParams).
+void register_problem(runtime::ProblemRegistry& registry);
+
+}  // namespace paradmm::packing

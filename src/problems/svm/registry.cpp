@@ -1,0 +1,20 @@
+#include "problems/svm/registry.hpp"
+
+namespace paradmm::svm {
+
+void register_problem(runtime::ProblemRegistry& registry) {
+  registry.add(
+      "svm",
+      "soft-margin SVM training on two Gaussian blobs "
+      "(params: svm::SvmJobParams)",
+      [](const std::any& params) {
+        const auto p = runtime::params_or_default<SvmJobParams>(params);
+        Dataset dataset = make_gaussian_blobs(p.points, p.dimension,
+                                              p.separation, p.data_seed);
+        auto problem =
+            std::make_shared<SvmProblem>(std::move(dataset), p.config);
+        return runtime::BuiltProblem{problem, &problem->graph()};
+      });
+}
+
+}  // namespace paradmm::svm

@@ -1,0 +1,23 @@
+// Registry adapter: builds soft-margin SVM training on Gaussian blobs by
+// name ("svm").  BuiltProblem::owner holds an svm::SvmProblem.
+#pragma once
+
+#include "problems/svm/builder.hpp"
+#include "runtime/problem_registry.hpp"
+
+namespace paradmm::svm {
+
+struct SvmJobParams {
+  // Synthetic dataset (make_gaussian_blobs).
+  std::size_t points = 64;
+  std::size_t dimension = 4;
+  double separation = 3.0;
+  std::uint64_t data_seed = 42;
+  // Graph construction.
+  SvmConfig config;
+};
+
+/// Registers "svm" with `registry` (params: SvmJobParams).
+void register_problem(runtime::ProblemRegistry& registry);
+
+}  // namespace paradmm::svm

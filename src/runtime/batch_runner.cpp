@@ -1,0 +1,231 @@
+#include "runtime/batch_runner.hpp"
+
+#include <utility>
+
+namespace paradmm::runtime {
+
+std::string_view to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(BatchRunnerOptions options)
+    : pool_(resolve_threads(options.threads)),
+      scheduler_(options.scheduler, pool_.concurrency()),
+      pool_backend_(make_pool_backend(pool_)) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+BatchRunner::~BatchRunner() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  dispatcher_.join();  // drains the queue before exiting
+  wait_all();
+}
+
+JobHandle BatchRunner::submit(SolveJob job) {
+  require(job.graph != nullptr, "SolveJob needs a graph");
+  auto control = std::make_shared<detail::JobControl>();
+  control->graph = job.graph;
+  control->owner = std::move(job.owner);
+  control->options = job.options;
+  control->progress = std::move(job.progress);
+  control->label = std::move(job.label);
+
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(mutex_);
+    require(!stopping_, "BatchRunner is shutting down");
+    queue_.push_back(control);
+    ++unfinished_;
+    depth = queue_.size();
+  }
+  collector_.on_submit(depth);
+  work_available_.notify_one();
+  return JobHandle(control);
+}
+
+JobHandle BatchRunner::submit(const std::string& problem,
+                              const std::any& params, SolverOptions options,
+                              ProgressFn progress,
+                              const ProblemRegistry* registry) {
+  const ProblemRegistry& source =
+      registry ? *registry : ProblemRegistry::global();
+  BuiltProblem built = source.build(problem, params);
+  SolveJob job;
+  job.graph = built.graph;
+  job.owner = std::move(built.owner);
+  job.options = options;
+  job.progress = std::move(progress);
+  job.label = problem;
+  return submit(std::move(job));
+}
+
+void BatchRunner::wait_all() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+RuntimeMetrics BatchRunner::metrics() const {
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(mutex_);
+    depth = queue_.size();
+  }
+  return collector_.snapshot(since_start_.seconds(), pool_.concurrency(),
+                             depth);
+}
+
+void BatchRunner::dispatcher_loop() {
+  for (;;) {
+    std::shared_ptr<detail::JobControl> job;
+    {
+      std::unique_lock lock(mutex_);
+      while (queue_.empty() && !stopping_) {
+        // Nothing to dispatch: lend this thread to the pool's task queue so
+        // all `threads` lanes solve small jobs (the pool itself has
+        // threads-1 workers; the dispatcher is the last lane).  Only
+        // backlogged tasks are taken — stealing work an idle worker would
+        // pick up anyway would pin the dispatcher inside one solve while
+        // new submissions wait.  Tasks are only ever enqueued by this
+        // thread, so once the pool reports nothing to help with, none can
+        // appear while we wait.
+        lock.unlock();
+        const bool helped = pool_.try_run_one_backlogged_task();
+        lock.lock();
+        if (helped) continue;
+        work_available_.wait(lock,
+                             [this] { return stopping_ || !queue_.empty(); });
+      }
+      if (queue_.empty()) return;  // stopping_ and nothing left to dispatch
+      job = queue_.front();
+      queue_.pop_front();
+    }
+
+    {
+      std::lock_guard job_lock(job->mutex);
+      job->plan = scheduler_.plan(*job->graph);
+      job->planned = true;
+    }
+
+    if (job->plan.fine_grained()) {
+      // Large job: run on the dispatcher thread, phases fanned out over the
+      // shared pool.  First quiesce the task lanes — drain queued small
+      // solves here and wait out in-flight ones — so the job's per-phase
+      // barriers aren't each stalled behind a whole small solve.  A job
+      // already cancelled skips the quiesce; execute() finalizes it
+      // immediately without solving.
+      if (!job->cancel_requested.load(std::memory_order_relaxed)) {
+        while (pool_.try_run_one_task()) {
+        }
+        pool_.wait_tasks_idle();
+      }
+      execute(job);
+    } else {
+      // Small job: whole solve on one worker; the dispatcher moves straight
+      // on to the next job, so independent solves run concurrently.
+      pool_.submit([this, job] { execute(job); });
+    }
+  }
+}
+
+void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
+  {
+    std::unique_lock lock(job->mutex);
+    if (job->cancel_requested.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      finalize(job, JobState::kCancelled, SolverReport{}, {}, 0.0,
+               /*ran=*/false);
+      return;
+    }
+    job->state = JobState::kRunning;
+  }
+  job->changed.notify_all();
+
+  WallTimer timer;
+  SolverReport report;
+  std::string error;
+  bool failed = false;
+  bool saw_cancel = false;
+
+  const auto callback = [&](const IterationStatus& status) {
+    if (job->progress) job->progress(status);
+    saw_cancel = job->cancel_requested.load(std::memory_order_relaxed);
+    return !saw_cancel;
+  };
+
+  try {
+    SolverOptions options = job->options;
+    if (job->plan.fine_grained()) {
+      AdmmSolver solver(*job->graph, options, *pool_backend_);
+      report = solver.run(callback);
+    } else {
+      options.backend = BackendKind::kSerial;
+      options.threads = 1;
+      AdmmSolver solver(*job->graph, options);
+      report = solver.run(callback);
+    }
+  } catch (const std::exception& caught) {
+    failed = true;
+    error = caught.what();
+  } catch (...) {
+    // Non-std exceptions (e.g. from a user progress callback) must not
+    // escape onto a pool worker — that would terminate the process.
+    failed = true;
+    error = "unknown exception";
+  }
+
+  JobState outcome = JobState::kDone;
+  if (failed) {
+    outcome = JobState::kFailed;
+  } else if (saw_cancel && !report.converged) {
+    outcome = JobState::kCancelled;
+  }
+  finalize(job, outcome, std::move(report), std::move(error), timer.seconds(),
+           /*ran=*/true);
+}
+
+void BatchRunner::finalize(const std::shared_ptr<detail::JobControl>& job,
+                           JobState outcome, SolverReport report,
+                           std::string error, double wall_seconds, bool ran) {
+  // Record metrics before the state flips to terminal, so a waiter woken by
+  // wait() immediately observes this job in metrics().
+  collector_.on_finish(outcome, wall_seconds, job->plan.intra_threads, ran);
+  {
+    std::lock_guard lock(job->mutex);
+    job->report = std::move(report);
+    job->error = std::move(error);
+    job->wall_seconds = wall_seconds;
+    job->state = outcome;
+  }
+  job->changed.notify_all();
+  {
+    // Notify while holding the lock: a wait_all() caller (including the
+    // destructor) may destroy this runner the moment unfinished_ hits zero,
+    // so the notify must not touch all_done_ after the lock is released.
+    std::lock_guard lock(mutex_);
+    --unfinished_;
+    all_done_.notify_all();
+  }
+}
+
+}  // namespace paradmm::runtime

@@ -1,0 +1,100 @@
+// Multi-problem batch-solve runtime: many independent ADMM solves
+// scheduled over one shared persistent worker pool.
+//
+// The paper parallelizes *within* one solve (five barriered phases over the
+// factor graph); serving throughput means running many solves at once on
+// the same hardware.  The BatchRunner accepts SolveJobs, and a Scheduler
+// picks each job's execution mode by graph size:
+//
+//   * small graphs — whole-solve-per-worker: the solve is submitted as one
+//     task to the shared ThreadPool and runs serially on a worker, so
+//     independent small solves fill all cores with zero intra-solve
+//     synchronization;
+//   * large graphs — the dispatcher thread runs the solve itself with the
+//     pool's fine-grained phase parallelism (the paper's fork/join
+//     strategy over a borrowed pool), which only pays past the size
+//     threshold the scheduler encodes.
+//
+// Jobs are dispatched in submission order; handles expose state, blocking
+// wait, cooperative cancellation, and the final report.  Runtime counters
+// (jobs/sec, queue depth, utilization) are available via metrics().
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "parallel/backend.hpp"
+#include "parallel/thread_pool.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/problem_registry.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/solve_job.hpp"
+#include "support/timer.hpp"
+
+namespace paradmm::runtime {
+
+struct BatchRunnerOptions {
+  /// Shared pool concurrency; 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  SchedulerOptions scheduler;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchRunnerOptions options = {});
+
+  /// Drains the queue, waits for every in-flight job to reach a terminal
+  /// state, then stops the pool.  Handles stay valid afterwards.
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  /// Enqueues a job; returns immediately.
+  JobHandle submit(SolveJob job);
+
+  /// Builds `problem` from `registry` (ProblemRegistry::global() when
+  /// null) and enqueues it; the built instance is owned by the job.
+  JobHandle submit(const std::string& problem, const std::any& params = {},
+                   SolverOptions options = {}, ProgressFn progress = {},
+                   const ProblemRegistry* registry = nullptr);
+
+  /// Blocks until every job submitted so far is terminal.
+  void wait_all();
+
+  /// Snapshot of throughput counters.
+  RuntimeMetrics metrics() const;
+
+  /// Shared-pool concurrency (workers + dispatcher participant).
+  std::size_t threads() const { return pool_.concurrency(); }
+
+  const Scheduler& scheduler() const { return scheduler_; }
+
+ private:
+  void dispatcher_loop();
+  void execute(const std::shared_ptr<detail::JobControl>& job);
+  void finalize(const std::shared_ptr<detail::JobControl>& job,
+                JobState outcome, SolverReport report, std::string error,
+                double wall_seconds, bool ran);
+
+  ThreadPool pool_;
+  Scheduler scheduler_;
+  std::unique_ptr<ExecutionBackend> pool_backend_;
+  MetricsCollector collector_;
+  WallTimer since_start_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::shared_ptr<detail::JobControl>> queue_;
+  std::size_t unfinished_ = 0;
+  bool stopping_ = false;
+
+  std::thread dispatcher_;  // last member: joins before the rest tears down
+};
+
+}  // namespace paradmm::runtime

@@ -1,0 +1,71 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace paradmm::runtime {
+
+void RuntimeMetrics::print(std::ostream& out) const {
+  Table table({"metric", "value"});
+  table.add_row({"workers", std::to_string(workers)});
+  table.add_row({"submitted", std::to_string(submitted)});
+  table.add_row({"completed", std::to_string(completed)});
+  table.add_row({"cancelled", std::to_string(cancelled)});
+  table.add_row({"failed", std::to_string(failed)});
+  table.add_row({"fine-grained jobs", std::to_string(fine_grained_jobs)});
+  table.add_row({"queue depth", std::to_string(queue_depth)});
+  table.add_row({"peak queue depth", std::to_string(peak_queue_depth)});
+  table.add_row({"elapsed", format_duration(elapsed_seconds)});
+  table.add_row({"jobs/sec", format_fixed(jobs_per_second(), 2)});
+  table.add_row({"job wall mean", format_duration(mean_job_seconds())});
+  table.add_row({"job wall min", format_duration(min_job_seconds)});
+  table.add_row({"job wall max", format_duration(max_job_seconds)});
+  table.add_row(
+      {"worker utilization", format_fixed(100.0 * worker_utilization(), 1) + "%"});
+  table.print(out);
+}
+
+void MetricsCollector::on_submit(std::size_t queue_depth) {
+  std::lock_guard lock(mutex_);
+  ++metrics_.submitted;
+  metrics_.peak_queue_depth = std::max(metrics_.peak_queue_depth, queue_depth);
+}
+
+void MetricsCollector::on_finish(JobState outcome, double wall_seconds,
+                                 std::size_t threads_used, bool ran) {
+  std::lock_guard lock(mutex_);
+  switch (outcome) {
+    case JobState::kDone: ++metrics_.completed; break;
+    case JobState::kCancelled: ++metrics_.cancelled; break;
+    case JobState::kFailed: ++metrics_.failed; break;
+    default: break;
+  }
+  if (!ran) return;  // cancelled-while-queued: no solve to account for
+  ++metrics_.ran_jobs;
+  if (threads_used > 1) ++metrics_.fine_grained_jobs;
+  metrics_.total_job_seconds += wall_seconds;
+  metrics_.busy_seconds +=
+      wall_seconds * static_cast<double>(std::max<std::size_t>(threads_used, 1));
+  if (!any_finished_ || wall_seconds < metrics_.min_job_seconds) {
+    metrics_.min_job_seconds = wall_seconds;
+  }
+  metrics_.max_job_seconds = std::max(metrics_.max_job_seconds, wall_seconds);
+  any_finished_ = true;
+}
+
+RuntimeMetrics MetricsCollector::snapshot(double elapsed_seconds,
+                                          std::size_t workers,
+                                          std::size_t queue_depth) const {
+  std::lock_guard lock(mutex_);
+  RuntimeMetrics out = metrics_;
+  out.elapsed_seconds = elapsed_seconds;
+  out.workers = workers;
+  out.queue_depth = queue_depth;
+  out.peak_queue_depth = std::max(out.peak_queue_depth, queue_depth);
+  return out;
+}
+
+}  // namespace paradmm::runtime

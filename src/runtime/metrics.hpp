@@ -1,0 +1,80 @@
+// Throughput and utilization metrics of a BatchRunner, reported through
+// support/table so they render next to the bench tables.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+
+#include "runtime/solve_job.hpp"
+
+namespace paradmm::runtime {
+
+/// A consistent snapshot of the runner's counters (see
+/// BatchRunner::metrics()).
+struct RuntimeMetrics {
+  std::size_t workers = 0;          ///< shared-pool concurrency
+  std::size_t submitted = 0;
+  std::size_t completed = 0;        ///< reached kDone
+  std::size_t cancelled = 0;
+  std::size_t failed = 0;
+  std::size_t queue_depth = 0;      ///< jobs waiting right now
+  std::size_t peak_queue_depth = 0;
+  std::size_t fine_grained_jobs = 0;  ///< jobs the scheduler ran intra-parallel
+  std::size_t ran_jobs = 0;  ///< finished jobs that actually executed a solve
+
+  double elapsed_seconds = 0.0;     ///< since the runner started
+  double busy_seconds = 0.0;        ///< sum over jobs of wall * threads used
+  double total_job_seconds = 0.0;   ///< sum of per-job wall time
+  double min_job_seconds = 0.0;
+  double max_job_seconds = 0.0;
+
+  std::size_t finished() const { return completed + cancelled + failed; }
+
+  double jobs_per_second() const {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(finished()) / elapsed_seconds
+               : 0.0;
+  }
+
+  double mean_job_seconds() const {
+    return ran_jobs > 0 ? total_job_seconds / static_cast<double>(ran_jobs)
+                        : 0.0;
+  }
+
+  /// Fraction of pool capacity spent inside solves.  Approximate: a
+  /// fine-grained job is charged wall * intra_threads even while some of
+  /// those threads were finishing interleaved small jobs (also charged),
+  /// so the raw ratio can exceed 1 under mixed load — clamped here.
+  double worker_utilization() const {
+    const double capacity = elapsed_seconds * static_cast<double>(workers);
+    if (capacity <= 0.0) return 0.0;
+    return std::min(1.0, busy_seconds / capacity);
+  }
+
+  /// Renders a two-column metric table.
+  void print(std::ostream& out) const;
+};
+
+/// Thread-safe accumulator behind BatchRunner::metrics().
+class MetricsCollector {
+ public:
+  void on_submit(std::size_t queue_depth);
+  /// `ran` is false for jobs finalized without executing (cancelled while
+  /// queued): they count toward their outcome tally but not toward the
+  /// wall-time / busy / fine-grained statistics.
+  void on_finish(JobState outcome, double wall_seconds,
+                 std::size_t threads_used, bool ran);
+
+  /// Snapshot with the runner-supplied instantaneous values filled in.
+  RuntimeMetrics snapshot(double elapsed_seconds, std::size_t workers,
+                          std::size_t queue_depth) const;
+
+ private:
+  mutable std::mutex mutex_;
+  RuntimeMetrics metrics_;
+  bool any_finished_ = false;
+};
+
+}  // namespace paradmm::runtime

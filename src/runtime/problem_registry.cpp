@@ -1,0 +1,71 @@
+#include "runtime/problem_registry.hpp"
+
+#include <sstream>
+
+#include "problems/lasso/registry.hpp"
+#include "problems/mpc/registry.hpp"
+#include "problems/packing/registry.hpp"
+#include "problems/svm/registry.hpp"
+
+namespace paradmm::runtime {
+
+void ProblemRegistry::add(const std::string& name, std::string description,
+                          Builder builder) {
+  require(!name.empty(), "problem name must be non-empty");
+  require(static_cast<bool>(builder), "problem builder must be callable");
+  require(entries_.find(name) == entries_.end(),
+          "problem name is already registered");
+  entries_.emplace(name, Entry{std::move(description), std::move(builder)});
+}
+
+bool ProblemRegistry::contains(const std::string& name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+const ProblemRegistry::Entry& ProblemRegistry::find(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::ostringstream message;
+    message << "unknown problem \"" << name << "\"; registered:";
+    for (const auto& [registered, entry] : entries_) {
+      message << ' ' << registered;
+    }
+    throw PreconditionError(message.str());
+  }
+  return it->second;
+}
+
+BuiltProblem ProblemRegistry::build(const std::string& name,
+                                    const std::any& params) const {
+  BuiltProblem built = find(name).builder(params);
+  affirm(built.graph != nullptr, "problem builder returned no graph");
+  return built;
+}
+
+const std::string& ProblemRegistry::description(const std::string& name) const {
+  return find(name).description;
+}
+
+std::vector<std::string> ProblemRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+ProblemRegistry ProblemRegistry::with_builtin() {
+  ProblemRegistry registry;
+  lasso::register_problem(registry);
+  mpc::register_problem(registry);
+  packing::register_problem(registry);
+  svm::register_problem(registry);
+  return registry;
+}
+
+const ProblemRegistry& ProblemRegistry::global() {
+  static const ProblemRegistry registry = with_builtin();
+  return registry;
+}
+
+}  // namespace paradmm::runtime

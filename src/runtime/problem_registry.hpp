@@ -1,0 +1,84 @@
+// String-keyed registry of buildable problems, so a solve job can be
+// specified as {"svm", params} instead of hand-assembling a factor graph
+// (the pattern of libskylark's prox-operator registry, applied to whole
+// problems).  Each library problem contributes an adapter that lives next
+// to it (src/problems/<name>/registry.{hpp,cpp}); the adapters for the four
+// seed problems — "lasso", "mpc", "packing", "svm" — are pre-registered in
+// ProblemRegistry::global().
+//
+// Builders are deterministic: the same name + params always produce an
+// identical graph, so a registry-built solve matches a hand-built one
+// bit for bit.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factor_graph.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::runtime {
+
+/// A built problem instance: the graph plus a keep-alive for the concrete
+/// problem object that owns it.  Readout helpers (accuracies, trajectories,
+/// circle layouts) stay reachable by std::static_pointer_cast-ing `owner`
+/// back to the concrete type named by the adapter's documentation.
+struct BuiltProblem {
+  std::shared_ptr<void> owner;
+  FactorGraph* graph = nullptr;
+};
+
+class ProblemRegistry {
+ public:
+  /// Builds an instance from type-erased params (see params_or_default).
+  using Builder = std::function<BuiltProblem(const std::any& params)>;
+
+  /// Registers `name`; re-registering an existing name is a precondition
+  /// error (adapters own their names).
+  void add(const std::string& name, std::string description, Builder builder);
+
+  bool contains(const std::string& name) const;
+
+  /// Builds `name` with `params` (empty any = the adapter's defaults).
+  /// Unknown names raise PreconditionError listing what is registered.
+  BuiltProblem build(const std::string& name,
+                     const std::any& params = {}) const;
+
+  const std::string& description(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// A fresh registry pre-seeded with the four library problems.
+  static ProblemRegistry with_builtin();
+
+  /// Shared read-only instance of with_builtin().
+  static const ProblemRegistry& global();
+
+ private:
+  struct Entry {
+    std::string description;
+    Builder builder;
+  };
+  const Entry& find(const std::string& name) const;
+
+  std::map<std::string, Entry> entries_;
+};
+
+/// Adapter helper: unwraps a std::any into the adapter's param struct.
+/// An empty any yields default-constructed params; a type mismatch is a
+/// precondition error.
+template <typename Params>
+Params params_or_default(const std::any& params) {
+  if (!params.has_value()) return Params{};
+  const Params* typed = std::any_cast<Params>(&params);
+  require(typed != nullptr,
+          "problem params hold the wrong type for this problem");
+  return *typed;
+}
+
+}  // namespace paradmm::runtime

@@ -1,0 +1,22 @@
+#include "runtime/scheduler.hpp"
+
+#include "support/error.hpp"
+
+namespace paradmm::runtime {
+
+Scheduler::Scheduler(SchedulerOptions options, std::size_t pool_threads)
+    : options_(options), pool_threads_(pool_threads) {
+  require(pool_threads >= 1, "Scheduler needs at least one pool thread");
+}
+
+JobPlan Scheduler::plan(const FactorGraph& graph) const {
+  JobPlan plan;
+  plan.elements = graph.elements();
+  const bool large = plan.elements >= options_.fine_grained_threshold;
+  if (large && !options_.disable_fine_grained && pool_threads_ > 1) {
+    plan.intra_threads = pool_threads_;
+  }
+  return plan;
+}
+
+}  // namespace paradmm::runtime

@@ -1,0 +1,55 @@
+// Per-job parallelism policy for the batch-solve runtime.
+//
+// The paper's multicore results (Figs. 8, 11, 14) show fine-grained
+// parallelism only paying once a graph is large enough that the per-phase
+// fork/join and barrier costs are amortized over the phase work; below that
+// threshold a solve runs fastest on a single core.  The batch runtime
+// exploits exactly this: small jobs run whole-solve-per-worker (many solves
+// concurrently, zero intra-solve synchronization), large jobs get the
+// shared pool's fine-grained phase parallelism to themselves.
+#pragma once
+
+#include <cstddef>
+
+#include "core/factor_graph.hpp"
+
+namespace paradmm::runtime {
+
+struct SchedulerOptions {
+  /// Graphs with fewer elements (|F| + 3|E| + |V|, the per-iteration task
+  /// count) than this run whole-solve-on-one-worker; at or above it they
+  /// get intra-solve fine-grained parallelism.
+  std::size_t fine_grained_threshold = 16384;
+
+  /// Force every job to run serial-per-worker (throughput mode) regardless
+  /// of size — useful when the submitter knows all jobs are independent
+  /// and latency of any single job does not matter.
+  bool disable_fine_grained = false;
+};
+
+/// The scheduler's decision for one job.
+struct JobPlan {
+  /// 1 = whole solve on one worker; >1 = fine-grained phase parallelism
+  /// over that many threads of the shared pool.
+  std::size_t intra_threads = 1;
+  /// Graph elements the decision was based on.
+  std::size_t elements = 0;
+
+  bool fine_grained() const { return intra_threads > 1; }
+};
+
+class Scheduler {
+ public:
+  Scheduler(SchedulerOptions options, std::size_t pool_threads);
+
+  /// Decides how much of the pool a solve of `graph` should use.
+  JobPlan plan(const FactorGraph& graph) const;
+
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  SchedulerOptions options_;
+  std::size_t pool_threads_;
+};
+
+}  // namespace paradmm::runtime

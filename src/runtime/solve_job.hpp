@@ -1,0 +1,154 @@
+// The unit of work of the batch-solve runtime (SolveJob) and the
+// future-like handle (JobHandle) callers hold while it runs.
+//
+// A job is a factor graph plus solve options; the BatchRunner decides where
+// and how parallel it runs (see runtime/scheduler.hpp).  The handle exposes
+// state, blocking wait, cooperative cancellation (takes effect at the
+// solver's next check interval), and the final SolverReport.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/solver.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::runtime {
+
+enum class JobState {
+  kQueued,     ///< submitted, not yet dispatched to a worker
+  kRunning,    ///< a worker is iterating
+  kDone,       ///< finished (converged or iteration budget exhausted)
+  kCancelled,  ///< stopped early by request_cancel()
+  kFailed,     ///< the solve threw; see JobHandle::error()
+};
+
+std::string_view to_string(JobState state);
+
+inline bool is_terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kCancelled ||
+         state == JobState::kFailed;
+}
+
+/// Invoked from the executing thread after every solver check interval.
+using ProgressFn = std::function<void(const IterationStatus&)>;
+
+/// One solve for the BatchRunner.  `graph` is required and must stay valid
+/// until the job reaches a terminal state; `owner` optionally keeps the
+/// object that owns the graph alive for the job's lifetime (this is how
+/// registry-built problems are submitted — see runtime/problem_registry.hpp).
+struct SolveJob {
+  FactorGraph* graph = nullptr;
+  std::shared_ptr<void> owner;
+  SolverOptions options;  ///< backend/threads are overridden by the scheduler
+  ProgressFn progress;
+  std::string label;
+};
+
+namespace detail {
+
+/// Shared state between a JobHandle and the runner (internal).
+struct JobControl {
+  // Fixed at submission.
+  FactorGraph* graph = nullptr;
+  std::shared_ptr<void> owner;
+  SolverOptions options;
+  ProgressFn progress;
+  std::string label;
+
+  std::atomic<bool> cancel_requested{false};
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable changed;
+  JobState state = JobState::kQueued;
+  bool planned = false;  // set when the scheduler has decided `plan`
+  JobPlan plan;          // valid once `planned`
+  SolverReport report;   // valid in kDone/kCancelled
+  std::string error;     // non-empty in kFailed
+  double wall_seconds = 0.0;
+};
+
+}  // namespace detail
+
+/// Future-like handle to a submitted job.  Copyable; all copies observe the
+/// same job.  Outliving the BatchRunner is safe for reads — the runner
+/// drives every job to a terminal state before its destructor returns.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return static_cast<bool>(control_); }
+
+  JobState state() const {
+    std::lock_guard lock(control()->mutex);
+    return control_->state;
+  }
+
+  /// Blocks until the job reaches a terminal state and returns it.
+  JobState wait() const {
+    std::unique_lock lock(control()->mutex);
+    control_->changed.wait(lock, [&] { return is_terminal(control_->state); });
+    return control_->state;
+  }
+
+  /// Requests cooperative cancellation; the solve stops at its next check
+  /// interval.  A job that finishes before noticing still reports kDone.
+  void request_cancel() {
+    control()->cancel_requested.store(true, std::memory_order_relaxed);
+  }
+
+  /// Final report; call after wait().  Valid in kDone and kCancelled (a
+  /// cancelled job reports the iterations it completed).
+  const SolverReport& report() const {
+    std::lock_guard lock(control()->mutex);
+    require(is_terminal(control_->state), "job has not finished");
+    require(control_->state != JobState::kFailed,
+            "job failed; see JobHandle::error()");
+    return control_->report;
+  }
+
+  /// What the solve threw (empty unless kFailed).
+  const std::string& error() const {
+    std::lock_guard lock(control()->mutex);
+    return control_->error;
+  }
+
+  /// The scheduler's decision for this job; valid once the dispatcher has
+  /// planned it (before that, a PreconditionError).
+  JobPlan plan() const {
+    std::lock_guard lock(control()->mutex);
+    require(control_->planned, "job has not been planned yet");
+    return control_->plan;
+  }
+
+  /// The job's graph (solution readout lives in graph().solution(...)).
+  FactorGraph& graph() const { return *control()->graph; }
+
+  const std::string& label() const { return control()->label; }
+
+  /// Wall-clock seconds of the solve; valid in terminal states.
+  double wall_seconds() const {
+    std::lock_guard lock(control()->mutex);
+    return control_->wall_seconds;
+  }
+
+ private:
+  friend class BatchRunner;
+  explicit JobHandle(std::shared_ptr<detail::JobControl> control)
+      : control_(std::move(control)) {}
+
+  const std::shared_ptr<detail::JobControl>& control() const {
+    require(static_cast<bool>(control_), "JobHandle is empty");
+    return control_;
+  }
+
+  std::shared_ptr<detail::JobControl> control_;
+};
+
+}  // namespace paradmm::runtime

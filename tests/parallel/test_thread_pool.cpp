@@ -103,5 +103,77 @@ TEST(ThreadPoolTest, ExceptionsDoNotDeadlockSingleThread) {
   EXPECT_EQ(calls, 4);
 }
 
+TEST(ThreadPoolTest, SubmittedTasksAllRun) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 64;
+  std::atomic<int> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&] {
+      if (++done == kTasks) {
+        std::lock_guard lock(mutex);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock lock(mutex);
+  cv.wait(lock, [&] { return done.load() == kTasks; });
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsTasksInline) {
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  // No workers exist, so submit must have executed the task synchronously.
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(pool.queued_tasks(), 0u);
+}
+
+TEST(ThreadPoolTest, TasksInterleaveWithParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> task_done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  pool.submit([&] {
+    ++task_done;
+    std::lock_guard lock(mutex);
+    cv.notify_all();
+  });
+  // The fork/join path must stay correct while tasks drain.
+  std::atomic<long long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(64,
+                      [&](std::size_t i) { total += static_cast<long long>(i); });
+  }
+  EXPECT_EQ(total.load(), 50LL * (63 * 64 / 2));
+  std::unique_lock lock(mutex);
+  cv.wait(lock, [&] { return task_done.load() == 1; });
+  EXPECT_EQ(task_done.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerChunkExceptionsRethrowToCaller) {
+  // A throw on a worker's chunk must reach the parallel_for caller after
+  // the join instead of terminating the process.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [](std::size_t i) {
+                                   if (i == 999) {  // last chunk -> a worker
+                                     throw std::runtime_error("chunk");
+                                   }
+                                 }),
+               std::runtime_error);
+  // Pool still fully usable afterwards.
+  std::atomic<int> calls{0};
+  pool.parallel_for(64, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitRejectsEmptyTask) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), PreconditionError);
+}
+
 }  // namespace
 }  // namespace paradmm

@@ -1,0 +1,301 @@
+// BatchRunner: concurrent multi-problem solving over the shared pool —
+// completion, bit-for-bit agreement with direct solves, cancellation,
+// failure capture, fine-grained dispatch, and metrics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/prox_library.hpp"
+#include "core/solver.hpp"
+#include "problems/svm/registry.hpp"
+#include "runtime/batch_runner.hpp"
+
+namespace paradmm::runtime {
+namespace {
+
+svm::SvmJobParams small_svm_params(std::uint64_t data_seed) {
+  svm::SvmJobParams params;
+  params.points = 16;
+  params.dimension = 2;
+  params.data_seed = data_seed;
+  return params;
+}
+
+SolverOptions short_solve_options() {
+  SolverOptions options;
+  options.max_iterations = 80;
+  options.check_interval = 20;
+  return options;
+}
+
+BatchRunnerOptions with_threads(std::size_t threads) {
+  BatchRunnerOptions options;
+  options.threads = threads;
+  return options;
+}
+
+std::vector<double> z_copy(const FactorGraph& graph) {
+  const auto z = graph.z_values();
+  return {z.begin(), z.end()};
+}
+
+/// A PO whose apply always throws (failure-path coverage).
+class ThrowingProx final : public ProxOperator {
+ public:
+  void apply(const ProxContext&) const override {
+    throw NumericalError("prox exploded");
+  }
+  std::string_view name() const override { return "throwing"; }
+};
+
+FactorGraph make_consensus_graph(const std::vector<double>& targets) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  for (const double t : targets) {
+    graph.add_factor(
+        std::make_shared<SumSquaresProx>(1.0, std::vector<double>{t}), {w});
+  }
+  graph.set_uniform_parameters(1.0, 1.0);
+  return graph;
+}
+
+TEST(BatchRunner, RunsManySmallJobsToCompletion) {
+  BatchRunnerOptions options;
+  options.threads = 4;
+  BatchRunner runner(options);
+
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 16; ++i) {
+    handles.push_back(
+        runner.submit("svm", small_svm_params(100 + i), short_solve_options()));
+  }
+  runner.wait_all();
+
+  for (auto& handle : handles) {
+    EXPECT_EQ(handle.state(), JobState::kDone);
+    EXPECT_GT(handle.report().iterations, 0);
+    EXPECT_FALSE(handle.plan().fine_grained());
+  }
+  const RuntimeMetrics metrics = runner.metrics();
+  EXPECT_EQ(metrics.submitted, 16u);
+  EXPECT_EQ(metrics.completed, 16u);
+  EXPECT_EQ(metrics.queue_depth, 0u);
+}
+
+TEST(BatchRunner, ResultsMatchDirectSolveBitForBit) {
+  // Every problem the registry knows, solved through the runner, must equal
+  // a plain solve() of an identically-built graph bit for bit.
+  BatchRunnerOptions options;
+  options.threads = 4;
+  BatchRunner runner(options);
+
+  std::vector<JobHandle> handles;
+  std::vector<std::vector<double>> direct;
+  for (const auto& name : ProblemRegistry::global().names()) {
+    BuiltProblem reference = ProblemRegistry::global().build(name);
+    solve(*reference.graph, short_solve_options());
+    direct.push_back(z_copy(*reference.graph));
+    handles.push_back(runner.submit(name, {}, short_solve_options()));
+  }
+  runner.wait_all();
+
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    ASSERT_EQ(handles[i].wait(), JobState::kDone) << handles[i].label();
+    const auto via_runner = z_copy(handles[i].graph());
+    ASSERT_EQ(via_runner.size(), direct[i].size());
+    for (std::size_t s = 0; s < via_runner.size(); ++s) {
+      EXPECT_EQ(via_runner[s], direct[i][s])
+          << handles[i].label() << " z scalar " << s;
+    }
+  }
+}
+
+TEST(BatchRunner, UserOwnedGraphJobs) {
+  FactorGraph graph = make_consensus_graph({1.0, 2.0, 9.0});
+  BatchRunner runner(with_threads(2));
+  SolveJob job;
+  job.graph = &graph;
+  job.options.max_iterations = 2000;
+  job.label = "consensus";
+  JobHandle handle = runner.submit(std::move(job));
+  EXPECT_EQ(handle.wait(), JobState::kDone);
+  EXPECT_TRUE(handle.report().converged);
+  EXPECT_NEAR(graph.solution(0)[0], 4.0, 1e-5);
+  EXPECT_EQ(handle.label(), "consensus");
+}
+
+TEST(BatchRunner, CancellationStopsAtNextCheckInterval) {
+  BatchRunner runner(with_threads(2));
+  std::atomic<int> progress_calls{0};
+  std::atomic<bool> release{false};
+  FactorGraph graph = make_consensus_graph({0.0, 100.0});
+
+  SolveJob job;
+  job.graph = &graph;
+  job.options.max_iterations = 500000000;
+  job.options.check_interval = 10;
+  // Park the solve inside its first progress callback until the test has
+  // requested cancellation, so the cancel is seen at that check interval
+  // (a tiny graph would otherwise race to an exact fixed point first).
+  job.progress = [&](const IterationStatus&) {
+    ++progress_calls;
+    while (!release.load()) std::this_thread::yield();
+  };
+  JobHandle handle = runner.submit(std::move(job));
+
+  while (progress_calls.load() == 0) std::this_thread::yield();
+  handle.request_cancel();
+  release.store(true);
+
+  EXPECT_EQ(handle.wait(), JobState::kCancelled);
+  EXPECT_EQ(handle.report().iterations, 10);
+  EXPECT_EQ(progress_calls.load(), 1);
+  EXPECT_EQ(runner.metrics().cancelled, 1u);
+}
+
+TEST(BatchRunner, CancelledBeforeDispatchNeverRuns) {
+  // A runner whose only dispatcher is busy lets us cancel a queued job.
+  BatchRunnerOptions options;
+  options.threads = 1;
+  BatchRunner runner(options);
+
+  std::atomic<int> progress_calls{0};
+  std::atomic<bool> release{false};
+  FactorGraph blocker = make_consensus_graph({0.0, 1.0});
+  SolveJob long_job;
+  long_job.graph = &blocker;
+  long_job.options.max_iterations = 500000000;
+  long_job.options.check_interval = 10;
+  long_job.progress = [&](const IterationStatus&) {
+    ++progress_calls;
+    while (!release.load()) std::this_thread::yield();
+  };
+  JobHandle first = runner.submit(std::move(long_job));
+  while (progress_calls.load() == 0) std::this_thread::yield();
+
+  // The dispatcher is parked inside the first solve, so the second job
+  // cannot start before we cancel it.
+  FactorGraph graph = make_consensus_graph({5.0});
+  SolveJob second_job;
+  second_job.graph = &graph;
+  JobHandle second = runner.submit(std::move(second_job));
+  second.request_cancel();
+  first.request_cancel();
+  release.store(true);
+
+  EXPECT_EQ(first.wait(), JobState::kCancelled);
+  EXPECT_EQ(second.wait(), JobState::kCancelled);
+  EXPECT_EQ(second.report().iterations, 0);
+}
+
+TEST(BatchRunner, FailedSolveIsReportedNotThrown) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(std::make_shared<ThrowingProx>(), {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+
+  BatchRunner runner(with_threads(2));
+  SolveJob job;
+  job.graph = &graph;
+  JobHandle handle = runner.submit(std::move(job));
+
+  EXPECT_EQ(handle.wait(), JobState::kFailed);
+  EXPECT_NE(handle.error().find("prox exploded"), std::string::npos);
+  EXPECT_THROW(handle.report(), PreconditionError);
+  EXPECT_EQ(runner.metrics().failed, 1u);
+}
+
+TEST(BatchRunner, FailedFineGrainedSolveIsReported) {
+  // A throw inside a worker's phase chunk must surface as kFailed, not
+  // terminate the process (worker exceptions rethrow through the pool).
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  const auto op = std::make_shared<ThrowingProx>();
+  for (int i = 0; i < 64; ++i) graph.add_factor(op, {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+
+  BatchRunnerOptions options;
+  options.threads = 3;
+  options.scheduler.fine_grained_threshold = 1;
+  BatchRunner runner(options);
+  SolveJob job;
+  job.graph = &graph;
+  JobHandle handle = runner.submit(std::move(job));
+
+  EXPECT_EQ(handle.wait(), JobState::kFailed);
+  EXPECT_NE(handle.error().find("prox exploded"), std::string::npos);
+}
+
+TEST(BatchRunner, LargeJobsRunFineGrainedWithIdenticalNumerics) {
+  BatchRunnerOptions options;
+  options.threads = 3;
+  options.scheduler.fine_grained_threshold = 1;  // everything is "large"
+  BatchRunner runner(options);
+
+  BuiltProblem reference = ProblemRegistry::global().build("svm");
+  solve(*reference.graph, short_solve_options());
+
+  JobHandle handle = runner.submit("svm", {}, short_solve_options());
+  ASSERT_EQ(handle.wait(), JobState::kDone);
+  EXPECT_TRUE(handle.plan().fine_grained());
+  EXPECT_EQ(handle.plan().intra_threads, 3u);
+
+  const auto expected = z_copy(*reference.graph);
+  const auto actual = z_copy(handle.graph());
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t s = 0; s < actual.size(); ++s) {
+    EXPECT_EQ(actual[s], expected[s]) << "z scalar " << s;
+  }
+  EXPECT_EQ(runner.metrics().fine_grained_jobs, 1u);
+}
+
+TEST(BatchRunner, DestructorDrainsQueue) {
+  std::vector<JobHandle> handles;
+  {
+    BatchRunner runner(with_threads(2));
+    for (int i = 0; i < 8; ++i) {
+      handles.push_back(
+          runner.submit("svm", small_svm_params(i), short_solve_options()));
+    }
+    // Runner destroyed with jobs possibly still queued/in flight.
+  }
+  for (auto& handle : handles) {
+    EXPECT_TRUE(is_terminal(handle.state()));
+    EXPECT_EQ(handle.state(), JobState::kDone);
+  }
+}
+
+TEST(BatchRunner, MetricsReportThroughput) {
+  BatchRunner runner(with_threads(2));
+  for (int i = 0; i < 4; ++i) {
+    runner.submit("svm", small_svm_params(i), short_solve_options());
+  }
+  runner.wait_all();
+
+  const RuntimeMetrics metrics = runner.metrics();
+  EXPECT_EQ(metrics.finished(), 4u);
+  EXPECT_GT(metrics.jobs_per_second(), 0.0);
+  EXPECT_GT(metrics.mean_job_seconds(), 0.0);
+  EXPECT_GE(metrics.max_job_seconds, metrics.min_job_seconds);
+  EXPECT_GE(metrics.peak_queue_depth, 1u);
+  EXPECT_GT(metrics.worker_utilization(), 0.0);
+
+  std::ostringstream out;
+  metrics.print(out);
+  EXPECT_NE(out.str().find("jobs/sec"), std::string::npos);
+  EXPECT_NE(out.str().find("worker utilization"), std::string::npos);
+}
+
+TEST(BatchRunner, ToStringCoversAllStates) {
+  EXPECT_EQ(to_string(JobState::kQueued), "queued");
+  EXPECT_EQ(to_string(JobState::kRunning), "running");
+  EXPECT_EQ(to_string(JobState::kDone), "done");
+  EXPECT_EQ(to_string(JobState::kCancelled), "cancelled");
+  EXPECT_EQ(to_string(JobState::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace paradmm::runtime

@@ -1,0 +1,151 @@
+// ProblemRegistry: the four seed problems are buildable by string name and
+// solve to results bit-for-bit identical to hand-built problems.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/solver.hpp"
+#include "problems/lasso/registry.hpp"
+#include "problems/mpc/registry.hpp"
+#include "problems/packing/registry.hpp"
+#include "problems/svm/registry.hpp"
+#include "runtime/problem_registry.hpp"
+
+namespace paradmm::runtime {
+namespace {
+
+SolverOptions short_solve_options() {
+  SolverOptions options;
+  options.max_iterations = 60;
+  options.check_interval = 20;
+  return options;
+}
+
+std::vector<double> z_copy(const FactorGraph& graph) {
+  const auto z = graph.z_values();
+  return {z.begin(), z.end()};
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "z scalar " << i;
+  }
+}
+
+TEST(ProblemRegistry, GlobalRegistersTheFourSeedProblems) {
+  const auto names = ProblemRegistry::global().names();
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"lasso", "mpc", "packing", "svm"}));
+  for (const auto& name : names) {
+    EXPECT_TRUE(ProblemRegistry::global().contains(name));
+    EXPECT_FALSE(ProblemRegistry::global().description(name).empty());
+  }
+}
+
+TEST(ProblemRegistry, EveryProblemBuildsAndSolvesByName) {
+  for (const auto& name : ProblemRegistry::global().names()) {
+    BuiltProblem built = ProblemRegistry::global().build(name);
+    ASSERT_NE(built.graph, nullptr) << name;
+    ASSERT_NE(built.owner, nullptr) << name;
+    EXPECT_GT(built.graph->num_factors(), 0u) << name;
+    const SolverReport report = solve(*built.graph, short_solve_options());
+    EXPECT_GT(report.iterations, 0) << name;
+  }
+}
+
+TEST(ProblemRegistry, BuildsAreDeterministic) {
+  for (const auto& name : ProblemRegistry::global().names()) {
+    BuiltProblem first = ProblemRegistry::global().build(name);
+    BuiltProblem second = ProblemRegistry::global().build(name);
+    solve(*first.graph, short_solve_options());
+    solve(*second.graph, short_solve_options());
+    expect_bitwise_equal(z_copy(*first.graph), z_copy(*second.graph));
+  }
+}
+
+TEST(ProblemRegistry, SvmMatchesHandBuiltProblemBitForBit) {
+  svm::SvmJobParams params;
+  params.points = 32;
+  params.config.lambda = 0.5;
+  BuiltProblem built = ProblemRegistry::global().build("svm", params);
+
+  svm::SvmProblem direct(
+      svm::make_gaussian_blobs(params.points, params.dimension,
+                               params.separation, params.data_seed),
+      params.config);
+
+  ASSERT_EQ(built.graph->num_edges(), direct.graph().num_edges());
+  solve(*built.graph, short_solve_options());
+  solve(direct.graph(), short_solve_options());
+  expect_bitwise_equal(z_copy(*built.graph), z_copy(direct.graph()));
+}
+
+TEST(ProblemRegistry, LassoMatchesHandBuiltProblemBitForBit) {
+  lasso::LassoJobParams params;
+  params.rows = 30;
+  params.cols = 6;
+  BuiltProblem built = ProblemRegistry::global().build("lasso", params);
+
+  const auto instance = lasso::make_lasso_instance(
+      params.rows, params.cols, params.sparsity, params.noise, params.seed);
+  lasso::LassoProblem direct(instance, params.config);
+
+  solve(*built.graph, short_solve_options());
+  solve(direct.graph(), short_solve_options());
+  expect_bitwise_equal(z_copy(*built.graph), z_copy(direct.graph()));
+}
+
+TEST(ProblemRegistry, MpcMatchesHandBuiltProblemBitForBit) {
+  mpc::MpcJobParams params;
+  params.config.horizon = 12;
+  BuiltProblem built = ProblemRegistry::global().build("mpc", params);
+
+  mpc::MpcProblem direct(params.config);
+  solve(*built.graph, short_solve_options());
+  solve(direct.graph(), short_solve_options());
+  expect_bitwise_equal(z_copy(*built.graph), z_copy(direct.graph()));
+}
+
+TEST(ProblemRegistry, PackingMatchesHandBuiltProblemBitForBit) {
+  packing::PackingJobParams params;
+  params.config.circles = 6;
+  BuiltProblem built = ProblemRegistry::global().build("packing", params);
+
+  packing::PackingProblem direct(params.config);
+  solve(*built.graph, short_solve_options());
+  solve(direct.graph(), short_solve_options());
+  expect_bitwise_equal(z_copy(*built.graph), z_copy(direct.graph()));
+}
+
+TEST(ProblemRegistry, OwnerKeepsReadoutHelpersReachable) {
+  svm::SvmJobParams params;
+  params.points = 16;
+  BuiltProblem built = ProblemRegistry::global().build("svm", params);
+  solve(*built.graph, short_solve_options());
+  const auto problem = std::static_pointer_cast<svm::SvmProblem>(built.owner);
+  EXPECT_EQ(problem->plane_w().size(), params.dimension);
+}
+
+TEST(ProblemRegistry, UnknownNameListsRegisteredProblems) {
+  try {
+    ProblemRegistry::global().build("no-such-problem");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("svm"), std::string::npos);
+  }
+}
+
+TEST(ProblemRegistry, WrongParamsTypeThrows) {
+  EXPECT_THROW(ProblemRegistry::global().build("svm", std::any(42)),
+               PreconditionError);
+}
+
+TEST(ProblemRegistry, DuplicateRegistrationThrows) {
+  ProblemRegistry registry = ProblemRegistry::with_builtin();
+  EXPECT_THROW(svm::register_problem(registry), PreconditionError);
+}
+
+}  // namespace
+}  // namespace paradmm::runtime

@@ -1,0 +1,67 @@
+// Scheduler policy: graph size decides serial-per-worker vs fine-grained.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/prox_library.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace paradmm::runtime {
+namespace {
+
+FactorGraph make_consensus_graph(std::size_t factors) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  const auto op =
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{1.0});
+  for (std::size_t i = 0; i < factors; ++i) graph.add_factor(op, {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  return graph;
+}
+
+TEST(Scheduler, SmallGraphRunsWholeSolvePerWorker) {
+  const FactorGraph graph = make_consensus_graph(4);
+  const Scheduler scheduler(SchedulerOptions{}, 8);
+  const JobPlan plan = scheduler.plan(graph);
+  EXPECT_EQ(plan.intra_threads, 1u);
+  EXPECT_FALSE(plan.fine_grained());
+  EXPECT_EQ(plan.elements, graph.elements());
+}
+
+TEST(Scheduler, LargeGraphGetsFineGrainedParallelism) {
+  const FactorGraph graph = make_consensus_graph(64);
+  SchedulerOptions options;
+  options.fine_grained_threshold = 10;  // well below 64 factors' elements
+  const Scheduler scheduler(options, 8);
+  const JobPlan plan = scheduler.plan(graph);
+  EXPECT_EQ(plan.intra_threads, 8u);
+  EXPECT_TRUE(plan.fine_grained());
+}
+
+TEST(Scheduler, SingleThreadPoolNeverGoesFineGrained) {
+  const FactorGraph graph = make_consensus_graph(64);
+  SchedulerOptions options;
+  options.fine_grained_threshold = 10;
+  const Scheduler scheduler(options, 1);
+  EXPECT_EQ(scheduler.plan(graph).intra_threads, 1u);
+}
+
+TEST(Scheduler, DisableFineGrainedForcesSerialJobs) {
+  const FactorGraph graph = make_consensus_graph(64);
+  SchedulerOptions options;
+  options.fine_grained_threshold = 10;
+  options.disable_fine_grained = true;
+  const Scheduler scheduler(options, 8);
+  EXPECT_EQ(scheduler.plan(graph).intra_threads, 1u);
+}
+
+TEST(Scheduler, ThresholdIsInclusive) {
+  const FactorGraph graph = make_consensus_graph(8);
+  SchedulerOptions options;
+  options.fine_grained_threshold = graph.elements();
+  const Scheduler scheduler(options, 4);
+  EXPECT_TRUE(scheduler.plan(graph).fine_grained());
+}
+
+}  // namespace
+}  // namespace paradmm::runtime
