@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_three_weight.dir/bench/bench_ablation_three_weight.cpp.o"
+  "CMakeFiles/bench_ablation_three_weight.dir/bench/bench_ablation_three_weight.cpp.o.d"
+  "bench_ablation_three_weight"
+  "bench_ablation_three_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_three_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

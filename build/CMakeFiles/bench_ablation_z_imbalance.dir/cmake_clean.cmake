@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_z_imbalance.dir/bench/bench_ablation_z_imbalance.cpp.o"
+  "CMakeFiles/bench_ablation_z_imbalance.dir/bench/bench_ablation_z_imbalance.cpp.o.d"
+  "bench_ablation_z_imbalance"
+  "bench_ablation_z_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_z_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_copy_times.dir/bench/bench_copy_times.cpp.o"
+  "CMakeFiles/bench_copy_times.dir/bench/bench_copy_times.cpp.o.d"
+  "bench_copy_times"
+  "bench_copy_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_copy_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_gpu.dir/bench/bench_ext_multi_gpu.cpp.o"
+  "CMakeFiles/bench_ext_multi_gpu.dir/bench/bench_ext_multi_gpu.cpp.o.d"
+  "bench_ext_multi_gpu"
+  "bench_ext_multi_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

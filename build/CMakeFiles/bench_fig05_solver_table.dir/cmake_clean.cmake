@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_solver_table.dir/bench/bench_fig05_solver_table.cpp.o"
+  "CMakeFiles/bench_fig05_solver_table.dir/bench/bench_fig05_solver_table.cpp.o.d"
+  "bench_fig05_solver_table"
+  "bench_fig05_solver_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_solver_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_packing_multicore.dir/bench/bench_fig08_packing_multicore.cpp.o"
+  "CMakeFiles/bench_fig08_packing_multicore.dir/bench/bench_fig08_packing_multicore.cpp.o.d"
+  "bench_fig08_packing_multicore"
+  "bench_fig08_packing_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_packing_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

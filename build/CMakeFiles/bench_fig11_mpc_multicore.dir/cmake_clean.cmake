@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mpc_multicore.dir/bench/bench_fig11_mpc_multicore.cpp.o"
+  "CMakeFiles/bench_fig11_mpc_multicore.dir/bench/bench_fig11_mpc_multicore.cpp.o.d"
+  "bench_fig11_mpc_multicore"
+  "bench_fig11_mpc_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mpc_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_svm_multicore.dir/bench/bench_fig14_svm_multicore.cpp.o"
+  "CMakeFiles/bench_fig14_svm_multicore.dir/bench/bench_fig14_svm_multicore.cpp.o.d"
+  "bench_fig14_svm_multicore"
+  "bench_fig14_svm_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_svm_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_prox.dir/bench/bench_micro_prox.cpp.o"
+  "CMakeFiles/bench_micro_prox.dir/bench/bench_micro_prox.cpp.o.d"
+  "bench_micro_prox"
+  "bench_micro_prox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_prox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_naive_vs_flat.dir/bench/bench_naive_vs_flat.cpp.o"
+  "CMakeFiles/bench_naive_vs_flat.dir/bench/bench_naive_vs_flat.cpp.o.d"
+  "bench_naive_vs_flat"
+  "bench_naive_vs_flat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naive_vs_flat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ntb_sweep.dir/bench/bench_ntb_sweep.cpp.o"
+  "CMakeFiles/bench_ntb_sweep.dir/bench/bench_ntb_sweep.cpp.o.d"
+  "bench_ntb_sweep"
+  "bench_ntb_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ntb_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

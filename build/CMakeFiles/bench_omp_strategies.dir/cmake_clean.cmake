@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_omp_strategies.dir/bench/bench_omp_strategies.cpp.o"
+  "CMakeFiles/bench_omp_strategies.dir/bench/bench_omp_strategies.cpp.o.d"
+  "bench_omp_strategies"
+  "bench_omp_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_omp_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_svm_dimension.dir/bench/bench_svm_dimension.cpp.o"
+  "CMakeFiles/bench_svm_dimension.dir/bench/bench_svm_dimension.cpp.o.d"
+  "bench_svm_dimension"
+  "bench_svm_dimension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svm_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

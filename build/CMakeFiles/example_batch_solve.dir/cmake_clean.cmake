@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_batch_solve.dir/examples/batch_solve.cpp.o"
+  "CMakeFiles/example_batch_solve.dir/examples/batch_solve.cpp.o.d"
+  "example_batch_solve"
+  "example_batch_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_batch_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_circle_packing.dir/examples/circle_packing.cpp.o"
+  "CMakeFiles/example_circle_packing.dir/examples/circle_packing.cpp.o.d"
+  "example_circle_packing"
+  "example_circle_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_circle_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lasso_consensus.dir/examples/lasso_consensus.cpp.o"
+  "CMakeFiles/example_lasso_consensus.dir/examples/lasso_consensus.cpp.o.d"
+  "example_lasso_consensus"
+  "example_lasso_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lasso_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mpc_pendulum.dir/examples/mpc_pendulum.cpp.o"
+  "CMakeFiles/example_mpc_pendulum.dir/examples/mpc_pendulum.cpp.o.d"
+  "example_mpc_pendulum"
+  "example_mpc_pendulum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mpc_pendulum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

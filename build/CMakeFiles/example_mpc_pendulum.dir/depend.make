@@ -1,0 +1,2 @@
+# Empty dependencies file for example_mpc_pendulum.
+# This may be replaced when dependencies are built.

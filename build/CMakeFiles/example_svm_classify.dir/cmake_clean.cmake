@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_svm_classify.dir/examples/svm_classify.cpp.o"
+  "CMakeFiles/example_svm_classify.dir/examples/svm_classify.cpp.o.d"
+  "example_svm_classify"
+  "example_svm_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_svm_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tv_denoise.dir/examples/tv_denoise.cpp.o"
+  "CMakeFiles/example_tv_denoise.dir/examples/tv_denoise.cpp.o.d"
+  "example_tv_denoise"
+  "example_tv_denoise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tv_denoise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

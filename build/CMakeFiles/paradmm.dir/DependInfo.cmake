@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/naive_engine.cpp" "CMakeFiles/paradmm.dir/src/baselines/naive_engine.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/baselines/naive_engine.cpp.o.d"
+  "/root/repo/src/baselines/two_block_admm.cpp" "CMakeFiles/paradmm.dir/src/baselines/two_block_admm.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/baselines/two_block_admm.cpp.o.d"
+  "/root/repo/src/core/async_solver.cpp" "CMakeFiles/paradmm.dir/src/core/async_solver.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/core/async_solver.cpp.o.d"
+  "/root/repo/src/core/factor_graph.cpp" "CMakeFiles/paradmm.dir/src/core/factor_graph.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/core/factor_graph.cpp.o.d"
+  "/root/repo/src/core/prox.cpp" "CMakeFiles/paradmm.dir/src/core/prox.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/core/prox.cpp.o.d"
+  "/root/repo/src/core/prox_library.cpp" "CMakeFiles/paradmm.dir/src/core/prox_library.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/core/prox_library.cpp.o.d"
+  "/root/repo/src/core/residuals.cpp" "CMakeFiles/paradmm.dir/src/core/residuals.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/core/residuals.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "CMakeFiles/paradmm.dir/src/core/solver.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/core/solver.cpp.o.d"
+  "/root/repo/src/devsim/cost_model.cpp" "CMakeFiles/paradmm.dir/src/devsim/cost_model.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/devsim/cost_model.cpp.o.d"
+  "/root/repo/src/devsim/cpu_model.cpp" "CMakeFiles/paradmm.dir/src/devsim/cpu_model.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/devsim/cpu_model.cpp.o.d"
+  "/root/repo/src/devsim/gpu_model.cpp" "CMakeFiles/paradmm.dir/src/devsim/gpu_model.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/devsim/gpu_model.cpp.o.d"
+  "/root/repo/src/devsim/multi_gpu_model.cpp" "CMakeFiles/paradmm.dir/src/devsim/multi_gpu_model.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/devsim/multi_gpu_model.cpp.o.d"
+  "/root/repo/src/devsim/report.cpp" "CMakeFiles/paradmm.dir/src/devsim/report.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/devsim/report.cpp.o.d"
+  "/root/repo/src/devsim/transfer_model.cpp" "CMakeFiles/paradmm.dir/src/devsim/transfer_model.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/devsim/transfer_model.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "CMakeFiles/paradmm.dir/src/math/matrix.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/math/matrix.cpp.o.d"
+  "/root/repo/src/math/minimize.cpp" "CMakeFiles/paradmm.dir/src/math/minimize.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/math/minimize.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "CMakeFiles/paradmm.dir/src/math/stats.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/math/stats.cpp.o.d"
+  "/root/repo/src/parallel/backend.cpp" "CMakeFiles/paradmm.dir/src/parallel/backend.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/parallel/backend.cpp.o.d"
+  "/root/repo/src/parallel/omp_backends.cpp" "CMakeFiles/paradmm.dir/src/parallel/omp_backends.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/parallel/omp_backends.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "CMakeFiles/paradmm.dir/src/parallel/thread_pool.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/problems/lasso/lasso.cpp" "CMakeFiles/paradmm.dir/src/problems/lasso/lasso.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/lasso/lasso.cpp.o.d"
+  "/root/repo/src/problems/lasso/registry.cpp" "CMakeFiles/paradmm.dir/src/problems/lasso/registry.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/lasso/registry.cpp.o.d"
+  "/root/repo/src/problems/mpc/builder.cpp" "CMakeFiles/paradmm.dir/src/problems/mpc/builder.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/mpc/builder.cpp.o.d"
+  "/root/repo/src/problems/mpc/cost_spec.cpp" "CMakeFiles/paradmm.dir/src/problems/mpc/cost_spec.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/mpc/cost_spec.cpp.o.d"
+  "/root/repo/src/problems/mpc/pendulum.cpp" "CMakeFiles/paradmm.dir/src/problems/mpc/pendulum.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/mpc/pendulum.cpp.o.d"
+  "/root/repo/src/problems/mpc/prox_ops.cpp" "CMakeFiles/paradmm.dir/src/problems/mpc/prox_ops.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/mpc/prox_ops.cpp.o.d"
+  "/root/repo/src/problems/mpc/registry.cpp" "CMakeFiles/paradmm.dir/src/problems/mpc/registry.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/mpc/registry.cpp.o.d"
+  "/root/repo/src/problems/packing/builder.cpp" "CMakeFiles/paradmm.dir/src/problems/packing/builder.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/packing/builder.cpp.o.d"
+  "/root/repo/src/problems/packing/cost_spec.cpp" "CMakeFiles/paradmm.dir/src/problems/packing/cost_spec.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/packing/cost_spec.cpp.o.d"
+  "/root/repo/src/problems/packing/geometry.cpp" "CMakeFiles/paradmm.dir/src/problems/packing/geometry.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/packing/geometry.cpp.o.d"
+  "/root/repo/src/problems/packing/prox_ops.cpp" "CMakeFiles/paradmm.dir/src/problems/packing/prox_ops.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/packing/prox_ops.cpp.o.d"
+  "/root/repo/src/problems/packing/registry.cpp" "CMakeFiles/paradmm.dir/src/problems/packing/registry.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/packing/registry.cpp.o.d"
+  "/root/repo/src/problems/svm/builder.cpp" "CMakeFiles/paradmm.dir/src/problems/svm/builder.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/svm/builder.cpp.o.d"
+  "/root/repo/src/problems/svm/cost_spec.cpp" "CMakeFiles/paradmm.dir/src/problems/svm/cost_spec.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/svm/cost_spec.cpp.o.d"
+  "/root/repo/src/problems/svm/data.cpp" "CMakeFiles/paradmm.dir/src/problems/svm/data.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/svm/data.cpp.o.d"
+  "/root/repo/src/problems/svm/prox_ops.cpp" "CMakeFiles/paradmm.dir/src/problems/svm/prox_ops.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/svm/prox_ops.cpp.o.d"
+  "/root/repo/src/problems/svm/registry.cpp" "CMakeFiles/paradmm.dir/src/problems/svm/registry.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/problems/svm/registry.cpp.o.d"
+  "/root/repo/src/runtime/batch_runner.cpp" "CMakeFiles/paradmm.dir/src/runtime/batch_runner.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/runtime/batch_runner.cpp.o.d"
+  "/root/repo/src/runtime/metrics.cpp" "CMakeFiles/paradmm.dir/src/runtime/metrics.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/runtime/metrics.cpp.o.d"
+  "/root/repo/src/runtime/problem_registry.cpp" "CMakeFiles/paradmm.dir/src/runtime/problem_registry.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/runtime/problem_registry.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "CMakeFiles/paradmm.dir/src/runtime/scheduler.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "CMakeFiles/paradmm.dir/src/support/cli.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/support/cli.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "CMakeFiles/paradmm.dir/src/support/error.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/support/error.cpp.o.d"
+  "/root/repo/src/support/format.cpp" "CMakeFiles/paradmm.dir/src/support/format.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/support/format.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/paradmm.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/paradmm.dir/src/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradmm_tests_baselines.dir/baselines/test_baselines.cpp.o"
+  "CMakeFiles/paradmm_tests_baselines.dir/baselines/test_baselines.cpp.o.d"
+  "paradmm_tests_baselines"
+  "paradmm_tests_baselines.pdb"
+  "paradmm_tests_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradmm_tests_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_async_solver.cpp" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_async_solver.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_async_solver.cpp.o.d"
+  "/root/repo/tests/core/test_factor_graph.cpp" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_factor_graph.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_factor_graph.cpp.o.d"
+  "/root/repo/tests/core/test_prox_library.cpp" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_prox_library.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_prox_library.cpp.o.d"
+  "/root/repo/tests/core/test_residuals.cpp" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_residuals.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_residuals.cpp.o.d"
+  "/root/repo/tests/core/test_solver.cpp" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_solver.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_solver.cpp.o.d"
+  "/root/repo/tests/core/test_solver_edge_cases.cpp" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_solver_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_solver_edge_cases.cpp.o.d"
+  "/root/repo/tests/core/test_three_weight.cpp" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_three_weight.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_core.dir/core/test_three_weight.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/paradmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

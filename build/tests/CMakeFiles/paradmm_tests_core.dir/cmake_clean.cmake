@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradmm_tests_core.dir/core/test_async_solver.cpp.o"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_async_solver.cpp.o.d"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_factor_graph.cpp.o"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_factor_graph.cpp.o.d"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_prox_library.cpp.o"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_prox_library.cpp.o.d"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_residuals.cpp.o"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_residuals.cpp.o.d"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_solver.cpp.o"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_solver.cpp.o.d"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_solver_edge_cases.cpp.o"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_solver_edge_cases.cpp.o.d"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_three_weight.cpp.o"
+  "CMakeFiles/paradmm_tests_core.dir/core/test_three_weight.cpp.o.d"
+  "paradmm_tests_core"
+  "paradmm_tests_core.pdb"
+  "paradmm_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradmm_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/devsim/test_cost_model.cpp" "tests/CMakeFiles/paradmm_tests_devsim.dir/devsim/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_devsim.dir/devsim/test_cost_model.cpp.o.d"
+  "/root/repo/tests/devsim/test_cpu_model.cpp" "tests/CMakeFiles/paradmm_tests_devsim.dir/devsim/test_cpu_model.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_devsim.dir/devsim/test_cpu_model.cpp.o.d"
+  "/root/repo/tests/devsim/test_gpu_model.cpp" "tests/CMakeFiles/paradmm_tests_devsim.dir/devsim/test_gpu_model.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_devsim.dir/devsim/test_gpu_model.cpp.o.d"
+  "/root/repo/tests/devsim/test_multi_gpu.cpp" "tests/CMakeFiles/paradmm_tests_devsim.dir/devsim/test_multi_gpu.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_devsim.dir/devsim/test_multi_gpu.cpp.o.d"
+  "/root/repo/tests/devsim/test_transfer_model.cpp" "tests/CMakeFiles/paradmm_tests_devsim.dir/devsim/test_transfer_model.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_devsim.dir/devsim/test_transfer_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/paradmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

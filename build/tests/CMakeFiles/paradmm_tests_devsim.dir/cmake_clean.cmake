@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradmm_tests_devsim.dir/devsim/test_cost_model.cpp.o"
+  "CMakeFiles/paradmm_tests_devsim.dir/devsim/test_cost_model.cpp.o.d"
+  "CMakeFiles/paradmm_tests_devsim.dir/devsim/test_cpu_model.cpp.o"
+  "CMakeFiles/paradmm_tests_devsim.dir/devsim/test_cpu_model.cpp.o.d"
+  "CMakeFiles/paradmm_tests_devsim.dir/devsim/test_gpu_model.cpp.o"
+  "CMakeFiles/paradmm_tests_devsim.dir/devsim/test_gpu_model.cpp.o.d"
+  "CMakeFiles/paradmm_tests_devsim.dir/devsim/test_multi_gpu.cpp.o"
+  "CMakeFiles/paradmm_tests_devsim.dir/devsim/test_multi_gpu.cpp.o.d"
+  "CMakeFiles/paradmm_tests_devsim.dir/devsim/test_transfer_model.cpp.o"
+  "CMakeFiles/paradmm_tests_devsim.dir/devsim/test_transfer_model.cpp.o.d"
+  "paradmm_tests_devsim"
+  "paradmm_tests_devsim.pdb"
+  "paradmm_tests_devsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradmm_tests_devsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for paradmm_tests_devsim.
+# This may be replaced when dependencies are built.

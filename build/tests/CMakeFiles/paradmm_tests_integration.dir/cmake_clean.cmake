@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradmm_tests_integration.dir/integration/test_integration.cpp.o"
+  "CMakeFiles/paradmm_tests_integration.dir/integration/test_integration.cpp.o.d"
+  "paradmm_tests_integration"
+  "paradmm_tests_integration.pdb"
+  "paradmm_tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradmm_tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/math/test_matrix.cpp" "tests/CMakeFiles/paradmm_tests_math.dir/math/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_math.dir/math/test_matrix.cpp.o.d"
+  "/root/repo/tests/math/test_minimize.cpp" "tests/CMakeFiles/paradmm_tests_math.dir/math/test_minimize.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_math.dir/math/test_minimize.cpp.o.d"
+  "/root/repo/tests/math/test_stats.cpp" "tests/CMakeFiles/paradmm_tests_math.dir/math/test_stats.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_math.dir/math/test_stats.cpp.o.d"
+  "/root/repo/tests/math/test_vec.cpp" "tests/CMakeFiles/paradmm_tests_math.dir/math/test_vec.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_math.dir/math/test_vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/paradmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradmm_tests_math.dir/math/test_matrix.cpp.o"
+  "CMakeFiles/paradmm_tests_math.dir/math/test_matrix.cpp.o.d"
+  "CMakeFiles/paradmm_tests_math.dir/math/test_minimize.cpp.o"
+  "CMakeFiles/paradmm_tests_math.dir/math/test_minimize.cpp.o.d"
+  "CMakeFiles/paradmm_tests_math.dir/math/test_stats.cpp.o"
+  "CMakeFiles/paradmm_tests_math.dir/math/test_stats.cpp.o.d"
+  "CMakeFiles/paradmm_tests_math.dir/math/test_vec.cpp.o"
+  "CMakeFiles/paradmm_tests_math.dir/math/test_vec.cpp.o.d"
+  "paradmm_tests_math"
+  "paradmm_tests_math.pdb"
+  "paradmm_tests_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradmm_tests_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradmm_tests_parallel.dir/parallel/test_backends.cpp.o"
+  "CMakeFiles/paradmm_tests_parallel.dir/parallel/test_backends.cpp.o.d"
+  "CMakeFiles/paradmm_tests_parallel.dir/parallel/test_thread_pool.cpp.o"
+  "CMakeFiles/paradmm_tests_parallel.dir/parallel/test_thread_pool.cpp.o.d"
+  "paradmm_tests_parallel"
+  "paradmm_tests_parallel.pdb"
+  "paradmm_tests_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradmm_tests_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

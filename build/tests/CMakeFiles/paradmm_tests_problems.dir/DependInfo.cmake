@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/problems/test_lasso.cpp" "tests/CMakeFiles/paradmm_tests_problems.dir/problems/test_lasso.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_problems.dir/problems/test_lasso.cpp.o.d"
+  "/root/repo/tests/problems/test_mpc.cpp" "tests/CMakeFiles/paradmm_tests_problems.dir/problems/test_mpc.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_problems.dir/problems/test_mpc.cpp.o.d"
+  "/root/repo/tests/problems/test_packing.cpp" "tests/CMakeFiles/paradmm_tests_problems.dir/problems/test_packing.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_problems.dir/problems/test_packing.cpp.o.d"
+  "/root/repo/tests/problems/test_svm.cpp" "tests/CMakeFiles/paradmm_tests_problems.dir/problems/test_svm.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_problems.dir/problems/test_svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/paradmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradmm_tests_problems.dir/problems/test_lasso.cpp.o"
+  "CMakeFiles/paradmm_tests_problems.dir/problems/test_lasso.cpp.o.d"
+  "CMakeFiles/paradmm_tests_problems.dir/problems/test_mpc.cpp.o"
+  "CMakeFiles/paradmm_tests_problems.dir/problems/test_mpc.cpp.o.d"
+  "CMakeFiles/paradmm_tests_problems.dir/problems/test_packing.cpp.o"
+  "CMakeFiles/paradmm_tests_problems.dir/problems/test_packing.cpp.o.d"
+  "CMakeFiles/paradmm_tests_problems.dir/problems/test_svm.cpp.o"
+  "CMakeFiles/paradmm_tests_problems.dir/problems/test_svm.cpp.o.d"
+  "paradmm_tests_problems"
+  "paradmm_tests_problems.pdb"
+  "paradmm_tests_problems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradmm_tests_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

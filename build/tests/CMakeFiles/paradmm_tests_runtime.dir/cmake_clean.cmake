@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradmm_tests_runtime.dir/runtime/test_batch_runner.cpp.o"
+  "CMakeFiles/paradmm_tests_runtime.dir/runtime/test_batch_runner.cpp.o.d"
+  "CMakeFiles/paradmm_tests_runtime.dir/runtime/test_problem_registry.cpp.o"
+  "CMakeFiles/paradmm_tests_runtime.dir/runtime/test_problem_registry.cpp.o.d"
+  "CMakeFiles/paradmm_tests_runtime.dir/runtime/test_scheduler.cpp.o"
+  "CMakeFiles/paradmm_tests_runtime.dir/runtime/test_scheduler.cpp.o.d"
+  "paradmm_tests_runtime"
+  "paradmm_tests_runtime.pdb"
+  "paradmm_tests_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradmm_tests_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

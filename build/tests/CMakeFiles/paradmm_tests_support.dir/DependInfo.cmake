@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/test_cli.cpp" "tests/CMakeFiles/paradmm_tests_support.dir/support/test_cli.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_support.dir/support/test_cli.cpp.o.d"
+  "/root/repo/tests/support/test_format.cpp" "tests/CMakeFiles/paradmm_tests_support.dir/support/test_format.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_support.dir/support/test_format.cpp.o.d"
+  "/root/repo/tests/support/test_rng.cpp" "tests/CMakeFiles/paradmm_tests_support.dir/support/test_rng.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_support.dir/support/test_rng.cpp.o.d"
+  "/root/repo/tests/support/test_table.cpp" "tests/CMakeFiles/paradmm_tests_support.dir/support/test_table.cpp.o" "gcc" "tests/CMakeFiles/paradmm_tests_support.dir/support/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/paradmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

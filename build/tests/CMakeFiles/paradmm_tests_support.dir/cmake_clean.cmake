@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradmm_tests_support.dir/support/test_cli.cpp.o"
+  "CMakeFiles/paradmm_tests_support.dir/support/test_cli.cpp.o.d"
+  "CMakeFiles/paradmm_tests_support.dir/support/test_format.cpp.o"
+  "CMakeFiles/paradmm_tests_support.dir/support/test_format.cpp.o.d"
+  "CMakeFiles/paradmm_tests_support.dir/support/test_rng.cpp.o"
+  "CMakeFiles/paradmm_tests_support.dir/support/test_rng.cpp.o.d"
+  "CMakeFiles/paradmm_tests_support.dir/support/test_table.cpp.o"
+  "CMakeFiles/paradmm_tests_support.dir/support/test_table.cpp.o.d"
+  "paradmm_tests_support"
+  "paradmm_tests_support.pdb"
+  "paradmm_tests_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradmm_tests_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

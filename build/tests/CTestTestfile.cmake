@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/paradmm_tests_baselines[1]_include.cmake")
+include("/root/repo/build/tests/paradmm_tests_core[1]_include.cmake")
+include("/root/repo/build/tests/paradmm_tests_devsim[1]_include.cmake")
+include("/root/repo/build/tests/paradmm_tests_integration[1]_include.cmake")
+include("/root/repo/build/tests/paradmm_tests_math[1]_include.cmake")
+include("/root/repo/build/tests/paradmm_tests_parallel[1]_include.cmake")
+include("/root/repo/build/tests/paradmm_tests_problems[1]_include.cmake")
+include("/root/repo/build/tests/paradmm_tests_runtime[1]_include.cmake")
+include("/root/repo/build/tests/paradmm_tests_support[1]_include.cmake")
