@@ -9,6 +9,8 @@
 #include <cmath>
 #include <concepts>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -97,8 +99,21 @@ class JsonResult {
     return *this;
   }
 
-  /// Default output path: BENCH_<id>.json in the working directory.
-  std::string default_path() const { return "BENCH_" + bench_id_ + ".json"; }
+  /// Default output path: BENCH_<id>.json under the repo's bench/results/
+  /// directory (baked in at configure time), so perf history survives a
+  /// clean build.  `PARADMM_BENCH_RESULTS` overrides the directory; when
+  /// neither is available the file lands in the working directory.
+  std::string default_path() const {
+    const std::string name = "BENCH_" + bench_id_ + ".json";
+    if (const char* dir = std::getenv("PARADMM_BENCH_RESULTS")) {
+      return std::string(dir) + "/" + name;
+    }
+#ifdef PARADMM_BENCH_RESULTS_DIR
+    return std::string(PARADMM_BENCH_RESULTS_DIR) + "/" + name;
+#else
+    return name;
+#endif
+  }
 
   void render(std::ostream& out) const {
     out << "{\"bench\": " << quote(bench_id_);
@@ -108,10 +123,29 @@ class JsonResult {
     out << "}\n";
   }
 
-  void write(const std::string& path) const {
+  /// Writes the record to `path`, falling back to the bare filename in the
+  /// cwd when the directory is unusable (e.g. a relocated binary whose
+  /// baked-in results dir does not exist).  Returns the path written.
+  std::string write(const std::string& path) const {
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ignored;  // a failed mkdir surfaces as open failure
+      std::filesystem::create_directories(parent, ignored);
+    }
     std::ofstream out(path);
-    require(out.good(), "cannot open bench JSON output path");
+    if (!out.good()) {
+      const std::string fallback =
+          std::filesystem::path(path).filename().string();
+      if (fallback != path) {
+        out = std::ofstream(fallback);
+        require(out.good(), "cannot open bench JSON output path");
+        render(out);
+        return fallback;
+      }
+      require(false, "cannot open bench JSON output path");
+    }
     render(out);
+    return path;
   }
 
  private:

@@ -45,8 +45,8 @@ int main() {
   }
 
   // A large packing instance crosses the scheduler's fine-grained
-  // threshold: the runner quiesces the small-job lanes and fans its five
-  // phases out over the whole pool.
+  // threshold: its five phases fork over a width-bounded slice of the
+  // pool while the small jobs keep the remaining workers busy.
   packing::PackingJobParams big;
   big.config.circles = 50;  // ~17k graph elements, above the default 16384
   SolverOptions big_options = solve_options;

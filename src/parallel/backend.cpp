@@ -1,5 +1,6 @@
 #include "parallel/backend.hpp"
 
+#include <algorithm>
 #include <barrier>
 #include <thread>
 
@@ -105,10 +106,14 @@ class PersistentBackend final : public ExecutionBackend {
   std::size_t threads_;
 };
 
-// Fork/join over a pool the backend does not own (see make_pool_backend).
+// Width-bounded fork/join over a pool the backend does not own (see
+// make_pool_backend).
 class BorrowedPoolBackend final : public ExecutionBackend {
  public:
-  explicit BorrowedPoolBackend(ThreadPool& pool) : pool_(pool) {}
+  BorrowedPoolBackend(ThreadPool& pool, std::size_t width)
+      : pool_(pool),
+        width_(std::min(width == 0 ? pool.concurrency() : width,
+                        pool.concurrency())) {}
 
   void run(std::span<const Phase> phases, int iterations,
            PhaseTimings* timings) override {
@@ -117,7 +122,8 @@ class BorrowedPoolBackend final : public ExecutionBackend {
         WallTimer timer;
         const Phase& phase = phases[p];
         pool_.parallel_for_chunks(
-            phase.count, [&phase](std::size_t begin, std::size_t end) {
+            phase.count, width_,
+            [&phase](std::size_t begin, std::size_t end) {
               for (std::size_t i = begin; i < end; ++i) phase.apply(i);
             });
         if (timings) timings->add(p, timer.seconds());
@@ -125,17 +131,19 @@ class BorrowedPoolBackend final : public ExecutionBackend {
     }
   }
 
-  std::size_t concurrency() const override { return pool_.concurrency(); }
+  std::size_t concurrency() const override { return width_; }
   std::string_view name() const override { return "pool-fork-join"; }
 
  private:
   ThreadPool& pool_;
+  std::size_t width_;
 };
 
 }  // namespace
 
-std::unique_ptr<ExecutionBackend> make_pool_backend(ThreadPool& pool) {
-  return std::make_unique<BorrowedPoolBackend>(pool);
+std::unique_ptr<ExecutionBackend> make_pool_backend(ThreadPool& pool,
+                                                    std::size_t width) {
+  return std::make_unique<BorrowedPoolBackend>(pool, width);
 }
 
 std::string_view to_string(BackendKind kind) {

@@ -104,10 +104,15 @@ class ThreadPool;
 /// A fork/join backend over a *borrowed* ThreadPool: identical schedule and
 /// numerics to kForkJoin, but the pool is shared with other users instead
 /// of being owned by the backend.  The batch-solve runtime uses this to run
-/// many solver instances over one persistent pool.  The pool must outlive
-/// the backend, and callers must not run two solves on the same returned
-/// backend concurrently (distinct backends over the same pool are fine —
-/// their loops serialize through the pool).
-std::unique_ptr<ExecutionBackend> make_pool_backend(ThreadPool& pool);
+/// many solver instances over one persistent pool.  `width` bounds each
+/// phase fork to that many pool threads (clamped to the pool size; 0 means
+/// the whole pool): the chunk partition depends only on (count, width), so
+/// a solve's trajectory is bitwise reproducible for a fixed width, and two
+/// backends of width k and pool-k genuinely run side by side instead of
+/// serializing.  The pool must outlive the backend, and callers must not
+/// run two solves on the same returned backend concurrently (distinct
+/// backends over the same pool are fine).
+std::unique_ptr<ExecutionBackend> make_pool_backend(ThreadPool& pool,
+                                                    std::size_t width = 0);
 
 }  // namespace paradmm

@@ -1,5 +1,6 @@
 #include "parallel/thread_pool.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "support/error.hpp"
@@ -7,15 +8,17 @@
 namespace paradmm {
 
 namespace {
-// The pool whose worker_loop the current thread is running, if any; lets
-// parallel_for reject self-deadlocking calls from the pool's own workers.
+// The pool whose worker_loop the current thread is running (and its rank),
+// if any; gives submit() its queue affinity.
 thread_local const ThreadPool* current_worker_pool = nullptr;
+thread_local std::size_t current_worker_rank = 0;
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   require(threads >= 1, "ThreadPool needs at least one thread");
   workers_.reserve(threads - 1);
-  for (std::size_t rank = 1; rank < threads; ++rank) {
+  queues_.resize(threads - 1);
+  for (std::size_t rank = 0; rank + 1 < threads; ++rank) {
     workers_.emplace_back([this, rank] { worker_loop(rank); });
   }
 }
@@ -41,61 +44,92 @@ std::pair<std::size_t, std::size_t> ThreadPool::static_chunk(
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
-  parallel_for_chunks(count, [&body](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
-  });
+  parallel_for(count, concurrency(), body);
+}
+
+void ThreadPool::parallel_for(std::size_t count, std::size_t width,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(count, width,
+                      [&body](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
 }
 
 void ThreadPool::parallel_for_chunks(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for_chunks(count, concurrency(), body);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t count, std::size_t width,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
-  require(current_worker_pool != this,
-          "parallel_for called from this pool's own worker would "
-          "self-deadlock; submitted tasks must not fork on their pool");
-  const std::size_t parts = concurrency();
-  if (parts == 1 || count == 1) {
+  if (width == 0) width = concurrency();  // same sentinel as make_pool_backend
+  // The partition depends only on (count, width): min(width, count) chunks,
+  // never resized to the pool or to how many threads actually help — that
+  // is what makes a fixed-width solve bitwise reproducible.
+  const std::size_t parts =
+      std::min(count, std::min<std::size_t>(width, concurrency()));
+  if (parts == 1) {
     body(0, count);
     return;
   }
 
-  // One fork at a time: concurrent callers (e.g. two borrowed-pool
-  // backends) would otherwise clobber the shared Job slot mid-flight.
-  std::lock_guard fork_lock(fork_mutex_);
-  {
-    std::lock_guard lock(mutex_);
-    job_.chunk_body = &body;
-    job_.count = count;
-    ++job_.epoch;
-    job_.error = nullptr;
-    workers_remaining_ = workers_.size();
-  }
-  wake_workers_.notify_all();
+  ForkGroup group;
+  group.body = &body;
+  group.count = count;
+  group.parts = parts;
+  group.unfinished = parts;
 
-  // The calling thread processes chunk 0 while workers take 1..parts-1.
-  // Exceptions from any participant's chunk (including our own) are
-  // collected into the job and rethrown here after the join — unwinding
-  // before the workers finish would destroy state they still reference.
-  const auto [begin, end] = static_chunk(count, 0, parts);
-  try {
-    body(begin, end);
-  } catch (...) {
-    record_job_error(std::current_exception());
+  std::unique_lock lock(mutex_);
+  groups_.push_back(&group);
+  lock.unlock();
+  // Wake only as many workers as the group can use: a width-2 fork on a
+  // 32-thread pool must not stampede 31 sleepers five times per iteration.
+  const std::size_t helpers = std::min(parts - 1, workers_.size());
+  if (helpers == workers_.size()) {
+    wake_workers_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < helpers; ++i) wake_workers_.notify_one();
   }
+  lock.lock();
 
-  std::exception_ptr error;
-  {
-    std::unique_lock lock(mutex_);
-    job_done_.wait(lock, [this] { return workers_remaining_ == 0; });
-    job_.chunk_body = nullptr;
-    error = std::exchange(job_.error, nullptr);
+  // Self-serve: claim our own group's chunks until none are left, then wait
+  // out the ones other threads claimed.  Because the forking thread drains
+  // every unclaimed chunk itself, the fork completes even if no worker ever
+  // helps — which is why forking from inside a submitted task cannot
+  // deadlock.
+  while (group.next_rank < group.parts) {
+    run_group_chunk(group, group.next_rank++, lock);
   }
-  if (error) std::rethrow_exception(error);
+  group.done.wait(lock, [&group] { return group.unfinished == 0; });
+  groups_.erase(std::find(groups_.begin(), groups_.end(), &group));
+  lock.unlock();
+
+  if (group.error) std::rethrow_exception(group.error);
 }
 
-void ThreadPool::record_job_error(std::exception_ptr error) {
-  std::lock_guard lock(mutex_);
-  if (!job_.error) job_.error = std::move(error);
+void ThreadPool::run_group_chunk(ForkGroup& group, std::size_t rank,
+                                 std::unique_lock<std::mutex>& lock) {
+  lock.unlock();
+  const auto [begin, end] = static_chunk(group.count, rank, group.parts);
+  std::exception_ptr error;
+  try {
+    (*group.body)(begin, end);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock.lock();
+  if (error && !group.error) group.error = std::move(error);
+  if (--group.unfinished == 0) group.done.notify_one();
+}
+
+ThreadPool::ForkGroup* ThreadPool::claimable_group_locked() {
+  for (ForkGroup* group : groups_) {
+    if (group->next_rank < group->parts) return group;
+  }
+  return nullptr;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -107,10 +141,38 @@ void ThreadPool::submit(std::function<void()> task) {
   }
   {
     std::lock_guard lock(mutex_);
-    tasks_.push_back(std::move(task));
+    const std::size_t home = current_worker_pool == this
+                                 ? current_worker_rank
+                                 : next_queue_++ % queues_.size();
+    queues_[home].push_back(std::move(task));
+    ++queued_count_;
     ++tasks_in_flight_;
   }
   wake_workers_.notify_one();
+}
+
+bool ThreadPool::pop_task_locked(std::size_t home,
+                                 std::function<void()>& task) {
+  if (queued_count_ == 0) return false;
+  const std::size_t n = queues_.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t q = (home + probe) % n;
+    if (queues_[q].empty()) continue;
+    if (probe == 0) {
+      // Own queue: oldest first, so a worker drains its backlog in
+      // submission order.
+      task = std::move(queues_[q].front());
+      queues_[q].pop_front();
+    } else {
+      // Steal from the opposite end, leaving the victim's oldest work for
+      // the victim itself.
+      task = std::move(queues_[q].back());
+      queues_[q].pop_back();
+    }
+    --queued_count_;
+    return true;
+  }
+  return false;
 }
 
 void ThreadPool::finish_task() {
@@ -126,7 +188,7 @@ bool ThreadPool::pop_and_run_task(bool only_if_backlogged) {
   std::function<void()> task;
   {
     std::lock_guard lock(mutex_);
-    const std::size_t queued = tasks_.size();
+    const std::size_t queued = queued_count_;
     if (queued == 0) return false;
     if (only_if_backlogged) {
       const std::size_t running = tasks_in_flight_ - queued;
@@ -134,8 +196,11 @@ bool ThreadPool::pop_and_run_task(bool only_if_backlogged) {
           workers_.size() > running ? workers_.size() - running : 0;
       if (queued <= free_workers) return false;  // an idle worker takes it
     }
-    task = std::move(tasks_.front());
-    tasks_.pop_front();
+    // External helpers rotate their starting queue so repeated helping
+    // spreads across workers; the pop itself shares the workers' path.
+    if (!pop_task_locked(steal_cursor_++ % queues_.size(), task)) {
+      return false;  // unreachable: queued > 0 under the same lock
+    }
   }
   try {
     task();
@@ -160,60 +225,41 @@ void ThreadPool::wait_tasks_idle() {
 
 std::size_t ThreadPool::queued_tasks() const {
   std::lock_guard lock(mutex_);
-  return tasks_.size();
+  return queued_count_;
 }
 
 void ThreadPool::worker_loop(std::size_t rank) {
   current_worker_pool = this;
-  std::uint64_t seen_epoch = 0;
+  current_worker_rank = rank;
+  std::unique_lock lock(mutex_);
   for (;;) {
-    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
-    std::size_t count = 0;
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      wake_workers_.wait(lock, [&] {
-        return shutting_down_ ||
-               (job_.chunk_body && job_.epoch != seen_epoch) ||
-               !tasks_.empty();
-      });
-      if (shutting_down_) return;
-      if (job_.chunk_body && job_.epoch != seen_epoch) {
-        // Phase chunks outrank queued tasks: a fork/join in flight is
-        // latency-sensitive (the caller blocks at the phase barrier).
-        seen_epoch = job_.epoch;
-        body = job_.chunk_body;
-        count = job_.count;
-      } else {
-        task = std::move(tasks_.front());
-        tasks_.pop_front();
-      }
+    wake_workers_.wait(lock, [&] {
+      return shutting_down_ || claimable_group_locked() != nullptr ||
+             queued_count_ > 0;
+    });
+    if (shutting_down_) return;
+
+    if (ForkGroup* group = claimable_group_locked()) {
+      // Fork chunks outrank queued tasks: a fork in flight is
+      // latency-sensitive (its caller blocks at the phase barrier).
+      run_group_chunk(*group, group->next_rank++, lock);
+      continue;
     }
 
-    if (body) {
-      const auto [begin, end] = static_chunk(count, rank, workers_.size() + 1);
-      try {
-        if (begin < end) (*body)(begin, end);
-      } catch (...) {
-        // Must not escape the worker thread; handed to the caller instead.
-        record_job_error(std::current_exception());
-      }
-      {
-        std::lock_guard lock(mutex_);
-        --workers_remaining_;
-      }
-      job_done_.notify_one();
-    } else {
-      try {
-        task();
-      } catch (...) {
-        // Fire-and-forget: a worker has no caller to rethrow to, and
-        // terminating the process over one bad task is worse than dropping
-        // the exception.  (Helper threads running tasks via
-        // try_run_one_task DO receive the exception by rethrow.)
-      }
-      finish_task();
+    std::function<void()> task;
+    if (!pop_task_locked(rank, task)) continue;
+    lock.unlock();
+    try {
+      task();
+    } catch (...) {
+      // Fire-and-forget: a worker has no caller to rethrow to, and
+      // terminating the process over one bad task is worse than dropping
+      // the exception.  (Helper threads running tasks via try_run_one_task
+      // DO receive the exception by rethrow.)
     }
+    task = nullptr;  // release captures before the bookkeeping below
+    finish_task();
+    lock.lock();
   }
 }
 

@@ -1,17 +1,34 @@
-// A small fixed-size worker pool with a blocking parallel_for and an
-// external task queue.
+// A fixed-size worker pool with width-bounded blocking fork/join and
+// work-stealing per-worker run queues.
 //
 // parallel_for is the std::thread counterpart of the paper's OpenMP
 // strategy A (five `#pragma omp parallel for` loops per ADMM iteration):
-// each call forks the index range across the workers and joins before
+// each call forks the index range across participants and joins before
 // returning.  Workers are created once and reused, so the per-loop cost is
-// one mutex round-trip per worker, not thread creation.
+// one mutex round-trip per participant, not thread creation.
 //
-// submit() feeds the same workers fire-and-forget tasks (the batch-solve
-// runtime schedules whole independent solves this way).  Phase chunks take
-// priority over queued tasks, but a worker already inside a task finishes
-// it before joining a parallel_for — callers that mix long tasks with
-// parallel_for should expect the fork to wait for those workers.
+// Two properties distinguish this pool from a plain fork/join pool:
+//
+//  * Forks are *width-bounded groups*, not whole-pool broadcasts.  A
+//    parallel_for of width k splits its range into min(k, count) chunks
+//    whose partition depends only on (count, k) — never on which threads
+//    run them — so results are bitwise identical for a fixed width no
+//    matter how chunks land.  At most k threads ever work on one group,
+//    which lets several medium-width forks (two half-pool solves) proceed
+//    side by side instead of serializing.  The forking thread claims its
+//    own group's unclaimed chunks while it waits, so a fork always
+//    completes even if every other thread is busy — which also makes it
+//    legal to fork from *inside* a submitted task (the batch runtime runs
+//    whole solves as tasks that fork per phase).
+//
+//  * submit() feeds fire-and-forget tasks into per-worker run queues.  A
+//    task submitted from a pool worker lands on that worker's own queue
+//    (affinity); external submitters round-robin across queues.  An idle
+//    worker drains its own queue first and then steals from the others, so
+//    one backed-up worker cannot strand tasks while its peers sleep.
+//    Fork-group chunks outrank queued tasks (a fork in flight has a caller
+//    blocked at the phase barrier); a worker already inside a task
+//    finishes it before helping a fork.
 #pragma once
 
 #include <condition_variable>
@@ -38,21 +55,30 @@ class ThreadPool {
   std::size_t concurrency() const { return workers_.size() + 1; }
 
   /// Invokes body(i) for every i in [0, count), split into contiguous
-  /// static chunks (one per participant, like OpenMP's schedule(static)).
-  /// Blocks until every invocation has completed.  `body` must be safe to
-  /// call concurrently for distinct indices.  Concurrent calls from
-  /// different external threads serialize against each other; calling from
-  /// one of this pool's own workers (e.g. inside a submitted task) is a
-  /// precondition error — it would self-deadlock.  If any chunk throws,
-  /// the join still completes and the first exception is rethrown to the
-  /// caller (remaining chunks run; later exceptions are dropped).
+  /// static chunks.  Blocks until every invocation has completed.  `body`
+  /// must be safe to call concurrently for distinct indices.  With no
+  /// `width` (or width 0, the make_pool_backend sentinel) the fork spans
+  /// the whole pool; a width-k call is bounded to at most min(k, count)
+  /// concurrent participants and its chunk partition depends only on
+  /// (count, width), with width clamped to the pool size.  Concurrent forks — from different
+  /// external threads or from inside submitted tasks — run side by side as
+  /// independent groups.  Forking from inside a *chunk body* of the same
+  /// pool is also safe (the nested group is self-served) but serializes
+  /// against nothing and is rarely useful.  If any chunk throws, the join
+  /// still completes and the first exception is rethrown to the caller
+  /// (remaining chunks run; later exceptions are dropped).
   void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+  void parallel_for(std::size_t count, std::size_t width,
                     const std::function<void(std::size_t)>& body);
 
   /// Invokes body(begin, end) on each participant's chunk instead of per
   /// index — lets hot loops avoid a std::function call per element.
   void parallel_for_chunks(
       std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& body);
+  void parallel_for_chunks(
+      std::size_t count, std::size_t width,
       const std::function<void(std::size_t, std::size_t)>& body);
 
   /// Static chunk [begin, end) for participant `rank` of `parts` over
@@ -61,64 +87,81 @@ class ThreadPool {
                                                           std::size_t rank,
                                                           std::size_t parts);
 
-  /// Enqueues a fire-and-forget task for an idle worker.  Tasks run
-  /// concurrently with each other and interleave with parallel_for chunks
-  /// (chunks have priority).  With no workers (threads == 1) the task runs
-  /// inline before submit returns.  Destroying the pool discards tasks that
-  /// have not started; callers needing completion must track it themselves
-  /// (e.g. via state captured by the task).  An exception escaping a task
-  /// is dropped when a worker ran it (fire-and-forget has no caller to
-  /// receive it); a helper thread running it via try_run_one_task gets it
-  /// rethrown.  Tasks that care must catch and record their own errors.
+  /// Enqueues a fire-and-forget task.  Called from one of this pool's own
+  /// workers, the task goes on that worker's run queue; otherwise queues
+  /// are filled round-robin.  Idle workers steal across queues, so any
+  /// task eventually runs.  Tasks run concurrently with each other and
+  /// interleave with fork groups (group chunks have priority).  With no
+  /// workers (threads == 1) the task runs inline before submit returns.
+  /// Destroying the pool discards tasks that have not started; callers
+  /// needing completion must track it themselves (e.g. via state captured
+  /// by the task).  An exception escaping a task is dropped when a worker
+  /// ran it (fire-and-forget has no caller to receive it); a helper thread
+  /// running it via try_run_one_task gets it rethrown.  Tasks that care
+  /// must catch and record their own errors.
   void submit(std::function<void()> task);
 
-  /// Pops one queued task (if any) and runs it on the calling thread.
-  /// Returns whether a task ran.  Lets an otherwise-idle external thread
-  /// (e.g. the batch runtime's dispatcher) add a concurrent lane instead
-  /// of sleeping while work is queued.
+  /// Pops one queued task from any run queue (if any) and runs it on the
+  /// calling thread.  Returns whether a task ran.  Lets an otherwise-idle
+  /// external thread (e.g. the batch runtime's dispatcher) add a
+  /// concurrent lane instead of sleeping while work is queued.
   bool try_run_one_task();
 
-  /// Like try_run_one_task, but only when the queue is deeper than the
-  /// workers not currently running a task could absorb — so a helping
+  /// Like try_run_one_task, but only when the queues hold more tasks than
+  /// the workers not currently running one could absorb — so a helping
   /// thread that must stay responsive (the dispatcher) never steals work
   /// an idle worker would have picked up anyway.
   bool try_run_one_backlogged_task();
 
-  /// Blocks until no submitted task is queued or running.  Combined with
-  /// try_run_one_task this lets a caller quiesce the task lanes before a
-  /// latency-sensitive parallel_for sequence (phase barriers otherwise
-  /// wait on workers that are mid-task).
+  /// Blocks until no submitted task is queued or running.
   void wait_tasks_idle();
 
-  /// Tasks submitted but not yet picked up by a worker.
+  /// Tasks submitted but not yet picked up by a worker (all queues).
   std::size_t queued_tasks() const;
 
  private:
-  void worker_loop(std::size_t rank);
-  void finish_task();
-  bool pop_and_run_task(bool only_if_backlogged);
-  void record_job_error(std::exception_ptr error);
-
-  struct Job {
-    // Non-null while a parallel_for is in flight.
-    const std::function<void(std::size_t, std::size_t)>* chunk_body = nullptr;
+  // One in-flight width-bounded fork: `parts` chunks claimed one at a time
+  // under the pool mutex by workers and by the forking thread itself.
+  // Stack-allocated in parallel_for_chunks; lives in `groups_` until every
+  // chunk has finished.
+  struct ForkGroup {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::size_t count = 0;
-    std::uint64_t epoch = 0;
-    // First exception thrown by any participant's chunk; rethrown to the
-    // parallel_for caller after the join (later ones are dropped).
+    std::size_t parts = 0;       // number of chunks == effective width
+    std::size_t next_rank = 0;   // next unclaimed chunk
+    std::size_t unfinished = 0;  // chunks claimed-or-not yet to complete
+    // First exception thrown by any chunk; rethrown to the forking thread
+    // after the join (later ones are dropped).
     std::exception_ptr error;
+    std::condition_variable done;  // signaled when unfinished hits zero
   };
 
+  void worker_loop(std::size_t rank);
+  // Runs chunk `rank` of `group` outside the lock, then re-locks to record
+  // completion (and the first error).  `lock` is held on entry and exit.
+  void run_group_chunk(ForkGroup& group, std::size_t rank,
+                       std::unique_lock<std::mutex>& lock);
+  // First group with an unclaimed chunk, in fork order (FIFO).
+  ForkGroup* claimable_group_locked();
+  // Pops a task: own queue front first (for workers), then steals from the
+  // other queues.  `home` is the preferred queue (workers pass their rank;
+  // external helpers pass the rotating steal cursor).
+  bool pop_task_locked(std::size_t home, std::function<void()>& task);
+  void finish_task();
+  bool pop_and_run_task(bool only_if_backlogged);
+
   std::vector<std::thread> workers_;
-  std::mutex fork_mutex_;  // serializes parallel_for callers
   mutable std::mutex mutex_;
   std::condition_variable wake_workers_;
-  std::condition_variable job_done_;
   std::condition_variable tasks_idle_;
-  Job job_;
-  std::deque<std::function<void()>> tasks_;
+  std::vector<ForkGroup*> groups_;  // active forks, oldest first
+  // Run queues: one per worker.  With zero workers there are no queues and
+  // submit() runs tasks inline.
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::size_t next_queue_ = 0;       // round-robin cursor for external submits
+  std::size_t steal_cursor_ = 0;     // rotating start for external helpers
+  std::size_t queued_count_ = 0;     // sum of queue sizes (O(1) idle check)
   std::size_t tasks_in_flight_ = 0;  // queued + currently running
-  std::size_t workers_remaining_ = 0;
   bool shutting_down_ = false;
 };
 

@@ -1,6 +1,9 @@
 #include "runtime/batch_runner.hpp"
 
+#include <algorithm>
 #include <utility>
+
+#include "parallel/backend.hpp"
 
 namespace paradmm::runtime {
 
@@ -27,8 +30,14 @@ std::size_t resolve_threads(std::size_t requested) {
 
 BatchRunner::BatchRunner(BatchRunnerOptions options)
     : pool_(resolve_threads(options.threads)),
-      scheduler_(options.scheduler, pool_.concurrency()),
-      pool_backend_(make_pool_backend(pool_)) {
+      // Solves run as tasks on the pool's workers, and a fork started from
+      // a worker can be served by the workers only (the dispatcher lane
+      // plans jobs and helps with queued tasks, not fork chunks) — so the
+      // widest useful fine-grained plan is the worker count, not the full
+      // pool concurrency.  Planning wider would split phases into more
+      // chunks than threads able to run them, inflating phase latency.
+      scheduler_(options.scheduler,
+                 std::max<std::size_t>(1, pool_.concurrency() - 1)) {
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -121,30 +130,49 @@ void BatchRunner::dispatcher_loop() {
       queue_.pop_front();
     }
 
-    {
-      std::lock_guard job_lock(job->mutex);
-      job->plan = scheduler_.plan(*job->graph);
-      job->planned = true;
+    // A job cancelled while queued is finalized here instead of being
+    // handed to the pool: shipping it to execute() just to notice the
+    // cancel would occupy a worker slot ahead of live jobs.
+    if (job->cancel_requested.load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard job_lock(job->mutex);
+        job->plan = JobPlan{};
+        job->planned = true;
+      }
+      finalize(job, JobState::kCancelled, SolverReport{}, {}, 0.0,
+               /*ran=*/false);
+      continue;
     }
 
-    if (job->plan.fine_grained()) {
-      // Large job: run on the dispatcher thread, phases fanned out over the
-      // shared pool.  First quiesce the task lanes — drain queued small
-      // solves here and wait out in-flight ones — so the job's per-phase
-      // barriers aren't each stalled behind a whole small solve.  A job
-      // already cancelled skips the quiesce; execute() finalizes it
-      // immediately without solving.
-      if (!job->cancel_requested.load(std::memory_order_relaxed)) {
-        while (pool_.try_run_one_task()) {
-        }
-        pool_.wait_tasks_idle();
-      }
-      execute(job);
-    } else {
-      // Small job: whole solve on one worker; the dispatcher moves straight
-      // on to the next job, so independent solves run concurrently.
-      pool_.submit([this, job] { execute(job); });
+    // plan() may run a user-supplied cost model; a throw must fail the one
+    // job, not escape this thread and terminate the process (execute()
+    // gives user code on workers the same containment).
+    JobPlan plan;
+    std::string plan_error;
+    try {
+      plan = scheduler_.plan(*job->graph);
+    } catch (const std::exception& caught) {
+      plan_error = caught.what();
+    } catch (...) {
+      plan_error = "unknown exception from Scheduler::plan";
     }
+    {
+      std::lock_guard job_lock(job->mutex);
+      job->plan = plan;
+      job->planned = true;
+    }
+    if (!plan_error.empty()) {
+      finalize(job, JobState::kFailed, SolverReport{}, std::move(plan_error),
+               0.0, /*ran=*/false);
+      continue;
+    }
+
+    // Every job — serial or fine-grained — runs as a pool task; the
+    // dispatcher only assigns widths, so a wide job never blocks dispatch
+    // of the jobs behind it.  A fine-grained solve forks width-bounded
+    // groups from its worker; idle workers claim the chunks, so two
+    // width-k jobs genuinely overlap when 2k <= pool.
+    pool_.submit([this, job] { execute(job); });
   }
 }
 
@@ -159,6 +187,7 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
     }
     job->state = JobState::kRunning;
   }
+  collector_.on_start(job->plan.intra_threads);
   job->changed.notify_all();
 
   WallTimer timer;
@@ -176,7 +205,13 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
   try {
     SolverOptions options = job->options;
     if (job->plan.fine_grained()) {
-      AdmmSolver solver(*job->graph, options, *pool_backend_);
+      // Width-bounded borrowed-pool backend: the solve's five phases fork
+      // over at most intra_threads workers, leaving the rest of the pool
+      // to concurrent jobs.  The backend is per-job and cheap (no threads
+      // of its own).
+      const auto backend =
+          make_pool_backend(pool_, job->plan.intra_threads);
+      AdmmSolver solver(*job->graph, options, *backend);
       report = solver.run(callback);
     } else {
       options.backend = BackendKind::kSerial;

@@ -6,18 +6,24 @@
 // the same hardware.  The BatchRunner accepts SolveJobs, and a Scheduler
 // picks each job's execution mode by graph size:
 //
-//   * small graphs — whole-solve-per-worker: the solve is submitted as one
-//     task to the shared ThreadPool and runs serially on a worker, so
-//     independent small solves fill all cores with zero intra-solve
-//     synchronization;
-//   * large graphs — the dispatcher thread runs the solve itself with the
-//     pool's fine-grained phase parallelism (the paper's fork/join
-//     strategy over a borrowed pool), which only pays past the size
-//     threshold the scheduler encodes.
+//   * small graphs — whole-solve-per-worker: the solve runs serially on
+//     one worker, so independent small solves fill all cores with zero
+//     intra-solve synchronization;
+//   * large graphs — fine-grained with a *partial* width k <= pool (the
+//     paper's fork/join strategy bounded to k threads), sized to the graph
+//     so that two medium jobs fork over half the pool each, side by side.
+//
+// Every solve — serial or fine-grained — runs as a task on the pool's
+// work-stealing per-worker run queues; a fine-grained solve forks each of
+// its five phases over a width-k group from whatever thread its task
+// landed on.  The dispatcher thread only plans widths and forwards jobs
+// (dropping ones already cancelled), so a wide job never head-of-line
+// blocks the queue behind it.
 //
 // Jobs are dispatched in submission order; handles expose state, blocking
 // wait, cooperative cancellation, and the final report.  Runtime counters
-// (jobs/sec, queue depth, utilization) are available via metrics().
+// (jobs/sec, queue depth, utilization, per-width occupancy) are available
+// via metrics().
 #pragma once
 
 #include <any>
@@ -27,7 +33,6 @@
 #include <string>
 #include <thread>
 
-#include "parallel/backend.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/problem_registry.hpp"
@@ -83,7 +88,6 @@ class BatchRunner {
 
   ThreadPool pool_;
   Scheduler scheduler_;
-  std::unique_ptr<ExecutionBackend> pool_backend_;
   MetricsCollector collector_;
   WallTimer since_start_;
 

@@ -25,6 +25,28 @@ void RuntimeMetrics::print(std::ostream& out) const {
   table.add_row({"job wall max", format_duration(max_job_seconds)});
   table.add_row(
       {"worker utilization", format_fixed(100.0 * worker_utilization(), 1) + "%"});
+  // Union of the three maps: a width whose first job is still mid-flight
+  // must already show its running count.
+  std::map<std::size_t, std::size_t> widths;
+  const auto value_or_zero = [](const std::map<std::size_t, std::size_t>& map,
+                                std::size_t width) {
+    const auto it = map.find(width);
+    return it == map.end() ? std::size_t{0} : it->second;
+  };
+  for (const auto& entry : finished_by_width) widths[entry.first];
+  for (const auto& entry : running_by_width) widths[entry.first];
+  for (const auto& entry : peak_running_by_width) widths[entry.first];
+  for (const auto& entry : widths) {
+    const std::size_t width = entry.first;
+    table.add_row(
+        {"width " + std::to_string(width) + " jobs",
+         std::to_string(value_or_zero(finished_by_width, width)) +
+             " finished, " +
+             std::to_string(value_or_zero(running_by_width, width)) +
+             " running, peak " +
+             std::to_string(value_or_zero(peak_running_by_width, width)) +
+             " concurrent"});
+  }
   table.print(out);
 }
 
@@ -32,6 +54,13 @@ void MetricsCollector::on_submit(std::size_t queue_depth) {
   std::lock_guard lock(mutex_);
   ++metrics_.submitted;
   metrics_.peak_queue_depth = std::max(metrics_.peak_queue_depth, queue_depth);
+}
+
+void MetricsCollector::on_start(std::size_t threads_used) {
+  std::lock_guard lock(mutex_);
+  const std::size_t running = ++metrics_.running_by_width[threads_used];
+  auto& peak = metrics_.peak_running_by_width[threads_used];
+  peak = std::max(peak, running);
 }
 
 void MetricsCollector::on_finish(JobState outcome, double wall_seconds,
@@ -44,6 +73,8 @@ void MetricsCollector::on_finish(JobState outcome, double wall_seconds,
     default: break;
   }
   if (!ran) return;  // cancelled-while-queued: no solve to account for
+  --metrics_.running_by_width[threads_used];
+  ++metrics_.finished_by_width[threads_used];
   ++metrics_.ran_jobs;
   if (threads_used > 1) ++metrics_.fine_grained_jobs;
   metrics_.total_job_seconds += wall_seconds;

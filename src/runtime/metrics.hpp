@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <map>
 #include <mutex>
 #include <ostream>
 
@@ -23,6 +24,16 @@ struct RuntimeMetrics {
   std::size_t peak_queue_depth = 0;
   std::size_t fine_grained_jobs = 0;  ///< jobs the scheduler ran intra-parallel
   std::size_t ran_jobs = 0;  ///< finished jobs that actually executed a solve
+
+  /// Per-width occupancy: how many solves of each intra-solve width are
+  /// running right now, the most that ever ran at once, and how many have
+  /// finished.  Two width-2 jobs sharing a 4-thread pool show up here as
+  /// running_by_width[2] == 2 — the observable signature of partial-width
+  /// scheduling (the PR-1 dispatcher could never exceed 1 for any width
+  /// above 1).
+  std::map<std::size_t, std::size_t> running_by_width;
+  std::map<std::size_t, std::size_t> peak_running_by_width;
+  std::map<std::size_t, std::size_t> finished_by_width;
 
   double elapsed_seconds = 0.0;     ///< since the runner started
   double busy_seconds = 0.0;        ///< sum over jobs of wall * threads used
@@ -61,9 +72,13 @@ struct RuntimeMetrics {
 class MetricsCollector {
  public:
   void on_submit(std::size_t queue_depth);
+  /// A solve of `threads_used` intra-width just started executing; bumps
+  /// the per-width running gauge (and its peak).
+  void on_start(std::size_t threads_used);
   /// `ran` is false for jobs finalized without executing (cancelled while
-  /// queued): they count toward their outcome tally but not toward the
-  /// wall-time / busy / fine-grained statistics.
+  /// queued or dropped at dispatch): they count toward their outcome tally
+  /// but not toward the wall-time / busy / per-width statistics.  A `ran`
+  /// job must have been announced via on_start.
   void on_finish(JobState outcome, double wall_seconds,
                  std::size_t threads_used, bool ran);
 

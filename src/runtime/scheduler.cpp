@@ -1,22 +1,77 @@
 #include "runtime/scheduler.hpp"
 
+#include <algorithm>
+
+#include "devsim/cost_model.hpp"
 #include "support/error.hpp"
 
 namespace paradmm::runtime {
 
 Scheduler::Scheduler(SchedulerOptions options, std::size_t pool_threads)
-    : options_(options), pool_threads_(pool_threads) {
+    : options_(std::move(options)), pool_threads_(pool_threads) {
   require(pool_threads >= 1, "Scheduler needs at least one pool thread");
+  require(options_.fine_grained_threshold >= 1,
+          "fine_grained_threshold must be >= 1: a zero threshold would "
+          "classify every job (even an empty graph) as fine-grained and "
+          "serialize the whole batch");
+}
+
+std::size_t Scheduler::width_cap() const {
+  return options_.max_intra_threads == 0
+             ? pool_threads_
+             : std::min(options_.max_intra_threads, pool_threads_);
 }
 
 JobPlan Scheduler::plan(const FactorGraph& graph) const {
   JobPlan plan;
   plan.elements = graph.elements();
   const bool large = plan.elements >= options_.fine_grained_threshold;
-  if (large && !options_.disable_fine_grained && pool_threads_ > 1) {
-    plan.intra_threads = pool_threads_;
+  const std::size_t cap = width_cap();
+  if (!large || options_.disable_fine_grained || cap < 2) return plan;
+
+  if (options_.cost_model) {
+    // Double the width while each doubling is predicted to cut iteration
+    // time by >= 25%; past that knee the extra threads help other jobs
+    // more than this one.  A graph the model says does not even benefit
+    // from 2 threads stays serial-per-worker despite its size.
+    std::vector<std::size_t> ladder{1};
+    while (ladder.back() * 2 <= cap) ladder.push_back(ladder.back() * 2);
+    const std::vector<double> seconds = options_.cost_model(graph, ladder);
+    require(seconds.size() == ladder.size(),
+            "cost model must return one prediction per candidate width");
+    std::size_t pick = 0;
+    while (pick + 1 < ladder.size() &&
+           seconds[pick + 1] <= 0.75 * seconds[pick]) {
+      ++pick;
+    }
+    plan.intra_threads = ladder[pick];
+  } else {
+    // Size-proportional default: one thread per threshold's worth of
+    // elements, at least 2 (it crossed the threshold), at most the cap —
+    // so a job twice the threshold gets 2 threads and leaves the rest of
+    // the pool to its neighbors.
+    plan.intra_threads = std::clamp<std::size_t>(
+        plan.elements / options_.fine_grained_threshold, 2, cap);
   }
   return plan;
+}
+
+WidthCostModel devsim_width_model(devsim::MulticoreSpec spec) {
+  return [spec](const FactorGraph& graph,
+                std::span<const std::size_t> widths) {
+    // One O(graph) cost extraction per plan() call, reused for every
+    // candidate width (the per-width model evaluation is just arithmetic).
+    const devsim::IterationCosts costs =
+        devsim::extract_iteration_costs(graph);
+    std::vector<double> seconds;
+    seconds.reserve(widths.size());
+    for (const std::size_t threads : widths) {
+      seconds.push_back(devsim::multicore_iteration_seconds(
+          costs, spec, static_cast<int>(threads),
+          devsim::OmpStrategy::kForkJoinPerPhase));
+    }
+    return seconds;
+  };
 }
 
 }  // namespace paradmm::runtime

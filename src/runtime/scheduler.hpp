@@ -5,32 +5,67 @@
 // fork/join and barrier costs are amortized over the phase work; below that
 // threshold a solve runs fastest on a single core.  The batch runtime
 // exploits exactly this: small jobs run whole-solve-per-worker (many solves
-// concurrently, zero intra-solve synchronization), large jobs get the
-// shared pool's fine-grained phase parallelism to themselves.
+// concurrently, zero intra-solve synchronization), large jobs get
+// *partial* fine-grained parallelism — a width k <= pool proportional to
+// how far past the threshold the graph is, so two medium jobs can each
+// fork over half the pool side by side instead of one maximal-width solve
+// serializing everything behind it.
+//
+// The width can also be driven by devsim's analytic multicore model: a
+// cost-model hook reports predicted per-iteration seconds at each
+// candidate width, and the scheduler keeps doubling the width while each
+// doubling still buys a meaningful speedup (the knee of the paper's
+// speedup curves).  See devsim_width_model().
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
 
 #include "core/factor_graph.hpp"
+#include "devsim/cpu_model.hpp"
 
 namespace paradmm::runtime {
+
+/// Predicted seconds for one ADMM iteration of `graph` at each candidate
+/// width in `widths` (result is index-parallel to `widths`).  Only the
+/// relative values matter to the scheduler.  The whole ladder comes in one
+/// call so a model can run its per-graph analysis (e.g. devsim cost
+/// extraction, O(graph)) once and reuse it across every candidate.
+using WidthCostModel = std::function<std::vector<double>(
+    const FactorGraph& graph, std::span<const std::size_t> widths)>;
 
 struct SchedulerOptions {
   /// Graphs with fewer elements (|F| + 3|E| + |V|, the per-iteration task
   /// count) than this run whole-solve-on-one-worker; at or above it they
-  /// get intra-solve fine-grained parallelism.
+  /// get intra-solve fine-grained parallelism.  Must be >= 1 — a zero
+  /// threshold would classify even empty graphs as fine-grained and
+  /// serialize the whole batch.
   std::size_t fine_grained_threshold = 16384;
+
+  /// Upper bound on any job's intra-solve width (0 = the whole pool).
+  std::size_t max_intra_threads = 0;
 
   /// Force every job to run serial-per-worker (throughput mode) regardless
   /// of size — useful when the submitter knows all jobs are independent
   /// and latency of any single job does not matter.
   bool disable_fine_grained = false;
+
+  /// Optional analytic cost model for width selection.  When set, a
+  /// fine-grained job's width is chosen by doubling from 1 while each
+  /// doubling is predicted to cut iteration time by >= ~25% (past the knee
+  /// of the speedup curve, extra threads are better spent on other jobs);
+  /// a job the model says gains nothing from 2 threads stays serial.
+  /// When empty, width defaults to elements / fine_grained_threshold
+  /// (clamped to [2, pool]).
+  WidthCostModel cost_model;
 };
 
 /// The scheduler's decision for one job.
 struct JobPlan {
-  /// 1 = whole solve on one worker; >1 = fine-grained phase parallelism
-  /// over that many threads of the shared pool.
+  /// 1 = whole solve on one worker; k > 1 = fine-grained phase parallelism
+  /// bounded to k threads of the shared pool.
   std::size_t intra_threads = 1;
   /// Graph elements the decision was based on.
   std::size_t elements = 0;
@@ -40,6 +75,11 @@ struct JobPlan {
 
 class Scheduler {
  public:
+  /// Validates `options` (throws PreconditionError on a zero threshold).
+  /// `pool_threads` is the number of threads a fine-grained fork can
+  /// actually occupy — the BatchRunner passes its pool's worker count
+  /// (excluding the dispatcher lane, which plans jobs instead of serving
+  /// fork chunks).
   Scheduler(SchedulerOptions options, std::size_t pool_threads);
 
   /// Decides how much of the pool a solve of `graph` should use.
@@ -48,8 +88,19 @@ class Scheduler {
   const SchedulerOptions& options() const { return options_; }
 
  private:
+  std::size_t width_cap() const;
+
   SchedulerOptions options_;
   std::size_t pool_threads_;
 };
+
+/// A WidthCostModel backed by devsim's analytic multicore model (the
+/// paper's fork/join strategy A): extracts the graph's per-phase cost
+/// profile and returns the model's predicted seconds for one iteration on
+/// `threads` cores.  This is how the calibrated figure-reproduction models
+/// feed the runtime's width policy — e.g. memory-bound graphs stop scaling
+/// at the node bandwidth and get narrower widths than compute-bound ones
+/// of the same size.
+WidthCostModel devsim_width_model(devsim::MulticoreSpec spec = {});
 
 }  // namespace paradmm::runtime

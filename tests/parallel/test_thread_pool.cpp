@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -173,6 +176,153 @@ TEST(ThreadPoolTest, WorkerChunkExceptionsRethrowToCaller) {
 TEST(ThreadPoolTest, SubmitRejectsEmptyTask) {
   ThreadPool pool(2);
   EXPECT_THROW(pool.submit(std::function<void()>{}), PreconditionError);
+}
+
+// --- width-bounded fork groups -------------------------------------------
+
+TEST(ThreadPoolTest, WidthBoundedForkVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t width : {1u, 2u, 3u, 4u, 5u, 16u}) {
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> visits(kCount);
+    pool.parallel_for(kCount, width, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "width " << width << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, WidthBoundedPartitionDependsOnlyOnCountAndWidth) {
+  // The chunk partition for a width-w fork must be static_chunk over
+  // min(w, count) parts — independent of pool size or which threads help —
+  // which is what makes a fixed-width solve bitwise reproducible.
+  ThreadPool pool(4);
+  for (const std::size_t width : {2u, 3u, 7u}) {
+    for (const std::size_t count : {5u, 97u, 100u}) {
+      std::mutex mutex;
+      std::vector<std::pair<std::size_t, std::size_t>> chunks;
+      pool.parallel_for_chunks(count, width,
+                               [&](std::size_t begin, std::size_t end) {
+                                 std::lock_guard lock(mutex);
+                                 chunks.emplace_back(begin, end);
+                               });
+      const std::size_t parts =
+          std::min({count, width, pool.concurrency()});
+      ASSERT_EQ(chunks.size(), parts);
+      std::sort(chunks.begin(), chunks.end());
+      for (std::size_t rank = 0; rank < parts; ++rank) {
+        EXPECT_EQ(chunks[rank], ThreadPool::static_chunk(count, rank, parts))
+            << "count " << count << " width " << width << " rank " << rank;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, WidthZeroMeansWholePool) {
+  // 0 is the make_pool_backend sentinel for "whole pool" — it must fork
+  // full-width, not degrade to a serial loop.
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(100, 0, [&](std::size_t begin, std::size_t end) {
+    std::lock_guard lock(mutex);
+    chunks.emplace_back(begin, end);
+  });
+  EXPECT_EQ(chunks.size(), pool.concurrency());
+}
+
+TEST(ThreadPoolTest, ForkFromInsideSubmittedTaskCompletes) {
+  // The batch runtime runs whole solves as tasks that fork per phase; the
+  // forking thread self-serves unclaimed chunks, so this must complete
+  // even when every other worker is busy or asleep.
+  ThreadPool pool(2);
+  std::atomic<long long> total{0};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.parallel_for(64, 2, [&](std::size_t i) {
+        total += static_cast<long long>(i);
+      });
+    }
+    done = true;
+  });
+  pool.wait_tasks_idle();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(total.load(), 20LL * (63 * 64 / 2));
+}
+
+TEST(ThreadPoolTest, ConcurrentForksFromTwoTasksBothComplete) {
+  // Two width-2 forks on a 4-lane pool are independent groups; neither may
+  // corrupt or starve the other.
+  ThreadPool pool(4);
+  std::atomic<long long> totals[2] = {{0}, {0}};
+  for (int t = 0; t < 2; ++t) {
+    pool.submit([&pool, &total = totals[t]] {
+      for (int round = 0; round < 50; ++round) {
+        pool.parallel_for(64, 2, [&](std::size_t i) {
+          total += static_cast<long long>(i);
+        });
+      }
+    });
+  }
+  pool.wait_tasks_idle();
+  EXPECT_EQ(totals[0].load(), 50LL * (63 * 64 / 2));
+  EXPECT_EQ(totals[1].load(), 50LL * (63 * 64 / 2));
+}
+
+// --- per-worker run queues and stealing ----------------------------------
+
+TEST(ThreadPoolTest, ConcurrentExternalSubmitsAllRunExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 50;
+  std::vector<std::atomic<int>> runs(kSubmitters * kPerSubmitter);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        pool.submit([&runs, slot = s * kPerSubmitter + i] { ++runs[slot]; });
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  pool.wait_tasks_idle();
+  for (std::size_t slot = 0; slot < runs.size(); ++slot) {
+    ASSERT_EQ(runs[slot].load(), 1) << "slot " << slot;
+  }
+}
+
+TEST(ThreadPoolTest, IdleWorkersStealFromABlockedWorkersQueue) {
+  // A task submitted from a worker lands on that worker's own queue.  If
+  // the worker then blocks, its queued work must be stolen by peers — the
+  // PR-1 single-queue pool trivially had this property; the per-worker
+  // design must not lose it.
+  ThreadPool pool(3);  // 2 workers + external lane
+  constexpr int kSubtasks = 4;
+  std::atomic<int> subtasks_done{0};
+  std::atomic<bool> owner_blocked{false};
+  std::atomic<bool> owner_released{false};
+  pool.submit([&] {
+    for (int i = 0; i < kSubtasks; ++i) {
+      pool.submit([&] { ++subtasks_done; });  // affinity: this worker's queue
+    }
+    owner_blocked = true;
+    // Block the submitting worker until every subtask has run elsewhere —
+    // possible only if the other worker steals them.  Deadline so a broken
+    // steal path fails instead of hanging the suite.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (subtasks_done.load() < kSubtasks &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    owner_released = true;
+  });
+  pool.wait_tasks_idle();
+  EXPECT_TRUE(owner_blocked.load());
+  EXPECT_TRUE(owner_released.load());
+  EXPECT_EQ(subtasks_done.load(), kSubtasks)
+      << "subtasks were not stolen from the blocked worker's queue";
 }
 
 }  // namespace

@@ -241,7 +241,9 @@ TEST(BatchRunner, LargeJobsRunFineGrainedWithIdenticalNumerics) {
   JobHandle handle = runner.submit("svm", {}, short_solve_options());
   ASSERT_EQ(handle.wait(), JobState::kDone);
   EXPECT_TRUE(handle.plan().fine_grained());
-  EXPECT_EQ(handle.plan().intra_threads, 3u);
+  // Width caps at the worker count (2 of the 3 lanes): solves run as
+  // worker tasks, and only workers serve fork chunks.
+  EXPECT_EQ(handle.plan().intra_threads, 2u);
 
   const auto expected = z_copy(*reference.graph);
   const auto actual = z_copy(handle.graph());
@@ -287,6 +289,159 @@ TEST(BatchRunner, MetricsReportThroughput) {
   metrics.print(out);
   EXPECT_NE(out.str().find("jobs/sec"), std::string::npos);
   EXPECT_NE(out.str().find("worker utilization"), std::string::npos);
+}
+
+TEST(BatchRunner, ConcurrentFineGrainedJobsOverlapAtPartialWidth) {
+  // The tentpole scenario: on a 4-lane pool, two width-2 fine-grained jobs
+  // must run at the same time (the PR-1 dispatcher serialized them).  Both
+  // jobs park inside their first progress callback; per-width occupancy
+  // then shows two width-2 solves running together.
+  BatchRunnerOptions options;
+  options.threads = 4;
+  options.scheduler.fine_grained_threshold = 1;  // everything is "large"
+  options.scheduler.max_intra_threads = 2;       // ... at width 2
+  BatchRunner runner(options);
+
+  std::atomic<int> parked{0};
+  std::atomic<bool> release{false};
+  const auto park_once = [&](const IterationStatus&) {
+    ++parked;
+    while (!release.load()) std::this_thread::yield();
+  };
+
+  FactorGraph graphs[2] = {make_consensus_graph({1.0, 2.0, 3.0, 4.0}),
+                           make_consensus_graph({5.0, 6.0, 7.0, 8.0})};
+  std::vector<JobHandle> handles;
+  for (auto& graph : graphs) {
+    SolveJob job;
+    job.graph = &graph;
+    job.options.max_iterations = 40;
+    job.options.check_interval = 10;
+    job.progress = park_once;
+    handles.push_back(runner.submit(std::move(job)));
+  }
+
+  // Both solves are inside a callback at the same time — two fine-grained
+  // jobs are genuinely concurrent.
+  while (parked.load() < 2) std::this_thread::yield();
+  const RuntimeMetrics during = runner.metrics();
+  EXPECT_EQ(during.running_by_width.at(2), 2u);
+
+  release.store(true);
+  runner.wait_all();
+  for (auto& handle : handles) {
+    EXPECT_EQ(handle.state(), JobState::kDone);
+    EXPECT_EQ(handle.plan().intra_threads, 2u);
+  }
+  const RuntimeMetrics after = runner.metrics();
+  EXPECT_EQ(after.peak_running_by_width.at(2), 2u);
+  EXPECT_EQ(after.finished_by_width.at(2), 2u);
+  EXPECT_EQ(after.running_by_width.at(2), 0u);
+  EXPECT_EQ(after.fine_grained_jobs, 2u);
+}
+
+TEST(BatchRunner, CancelledJobIsDroppedAtDispatchWithoutOccupyingAWorker) {
+  // threads == 1 has no pool workers, so the dispatcher runs solves inline
+  // and a job submitted while the first is parked stays queued.  Cancelling
+  // it must finalize it at dispatch time: it never executes, never counts
+  // as ran, and never touches the per-width occupancy gauges.
+  BatchRunnerOptions options;
+  options.threads = 1;
+  BatchRunner runner(options);
+
+  std::atomic<int> progress_calls{0};
+  std::atomic<bool> release{false};
+  FactorGraph blocker = make_consensus_graph({0.0, 1.0});
+  SolveJob long_job;
+  long_job.graph = &blocker;
+  long_job.options.max_iterations = 40;
+  long_job.options.check_interval = 10;
+  long_job.progress = [&](const IterationStatus&) {
+    ++progress_calls;
+    while (!release.load()) std::this_thread::yield();
+  };
+  JobHandle first = runner.submit(std::move(long_job));
+  while (progress_calls.load() == 0) std::this_thread::yield();
+
+  FactorGraph graph = make_consensus_graph({5.0});
+  SolveJob second_job;
+  second_job.graph = &graph;
+  JobHandle second = runner.submit(std::move(second_job));
+  second.request_cancel();
+  release.store(true);
+
+  EXPECT_EQ(first.wait(), JobState::kDone);
+  EXPECT_EQ(second.wait(), JobState::kCancelled);
+  EXPECT_EQ(second.report().iterations, 0);
+  EXPECT_FALSE(second.plan().fine_grained());
+
+  const RuntimeMetrics metrics = runner.metrics();
+  EXPECT_EQ(metrics.cancelled, 1u);
+  EXPECT_EQ(metrics.completed, 1u);
+  EXPECT_EQ(metrics.ran_jobs, 1u);  // only the blocker actually solved
+  // Occupancy accounting saw exactly one width-1 solve; the dropped job
+  // never touched the gauges.
+  ASSERT_EQ(metrics.finished_by_width.size(), 1u);
+  EXPECT_EQ(metrics.finished_by_width.at(1), 1u);
+}
+
+TEST(BatchRunner, CancelAfterCompletionKeepsDoneState) {
+  // kDone is terminal: a cancel that loses the race changes nothing.
+  BatchRunner runner(with_threads(2));
+  JobHandle handle =
+      runner.submit("svm", small_svm_params(42), short_solve_options());
+  EXPECT_EQ(handle.wait(), JobState::kDone);
+  handle.request_cancel();
+  EXPECT_EQ(handle.state(), JobState::kDone);
+  EXPECT_GT(handle.report().iterations, 0);
+  EXPECT_EQ(runner.metrics().cancelled, 0u);
+}
+
+TEST(BatchRunner, FineGrainedWidthsAreBitwiseDeterministic) {
+  // The same problem solved serial, at width 2, and at width 3 must agree
+  // bit for bit: the chunk partition depends only on (count, width) and
+  // every phase task owns its output slice, so width never leaks into the
+  // numerics.
+  BuiltProblem reference = ProblemRegistry::global().build("svm");
+  solve(*reference.graph, short_solve_options());
+  const auto expected = z_copy(*reference.graph);
+
+  for (const std::size_t width : {2u, 3u}) {
+    BatchRunnerOptions options;
+    options.threads = 4;
+    options.scheduler.fine_grained_threshold = 1;
+    options.scheduler.max_intra_threads = width;
+    BatchRunner runner(options);
+    JobHandle handle = runner.submit("svm", {}, short_solve_options());
+    ASSERT_EQ(handle.wait(), JobState::kDone);
+    ASSERT_EQ(handle.plan().intra_threads, width);
+    const auto actual = z_copy(handle.graph());
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t s = 0; s < actual.size(); ++s) {
+      ASSERT_EQ(actual[s], expected[s]) << "width " << width << " scalar " << s;
+    }
+  }
+}
+
+TEST(BatchRunner, ThrowingCostModelFailsTheJobNotTheProcess) {
+  // plan() runs user code on the dispatcher thread; a throwing cost model
+  // must surface as kFailed on that job while the runner keeps serving.
+  BatchRunnerOptions options;
+  options.threads = 3;  // 2 fine-grained lanes, so the model is consulted
+  options.scheduler.fine_grained_threshold = 1;
+  options.scheduler.cost_model =
+      [](const FactorGraph&, std::span<const std::size_t>)
+      -> std::vector<double> { throw NumericalError("cost model exploded"); };
+  BatchRunner runner(options);
+
+  FactorGraph graph = make_consensus_graph({1.0, 2.0});
+  SolveJob job;
+  job.graph = &graph;
+  JobHandle handle = runner.submit(std::move(job));
+  EXPECT_EQ(handle.wait(), JobState::kFailed);
+  EXPECT_NE(handle.error().find("cost model exploded"), std::string::npos);
+  EXPECT_EQ(runner.metrics().failed, 1u);
+  EXPECT_EQ(runner.metrics().ran_jobs, 0u);
 }
 
 TEST(BatchRunner, ToStringCoversAllStates) {

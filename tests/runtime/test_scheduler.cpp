@@ -1,10 +1,15 @@
-// Scheduler policy: graph size decides serial-per-worker vs fine-grained.
+// Scheduler policy: graph size decides serial-per-worker vs fine-grained,
+// and how wide a fine-grained job's slice of the pool is.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "core/prox_library.hpp"
 #include "runtime/scheduler.hpp"
+#include "support/error.hpp"
 
 namespace paradmm::runtime {
 namespace {
@@ -61,6 +66,91 @@ TEST(Scheduler, ThresholdIsInclusive) {
   options.fine_grained_threshold = graph.elements();
   const Scheduler scheduler(options, 4);
   EXPECT_TRUE(scheduler.plan(graph).fine_grained());
+}
+
+TEST(Scheduler, ZeroThresholdIsRejected) {
+  // threshold == 0 would classify every job (even an empty graph) as
+  // fine-grained and serialize the whole batch behind wide solves.
+  SchedulerOptions options;
+  options.fine_grained_threshold = 0;
+  EXPECT_THROW(Scheduler(options, 4), PreconditionError);
+}
+
+TEST(Scheduler, WidthScalesWithElements) {
+  // Size-proportional policy: one thread per threshold's worth of
+  // elements, floor 2, capped by the pool.  A consensus graph of f factors
+  // has 4f + 1 elements.
+  SchedulerOptions options;
+  options.fine_grained_threshold = 65;  // == elements of the 16-factor graph
+  const Scheduler scheduler(options, 8);
+
+  EXPECT_EQ(scheduler.plan(make_consensus_graph(16)).intra_threads, 2u);
+  EXPECT_EQ(scheduler.plan(make_consensus_graph(64)).intra_threads, 3u);
+  EXPECT_EQ(scheduler.plan(make_consensus_graph(256)).intra_threads, 8u);
+}
+
+TEST(Scheduler, MaxIntraThreadsCapsWidth) {
+  SchedulerOptions options;
+  options.fine_grained_threshold = 10;
+  options.max_intra_threads = 4;
+  const Scheduler scheduler(options, 8);
+  EXPECT_EQ(scheduler.plan(make_consensus_graph(256)).intra_threads, 4u);
+}
+
+TEST(Scheduler, CostModelPicksTheKneeOfTheSpeedupCurve) {
+  // Fake model: perfect scaling to 4 threads, flat beyond — the scheduler
+  // must stop doubling at 4 even though the pool has 16.
+  SchedulerOptions options;
+  options.fine_grained_threshold = 1;
+  options.cost_model = [](const FactorGraph&,
+                          std::span<const std::size_t> widths) {
+    std::vector<double> seconds;
+    for (const std::size_t threads : widths) {
+      seconds.push_back(1.0 /
+                        static_cast<double>(std::min<std::size_t>(threads, 4)));
+    }
+    return seconds;
+  };
+  const Scheduler scheduler(options, 16);
+  EXPECT_EQ(scheduler.plan(make_consensus_graph(64)).intra_threads, 4u);
+}
+
+TEST(Scheduler, CostModelCanKeepALargeJobSerial) {
+  // A model that predicts no benefit from 2 threads keeps the job
+  // whole-solve-per-worker despite crossing the size threshold.
+  SchedulerOptions options;
+  options.fine_grained_threshold = 1;
+  options.cost_model = [](const FactorGraph&,
+                          std::span<const std::size_t> widths) {
+    std::vector<double> seconds;  // parallelism only hurts
+    for (const std::size_t threads : widths) {
+      seconds.push_back(static_cast<double>(threads));
+    }
+    return seconds;
+  };
+  const Scheduler scheduler(options, 8);
+  EXPECT_FALSE(scheduler.plan(make_consensus_graph(64)).fine_grained());
+}
+
+TEST(Scheduler, DevsimWidthModelFeedsTheScheduler) {
+  // The analytic multicore model must produce positive, eventually
+  // improving times for a large graph, and a width within the pool when
+  // plugged into the scheduler.
+  const FactorGraph graph = make_consensus_graph(4096);
+  const WidthCostModel model = devsim_width_model();
+  const std::vector<std::size_t> probe = {1, 8};
+  const std::vector<double> seconds = model(graph, probe);
+  ASSERT_EQ(seconds.size(), probe.size());
+  EXPECT_GT(seconds[0], 0.0);
+  EXPECT_LT(seconds[1], seconds[0]);  // 8 cores beat 1 on a large graph
+
+  SchedulerOptions options;
+  options.fine_grained_threshold = 1;
+  options.cost_model = model;
+  const Scheduler scheduler(options, 8);
+  const JobPlan plan = scheduler.plan(graph);
+  EXPECT_GE(plan.intra_threads, 1u);
+  EXPECT_LE(plan.intra_threads, 8u);
 }
 
 }  // namespace
