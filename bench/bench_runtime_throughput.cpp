@@ -1,14 +1,21 @@
 // Batch-solve runtime throughput: N SVM solves through the BatchRunner's
 // shared worker pool vs the same solves run one at a time.
 //
-// Two workloads:
+// Three workloads:
 //  * uniform — small jobs only; they run whole-solve-per-worker, so on a
 //    T-thread pool the runner should approach T jobs in flight and beat
 //    the sequential loop by up to ~min(T, jobs) on real multicore;
 //  * mixed — small jobs plus a few large instances that cross the
 //    fine-grained threshold.  With partial intra-solve widths the large
 //    jobs fork over a slice of the pool while small jobs keep the other
-//    workers busy — the case the PR-1 whole-pool dispatcher serialized.
+//    workers busy — the case the PR-1 whole-pool dispatcher serialized;
+//  * priority inversion — a wide long-running job and a tail of filler
+//    jobs arrive first, then a burst of small high-priority jobs.  Run
+//    once FIFO (all priorities equal) and once prioritized: the priority
+//    queue dispatches the burst ahead of the filler backlog and the
+//    WidthGovernor shrinks the wide solve to free lanes for it, so the
+//    burst's completion latency drops and every small job finishes while
+//    the wide job is still running.
 //
 // Emits BENCH_runtime_throughput.json (to bench/results/) with the
 // headline numbers.
@@ -95,6 +102,51 @@ RunResult run_workload(const Workload& workload,
   return result;
 }
 
+struct PriorityResult {
+  double burst_seconds = 0.0;   ///< submit-to-done latency of the burst
+  bool overtook_wide = false;   ///< burst finished while the wide job ran
+  std::size_t width_shrinks = 0;
+};
+
+// One wide job + `filler` mid-size jobs queued first; a burst of `burst`
+// small jobs submitted last, at priority 10 when `prioritized` (otherwise
+// everything is FIFO).  Returns the burst's completion latency measured
+// from its first submission.
+PriorityResult run_priority_scenario(const BatchRunnerOptions& runner_options,
+                                     bool prioritized, std::size_t points,
+                                     std::size_t large_points,
+                                     std::size_t dimension, int iterations) {
+  PriorityResult result;
+  BatchRunner runner(runner_options);
+
+  SolveJob wide = BatchRunner::make_job(
+      "svm", job_params(large_points, dimension, 900),
+      job_options(iterations * 8));  // outlives the rest of the batch
+  wide.label = "wide";
+  JobHandle wide_handle = runner.submit(std::move(wide));
+
+  std::vector<JobHandle> filler;
+  for (int i = 0; i < 20; ++i) {
+    filler.push_back(runner.submit("svm", job_params(points * 2, dimension, 800 + i),
+                                   job_options(iterations)));
+  }
+
+  WallTimer burst_timer;
+  std::vector<JobHandle> burst;
+  for (int i = 0; i < 10; ++i) {
+    SolveJob job = BatchRunner::make_job(
+        "svm", job_params(points, dimension, 700 + i), job_options(iterations));
+    if (prioritized) job.priority = 10;
+    burst.push_back(runner.submit(std::move(job)));
+  }
+  for (auto& handle : burst) handle.wait();
+  result.burst_seconds = burst_timer.seconds();
+  result.overtook_wide = !is_terminal(wide_handle.state());
+  runner.wait_all();
+  result.width_shrinks = runner.metrics().width_shrinks;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,6 +210,15 @@ int main(int argc, char** argv) {
   }
   const RunResult mix = run_workload(mixed, runner_options);
 
+  // Priority-inversion scenario: same runner config (the large instances
+  // are fine-grained), FIFO vs prioritized burst.
+  const PriorityResult fifo = run_priority_scenario(
+      runner_options, /*prioritized=*/false, points, large_points, dimension,
+      iterations);
+  const PriorityResult prioritized = run_priority_scenario(
+      runner_options, /*prioritized=*/true, points, large_points, dimension,
+      iterations);
+
   const std::size_t pool_threads = mix.metrics.workers;
   Table table({"workload", "jobs", "converged seq/batch", "sequential",
                "batch", "speedup"});
@@ -175,6 +236,20 @@ int main(int argc, char** argv) {
                  format_fixed(mix.speedup(), 2) + "x"});
   if (flags.get_bool("csv")) table.print_csv(std::cout);
   else table.print(std::cout);
+
+  Table priority_table({"burst scheduling", "burst latency",
+                        "finished before wide job", "width shrinks"});
+  priority_table.add_row({"fifo", format_duration(fifo.burst_seconds),
+                          fifo.overtook_wide ? "yes" : "no",
+                          std::to_string(fifo.width_shrinks)});
+  priority_table.add_row(
+      {"prioritized", format_duration(prioritized.burst_seconds),
+       prioritized.overtook_wide ? "yes" : "no",
+       std::to_string(prioritized.width_shrinks)});
+  std::cout << "\npriority-inversion scenario (10 small jobs behind a wide "
+               "job + 20 filler jobs):\n";
+  if (flags.get_bool("csv")) priority_table.print_csv(std::cout);
+  else priority_table.print(std::cout);
 
   // The runner solves the exact same instances with the same options, and
   // both execution modes are bitwise deterministic — any outcome drift is
@@ -208,9 +283,20 @@ int main(int argc, char** argv) {
     std::cout << (target_missed ? "FAIL" : "PASS")
               << ": targets are >= 2x small-only and >= 0.9x mixed jobs/sec "
                  "on >= 4 hardware threads\n";
+    // Priority gate: the prioritized burst must finish while the wide job
+    // is still running, and must not be slower than FIFO beyond noise
+    // (it jumps a 20-job backlog, so it is normally much faster).
+    const bool priority_missed =
+        !prioritized.overtook_wide ||
+        prioritized.burst_seconds > 1.1 * fifo.burst_seconds;
+    target_missed = target_missed || priority_missed;
+    std::cout << (priority_missed ? "FAIL" : "PASS")
+              << ": prioritized burst finishes before the wide job and no "
+                 "slower than FIFO\n";
   } else {
     std::cout << "note: < 4 hardware threads; parallel speedup is not "
-                 "expected on this machine\n";
+                 "expected on this machine (and the single lane runs the "
+                 "wide job inline, so the priority gate is skipped too)\n";
   }
 
   std::cout << "\nmixed-workload runner metrics:\n";
@@ -233,7 +319,11 @@ int main(int argc, char** argv) {
       .set("converged", small.batch_converged)
       .set("mixed_converged", mix.batch_converged)
       .set("worker_utilization", small.metrics.worker_utilization())
-      .set("mixed_worker_utilization", mix.metrics.worker_utilization());
+      .set("mixed_worker_utilization", mix.metrics.worker_utilization())
+      .set("priority_fifo_burst_seconds", fifo.burst_seconds)
+      .set("priority_burst_seconds", prioritized.burst_seconds)
+      .set("priority_burst_overtook_wide", prioritized.overtook_wide ? 1 : 0)
+      .set("priority_width_shrinks", prioritized.width_shrinks);
   const std::string written = result.write(result.default_path());
   std::cout << "\nwrote " << written << '\n';
   // Nonzero exit lets CI catch a throughput regression on real multicore —

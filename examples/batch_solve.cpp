@@ -4,9 +4,11 @@
 //   1. look up what the ProblemRegistry can build,
 //   2. submit a mix of small jobs (whole-solve-per-worker) and one job
 //      forced through the fine-grained path,
-//   3. watch progress via the per-job callback, cancel one job,
-//   4. read solutions back from each job's graph and print the runner's
-//      throughput metrics.
+//   3. jump the queue with a high-priority job (make_job + priority),
+//   4. watch progress via the per-job callback, cancel one job,
+//   5. read solutions back from each job's graph and print the runner's
+//      throughput metrics (including width renegotiations — the large
+//      packing job shrinks while the backlog of small jobs drains).
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -53,6 +55,18 @@ int main() {
   big_options.max_iterations = 300;
   JobHandle big_packing = runner.submit("packing", big, big_options);
 
+  // An urgent job: priority 10 dispatches ahead of everything still
+  // queued (the jobs above that are already running keep their lanes,
+  // but the WidthGovernor shrinks the wide packing solve so a lane frees
+  // up sooner).  make_job builds a registry problem without submitting,
+  // so priority/deadline can be set first.
+  svm::SvmJobParams urgent_params;
+  urgent_params.points = 32;
+  urgent_params.data_seed = 99;
+  SolveJob urgent = BatchRunner::make_job("svm", urgent_params, solve_options);
+  urgent.priority = 10;
+  JobHandle urgent_svm = runner.submit(std::move(urgent));
+
   // One job of every other problem kind, with a progress callback.
   JobHandle mpc = runner.submit(
       "mpc", {}, solve_options, [](const IterationStatus& status) {
@@ -80,6 +94,9 @@ int main() {
   std::printf("lasso:   %s after %d iterations\n",
               to_string(lasso.state()).data(), lasso.report().iterations);
   std::printf("packing: %s\n", to_string(packing_small.state()).data());
+  std::printf("urgent svm (priority %d): %s after %d iterations\n",
+              urgent_svm.priority(), to_string(urgent_svm.state()).data(),
+              urgent_svm.report().iterations);
   std::printf("packing (50 circles): %s, fine-grained=%s over %zu threads\n",
               to_string(big_packing.state()).data(),
               big_packing.plan().fine_grained() ? "yes" : "no",

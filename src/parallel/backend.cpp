@@ -106,14 +106,17 @@ class PersistentBackend final : public ExecutionBackend {
   std::size_t threads_;
 };
 
-// Width-bounded fork/join over a pool the backend does not own (see
-// make_pool_backend).
+// Width-bounded fork/join over a pool the backend does not own, with an
+// optional per-phase width renegotiation hook (see make_pool_backend).
 class BorrowedPoolBackend final : public ExecutionBackend {
  public:
-  BorrowedPoolBackend(ThreadPool& pool, std::size_t width)
+  BorrowedPoolBackend(ThreadPool& pool, std::size_t width,
+                      WidthProvider renegotiate)
       : pool_(pool),
-        width_(std::min(width == 0 ? pool.concurrency() : width,
-                        pool.concurrency())) {}
+        planned_(std::min(width == 0 ? pool.concurrency() : width,
+                          pool.concurrency())),
+        width_(planned_),
+        renegotiate_(std::move(renegotiate)) {}
 
   void run(std::span<const Phase> phases, int iterations,
            PhaseTimings* timings) override {
@@ -121,6 +124,15 @@ class BorrowedPoolBackend final : public ExecutionBackend {
       for (std::size_t p = 0; p < phases.size(); ++p) {
         WallTimer timer;
         const Phase& phase = phases[p];
+        // The renegotiation point: between barriers, never inside a phase
+        // (a group's partition is immutable once forked).  Clamped to
+        // [1, planned]: a provider overshooting would oversubscribe lanes
+        // the scheduler reserved for other jobs, and 0 is the pool's
+        // "whole pool" sentinel — the opposite of a shrink.
+        if (renegotiate_) {
+          width_ = std::clamp(renegotiate_(planned_, width_),
+                              std::size_t{1}, planned_);
+        }
         pool_.parallel_for_chunks(
             phase.count, width_,
             [&phase](std::size_t begin, std::size_t end) {
@@ -131,19 +143,25 @@ class BorrowedPoolBackend final : public ExecutionBackend {
     }
   }
 
-  std::size_t concurrency() const override { return width_; }
-  std::string_view name() const override { return "pool-fork-join"; }
+  std::size_t concurrency() const override { return planned_; }
+  std::string_view name() const override {
+    return renegotiate_ ? "governed-pool-fork-join" : "pool-fork-join";
+  }
 
  private:
   ThreadPool& pool_;
-  std::size_t width_;
+  std::size_t planned_;
+  std::size_t width_;  // width of the most recent fork
+  WidthProvider renegotiate_;
 };
 
 }  // namespace
 
 std::unique_ptr<ExecutionBackend> make_pool_backend(ThreadPool& pool,
-                                                    std::size_t width) {
-  return std::make_unique<BorrowedPoolBackend>(pool, width);
+                                                    std::size_t width,
+                                                    WidthProvider renegotiate) {
+  return std::make_unique<BorrowedPoolBackend>(pool, width,
+                                               std::move(renegotiate));
 }
 
 std::string_view to_string(BackendKind kind) {

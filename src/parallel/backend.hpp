@@ -101,6 +101,14 @@ std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind,
 
 class ThreadPool;
 
+/// Re-asked before every phase fork of a width-renegotiating pool backend:
+/// given the planned (maximum) width and the width of the previous fork,
+/// returns the width for the next one.  Must be thread-safe (it runs on
+/// whichever thread the solve landed on) and cheap (five calls per ADMM
+/// iteration).
+using WidthProvider =
+    std::function<std::size_t(std::size_t planned, std::size_t current)>;
+
 /// A fork/join backend over a *borrowed* ThreadPool: identical schedule and
 /// numerics to kForkJoin, but the pool is shared with other users instead
 /// of being owned by the backend.  The batch-solve runtime uses this to run
@@ -112,7 +120,13 @@ class ThreadPool;
 /// serializing.  The pool must outlive the backend, and callers must not
 /// run two solves on the same returned backend concurrently (distinct
 /// backends over the same pool are fine).
-std::unique_ptr<ExecutionBackend> make_pool_backend(ThreadPool& pool,
-                                                    std::size_t width = 0);
+///
+/// With a `renegotiate` provider, the fork width is re-asked at every phase
+/// barrier (never inside a phase — a group's partition is immutable once
+/// forked), bounded by the planned `width`.  Phase numerics are
+/// width-independent, so renegotiation affects scheduling only; the policy
+/// itself (the runtime's WidthGovernor) stays out of this layer.
+std::unique_ptr<ExecutionBackend> make_pool_backend(
+    ThreadPool& pool, std::size_t width = 0, WidthProvider renegotiate = {});
 
 }  // namespace paradmm

@@ -184,17 +184,21 @@ void ThreadPool::finish_task() {
   tasks_idle_.notify_all();
 }
 
+bool ThreadPool::backlogged_locked() const {
+  if (queued_count_ == 0) return false;
+  const std::size_t running = tasks_in_flight_ - queued_count_;
+  const std::size_t free_workers =
+      workers_.size() > running ? workers_.size() - running : 0;
+  return queued_count_ > free_workers;
+}
+
 bool ThreadPool::pop_and_run_task(bool only_if_backlogged) {
   std::function<void()> task;
   {
     std::lock_guard lock(mutex_);
-    const std::size_t queued = queued_count_;
-    if (queued == 0) return false;
-    if (only_if_backlogged) {
-      const std::size_t running = tasks_in_flight_ - queued;
-      const std::size_t free_workers =
-          workers_.size() > running ? workers_.size() - running : 0;
-      if (queued <= free_workers) return false;  // an idle worker takes it
+    if (queued_count_ == 0) return false;
+    if (only_if_backlogged && !backlogged_locked()) {
+      return false;  // an idle worker takes it
     }
     // External helpers rotate their starting queue so repeated helping
     // spreads across workers; the pop itself shares the workers' path.
@@ -216,6 +220,62 @@ bool ThreadPool::try_run_one_task() { return pop_and_run_task(false); }
 
 bool ThreadPool::try_run_one_backlogged_task() {
   return pop_and_run_task(true);
+}
+
+void ThreadPool::help_until(const std::function<bool()>& stop,
+                            bool serve_tasks) {
+  require(static_cast<bool>(stop), "help_until requires a stop predicate");
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stop() || shutting_down_) return;
+
+    // Fork chunks first: a group in flight has its forking thread blocked
+    // at the phase barrier, so serving a chunk shortens a critical path.
+    if (ForkGroup* group = claimable_group_locked()) {
+      run_group_chunk(*group, group->next_rank++, lock);
+      continue;
+    }
+
+    if (queued_count_ > 0 && !queues_.empty()) {
+      if (serve_tasks && backlogged_locked()) {
+        std::function<void()> task;
+        if (pop_task_locked(steal_cursor_++ % queues_.size(), task)) {
+          lock.unlock();
+          try {
+            task();
+          } catch (...) {
+            // Same contract as worker-run tasks: fire-and-forget work has
+            // no caller to rethrow to.
+          }
+          task = nullptr;  // release captures before the bookkeeping
+          finish_task();
+          lock.lock();
+          continue;
+        }
+      } else {
+        // A task is queued but this helper must not (or should not) run
+        // it.  It may have consumed the submitter's notify_one, so pass
+        // the baton on before sleeping — otherwise the task could sit
+        // until the next unrelated wakeup.
+        wake_workers_.notify_one();
+      }
+    }
+
+    // Nothing to help with: sleep until any pool activity (fork pushed,
+    // task submitted, shutdown) or a notify_helpers() call.  No predicate:
+    // every producer publishes its state under mutex_ before notifying, so
+    // a bare wait inside this re-checking loop cannot miss an update.
+    wake_workers_.wait(lock);
+  }
+}
+
+void ThreadPool::notify_helpers() {
+  // Empty critical section: a helper that observed its stop condition as
+  // false is either still holding the mutex (it will see the flag on its
+  // next loop) or already waiting — acquiring the mutex here orders this
+  // notify after its wait began, so the wakeup cannot be lost.
+  { std::lock_guard lock(mutex_); }
+  wake_workers_.notify_all();
 }
 
 void ThreadPool::wait_tasks_idle() {

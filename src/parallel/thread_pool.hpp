@@ -113,6 +113,30 @@ class ThreadPool {
   /// an idle worker would have picked up anyway.
   bool try_run_one_backlogged_task();
 
+  /// Lends the calling thread to the pool until `stop()` returns true:
+  /// fork-group chunks are served first (a fork in flight has its caller
+  /// blocked at the phase barrier), then — when `serve_tasks` — backlogged
+  /// tasks under the same rule as try_run_one_backlogged_task; with
+  /// nothing to help with, the thread sleeps on the pool's condition
+  /// variable.  This is how the batch runtime's idle dispatcher becomes a
+  /// genuine N-th lane: a lone fork of width == concurrency() completes at
+  /// full width instead of topping out at the worker count.  Pass
+  /// `serve_tasks = false` when the helper must stay responsive to its
+  /// stop condition: a whole task (for the runtime, a whole solve) pins
+  /// the helper until it returns, while fork chunks are bounded by a
+  /// single phase.  `stop` is polled under the pool mutex between work
+  /// items and after every wakeup — it must be cheap and must not touch
+  /// this pool.  Callers flip their stop condition and then call
+  /// notify_helpers(); flipping it alone leaves the helper asleep.
+  /// Exceptions escaping a task run here are dropped (fire-and-forget,
+  /// same contract as worker-run tasks).
+  void help_until(const std::function<bool()>& stop, bool serve_tasks = true);
+
+  /// Wakes threads blocked in help_until so they re-evaluate their stop
+  /// condition (workers woken spuriously re-check their own predicate and
+  /// sleep again).
+  void notify_helpers();
+
   /// Blocks until no submitted task is queued or running.
   void wait_tasks_idle();
 
@@ -149,6 +173,9 @@ class ThreadPool {
   bool pop_task_locked(std::size_t home, std::function<void()>& task);
   void finish_task();
   bool pop_and_run_task(bool only_if_backlogged);
+  // More queued tasks than workers-without-a-task could absorb: a helper
+  // taking one cannot be stealing work an idle worker would have run.
+  bool backlogged_locked() const;
 
   std::vector<std::thread> workers_;
   mutable std::mutex mutex_;

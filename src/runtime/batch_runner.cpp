@@ -30,14 +30,15 @@ std::size_t resolve_threads(std::size_t requested) {
 
 BatchRunner::BatchRunner(BatchRunnerOptions options)
     : pool_(resolve_threads(options.threads)),
-      // Solves run as tasks on the pool's workers, and a fork started from
-      // a worker can be served by the workers only (the dispatcher lane
-      // plans jobs and helps with queued tasks, not fork chunks) — so the
-      // widest useful fine-grained plan is the worker count, not the full
-      // pool concurrency.  Planning wider would split phases into more
-      // chunks than threads able to run them, inflating phase latency.
-      scheduler_(options.scheduler,
-                 std::max<std::size_t>(1, pool_.concurrency() - 1)) {
+      // Solves run as tasks on the pool's workers, but the idle dispatcher
+      // lends itself to the pool as a fork-chunk lane (help_until in the
+      // dispatcher loop), so a fine-grained fork can occupy the full pool
+      // concurrency: the forking worker self-serves, the other workers and
+      // the dispatcher claim the rest.  Planning wider than that would
+      // split phases into more chunks than threads able to run them,
+      // inflating phase latency.
+      scheduler_(options.scheduler, pool_.concurrency()),
+      governor_(options.governor) {
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -46,30 +47,47 @@ BatchRunner::~BatchRunner() {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
-  work_available_.notify_all();
+  dispatcher_wake_.store(true, std::memory_order_release);
+  pool_.notify_helpers();
   dispatcher_.join();  // drains the queue before exiting
   wait_all();
 }
 
 JobHandle BatchRunner::submit(SolveJob job) {
   require(job.graph != nullptr, "SolveJob needs a graph");
+  // NaN never orders against anything, which would corrupt the ready
+  // queue's strict weak ordering — reject it at the door.
+  require(job.deadline == job.deadline, "SolveJob deadline must not be NaN");
   auto control = std::make_shared<detail::JobControl>();
   control->graph = job.graph;
   control->owner = std::move(job.owner);
   control->options = job.options;
   control->progress = std::move(job.progress);
   control->label = std::move(job.label);
+  control->priority = job.priority;
+  control->deadline = job.deadline;
 
   std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
     require(!stopping_, "BatchRunner is shutting down");
-    queue_.push_back(control);
+    control->sequence = next_sequence_++;
+    // Into the governor's waiting set under the same lock that publishes
+    // the job: the dispatcher needs this mutex to pop it, so the paired
+    // job_done_waiting() can never run first and underflow the counter.
+    governor_.job_waiting();
+    queue_.insert(control);
     ++unfinished_;
     depth = queue_.size();
   }
   collector_.on_submit(depth);
-  work_available_.notify_one();
+  // The dispatcher may be lending itself to the pool; the wake flag plus
+  // notify_helpers() pulls it back to dispatch this job.  The notify
+  // wakes the whole pool, so it is skipped unless the dispatcher is
+  // actually helping (wake is stored first — seq_cst — so either the
+  // helping dispatcher's stop poll sees it or this load sees helping).
+  dispatcher_wake_.store(true);
+  if (dispatcher_helping_.load()) pool_.notify_helpers();
   return JobHandle(control);
 }
 
@@ -77,6 +95,14 @@ JobHandle BatchRunner::submit(const std::string& problem,
                               const std::any& params, SolverOptions options,
                               ProgressFn progress,
                               const ProblemRegistry* registry) {
+  SolveJob job = make_job(problem, params, options, registry);
+  job.progress = std::move(progress);
+  return submit(std::move(job));
+}
+
+SolveJob BatchRunner::make_job(const std::string& problem,
+                               const std::any& params, SolverOptions options,
+                               const ProblemRegistry* registry) {
   const ProblemRegistry& source =
       registry ? *registry : ProblemRegistry::global();
   BuiltProblem built = source.build(problem, params);
@@ -84,9 +110,8 @@ JobHandle BatchRunner::submit(const std::string& problem,
   job.graph = built.graph;
   job.owner = std::move(built.owner);
   job.options = options;
-  job.progress = std::move(progress);
   job.label = problem;
-  return submit(std::move(job));
+  return job;
 }
 
 void BatchRunner::wait_all() {
@@ -101,7 +126,7 @@ RuntimeMetrics BatchRunner::metrics() const {
     depth = queue_.size();
   }
   return collector_.snapshot(since_start_.seconds(), pool_.concurrency(),
-                             depth);
+                             depth, governor_.stats());
 }
 
 void BatchRunner::dispatcher_loop() {
@@ -109,25 +134,36 @@ void BatchRunner::dispatcher_loop() {
     std::shared_ptr<detail::JobControl> job;
     {
       std::unique_lock lock(mutex_);
-      while (queue_.empty() && !stopping_) {
-        // Nothing to dispatch: lend this thread to the pool's task queue so
-        // all `threads` lanes solve small jobs (the pool itself has
-        // threads-1 workers; the dispatcher is the last lane).  Only
-        // backlogged tasks are taken — stealing work an idle worker would
-        // pick up anyway would pin the dispatcher inside one solve while
-        // new submissions wait.  Tasks are only ever enqueued by this
-        // thread, so once the pool reports nothing to help with, none can
-        // appear while we wait.
+      const bool lanes_full = inflight_ >= pool_.concurrency();
+      const bool queue_drained = queue_.empty();
+      if (queue_drained || lanes_full) {
+        if (queue_drained && stopping_) return;  // nothing left to dispatch
+        // Clearing the flag while holding the mutex cannot lose a wakeup:
+        // submit() and finalize() set it only after changing queue_ /
+        // inflight_ under this same mutex, so a set that races this clear
+        // comes with a state change we'll see on the next loop.
+        dispatcher_wake_.store(false);
+        dispatcher_helping_.store(true);
         lock.unlock();
-        const bool helped = pool_.try_run_one_backlogged_task();
-        lock.lock();
-        if (helped) continue;
-        work_available_.wait(lock,
-                             [this] { return stopping_ || !queue_.empty(); });
+        // Lend this thread to the pool so all `threads` lanes do solver
+        // work.  Fork chunks are served first — this is the lane that
+        // lets a lone wide job fork over the whole pool.  Whole tasks
+        // (each a whole solve) are picked up only while the dispatch
+        // queue is empty: with jobs waiting, getting pinned inside one
+        // solve would stall every dispatch behind it.  (A task picked up
+        // while idle can still pin the dispatcher when a job arrives
+        // mid-solve — the residual cost of lending a non-preemptible
+        // lane; see ROADMAP.)
+        pool_.help_until([this] { return dispatcher_wake_.load(); },
+                         /*serve_tasks=*/queue_drained);
+        dispatcher_helping_.store(false);
+        continue;
       }
-      if (queue_.empty()) return;  // stopping_ and nothing left to dispatch
-      job = queue_.front();
-      queue_.pop_front();
+      // Highest priority first; deadline, then submit order break ties.
+      const auto front = queue_.begin();
+      job = *front;
+      queue_.erase(front);
+      ++inflight_;
     }
 
     // A job cancelled while queued is finalized here instead of being
@@ -139,6 +175,7 @@ void BatchRunner::dispatcher_loop() {
         job->plan = JobPlan{};
         job->planned = true;
       }
+      governor_.job_done_waiting();
       finalize(job, JobState::kCancelled, SolverReport{}, {}, 0.0,
                /*ran=*/false);
       continue;
@@ -162,6 +199,7 @@ void BatchRunner::dispatcher_loop() {
       job->planned = true;
     }
     if (!plan_error.empty()) {
+      governor_.job_done_waiting();
       finalize(job, JobState::kFailed, SolverReport{}, std::move(plan_error),
                0.0, /*ran=*/false);
       continue;
@@ -171,7 +209,10 @@ void BatchRunner::dispatcher_loop() {
     // dispatcher only assigns widths, so a wide job never blocks dispatch
     // of the jobs behind it.  A fine-grained solve forks width-bounded
     // groups from its worker; idle workers claim the chunks, so two
-    // width-k jobs genuinely overlap when 2k <= pool.
+    // width-k jobs genuinely overlap when 2k <= pool.  The job stays in
+    // the governor's waiting set until execute() actually starts it — a
+    // solve parked in a pool run queue is backlog a wide job should make
+    // room for, exactly like one still in queue_.
     pool_.submit([this, job] { execute(job); });
   }
 }
@@ -181,12 +222,16 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
     std::unique_lock lock(job->mutex);
     if (job->cancel_requested.load(std::memory_order_relaxed)) {
       lock.unlock();
+      governor_.job_done_waiting();
       finalize(job, JobState::kCancelled, SolverReport{}, {}, 0.0,
                /*ran=*/false);
       return;
     }
     job->state = JobState::kRunning;
   }
+  // Off the waiting set the moment a lane is actually running it: running
+  // solves are capacity in use, not backlog for the governor to relieve.
+  governor_.job_done_waiting();
   collector_.on_start(job->plan.intra_threads);
   job->changed.notify_all();
 
@@ -205,12 +250,13 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
   try {
     SolverOptions options = job->options;
     if (job->plan.fine_grained()) {
-      // Width-bounded borrowed-pool backend: the solve's five phases fork
-      // over at most intra_threads workers, leaving the rest of the pool
-      // to concurrent jobs.  The backend is per-job and cheap (no threads
-      // of its own).
-      const auto backend =
-          make_pool_backend(pool_, job->plan.intra_threads);
+      // Width-governed borrowed-pool backend: the solve's five phases fork
+      // over at most intra_threads lanes, renegotiated against the shared
+      // governor at every phase barrier (shrink under backlog, grow back
+      // when the queue drains).  The backend is per-job and cheap (no
+      // threads of its own).
+      const auto backend = make_governed_pool_backend(
+          pool_, job->plan.intra_threads, governor_);
       AdmmSolver solver(*job->graph, options, *backend);
       report = solver.run(callback);
     } else {
@@ -254,11 +300,18 @@ void BatchRunner::finalize(const std::shared_ptr<detail::JobControl>& job,
   }
   job->changed.notify_all();
   {
-    // Notify while holding the lock: a wait_all() caller (including the
-    // destructor) may destroy this runner the moment unfinished_ hits zero,
-    // so the notify must not touch all_done_ after the lock is released.
+    // Everything below stays under the lock: a wait_all() caller
+    // (including the destructor) may destroy this runner the moment
+    // unfinished_ hits zero and this lock is released, so nothing may
+    // touch the runner afterwards.  The freed lane may unblock a bounded
+    // dispatch stall, so the dispatcher is pulled back from its helping
+    // stint too (runner-mutex -> pool-mutex is the only nesting of the
+    // two locks anywhere, so notify_helpers() here cannot deadlock).
     std::lock_guard lock(mutex_);
     --unfinished_;
+    --inflight_;  // a dispatch lane freed up
+    dispatcher_wake_.store(true);
+    if (dispatcher_helping_.load()) pool_.notify_helpers();
     all_done_.notify_all();
   }
 }

@@ -18,18 +18,32 @@
 // its five phases over a width-k group from whatever thread its task
 // landed on.  The dispatcher thread only plans widths and forwards jobs
 // (dropping ones already cancelled), so a wide job never head-of-line
-// blocks the queue behind it.
+// blocks the queue behind it — and while its own queue is empty it lends
+// itself to the pool as a full lane (fork chunks first, then backlogged
+// tasks), so a lone wide job can fork over all `threads` lanes instead of
+// topping out at the worker count.
 //
-// Jobs are dispatched in submission order; handles expose state, blocking
-// wait, cooperative cancellation, and the final report.  Runtime counters
-// (jobs/sec, queue depth, utilization, per-width occupancy) are available
-// via metrics().
+// Jobs are dispatched by (priority desc, deadline asc, submit order asc) —
+// see SolveJob::priority — so a queue backlog never makes urgent work wait
+// behind bulk work, and scheduling stays deterministic for a fixed arrival
+// set.  Dispatch is *bounded*: at most `threads` jobs are in flight on the
+// pool at once, and the rest wait in the priority queue — forwarding the
+// whole backlog eagerly would bury a late-arriving urgent job in the
+// pool's FIFO run queues, where priority no longer applies.  Between
+// phase barriers, running fine-grained solves renegotiate
+// their width against the shared WidthGovernor: a backlog shrinks them so
+// waiting jobs get lanes, a drained queue grows them back (numerics are
+// width-independent, so this never changes results).  Handles expose
+// state, blocking wait, cooperative cancellation, and the final report.
+// Runtime counters (jobs/sec, queue depth, utilization, per-width
+// occupancy, renegotiations) are available via metrics().
 #pragma once
 
 #include <any>
+#include <atomic>
 #include <cstddef>
-#include <deque>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -38,6 +52,7 @@
 #include "runtime/problem_registry.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/solve_job.hpp"
+#include "runtime/width_governor.hpp"
 #include "support/timer.hpp"
 
 namespace paradmm::runtime {
@@ -46,6 +61,10 @@ struct BatchRunnerOptions {
   /// Shared pool concurrency; 0 = std::thread::hardware_concurrency().
   std::size_t threads = 0;
   SchedulerOptions scheduler;
+  /// Mid-solve width renegotiation policy (enabled by default; set
+  /// `governor.enabled = false` to pin fine-grained jobs at their planned
+  /// width for the whole solve).
+  WidthGovernorOptions governor;
 };
 
 class BatchRunner {
@@ -59,7 +78,8 @@ class BatchRunner {
   BatchRunner(const BatchRunner&) = delete;
   BatchRunner& operator=(const BatchRunner&) = delete;
 
-  /// Enqueues a job; returns immediately.
+  /// Enqueues a job; returns immediately.  Dispatch order among queued
+  /// jobs is (priority desc, deadline asc, submit order asc).
   JobHandle submit(SolveJob job);
 
   /// Builds `problem` from `registry` (ProblemRegistry::global() when
@@ -67,6 +87,14 @@ class BatchRunner {
   JobHandle submit(const std::string& problem, const std::any& params = {},
                    SolverOptions options = {}, ProgressFn progress = {},
                    const ProblemRegistry* registry = nullptr);
+
+  /// Builds `problem` like submit(problem, ...) but returns the job
+  /// unsubmitted, so callers can set priority / deadline / progress before
+  /// handing it over (the built instance rides along in job.owner).
+  static SolveJob make_job(const std::string& problem,
+                           const std::any& params = {},
+                           SolverOptions options = {},
+                           const ProblemRegistry* registry = nullptr);
 
   /// Blocks until every job submitted so far is terminal.
   void wait_all();
@@ -79,7 +107,22 @@ class BatchRunner {
 
   const Scheduler& scheduler() const { return scheduler_; }
 
+  /// Shared renegotiation state (read stats() for shrink/grow counters).
+  const WidthGovernor& governor() const { return governor_; }
+
  private:
+  // Priority order for the ready queue: priority desc, then deadline asc,
+  // then submit sequence asc.  The sequence is unique, so this is a strict
+  // total order — dispatch is deterministic for a fixed arrival set.
+  struct JobOrder {
+    bool operator()(const std::shared_ptr<detail::JobControl>& a,
+                    const std::shared_ptr<detail::JobControl>& b) const {
+      if (a->priority != b->priority) return a->priority > b->priority;
+      if (a->deadline != b->deadline) return a->deadline < b->deadline;
+      return a->sequence < b->sequence;
+    }
+  };
+
   void dispatcher_loop();
   void execute(const std::shared_ptr<detail::JobControl>& job);
   void finalize(const std::shared_ptr<detail::JobControl>& job,
@@ -88,15 +131,30 @@ class BatchRunner {
 
   ThreadPool pool_;
   Scheduler scheduler_;
+  WidthGovernor governor_;
   MetricsCollector collector_;
   WallTimer since_start_;
 
   mutable std::mutex mutex_;
-  std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::deque<std::shared_ptr<detail::JobControl>> queue_;
+  std::set<std::shared_ptr<detail::JobControl>, JobOrder> queue_;
+  std::uint64_t next_sequence_ = 0;
   std::size_t unfinished_ = 0;
+  // Jobs popped from queue_ but not yet finalized.  Dispatch stalls at
+  // pool concurrency so the backlog stays in the priority queue (ordered)
+  // rather than in the pool's FIFO run queues (not).
+  std::size_t inflight_ = 0;
   bool stopping_ = false;
+  // True whenever the dispatcher has something to look at (a submission,
+  // a freed lane, or shutdown); its pool-helping stint polls this to know
+  // when to return.  Both flags use seq_cst: wake is stored before
+  // helping is read (and vice versa on the dispatcher side), and that
+  // store-load pattern loses wakeups under weaker orderings.
+  std::atomic<bool> dispatcher_wake_{false};
+  // True while the dispatcher is inside pool_.help_until — the only time
+  // notify_helpers() is needed (it wakes the whole pool, so skip it when
+  // nobody is helping).
+  std::atomic<bool> dispatcher_helping_{false};
 
   std::thread dispatcher_;  // last member: joins before the rest tears down
 };

@@ -25,6 +25,9 @@ void RuntimeMetrics::print(std::ostream& out) const {
   table.add_row({"job wall max", format_duration(max_job_seconds)});
   table.add_row(
       {"worker utilization", format_fixed(100.0 * worker_utilization(), 1) + "%"});
+  table.add_row({"width renegotiations",
+                 std::to_string(width_shrinks) + " shrinks, " +
+                     std::to_string(width_grows) + " grows"});
   // Union of the three maps: a width whose first job is still mid-flight
   // must already show its running count.
   std::map<std::size_t, std::size_t> widths;
@@ -89,13 +92,17 @@ void MetricsCollector::on_finish(JobState outcome, double wall_seconds,
 
 RuntimeMetrics MetricsCollector::snapshot(double elapsed_seconds,
                                           std::size_t workers,
-                                          std::size_t queue_depth) const {
+                                          std::size_t queue_depth,
+                                          WidthGovernorStats governor) const {
   std::lock_guard lock(mutex_);
   RuntimeMetrics out = metrics_;
   out.elapsed_seconds = elapsed_seconds;
   out.workers = workers;
   out.queue_depth = queue_depth;
   out.peak_queue_depth = std::max(out.peak_queue_depth, queue_depth);
+  out.width_shrinks = governor.shrinks;
+  out.width_grows = governor.grows;
+  out.waiting_jobs = governor.waiting_jobs;
   return out;
 }
 

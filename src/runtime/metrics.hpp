@@ -9,6 +9,7 @@
 #include <ostream>
 
 #include "runtime/solve_job.hpp"
+#include "runtime/width_governor.hpp"
 
 namespace paradmm::runtime {
 
@@ -34,6 +35,14 @@ struct RuntimeMetrics {
   std::map<std::size_t, std::size_t> running_by_width;
   std::map<std::size_t, std::size_t> peak_running_by_width;
   std::map<std::size_t, std::size_t> finished_by_width;
+
+  /// Mid-solve width renegotiation activity (see runtime/width_governor.hpp):
+  /// phase barriers at which a running fine-grained solve gave lanes to a
+  /// backlog (shrinks) or took them back (grows), and the solves waiting
+  /// for a lane right now.
+  std::size_t width_shrinks = 0;
+  std::size_t width_grows = 0;
+  std::size_t waiting_jobs = 0;
 
   double elapsed_seconds = 0.0;     ///< since the runner started
   double busy_seconds = 0.0;        ///< sum over jobs of wall * threads used
@@ -84,7 +93,8 @@ class MetricsCollector {
 
   /// Snapshot with the runner-supplied instantaneous values filled in.
   RuntimeMetrics snapshot(double elapsed_seconds, std::size_t workers,
-                          std::size_t queue_depth) const;
+                          std::size_t queue_depth,
+                          WidthGovernorStats governor = {}) const;
 
  private:
   mutable std::mutex mutex_;

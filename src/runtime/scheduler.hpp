@@ -77,9 +77,9 @@ class Scheduler {
  public:
   /// Validates `options` (throws PreconditionError on a zero threshold).
   /// `pool_threads` is the number of threads a fine-grained fork can
-  /// actually occupy — the BatchRunner passes its pool's worker count
-  /// (excluding the dispatcher lane, which plans jobs instead of serving
-  /// fork chunks).
+  /// actually occupy — the BatchRunner passes its full pool concurrency,
+  /// since its idle dispatcher lane serves fork chunks too (ThreadPool::
+  /// help_until), so even a lone wide job can use every lane.
   Scheduler(SchedulerOptions options, std::size_t pool_threads);
 
   /// Decides how much of the pool a solve of `graph` should use.

@@ -9,7 +9,9 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +41,9 @@ inline bool is_terminal(JobState state) {
 /// Invoked from the executing thread after every solver check interval.
 using ProgressFn = std::function<void(const IterationStatus&)>;
 
+/// "No deadline": sorts after every finite deadline of the same priority.
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
 /// One solve for the BatchRunner.  `graph` is required and must stay valid
 /// until the job reaches a terminal state; `owner` optionally keeps the
 /// object that owns the graph alive for the job's lifetime (this is how
@@ -49,6 +54,20 @@ struct SolveJob {
   SolverOptions options;  ///< backend/threads are overridden by the scheduler
   ProgressFn progress;
   std::string label;
+
+  /// Dispatch order is (priority desc, deadline asc, submit order asc):
+  /// higher-priority jobs always dispatch first; within a priority class,
+  /// earlier deadlines dispatch first and deadline ties keep FIFO order —
+  /// so scheduling is deterministic for a fixed arrival set.  Priority and
+  /// deadline never preempt a solve already executing (but a backlog they
+  /// create does shrink running wide solves — see runtime/width_governor.hpp).
+  int priority = 0;
+
+  /// Soft deadline on whatever monotone axis the submitter uses for the
+  /// whole batch (e.g. seconds since its own start time); the runner only
+  /// compares values, it never evaluates them against a clock.  Earliest-
+  /// deadline-first within a priority class; kNoDeadline sorts last.
+  double deadline = kNoDeadline;
 };
 
 namespace detail {
@@ -61,6 +80,9 @@ struct JobControl {
   SolverOptions options;
   ProgressFn progress;
   std::string label;
+  int priority = 0;
+  double deadline = kNoDeadline;
+  std::uint64_t sequence = 0;  // runner-assigned submit order (FIFO ties)
 
   std::atomic<bool> cancel_requested{false};
 
@@ -131,6 +153,10 @@ class JobHandle {
   FactorGraph& graph() const { return *control()->graph; }
 
   const std::string& label() const { return control()->label; }
+
+  /// Dispatch priority / deadline, as submitted (fixed for the job's life).
+  int priority() const { return control()->priority; }
+  double deadline() const { return control()->deadline; }
 
   /// Wall-clock seconds of the solve; valid in terminal states.
   double wall_seconds() const {

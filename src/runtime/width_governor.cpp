@@ -1,0 +1,65 @@
+#include "runtime/width_governor.hpp"
+
+#include <algorithm>
+
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::runtime {
+
+WidthGovernor::WidthGovernor(WidthGovernorOptions options)
+    : options_(options) {
+  require(options_.min_width >= 1,
+          "WidthGovernor min_width must be >= 1: a zero-width fork cannot "
+          "run its phase at all");
+}
+
+void WidthGovernor::job_waiting() {
+  waiting_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WidthGovernor::job_done_waiting() {
+  waiting_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t WidthGovernor::advise(std::size_t planned_width,
+                                  std::size_t current_width) {
+  std::size_t target = planned_width;
+  if (options_.enabled && planned_width > options_.min_width) {
+    // One lane reclaimed per waiting solve: the backlog can absorb exactly
+    // that many freed lanes (each waiting job needs at least one), and the
+    // formula depends only on the instantaneous backlog — a drained queue
+    // restores the planned width with no hysteresis state to carry.
+    const std::size_t backlog = waiting_.load(std::memory_order_relaxed);
+    const std::size_t reclaimable = planned_width - options_.min_width;
+    target = planned_width - std::min(backlog, reclaimable);
+  }
+  if (target < current_width) {
+    shrinks_.fetch_add(1, std::memory_order_relaxed);
+  } else if (target > current_width) {
+    grows_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return target;
+}
+
+WidthGovernorStats WidthGovernor::stats() const {
+  WidthGovernorStats stats;
+  stats.shrinks = shrinks_.load(std::memory_order_relaxed);
+  stats.grows = grows_.load(std::memory_order_relaxed);
+  stats.waiting_jobs = waiting_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::unique_ptr<ExecutionBackend> make_governed_pool_backend(
+    ThreadPool& pool, std::size_t planned_width, WidthGovernor& governor) {
+  // The fixed-width pool backend already owns the fork loop; governing it
+  // is just a width provider, so both paths share one implementation and
+  // can never diverge.
+  return make_pool_backend(
+      pool, planned_width,
+      [&governor](std::size_t planned, std::size_t current) {
+        return governor.advise(planned, current);
+      });
+}
+
+}  // namespace paradmm::runtime

@@ -1,0 +1,99 @@
+// Mid-solve width renegotiation for the batch-solve runtime.
+//
+// The Scheduler fixes a fine-grained job's *planned* width at dispatch, but
+// the paper's premise — fine-grained parallelism pays only while it keeps
+// all lanes busy — cuts both ways at runtime: a wide solve that was planned
+// against an empty queue wastes lanes the moment a backlog forms behind it,
+// and a solve shrunk for a backlog that has since drained leaves lanes
+// idle.  The WidthGovernor closes that loop.  The BatchRunner feeds it the
+// number of solves waiting for a lane (jobs still in the priority queue
+// plus jobs dispatched to the pool but not yet executing); between ADMM
+// phase barriers, a running fine-grained solve consults it and
+//
+//   * shrinks its fork width by one lane per waiting job (never below
+//     `min_width`), handing those lanes to the backlog, and
+//   * grows back toward its planned width once the backlog drains.
+//
+// Renegotiation never changes numerics: the phase chunk partition depends
+// only on (count, width) and every phase task owns its output slice, so a
+// solve's trajectory is identical — bitwise — at any width schedule.  Only
+// scheduling latitude changes.  Disable it (`enabled = false`) to pin every
+// solve at its planned width, which reproduces the fixed-width runtime
+// behavior exactly.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "parallel/backend.hpp"
+
+namespace paradmm {
+class ThreadPool;
+}
+
+namespace paradmm::runtime {
+
+struct WidthGovernorOptions {
+  /// When false, advise() always returns the planned width (fixed-width
+  /// scheduling, the pre-governor behavior).
+  bool enabled = true;
+
+  /// Floor a shrunken fork can reach.  1 lets a heavily backlogged wide
+  /// solve fall back to running its phases serially, freeing every lane it
+  /// was planned to use; raise it to keep shrunken solves fine-grained.
+  /// Must be >= 1.
+  std::size_t min_width = 1;
+};
+
+/// Renegotiation counters, snapshot into RuntimeMetrics.  A "shrink" is a
+/// phase barrier at which a solve's advised width dropped below the width
+/// it last forked with; a "grow" is the reverse.  Several concurrent wide
+/// solves each count their own transitions.
+struct WidthGovernorStats {
+  std::size_t shrinks = 0;
+  std::size_t grows = 0;
+  std::size_t waiting_jobs = 0;  ///< solves currently waiting for a lane
+};
+
+/// Thread-safe: the BatchRunner feeds waiting-job counts from the submit
+/// path and the dispatcher while governed backends call advise() from
+/// whichever workers their solves landed on.
+class WidthGovernor {
+ public:
+  /// Validates `options` (throws PreconditionError on min_width == 0).
+  explicit WidthGovernor(WidthGovernorOptions options = {});
+
+  /// A solve entered the waiting set (submitted, not yet executing).
+  void job_waiting();
+  /// A solve left the waiting set (started executing, or was finalized
+  /// without running).  Must pair with a prior job_waiting().
+  void job_done_waiting();
+
+  /// Width the next phase fork should use: `planned_width` minus one lane
+  /// per waiting job, floored at min_width (or `planned_width` verbatim
+  /// when disabled).  `current_width` is the width the caller last forked
+  /// with; a change is tallied as a shrink or grow.
+  std::size_t advise(std::size_t planned_width, std::size_t current_width);
+
+  WidthGovernorStats stats() const;
+
+  const WidthGovernorOptions& options() const { return options_; }
+
+ private:
+  WidthGovernorOptions options_;
+  std::atomic<std::size_t> waiting_{0};
+  std::atomic<std::size_t> shrinks_{0};
+  std::atomic<std::size_t> grows_{0};
+};
+
+/// A width-bounded fork/join backend over a borrowed ThreadPool (same
+/// schedule and numerics as make_pool_backend) that re-asks `governor` for
+/// its width before every phase fork — the hook that makes width
+/// renegotiation land exactly at the ADMM phase barriers.  The pool and the
+/// governor must outlive the backend; one backend still serves one solve at
+/// a time.  concurrency() reports the planned (maximum) width.
+std::unique_ptr<ExecutionBackend> make_governed_pool_backend(
+    ThreadPool& pool, std::size_t planned_width, WidthGovernor& governor);
+
+}  // namespace paradmm::runtime

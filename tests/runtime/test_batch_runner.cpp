@@ -241,9 +241,9 @@ TEST(BatchRunner, LargeJobsRunFineGrainedWithIdenticalNumerics) {
   JobHandle handle = runner.submit("svm", {}, short_solve_options());
   ASSERT_EQ(handle.wait(), JobState::kDone);
   EXPECT_TRUE(handle.plan().fine_grained());
-  // Width caps at the worker count (2 of the 3 lanes): solves run as
-  // worker tasks, and only workers serve fork chunks.
-  EXPECT_EQ(handle.plan().intra_threads, 2u);
+  // Width caps at the full pool concurrency (all 3 lanes): the idle
+  // dispatcher serves fork chunks, so a lone wide job loses no lane.
+  EXPECT_EQ(handle.plan().intra_threads, 3u);
 
   const auto expected = z_copy(*reference.graph);
   const auto actual = z_copy(handle.graph());
@@ -442,6 +442,122 @@ TEST(BatchRunner, ThrowingCostModelFailsTheJobNotTheProcess) {
   EXPECT_NE(handle.error().find("cost model exploded"), std::string::npos);
   EXPECT_EQ(runner.metrics().failed, 1u);
   EXPECT_EQ(runner.metrics().ran_jobs, 0u);
+}
+
+TEST(BatchRunner, TwoLaneRunnerRunsFineGrained) {
+  // Regression for the PR 2 tradeoff: with the dispatcher lane serving
+  // fork chunks, a 2-lane runner (1 worker + dispatcher) supports
+  // fine-grained mode again instead of turning it off entirely — and the
+  // width-2 solve still matches the serial trajectory bit for bit.
+  BuiltProblem reference = ProblemRegistry::global().build("svm");
+  solve(*reference.graph, short_solve_options());
+
+  BatchRunnerOptions options;
+  options.threads = 2;
+  options.scheduler.fine_grained_threshold = 1;  // everything is "large"
+  BatchRunner runner(options);
+  JobHandle handle = runner.submit("svm", {}, short_solve_options());
+  ASSERT_EQ(handle.wait(), JobState::kDone);
+  EXPECT_TRUE(handle.plan().fine_grained());
+  EXPECT_EQ(handle.plan().intra_threads, 2u);
+
+  const auto expected = z_copy(*reference.graph);
+  const auto actual = z_copy(handle.graph());
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t s = 0; s < actual.size(); ++s) {
+    EXPECT_EQ(actual[s], expected[s]) << "z scalar " << s;
+  }
+}
+
+/// Hard equality prox: x <- c on every coordinate.  Two of these with
+/// different constants on one variable make an infeasible problem — the
+/// primal residual never drops, so the solve runs its full budget unless
+/// cancelled.  That gives tests a wide job with a *guaranteed* lifetime.
+class ConstantProx final : public ProxOperator {
+ public:
+  explicit ConstantProx(double value) : value_(value) {}
+  void apply(const ProxContext& ctx) const override {
+    for (std::uint32_t k = 0; k < ctx.edge_count(); ++k) {
+      for (auto& v : ctx.output(k)) v = value_;
+    }
+  }
+  std::string_view name() const override { return "constant"; }
+
+ private:
+  double value_;
+};
+
+FactorGraph make_infeasible_graph(std::size_t factors) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  for (std::size_t i = 0; i < factors; ++i) {
+    graph.add_factor(std::make_shared<ConstantProx>(i % 2 ? 1.0 : 0.0), {w});
+  }
+  graph.set_uniform_parameters(1.0, 1.0);
+  return graph;
+}
+
+TEST(BatchRunner, HighPrioritySmallJobsFinishBeforeAWideJob) {
+  // The acceptance scenario: a wide fine-grained job arrives first and ten
+  // small high-priority jobs arrive second; every small job must finish
+  // while the wide job is still iterating.  The wide graph is infeasible,
+  // so it cannot converge early and vacate its lanes by luck — if the
+  // runtime starved the small jobs behind it, the waits below would hang
+  // until the (enormous) budget ran out.  Getting there needs the whole
+  // tentpole: the priority queue dispatches the smalls ahead of queued
+  // work, and the governor shrinks the wide solve so they get lanes.
+  BatchRunnerOptions options;
+  options.threads = 4;
+  options.scheduler.fine_grained_threshold = 1;  // the wide job forks wide
+  BatchRunner runner(options);
+
+  constexpr int kWideBudget = 100000000;  // hours of work; cancelled in ms
+  FactorGraph wide_graph = make_infeasible_graph(64);
+  std::vector<std::unique_ptr<FactorGraph>> small_graphs;
+  for (int i = 0; i < 10; ++i) {
+    small_graphs.push_back(std::make_unique<FactorGraph>(
+        make_consensus_graph({0.0, static_cast<double>(i)})));
+  }
+
+  // The wide job parks inside its first progress callback so the ten
+  // smalls can all be queued behind it deterministically.
+  std::atomic<bool> wide_parked{false};
+  std::atomic<bool> release_wide{false};
+  SolveJob wide;
+  wide.graph = &wide_graph;
+  wide.options.max_iterations = kWideBudget;
+  wide.options.check_interval = 5;
+  wide.progress = [&](const IterationStatus&) {
+    if (!wide_parked.exchange(true)) {
+      while (!release_wide.load()) std::this_thread::yield();
+    }
+  };
+  JobHandle wide_handle = runner.submit(std::move(wide));
+  while (!wide_parked.load()) std::this_thread::yield();
+
+  std::vector<JobHandle> small_handles;
+  for (auto& graph : small_graphs) {
+    SolveJob job;
+    job.graph = graph.get();
+    job.options.max_iterations = 2000;
+    job.priority = 10;  // ahead of anything still queued
+    small_handles.push_back(runner.submit(std::move(job)));
+  }
+  release_wide.store(true);
+
+  // All ten smalls complete while the wide job grinds on.
+  for (auto& handle : small_handles) {
+    EXPECT_EQ(handle.wait(), JobState::kDone);
+  }
+  EXPECT_FALSE(is_terminal(wide_handle.state()));
+
+  wide_handle.request_cancel();
+  EXPECT_EQ(wide_handle.wait(), JobState::kCancelled);
+  EXPECT_LT(wide_handle.report().iterations, kWideBudget);
+  EXPECT_TRUE(wide_handle.plan().fine_grained());
+  // The backlog the smalls created forced the wide solve to give up lanes
+  // at least once: ten jobs were waiting the moment it resumed forking.
+  EXPECT_GE(runner.metrics().width_shrinks, 1u);
 }
 
 TEST(BatchRunner, ToStringCoversAllStates) {

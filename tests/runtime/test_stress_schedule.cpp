@@ -1,0 +1,196 @@
+// Deterministic runtime stress harness (CTest label: stress).
+//
+// Seeded pseudo-random batches of 50–200 mixed-size jobs — random
+// priorities, deadlines, widths, failing solves, and cancellations
+// mid-flight — pushed through runners of 1..4 lanes with width
+// renegotiation active.  The arrival sets are exactly reproducible from
+// the seed; the assertions are the runtime's conservation laws, which
+// must hold on every interleaving the OS produces:
+//
+//   * every JobState is terminal after wait_all (no lost or stuck job),
+//   * the per-width occupancy books balance (nothing left "running",
+//     finished counts sum to the jobs that actually ran),
+//   * outcome tallies sum to the submissions,
+//   * the governor's waiting-set bookkeeping returns to zero.
+//
+// Deadlock shows up as a hang, bounded by the suite's CTest TIMEOUT.
+// Scale the soak locally with PARADMM_STRESS_ITERS (default 3 keeps the
+// tier-1 run fast; the acceptance soak is 100) and offset the seed range
+// with PARADMM_STRESS_SEED.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/prox_library.hpp"
+#include "runtime/batch_runner.hpp"
+#include "support/rng.hpp"
+
+namespace paradmm::runtime {
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+/// A PO whose apply always throws (failure-path coverage under load).
+class ThrowingProx final : public ProxOperator {
+ public:
+  void apply(const ProxContext&) const override {
+    throw NumericalError("stress prox exploded");
+  }
+  std::string_view name() const override { return "throwing"; }
+};
+
+FactorGraph make_consensus_graph(std::size_t factors, bool throwing) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  std::shared_ptr<ProxOperator> op;
+  if (throwing) {
+    op = std::make_shared<ThrowingProx>();
+  } else {
+    op = std::make_shared<SumSquaresProx>(1.0, std::vector<double>{1.0});
+  }
+  for (std::size_t i = 0; i < factors; ++i) graph.add_factor(op, {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  return graph;
+}
+
+void run_stress_iteration(std::uint64_t seed) {
+  SCOPED_TRACE("stress seed " + std::to_string(seed));
+  Rng rng(seed);
+
+  BatchRunnerOptions options;
+  options.threads = 1 + rng.uniform_index(4);  // 1..4 lanes
+  // Elements are 4*factors + 1, so with factors in [1, 40] roughly the
+  // top third of the jobs cross into fine-grained mode.
+  options.scheduler.fine_grained_threshold = 65;
+  if (rng.uniform() < 0.25) options.governor.min_width = 2;
+  if (rng.uniform() < 0.1) options.governor.enabled = false;
+
+  const std::size_t jobs = 50 + rng.uniform_index(151);  // 50..200
+  std::vector<std::unique_ptr<FactorGraph>> graphs;
+  std::vector<char> throwing(jobs, 0);
+  graphs.reserve(jobs);
+
+  std::vector<JobHandle> handles;
+  std::vector<std::size_t> cancel_now;
+  std::vector<std::size_t> cancel_later;
+  {
+    BatchRunner runner(options);
+    for (std::size_t i = 0; i < jobs; ++i) {
+      throwing[i] = (i % 13 == 5) ? 1 : 0;
+      const std::size_t factors = 1 + rng.uniform_index(40);
+      graphs.push_back(std::make_unique<FactorGraph>(
+          make_consensus_graph(factors, throwing[i] != 0)));
+
+      SolveJob job;
+      job.graph = graphs.back().get();
+      job.options.max_iterations = 1 + static_cast<int>(rng.uniform_index(60));
+      job.options.check_interval = 5;
+      job.priority = static_cast<int>(rng.uniform_index(5));
+      if (rng.uniform() < 0.3) job.deadline = rng.uniform(0.0, 50.0);
+      job.label = "stress-" + std::to_string(i);
+
+      const double cancel_roll = rng.uniform();
+      handles.push_back(runner.submit(std::move(job)));
+      if (cancel_roll < 0.1) {
+        cancel_now.push_back(i);       // cancel while likely still queued
+      } else if (cancel_roll < 0.2) {
+        cancel_later.push_back(i);     // cancel mid-flight
+      }
+      if (cancel_roll < 0.1) handles[i].request_cancel();
+    }
+
+    // Mid-flight cancellation wave: the batch is in every state by now —
+    // queued, executing, finished.
+    std::this_thread::yield();
+    for (const std::size_t i : cancel_later) handles[i].request_cancel();
+
+    runner.wait_all();
+
+    // Conservation laws.  Every job terminal, in a state its kind allows.
+    for (std::size_t i = 0; i < jobs; ++i) {
+      ASSERT_TRUE(is_terminal(handles[i].state())) << handles[i].label();
+      if (throwing[i]) {
+        EXPECT_TRUE(handles[i].state() == JobState::kFailed ||
+                    handles[i].state() == JobState::kCancelled)
+            << handles[i].label() << ": " << to_string(handles[i].state());
+      } else {
+        EXPECT_TRUE(handles[i].state() == JobState::kDone ||
+                    handles[i].state() == JobState::kCancelled)
+            << handles[i].label() << ": " << to_string(handles[i].state());
+      }
+    }
+
+    const RuntimeMetrics metrics = runner.metrics();
+    EXPECT_EQ(metrics.submitted, jobs);
+    EXPECT_EQ(metrics.completed + metrics.cancelled + metrics.failed, jobs);
+    EXPECT_EQ(metrics.queue_depth, 0u);
+    EXPECT_EQ(metrics.waiting_jobs, 0u);  // governor books balance
+
+    std::size_t still_running = 0;
+    std::size_t finished_total = 0;
+    for (const auto& [width, count] : metrics.running_by_width) {
+      still_running += count;
+      EXPECT_LE(width, options.threads) << "width wider than the pool";
+    }
+    for (const auto& [width, count] : metrics.finished_by_width) {
+      finished_total += count;
+      EXPECT_LE(width, options.threads) << "width wider than the pool";
+    }
+    EXPECT_EQ(still_running, 0u);
+    EXPECT_EQ(finished_total, metrics.ran_jobs);
+    EXPECT_LE(metrics.ran_jobs, jobs);
+    // Runner destroyed here with everything already terminal.
+  }
+
+  // Handles stay valid and terminal after the runner is gone.
+  for (const auto& handle : handles) {
+    EXPECT_TRUE(is_terminal(handle.state()));
+  }
+}
+
+TEST(StressSchedule, SeededMixedBatchesSettleCleanly) {
+  const int iterations = env_int("PARADMM_STRESS_ITERS", 3);
+  const int base_seed = env_int("PARADMM_STRESS_SEED", 1);
+  for (int i = 0; i < iterations; ++i) {
+    run_stress_iteration(static_cast<std::uint64_t>(base_seed + i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(StressSchedule, DestructionUnderLoadDrainsEveryJob) {
+  // No wait_all: the destructor alone must drive a full mixed batch —
+  // including cancellations — to terminal states before returning.
+  Rng rng(0xdeadULL);
+  std::vector<std::unique_ptr<FactorGraph>> graphs;
+  std::vector<JobHandle> handles;
+  {
+    BatchRunnerOptions options;
+    options.threads = 3;
+    options.scheduler.fine_grained_threshold = 65;
+    BatchRunner runner(options);
+    for (int i = 0; i < 100; ++i) {
+      graphs.push_back(std::make_unique<FactorGraph>(
+          make_consensus_graph(1 + rng.uniform_index(40), false)));
+      SolveJob job;
+      job.graph = graphs.back().get();
+      job.options.max_iterations = 1 + static_cast<int>(rng.uniform_index(40));
+      job.options.check_interval = 5;
+      job.priority = static_cast<int>(rng.uniform_index(3));
+      handles.push_back(runner.submit(std::move(job)));
+      if (i % 7 == 3) handles.back().request_cancel();
+    }
+  }
+  for (const auto& handle : handles) {
+    EXPECT_TRUE(is_terminal(handle.state()));
+  }
+}
+
+}  // namespace
+}  // namespace paradmm::runtime

@@ -1,0 +1,188 @@
+// WidthGovernor policy and width-renegotiation determinism.
+//
+// The advise() policy is pure arithmetic over the waiting-job count, so it
+// is unit-tested exactly; the determinism tests pin the contract that
+// renegotiation never changes numerics (the phase chunk partition only
+// selects which thread runs which index — every index's arithmetic is
+// independent), so a renegotiated solve equals the serial solve bit for
+// bit, and a runner with renegotiation disabled reproduces the fixed-width
+// behavior exactly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/prox_library.hpp"
+#include "core/solver.hpp"
+#include "parallel/thread_pool.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/width_governor.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::runtime {
+namespace {
+
+SolverOptions short_solve_options() {
+  SolverOptions options;
+  options.max_iterations = 80;
+  options.check_interval = 20;
+  return options;
+}
+
+std::vector<double> z_copy(const FactorGraph& graph) {
+  const auto z = graph.z_values();
+  return {z.begin(), z.end()};
+}
+
+TEST(WidthGovernor, ShrinksOneLanePerWaitingJobAndGrowsBack) {
+  WidthGovernor governor;
+  EXPECT_EQ(governor.advise(4, 4), 4u);  // empty queue: planned width
+
+  governor.job_waiting();
+  governor.job_waiting();
+  EXPECT_EQ(governor.advise(4, 4), 2u);  // two waiting jobs reclaim 2 lanes
+  EXPECT_EQ(governor.advise(4, 2), 2u);  // steady state: no new transition
+
+  governor.job_done_waiting();
+  EXPECT_EQ(governor.advise(4, 2), 3u);  // queue draining: grow back
+  governor.job_done_waiting();
+  EXPECT_EQ(governor.advise(4, 3), 4u);  // drained: full planned width
+
+  const WidthGovernorStats stats = governor.stats();
+  EXPECT_EQ(stats.shrinks, 1u);
+  EXPECT_EQ(stats.grows, 2u);
+  EXPECT_EQ(stats.waiting_jobs, 0u);
+}
+
+TEST(WidthGovernor, MinWidthFloorsTheShrink) {
+  WidthGovernorOptions options;
+  options.min_width = 2;
+  WidthGovernor governor(options);
+  for (int i = 0; i < 10; ++i) governor.job_waiting();
+  EXPECT_EQ(governor.advise(4, 4), 2u);  // never below the floor
+  EXPECT_EQ(governor.advise(2, 2), 2u);  // planned at the floor: unchanged
+}
+
+TEST(WidthGovernor, DisabledGovernorPinsThePlannedWidth) {
+  WidthGovernorOptions options;
+  options.enabled = false;
+  WidthGovernor governor(options);
+  for (int i = 0; i < 5; ++i) governor.job_waiting();
+  EXPECT_EQ(governor.advise(4, 4), 4u);
+  EXPECT_EQ(governor.stats().shrinks, 0u);
+  EXPECT_EQ(governor.stats().grows, 0u);
+}
+
+TEST(WidthGovernor, ZeroMinWidthIsRejected) {
+  WidthGovernorOptions options;
+  options.min_width = 0;
+  EXPECT_THROW(WidthGovernor{options}, PreconditionError);
+}
+
+TEST(WidthGovernor, GovernedBackendTracksTheBacklogAndStaysBitwise) {
+  // A governed solve under a synthetic backlog (two waiting jobs for its
+  // whole run) shrinks exactly once, and its trajectory equals the serial
+  // solve bit for bit; a second solve after the backlog drains grows back.
+  BuiltProblem reference = ProblemRegistry::global().build("svm");
+  solve(*reference.graph, short_solve_options());
+  const auto expected = z_copy(*reference.graph);
+
+  ThreadPool pool(4);
+  WidthGovernor governor;
+  governor.job_waiting();
+  governor.job_waiting();
+
+  BuiltProblem governed = ProblemRegistry::global().build("svm");
+  const auto backend = make_governed_pool_backend(pool, 3, governor);
+  EXPECT_EQ(backend->concurrency(), 3u);  // reports the planned width
+  {
+    AdmmSolver solver(*governed.graph, short_solve_options(), *backend);
+    solver.run();
+  }
+  EXPECT_EQ(governor.stats().shrinks, 1u);  // 3 -> 1 at the first barrier
+  EXPECT_EQ(governor.stats().grows, 0u);
+
+  const auto actual = z_copy(*governed.graph);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t s = 0; s < actual.size(); ++s) {
+    EXPECT_EQ(actual[s], expected[s]) << "z scalar " << s;
+  }
+
+  // Backlog drains: the next governed solve opens back at planned width.
+  governor.job_done_waiting();
+  governor.job_done_waiting();
+  BuiltProblem regrown = ProblemRegistry::global().build("svm");
+  {
+    AdmmSolver solver(*regrown.graph, short_solve_options(), *backend);
+    solver.run();
+  }
+  EXPECT_EQ(governor.stats().grows, 1u);  // 1 -> 3 at the first barrier
+}
+
+TEST(WidthGovernor, RunnerWithRenegotiationDisabledIsBitwiseFixedWidth) {
+  // governor.enabled = false reproduces the fixed-width runtime exactly:
+  // the fine-grained solve matches the serial trajectory bit for bit and
+  // no renegotiation is ever recorded.
+  BuiltProblem reference = ProblemRegistry::global().build("svm");
+  solve(*reference.graph, short_solve_options());
+  const auto expected = z_copy(*reference.graph);
+
+  BatchRunnerOptions options;
+  options.threads = 3;
+  options.scheduler.fine_grained_threshold = 1;
+  options.governor.enabled = false;
+  BatchRunner runner(options);
+  JobHandle handle = runner.submit("svm", {}, short_solve_options());
+  ASSERT_EQ(handle.wait(), JobState::kDone);
+  EXPECT_TRUE(handle.plan().fine_grained());
+
+  const auto actual = z_copy(handle.graph());
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t s = 0; s < actual.size(); ++s) {
+    EXPECT_EQ(actual[s], expected[s]) << "z scalar " << s;
+  }
+  const RuntimeMetrics metrics = runner.metrics();
+  EXPECT_EQ(metrics.width_shrinks, 0u);
+  EXPECT_EQ(metrics.width_grows, 0u);
+}
+
+TEST(WidthGovernor, RenegotiatedMixedBatchMatchesSequentialSolves) {
+  // With renegotiation enabled, a mixed batch (fine-grained jobs racing
+  // small ones, widths shrinking and growing with the backlog) still
+  // reproduces every sequential solve: on top of the guaranteed bitwise
+  // equality, this is the end-to-end "matches the sequential solve"
+  // gate for the adaptive runtime.
+  std::vector<std::vector<double>> expected;
+  for (int i = 0; i < 6; ++i) {
+    BuiltProblem reference = ProblemRegistry::global().build("svm");
+    solve(*reference.graph, short_solve_options());
+    expected.push_back(z_copy(*reference.graph));
+  }
+
+  BatchRunnerOptions options;
+  options.threads = 4;
+  options.scheduler.fine_grained_threshold = 1;  // everything forks
+  BatchRunner runner(options);
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    SolveJob job = BatchRunner::make_job("svm", {}, short_solve_options());
+    job.priority = i % 3;
+    handles.push_back(runner.submit(std::move(job)));
+  }
+  runner.wait_all();
+
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    ASSERT_EQ(handles[i].state(), JobState::kDone) << "job " << i;
+    const auto actual = z_copy(handles[i].graph());
+    ASSERT_EQ(actual.size(), expected[i].size());
+    for (std::size_t s = 0; s < actual.size(); ++s) {
+      ASSERT_NEAR(actual[s], expected[i][s], 1e-12)
+          << "job " << i << " z scalar " << s;
+      EXPECT_EQ(actual[s], expected[i][s])
+          << "job " << i << " z scalar " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paradmm::runtime
