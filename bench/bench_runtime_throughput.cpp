@@ -323,7 +323,12 @@ int main(int argc, char** argv) {
       .set("priority_fifo_burst_seconds", fifo.burst_seconds)
       .set("priority_burst_seconds", prioritized.burst_seconds)
       .set("priority_burst_overtook_wide", prioritized.overtook_wide ? 1 : 0)
-      .set("priority_width_shrinks", prioritized.width_shrinks);
+      .set("priority_width_shrinks", prioritized.width_shrinks)
+      // Adaptive-scheduling telemetry, so the BENCH trajectory records how
+      // often the new control paths fire under the mixed workload.
+      .set("mixed_dispatcher_preemptions", mix.metrics.dispatcher_preemptions)
+      .set("mixed_width_boosts", mix.metrics.width_boosts)
+      .set("mixed_jobs_per_second", mix.metrics.jobs_per_second());
   const std::string written = result.write(result.default_path());
   std::cout << "\nwrote " << written << '\n';
   // Nonzero exit lets CI catch a throughput regression on real multicore —

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Bench regression gate for BENCH_runtime_throughput.json.
+
+Compares a freshly produced bench JSON against the committed baseline and
+fails (exit 1) when any gated throughput metric regressed by more than the
+tolerance.  The gated metrics are the *relative* speedups (batch vs
+sequential on the same machine), so the comparison is meaningful across
+runner hardware generations as long as both runs actually exercised
+parallelism — like the bench's own >=2x check, the gate only engages when
+both runs saw at least --min-threads hardware threads.  Otherwise it prints
+a note and exits 0, so laptop/container baselines never hard-fail CI while
+the artifact trajectory still accumulates.
+
+Usage:
+    check_regression.py BASELINE.json FRESH.json [--tolerance 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+# Higher is better for every gated metric.
+GATED_METRICS = ["speedup", "mixed_speedup"]
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"check_regression: cannot read {path}: {error}")
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional drop (default 0.15 = 15%%)")
+    parser.add_argument("--min-threads", type=int, default=4,
+                        help="hardware threads both runs need for the gate")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    if fresh is None:
+        print("check_regression: FAIL — no fresh bench result to judge")
+        return 1
+    if baseline is None:
+        print("check_regression: note — no readable baseline; skipping gate")
+        return 0
+
+    base_threads = int(baseline.get("hardware_threads", 0))
+    fresh_threads = int(fresh.get("hardware_threads", 0))
+    if base_threads < args.min_threads or fresh_threads < args.min_threads:
+        print(f"check_regression: note — gate needs >= {args.min_threads} "
+              f"hardware threads on both runs (baseline {base_threads}, "
+              f"fresh {fresh_threads}); speedups are not comparable, "
+              "skipping")
+        if base_threads < args.min_threads <= fresh_threads:
+            print("check_regression: to arm the gate, commit a baseline "
+                  "produced on >= 4-thread hardware — e.g. the fresh JSON "
+                  "from this run's bench-results artifact.  (Until then the "
+                  "bench's own >=2x / priority gates are still the hard "
+                  "throughput floor.)")
+        return 0
+
+    failures = []
+    for metric in GATED_METRICS:
+        base = baseline.get(metric)
+        now = fresh.get(metric)
+        if not isinstance(base, (int, float)) or not isinstance(now, (int, float)):
+            print(f"  {metric}: missing in baseline or fresh run, skipped")
+            continue
+        if base <= 0:
+            print(f"  {metric}: baseline {base} not positive, skipped")
+            continue
+        drop = (base - now) / base
+        verdict = "OK"
+        if drop > args.tolerance:
+            verdict = "REGRESSED"
+            failures.append(metric)
+        print(f"  {metric}: baseline {base:.3f} -> fresh {now:.3f} "
+              f"({-drop:+.1%}) {verdict}")
+
+    if failures:
+        print(f"check_regression: FAIL — {', '.join(failures)} dropped more "
+              f"than {args.tolerance:.0%} vs the committed baseline")
+        return 1
+    print("check_regression: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

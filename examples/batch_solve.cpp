@@ -29,6 +29,11 @@ int main() {
 
   BatchRunnerOptions options;
   options.threads = 4;
+  // Adaptive scheduling knobs: priority aging lifts long-waiting jobs one
+  // effective priority level per 2 seconds queued (0 = strict priority
+  // order), and deadline boosting (on by default) lets a running solve
+  // that is projected to miss its deadline claim extra lanes.
+  options.aging_rate = 0.5;
   BatchRunner runner(options);
 
   SolverOptions solve_options;
@@ -65,6 +70,11 @@ int main() {
   urgent_params.data_seed = 99;
   SolveJob urgent = BatchRunner::make_job("svm", urgent_params, solve_options);
   urgent.priority = 10;
+  // Deadlines live on the runner clock (seconds since construction unless
+  // BatchRunnerOptions::clock overrides it): earliest-deadline-first
+  // within a priority class, and a fine-grained solve racing this value
+  // gets boosted lanes instead of yielding them to the backlog.
+  urgent.deadline = 5.0;
   JobHandle urgent_svm = runner.submit(std::move(urgent));
 
   // One job of every other problem kind, with a progress callback.
@@ -94,9 +104,14 @@ int main() {
   std::printf("lasso:   %s after %d iterations\n",
               to_string(lasso.state()).data(), lasso.report().iterations);
   std::printf("packing: %s\n", to_string(packing_small.state()).data());
-  std::printf("urgent svm (priority %d): %s after %d iterations\n",
-              urgent_svm.priority(), to_string(urgent_svm.state()).data(),
-              urgent_svm.report().iterations);
+  std::printf("urgent svm (priority %d, deadline %.1fs): %s after %d "
+              "iterations, finished at %.3fs (%s)\n",
+              urgent_svm.priority(), urgent_svm.deadline(),
+              to_string(urgent_svm.state()).data(),
+              urgent_svm.report().iterations, urgent_svm.finished_at(),
+              urgent_svm.finished_at() <= urgent_svm.deadline()
+                  ? "met"
+                  : "missed");
   std::printf("packing (50 circles): %s, fine-grained=%s over %zu threads\n",
               to_string(big_packing.state()).data(),
               big_packing.plan().fine_grained() ? "yes" : "no",

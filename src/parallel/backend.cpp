@@ -126,12 +126,15 @@ class BorrowedPoolBackend final : public ExecutionBackend {
         const Phase& phase = phases[p];
         // The renegotiation point: between barriers, never inside a phase
         // (a group's partition is immutable once forked).  Clamped to
-        // [1, planned]: a provider overshooting would oversubscribe lanes
-        // the scheduler reserved for other jobs, and 0 is the pool's
-        // "whole pool" sentinel — the opposite of a shrink.
+        // [1, pool]: the provider owns the upper policy — the runtime's
+        // governor yields lanes to a backlog and may *boost* a
+        // deadline-racing solve above its planned width, arbitrated by its
+        // lane ledger so the granted total never exceeds the pool — and 1
+        // is the floor because 0 is the pool's "whole pool" sentinel, the
+        // opposite of a shrink.
         if (renegotiate_) {
           width_ = std::clamp(renegotiate_(planned_, width_),
-                              std::size_t{1}, planned_);
+                              std::size_t{1}, pool_.concurrency());
         }
         pool_.parallel_for_chunks(
             phase.count, width_,

@@ -123,9 +123,11 @@ using WidthProvider =
 ///
 /// With a `renegotiate` provider, the fork width is re-asked at every phase
 /// barrier (never inside a phase — a group's partition is immutable once
-/// forked), bounded by the planned `width`.  Phase numerics are
-/// width-independent, so renegotiation affects scheduling only; the policy
-/// itself (the runtime's WidthGovernor) stays out of this layer.
+/// forked), clamped to [1, pool size]: the provider owns the upper policy
+/// (the runtime's WidthGovernor yields lanes to a backlog and may boost a
+/// deadline-racing solve above its planned width under its lane ledger).
+/// Phase numerics are width-independent, so renegotiation affects
+/// scheduling only; the policy itself stays out of this layer.
 std::unique_ptr<ExecutionBackend> make_pool_backend(
     ThreadPool& pool, std::size_t width = 0, WidthProvider renegotiate = {});
 

@@ -54,6 +54,12 @@ class ThreadPool {
 
   std::size_t concurrency() const { return workers_.size() + 1; }
 
+  /// Whether any dedicated workers exist (threads > 1 at construction).
+  /// With none, submit() runs tasks inline on the calling thread — which
+  /// is why the batch runtime only arms its dispatcher-lane preemption
+  /// when this is true (an inline task has no queue to yield back to).
+  bool has_workers() const { return !workers_.empty(); }
+
   /// Invokes body(i) for every i in [0, count), split into contiguous
   /// static chunks.  Blocks until every invocation has completed.  `body`
   /// must be safe to call concurrently for distinct indices.  With no
@@ -124,9 +130,13 @@ class ThreadPool {
   /// `serve_tasks = false` when the helper must stay responsive to its
   /// stop condition: a whole task (for the runtime, a whole solve) pins
   /// the helper until it returns, while fork chunks are bounded by a
-  /// single phase.  `stop` is polled under the pool mutex between work
-  /// items and after every wakeup — it must be cheap and must not touch
-  /// this pool.  Callers flip their stop condition and then call
+  /// single phase.  (The batch runtime serves tasks here anyway and bounds
+  /// the pin at the solver layer: a whole solve the helper picked up
+  /// yields back to the runner's queue at its next progress barrier when
+  /// dispatch work appears.)  `stop` is polled under the pool mutex
+  /// between work items and after every wakeup — it must be cheap and
+  /// must not touch this pool.  Callers flip their stop condition and then
+  /// call
   /// notify_helpers(); flipping it alone leaves the helper asleep.
   /// Exceptions escaping a task run here are dropped (fire-and-forget,
   /// same contract as worker-run tasks).

@@ -1,6 +1,7 @@
 #include "runtime/batch_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "parallel/backend.hpp"
@@ -26,6 +27,18 @@ std::size_t resolve_threads(std::size_t requested) {
   return hw > 0 ? hw : 1;
 }
 
+// Stitches the accumulated slices of a (possibly preempted-and-resumed)
+// solve into the single report the handle exposes: per-slice reports carry
+// only their own iterations/wall/phase seconds, while convergence and the
+// final residuals are whatever the last slice saw.
+SolverReport stitched_report(const detail::JobControl& job,
+                             SolverReport last_slice) {
+  last_slice.iterations = job.iterations_done;
+  last_slice.wall_seconds = job.wall_so_far;
+  last_slice.phase_seconds = job.phase_seconds_so_far;
+  return last_slice;
+}
+
 }  // namespace
 
 BatchRunner::BatchRunner(BatchRunnerOptions options)
@@ -38,8 +51,19 @@ BatchRunner::BatchRunner(BatchRunnerOptions options)
       // split phases into more chunks than threads able to run them,
       // inflating phase latency.
       scheduler_(options.scheduler, pool_.concurrency()),
-      governor_(options.governor) {
+      governor_(options.governor),
+      aging_rate_(options.aging_rate),
+      queue_(JobOrder{options.aging_rate}) {
+  require(std::isfinite(aging_rate_) && aging_rate_ >= 0.0,
+          "BatchRunner aging_rate must be finite and >= 0");
+  clock_ = options.clock ? std::move(options.clock)
+                         : [this] { return since_start_.seconds(); };
+  // Deadlines, aging waits, and the governor's deadline projections all
+  // read the same clock — one axis, so "finished_at <= deadline" and "the
+  // projection missed the deadline" mean the same thing everywhere.
+  governor_.bind(pool_.concurrency(), clock_);
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  dispatcher_id_ = dispatcher_.get_id();
 }
 
 BatchRunner::~BatchRunner() {
@@ -66,6 +90,7 @@ JobHandle BatchRunner::submit(SolveJob job) {
   control->label = std::move(job.label);
   control->priority = job.priority;
   control->deadline = job.deadline;
+  control->submit_time = clock_();
 
   std::size_t depth = 0;
   {
@@ -129,6 +154,18 @@ RuntimeMetrics BatchRunner::metrics() const {
                              depth, governor_.stats());
 }
 
+bool BatchRunner::dispatch_pressure(const detail::JobControl& running) {
+  std::lock_guard lock(mutex_);
+  if (queue_.empty()) return false;
+  // A free lane means the queued job could be dispatched immediately if
+  // the dispatcher were not pinned inside this solve.
+  if (inflight_ < pool_.concurrency()) return true;
+  // Lanes full: yielding only helps if something queued should run before
+  // the solve the dispatcher is pinned on (same order the queue is keyed
+  // by, aged keys included).
+  return queue_.key_comp().before(**queue_.begin(), running);
+}
+
 void BatchRunner::dispatcher_loop() {
   for (;;) {
     std::shared_ptr<detail::JobControl> job;
@@ -147,19 +184,25 @@ void BatchRunner::dispatcher_loop() {
         lock.unlock();
         // Lend this thread to the pool so all `threads` lanes do solver
         // work.  Fork chunks are served first — this is the lane that
-        // lets a lone wide job fork over the whole pool.  Whole tasks
-        // (each a whole solve) are picked up only while the dispatch
-        // queue is empty: with jobs waiting, getting pinned inside one
-        // solve would stall every dispatch behind it.  (A task picked up
-        // while idle can still pin the dispatcher when a job arrives
-        // mid-solve — the residual cost of lending a non-preemptible
-        // lane; see ROADMAP.)
+        // lets a lone wide job fork over the whole pool.  Backlogged
+        // whole tasks (each a whole solve) are served too: picking one up
+        // no longer risks pinning this thread for the rest of the solve,
+        // because a solve running on the dispatcher yields back to the
+        // ready queue at its next progress barrier whenever dispatch
+        // pressure appears (see the yield check in execute()) — the
+        // preemption bound that lets a job arriving mid-solve start
+        // within one barrier.  The bound presumes the solve *has*
+        // mid-solve barriers: with check_interval <= 0 (or >= the whole
+        // budget) the callback fires once at the end, and such a solve
+        // pins the helper for its duration, exactly like every
+        // dispatcher-picked solve did before preemption existed.
         pool_.help_until([this] { return dispatcher_wake_.load(); },
-                         /*serve_tasks=*/queue_drained);
+                         /*serve_tasks=*/true);
         dispatcher_helping_.store(false);
         continue;
       }
-      // Highest priority first; deadline, then submit order break ties.
+      // Highest (effective) priority first; deadline, then submit order
+      // break ties.
       const auto front = queue_.begin();
       job = *front;
       queue_.erase(front);
@@ -168,41 +211,59 @@ void BatchRunner::dispatcher_loop() {
 
     // A job cancelled while queued is finalized here instead of being
     // handed to the pool: shipping it to execute() just to notice the
-    // cancel would occupy a worker slot ahead of live jobs.
+    // cancel would occupy a worker slot ahead of live jobs.  A preempted
+    // job (started, then yielded back to the queue) keeps its plan and its
+    // partial progress — it ran, so it settles as a ran cancellation.
     if (job->cancel_requested.load(std::memory_order_relaxed)) {
-      {
-        std::lock_guard job_lock(job->mutex);
-        job->plan = JobPlan{};
-        job->planned = true;
+      if (job->started) {
+        governor_.job_done_waiting();
+        finalize(job, JobState::kCancelled,
+                 stitched_report(*job, job->last_report), {},
+                 /*ran=*/true, /*was_running=*/false);
+      } else {
+        {
+          std::lock_guard job_lock(job->mutex);
+          job->plan = JobPlan{};
+          job->planned = true;
+        }
+        governor_.job_done_waiting();
+        finalize(job, JobState::kCancelled, SolverReport{}, {}, /*ran=*/false,
+                 /*was_running=*/false);
       }
-      governor_.job_done_waiting();
-      finalize(job, JobState::kCancelled, SolverReport{}, {}, 0.0,
-               /*ran=*/false);
       continue;
     }
 
     // plan() may run a user-supplied cost model; a throw must fail the one
     // job, not escape this thread and terminate the process (execute()
-    // gives user code on workers the same containment).
-    JobPlan plan;
-    std::string plan_error;
-    try {
-      plan = scheduler_.plan(*job->graph);
-    } catch (const std::exception& caught) {
-      plan_error = caught.what();
-    } catch (...) {
-      plan_error = "unknown exception from Scheduler::plan";
-    }
+    // gives user code on workers the same containment).  A resumed job is
+    // already planned — replanning could hand it a different width
+    // mid-solve for no reason.
+    bool already_planned = false;
     {
       std::lock_guard job_lock(job->mutex);
-      job->plan = plan;
-      job->planned = true;
+      already_planned = job->planned;
     }
-    if (!plan_error.empty()) {
-      governor_.job_done_waiting();
-      finalize(job, JobState::kFailed, SolverReport{}, std::move(plan_error),
-               0.0, /*ran=*/false);
-      continue;
+    if (!already_planned) {
+      JobPlan plan;
+      std::string plan_error;
+      try {
+        plan = scheduler_.plan(*job->graph);
+      } catch (const std::exception& caught) {
+        plan_error = caught.what();
+      } catch (...) {
+        plan_error = "unknown exception from Scheduler::plan";
+      }
+      {
+        std::lock_guard job_lock(job->mutex);
+        job->plan = plan;
+        job->planned = true;
+      }
+      if (!plan_error.empty()) {
+        governor_.job_done_waiting();
+        finalize(job, JobState::kFailed, SolverReport{}, std::move(plan_error),
+                 /*ran=*/false, /*was_running=*/false);
+        continue;
+      }
     }
 
     // Every job — serial or fine-grained — runs as a pool task; the
@@ -218,13 +279,20 @@ void BatchRunner::dispatcher_loop() {
 }
 
 void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
+  const bool resumed = job->started;
   {
     std::unique_lock lock(job->mutex);
     if (job->cancel_requested.load(std::memory_order_relaxed)) {
       lock.unlock();
       governor_.job_done_waiting();
-      finalize(job, JobState::kCancelled, SolverReport{}, {}, 0.0,
-               /*ran=*/false);
+      if (resumed) {
+        finalize(job, JobState::kCancelled,
+                 stitched_report(*job, job->last_report), {},
+                 /*ran=*/true, /*was_running=*/false);
+      } else {
+        finalize(job, JobState::kCancelled, SolverReport{}, {}, /*ran=*/false,
+                 /*was_running=*/false);
+      }
       return;
     }
     job->state = JobState::kRunning;
@@ -232,36 +300,74 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
   // Off the waiting set the moment a lane is actually running it: running
   // solves are capacity in use, not backlog for the governor to relieve.
   governor_.job_done_waiting();
+  job->started = true;
+  // Every slice announces itself to the running gauge; the matching
+  // release is on_preempt (yield) or finalize (terminal).
   collector_.on_start(job->plan.intra_threads);
   job->changed.notify_all();
+
+  // The preemption bound on the dispatcher lane: only a solve running *on
+  // the dispatcher thread* may yield (the dispatcher is the one lane whose
+  // pinning stalls every dispatch behind it), and only when a deferred
+  // continuation is possible (with no workers, pool tasks run inline and
+  // there is nothing to yield to).
+  const bool may_yield = pool_.has_workers() &&
+                         std::this_thread::get_id() == dispatcher_id_;
 
   WallTimer timer;
   SolverReport report;
   std::string error;
   bool failed = false;
   bool saw_cancel = false;
+  bool saw_yield = false;
+  bool serial_counted = false;
 
   const auto callback = [&](const IterationStatus& status) {
     if (job->progress) job->progress(status);
     saw_cancel = job->cancel_requested.load(std::memory_order_relaxed);
-    return !saw_cancel;
+    if (saw_cancel) return false;
+    if (may_yield && dispatch_pressure(*job)) {
+      saw_yield = true;
+      return false;
+    }
+    return true;
   };
 
   try {
     SolverOptions options = job->options;
+    // Resumable slices: the solver keeps all trajectory state in the graph
+    // arrays, so running the remaining budget continues the uninterrupted
+    // solve bitwise — and because yields land on progress barriers
+    // (multiples of check_interval), residual checks stay on the same
+    // global cadence too.
+    options.max_iterations =
+        std::max(0, job->options.max_iterations - job->iterations_done);
     if (job->plan.fine_grained()) {
       // Width-governed borrowed-pool backend: the solve's five phases fork
       // over at most intra_threads lanes, renegotiated against the shared
       // governor at every phase barrier (shrink under backlog, grow back
-      // when the queue drains).  The backend is per-job and cheap (no
-      // threads of its own).
+      // when the queue drains, boost past planned when the deadline
+      // projection misses).  The backend is per-job and cheap (no threads
+      // of its own); its ledger lease spans this slice.
+      GovernedSolveInfo info;
+      info.deadline = job->deadline;
+      info.total_phases = SolverReport::kPhaseNames.size() *
+                          static_cast<std::size_t>(options.max_iterations);
+      info.on_width = [control = job.get()](std::size_t width) {
+        control->current_width.store(width, std::memory_order_relaxed);
+      };
       const auto backend = make_governed_pool_backend(
-          pool_, job->plan.intra_threads, governor_);
+          pool_, job->plan.intra_threads, governor_, std::move(info));
       AdmmSolver solver(*job->graph, options, *backend);
       report = solver.run(callback);
     } else {
       options.backend = BackendKind::kSerial;
       options.threads = 1;
+      job->current_width.store(1, std::memory_order_relaxed);
+      // Serial solves hold no governor lease but do pin a lane each; the
+      // ledger counts them so deadline boosts never claim busy capacity.
+      governor_.serial_started();
+      serial_counted = true;
       AdmmSolver solver(*job->graph, options);
       report = solver.run(callback);
     }
@@ -275,27 +381,81 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
     error = "unknown exception";
   }
 
+  if (serial_counted) governor_.serial_finished();
+
+  // Fold this slice into the job's running totals before deciding whether
+  // it is done or merely yielded.
+  job->iterations_done += report.iterations;
+  job->wall_so_far += timer.seconds();
+  accumulate_phase_seconds(job->phase_seconds_so_far, report.phase_seconds);
+
+  if (!failed && saw_yield && !saw_cancel && !report.converged &&
+      job->iterations_done < job->options.max_iterations) {
+    // Keep the slice's report: if the parked job is cancelled before it
+    // resumes, it still reports the residuals it actually reached.
+    job->last_report = std::move(report);
+    requeue(job);
+    return;
+  }
+
   JobState outcome = JobState::kDone;
   if (failed) {
     outcome = JobState::kFailed;
   } else if (saw_cancel && !report.converged) {
     outcome = JobState::kCancelled;
   }
-  finalize(job, outcome, std::move(report), std::move(error), timer.seconds(),
-           /*ran=*/true);
+  finalize(job, outcome, stitched_report(*job, std::move(report)),
+           std::move(error), /*ran=*/true, /*was_running=*/true);
+}
+
+void BatchRunner::requeue(const std::shared_ptr<detail::JobControl>& job) {
+  // Back into the ready queue under its original (priority, deadline,
+  // sequence) key: the preempted solve keeps its place in its priority
+  // class — and its accrued age — so yielding can never starve it.  It is
+  // honestly kQueued again (nothing is iterating it) and its running-gauge
+  // slot is released; the resumed slice re-announces both.  Only the
+  // dispatcher yields, so it returns from its helping stint right after
+  // this and re-enters the dispatch loop; no pool notify needed.
+  {
+    std::lock_guard job_lock(job->mutex);
+    job->state = JobState::kQueued;
+  }
+  job->changed.notify_all();
+  collector_.on_preempt(job->plan.intra_threads);
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(mutex_);
+    governor_.job_waiting();
+    queue_.insert(job);
+    --inflight_;
+    depth = queue_.size();
+    dispatcher_wake_.store(true);
+  }
+  collector_.on_queue_depth(depth);
 }
 
 void BatchRunner::finalize(const std::shared_ptr<detail::JobControl>& job,
                            JobState outcome, SolverReport report,
-                           std::string error, double wall_seconds, bool ran) {
+                           std::string error, bool ran, bool was_running) {
+  const double finished_at = clock_();
   // Record metrics before the state flips to terminal, so a waiter woken by
   // wait() immediately observes this job in metrics().
-  collector_.on_finish(outcome, wall_seconds, job->plan.intra_threads, ran);
+  JobFinish finish;
+  finish.outcome = outcome;
+  finish.wall_seconds = job->wall_so_far;
+  finish.threads_used = job->plan.intra_threads;
+  finish.ran = ran;
+  finish.was_running = was_running;
+  finish.had_deadline = std::isfinite(job->deadline);
+  finish.met_deadline = finished_at <= job->deadline;
+  finish.phase_seconds = &report.phase_seconds;
+  collector_.on_finish(finish);
   {
     std::lock_guard lock(job->mutex);
     job->report = std::move(report);
     job->error = std::move(error);
-    job->wall_seconds = wall_seconds;
+    job->wall_seconds = job->wall_so_far;
+    job->finished_at = finished_at;
     job->state = outcome;
   }
   job->changed.notify_all();

@@ -26,22 +26,33 @@
 // Jobs are dispatched by (priority desc, deadline asc, submit order asc) —
 // see SolveJob::priority — so a queue backlog never makes urgent work wait
 // behind bulk work, and scheduling stays deterministic for a fixed arrival
-// set.  Dispatch is *bounded*: at most `threads` jobs are in flight on the
-// pool at once, and the rest wait in the priority queue — forwarding the
-// whole backlog eagerly would bury a late-arriving urgent job in the
-// pool's FIFO run queues, where priority no longer applies.  Between
-// phase barriers, running fine-grained solves renegotiate
-// their width against the shared WidthGovernor: a backlog shrinks them so
-// waiting jobs get lanes, a drained queue grows them back (numerics are
-// width-independent, so this never changes results).  Handles expose
-// state, blocking wait, cooperative cancellation, and the final report.
-// Runtime counters (jobs/sec, queue depth, utilization, per-width
-// occupancy, renegotiations) are available via metrics().
+// set.  With a nonzero aging_rate the priority term becomes *effective*
+// priority — priority + aging_rate x queue wait on the runner clock — so a
+// sustained stream of high-priority arrivals can never starve the tail:
+// every waiting job eventually outranks fresh arrivals.  Dispatch is
+// *bounded*: at most `threads` jobs are in flight on the pool at once, and
+// the rest wait in the priority queue — forwarding the whole backlog
+// eagerly would bury a late-arriving urgent job in the pool's FIFO run
+// queues, where priority no longer applies.  Between phase barriers,
+// running fine-grained solves renegotiate their width against the shared
+// WidthGovernor: a backlog shrinks them so waiting jobs get lanes, a
+// drained queue grows them back, and a solve projected to miss its
+// deadline claims lanes up to the pool width instead of yielding
+// (numerics are width-independent, so none of this ever changes results).
+// The dispatcher's pool-helping stint is preemption-aware: a whole solve
+// it picked up yields back to the ready queue at its next progress
+// barrier whenever dispatch work appears, so a job arriving mid-solve
+// waits at most one barrier instead of the rest of the solve.  Handles
+// expose state, blocking wait, cooperative cancellation, and the final
+// report.  Runtime counters (jobs/sec, queue depth, utilization,
+// per-width occupancy, renegotiations, boosts, preemptions, deadline
+// outcomes) are available via metrics().
 #pragma once
 
 #include <any>
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -63,8 +74,28 @@ struct BatchRunnerOptions {
   SchedulerOptions scheduler;
   /// Mid-solve width renegotiation policy (enabled by default; set
   /// `governor.enabled = false` to pin fine-grained jobs at their planned
-  /// width for the whole solve).
+  /// width for the whole solve, `governor.deadline_boost = false` to keep
+  /// the yield policy but never exceed planned widths).
   WidthGovernorOptions governor;
+
+  /// The clock deadlines, priority aging, and deadline-boost projections
+  /// are evaluated against: any thread-safe, monotone non-decreasing
+  /// function of time.  Empty (the default) means wall seconds since the
+  /// runner was constructed; tests inject virtual clocks to make
+  /// scheduling scenarios deterministic.
+  std::function<double()> clock;
+
+  /// Priority aging: a queued job's effective priority is
+  /// priority + aging_rate x (now - submit time) on the runner clock, so
+  /// waiting jobs gain rank and sustained high-priority load cannot starve
+  /// the tail (a priority-0 job outranks fresh priority-P arrivals after
+  /// waiting P / aging_rate).  0 (the default) reproduces the pure
+  /// (priority, deadline, submit order) policy bitwise.  Nonzero rates
+  /// trade the EDF tiebreak for starvation-freedom: same-priority jobs
+  /// submitted at different clock readings get distinct aged keys, so
+  /// deadlines only order exact key ties (deadline-aware width *boosting*
+  /// still honors every deadline at runtime).  Must be finite and >= 0.
+  double aging_rate = 0.0;
 };
 
 class BatchRunner {
@@ -111,33 +142,69 @@ class BatchRunner {
   const WidthGovernor& governor() const { return governor_; }
 
  private:
-  // Priority order for the ready queue: priority desc, then deadline asc,
-  // then submit sequence asc.  The sequence is unique, so this is a strict
-  // total order — dispatch is deterministic for a fixed arrival set.
+  // Priority order for the ready queue: (effective) priority desc, then
+  // deadline asc, then submit sequence asc.  The sequence is unique, so
+  // this is a strict total order — dispatch is deterministic for a fixed
+  // arrival set.  Aging needs no clock here: every queued job ages at the
+  // same rate, so the time-dependent effective priorities
+  // priority + rate x (now - submit) order exactly like the static keys
+  // priority - rate x submit — `now` cancels (the runner clock is monotone,
+  // so the wait is never negative), and the sorted set stays valid because
+  // every key component is fixed at submit.  rate == 0 keeps the integer
+  // compare, reproducing the pure-priority order bitwise.
   struct JobOrder {
+    double aging_rate = 0.0;
+
     bool operator()(const std::shared_ptr<detail::JobControl>& a,
                     const std::shared_ptr<detail::JobControl>& b) const {
-      if (a->priority != b->priority) return a->priority > b->priority;
-      if (a->deadline != b->deadline) return a->deadline < b->deadline;
-      return a->sequence < b->sequence;
+      return before(*a, *b);
+    }
+
+    bool before(const detail::JobControl& a,
+                const detail::JobControl& b) const {
+      if (aging_rate > 0.0) {
+        const double key_a =
+            static_cast<double>(a.priority) - aging_rate * a.submit_time;
+        const double key_b =
+            static_cast<double>(b.priority) - aging_rate * b.submit_time;
+        if (key_a != key_b) return key_a > key_b;
+      } else if (a.priority != b.priority) {
+        return a.priority > b.priority;
+      }
+      if (a.deadline != b.deadline) return a.deadline < b.deadline;
+      return a.sequence < b.sequence;
     }
   };
 
+  using ReadyQueue = std::set<std::shared_ptr<detail::JobControl>, JobOrder>;
+
   void dispatcher_loop();
   void execute(const std::shared_ptr<detail::JobControl>& job);
+  // `ran`: the job executed at least one slice (wall/occupancy stats
+  // apply).  `was_running`: it still occupies the running gauge — false
+  // when it was finalized while parked in the ready queue after a
+  // preemption (the yield already released its slot).
   void finalize(const std::shared_ptr<detail::JobControl>& job,
                 JobState outcome, SolverReport report, std::string error,
-                double wall_seconds, bool ran);
+                bool ran, bool was_running);
+  // Returns the yielded job to the ready queue (dispatcher preemption).
+  void requeue(const std::shared_ptr<detail::JobControl>& job);
+  // Whether the solve `running` (on the dispatcher lane) should yield: a
+  // job is queued and either a dispatch lane is free or the queued job
+  // outranks the running one under the current policy.
+  bool dispatch_pressure(const detail::JobControl& running);
 
   ThreadPool pool_;
   Scheduler scheduler_;
   WidthGovernor governor_;
   MetricsCollector collector_;
   WallTimer since_start_;
+  std::function<double()> clock_;
+  double aging_rate_ = 0.0;
 
   mutable std::mutex mutex_;
   std::condition_variable all_done_;
-  std::set<std::shared_ptr<detail::JobControl>, JobOrder> queue_;
+  ReadyQueue queue_;
   std::uint64_t next_sequence_ = 0;
   std::size_t unfinished_ = 0;
   // Jobs popped from queue_ but not yet finalized.  Dispatch stalls at
@@ -157,6 +224,10 @@ class BatchRunner {
   std::atomic<bool> dispatcher_helping_{false};
 
   std::thread dispatcher_;  // last member: joins before the rest tears down
+  // Fixed at construction; execute() compares against it to arm the yield
+  // check (reading dispatcher_.get_id() instead would race the join in the
+  // destructor while workers still finish in-flight solves).
+  std::thread::id dispatcher_id_;
 };
 
 }  // namespace paradmm::runtime

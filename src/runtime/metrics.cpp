@@ -9,15 +9,23 @@
 namespace paradmm::runtime {
 
 void RuntimeMetrics::print(std::ostream& out) const {
+  // Counters render with thousands separators: under the 100-seed soak the
+  // width/renegotiation counters cross four digits, and ungrouped digit
+  // runs both misalign against their short siblings and misread easily.
+  // The Table then sizes every column to its widest cell, so no value can
+  // overflow its column whatever the magnitude.
+  const auto count = [](std::size_t value) {
+    return format_thousands(static_cast<long long>(value));
+  };
   Table table({"metric", "value"});
-  table.add_row({"workers", std::to_string(workers)});
-  table.add_row({"submitted", std::to_string(submitted)});
-  table.add_row({"completed", std::to_string(completed)});
-  table.add_row({"cancelled", std::to_string(cancelled)});
-  table.add_row({"failed", std::to_string(failed)});
-  table.add_row({"fine-grained jobs", std::to_string(fine_grained_jobs)});
-  table.add_row({"queue depth", std::to_string(queue_depth)});
-  table.add_row({"peak queue depth", std::to_string(peak_queue_depth)});
+  table.add_row({"workers", count(workers)});
+  table.add_row({"submitted", count(submitted)});
+  table.add_row({"completed", count(completed)});
+  table.add_row({"cancelled", count(cancelled)});
+  table.add_row({"failed", count(failed)});
+  table.add_row({"fine-grained jobs", count(fine_grained_jobs)});
+  table.add_row({"queue depth", count(queue_depth)});
+  table.add_row({"peak queue depth", count(peak_queue_depth)});
   table.add_row({"elapsed", format_duration(elapsed_seconds)});
   table.add_row({"jobs/sec", format_fixed(jobs_per_second(), 2)});
   table.add_row({"job wall mean", format_duration(mean_job_seconds())});
@@ -26,8 +34,27 @@ void RuntimeMetrics::print(std::ostream& out) const {
   table.add_row(
       {"worker utilization", format_fixed(100.0 * worker_utilization(), 1) + "%"});
   table.add_row({"width renegotiations",
-                 std::to_string(width_shrinks) + " shrinks, " +
-                     std::to_string(width_grows) + " grows"});
+                 count(width_shrinks) + " shrinks, " + count(width_grows) +
+                     " grows, " + count(width_boosts) + " boosts"});
+  table.add_row({"boosted lanes now", count(boosted_lanes)});
+  table.add_row({"dispatcher preemptions", count(dispatcher_preemptions)});
+  table.add_row({"deadlines met/missed",
+                 count(deadlines_met) + "/" + count(deadlines_missed)});
+  if (learned_phase_seconds > 0.0) {
+    table.add_row(
+        {"learned phase cost", format_duration(learned_phase_seconds)});
+  }
+  if (!phase_seconds.empty()) {
+    std::string cells;
+    for (std::size_t p = 0; p < phase_seconds.size(); ++p) {
+      if (p != 0) cells += ", ";
+      const char* name = p < SolverReport::kPhaseNames.size()
+                             ? SolverReport::kPhaseNames[p]
+                             : "?";
+      cells += std::string(name) + "=" + format_duration(phase_seconds[p]);
+    }
+    table.add_row({"phase seconds", cells});
+  }
   // Union of the three maps: a width whose first job is still mid-flight
   // must already show its running count.
   std::map<std::size_t, std::size_t> widths;
@@ -43,11 +70,10 @@ void RuntimeMetrics::print(std::ostream& out) const {
     const std::size_t width = entry.first;
     table.add_row(
         {"width " + std::to_string(width) + " jobs",
-         std::to_string(value_or_zero(finished_by_width, width)) +
-             " finished, " +
-             std::to_string(value_or_zero(running_by_width, width)) +
+         count(value_or_zero(finished_by_width, width)) + " finished, " +
+             count(value_or_zero(running_by_width, width)) +
              " running, peak " +
-             std::to_string(value_or_zero(peak_running_by_width, width)) +
+             count(value_or_zero(peak_running_by_width, width)) +
              " concurrent"});
   }
   table.print(out);
@@ -59,6 +85,11 @@ void MetricsCollector::on_submit(std::size_t queue_depth) {
   metrics_.peak_queue_depth = std::max(metrics_.peak_queue_depth, queue_depth);
 }
 
+void MetricsCollector::on_queue_depth(std::size_t queue_depth) {
+  std::lock_guard lock(mutex_);
+  metrics_.peak_queue_depth = std::max(metrics_.peak_queue_depth, queue_depth);
+}
+
 void MetricsCollector::on_start(std::size_t threads_used) {
   std::lock_guard lock(mutex_);
   const std::size_t running = ++metrics_.running_by_width[threads_used];
@@ -66,27 +97,44 @@ void MetricsCollector::on_start(std::size_t threads_used) {
   peak = std::max(peak, running);
 }
 
-void MetricsCollector::on_finish(JobState outcome, double wall_seconds,
-                                 std::size_t threads_used, bool ran) {
+void MetricsCollector::on_preempt(std::size_t threads_used) {
   std::lock_guard lock(mutex_);
-  switch (outcome) {
+  ++metrics_.dispatcher_preemptions;
+  --metrics_.running_by_width[threads_used];
+}
+
+void MetricsCollector::on_finish(const JobFinish& finish) {
+  std::lock_guard lock(mutex_);
+  switch (finish.outcome) {
     case JobState::kDone: ++metrics_.completed; break;
     case JobState::kCancelled: ++metrics_.cancelled; break;
     case JobState::kFailed: ++metrics_.failed; break;
     default: break;
   }
-  if (!ran) return;  // cancelled-while-queued: no solve to account for
-  --metrics_.running_by_width[threads_used];
-  ++metrics_.finished_by_width[threads_used];
-  ++metrics_.ran_jobs;
-  if (threads_used > 1) ++metrics_.fine_grained_jobs;
-  metrics_.total_job_seconds += wall_seconds;
-  metrics_.busy_seconds +=
-      wall_seconds * static_cast<double>(std::max<std::size_t>(threads_used, 1));
-  if (!any_finished_ || wall_seconds < metrics_.min_job_seconds) {
-    metrics_.min_job_seconds = wall_seconds;
+  if (finish.outcome == JobState::kDone && finish.had_deadline) {
+    if (finish.met_deadline) {
+      ++metrics_.deadlines_met;
+    } else {
+      ++metrics_.deadlines_missed;
+    }
   }
-  metrics_.max_job_seconds = std::max(metrics_.max_job_seconds, wall_seconds);
+  if (finish.was_running) --metrics_.running_by_width[finish.threads_used];
+  if (!finish.ran) return;  // cancelled-while-queued: no solve to account for
+  ++metrics_.finished_by_width[finish.threads_used];
+  ++metrics_.ran_jobs;
+  if (finish.threads_used > 1) ++metrics_.fine_grained_jobs;
+  if (finish.phase_seconds != nullptr) {
+    accumulate_phase_seconds(metrics_.phase_seconds, *finish.phase_seconds);
+  }
+  metrics_.total_job_seconds += finish.wall_seconds;
+  metrics_.busy_seconds +=
+      finish.wall_seconds *
+      static_cast<double>(std::max<std::size_t>(finish.threads_used, 1));
+  if (!any_finished_ || finish.wall_seconds < metrics_.min_job_seconds) {
+    metrics_.min_job_seconds = finish.wall_seconds;
+  }
+  metrics_.max_job_seconds =
+      std::max(metrics_.max_job_seconds, finish.wall_seconds);
   any_finished_ = true;
 }
 
@@ -102,7 +150,10 @@ RuntimeMetrics MetricsCollector::snapshot(double elapsed_seconds,
   out.peak_queue_depth = std::max(out.peak_queue_depth, queue_depth);
   out.width_shrinks = governor.shrinks;
   out.width_grows = governor.grows;
+  out.width_boosts = governor.boosts;
   out.waiting_jobs = governor.waiting_jobs;
+  out.boosted_lanes = governor.boosted_lanes;
+  out.learned_phase_seconds = governor.learned_phase_seconds;
   return out;
 }
 

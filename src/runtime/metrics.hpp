@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 #include <ostream>
+#include <vector>
 
 #include "runtime/solve_job.hpp"
 #include "runtime/width_governor.hpp"
@@ -38,11 +39,33 @@ struct RuntimeMetrics {
 
   /// Mid-solve width renegotiation activity (see runtime/width_governor.hpp):
   /// phase barriers at which a running fine-grained solve gave lanes to a
-  /// backlog (shrinks) or took them back (grows), and the solves waiting
-  /// for a lane right now.
+  /// backlog (shrinks), took them back (grows), or claimed lanes above its
+  /// planned width because its projected finish missed its deadline
+  /// (boosts); plus the solves waiting for a lane right now and the lanes
+  /// currently held above planned widths.
   std::size_t width_shrinks = 0;
   std::size_t width_grows = 0;
+  std::size_t width_boosts = 0;
   std::size_t waiting_jobs = 0;
+  std::size_t boosted_lanes = 0;
+  /// The governor's learned per-phase wall-clock (lane-seconds per phase
+  /// barrier, cross-job EWMA) — the estimate behind deadline projections.
+  double learned_phase_seconds = 0.0;
+
+  /// Dispatcher-lane preemption: solves the helping dispatcher yielded
+  /// back to the ready queue mid-solve so a newly arrived job could be
+  /// dispatched within one progress barrier.
+  std::size_t dispatcher_preemptions = 0;
+
+  /// Deadline outcomes of finished (kDone) jobs that carried a finite
+  /// deadline, judged as finished_at <= deadline on the runner clock.
+  std::size_t deadlines_met = 0;
+  std::size_t deadlines_missed = 0;
+
+  /// Accumulated wall seconds per ADMM phase (x, m, z, u, n) across every
+  /// job that executed with phase timing enabled — the per-phase wall-clock
+  /// telemetry the governor's estimator mirrors.
+  std::vector<double> phase_seconds;
 
   double elapsed_seconds = 0.0;     ///< since the runner started
   double busy_seconds = 0.0;        ///< sum over jobs of wall * threads used
@@ -77,19 +100,56 @@ struct RuntimeMetrics {
   void print(std::ostream& out) const;
 };
 
+/// Element-wise accumulation of per-phase wall seconds, growing `into` to
+/// fit: shared by the job-level slice stitching (resumed solves) and the
+/// collector's cross-job totals so the two can never drift.
+inline void accumulate_phase_seconds(std::vector<double>& into,
+                                     const std::vector<double>& slice) {
+  if (into.size() < slice.size()) into.resize(slice.size(), 0.0);
+  for (std::size_t p = 0; p < slice.size(); ++p) into[p] += slice[p];
+}
+
+/// Everything BatchRunner::finalize knows about a finished job, for the
+/// collector's tallies.
+struct JobFinish {
+  JobState outcome = JobState::kDone;
+  double wall_seconds = 0.0;
+  std::size_t threads_used = 1;
+  /// False for jobs finalized without executing (cancelled while queued or
+  /// dropped at dispatch): they count toward their outcome tally but not
+  /// toward the wall-time / busy / per-width statistics.  A `ran` job must
+  /// have been announced via on_start.
+  bool ran = false;
+  /// Whether the job occupies the per-width running gauge right now (true
+  /// for a solve finishing normally; false for one finalized while parked
+  /// back in the ready queue after a preemption — on_preempt already
+  /// released its gauge slot).
+  bool was_running = false;
+  /// The job carried a finite deadline, and whether it was met (kDone jobs
+  /// only — a cancelled or failed job delivered nothing to judge).
+  bool had_deadline = false;
+  bool met_deadline = false;
+  /// Per-phase wall seconds of the executed solve (empty when timing was
+  /// off or the job never ran).
+  const std::vector<double>* phase_seconds = nullptr;
+};
+
 /// Thread-safe accumulator behind BatchRunner::metrics().
 class MetricsCollector {
  public:
   void on_submit(std::size_t queue_depth);
+  /// Folds an instantaneous ready-queue depth into the peak (requeues
+  /// after a preemption can push the depth above any submit-time value).
+  void on_queue_depth(std::size_t queue_depth);
   /// A solve of `threads_used` intra-width just started executing; bumps
   /// the per-width running gauge (and its peak).
   void on_start(std::size_t threads_used);
-  /// `ran` is false for jobs finalized without executing (cancelled while
-  /// queued or dropped at dispatch): they count toward their outcome tally
-  /// but not toward the wall-time / busy / per-width statistics.  A `ran`
-  /// job must have been announced via on_start.
-  void on_finish(JobState outcome, double wall_seconds,
-                 std::size_t threads_used, bool ran);
+  /// The dispatcher yielded a solve of `threads_used` intra-width back to
+  /// the ready queue so a waiting job could be dispatched; releases its
+  /// per-width running-gauge slot (a resumed slice re-announces itself via
+  /// on_start).
+  void on_preempt(std::size_t threads_used);
+  void on_finish(const JobFinish& finish);
 
   /// Snapshot with the runner-supplied instantaneous values filled in.
   RuntimeMetrics snapshot(double elapsed_seconds, std::size_t workers,

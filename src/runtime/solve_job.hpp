@@ -16,6 +16,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/solver.hpp"
 #include "runtime/scheduler.hpp"
@@ -24,7 +25,9 @@
 namespace paradmm::runtime {
 
 enum class JobState {
-  kQueued,     ///< submitted, not yet dispatched to a worker
+  kQueued,     ///< waiting in the ready queue — submitted and not yet
+               ///< dispatched, or preempted off the dispatcher lane and
+               ///< waiting to resume (keeps its partial progress)
   kRunning,    ///< a worker is iterating
   kDone,       ///< finished (converged or iteration budget exhausted)
   kCancelled,  ///< stopped early by request_cancel()
@@ -63,10 +66,18 @@ struct SolveJob {
   /// create does shrink running wide solves — see runtime/width_governor.hpp).
   int priority = 0;
 
-  /// Soft deadline on whatever monotone axis the submitter uses for the
-  /// whole batch (e.g. seconds since its own start time); the runner only
-  /// compares values, it never evaluates them against a clock.  Earliest-
+  /// Soft deadline on the runner's clock axis (BatchRunnerOptions::clock;
+  /// by default wall seconds since the runner was constructed).  Earliest-
   /// deadline-first within a priority class; kNoDeadline sorts last.
+  /// (With priority aging enabled, same-priority jobs submitted at
+  /// different clock readings have distinct aged keys, so the deadline
+  /// tiebreak only orders jobs whose keys tie exactly — aging trades EDF
+  /// ordering for starvation-freedom; see BatchRunnerOptions::aging_rate.)
+  /// A
+  /// finite deadline also arms deadline-aware width boosting: a running
+  /// fine-grained solve whose projected finish misses this value claims
+  /// lanes instead of yielding them (see runtime/width_governor.hpp), and
+  /// the job counts toward metrics().deadlines_met / deadlines_missed.
   double deadline = kNoDeadline;
 };
 
@@ -82,9 +93,27 @@ struct JobControl {
   std::string label;
   int priority = 0;
   double deadline = kNoDeadline;
-  std::uint64_t sequence = 0;  // runner-assigned submit order (FIFO ties)
+  std::uint64_t sequence = 0;   // runner-assigned submit order (FIFO ties)
+  double submit_time = 0.0;     // runner clock at submit (priority aging)
 
   std::atomic<bool> cancel_requested{false};
+
+  /// Width of the most recent phase fork (1 for whole-solve jobs, 0 until
+  /// the first fork); read by JobHandle::current_width.
+  std::atomic<std::size_t> current_width{0};
+
+  // Resumable-execution bookkeeping (dispatcher-lane preemption): a solve
+  // that yielded back to the ready queue keeps its progress here and picks
+  // up where it left off on the next dispatch.  Written only by the thread
+  // executing the job, ordered against re-dispatch by the runner mutex.
+  bool started = false;        // on_start / kRunning happened
+  int iterations_done = 0;     // across all slices so far
+  double wall_so_far = 0.0;    // executed wall seconds across slices
+  std::vector<double> phase_seconds_so_far;
+  // The most recent slice's solver report (residuals after the last
+  // completed check): a preempted job cancelled while parked still
+  // reports the progress it actually made.
+  SolverReport last_report;
 
   mutable std::mutex mutex;
   mutable std::condition_variable changed;
@@ -94,6 +123,8 @@ struct JobControl {
   SolverReport report;   // valid in kDone/kCancelled
   std::string error;     // non-empty in kFailed
   double wall_seconds = 0.0;
+  // Runner clock value when the job went terminal (NaN until then).
+  double finished_at = std::numeric_limits<double>::quiet_NaN();
 };
 
 }  // namespace detail
@@ -157,6 +188,22 @@ class JobHandle {
   /// Dispatch priority / deadline, as submitted (fixed for the job's life).
   int priority() const { return control()->priority; }
   double deadline() const { return control()->deadline; }
+
+  /// Width of the solve's most recent phase fork: 0 before the first fork,
+  /// 1 for whole-solve jobs, and above plan().intra_threads while the
+  /// governor is boosting a deadline-racing solve.
+  std::size_t current_width() const {
+    return control()->current_width.load(std::memory_order_relaxed);
+  }
+
+  /// Runner clock value (BatchRunnerOptions::clock axis — the axis
+  /// deadlines live on) when the job reached a terminal state; NaN until
+  /// then.  finished_at() <= deadline() is the runner's definition of a
+  /// met deadline.
+  double finished_at() const {
+    std::lock_guard lock(control()->mutex);
+    return control_->finished_at;
+  }
 
   /// Wall-clock seconds of the solve; valid in terminal states.
   double wall_seconds() const {

@@ -1,6 +1,8 @@
 #include "runtime/width_governor.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "parallel/thread_pool.hpp"
 #include "support/error.hpp"
@@ -14,6 +16,12 @@ WidthGovernor::WidthGovernor(WidthGovernorOptions options)
           "run its phase at all");
 }
 
+void WidthGovernor::bind(std::size_t pool_width,
+                         std::function<double()> clock) {
+  pool_width_ = pool_width;
+  clock_ = std::move(clock);
+}
+
 void WidthGovernor::job_waiting() {
   waiting_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -22,8 +30,15 @@ void WidthGovernor::job_done_waiting() {
   waiting_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-std::size_t WidthGovernor::advise(std::size_t planned_width,
-                                  std::size_t current_width) {
+void WidthGovernor::serial_started() {
+  busy_serial_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WidthGovernor::serial_finished() {
+  busy_serial_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t WidthGovernor::backlog_target(std::size_t planned_width) const {
   std::size_t target = planned_width;
   if (options_.enabled && planned_width > options_.min_width) {
     // One lane reclaimed per waiting solve: the backlog can absorb exactly
@@ -34,6 +49,146 @@ std::size_t WidthGovernor::advise(std::size_t planned_width,
     const std::size_t reclaimable = planned_width - options_.min_width;
     target = planned_width - std::min(backlog, reclaimable);
   }
+  return target;
+}
+
+WidthGovernor::LeasePtr WidthGovernor::open_lease(std::size_t planned_width,
+                                                  double deadline,
+                                                  std::size_t total_phases) {
+  auto lease = std::make_shared<Lease>();
+  lease->planned = planned_width;
+  lease->width = planned_width;
+  lease->deadline = deadline;
+  lease->total_phases = total_phases;
+  std::lock_guard lock(mutex_);
+  leased_width_ += planned_width;
+  return lease;
+}
+
+void WidthGovernor::close_lease(const LeasePtr& lease) {
+  if (!lease) return;
+  std::lock_guard lock(mutex_);
+  leased_width_ -= lease->width;
+  if (lease->width > lease->planned) {
+    boosted_lanes_ -= lease->width - lease->planned;
+  }
+  // Fold the solve's measured per-phase lane-seconds into the cross-job
+  // estimate that seeds future leases before their own first sample.
+  if (lease->phases_done > 0 && lease->cost_units > 0.0) {
+    const double per_phase =
+        lease->cost_units / static_cast<double>(lease->phases_done);
+    learned_phase_seconds_ = learned_phase_seconds_ > 0.0
+                                 ? 0.75 * learned_phase_seconds_ + 0.25 * per_phase
+                                 : per_phase;
+  }
+}
+
+std::size_t WidthGovernor::advise(Lease& lease, std::size_t current_width) {
+  std::lock_guard lock(mutex_);
+
+  // Timestamp the barrier: the interval since the previous one is the wall
+  // clock of exactly one phase, normalized to lane-seconds by the width it
+  // forked with so samples at different widths agree.
+  bool fresh_sample = false;
+  double now = 0.0;
+  const bool timed = static_cast<bool>(clock_);
+  if (timed) {
+    now = clock_();
+    if (lease.timed) {
+      const double delta = now - lease.last_barrier;
+      if (delta > 0.0) {
+        lease.cost_units += delta * static_cast<double>(current_width);
+        fresh_sample = true;
+      }
+      ++lease.phases_done;
+    } else {
+      lease.timed = true;
+    }
+    lease.last_barrier = now;
+  }
+
+  std::size_t target = backlog_target(lease.planned);
+
+  // Deadline boost: project the finish at the width the yield policy would
+  // assign; past the deadline, claim the smallest width projected to meet
+  // it instead of yielding.  Re-evaluated only on a fresh clock sample (no
+  // new information means no policy change — between samples the held
+  // boost stays put rather than decaying on an optimistic cost estimate);
+  // always bounded by the lane ledger so the governed total never exceeds
+  // the pool.
+  if (options_.enabled && options_.deadline_boost && timed &&
+      pool_width_ > 0 && std::isfinite(lease.deadline) &&
+      lease.total_phases > lease.phases_done) {
+    double per_phase = lease.phases_done > 0 && lease.cost_units > 0.0
+                           ? lease.cost_units /
+                                 static_cast<double>(lease.phases_done)
+                           : learned_phase_seconds_;
+    if (fresh_sample && per_phase > 0.0) {
+      const auto remaining =
+          static_cast<double>(lease.total_phases - lease.phases_done);
+      const double at_target =
+          now + remaining * per_phase /
+                    static_cast<double>(std::max<std::size_t>(target, 1));
+      if (at_target > lease.deadline) {
+        const double slack = lease.deadline - now;
+        std::size_t needed = pool_width_;
+        if (slack > 0.0) {
+          const double raw = std::ceil(remaining * per_phase / slack);
+          needed = raw >= static_cast<double>(pool_width_)
+                       ? pool_width_
+                       : static_cast<std::size_t>(raw);
+        }
+        lease.boost_width = std::clamp(needed, lease.planned, pool_width_);
+      } else {
+        lease.boost_width = 0;  // projection clears the deadline: stop boosting
+      }
+    }
+  } else {
+    lease.boost_width = 0;
+  }
+
+  if (lease.boost_width > 0) {
+    // The ledger cap: a boost may only claim lanes nobody else holds —
+    // neither another governed solve's granted width nor a lane pinned by
+    // a running serial whole-solve (its own planned width is always
+    // available to it).
+    const std::size_t occupied =
+        (leased_width_ - lease.width) +
+        busy_serial_.load(std::memory_order_relaxed);
+    const std::size_t extra_cap =
+        pool_width_ > occupied + lease.planned
+            ? pool_width_ - occupied - lease.planned
+            : 0;
+    target = std::max(target,
+                      std::min(lease.boost_width, lease.planned + extra_cap));
+  }
+
+  if (target < current_width) {
+    shrinks_.fetch_add(1, std::memory_order_relaxed);
+  } else if (target > current_width) {
+    if (target > lease.planned) {
+      boosts_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      grows_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Ledger update, including the lanes-above-planned gauge.
+  const std::size_t old_extra =
+      lease.width > lease.planned ? lease.width - lease.planned : 0;
+  const std::size_t new_extra =
+      target > lease.planned ? target - lease.planned : 0;
+  leased_width_ += target;
+  leased_width_ -= lease.width;
+  boosted_lanes_ += new_extra;
+  boosted_lanes_ -= old_extra;
+  lease.width = target;
+  return target;
+}
+
+std::size_t WidthGovernor::advise(std::size_t planned_width,
+                                  std::size_t current_width) {
+  const std::size_t target = backlog_target(planned_width);
   if (target < current_width) {
     shrinks_.fetch_add(1, std::memory_order_relaxed);
   } else if (target > current_width) {
@@ -46,20 +201,67 @@ WidthGovernorStats WidthGovernor::stats() const {
   WidthGovernorStats stats;
   stats.shrinks = shrinks_.load(std::memory_order_relaxed);
   stats.grows = grows_.load(std::memory_order_relaxed);
+  stats.boosts = boosts_.load(std::memory_order_relaxed);
   stats.waiting_jobs = waiting_.load(std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  stats.boosted_lanes = boosted_lanes_;
+  stats.learned_phase_seconds = learned_phase_seconds_;
   return stats;
+}
+
+namespace {
+
+// Holds the lease for the lifetime of one solve's backend; the fixed-width
+// pool backend still owns the fork loop, so the governed and plain paths
+// can never diverge numerically.
+class GovernedBackend final : public ExecutionBackend {
+ public:
+  GovernedBackend(ThreadPool& pool, std::size_t planned_width,
+                  WidthGovernor& governor, GovernedSolveInfo info)
+      : governor_(governor),
+        lease_(governor.open_lease(
+            std::min(planned_width == 0 ? pool.concurrency() : planned_width,
+                     pool.concurrency()),
+            info.deadline, info.total_phases)),
+        on_width_(std::move(info.on_width)),
+        inner_(make_pool_backend(
+            pool, planned_width,
+            [this](std::size_t, std::size_t current) {
+              const std::size_t width = governor_.advise(*lease_, current);
+              if (on_width_) on_width_(width);
+              return width;
+            })) {}
+
+  ~GovernedBackend() override { governor_.close_lease(lease_); }
+
+  void run(std::span<const Phase> phases, int iterations,
+           PhaseTimings* timings) override {
+    inner_->run(phases, iterations, timings);
+  }
+
+  std::size_t concurrency() const override { return inner_->concurrency(); }
+  std::string_view name() const override { return inner_->name(); }
+
+ private:
+  WidthGovernor& governor_;
+  WidthGovernor::LeasePtr lease_;
+  std::function<void(std::size_t)> on_width_;
+  std::unique_ptr<ExecutionBackend> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionBackend> make_governed_pool_backend(
+    ThreadPool& pool, std::size_t planned_width, WidthGovernor& governor,
+    GovernedSolveInfo info) {
+  return std::make_unique<GovernedBackend>(pool, planned_width, governor,
+                                           std::move(info));
 }
 
 std::unique_ptr<ExecutionBackend> make_governed_pool_backend(
     ThreadPool& pool, std::size_t planned_width, WidthGovernor& governor) {
-  // The fixed-width pool backend already owns the fork loop; governing it
-  // is just a width provider, so both paths share one implementation and
-  // can never diverge.
-  return make_pool_backend(
-      pool, planned_width,
-      [&governor](std::size_t planned, std::size_t current) {
-        return governor.advise(planned, current);
-      });
+  return make_governed_pool_backend(pool, planned_width, governor,
+                                    GovernedSolveInfo{});
 }
 
 }  // namespace paradmm::runtime

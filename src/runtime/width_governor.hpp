@@ -11,20 +11,41 @@
 // phase barriers, a running fine-grained solve consults it and
 //
 //   * shrinks its fork width by one lane per waiting job (never below
-//     `min_width`), handing those lanes to the backlog, and
-//   * grows back toward its planned width once the backlog drains.
+//     `min_width`), handing those lanes to the backlog,
+//   * grows back toward its planned width once the backlog drains, and
+//   * — the deadline-aware case — *claims* lanes up to the pool width
+//     instead of yielding them when its projected finish would miss its
+//     deadline (see below).
+//
+// Deadline boosting inverts the yield policy for jobs racing the clock.
+// Every governed solve holds a `Lease` in the governor's lane ledger; at
+// each phase barrier the governor timestamps the barrier on the runner's
+// clock, learning the solve's per-phase wall-clock (normalized to
+// lane-seconds so samples taken at different widths agree — the same
+// telemetry RuntimeMetrics reports as phase seconds).  From the learned
+// cost it projects the finish time at the width the backlog policy would
+// assign; if that projection lands past the job's deadline, the lease
+// claims the smallest width that is projected to meet it, bounded by the
+// pool width and by the ledger: a boost may only take lanes no other
+// governed solve currently holds, so boosting never pushes the governed
+// total above the pool.  Boosts and yields are arbitrated by that single
+// ledger — a racing job stops yielding to the backlog entirely.
 //
 // Renegotiation never changes numerics: the phase chunk partition depends
 // only on (count, width) and every phase task owns its output slice, so a
 // solve's trajectory is identical — bitwise — at any width schedule.  Only
 // scheduling latitude changes.  Disable it (`enabled = false`) to pin every
 // solve at its planned width, which reproduces the fixed-width runtime
-// behavior exactly.
+// behavior exactly; disable `deadline_boost` alone to keep the yield policy
+// but never exceed planned widths.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
+#include <limits>
 #include <memory>
+#include <mutex>
 
 #include "parallel/backend.hpp"
 
@@ -44,16 +65,47 @@ struct WidthGovernorOptions {
   /// was planned to use; raise it to keep shrunken solves fine-grained.
   /// Must be >= 1.
   std::size_t min_width = 1;
+
+  /// Deadline-aware boosting: a governed solve whose projected finish
+  /// (from the learned per-phase wall-clock) exceeds its deadline claims
+  /// lanes up to the pool width instead of yielding them.  Needs the
+  /// runner's clock (BatchRunnerOptions::clock axis — the same axis
+  /// deadlines are expressed on); without one, or with `enabled == false`,
+  /// no boost ever happens.
+  bool deadline_boost = true;
 };
 
 /// Renegotiation counters, snapshot into RuntimeMetrics.  A "shrink" is a
 /// phase barrier at which a solve's advised width dropped below the width
-/// it last forked with; a "grow" is the reverse.  Several concurrent wide
-/// solves each count their own transitions.
+/// it last forked with; a "grow" is the reverse (back toward planned); a
+/// "boost" is a grow that claimed lanes *above* the planned width for a
+/// deadline-racing solve.  Several concurrent wide solves each count their
+/// own transitions.
 struct WidthGovernorStats {
   std::size_t shrinks = 0;
   std::size_t grows = 0;
-  std::size_t waiting_jobs = 0;  ///< solves currently waiting for a lane
+  std::size_t boosts = 0;
+  std::size_t waiting_jobs = 0;   ///< solves currently waiting for a lane
+  std::size_t boosted_lanes = 0;  ///< lanes currently held above planned widths
+  /// Cross-job EWMA of per-phase wall-clock, normalized to lane-seconds
+  /// (phase seconds x fork width); seeds the projection of solves that have
+  /// not produced a sample of their own yet.  0 until the first governed
+  /// solve finishes a timed barrier.
+  double learned_phase_seconds = 0.0;
+};
+
+/// Per-solve hints for make_governed_pool_backend: the deadline projection
+/// needs to know how much work is left and where the finish line is.
+struct GovernedSolveInfo {
+  /// Deadline on the runner's clock axis; infinity (the default) disables
+  /// the projection for this solve.
+  double deadline = std::numeric_limits<double>::infinity();
+  /// Phase barriers the solve has left to run (5 x remaining iterations
+  /// for the ADMM engine); 0 disables the projection.
+  std::size_t total_phases = 0;
+  /// Observer invoked with every granted width (the runtime mirrors it
+  /// into JobHandle::current_width).  Runs under no governor lock.
+  std::function<void(std::size_t)> on_width;
 };
 
 /// Thread-safe: the BatchRunner feeds waiting-job counts from the submit
@@ -61,8 +113,32 @@ struct WidthGovernorStats {
 /// whichever workers their solves landed on.
 class WidthGovernor {
  public:
+  /// One running governed solve's seat in the lane ledger.  Owned by the
+  /// governor; callers treat it as an opaque token between open_lease()
+  /// and close_lease().
+  struct Lease {
+    std::size_t planned = 0;       ///< scheduler-planned width (boost floor)
+    std::size_t width = 0;         ///< last granted width (ledger holding)
+    double deadline = std::numeric_limits<double>::infinity();
+    std::size_t total_phases = 0;  ///< barriers the whole solve will run
+    std::size_t phases_done = 0;   ///< barriers timestamped so far
+    double cost_units = 0.0;       ///< sum of phase seconds x fork width
+    double last_barrier = 0.0;     ///< clock at the previous barrier
+    bool timed = false;            ///< last_barrier is valid
+    std::size_t boost_width = 0;   ///< held boost (0 = none); sticky between
+                                   ///< fresh clock samples
+  };
+  using LeasePtr = std::shared_ptr<Lease>;
+
   /// Validates `options` (throws PreconditionError on min_width == 0).
   explicit WidthGovernor(WidthGovernorOptions options = {});
+
+  /// Wires the governor to its runner: the pool width caps every boost and
+  /// `clock` timestamps phase barriers (same axis as job deadlines).  The
+  /// BatchRunner calls this once at construction; an unbound governor
+  /// (unit tests, standalone backends) never times barriers and never
+  /// boosts.
+  void bind(std::size_t pool_width, std::function<double()> clock);
 
   /// A solve entered the waiting set (submitted, not yet executing).
   void job_waiting();
@@ -70,10 +146,30 @@ class WidthGovernor {
   /// without running).  Must pair with a prior job_waiting().
   void job_done_waiting();
 
-  /// Width the next phase fork should use: `planned_width` minus one lane
-  /// per waiting job, floored at min_width (or `planned_width` verbatim
-  /// when disabled).  `current_width` is the width the caller last forked
-  /// with; a change is tallied as a shrink or grow.
+  /// A serial (whole-solve) job started/stopped executing.  Serial solves
+  /// hold no lease, but they do occupy a lane each — the ledger subtracts
+  /// them from the lanes a boost may claim, so a racing solve never grabs
+  /// capacity that is actually busy running whole solves.
+  void serial_started();
+  void serial_finished();
+
+  /// Registers a governed solve with the lane ledger at its planned width.
+  LeasePtr open_lease(std::size_t planned_width, double deadline,
+                      std::size_t total_phases);
+  /// Returns the lease's lanes to the ledger and folds its measured
+  /// per-phase cost into the cross-job estimate.
+  void close_lease(const LeasePtr& lease);
+
+  /// Width the next phase fork of the leased solve should use: the backlog
+  /// yield policy (planned minus one lane per waiting job, floored at
+  /// min_width), overridden by a deadline boost when the projected finish
+  /// at that width misses the lease's deadline.  `current_width` is the
+  /// width the caller last forked with; changes tally as shrink/grow/boost.
+  std::size_t advise(Lease& lease, std::size_t current_width);
+
+  /// Stateless variant (no lease, no timing, no boost): planned width
+  /// minus one lane per waiting job, floored at min_width — the pure yield
+  /// policy, kept for callers outside the runner's ledger.
   std::size_t advise(std::size_t planned_width, std::size_t current_width);
 
   WidthGovernorStats stats() const;
@@ -81,18 +177,39 @@ class WidthGovernor {
   const WidthGovernorOptions& options() const { return options_; }
 
  private:
+  std::size_t backlog_target(std::size_t planned_width) const;
+
   WidthGovernorOptions options_;
+  std::size_t pool_width_ = 0;        // 0 until bind(): boosts disabled
+  std::function<double()> clock_;
+
   std::atomic<std::size_t> waiting_{0};
+  std::atomic<std::size_t> busy_serial_{0};
   std::atomic<std::size_t> shrinks_{0};
   std::atomic<std::size_t> grows_{0};
+  std::atomic<std::size_t> boosts_{0};
+
+  // Lane ledger (and the learned cost it feeds): sum of every open lease's
+  // granted width, plus the lanes granted above planned.  One mutex guards
+  // both — advise() runs once per phase, which is the unit of real solver
+  // work, so contention here is negligible.
+  mutable std::mutex mutex_;
+  std::size_t leased_width_ = 0;
+  std::size_t boosted_lanes_ = 0;
+  double learned_phase_seconds_ = 0.0;
 };
 
 /// A width-bounded fork/join backend over a borrowed ThreadPool (same
-/// schedule and numerics as make_pool_backend) that re-asks `governor` for
-/// its width before every phase fork — the hook that makes width
-/// renegotiation land exactly at the ADMM phase barriers.  The pool and the
-/// governor must outlive the backend; one backend still serves one solve at
-/// a time.  concurrency() reports the planned (maximum) width.
+/// schedule and numerics as make_pool_backend) that holds a governor lease
+/// and re-asks for its width before every phase fork — the hook that makes
+/// width renegotiation (and deadline boosting) land exactly at the ADMM
+/// phase barriers.  The pool and the governor must outlive the backend;
+/// one backend still serves one solve at a time.  concurrency() reports
+/// the planned width (a boost may temporarily fork wider).  The overload
+/// without GovernedSolveInfo never boosts (no deadline, no projection).
+std::unique_ptr<ExecutionBackend> make_governed_pool_backend(
+    ThreadPool& pool, std::size_t planned_width, WidthGovernor& governor,
+    GovernedSolveInfo info);
 std::unique_ptr<ExecutionBackend> make_governed_pool_backend(
     ThreadPool& pool, std::size_t planned_width, WidthGovernor& governor);
 

@@ -560,6 +560,176 @@ TEST(BatchRunner, HighPrioritySmallJobsFinishBeforeAWideJob) {
   EXPECT_GE(runner.metrics().width_shrinks, 1u);
 }
 
+TEST(BatchRunner, DeadlineRacingJobBoostsAndMeetsItsDeadline) {
+  // The deadline acceptance scenario, fully deterministic on a virtual
+  // clock: a fine-grained job planned at width 2 cannot meet its deadline
+  // — at width 2 its 100 iterations cost 50 virtual seconds against a
+  // deadline of 40.  The governor's projection notices after the first
+  // progress barrier and boosts the solve to width 3 (the smallest width
+  // projected to make it), after which it finishes at 37.5 and meets the
+  // deadline it misses with boosting disabled.  Virtual time advances
+  // only in the job's own progress callback — by (iterations per check) /
+  // (current fork width) — so wall-clock jitter never enters the test.
+  const auto run_scenario = [](bool boost_enabled, double* finished_at,
+                               std::size_t* max_width,
+                               std::size_t* width_boosts) {
+    auto vclock = std::make_shared<std::atomic<double>>(0.0);
+    BatchRunnerOptions options;
+    options.threads = 4;
+    options.scheduler.fine_grained_threshold = 1;
+    options.scheduler.max_intra_threads = 2;  // planned width: 2 of 4 lanes
+    options.governor.deadline_boost = boost_enabled;
+    options.clock = [vclock] { return vclock->load(); };
+    BatchRunner runner(options);
+
+    SolverOptions solve_options;
+    solve_options.max_iterations = 100;
+    solve_options.check_interval = 25;
+    solve_options.primal_tolerance = 0.0;  // never converges early
+    solve_options.dual_tolerance = 0.0;
+
+    SolveJob job = BatchRunner::make_job("svm", {}, solve_options);
+    job.deadline = 40.0;
+    // The first callback parks until the handle exists (current_width is
+    // read through it); afterwards each check interval advances virtual
+    // time in inverse proportion to the width the solve is forking at.
+    auto handle_box = std::make_shared<JobHandle>();
+    auto handle_ready = std::make_shared<std::atomic<bool>>(false);
+    auto widest = std::make_shared<std::atomic<std::size_t>>(0);
+    job.progress = [vclock, handle_box, handle_ready,
+                    widest](const IterationStatus&) {
+      while (!handle_ready->load()) std::this_thread::yield();
+      const std::size_t width = std::max<std::size_t>(
+          handle_box->current_width(), 1);
+      std::size_t seen = widest->load();
+      while (width > seen && !widest->compare_exchange_weak(seen, width)) {
+      }
+      vclock->store(vclock->load() + 25.0 / static_cast<double>(width));
+    };
+    *handle_box = runner.submit(std::move(job));
+    handle_ready->store(true);
+
+    ASSERT_EQ(handle_box->wait(), JobState::kDone);
+    EXPECT_EQ(handle_box->plan().intra_threads, 2u);
+    *finished_at = handle_box->finished_at();
+    *max_width = widest->load();
+    *width_boosts = runner.metrics().width_boosts;
+    // The job's progress callback captures handle_box, and the handle owns
+    // the job control that owns the callback — clear the box to break the
+    // cycle (the job is terminal, nothing reads it again).
+    *handle_box = JobHandle();
+    if (boost_enabled) {
+      EXPECT_EQ(runner.metrics().deadlines_met, 1u);
+      EXPECT_EQ(runner.metrics().deadlines_missed, 0u);
+    } else {
+      EXPECT_EQ(runner.metrics().deadlines_met, 0u);
+      EXPECT_EQ(runner.metrics().deadlines_missed, 1u);
+    }
+  };
+
+  double boosted_finish = 0.0, pinned_finish = 0.0;
+  std::size_t boosted_width = 0, pinned_width = 0;
+  std::size_t boosts = 0, no_boosts = 0;
+  run_scenario(true, &boosted_finish, &boosted_width, &boosts);
+  run_scenario(false, &pinned_finish, &pinned_width, &no_boosts);
+
+  EXPECT_GE(boosts, 1u);
+  EXPECT_GT(boosted_width, 2u);          // claimed lanes above planned
+  EXPECT_LE(boosted_finish, 40.0);       // met the deadline...
+  EXPECT_EQ(no_boosts, 0u);
+  EXPECT_EQ(pinned_width, 2u);
+  EXPECT_GT(pinned_finish, 40.0);        // ...that it misses unboosted
+}
+
+TEST(BatchRunner, JobArrivingMidSolveOnTheDispatcherLaneStartsWithinOneBarrier) {
+  // The preemption acceptance scenario: with the lone worker pinned on a
+  // parked job, a backlogged solve lands on the helping dispatcher.  A
+  // high-priority job submitted mid-solve must start within one progress
+  // barrier — the dispatcher yields the solve back to the ready queue at
+  // its next barrier, dispatches the arrival, and resumes the preempted
+  // solve afterwards with bitwise-identical results (all trajectory state
+  // lives in the graph, so slices continue the uninterrupted solve).
+  BatchRunnerOptions options;
+  options.threads = 2;  // 1 worker + dispatcher
+  BatchRunner runner(options);
+
+  // B1 occupies the lone worker for the whole test.
+  std::atomic<bool> b1_parked{false};
+  std::atomic<bool> release_b1{false};
+  FactorGraph b1_graph = make_consensus_graph({0.0, 1.0});
+  SolveJob b1;
+  b1.graph = &b1_graph;
+  b1.options.max_iterations = 20;
+  b1.options.check_interval = 10;
+  b1.progress = [&](const IterationStatus&) {
+    b1_parked.store(true);
+    while (!release_b1.load()) std::this_thread::yield();
+  };
+  JobHandle h1 = runner.submit(std::move(b1));
+  while (!b1_parked.load()) std::this_thread::yield();
+
+  // B2 backlogs onto the helping dispatcher and parks at its first
+  // barrier, so the arrival below lands strictly mid-solve.
+  std::atomic<int> b2_calls{0};
+  std::atomic<bool> b2_hold{true};
+  FactorGraph b2_graph = make_consensus_graph({2.0, 9.0});
+  SolveJob b2;
+  b2.graph = &b2_graph;
+  b2.options.max_iterations = 60;
+  b2.options.check_interval = 10;
+  b2.options.primal_tolerance = 0.0;  // runs its full budget
+  b2.options.dual_tolerance = 0.0;
+  b2.progress = [&](const IterationStatus&) {
+    if (++b2_calls == 1) {
+      while (b2_hold.load()) std::this_thread::yield();
+    }
+  };
+  JobHandle h2 = runner.submit(std::move(b2));
+  while (b2_calls.load() == 0) std::this_thread::yield();
+
+  std::atomic<int> arrival_saw_b2_calls{-1};
+  FactorGraph c_graph = make_consensus_graph({5.0});
+  SolveJob arrival;
+  arrival.graph = &c_graph;
+  arrival.options.max_iterations = 20;
+  arrival.options.check_interval = 5;
+  arrival.priority = 10;
+  arrival.progress = [&](const IterationStatus&) {
+    int expected = -1;
+    arrival_saw_b2_calls.compare_exchange_strong(expected, b2_calls.load());
+  };
+  JobHandle hc = runner.submit(std::move(arrival));
+  b2_hold.store(false);  // B2's parked barrier returns — and yields
+
+  ASSERT_EQ(hc.wait(), JobState::kDone);
+  // The arrival started after at most one further B2 barrier: B2 parked at
+  // barrier 1, yielded there, and cannot have run past barrier 2 before
+  // the arrival's first progress callback fired.
+  EXPECT_LE(arrival_saw_b2_calls.load(), 2);
+
+  release_b1.store(true);
+  runner.wait_all();
+  EXPECT_EQ(h1.state(), JobState::kDone);
+  ASSERT_EQ(h2.state(), JobState::kDone);
+  EXPECT_EQ(h2.report().iterations, 60);
+  EXPECT_GE(runner.metrics().dispatcher_preemptions, 1u);
+
+  // The preempted-and-resumed solve equals the uninterrupted solve bitwise.
+  FactorGraph direct = make_consensus_graph({2.0, 9.0});
+  SolverOptions direct_options;
+  direct_options.max_iterations = 60;
+  direct_options.check_interval = 10;
+  direct_options.primal_tolerance = 0.0;
+  direct_options.dual_tolerance = 0.0;
+  solve(direct, direct_options);
+  const auto expected = z_copy(direct);
+  const auto actual = z_copy(b2_graph);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t s = 0; s < actual.size(); ++s) {
+    EXPECT_EQ(actual[s], expected[s]) << "z scalar " << s;
+  }
+}
+
 TEST(BatchRunner, ToStringCoversAllStates) {
   EXPECT_EQ(to_string(JobState::kQueued), "queued");
   EXPECT_EQ(to_string(JobState::kRunning), "running");

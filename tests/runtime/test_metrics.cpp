@@ -1,0 +1,138 @@
+// RuntimeMetrics rendering and MetricsCollector tallies.
+//
+// The print test pins the column discipline: every counter renders with
+// thousands separators and the table sizes each column to its widest cell,
+// so counters past four digits (the 100-seed soak regime) can never
+// overflow their column or shear the layout — every rendered line has the
+// same width.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/metrics.hpp"
+
+namespace paradmm::runtime {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(RuntimeMetricsPrint, WideCountersKeepEveryLineAligned) {
+  RuntimeMetrics metrics;
+  metrics.workers = 8;
+  metrics.submitted = 1234567;
+  metrics.completed = 1230000;
+  metrics.cancelled = 4567;
+  metrics.failed = 0;
+  metrics.fine_grained_jobs = 98765;
+  metrics.queue_depth = 0;
+  metrics.peak_queue_depth = 54321;
+  metrics.elapsed_seconds = 12.5;
+  metrics.width_shrinks = 123456;
+  metrics.width_grows = 98765;
+  metrics.width_boosts = 12345;
+  metrics.boosted_lanes = 6;
+  metrics.dispatcher_preemptions = 67890;
+  metrics.deadlines_met = 11111;
+  metrics.deadlines_missed = 22222;
+  metrics.learned_phase_seconds = 0.0025;
+  metrics.phase_seconds = {1.0, 2.0, 3.0, 4.0, 5.0};
+  metrics.running_by_width[16] = 123456;
+  metrics.peak_running_by_width[16] = 234567;
+  metrics.finished_by_width[16] = 1000000;
+
+  std::ostringstream out;
+  metrics.print(out);
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_GE(lines.size(), 20u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.size(), lines.front().size())
+        << "misaligned row: '" << line << "'";
+  }
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("1,234,567"), std::string::npos);  // submitted
+  EXPECT_NE(text.find("123,456 shrinks"), std::string::npos);
+  EXPECT_NE(text.find("12,345 boosts"), std::string::npos);
+  EXPECT_NE(text.find("dispatcher preemptions"), std::string::npos);
+  EXPECT_NE(text.find("11,111/22,222"), std::string::npos);  // met/missed
+  EXPECT_NE(text.find("width 16 jobs"), std::string::npos);
+  EXPECT_NE(text.find("1,000,000 finished"), std::string::npos);
+}
+
+TEST(MetricsCollector, TracksPreemptionsDeadlinesAndPhaseSeconds) {
+  MetricsCollector collector;
+  collector.on_submit(1);
+  // A width-2 solve runs, is preempted off the dispatcher lane (releasing
+  // its gauge slot), resumes (re-announcing it), and finishes.
+  collector.on_start(2);
+  collector.on_preempt(2);
+  collector.on_start(2);
+  collector.on_start(1);
+
+  const std::vector<double> phases_a{0.1, 0.2, 0.3, 0.4, 0.5};
+  JobFinish met;
+  met.outcome = JobState::kDone;
+  met.wall_seconds = 1.5;
+  met.threads_used = 2;
+  met.ran = true;
+  met.was_running = true;
+  met.had_deadline = true;
+  met.met_deadline = true;
+  met.phase_seconds = &phases_a;
+  collector.on_finish(met);
+
+  const std::vector<double> phases_b{0.5, 0.4, 0.3, 0.2, 0.1};
+  JobFinish missed;
+  missed.outcome = JobState::kDone;
+  missed.wall_seconds = 2.0;
+  missed.threads_used = 1;
+  missed.ran = true;
+  missed.was_running = true;
+  missed.had_deadline = true;
+  missed.met_deadline = false;
+  missed.phase_seconds = &phases_b;
+  collector.on_finish(missed);
+
+  // A cancelled job never counts toward the deadline scoreboard — it
+  // delivered nothing to judge against the deadline.
+  JobFinish cancelled;
+  cancelled.outcome = JobState::kCancelled;
+  cancelled.had_deadline = true;
+  cancelled.met_deadline = true;
+  collector.on_finish(cancelled);
+
+  WidthGovernorStats governor;
+  governor.boosts = 3;
+  governor.boosted_lanes = 2;
+  governor.learned_phase_seconds = 0.25;
+  const RuntimeMetrics metrics = collector.snapshot(10.0, 4, 0, governor);
+
+  EXPECT_EQ(metrics.dispatcher_preemptions, 1u);
+  EXPECT_EQ(metrics.deadlines_met, 1u);
+  EXPECT_EQ(metrics.deadlines_missed, 1u);
+  EXPECT_EQ(metrics.width_boosts, 3u);
+  EXPECT_EQ(metrics.boosted_lanes, 2u);
+  EXPECT_DOUBLE_EQ(metrics.learned_phase_seconds, 0.25);
+  ASSERT_EQ(metrics.phase_seconds.size(), 5u);
+  EXPECT_DOUBLE_EQ(metrics.phase_seconds[0], 0.6);
+  EXPECT_DOUBLE_EQ(metrics.phase_seconds[4], 0.6);
+  EXPECT_EQ(metrics.completed, 2u);
+  EXPECT_EQ(metrics.cancelled, 1u);
+  EXPECT_EQ(metrics.ran_jobs, 2u);
+  // The gauge balances through the preempt/resume cycle.
+  EXPECT_EQ(metrics.running_by_width.at(2), 0u);
+  EXPECT_EQ(metrics.running_by_width.at(1), 0u);
+  EXPECT_EQ(metrics.finished_by_width.at(2), 1u);
+  EXPECT_EQ(metrics.finished_by_width.at(1), 1u);
+}
+
+}  // namespace
+}  // namespace paradmm::runtime

@@ -43,14 +43,22 @@ FactorGraph make_tiny_graph(double target) {
 struct Arrival {
   int priority = 0;
   double deadline = kNoDeadline;
+  double at = 0.0;  ///< virtual-clock submit time (must be non-decreasing)
 };
 
 /// Submits `arrivals` while the dispatcher is parked inside a blocker job,
 /// releases it, and returns the order (arrival indices) in which the jobs
-/// started executing.
-std::vector<std::size_t> dispatch_order(const std::vector<Arrival>& arrivals) {
+/// started executing.  The runner reads a virtual clock stepped to each
+/// arrival's submit time, so with a nonzero `aging_rate` every job's aged
+/// key is an exact function of the arrival set — the observed order is
+/// deterministic and clock-jitter-free.
+std::vector<std::size_t> dispatch_order(const std::vector<Arrival>& arrivals,
+                                        double aging_rate = 0.0) {
+  auto vclock = std::make_shared<std::atomic<double>>(0.0);
   BatchRunnerOptions options;
   options.threads = 1;
+  options.aging_rate = aging_rate;
+  options.clock = [vclock] { return vclock->load(); };
   BatchRunner runner(options);
 
   std::atomic<bool> parked{false};
@@ -74,6 +82,7 @@ std::vector<std::size_t> dispatch_order(const std::vector<Arrival>& arrivals) {
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     graphs.push_back(std::make_unique<FactorGraph>(
         make_tiny_graph(static_cast<double>(i))));
+    vclock->store(arrivals[i].at);
     SolveJob job;
     job.graph = graphs.back().get();
     job.options.max_iterations = 20;
@@ -105,6 +114,31 @@ std::vector<std::size_t> expected_order(const std::vector<Arrival>& arrivals) {
               if (arrivals[a].priority != arrivals[b].priority) {
                 return arrivals[a].priority > arrivals[b].priority;
               }
+              if (arrivals[a].deadline != arrivals[b].deadline) {
+                return arrivals[a].deadline < arrivals[b].deadline;
+              }
+              return a < b;
+            });
+  return expected;
+}
+
+/// The aged policy order: effective priority (priority + rate x wait)
+/// descending.  `now` cancels out of every pairwise comparison, so the
+/// order is the static key priority - rate x submit time, descending —
+/// the same expression, in the same operation order, as the runner's
+/// JobOrder comparator, so expected and observed orders agree bitwise.
+std::vector<std::size_t> expected_aged_order(
+    const std::vector<Arrival>& arrivals, double rate) {
+  const auto key = [&](const Arrival& arrival) {
+    return static_cast<double>(arrival.priority) - rate * arrival.at;
+  };
+  std::vector<std::size_t> expected(arrivals.size());
+  std::iota(expected.begin(), expected.end(), 0);
+  std::sort(expected.begin(), expected.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double key_a = key(arrivals[a]);
+              const double key_b = key(arrivals[b]);
+              if (key_a != key_b) return key_a > key_b;
               if (arrivals[a].deadline != arrivals[b].deadline) {
                 return arrivals[a].deadline < arrivals[b].deadline;
               }
@@ -163,6 +197,77 @@ TEST(PriorityDispatch, DispatchIsDeterministicForAFixedArrivalSet) {
   const auto second = dispatch_order(arrivals);
   EXPECT_EQ(first, second);
   EXPECT_EQ(first, expected_order(arrivals));
+}
+
+TEST(PriorityDispatch, AgingLiftsLongWaitingJobsOverFreshHighPriority) {
+  // A priority-0 job that has waited 100 time units at aging_rate 0.1 has
+  // effective priority 10 — it outranks a freshly submitted priority-5
+  // job.  With aging off the same arrival set dispatches high first.
+  const std::vector<Arrival> arrivals{{0, kNoDeadline, 0.0},
+                                      {5, kNoDeadline, 100.0}};
+  EXPECT_EQ(dispatch_order(arrivals, /*aging_rate=*/0.1),
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(dispatch_order(arrivals, /*aging_rate=*/0.0),
+            (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(PriorityDispatch, AgedDispatchMatchesTheAgedPolicyForSeededArrivals) {
+  // Property: for any seeded arrival set with staggered submit times, the
+  // observed start order equals the aged policy order exactly (effective
+  // priority desc, deadline asc, submit order asc, judged at the frozen
+  // clock) — deterministic because the virtual clock removes wall time
+  // from the picture entirely.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const double rate = 0.05 + rng.uniform(0.0, 0.5);
+    const std::size_t jobs = 12 + rng.uniform_index(13);  // 12..24
+    std::vector<Arrival> arrivals(jobs);
+    double t = 0.0;
+    for (auto& arrival : arrivals) {
+      arrival.priority = static_cast<int>(rng.uniform_index(4));
+      if (rng.uniform() < 0.4) arrival.deadline = rng.uniform(0.0, 100.0);
+      t += rng.uniform(0.0, 10.0);
+      arrival.at = t;
+    }
+    EXPECT_EQ(dispatch_order(arrivals, rate),
+              expected_aged_order(arrivals, rate))
+        << "seed " << seed;
+  }
+}
+
+TEST(PriorityDispatch, ZeroAgingRateReproducesTheUnagedPolicyBitwise) {
+  // aging_rate == 0 is the exact pre-aging dispatcher: even with staggered
+  // virtual submit times, the observed order equals the pure (priority,
+  // deadline, submit order) policy — the bitwise-compatibility contract of
+  // the knob's default.
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    Rng rng(seed);
+    std::vector<Arrival> arrivals(18);
+    double t = 0.0;
+    for (auto& arrival : arrivals) {
+      arrival.priority = static_cast<int>(rng.uniform_index(3));
+      if (rng.uniform() < 0.5) arrival.deadline = rng.uniform(0.0, 20.0);
+      t += rng.uniform(0.0, 5.0);
+      arrival.at = t;
+    }
+    EXPECT_EQ(dispatch_order(arrivals, /*aging_rate=*/0.0),
+              expected_order(arrivals))
+        << "seed " << seed;
+  }
+}
+
+TEST(PriorityDispatch, InvalidAgingRateIsRejected) {
+  // Negative aging would *demote* waiting jobs (a starvation machine), and
+  // NaN poisons every effective-priority comparison.
+  BatchRunnerOptions negative;
+  negative.threads = 1;
+  negative.aging_rate = -0.5;
+  EXPECT_THROW(BatchRunner{negative}, PreconditionError);
+
+  BatchRunnerOptions nan;
+  nan.threads = 1;
+  nan.aging_rate = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(BatchRunner{nan}, PreconditionError);
 }
 
 TEST(PriorityDispatch, LateBurstOvertakesEarlierBacklogAcrossPoolWorkers) {

@@ -19,8 +19,11 @@
 // with PARADMM_STRESS_SEED.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -71,6 +74,12 @@ void run_stress_iteration(std::uint64_t seed) {
   options.scheduler.fine_grained_threshold = 65;
   if (rng.uniform() < 0.25) options.governor.min_width = 2;
   if (rng.uniform() < 0.1) options.governor.enabled = false;
+  // Adaptive-control knobs in the mix: priority aging reorders the ready
+  // queue under load, and deadline boosting (on by default, here against
+  // the wall clock the 0..50 deadlines below happen to share) lets racing
+  // wide solves claim lanes.  Neither may violate any conservation law.
+  if (rng.uniform() < 0.5) options.aging_rate = rng.uniform(0.0, 2.0);
+  if (rng.uniform() < 0.25) options.governor.deadline_boost = false;
 
   const std::size_t jobs = 50 + rng.uniform_index(151);  // 50..200
   std::vector<std::unique_ptr<FactorGraph>> graphs;
@@ -161,6 +170,107 @@ TEST(StressSchedule, SeededMixedBatchesSettleCleanly) {
   for (int i = 0; i < iterations; ++i) {
     run_stress_iteration(static_cast<std::uint64_t>(base_seed + i));
     if (HasFatalFailure()) return;
+  }
+}
+
+TEST(StressSchedule, SustainedHighPriorityStreamCannotStarveTheTail) {
+  // The starvation acceptance scenario, on a virtual clock: a tail of
+  // priority-0 jobs is queued first, then an unbounded stream of
+  // high-priority arrivals lands on top, one per (seeded) time step.
+  // With aging_rate r, a tail job submitted at time s outranks every
+  // high-priority-P arrival submitted after s + P / r — so each tail job
+  // dispatches within a *bounded aged wait* no matter how long the stream
+  // runs.  threads == 1 makes the observed start order exactly the
+  // dispatch order; the virtual clock makes it deterministic per seed.
+  const int iterations = std::max(1, env_int("PARADMM_STRESS_ITERS", 3) / 3);
+  const int base_seed = env_int("PARADMM_STRESS_SEED", 1);
+  for (int iter = 0; iter < iterations; ++iter) {
+    const auto seed = static_cast<std::uint64_t>(base_seed + iter);
+    SCOPED_TRACE("starvation seed " + std::to_string(seed));
+    Rng rng(seed);
+    const double rate = 0.5 + rng.uniform(0.0, 1.5);
+    const int high_priority = 4 + static_cast<int>(rng.uniform_index(5));
+
+    auto vclock = std::make_shared<std::atomic<double>>(0.0);
+    BatchRunnerOptions options;
+    options.threads = 1;
+    options.aging_rate = rate;
+    options.clock = [vclock] { return vclock->load(); };
+    BatchRunner runner(options);
+
+    // Park the dispatcher so the whole arrival set queues up: the stream
+    // then contends against the tail purely through the aged policy.
+    std::atomic<bool> parked{false};
+    std::atomic<bool> release{false};
+    FactorGraph blocker_graph = make_consensus_graph(2, false);
+    SolveJob blocker;
+    blocker.graph = &blocker_graph;
+    blocker.options.max_iterations = 20;
+    blocker.options.check_interval = 10;
+    blocker.progress = [&](const IterationStatus&) {
+      parked.store(true);
+      while (!release.load()) std::this_thread::yield();
+    };
+    runner.submit(std::move(blocker));
+    while (!parked.load()) std::this_thread::yield();
+
+    std::mutex order_mutex;
+    std::vector<std::size_t> order;
+    std::vector<char> recorded;
+    std::vector<std::unique_ptr<FactorGraph>> graphs;
+    const auto submit_recorded = [&](std::size_t index, int priority) {
+      graphs.push_back(
+          std::make_unique<FactorGraph>(make_consensus_graph(1, false)));
+      recorded.push_back(0);
+      SolveJob job;
+      job.graph = graphs.back().get();
+      job.options.max_iterations = 10;
+      job.options.check_interval = 5;
+      job.priority = priority;
+      job.progress = [&, index](const IterationStatus&) {
+        std::lock_guard lock(order_mutex);
+        if (!recorded[index]) {
+          recorded[index] = 1;
+          order.push_back(index);
+        }
+      };
+      runner.submit(std::move(job));
+    };
+
+    const std::size_t tail_jobs = 3 + rng.uniform_index(4);  // 3..6 at t=0
+    for (std::size_t i = 0; i < tail_jobs; ++i) {
+      submit_recorded(i, /*priority=*/0);
+    }
+    const std::size_t waves = 40;
+    std::vector<double> wave_time(waves);
+    double t = 0.0;
+    for (std::size_t w = 0; w < waves; ++w) {
+      t += 0.25 + rng.uniform(0.0, 1.0);
+      wave_time[w] = t;
+      vclock->store(t);
+      submit_recorded(tail_jobs + w, high_priority);
+    }
+
+    release.store(true);
+    runner.wait_all();
+
+    ASSERT_EQ(order.size(), tail_jobs + waves);
+    std::vector<std::size_t> position(order.size(), 0);
+    for (std::size_t p = 0; p < order.size(); ++p) position[order[p]] = p;
+
+    // The aged-wait bound: every tail job (submitted at 0) dispatches
+    // before every stream arrival submitted after high_priority / rate.
+    // The 0.25 margin keeps the assertion strict under floating-point
+    // equality at the boundary.
+    const double bound = static_cast<double>(high_priority) / rate + 0.25;
+    for (std::size_t i = 0; i < tail_jobs; ++i) {
+      for (std::size_t w = 0; w < waves; ++w) {
+        if (wave_time[w] <= bound) continue;
+        EXPECT_LT(position[i], position[tail_jobs + w])
+            << "tail job " << i << " starved past stream arrival " << w
+            << " (t=" << wave_time[w] << ", bound=" << bound << ")";
+      }
+    }
   }
 }
 

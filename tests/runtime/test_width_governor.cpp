@@ -9,6 +9,8 @@
 // behavior exactly.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -77,6 +79,119 @@ TEST(WidthGovernor, ZeroMinWidthIsRejected) {
   WidthGovernorOptions options;
   options.min_width = 0;
   EXPECT_THROW(WidthGovernor{options}, PreconditionError);
+}
+
+TEST(WidthGovernor, DeadlineRacingLeaseClaimsLanesInsteadOfYielding) {
+  // A lease whose projected finish (from its own measured per-phase cost)
+  // lands past its deadline claims the smallest width projected to meet
+  // it.  Virtual clock: one phase takes 1s at width 2, so per-phase cost
+  // is 2 lane-seconds; 9 phases remain against 4s of slack, needing
+  // ceil(9 * 2 / 4) = 5 of the 8 pool lanes.
+  WidthGovernor governor;
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  governor.bind(8, [now] { return now->load(); });
+
+  const auto lease = governor.open_lease(2, /*deadline=*/5.0,
+                                         /*total_phases=*/10);
+  EXPECT_EQ(governor.advise(*lease, 2), 2u);  // first barrier: no sample yet
+  now->store(1.0);
+  EXPECT_EQ(governor.advise(*lease, 2), 5u);  // claims 3 lanes above planned
+
+  const WidthGovernorStats stats = governor.stats();
+  EXPECT_EQ(stats.boosts, 1u);
+  EXPECT_EQ(stats.boosted_lanes, 3u);
+  EXPECT_EQ(stats.shrinks, 0u);
+  EXPECT_EQ(stats.grows, 0u);
+
+  governor.close_lease(lease);
+  EXPECT_EQ(governor.stats().boosted_lanes, 0u);
+  // The solve's measured cost seeds the cross-job estimate.
+  EXPECT_DOUBLE_EQ(governor.stats().learned_phase_seconds, 2.0);
+}
+
+TEST(WidthGovernor, BoostIsBoundedByTheLaneLedger) {
+  // A boost may only claim lanes no other governed solve holds: with 5 of
+  // 8 lanes leased elsewhere, a racer past its deadline (wants the whole
+  // pool) gets 3; once the other lease closes, the full claim goes
+  // through.
+  WidthGovernor governor;
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  governor.bind(8, [now] { return now->load(); });
+
+  const auto other = governor.open_lease(
+      5, std::numeric_limits<double>::infinity(), 0);
+  const auto racer = governor.open_lease(2, /*deadline=*/1.0,
+                                         /*total_phases=*/100);
+  EXPECT_EQ(governor.advise(*racer, 2), 2u);
+  now->store(2.0);  // already past the deadline: wants every lane
+  EXPECT_EQ(governor.advise(*racer, 2), 3u);
+
+  governor.close_lease(other);
+  now->store(3.0);
+  EXPECT_EQ(governor.advise(*racer, 3), 8u);
+  EXPECT_EQ(governor.stats().boosted_lanes, 6u);
+  governor.close_lease(racer);
+  EXPECT_EQ(governor.stats().boosted_lanes, 0u);
+}
+
+TEST(WidthGovernor, BoostAccountsForBusySerialLanes) {
+  // Serial whole-solves hold no lease but pin a lane each; a boost must
+  // not claim capacity they occupy.  5 of 8 lanes busy serial: a racer
+  // planned at 2 that wants the whole pool gets 3; once they finish, the
+  // full claim goes through.
+  WidthGovernor governor;
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  governor.bind(8, [now] { return now->load(); });
+  for (int i = 0; i < 5; ++i) governor.serial_started();
+
+  const auto racer = governor.open_lease(2, /*deadline=*/1.0,
+                                         /*total_phases=*/100);
+  EXPECT_EQ(governor.advise(*racer, 2), 2u);
+  now->store(2.0);  // past the deadline: wants every lane
+  EXPECT_EQ(governor.advise(*racer, 2), 3u);
+
+  for (int i = 0; i < 5; ++i) governor.serial_finished();
+  now->store(3.0);
+  EXPECT_EQ(governor.advise(*racer, 3), 8u);
+  governor.close_lease(racer);
+}
+
+TEST(WidthGovernor, DeadlineBoostCanBeDisabled) {
+  // deadline_boost = false keeps the yield policy but never exceeds the
+  // planned width, however badly the projection misses.
+  WidthGovernorOptions options;
+  options.deadline_boost = false;
+  WidthGovernor governor(options);
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  governor.bind(8, [now] { return now->load(); });
+
+  const auto lease = governor.open_lease(2, /*deadline=*/1.0,
+                                         /*total_phases=*/100);
+  EXPECT_EQ(governor.advise(*lease, 2), 2u);
+  now->store(5.0);
+  EXPECT_EQ(governor.advise(*lease, 2), 2u);
+  EXPECT_EQ(governor.stats().boosts, 0u);
+  governor.close_lease(lease);
+}
+
+TEST(WidthGovernor, RacingLeaseStopsYieldingToTheBacklog) {
+  // The arbitration the ledger promises: the backlog policy would shrink
+  // a width-4 solve with two jobs waiting, but a deadline-racing lease
+  // claims lanes instead of yielding them.
+  WidthGovernor governor;
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  governor.bind(4, [now] { return now->load(); });
+  governor.job_waiting();
+  governor.job_waiting();
+
+  const auto lease = governor.open_lease(4, /*deadline=*/1.0,
+                                         /*total_phases=*/100);
+  EXPECT_EQ(governor.advise(*lease, 4), 2u);  // no sample yet: pure yield
+  now->store(2.0);                            // past the deadline
+  EXPECT_EQ(governor.advise(*lease, 2), 4u);  // claims the planned lanes back
+  governor.close_lease(lease);
+  governor.job_done_waiting();
+  governor.job_done_waiting();
 }
 
 TEST(WidthGovernor, GovernedBackendTracksTheBacklogAndStaysBitwise) {
