@@ -15,7 +15,13 @@
 //    queue dispatches the burst ahead of the filler backlog and the
 //    WidthGovernor shrinks the wide solve to free lanes for it, so the
 //    burst's completion latency drops and every small job finishes while
-//    the wide job is still running.
+//    the wide job is still running;
+//  * admission — half the batch carries already-expired deadlines
+//    (provably infeasible under any positive cost model).  Under
+//    reject-infeasible the runner turns them away at submit and only the
+//    feasible half runs; under degrade-to-best-effort everything runs but
+//    the infeasible half is flagged.  The counts are exact on any host —
+//    a wrong tally is a correctness failure, not noise.
 //
 // Emits BENCH_runtime_throughput.json (to bench/results/) with the
 // headline numbers.
@@ -147,6 +153,47 @@ PriorityResult run_priority_scenario(const BatchRunnerOptions& runner_options,
   return result;
 }
 
+struct AdmissionResult {
+  std::size_t rejected = 0;
+  std::size_t degraded = 0;
+  std::size_t completed = 0;
+  double batch_seconds = 0.0;
+};
+
+// `pairs` x {one undeadlined job, one job whose deadline already expired}
+// through the runner under `policy`, priced by the default cost model
+// (calibrated profile when configured, devsim otherwise).  The expired
+// deadlines (0.0 on a clock that starts at 0) are provably infeasible
+// under any model that prices an iteration above zero, so the
+// reject/degrade tallies are exact regardless of host speed.
+AdmissionResult run_admission_scenario(BatchRunnerOptions runner_options,
+                                       AdmissionPolicy policy, int pairs,
+                                       std::size_t points,
+                                       std::size_t dimension, int iterations) {
+  AdmissionResult result;
+  runner_options.admission = policy;
+  WallTimer timer;
+  {
+    BatchRunner runner(runner_options);
+    for (int i = 0; i < pairs; ++i) {
+      runner.submit("svm", job_params(points, dimension, 600 + i),
+                    job_options(iterations));
+      SolveJob doomed = BatchRunner::make_job(
+          "svm", job_params(points, dimension, 650 + i),
+          job_options(iterations));
+      doomed.deadline = 0.0;  // already expired at submit
+      runner.submit(std::move(doomed));
+    }
+    runner.wait_all();
+    const RuntimeMetrics metrics = runner.metrics();
+    result.rejected = metrics.rejected;
+    result.degraded = metrics.degraded;
+    result.completed = metrics.completed;
+  }
+  result.batch_seconds = timer.seconds();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,6 +266,16 @@ int main(int argc, char** argv) {
       runner_options, /*prioritized=*/true, points, large_points, dimension,
       iterations);
 
+  // Admission scenario: same runner config, half the jobs carrying
+  // already-expired deadlines, under both enforcement policies.
+  const int admission_pairs = 10;
+  const AdmissionResult rejecting = run_admission_scenario(
+      runner_options, AdmissionPolicy::kRejectInfeasible, admission_pairs,
+      points, dimension, iterations);
+  const AdmissionResult degrading = run_admission_scenario(
+      runner_options, AdmissionPolicy::kDegradeToBestEffort, admission_pairs,
+      points, dimension, iterations);
+
   const std::size_t pool_threads = mix.metrics.workers;
   Table table({"workload", "jobs", "converged seq/batch", "sequential",
                "batch", "speedup"});
@@ -250,6 +307,38 @@ int main(int argc, char** argv) {
                "job + 20 filler jobs):\n";
   if (flags.get_bool("csv")) priority_table.print_csv(std::cout);
   else priority_table.print(std::cout);
+
+  Table admission_table(
+      {"admission policy", "rejected", "degraded", "completed", "batch"});
+  admission_table.add_row({"reject-infeasible",
+                           std::to_string(rejecting.rejected),
+                           std::to_string(rejecting.degraded),
+                           std::to_string(rejecting.completed),
+                           format_duration(rejecting.batch_seconds)});
+  admission_table.add_row({"degrade-to-best-effort",
+                           std::to_string(degrading.rejected),
+                           std::to_string(degrading.degraded),
+                           std::to_string(degrading.completed),
+                           format_duration(degrading.batch_seconds)});
+  std::cout << "\nadmission scenario (" << admission_pairs
+            << " feasible + " << admission_pairs
+            << " expired-deadline jobs, default cost model):\n";
+  if (flags.get_bool("csv")) admission_table.print_csv(std::cout);
+  else admission_table.print(std::cout);
+
+  // Admission tallies are exact arithmetic on any host: reject turns away
+  // exactly the expired-deadline half and runs the rest; degrade runs
+  // everything, flagging the same half.  Any other count is a correctness
+  // failure.
+  const auto expected = static_cast<std::size_t>(admission_pairs);
+  const bool admission_diverged =
+      rejecting.rejected != expected || rejecting.completed != expected ||
+      rejecting.degraded != 0 || degrading.rejected != 0 ||
+      degrading.degraded != expected || degrading.completed != 2 * expected;
+  if (admission_diverged) {
+    std::cout << "FAIL: admission tallies diverged from the exact expected "
+                 "counts\n";
+  }
 
   // The runner solves the exact same instances with the same options, and
   // both execution modes are bitwise deterministic — any outcome drift is
@@ -328,10 +417,16 @@ int main(int argc, char** argv) {
       // often the new control paths fire under the mixed workload.
       .set("mixed_dispatcher_preemptions", mix.metrics.dispatcher_preemptions)
       .set("mixed_width_boosts", mix.metrics.width_boosts)
-      .set("mixed_jobs_per_second", mix.metrics.jobs_per_second());
+      .set("mixed_jobs_per_second", mix.metrics.jobs_per_second())
+      // Admission-control scenario: exact tallies plus wall clock, so the
+      // BENCH trajectory records both policies' behavior and cost.
+      .set("admission_rejected", rejecting.rejected)
+      .set("admission_degraded", degrading.degraded)
+      .set("admission_reject_seconds", rejecting.batch_seconds)
+      .set("admission_degrade_seconds", degrading.batch_seconds);
   const std::string written = result.write(result.default_path());
   std::cout << "\nwrote " << written << '\n';
   // Nonzero exit lets CI catch a throughput regression on real multicore —
-  // and an outcome divergence anywhere.
-  return (target_missed || outcomes_diverged) ? 1 : 0;
+  // and an outcome or admission divergence anywhere.
+  return (target_missed || outcomes_diverged || admission_diverged) ? 1 : 0;
 }

@@ -11,6 +11,10 @@ both runs saw at least --min-threads hardware threads.  Otherwise it prints
 a note and exits 0, so laptop/container baselines never hard-fail CI while
 the artifact trajectory still accumulates.
 
+A gated metric missing or non-numeric in either file is a hard failure
+(exit 1), checked before the thread gate: a baseline that silently stopped
+carrying a compared field would otherwise turn the gate into a no-op pass.
+
 Usage:
     check_regression.py BASELINE.json FRESH.json [--tolerance 0.15]
 """
@@ -51,6 +55,21 @@ def main():
         print("check_regression: note — no readable baseline; skipping gate")
         return 0
 
+    # Structural validity is independent of the hardware gate below: a
+    # gated metric that vanished from either file (renamed bench field,
+    # truncated JSON) must fail even on a laptop baseline — the silent
+    # alternative is a gate that passes forever while comparing nothing.
+    missing = []
+    for metric in GATED_METRICS:
+        for label, record in (("baseline", baseline), ("fresh", fresh)):
+            value = record.get(metric)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                missing.append(f"{metric} ({label})")
+    if missing:
+        print("check_regression: FAIL — gated metrics missing or non-numeric: "
+              + ", ".join(missing))
+        return 1
+
     base_threads = int(baseline.get("hardware_threads", 0))
     fresh_threads = int(fresh.get("hardware_threads", 0))
     if base_threads < args.min_threads or fresh_threads < args.min_threads:
@@ -70,9 +89,6 @@ def main():
     for metric in GATED_METRICS:
         base = baseline.get(metric)
         now = fresh.get(metric)
-        if not isinstance(base, (int, float)) or not isinstance(now, (int, float)):
-            print(f"  {metric}: missing in baseline or fresh run, skipped")
-            continue
         if base <= 0:
             print(f"  {metric}: baseline {base} not positive, skipped")
             continue

@@ -1,0 +1,121 @@
+"""Tests for check_regression.py's gate semantics.
+
+Written as unittest cases so they run under either runner:
+
+    python3 -m pytest bench/test_check_regression.py   # CI
+    python3 bench/test_check_regression.py             # no pytest installed
+
+The regression pinned here: a baseline JSON missing a gated field used to
+be a silent "skipped" line and exit 0 — a gate that passes forever while
+comparing nothing.  Missing/non-numeric gated fields are now a hard fail,
+checked even when the hardware-thread gate would skip the comparison.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_regression.py")
+
+
+def good_record(speedup=3.0, mixed_speedup=2.0, threads=8):
+    return {
+        "bench": "runtime_throughput",
+        "hardware_threads": threads,
+        "speedup": speedup,
+        "mixed_speedup": mixed_speedup,
+    }
+
+
+def run_gate(baseline, fresh, *extra_args):
+    """Writes the two records to temp files and runs the gate on them.
+
+    `baseline` / `fresh` may be dicts (dumped as JSON) or raw strings
+    (written verbatim, e.g. to test malformed files).
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        for name, record in (("baseline.json", baseline),
+                             ("fresh.json", fresh)):
+            path = os.path.join(tmp, name)
+            with open(path, "w") as handle:
+                if isinstance(record, str):
+                    handle.write(record)
+                else:
+                    json.dump(record, handle)
+            paths.append(path)
+        return subprocess.run(
+            [sys.executable, SCRIPT, *paths, *extra_args],
+            capture_output=True, text=True)
+
+
+class CheckRegressionGate(unittest.TestCase):
+    def test_identical_records_pass(self):
+        result = run_gate(good_record(), good_record())
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("PASS", result.stdout)
+
+    def test_regression_beyond_tolerance_fails(self):
+        result = run_gate(good_record(speedup=3.0),
+                          good_record(speedup=2.0), "--tolerance", "0.15")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("REGRESSED", result.stdout)
+
+    def test_drop_within_tolerance_passes(self):
+        result = run_gate(good_record(speedup=3.0),
+                          good_record(speedup=2.9), "--tolerance", "0.15")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_missing_baseline_field_is_a_hard_failure(self):
+        baseline = good_record()
+        del baseline["mixed_speedup"]
+        result = run_gate(baseline, good_record())
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("mixed_speedup (baseline)", result.stdout)
+
+    def test_missing_fresh_field_is_a_hard_failure(self):
+        fresh = good_record()
+        del fresh["speedup"]
+        result = run_gate(good_record(), fresh)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("speedup (fresh)", result.stdout)
+
+    def test_non_numeric_field_is_a_hard_failure(self):
+        fresh = good_record()
+        fresh["speedup"] = "fast"
+        result = run_gate(good_record(), fresh)
+        self.assertEqual(result.returncode, 1, result.stdout)
+
+    def test_missing_field_fails_even_under_the_thread_gate(self):
+        # The old bug's worst case: a 1-thread container baseline would
+        # skip the comparison AND hide the missing field.  Structural
+        # validation now runs first.
+        baseline = good_record(threads=1)
+        del baseline["speedup"]
+        result = run_gate(baseline, good_record(threads=1))
+        self.assertEqual(result.returncode, 1, result.stdout)
+
+    def test_thread_gate_still_skips_valid_low_thread_runs(self):
+        # Comparability skip unchanged: both records carry every gated
+        # field but too few hardware threads -> note + exit 0.
+        result = run_gate(good_record(threads=1), good_record(threads=2))
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("skipping", result.stdout)
+
+    def test_unreadable_fresh_fails(self):
+        result = run_gate(good_record(), "{not json")
+        self.assertEqual(result.returncode, 1, result.stdout)
+
+    def test_unreadable_baseline_skips(self):
+        # A missing/corrupt baseline is the bootstrap case (no baseline
+        # committed yet): note + exit 0, unchanged.
+        result = run_gate("{not json", good_record())
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -6,7 +6,10 @@
 //      forced through the fine-grained path,
 //   3. jump the queue with a high-priority job (make_job + priority),
 //   4. watch progress via the per-job callback, cancel one job,
-//   5. read solutions back from each job's graph and print the runner's
+//   5. submit a job whose deadline is provably infeasible and watch
+//      admission control reject it at the door (the runner prices work
+//      with its cost model — host-calibrated when a profile is loaded),
+//   6. read solutions back from each job's graph and print the runner's
 //      throughput metrics (including width renegotiations — the large
 //      packing job shrinks while the backlog of small jobs drains).
 #include <cstdio>
@@ -34,7 +37,14 @@ int main() {
   // order), and deadline boosting (on by default) lets a running solve
   // that is projected to miss its deadline claim extra lanes.
   options.aging_rate = 0.5;
+  // Deadline-aware admission: a job whose finite deadline is provably
+  // unmeetable under the runner's cost model (PARADMM_CALIBRATION_FILE
+  // profile -> committed default profile -> devsim Opteron spec) is
+  // rejected at submit instead of admitted to miss.  The alternative
+  // kDegradeToBestEffort runs such jobs flagged instead.
+  options.admission = AdmissionPolicy::kRejectInfeasible;
   BatchRunner runner(options);
+  std::printf("\ncost model: %s\n", runner.cost_model()->name().data());
 
   SolverOptions solve_options;
   solve_options.max_iterations = 2000;
@@ -91,6 +101,20 @@ int main() {
   // never starts or stops at its next check interval.
   JobHandle packing_small = runner.submit("packing", {}, solve_options);
   packing_small.request_cancel();
+
+  // Admission control: a 2000-iteration solve against a deadline 1 ms out
+  // is provably infeasible under any honest cost model — the runner turns
+  // it away at submit (state kRejected, nothing dispatched) instead of
+  // letting it occupy lanes and miss.
+  svm::SvmJobParams doomed_params;
+  doomed_params.points = 32;
+  doomed_params.data_seed = 123;
+  SolveJob doomed = BatchRunner::make_job("svm", doomed_params, solve_options);
+  doomed.deadline = 0.001;
+  JobHandle doomed_svm = runner.submit(std::move(doomed));
+  std::printf("infeasible-deadline svm: %s at submit (verdict: %s)\n",
+              to_string(doomed_svm.state()).data(),
+              to_string(doomed_svm.admission_verdict()).data());
 
   runner.wait_all();
 

@@ -15,6 +15,25 @@ std::string_view to_string(JobState state) {
     case JobState::kDone: return "done";
     case JobState::kCancelled: return "cancelled";
     case JobState::kFailed: return "failed";
+    case JobState::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::kAdmitted: return "admitted";
+    case AdmissionVerdict::kBestEffort: return "best-effort";
+    case AdmissionVerdict::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kAccept: return "accept";
+    case AdmissionPolicy::kRejectInfeasible: return "reject-infeasible";
+    case AdmissionPolicy::kDegradeToBestEffort: return "degrade-to-best-effort";
   }
   return "unknown";
 }
@@ -39,10 +58,33 @@ SolverReport stitched_report(const detail::JobControl& job,
   return last_slice;
 }
 
+// The runner's pricing model: the caller's, else — once admission needs
+// prices — the environment's default (calibrated host profile when one is
+// configured or committed, devsim Opteron spec otherwise).  With admission
+// off and no model supplied the runner stays un-priced, reproducing the
+// pre-calibration behavior exactly.
+CostModelPtr resolve_cost_model(const BatchRunnerOptions& options) {
+  if (options.cost_model) return options.cost_model;
+  if (options.admission != AdmissionPolicy::kAccept) {
+    return default_cost_model();
+  }
+  return nullptr;
+}
+
+// One model everywhere: when the scheduler was not given its own cost
+// model, it prices widths with the runner's, so width planning and
+// admission can never disagree about what a solve costs.
+SchedulerOptions scheduler_options_with_model(SchedulerOptions scheduler,
+                                              const CostModelPtr& model) {
+  if (!scheduler.cost_model && model) scheduler.cost_model = model;
+  return scheduler;
+}
+
 }  // namespace
 
 BatchRunner::BatchRunner(BatchRunnerOptions options)
     : pool_(resolve_threads(options.threads)),
+      cost_model_(resolve_cost_model(options)),
       // Solves run as tasks on the pool's workers, but the idle dispatcher
       // lends itself to the pool as a fork-chunk lane (help_until in the
       // dispatcher loop), so a fine-grained fork can occupy the full pool
@@ -50,9 +92,11 @@ BatchRunner::BatchRunner(BatchRunnerOptions options)
       // the dispatcher claim the rest.  Planning wider than that would
       // split phases into more chunks than threads able to run them,
       // inflating phase latency.
-      scheduler_(options.scheduler, pool_.concurrency()),
+      scheduler_(scheduler_options_with_model(options.scheduler, cost_model_),
+                 pool_.concurrency()),
       governor_(options.governor),
       aging_rate_(options.aging_rate),
+      admission_(options.admission),
       queue_(JobOrder{options.aging_rate}) {
   require(std::isfinite(aging_rate_) && aging_rate_ >= 0.0,
           "BatchRunner aging_rate must be finite and >= 0");
@@ -92,20 +136,46 @@ JobHandle BatchRunner::submit(SolveJob job) {
   control->deadline = job.deadline;
   control->submit_time = clock_();
 
+  // Price the job before taking the runner lock (the model call may be
+  // O(graph)): its serial cost is the load later admission projections
+  // charge for work queued ahead of them, and its per-phase prior seeds
+  // the governor's deadline projection.  A throwing user model surfaces
+  // here, on the submitter's own stack.
+  double best_case_seconds = 0.0;
+  if (cost_model_) best_case_seconds = price_job(*control);
+
   std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
     require(!stopping_, "BatchRunner is shutting down");
     control->sequence = next_sequence_++;
-    // Into the governor's waiting set under the same lock that publishes
-    // the job: the dispatcher needs this mutex to pop it, so the paired
-    // job_done_waiting() can never run first and underflow the counter.
-    governor_.job_waiting();
-    queue_.insert(control);
-    ++unfinished_;
-    depth = queue_.size();
+    if (admission_ != AdmissionPolicy::kAccept &&
+        std::isfinite(control->deadline)) {
+      control->admission = admit(control, best_case_seconds,
+                                 control->submit_time);
+    }
+    if (control->admission == AdmissionVerdict::kRejected) {
+      depth = queue_.size();
+    } else {
+      // Into the governor's waiting set under the same lock that publishes
+      // the job: the dispatcher needs this mutex to pop it, so the paired
+      // job_done_waiting() can never run first and underflow the counter.
+      governor_.job_waiting();
+      queue_.insert(control);
+      ++unfinished_;
+      depth = queue_.size();
+    }
   }
   collector_.on_submit(depth);
+  if (control->admission == AdmissionVerdict::kRejected) {
+    // Terminal without ever occupying the queue: no dispatch, no pool
+    // lane, no wait_all() obligation — the handle is already settled.
+    reject(control, control->submit_time);
+    return JobHandle(control);
+  }
+  if (control->admission == AdmissionVerdict::kBestEffort) {
+    collector_.on_degraded();
+  }
   // The dispatcher may be lending itself to the pool; the wake flag plus
   // notify_helpers() pulls it back to dispatch this job.  The notify
   // wakes the whole pool, so it is skipped unless the dispatcher is
@@ -114,6 +184,88 @@ JobHandle BatchRunner::submit(SolveJob job) {
   dispatcher_wake_.store(true);
   if (dispatcher_helping_.load()) pool_.notify_helpers();
   return JobHandle(control);
+}
+
+double BatchRunner::price_job(detail::JobControl& control) const {
+  // The full width ladder is only needed for an admission projection (the
+  // best-case floor); a job that will never be projected — admission off,
+  // or no finite deadline — prices the serial point alone, which is all
+  // the load accounting and the governor prior consume.  (The scheduler
+  // still prices its own ladder at plan() time for fine-grained jobs;
+  // caching a plan here instead would move user-model exceptions from the
+  // dispatcher's containment onto the submit path for every job.)
+  const bool need_ladder = admission_ != AdmissionPolicy::kAccept &&
+                           std::isfinite(control.deadline);
+  const std::vector<std::size_t> ladder =
+      need_ladder ? width_ladder(pool_.concurrency())
+                  : std::vector<std::size_t>{1};
+  const std::vector<double> seconds =
+      cost_model_->iteration_seconds(*control.graph, ladder);
+  require(seconds.size() == ladder.size(),
+          "cost model must return one prediction per candidate width");
+  const double iterations =
+      static_cast<double>(std::max(control.options.max_iterations, 0));
+  const double serial =
+      std::isfinite(seconds[0]) && seconds[0] > 0.0 ? seconds[0] : 0.0;
+  control.serial_seconds_per_iteration = serial;
+  control.prior_phase_lane_seconds = phase_lane_seconds_from_serial(serial);
+  // Best case across the width ladder: the model may say narrow beats wide
+  // (fork overheads), so the floor is the minimum, not the widest entry.
+  double best = serial;
+  for (const double s : seconds) {
+    if (std::isfinite(s) && s > 0.0) best = std::min(best, s);
+  }
+  return best * iterations;
+}
+
+AdmissionVerdict BatchRunner::admit(
+    const std::shared_ptr<detail::JobControl>& control,
+    double best_case_seconds, double now) {
+  // Caller holds mutex_.  The projection is deliberately optimistic so a
+  // rejection is a proof sketch, not a guess: the job is charged (a) the
+  // serial cost of every queued job that would dispatch ahead of it under
+  // the current policy, spread perfectly over the pool — work that exists
+  // *now* and must be scheduled first or alongside — and (b) its own
+  // best-case solve time at the model's best width with the whole pool
+  // free.  In-flight solves, fork overheads of sharing, and future
+  // arrivals are all ignored in the job's favor; if the projection still
+  // lands past the deadline, no schedule the model believes in can meet
+  // it.
+  double ahead_seconds = 0.0;
+  for (const auto& queued : queue_) {
+    if (!queue_.key_comp().before(*queued, *control)) continue;
+    // Charge only the iterations the queued job still has to run: a
+    // preempted job parked here mid-solve already banked iterations_done
+    // (written before its requeue under this same mutex), and charging
+    // its full budget would overstate the load — rejecting feasible jobs
+    // is exactly the false positive a "provable" projection must not
+    // produce.
+    const int remaining =
+        std::max(queued->options.max_iterations - queued->iterations_done, 0);
+    ahead_seconds += queued->serial_seconds_per_iteration *
+                     static_cast<double>(remaining);
+  }
+  const double projected =
+      now + ahead_seconds / static_cast<double>(pool_.concurrency()) +
+      best_case_seconds;
+  if (projected <= control->deadline) return AdmissionVerdict::kAdmitted;
+  return admission_ == AdmissionPolicy::kRejectInfeasible
+             ? AdmissionVerdict::kRejected
+             : AdmissionVerdict::kBestEffort;
+}
+
+void BatchRunner::reject(const std::shared_ptr<detail::JobControl>& control,
+                         double now) {
+  JobFinish finish;
+  finish.outcome = JobState::kRejected;
+  finish.had_deadline = true;  // only finite deadlines are ever rejected
+  collector_.on_finish(finish);
+  {
+    std::lock_guard lock(control->mutex);
+    control->finished_at = now;
+    control->state = JobState::kRejected;
+  }
+  control->changed.notify_all();
 }
 
 JobHandle BatchRunner::submit(const std::string& problem,
@@ -350,9 +502,15 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
       // projection misses).  The backend is per-job and cheap (no threads
       // of its own); its ledger lease spans this slice.
       GovernedSolveInfo info;
-      info.deadline = job->deadline;
+      // A best-effort job (admitted past a provably infeasible deadline
+      // under the degrade policy) keeps its queue order but must not burn
+      // lanes racing the lost cause — its deadline never arms boosting.
+      info.deadline = job->admission == AdmissionVerdict::kBestEffort
+                          ? kNoDeadline
+                          : job->deadline;
       info.total_phases = SolverReport::kPhaseNames.size() *
                           static_cast<std::size_t>(options.max_iterations);
+      info.prior_phase_seconds = job->prior_phase_lane_seconds;
       info.on_width = [control = job.get()](std::size_t width) {
         control->current_width.store(width, std::memory_order_relaxed);
       };

@@ -39,7 +39,13 @@
 // drained queue grows them back, and a solve projected to miss its
 // deadline claims lanes up to the pool width instead of yielding
 // (numerics are width-independent, so none of this ever changes results).
-// The dispatcher's pool-helping stint is preemption-aware: a whole solve
+// With admission control enabled (BatchRunnerOptions::admission), submit
+// itself becomes deadline-aware: a job whose finite deadline is provably
+// unmeetable under the runner's cost model — width planning, boost
+// projections, and admission all price work with the same CostModel
+// (runtime/calibration.hpp; host-calibrated when a profile is loaded) — is
+// rejected at the door or degraded to best-effort instead of admitted to
+// miss.  The dispatcher's pool-helping stint is preemption-aware: a whole solve
 // it picked up yields back to the ready queue at its next progress
 // barrier whenever dispatch work appears, so a job arriving mid-solve
 // waits at most one barrier instead of the rest of the solve.  Handles
@@ -59,6 +65,7 @@
 #include <thread>
 
 #include "parallel/thread_pool.hpp"
+#include "runtime/calibration.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/problem_registry.hpp"
 #include "runtime/scheduler.hpp"
@@ -67,6 +74,30 @@
 #include "support/timer.hpp"
 
 namespace paradmm::runtime {
+
+/// What submit() does with a job whose finite deadline is provably
+/// unmeetable under the runner's cost model (see
+/// BatchRunnerOptions::admission).  "Provably" is model-relative and
+/// optimistic: the projection assumes the job starts immediately at its
+/// best width and charges only queued work that must dispatch ahead of it,
+/// spread perfectly over the pool — so a rejection means even the most
+/// favorable schedule the model can imagine misses the deadline.
+enum class AdmissionPolicy {
+  /// No admission check; every submission is queued (the default — this
+  /// reproduces the pre-admission runtime bitwise).
+  kAccept,
+  /// Infeasible-deadline jobs go terminal at submit (JobState::kRejected,
+  /// AdmissionVerdict::kRejected) without ever occupying the queue.
+  kRejectInfeasible,
+  /// Infeasible-deadline jobs run anyway, flagged
+  /// AdmissionVerdict::kBestEffort: they keep their queue position (the
+  /// deadline still orders dispatch) but their hopeless deadline no longer
+  /// arms deadline-aware width boosting — no lanes are burned racing a
+  /// provably lost cause.
+  kDegradeToBestEffort,
+};
+
+std::string_view to_string(AdmissionPolicy policy);
 
 struct BatchRunnerOptions {
   /// Shared pool concurrency; 0 = std::thread::hardware_concurrency().
@@ -96,6 +127,24 @@ struct BatchRunnerOptions {
   /// deadlines only order exact key ties (deadline-aware width *boosting*
   /// still honors every deadline at runtime).  Must be finite and >= 0.
   double aging_rate = 0.0;
+
+  /// Deadline-aware admission control (see AdmissionPolicy): under
+  /// kRejectInfeasible / kDegradeToBestEffort, submit() projects every
+  /// finite-deadline job's finish from the cost model plus the queued load
+  /// ahead of it and rejects / flags the provably unmeetable ones.  The
+  /// default kAccept skips the check entirely.
+  AdmissionPolicy admission = AdmissionPolicy::kAccept;
+
+  /// The shared pricing model (runtime/calibration.hpp) behind width
+  /// planning (when scheduler.cost_model is unset), the governor's
+  /// deadline-boost projections (as the pre-sample prior), and the
+  /// admission check — one model, so every decision agrees on what work
+  /// costs.  Null: resolved via default_cost_model() (the
+  /// PARADMM_CALIBRATION_FILE profile, the committed default profile, or
+  /// the devsim Opteron spec, in that order) when admission is enabled;
+  /// left empty otherwise, which reproduces the un-priced runtime —
+  /// size-proportional widths, projections from measured samples only.
+  CostModelPtr cost_model;
 };
 
 class BatchRunner {
@@ -140,6 +189,10 @@ class BatchRunner {
 
   /// Shared renegotiation state (read stats() for shrink/grow counters).
   const WidthGovernor& governor() const { return governor_; }
+
+  /// The model pricing width planning, boost projections, and admission
+  /// (null when admission is off and no model was supplied).
+  const CostModelPtr& cost_model() const { return cost_model_; }
 
  private:
   // Priority order for the ready queue: (effective) priority desc, then
@@ -193,14 +246,26 @@ class BatchRunner {
   // job is queued and either a dispatch lane is free or the queued job
   // outranks the running one under the current policy.
   bool dispatch_pressure(const detail::JobControl& running);
+  // Prices `control`'s graph with the cost model (fills
+  // serial_seconds_per_iteration and the governor prior) and returns the
+  // job's best-case solve seconds: the full iteration budget at the
+  // model's best ladder width.
+  double price_job(detail::JobControl& control) const;
+  // The submit-time admission projection for a finite-deadline job, and
+  // the terminal bookkeeping of a rejected one.
+  AdmissionVerdict admit(const std::shared_ptr<detail::JobControl>& control,
+                         double best_case_seconds, double now);
+  void reject(const std::shared_ptr<detail::JobControl>& control, double now);
 
   ThreadPool pool_;
+  CostModelPtr cost_model_;  // before scheduler_: it may feed its options
   Scheduler scheduler_;
   WidthGovernor governor_;
   MetricsCollector collector_;
   WallTimer since_start_;
   std::function<double()> clock_;
   double aging_rate_ = 0.0;
+  AdmissionPolicy admission_ = AdmissionPolicy::kAccept;
 
   mutable std::mutex mutex_;
   std::condition_variable all_done_;

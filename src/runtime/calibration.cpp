@@ -1,0 +1,673 @@
+#include "runtime/calibration.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/factor_graph.hpp"
+#include "core/solver.hpp"
+#include "devsim/cost_model.hpp"
+#include "parallel/thread_pool.hpp"
+#include "runtime/problem_registry.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::runtime {
+
+namespace {
+
+constexpr std::array<const char*, 5> kPhaseNames = {"x", "m", "z", "u", "n"};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the profile format.
+//
+// The repo deliberately carries no external JSON dependency (bench results
+// are written with a hand-rolled emitter, bench/bench_util.hpp); profiles
+// need the reading half too, so this is a small recursive-descent parser
+// for the JSON subset the profile uses: objects, arrays, strings, finite
+// numbers, and the three literals.  Errors throw PreconditionError with
+// the byte offset — a profile that does not parse must fail loudly, never
+// degrade into default width decisions.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    require(at_ == text_.size(), error("trailing characters after JSON value"));
+    return value;
+  }
+
+ private:
+  std::string error(const std::string& what) const {
+    return "calibration profile JSON: " + what + " (at byte " +
+           std::to_string(at_) + ")";
+  }
+
+  void skip_whitespace() {
+    while (at_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[at_]))) {
+      ++at_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    require(at_ < text_.size(), error("unexpected end of input"));
+    return text_[at_];
+  }
+
+  void expect(char c) {
+    require(peek() == c, error(std::string("expected '") + c + "'"));
+    ++at_;
+  }
+
+  bool consume(char c) {
+    if (at_ < text_.size() && peek() == c) {
+      ++at_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    expect('{');
+    if (consume('}')) return value;
+    do {
+      JsonValue key = parse_string();
+      expect(':');
+      value.object[key.string] = parse_value();
+    } while (consume(','));
+    expect('}');
+    return value;
+  }
+
+  JsonValue parse_array() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    expect('[');
+    if (consume(']')) return value;
+    do {
+      value.array.push_back(parse_value());
+    } while (consume(','));
+    expect(']');
+    return value;
+  }
+
+  JsonValue parse_string() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (true) {
+      require(at_ < text_.size(), error("unterminated string"));
+      const char c = text_[at_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        require(at_ < text_.size(), error("unterminated escape"));
+        const char escaped = text_[at_++];
+        switch (escaped) {
+          case '"': value.string += '"'; break;
+          case '\\': value.string += '\\'; break;
+          case '/': value.string += '/'; break;
+          case 'n': value.string += '\n'; break;
+          case 't': value.string += '\t'; break;
+          case 'r': value.string += '\r'; break;
+          case 'b': value.string += '\b'; break;
+          case 'f': value.string += '\f'; break;
+          case 'u': {
+            // The profile writer never emits non-ASCII; decode the BMP
+            // escape to a single byte when it fits, else reject.
+            require(at_ + 4 <= text_.size(), error("truncated \\u escape"));
+            const std::string hex(text_.substr(at_, 4));
+            at_ += 4;
+            char* end = nullptr;
+            const long code = std::strtol(hex.c_str(), &end, 16);
+            require(end == hex.c_str() + 4, error("invalid \\u escape"));
+            require(code >= 0 && code < 128,
+                    error("non-ASCII \\u escape unsupported"));
+            value.string += static_cast<char>(code);
+            break;
+          }
+          default: require(false, error("unknown escape character"));
+        }
+      } else {
+        value.string += c;
+      }
+    }
+    return value;
+  }
+
+  JsonValue parse_bool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.substr(at_, 4) == "true") {
+      value.boolean = true;
+      at_ += 4;
+    } else if (text_.substr(at_, 5) == "false") {
+      value.boolean = false;
+      at_ += 5;
+    } else {
+      require(false, error("invalid literal"));
+    }
+    return value;
+  }
+
+  JsonValue parse_null() {
+    require(text_.substr(at_, 4) == "null", error("invalid literal"));
+    at_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = at_;
+    while (at_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[at_])) ||
+            text_[at_] == '-' || text_[at_] == '+' || text_[at_] == '.' ||
+            text_[at_] == 'e' || text_[at_] == 'E')) {
+      ++at_;
+    }
+    const std::string token(text_.substr(start, at_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    require(!token.empty() && end == token.c_str() + token.size() &&
+                std::isfinite(parsed),
+            error("invalid number"));
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = parsed;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t at_ = 0;
+};
+
+const JsonValue& member(const JsonValue& object, const std::string& key) {
+  const auto it = object.object.find(key);
+  require(it != object.object.end(),
+          "calibration profile JSON: missing required field \"" + key + "\"");
+  return it->second;
+}
+
+double number_member(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = member(object, key);
+  require(value.kind == JsonValue::Kind::kNumber,
+          "calibration profile JSON: field \"" + key + "\" must be a number");
+  return value.number;
+}
+
+std::string json_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+// Emitter-side escaping, so a host tag like `my "big" box` round-trips
+// instead of producing a file load() later rejects.
+std::string json_quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CalibrationProfile
+// ---------------------------------------------------------------------------
+
+double PhaseCalibration::seconds(std::size_t count, std::size_t width) const {
+  const double w = static_cast<double>(std::max<std::size_t>(width, 1));
+  const double amdahl = (1.0 - serial_fraction) / w + serial_fraction;
+  return static_cast<double>(count) * per_element_seconds * amdahl +
+         fork_overhead_seconds * (w - 1.0);
+}
+
+double CalibrationProfile::iteration_seconds(
+    std::span<const std::size_t> counts, std::size_t width) const {
+  require(counts.size() == phases.size(),
+          "CalibrationProfile prices exactly the five phase counts");
+  double total = 0.0;
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    total += phases[p].seconds(counts[p], width);
+  }
+  return total;
+}
+
+std::string CalibrationProfile::to_json() const {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"version\": " << version << ",\n"
+      << "  \"host\": " << json_quote(host) << ",\n"
+      << "  \"pool_threads\": " << pool_threads << ",\n"
+      << "  \"phases\": [\n";
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const PhaseCalibration& phase = phases[p];
+    out << "    {\"name\": " << json_quote(phase.name) << ", "
+        << "\"per_element_seconds\": " << json_number(phase.per_element_seconds)
+        << ", \"serial_fraction\": " << json_number(phase.serial_fraction)
+        << ", \"fork_overhead_seconds\": "
+        << json_number(phase.fork_overhead_seconds) << "}"
+        << (p + 1 < phases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+CalibrationProfile CalibrationProfile::from_json(std::string_view text) {
+  const JsonValue root = JsonParser(text).parse();
+  require(root.kind == JsonValue::Kind::kObject,
+          "calibration profile JSON: top level must be an object");
+
+  CalibrationProfile profile;
+  const double version = number_member(root, "version");
+  profile.version = static_cast<int>(version);
+  require(profile.version == kVersion &&
+              version == static_cast<double>(profile.version),
+          "calibration profile JSON: unsupported version (this build reads "
+          "version " +
+              std::to_string(kVersion) + ")");
+
+  const auto host = root.object.find("host");
+  if (host != root.object.end() &&
+      host->second.kind == JsonValue::Kind::kString) {
+    profile.host = host->second.string;
+  }
+
+  const double pool = number_member(root, "pool_threads");
+  require(pool >= 1.0 && pool == std::floor(pool),
+          "calibration profile JSON: pool_threads must be a positive integer");
+  profile.pool_threads = static_cast<std::size_t>(pool);
+
+  const JsonValue& phases = member(root, "phases");
+  require(phases.kind == JsonValue::Kind::kArray &&
+              phases.array.size() == profile.phases.size(),
+          "calibration profile JSON: \"phases\" must be an array of the five "
+          "phase models (x, m, z, u, n)");
+  for (std::size_t p = 0; p < profile.phases.size(); ++p) {
+    const JsonValue& entry = phases.array[p];
+    require(entry.kind == JsonValue::Kind::kObject,
+            "calibration profile JSON: each phase entry must be an object");
+    PhaseCalibration& phase = profile.phases[p];
+    const JsonValue& name = member(entry, "name");
+    require(name.kind == JsonValue::Kind::kString &&
+                name.string == kPhaseNames[p],
+            std::string("calibration profile JSON: phase ") +
+                std::to_string(p) + " must be named \"" + kPhaseNames[p] +
+                "\" (profiles are ordered x, m, z, u, n)");
+    phase.name = name.string;
+    phase.per_element_seconds = number_member(entry, "per_element_seconds");
+    phase.serial_fraction = number_member(entry, "serial_fraction");
+    phase.fork_overhead_seconds =
+        number_member(entry, "fork_overhead_seconds");
+    require(phase.per_element_seconds >= 0.0 &&
+                phase.fork_overhead_seconds >= 0.0 &&
+                phase.serial_fraction >= 0.0 && phase.serial_fraction <= 1.0,
+            std::string("calibration profile JSON: phase \"") + phase.name +
+                "\" constants out of range (costs >= 0, serial fraction in "
+                "[0, 1])");
+  }
+  return profile;
+}
+
+void CalibrationProfile::save(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "cannot open calibration profile for writing: " + path);
+  out << to_json();
+  require(out.good(), "failed writing calibration profile: " + path);
+}
+
+CalibrationProfile CalibrationProfile::load(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot read calibration profile: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_json(text.str());
+}
+
+// ---------------------------------------------------------------------------
+// HostCalibrator
+// ---------------------------------------------------------------------------
+
+HostCalibrator::HostCalibrator() : HostCalibrator(Options{}) {}
+
+HostCalibrator::HostCalibrator(Options options) : options_(std::move(options)) {
+  require(options_.iterations >= 1,
+          "HostCalibrator needs at least one timed iteration per sample");
+  require(options_.warmup_iterations >= 0,
+          "HostCalibrator warmup_iterations must be >= 0");
+  require(!options_.problems.empty(),
+          "HostCalibrator needs at least one problem to measure");
+}
+
+std::array<std::size_t, 5> phase_counts(const FactorGraph& graph) {
+  return {graph.num_factors(), graph.num_edges(), graph.num_variables(),
+          graph.num_edges(), graph.num_edges()};
+}
+
+std::vector<std::size_t> width_ladder(std::size_t pool) {
+  std::vector<std::size_t> ladder{1};
+  while (ladder.back() * 2 <= pool) ladder.push_back(ladder.back() * 2);
+  return ladder;
+}
+
+namespace {
+
+std::size_t resolve_pool_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+// One measured data point: a phase's per-iteration seconds at a width, plus
+// the task count it swept.
+struct PhaseSample {
+  std::size_t count = 0;
+  std::size_t width = 1;
+  double seconds = 0.0;  // per iteration
+};
+
+// Fits (serial_fraction, fork_overhead) for one phase by least squares over
+// the width > 1 samples, given the serial per-element cost already
+// recovered from the width-1 runs.  The model is linear in both unknowns:
+//
+//   s(count, w) - T1/w = sigma * T1 * (1 - 1/w) + overhead * (w - 1)
+//
+// with T1 = count * per_element.  Synthetic data generated from the model
+// is recovered exactly; measured data lands on the least-squares plane.
+// Results are clamped to their physical ranges.
+PhaseCalibration fit_phase(const std::string& name, double per_element,
+                           std::span<const PhaseSample> wide_samples) {
+  PhaseCalibration fit;
+  fit.name = name;
+  fit.per_element_seconds = per_element;
+
+  double a11 = 0.0, a12 = 0.0, a22 = 0.0, b1 = 0.0, b2 = 0.0;
+  for (const PhaseSample& sample : wide_samples) {
+    const double t1 = static_cast<double>(sample.count) * per_element;
+    const double w = static_cast<double>(sample.width);
+    const double x1 = t1 * (1.0 - 1.0 / w);
+    const double x2 = w - 1.0;
+    const double y = sample.seconds - t1 / w;
+    a11 += x1 * x1;
+    a12 += x1 * x2;
+    a22 += x2 * x2;
+    b1 += x1 * y;
+    b2 += x2 * y;
+  }
+  const double det = a11 * a22 - a12 * a12;
+  if (std::abs(det) > 1e-30) {
+    fit.serial_fraction = (b1 * a22 - b2 * a12) / det;
+    fit.fork_overhead_seconds = (a11 * b2 - a12 * b1) / det;
+  } else if (a11 > 0.0) {
+    // Degenerate design (e.g. a single sample): attribute everything to the
+    // serial fraction, the parameter that dominates width planning.
+    fit.serial_fraction = b1 / a11;
+    fit.fork_overhead_seconds = 0.0;
+  }
+  fit.serial_fraction = std::clamp(fit.serial_fraction, 0.0, 1.0);
+  fit.fork_overhead_seconds = std::max(fit.fork_overhead_seconds, 0.0);
+  return fit;
+}
+
+}  // namespace
+
+CalibrationProfile HostCalibrator::calibrate() const {
+  const std::size_t pool = resolve_pool_threads(options_.pool_threads);
+  const std::vector<std::size_t> ladder = width_ladder(pool);
+  const ProblemRegistry& registry =
+      options_.registry ? *options_.registry : ProblemRegistry::global();
+  const int iterations = options_.iterations;
+  const int warmup = options_.warmup_iterations;
+
+  // The default measurement hook: a real fixed-iteration solve on a
+  // width-bounded borrowed-pool fork — the same backend family the runtime
+  // schedules fine-grained jobs on, so the measured fork/join overheads are
+  // the ones the runtime will actually pay.  Zero tolerances keep the
+  // budget fixed (no early convergence), and the single end-of-run residual
+  // check keeps callback overhead out of the phase timings.
+  std::shared_ptr<ThreadPool> pool_threads;  // only for the default hook
+  MeasureFn measure = options_.measure;
+  if (!measure) {
+    pool_threads = std::make_shared<ThreadPool>(pool);
+    measure = [pool_threads, warmup](FactorGraph& graph, std::size_t width,
+                                     int iters) {
+      const auto run = [&](int budget) {
+        SolverOptions options;
+        options.max_iterations = budget;
+        options.check_interval = budget;
+        options.primal_tolerance = 0.0;
+        options.dual_tolerance = 0.0;
+        options.record_phase_timings = true;
+        const auto backend = make_pool_backend(*pool_threads, width);
+        AdmmSolver solver(graph, options, *backend);
+        return solver.run();
+      };
+      if (warmup > 0) run(warmup);
+      return run(iters).phase_seconds;
+    };
+  }
+
+  // Measure: per problem, per ladder width, the five per-phase seconds.
+  std::array<std::vector<PhaseSample>, 5> serial_samples;
+  std::array<std::vector<PhaseSample>, 5> wide_samples;
+  for (const std::string& problem : options_.problems) {
+    for (const std::size_t width : ladder) {
+      // A fresh instance per sample: every measurement sweeps the same
+      // trajectory from the same initial state, so widths are comparable.
+      BuiltProblem built = registry.build(problem);
+      const std::array<std::size_t, 5> counts = phase_counts(*built.graph);
+      const std::vector<double> seconds =
+          measure(*built.graph, width, iterations);
+      require(seconds.size() == serial_samples.size(),
+              "HostCalibrator measurement must return the five per-phase "
+              "seconds (x, m, z, u, n)");
+      for (std::size_t p = 0; p < serial_samples.size(); ++p) {
+        require(std::isfinite(seconds[p]) && seconds[p] >= 0.0,
+                "HostCalibrator measurement returned a non-finite or "
+                "negative phase time");
+        PhaseSample sample;
+        sample.count = counts[p];
+        sample.width = width;
+        sample.seconds = seconds[p] / static_cast<double>(iterations);
+        (width == 1 ? serial_samples : wide_samples)[p].push_back(sample);
+      }
+    }
+  }
+
+  CalibrationProfile profile;
+  profile.pool_threads = pool;
+  profile.host = options_.host;
+  for (std::size_t p = 0; p < profile.phases.size(); ++p) {
+    // Serial per-element cost: mean over the width-1 runs of each problem
+    // (counts differ across problems, so average the per-task rate, not
+    // the raw seconds).
+    double rate_sum = 0.0;
+    std::size_t rates = 0;
+    for (const PhaseSample& sample : serial_samples[p]) {
+      if (sample.count == 0) continue;
+      rate_sum += sample.seconds / static_cast<double>(sample.count);
+      ++rates;
+    }
+    const double per_element = rates > 0 ? rate_sum / static_cast<double>(rates)
+                                         : 0.0;
+    profile.phases[p] = fit_phase(kPhaseNames[p], per_element, wide_samples[p]);
+  }
+  return profile;
+}
+
+// ---------------------------------------------------------------------------
+// CostModel implementations
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class DevsimCostModel final : public CostModel {
+ public:
+  explicit DevsimCostModel(devsim::MulticoreSpec spec) : spec_(spec) {}
+
+  std::string_view name() const override { return "devsim-opteron"; }
+
+  std::vector<double> iteration_seconds(
+      const FactorGraph& graph,
+      std::span<const std::size_t> widths) const override {
+    // One O(graph) cost extraction, reused for every candidate width (the
+    // per-width model evaluation is just arithmetic).
+    const devsim::IterationCosts costs =
+        devsim::extract_iteration_costs(graph);
+    std::vector<double> seconds;
+    seconds.reserve(widths.size());
+    for (const std::size_t threads : widths) {
+      seconds.push_back(devsim::multicore_iteration_seconds(
+          costs, spec_, static_cast<int>(threads),
+          devsim::OmpStrategy::kForkJoinPerPhase));
+    }
+    return seconds;
+  }
+
+ private:
+  devsim::MulticoreSpec spec_;
+};
+
+class CalibratedCostModel final : public CostModel {
+ public:
+  explicit CalibratedCostModel(CalibrationProfile profile)
+      : profile_(std::move(profile)) {}
+
+  std::string_view name() const override { return "calibrated"; }
+
+  std::vector<double> iteration_seconds(
+      const FactorGraph& graph,
+      std::span<const std::size_t> widths) const override {
+    const std::array<std::size_t, 5> counts = phase_counts(graph);
+    std::vector<double> seconds;
+    seconds.reserve(widths.size());
+    for (const std::size_t width : widths) {
+      seconds.push_back(profile_.iteration_seconds(counts, width));
+    }
+    return seconds;
+  }
+
+ private:
+  CalibrationProfile profile_;
+};
+
+class FunctionCostModel final : public CostModel {
+ public:
+  FunctionCostModel(WidthCostModel fn, std::string name)
+      : fn_(std::move(fn)), name_(std::move(name)) {}
+
+  std::string_view name() const override { return name_; }
+
+  std::vector<double> iteration_seconds(
+      const FactorGraph& graph,
+      std::span<const std::size_t> widths) const override {
+    return fn_(graph, widths);
+  }
+
+ private:
+  WidthCostModel fn_;
+  std::string name_;
+};
+
+}  // namespace
+
+CostModelPtr make_devsim_cost_model(devsim::MulticoreSpec spec) {
+  return std::make_shared<DevsimCostModel>(spec);
+}
+
+CostModelPtr make_calibrated_cost_model(CalibrationProfile profile) {
+  return std::make_shared<CalibratedCostModel>(std::move(profile));
+}
+
+CostModelPtr make_function_cost_model(WidthCostModel fn, std::string name) {
+  require(static_cast<bool>(fn),
+          "make_function_cost_model needs a callable model");
+  return std::make_shared<FunctionCostModel>(std::move(fn), std::move(name));
+}
+
+CostModelPtr default_cost_model() {
+  // Explicit override: a configured-but-broken profile must fail loudly,
+  // never silently fall back to the Opteron spec.
+  if (const char* path = std::getenv(kCalibrationFileEnv)) {
+    return make_calibrated_cost_model(CalibrationProfile::load(path));
+  }
+#ifdef PARADMM_CALIBRATION_DIR
+  // The committed default profile is best-effort: present in a source
+  // checkout, absent for a relocated binary — fall through to devsim then.
+  try {
+    return make_calibrated_cost_model(CalibrationProfile::load(
+        std::string(PARADMM_CALIBRATION_DIR) + "/default_profile.json"));
+  } catch (const Error&) {
+  }
+#endif
+  return make_devsim_cost_model();
+}
+
+double phase_lane_seconds_from_serial(double serial_iteration_seconds) {
+  if (!std::isfinite(serial_iteration_seconds) ||
+      serial_iteration_seconds <= 0.0) {
+    return 0.0;
+  }
+  return serial_iteration_seconds / static_cast<double>(kPhasesPerIteration);
+}
+
+double model_phase_lane_seconds(const CostModel& model,
+                                const FactorGraph& graph) {
+  const std::array<std::size_t, 1> serial{1};
+  const std::vector<double> seconds =
+      model.iteration_seconds(graph, serial);
+  require(seconds.size() == 1,
+          "cost model must return one prediction per candidate width");
+  return phase_lane_seconds_from_serial(seconds[0]);
+}
+
+}  // namespace paradmm::runtime

@@ -1,0 +1,228 @@
+// Host-calibrated cost models for the batch-solve runtime.
+//
+// Every width decision the runtime makes — the Scheduler's knee search, the
+// WidthGovernor's deadline projections, and the BatchRunner's admission
+// check — prices ADMM work in seconds.  The devsim multicore model supplies
+// those prices from the paper's 2016 Opteron spec, which is systematically
+// wrong on any other host: fork/join overheads, per-core throughput, and
+// bandwidth knees all moved.  This layer closes that gap with one shared
+// interface:
+//
+//   * CostModel — "predicted seconds for one ADMM iteration of this graph
+//     at each candidate width".  The devsim Opteron spec is one
+//     implementation (make_devsim_cost_model), a measured host profile is
+//     another (make_calibrated_cost_model), and tests inject arbitrary
+//     functions (make_function_cost_model) — so width planning, boost
+//     projections, and admission all price work with the same model.
+//
+//   * CalibrationProfile — the serialized form of a host measurement: for
+//     each of the five phases (x, m, z, u, n), a per-element serial cost, an
+//     Amdahl serial fraction, and a per-lane fork overhead, fitted from
+//     micro-benchmarks and stored as versioned JSON.  Profiles are plain
+//     data: tests build fakes directly, CI commits real ones as artifacts.
+//
+//   * HostCalibrator — produces a profile by micro-benchmarking the four
+//     seed problems' phases at widths {1, 2, 4, ..., pool} on the actual
+//     host.  Phase wall-clock is normalized to lane-seconds (seconds x fork
+//     width), the same convention the WidthGovernor's ledger learns from,
+//     so calibrated priors and measured samples live on one axis.  The
+//     measurement hook is injectable, so tests calibrate against synthetic
+//     (virtual-clock) timings deterministically.
+//
+// Resolution order for the runtime's default model (default_cost_model):
+// the PARADMM_CALIBRATION_FILE environment override, then the committed
+// default profile (calibration/default_profile.json, baked in at configure
+// time), then the devsim Opteron spec.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "devsim/cpu_model.hpp"
+
+namespace paradmm {
+class FactorGraph;
+}
+
+namespace paradmm::runtime {
+
+class ProblemRegistry;
+
+/// Shared pricing interface: predicted seconds for one ADMM iteration of
+/// `graph` at each candidate width in `widths` (result is index-parallel to
+/// `widths`).  Only relative values matter to the width knee search, but
+/// admission control and deadline projections consume the absolute scale,
+/// so implementations should aim for honest seconds.  The whole ladder
+/// comes in one call so a model can run its per-graph analysis (e.g. devsim
+/// cost extraction, O(graph)) once and reuse it across every candidate.
+/// Implementations must be thread-safe and treat the graph as const.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  virtual std::string_view name() const = 0;
+
+  virtual std::vector<double> iteration_seconds(
+      const FactorGraph& graph, std::span<const std::size_t> widths) const = 0;
+};
+
+using CostModelPtr = std::shared_ptr<const CostModel>;
+
+/// Plain-function form of the pricing interface, kept for ad-hoc models in
+/// tests and benches (wrap with make_function_cost_model).
+using WidthCostModel = std::function<std::vector<double>(
+    const FactorGraph& graph, std::span<const std::size_t> widths)>;
+
+/// One phase's fitted host model.  Per-iteration seconds of a phase with
+/// `count` tasks forked at width w:
+///
+///   seconds(count, w) = count * per_element_seconds
+///                             * ((1 - serial_fraction) / w + serial_fraction)
+///                       + fork_overhead_seconds * (w - 1)
+///
+/// i.e. Amdahl's law per phase plus a linear fork/join cost per extra lane —
+/// the same mechanisms the devsim multicore model charges, reduced to three
+/// measurable constants per phase.
+struct PhaseCalibration {
+  std::string name;                    ///< "x", "m", "z", "u", "n"
+  double per_element_seconds = 0.0;    ///< serial seconds per phase task
+  double serial_fraction = 0.0;        ///< Amdahl sigma in [0, 1]
+  double fork_overhead_seconds = 0.0;  ///< seconds per lane above the first
+
+  double seconds(std::size_t count, std::size_t width) const;
+};
+
+/// A fitted host profile: the five phase models plus provenance.  The JSON
+/// form is versioned; from_json rejects unknown versions and structurally
+/// invalid profiles loudly (a silently mis-parsed profile would skew every
+/// width decision downstream).
+struct CalibrationProfile {
+  /// Format version this code writes; from_json accepts exactly this.
+  static constexpr int kVersion = 1;
+
+  int version = kVersion;
+  std::string host;               ///< informational: where it was measured
+  std::size_t pool_threads = 0;   ///< width ladder ceiling during calibration
+  std::array<PhaseCalibration, 5> phases{};
+
+  /// Predicted seconds for one iteration over the five phase counts
+  /// (index-parallel to SolverReport::kPhaseNames) at `width`.
+  double iteration_seconds(std::span<const std::size_t> counts,
+                           std::size_t width) const;
+
+  std::string to_json() const;
+  /// Parses a profile; throws PreconditionError on malformed JSON, a
+  /// version mismatch, or missing/invalid phase entries.
+  static CalibrationProfile from_json(std::string_view text);
+
+  void save(const std::string& path) const;
+  /// Loads and validates `path`; throws PreconditionError when the file is
+  /// unreadable or invalid.
+  static CalibrationProfile load(const std::string& path);
+};
+
+/// Micro-benchmarks the seed problems' ADMM phases on the actual host and
+/// fits a CalibrationProfile.  For each problem and each width in
+/// {1, 2, 4, ..., pool}, the calibrator runs a short fixed-iteration solve
+/// on a width-bounded pool fork and records per-phase wall-clock; the fit
+/// then recovers, per phase, the serial per-element cost from the width-1
+/// runs and the (serial fraction, fork overhead) pair by least squares over
+/// the wider runs.  Deterministic given a deterministic `measure` hook.
+class HostCalibrator {
+ public:
+  /// Measures `iterations` ADMM iterations of `graph` forked at `width` and
+  /// returns the five accumulated per-phase wall-clock seconds.  The
+  /// default hook runs the real engine on a borrowed ThreadPool backend;
+  /// tests inject synthetic (virtual-clock) timings instead.
+  using MeasureFn = std::function<std::vector<double>(
+      FactorGraph& graph, std::size_t width, int iterations)>;
+
+  struct Options {
+    /// Width ladder ceiling; 0 = std::thread::hardware_concurrency().
+    std::size_t pool_threads = 0;
+    /// Timed iterations per (problem, width) sample.
+    int iterations = 20;
+    /// Untimed iterations run first so cold caches don't skew the fit.
+    int warmup_iterations = 4;
+    /// Registry names to measure; defaults to the four seed problems.
+    std::vector<std::string> problems = {"lasso", "mpc", "packing", "svm"};
+    /// Problem source; null = ProblemRegistry::global().
+    const ProblemRegistry* registry = nullptr;
+    /// Injectable measurement (see MeasureFn); empty = real measured run.
+    MeasureFn measure;
+    /// Informational host tag stored in the profile.
+    std::string host;
+  };
+
+  // Two overloads instead of one defaulted argument: gcc cannot parse a
+  // `{}` default for a nested aggregate whose members carry their own
+  // initializers at this point of the enclosing class.
+  HostCalibrator();
+  explicit HostCalibrator(Options options);
+
+  /// Runs the micro-benchmarks and fits the profile.  Throws on an unknown
+  /// problem name or a measurement hook returning the wrong arity.
+  CalibrationProfile calibrate() const;
+
+ private:
+  Options options_;
+};
+
+/// The five per-phase task counts of one iteration of `graph`, in solver
+/// phase order (x: |F|, m: |E|, z: |V|, u: |E|, n: |E|) — the shape every
+/// CostModel implementation prices against.
+std::array<std::size_t, 5> phase_counts(const FactorGraph& graph);
+
+/// The candidate width ladder every pricing consumer walks: {1, 2, 4, ...}
+/// up to `pool`.  One definition, three consumers — the calibrator's
+/// sample grid, the Scheduler's knee search, and the admission check's
+/// best-case floor — so they can never price different width sets.
+std::vector<std::size_t> width_ladder(std::size_t pool);
+
+/// CostModel backed by devsim's analytic multicore model (the paper's
+/// fork/join strategy A on the 2016 Opteron spec unless `spec` says
+/// otherwise) — the pre-calibration default, kept as the fallback when no
+/// host profile exists.
+CostModelPtr make_devsim_cost_model(devsim::MulticoreSpec spec = {});
+
+/// CostModel backed by a fitted (or fake) host profile.
+CostModelPtr make_calibrated_cost_model(CalibrationProfile profile);
+
+/// CostModel wrapping a plain function — the test/bench escape hatch.
+CostModelPtr make_function_cost_model(WidthCostModel fn,
+                                      std::string name = "custom");
+
+/// Environment variable naming a profile JSON to use as the default model.
+inline constexpr const char* kCalibrationFileEnv = "PARADMM_CALIBRATION_FILE";
+
+/// The runtime's default pricing: the profile named by
+/// PARADMM_CALIBRATION_FILE when set (an unreadable or invalid override
+/// throws — explicit configuration must never silently fall back), else the
+/// committed default profile when present, else the devsim Opteron spec.
+CostModelPtr default_cost_model();
+
+/// Phase barriers per ADMM iteration (x, m, z, u, n) — the denominator of
+/// every per-phase prior derived from an iteration prediction.
+inline constexpr std::size_t kPhasesPerIteration = 5;
+
+/// The per-phase lane-seconds prior implied by a serial (width-1)
+/// iteration prediction: the iteration spread over its five barriers, or 0
+/// when the prediction is unusable.  Lane-seconds (seconds x fork width)
+/// is the governor's learning axis, so this value seeds a lease's deadline
+/// projection before its first measured sample.  The single definition of
+/// the prior convention — callers that already hold a serial prediction
+/// (e.g. the BatchRunner's submit-time pricing) use this directly.
+double phase_lane_seconds_from_serial(double serial_iteration_seconds);
+
+/// Convenience: prices `graph` at width 1 under `model` and applies
+/// phase_lane_seconds_from_serial.
+double model_phase_lane_seconds(const CostModel& model,
+                                const FactorGraph& graph);
+
+}  // namespace paradmm::runtime

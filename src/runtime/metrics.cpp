@@ -23,6 +23,8 @@ void RuntimeMetrics::print(std::ostream& out) const {
   table.add_row({"completed", count(completed)});
   table.add_row({"cancelled", count(cancelled)});
   table.add_row({"failed", count(failed)});
+  table.add_row({"admission rejected/degraded",
+                 count(rejected) + "/" + count(degraded)});
   table.add_row({"fine-grained jobs", count(fine_grained_jobs)});
   table.add_row({"queue depth", count(queue_depth)});
   table.add_row({"peak queue depth", count(peak_queue_depth)});
@@ -85,6 +87,11 @@ void MetricsCollector::on_submit(std::size_t queue_depth) {
   metrics_.peak_queue_depth = std::max(metrics_.peak_queue_depth, queue_depth);
 }
 
+void MetricsCollector::on_degraded() {
+  std::lock_guard lock(mutex_);
+  ++metrics_.degraded;
+}
+
 void MetricsCollector::on_queue_depth(std::size_t queue_depth) {
   std::lock_guard lock(mutex_);
   metrics_.peak_queue_depth = std::max(metrics_.peak_queue_depth, queue_depth);
@@ -109,6 +116,7 @@ void MetricsCollector::on_finish(const JobFinish& finish) {
     case JobState::kDone: ++metrics_.completed; break;
     case JobState::kCancelled: ++metrics_.cancelled; break;
     case JobState::kFailed: ++metrics_.failed; break;
+    case JobState::kRejected: ++metrics_.rejected; break;
     default: break;
   }
   if (finish.outcome == JobState::kDone && finish.had_deadline) {

@@ -22,6 +22,11 @@ struct RuntimeMetrics {
   std::size_t completed = 0;        ///< reached kDone
   std::size_t cancelled = 0;
   std::size_t failed = 0;
+  /// Admission-control outcomes (BatchRunnerOptions::admission): jobs
+  /// refused at submit with a provably infeasible deadline, and jobs
+  /// admitted anyway as flagged best-effort under the degrade policy.
+  std::size_t rejected = 0;
+  std::size_t degraded = 0;
   std::size_t queue_depth = 0;      ///< jobs waiting right now
   std::size_t peak_queue_depth = 0;
   std::size_t fine_grained_jobs = 0;  ///< jobs the scheduler ran intra-parallel
@@ -73,11 +78,19 @@ struct RuntimeMetrics {
   double min_job_seconds = 0.0;
   double max_job_seconds = 0.0;
 
-  std::size_t finished() const { return completed + cancelled + failed; }
+  /// Jobs in a terminal state (rejected-at-submit included — every handle
+  /// is settled).
+  std::size_t finished() const {
+    return completed + cancelled + failed + rejected;
+  }
 
+  /// Throughput of jobs the runner actually served.  Rejected jobs are
+  /// terminal but never ran — counting them would inflate jobs/sec exactly
+  /// when admission control is turning work away.
   double jobs_per_second() const {
     return elapsed_seconds > 0.0
-               ? static_cast<double>(finished()) / elapsed_seconds
+               ? static_cast<double>(completed + cancelled + failed) /
+                     elapsed_seconds
                : 0.0;
   }
 
@@ -138,6 +151,10 @@ struct JobFinish {
 class MetricsCollector {
  public:
   void on_submit(std::size_t queue_depth);
+  /// A submission was admitted as flagged best-effort (degrade policy,
+  /// provably infeasible deadline).  Rejections need no hook: a rejected
+  /// job reaches on_finish with outcome kRejected.
+  void on_degraded();
   /// Folds an instantaneous ready-queue depth into the peak (requeues
   /// after a preemption can push the depth above any submit-time value).
   void on_queue_depth(std::size_t queue_depth);

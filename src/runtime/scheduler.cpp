@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "devsim/cost_model.hpp"
 #include "support/error.hpp"
 
 namespace paradmm::runtime {
@@ -34,9 +33,9 @@ JobPlan Scheduler::plan(const FactorGraph& graph) const {
     // time by >= 25%; past that knee the extra threads help other jobs
     // more than this one.  A graph the model says does not even benefit
     // from 2 threads stays serial-per-worker despite its size.
-    std::vector<std::size_t> ladder{1};
-    while (ladder.back() * 2 <= cap) ladder.push_back(ladder.back() * 2);
-    const std::vector<double> seconds = options_.cost_model(graph, ladder);
+    const std::vector<std::size_t> ladder = width_ladder(cap);
+    const std::vector<double> seconds =
+        options_.cost_model->iteration_seconds(graph, ladder);
     require(seconds.size() == ladder.size(),
             "cost model must return one prediction per candidate width");
     std::size_t pick = 0;
@@ -54,24 +53,6 @@ JobPlan Scheduler::plan(const FactorGraph& graph) const {
         plan.elements / options_.fine_grained_threshold, 2, cap);
   }
   return plan;
-}
-
-WidthCostModel devsim_width_model(devsim::MulticoreSpec spec) {
-  return [spec](const FactorGraph& graph,
-                std::span<const std::size_t> widths) {
-    // One O(graph) cost extraction per plan() call, reused for every
-    // candidate width (the per-width model evaluation is just arithmetic).
-    const devsim::IterationCosts costs =
-        devsim::extract_iteration_costs(graph);
-    std::vector<double> seconds;
-    seconds.reserve(widths.size());
-    for (const std::size_t threads : widths) {
-      seconds.push_back(devsim::multicore_iteration_seconds(
-          costs, spec, static_cast<int>(threads),
-          devsim::OmpStrategy::kForkJoinPerPhase));
-    }
-    return seconds;
-  };
 }
 
 }  // namespace paradmm::runtime

@@ -11,30 +11,25 @@
 // fork over half the pool side by side instead of one maximal-width solve
 // serializing everything behind it.
 //
-// The width can also be driven by devsim's analytic multicore model: a
-// cost-model hook reports predicted per-iteration seconds at each
-// candidate width, and the scheduler keeps doubling the width while each
-// doubling still buys a meaningful speedup (the knee of the paper's
-// speedup curves).  See devsim_width_model().
+// The width can also be driven by a CostModel (runtime/calibration.hpp): a
+// model reports predicted per-iteration seconds at each candidate width,
+// and the scheduler keeps doubling the width while each doubling still buys
+// a meaningful speedup (the knee of the paper's speedup curves).  The model
+// is the *shared* pricing interface — the same instance prices the
+// governor's deadline projections and the runner's admission check, so
+// every width decision agrees on what work costs.  Implementations: the
+// devsim Opteron spec (make_devsim_cost_model), a measured host profile
+// (make_calibrated_cost_model), or any injected function.
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "core/factor_graph.hpp"
-#include "devsim/cpu_model.hpp"
+#include "runtime/calibration.hpp"
 
 namespace paradmm::runtime {
-
-/// Predicted seconds for one ADMM iteration of `graph` at each candidate
-/// width in `widths` (result is index-parallel to `widths`).  Only the
-/// relative values matter to the scheduler.  The whole ladder comes in one
-/// call so a model can run its per-graph analysis (e.g. devsim cost
-/// extraction, O(graph)) once and reuse it across every candidate.
-using WidthCostModel = std::function<std::vector<double>(
-    const FactorGraph& graph, std::span<const std::size_t> widths)>;
 
 struct SchedulerOptions {
   /// Graphs with fewer elements (|F| + 3|E| + |V|, the per-iteration task
@@ -52,14 +47,15 @@ struct SchedulerOptions {
   /// and latency of any single job does not matter.
   bool disable_fine_grained = false;
 
-  /// Optional analytic cost model for width selection.  When set, a
-  /// fine-grained job's width is chosen by doubling from 1 while each
-  /// doubling is predicted to cut iteration time by >= ~25% (past the knee
-  /// of the speedup curve, extra threads are better spent on other jobs);
-  /// a job the model says gains nothing from 2 threads stays serial.
-  /// When empty, width defaults to elements / fine_grained_threshold
-  /// (clamped to [2, pool]).
-  WidthCostModel cost_model;
+  /// Optional cost model for width selection.  When set, a fine-grained
+  /// job's width is chosen by doubling from 1 while each doubling is
+  /// predicted to cut iteration time by >= ~25% (past the knee of the
+  /// speedup curve, extra threads are better spent on other jobs); a job
+  /// the model says gains nothing from 2 threads stays serial.  When null,
+  /// the BatchRunner substitutes its own cost model if it has one
+  /// (BatchRunnerOptions::cost_model), and otherwise width defaults to
+  /// elements / fine_grained_threshold (clamped to [2, pool]).
+  CostModelPtr cost_model;
 };
 
 /// The scheduler's decision for one job.
@@ -94,13 +90,15 @@ class Scheduler {
   std::size_t pool_threads_;
 };
 
-/// A WidthCostModel backed by devsim's analytic multicore model (the
-/// paper's fork/join strategy A): extracts the graph's per-phase cost
-/// profile and returns the model's predicted seconds for one iteration on
-/// `threads` cores.  This is how the calibrated figure-reproduction models
-/// feed the runtime's width policy — e.g. memory-bound graphs stop scaling
-/// at the node bandwidth and get narrower widths than compute-bound ones
-/// of the same size.
-WidthCostModel devsim_width_model(devsim::MulticoreSpec spec = {});
+/// The devsim-backed width model (the paper's fork/join strategy A on the
+/// Opteron spec): extracts the graph's per-phase cost profile and predicts
+/// seconds for one iteration on `threads` cores — e.g. memory-bound graphs
+/// stop scaling at the node bandwidth and get narrower widths than
+/// compute-bound ones of the same size.  Alias of make_devsim_cost_model
+/// (runtime/calibration.hpp), kept under the historical name used by the
+/// width-policy docs.
+inline CostModelPtr devsim_width_model(devsim::MulticoreSpec spec = {}) {
+  return make_devsim_cost_model(spec);
+}
 
 }  // namespace paradmm::runtime

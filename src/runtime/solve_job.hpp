@@ -32,14 +32,30 @@ enum class JobState {
   kDone,       ///< finished (converged or iteration budget exhausted)
   kCancelled,  ///< stopped early by request_cancel()
   kFailed,     ///< the solve threw; see JobHandle::error()
+  kRejected,   ///< refused at submit: the deadline was provably infeasible
+               ///< under BatchRunnerOptions::admission (never dispatched)
 };
 
 std::string_view to_string(JobState state);
 
 inline bool is_terminal(JobState state) {
   return state == JobState::kDone || state == JobState::kCancelled ||
-         state == JobState::kFailed;
+         state == JobState::kFailed || state == JobState::kRejected;
 }
+
+/// The runner's submit-time admission decision for a job (see
+/// BatchRunnerOptions::admission).  Jobs submitted under the accept policy,
+/// or without a finite deadline, are always kAdmitted.
+enum class AdmissionVerdict {
+  kAdmitted,    ///< deadline projected feasible (or never checked)
+  kBestEffort,  ///< projected infeasible, admitted anyway (degrade policy):
+                ///< the job runs, but its hopeless deadline no longer arms
+                ///< deadline-aware width boosting
+  kRejected,    ///< projected infeasible, refused at submit (reject policy):
+                ///< the job goes terminal (JobState::kRejected) immediately
+};
+
+std::string_view to_string(AdmissionVerdict verdict);
 
 /// Invoked from the executing thread after every solver check interval.
 using ProgressFn = std::function<void(const IterationStatus&)>;
@@ -95,6 +111,17 @@ struct JobControl {
   double deadline = kNoDeadline;
   std::uint64_t sequence = 0;   // runner-assigned submit order (FIFO ties)
   double submit_time = 0.0;     // runner clock at submit (priority aging)
+  // Admission bookkeeping, fixed before the handle is returned: the
+  // verdict, and the job's cost-model price (serial seconds per
+  // iteration — later submissions' projections charge it for the job's
+  // *remaining* budget while it waits ahead of them, so a preempted job
+  // parked mid-solve is only charged for the work it actually has left;
+  // 0 when the runner has no model).
+  AdmissionVerdict admission = AdmissionVerdict::kAdmitted;
+  double serial_seconds_per_iteration = 0.0;
+  // Cost-model prior for the governor's deadline projection (lane-seconds
+  // per phase barrier; 0 when the runner has no model).
+  double prior_phase_lane_seconds = 0.0;
 
   std::atomic<bool> cancel_requested{false};
 
@@ -157,12 +184,16 @@ class JobHandle {
   }
 
   /// Final report; call after wait().  Valid in kDone and kCancelled (a
-  /// cancelled job reports the iterations it completed).
+  /// cancelled job reports the iterations it completed); kFailed and
+  /// kRejected jobs have no report — a rejected job never ran at all.
   const SolverReport& report() const {
     std::lock_guard lock(control()->mutex);
     require(is_terminal(control_->state), "job has not finished");
     require(control_->state != JobState::kFailed,
             "job failed; see JobHandle::error()");
+    require(control_->state != JobState::kRejected,
+            "job was rejected at submit (infeasible deadline) and never "
+            "ran; see JobHandle::admission_verdict()");
     return control_->report;
   }
 
@@ -188,6 +219,13 @@ class JobHandle {
   /// Dispatch priority / deadline, as submitted (fixed for the job's life).
   int priority() const { return control()->priority; }
   double deadline() const { return control()->deadline; }
+
+  /// The runner's submit-time admission decision (fixed before submit()
+  /// returned): kAdmitted unless the runner's admission policy projected
+  /// the job's finite deadline as infeasible — then kRejected (job is
+  /// already terminal in JobState::kRejected) or kBestEffort (job runs,
+  /// deadline boosting disarmed), by policy.
+  AdmissionVerdict admission_verdict() const { return control()->admission; }
 
   /// Width of the solve's most recent phase fork: 0 before the first fork,
   /// 1 for whole-solve jobs, and above plan().intra_threads while the

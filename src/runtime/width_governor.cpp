@@ -54,12 +54,15 @@ std::size_t WidthGovernor::backlog_target(std::size_t planned_width) const {
 
 WidthGovernor::LeasePtr WidthGovernor::open_lease(std::size_t planned_width,
                                                   double deadline,
-                                                  std::size_t total_phases) {
+                                                  std::size_t total_phases,
+                                                  double prior_phase_seconds) {
   auto lease = std::make_shared<Lease>();
   lease->planned = planned_width;
   lease->width = planned_width;
   lease->deadline = deadline;
   lease->total_phases = total_phases;
+  lease->prior_phase_seconds =
+      prior_phase_seconds > 0.0 ? prior_phase_seconds : 0.0;
   std::lock_guard lock(mutex_);
   leased_width_ += planned_width;
   return lease;
@@ -111,19 +114,28 @@ std::size_t WidthGovernor::advise(Lease& lease, std::size_t current_width) {
 
   // Deadline boost: project the finish at the width the yield policy would
   // assign; past the deadline, claim the smallest width projected to meet
-  // it instead of yielding.  Re-evaluated only on a fresh clock sample (no
-  // new information means no policy change — between samples the held
-  // boost stays put rather than decaying on an optimistic cost estimate);
+  // it instead of yielding.  The per-phase cost is the lease's own
+  // measured samples when it has any, else its cost-model prior (priced by
+  // the runner's shared CostModel — a calibrated host profile when one is
+  // loaded), else the cross-job EWMA.  Re-evaluated only on new
+  // information: a fresh clock sample, or — with a prior — the first timed
+  // barrier, so an already-infeasible solve boosts before producing any
+  // sample of its own.  Between evaluations the held boost stays put
+  // rather than decaying on an optimistic cost estimate, and the claim is
   // always bounded by the lane ledger so the governed total never exceeds
   // the pool.
   if (options_.enabled && options_.deadline_boost && timed &&
       pool_width_ > 0 && std::isfinite(lease.deadline) &&
       lease.total_phases > lease.phases_done) {
-    double per_phase = lease.phases_done > 0 && lease.cost_units > 0.0
-                           ? lease.cost_units /
-                                 static_cast<double>(lease.phases_done)
-                           : learned_phase_seconds_;
-    if (fresh_sample && per_phase > 0.0) {
+    const bool own_samples = lease.phases_done > 0 && lease.cost_units > 0.0;
+    double per_phase =
+        own_samples
+            ? lease.cost_units / static_cast<double>(lease.phases_done)
+            : (lease.prior_phase_seconds > 0.0 ? lease.prior_phase_seconds
+                                               : learned_phase_seconds_);
+    const bool first_barrier_with_prior =
+        lease.phases_done == 0 && lease.prior_phase_seconds > 0.0;
+    if ((fresh_sample || first_barrier_with_prior) && per_phase > 0.0) {
       const auto remaining =
           static_cast<double>(lease.total_phases - lease.phases_done);
       const double at_target =
@@ -222,7 +234,7 @@ class GovernedBackend final : public ExecutionBackend {
         lease_(governor.open_lease(
             std::min(planned_width == 0 ? pool.concurrency() : planned_width,
                      pool.concurrency()),
-            info.deadline, info.total_phases)),
+            info.deadline, info.total_phases, info.prior_phase_seconds)),
         on_width_(std::move(info.on_width)),
         inner_(make_pool_backend(
             pool, planned_width,

@@ -23,8 +23,10 @@
 // clock, learning the solve's per-phase wall-clock (normalized to
 // lane-seconds so samples taken at different widths agree — the same
 // telemetry RuntimeMetrics reports as phase seconds).  From the learned
-// cost it projects the finish time at the width the backlog policy would
-// assign; if that projection lands past the job's deadline, the lease
+// cost — or, before the first sample, from the lease's cost-model prior
+// (runtime/calibration.hpp) or the cross-job EWMA — it projects the finish
+// time at the width the backlog policy would assign; if that projection
+// lands past the job's deadline, the lease
 // claims the smallest width that is projected to meet it, bounded by the
 // pool width and by the ledger: a boost may only take lanes no other
 // governed solve currently holds, so boosting never pushes the governed
@@ -103,6 +105,15 @@ struct GovernedSolveInfo {
   /// Phase barriers the solve has left to run (5 x remaining iterations
   /// for the ADMM engine); 0 disables the projection.
   std::size_t total_phases = 0;
+  /// Cost-model prior for the deadline projection, in lane-seconds per
+  /// phase barrier (see model_phase_lane_seconds in runtime/calibration.hpp
+  /// — the runner prices each governed graph with its shared CostModel).
+  /// Until the solve produces a measured sample of its own, the projection
+  /// uses this prior; 0 (the default) falls back to the governor's
+  /// cross-job EWMA, reproducing the un-calibrated behavior.  With a
+  /// positive prior a solve can be boosted at its *first* barrier — no
+  /// warm-up sample needed to notice an already-infeasible pace.
+  double prior_phase_seconds = 0.0;
   /// Observer invoked with every granted width (the runtime mirrors it
   /// into JobHandle::current_width).  Runs under no governor lock.
   std::function<void(std::size_t)> on_width;
@@ -123,6 +134,8 @@ class WidthGovernor {
     std::size_t total_phases = 0;  ///< barriers the whole solve will run
     std::size_t phases_done = 0;   ///< barriers timestamped so far
     double cost_units = 0.0;       ///< sum of phase seconds x fork width
+    double prior_phase_seconds = 0.0;  ///< cost-model prior (lane-seconds
+                                       ///< per phase; 0 = none)
     double last_barrier = 0.0;     ///< clock at the previous barrier
     bool timed = false;            ///< last_barrier is valid
     std::size_t boost_width = 0;   ///< held boost (0 = none); sticky between
@@ -154,8 +167,12 @@ class WidthGovernor {
   void serial_finished();
 
   /// Registers a governed solve with the lane ledger at its planned width.
+  /// `prior_phase_seconds` (lane-seconds per phase, 0 = none) seeds the
+  /// deadline projection before the solve's first measured sample — see
+  /// GovernedSolveInfo::prior_phase_seconds.
   LeasePtr open_lease(std::size_t planned_width, double deadline,
-                      std::size_t total_phases);
+                      std::size_t total_phases,
+                      double prior_phase_seconds = 0.0);
   /// Returns the lease's lanes to the ledger and folds its measured
   /// per-phase cost into the cross-job estimate.
   void close_lease(const LeasePtr& lease);

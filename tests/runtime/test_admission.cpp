@@ -1,0 +1,435 @@
+// Deadline-aware admission control: submit-time projection against the
+// runner's cost model, the three policies, and their metrics tallies.
+//
+// Determinism: every scenario runs on a virtual clock (frozen unless a
+// test advances it) against an injected constant-cost model, so the
+// admission projection is exact arithmetic — 1 second per iteration at
+// every width means a job's best case equals its iteration budget, and a
+// queued job's load contribution equals its budget too.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/prox_library.hpp"
+#include "core/solver.hpp"
+#include "runtime/batch_runner.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::runtime {
+namespace {
+
+FactorGraph make_consensus_graph(const std::vector<double>& targets) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  for (const double t : targets) {
+    graph.add_factor(
+        std::make_shared<SumSquaresProx>(1.0, std::vector<double>{t}), {w});
+  }
+  graph.set_uniform_parameters(1.0, 1.0);
+  return graph;
+}
+
+std::vector<double> z_copy(const FactorGraph& graph) {
+  const auto z = graph.z_values();
+  return {z.begin(), z.end()};
+}
+
+/// 1 second per ADMM iteration at every width: a job's best-case seconds
+/// equal its iteration budget, exactly.
+CostModelPtr one_second_per_iteration() {
+  return make_function_cost_model(
+      [](const FactorGraph&, std::span<const std::size_t> widths) {
+        return std::vector<double>(widths.size(), 1.0);
+      },
+      "one-second-per-iteration");
+}
+
+SolverOptions budget(int iterations) {
+  SolverOptions options;
+  options.max_iterations = iterations;
+  options.check_interval = iterations;
+  return options;
+}
+
+BatchRunnerOptions admission_options(AdmissionPolicy policy,
+                                     std::shared_ptr<std::atomic<double>> now) {
+  BatchRunnerOptions options;
+  options.threads = 2;
+  options.admission = policy;
+  options.cost_model = one_second_per_iteration();
+  options.clock = [now] { return now->load(); };
+  return options;
+}
+
+TEST(Admission, RejectInfeasibleGoesTerminalAtSubmit) {
+  // 10 iterations x 1 s against a 5-second deadline: provably unmeetable
+  // even with the whole pool free.  The job must settle at submit —
+  // kRejected, never queued, never run.
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  BatchRunner runner(
+      admission_options(AdmissionPolicy::kRejectInfeasible, now));
+
+  FactorGraph graph = make_consensus_graph({1.0, 2.0});
+  SolveJob job;
+  job.graph = &graph;
+  job.options = budget(10);
+  job.deadline = 5.0;
+  JobHandle handle = runner.submit(std::move(job));
+
+  EXPECT_EQ(handle.state(), JobState::kRejected);  // immediately, no wait
+  EXPECT_EQ(handle.wait(), JobState::kRejected);
+  EXPECT_EQ(handle.admission_verdict(), AdmissionVerdict::kRejected);
+  EXPECT_DOUBLE_EQ(handle.finished_at(), 0.0);  // settled on the frozen clock
+  EXPECT_EQ(handle.current_width(), 0u);        // no fork ever happened
+  // A rejected job has no report to read — asking is a caller error, not
+  // a silent empty SolverReport masquerading as solve output.
+  EXPECT_THROW(handle.report(), PreconditionError);
+
+  runner.wait_all();  // returns immediately: nothing was admitted
+  const RuntimeMetrics metrics = runner.metrics();
+  EXPECT_EQ(metrics.submitted, 1u);
+  EXPECT_EQ(metrics.rejected, 1u);
+  EXPECT_EQ(metrics.degraded, 0u);
+  EXPECT_EQ(metrics.completed, 0u);
+  EXPECT_EQ(metrics.ran_jobs, 0u);
+  EXPECT_EQ(metrics.finished(), 1u);  // rejected is a terminal outcome
+  // ...but not throughput: nothing was actually served.
+  EXPECT_DOUBLE_EQ(metrics.jobs_per_second(), 0.0);
+}
+
+TEST(Admission, FeasibleDeadlinesAreAdmittedAndRun) {
+  // The same job with 20 seconds of slack passes the projection and runs
+  // to completion; a job with no deadline is never even checked.
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  BatchRunner runner(
+      admission_options(AdmissionPolicy::kRejectInfeasible, now));
+
+  FactorGraph feasible_graph = make_consensus_graph({1.0, 2.0});
+  SolveJob feasible;
+  feasible.graph = &feasible_graph;
+  feasible.options = budget(10);
+  feasible.deadline = 20.0;
+  JobHandle feasible_handle = runner.submit(std::move(feasible));
+
+  FactorGraph undeadlined_graph = make_consensus_graph({3.0});
+  SolveJob undeadlined;
+  undeadlined.graph = &undeadlined_graph;
+  undeadlined.options = budget(10);
+  JobHandle undeadlined_handle = runner.submit(std::move(undeadlined));
+
+  EXPECT_EQ(feasible_handle.wait(), JobState::kDone);
+  EXPECT_EQ(undeadlined_handle.wait(), JobState::kDone);
+  EXPECT_EQ(feasible_handle.admission_verdict(), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(undeadlined_handle.admission_verdict(),
+            AdmissionVerdict::kAdmitted);
+  const RuntimeMetrics metrics = runner.metrics();
+  EXPECT_EQ(metrics.rejected, 0u);
+  EXPECT_EQ(metrics.completed, 2u);
+}
+
+TEST(Admission, DegradeToBestEffortRunsFlagged) {
+  // Under the degrade policy the same provably infeasible job is admitted,
+  // runs to completion, and carries the kBestEffort flag (plus the
+  // degraded tally) instead of going terminal at submit.
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  BatchRunner runner(
+      admission_options(AdmissionPolicy::kDegradeToBestEffort, now));
+
+  FactorGraph graph = make_consensus_graph({1.0, 2.0});
+  SolveJob job;
+  job.graph = &graph;
+  job.options = budget(10);
+  job.deadline = 5.0;
+  JobHandle handle = runner.submit(std::move(job));
+
+  EXPECT_EQ(handle.wait(), JobState::kDone);
+  EXPECT_EQ(handle.admission_verdict(), AdmissionVerdict::kBestEffort);
+  EXPECT_EQ(handle.report().iterations, 10);
+  const RuntimeMetrics metrics = runner.metrics();
+  EXPECT_EQ(metrics.rejected, 0u);
+  EXPECT_EQ(metrics.degraded, 1u);
+  EXPECT_EQ(metrics.completed, 1u);
+  // The infeasible deadline still scores on the deadline scoreboard (the
+  // clock never moved, so 0 <= 5 actually lands "met" here — the tally
+  // just must include the job).
+  EXPECT_EQ(metrics.deadlines_met + metrics.deadlines_missed, 1u);
+}
+
+TEST(Admission, QueuedLoadAheadTightensTheProjection) {
+  // The projection charges work that must dispatch ahead of the new job:
+  // with a 30-iteration filler queued at higher priority, a 1-iteration
+  // job with 10 seconds of slack — trivially feasible on an empty queue —
+  // becomes provably late (30 s of load over 2 lanes + 1 s own floor) and
+  // is rejected.  The queue is held deterministic by blocking the only
+  // running job inside its progress callback until both submissions
+  // settled.
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  BatchRunnerOptions options =
+      admission_options(AdmissionPolicy::kRejectInfeasible, now);
+  options.threads = 2;
+  BatchRunner runner(options);
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool release = false;
+  std::atomic<int> blocked{0};
+
+  // Two blockers saturate both dispatch lanes; each parks in its progress
+  // callback so nothing queued behind them can start.
+  FactorGraph blocker_graphs[2] = {make_consensus_graph({1.0}),
+                                   make_consensus_graph({2.0})};
+  std::vector<JobHandle> blockers;
+  for (auto& graph : blocker_graphs) {
+    SolveJob job;
+    job.graph = &graph;
+    job.options = budget(2);
+    job.options.check_interval = 1;
+    job.progress = [&](const IterationStatus&) {
+      blocked.fetch_add(1);
+      std::unique_lock lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return release; });
+    };
+    blockers.push_back(runner.submit(std::move(job)));
+  }
+  // Both lanes are actually parked before anything else is submitted.
+  while (blocked.load() < 2) std::this_thread::yield();
+
+  // High-priority filler: 30 iterations -> 30 s of estimated serial load
+  // that any later, lower-priority submission must be charged for.
+  FactorGraph filler_graph = make_consensus_graph({1.0, 2.0, 3.0});
+  SolveJob filler;
+  filler.graph = &filler_graph;
+  filler.options = budget(30);
+  filler.priority = 5;
+  JobHandle filler_handle = runner.submit(std::move(filler));
+  EXPECT_EQ(filler_handle.admission_verdict(), AdmissionVerdict::kAdmitted);
+
+  // Without the filler this would project 0 + 1 = 1 <= 10: feasible.
+  // With it: 0 + 30/2 + 1 = 16 > 10 — rejected on queue load alone.
+  FactorGraph late_graph = make_consensus_graph({4.0});
+  SolveJob late;
+  late.graph = &late_graph;
+  late.options = budget(1);
+  late.deadline = 10.0;
+  JobHandle late_handle = runner.submit(std::move(late));
+  EXPECT_EQ(late_handle.state(), JobState::kRejected);
+
+  // An identical job minus the queue (deadline far out) is still admitted:
+  // the rejection above was the load term, not the job's own floor.
+  FactorGraph fine_graph = make_consensus_graph({5.0});
+  SolveJob fine;
+  fine.graph = &fine_graph;
+  fine.options = budget(1);
+  fine.deadline = 100.0;
+  JobHandle fine_handle = runner.submit(std::move(fine));
+  EXPECT_NE(fine_handle.state(), JobState::kRejected);
+
+  {
+    std::lock_guard lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  runner.wait_all();
+  EXPECT_EQ(runner.metrics().rejected, 1u);
+}
+
+TEST(Admission, AcceptPolicyIsBitwiseUnchanged) {
+  // The acceptance criterion: the same arrival set — infeasible deadlines
+  // included — produces bitwise-identical trajectories under kAccept as
+  // under the pre-admission runtime (no model, no policy).  kAccept never
+  // rejects, never degrades, and numerics are width-independent, so the
+  // z vectors must match scalar for scalar.
+  const std::vector<std::vector<double>> arrival_targets = {
+      {1.0, 2.0}, {3.0}, {-1.0, 0.5, 2.5}, {4.0, 4.0}};
+  const std::vector<double> deadlines = {0.001, kNoDeadline, 0.5, kNoDeadline};
+
+  const auto run_batch = [&](BatchRunnerOptions options) {
+    std::vector<FactorGraph> graphs;
+    graphs.reserve(arrival_targets.size());
+    for (const auto& targets : arrival_targets) {
+      graphs.push_back(make_consensus_graph(targets));
+    }
+    std::vector<JobHandle> handles;
+    {
+      BatchRunner runner(std::move(options));
+      for (std::size_t i = 0; i < graphs.size(); ++i) {
+        SolveJob job;
+        job.graph = &graphs[i];
+        job.options = budget(40);
+        job.deadline = deadlines[i];
+        handles.push_back(runner.submit(std::move(job)));
+      }
+      runner.wait_all();
+    }
+    std::vector<std::vector<double>> results;
+    for (auto& handle : handles) {
+      EXPECT_EQ(handle.state(), JobState::kDone);
+      EXPECT_EQ(handle.admission_verdict(), AdmissionVerdict::kAdmitted);
+      results.push_back(z_copy(handle.graph()));
+    }
+    return results;
+  };
+
+  BatchRunnerOptions reference_options;
+  reference_options.threads = 2;
+  const auto reference = run_batch(reference_options);
+
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  BatchRunnerOptions accept_options =
+      admission_options(AdmissionPolicy::kAccept, now);
+  const auto accepted = run_batch(accept_options);
+
+  ASSERT_EQ(accepted.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(accepted[i].size(), reference[i].size()) << "job " << i;
+    for (std::size_t s = 0; s < reference[i].size(); ++s) {
+      EXPECT_EQ(accepted[i][s], reference[i][s])
+          << "job " << i << " z scalar " << s;
+    }
+  }
+}
+
+TEST(Admission, RejectAndDegradeKeepAdmittedResultsBitwise) {
+  // Same arrival set under all three policies: the jobs that survive
+  // admission produce bitwise-identical results everywhere — admission
+  // filters the set, it never touches numerics.
+  const std::vector<std::vector<double>> arrival_targets = {
+      {1.0, 2.0}, {3.0, -1.0}, {0.5}};
+  // Job 1's deadline is provably infeasible (20 iterations x 1 s vs 2 s).
+  const std::vector<double> deadlines = {kNoDeadline, 2.0, kNoDeadline};
+
+  const auto run_policy = [&](AdmissionPolicy policy) {
+    auto now = std::make_shared<std::atomic<double>>(0.0);
+    std::vector<FactorGraph> graphs;
+    for (const auto& targets : arrival_targets) {
+      graphs.push_back(make_consensus_graph(targets));
+    }
+    std::vector<JobHandle> handles;
+    {
+      BatchRunner runner(admission_options(policy, now));
+      for (std::size_t i = 0; i < graphs.size(); ++i) {
+        SolveJob job;
+        job.graph = &graphs[i];
+        job.options = budget(20);
+        job.deadline = deadlines[i];
+        handles.push_back(runner.submit(std::move(job)));
+      }
+      runner.wait_all();
+    }
+    return handles;
+  };
+
+  const auto accept = run_policy(AdmissionPolicy::kAccept);
+  const auto reject = run_policy(AdmissionPolicy::kRejectInfeasible);
+  const auto degrade = run_policy(AdmissionPolicy::kDegradeToBestEffort);
+
+  EXPECT_EQ(reject[1].state(), JobState::kRejected);
+  EXPECT_EQ(degrade[1].state(), JobState::kDone);
+  EXPECT_EQ(degrade[1].admission_verdict(), AdmissionVerdict::kBestEffort);
+
+  for (std::size_t i = 0; i < accept.size(); ++i) {
+    const auto expected = z_copy(accept[i].graph());
+    // Every degraded-policy job ran (degrade admits everything) and must
+    // match the accept run; the reject run only solved the survivors.
+    const auto under_degrade = z_copy(degrade[i].graph());
+    ASSERT_EQ(under_degrade.size(), expected.size()) << "job " << i;
+    for (std::size_t s = 0; s < expected.size(); ++s) {
+      EXPECT_EQ(under_degrade[s], expected[s])
+          << "job " << i << " z scalar " << s;
+    }
+    if (reject[i].state() == JobState::kRejected) continue;
+    const auto under_reject = z_copy(reject[i].graph());
+    ASSERT_EQ(under_reject.size(), expected.size()) << "job " << i;
+    for (std::size_t s = 0; s < expected.size(); ++s) {
+      EXPECT_EQ(under_reject[s], expected[s])
+          << "job " << i << " z scalar " << s;
+    }
+  }
+}
+
+TEST(Admission, FakeCalibrationProfileDrivesTheVerdict) {
+  // End-to-end through the profile path: a fake CalibrationProfile (1
+  // second per element, perfectly parallel, no overhead) prices a 5-task
+  // consensus graph at 5/w s per iteration — best 2.5 s on the 2-lane
+  // ladder, so a 10-iteration job costs 25 s at best.  Deadline 10 is
+  // provably infeasible, deadline 100 is fine; exact arithmetic on the
+  // frozen virtual clock.
+  CalibrationProfile profile;
+  profile.pool_threads = 2;
+  const char* names[] = {"x", "m", "z", "u", "n"};
+  for (std::size_t p = 0; p < profile.phases.size(); ++p) {
+    profile.phases[p].name = names[p];
+    profile.phases[p].per_element_seconds = 1.0;
+    profile.phases[p].serial_fraction = 0.0;
+    profile.phases[p].fork_overhead_seconds = 0.0;
+  }
+
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  BatchRunnerOptions options =
+      admission_options(AdmissionPolicy::kRejectInfeasible, now);
+  options.cost_model = make_calibrated_cost_model(profile);
+  BatchRunner runner(options);
+
+  FactorGraph infeasible_graph = make_consensus_graph({1.0});
+  SolveJob infeasible;
+  infeasible.graph = &infeasible_graph;
+  infeasible.options = budget(10);
+  infeasible.deadline = 10.0;
+  EXPECT_EQ(runner.submit(std::move(infeasible)).state(),
+            JobState::kRejected);
+
+  FactorGraph feasible_graph = make_consensus_graph({2.0});
+  SolveJob feasible;
+  feasible.graph = &feasible_graph;
+  feasible.options = budget(10);
+  feasible.deadline = 100.0;
+  JobHandle handle = runner.submit(std::move(feasible));
+  EXPECT_NE(handle.state(), JobState::kRejected);
+  EXPECT_EQ(handle.wait(), JobState::kDone);
+}
+
+TEST(Admission, SubmitAfterRejectionKeepsServing) {
+  // A rejection is a per-job verdict, not a runner state: subsequent
+  // feasible submissions dispatch normally.
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  BatchRunner runner(
+      admission_options(AdmissionPolicy::kRejectInfeasible, now));
+
+  FactorGraph rejected_graph = make_consensus_graph({1.0});
+  SolveJob infeasible;
+  infeasible.graph = &rejected_graph;
+  infeasible.options = budget(100);
+  infeasible.deadline = 1.0;
+  EXPECT_EQ(runner.submit(std::move(infeasible)).state(),
+            JobState::kRejected);
+
+  FactorGraph ok_graph = make_consensus_graph({2.0});
+  SolveJob ok;
+  ok.graph = &ok_graph;
+  ok.options = budget(10);
+  JobHandle handle = runner.submit(std::move(ok));
+  EXPECT_EQ(handle.wait(), JobState::kDone);
+  EXPECT_EQ(runner.metrics().rejected, 1u);
+  EXPECT_EQ(runner.metrics().completed, 1u);
+}
+
+TEST(Admission, NaNDeadlineStillRejectedAtTheDoor) {
+  // Admission does not weaken the NaN guard.
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  BatchRunner runner(
+      admission_options(AdmissionPolicy::kRejectInfeasible, now));
+  FactorGraph graph = make_consensus_graph({1.0});
+  SolveJob job;
+  job.graph = &graph;
+  job.deadline = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(runner.submit(std::move(job)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace paradmm::runtime

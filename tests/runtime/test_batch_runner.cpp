@@ -429,9 +429,11 @@ TEST(BatchRunner, ThrowingCostModelFailsTheJobNotTheProcess) {
   BatchRunnerOptions options;
   options.threads = 3;  // 2 fine-grained lanes, so the model is consulted
   options.scheduler.fine_grained_threshold = 1;
-  options.scheduler.cost_model =
+  options.scheduler.cost_model = make_function_cost_model(
       [](const FactorGraph&, std::span<const std::size_t>)
-      -> std::vector<double> { throw NumericalError("cost model exploded"); };
+          -> std::vector<double> {
+        throw NumericalError("cost model exploded");
+      });
   BatchRunner runner(options);
 
   FactorGraph graph = make_consensus_graph({1.0, 2.0});

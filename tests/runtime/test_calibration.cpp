@@ -1,0 +1,360 @@
+// Host-calibrated cost models: profile serialization, the calibrator's
+// fit, the CostModel implementations, and the default-model resolution.
+//
+// Everything here is deterministic: the calibrator measures through an
+// injected hook that produces synthetic timings from a known ground-truth
+// model (so the fit can be checked exactly), profiles are built as plain
+// structs, and the environment override is exercised against temp files.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/prox_library.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/calibration.hpp"
+#include "runtime/problem_registry.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::runtime {
+namespace {
+
+FactorGraph make_consensus_graph(std::size_t factors) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  const auto op =
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{1.0});
+  for (std::size_t i = 0; i < factors; ++i) graph.add_factor(op, {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  return graph;
+}
+
+CalibrationProfile sample_profile() {
+  CalibrationProfile profile;
+  profile.host = "unit-test";
+  profile.pool_threads = 8;
+  const char* names[] = {"x", "m", "z", "u", "n"};
+  for (std::size_t p = 0; p < profile.phases.size(); ++p) {
+    profile.phases[p].name = names[p];
+    profile.phases[p].per_element_seconds = 1e-8 * static_cast<double>(p + 1);
+    profile.phases[p].serial_fraction = 0.01 * static_cast<double>(p);
+    profile.phases[p].fork_overhead_seconds =
+        1e-6 * static_cast<double>(p + 1);
+  }
+  return profile;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// RAII setter (or, with nullopt, unsetter) for PARADMM_CALIBRATION_FILE
+/// that restores the prior value — so no test leaks env state into the
+/// rest of the process (the CI calibrate job runs this whole suite with
+/// the variable pointing at a fitted profile).
+class ScopedCalibrationEnv {
+ public:
+  explicit ScopedCalibrationEnv(const std::optional<std::string>& value) {
+    if (const char* old_value = std::getenv(kCalibrationFileEnv)) {
+      old_ = old_value;
+    }
+    if (value) {
+      ::setenv(kCalibrationFileEnv, value->c_str(), 1);
+    } else {
+      ::unsetenv(kCalibrationFileEnv);
+    }
+  }
+  ~ScopedCalibrationEnv() {
+    if (old_) {
+      ::setenv(kCalibrationFileEnv, old_->c_str(), 1);
+    } else {
+      ::unsetenv(kCalibrationFileEnv);
+    }
+  }
+
+ private:
+  std::optional<std::string> old_;
+};
+
+TEST(Calibration, PhaseSecondsMatchesTheClosedForm) {
+  PhaseCalibration phase;
+  phase.name = "x";
+  phase.per_element_seconds = 2e-6;
+  phase.serial_fraction = 0.25;
+  phase.fork_overhead_seconds = 1e-4;
+  // 1000 elements at width 4: 1000 * 2e-6 * (0.75/4 + 0.25) + 1e-4 * 3.
+  EXPECT_DOUBLE_EQ(phase.seconds(1000, 4),
+                   1000.0 * 2e-6 * (0.75 / 4.0 + 0.25) + 3e-4);
+  // Width 1 pays no fork overhead and no Amdahl discount.
+  EXPECT_DOUBLE_EQ(phase.seconds(1000, 1), 1000.0 * 2e-6);
+  // Width 0 is treated as 1 (no division by zero).
+  EXPECT_DOUBLE_EQ(phase.seconds(1000, 0), phase.seconds(1000, 1));
+}
+
+TEST(Calibration, ProfileJsonRoundTrips) {
+  const CalibrationProfile original = sample_profile();
+  const CalibrationProfile parsed =
+      CalibrationProfile::from_json(original.to_json());
+  EXPECT_EQ(parsed.version, CalibrationProfile::kVersion);
+  EXPECT_EQ(parsed.host, original.host);
+  EXPECT_EQ(parsed.pool_threads, original.pool_threads);
+  for (std::size_t p = 0; p < parsed.phases.size(); ++p) {
+    EXPECT_EQ(parsed.phases[p].name, original.phases[p].name);
+    EXPECT_DOUBLE_EQ(parsed.phases[p].per_element_seconds,
+                     original.phases[p].per_element_seconds);
+    EXPECT_DOUBLE_EQ(parsed.phases[p].serial_fraction,
+                     original.phases[p].serial_fraction);
+    EXPECT_DOUBLE_EQ(parsed.phases[p].fork_overhead_seconds,
+                     original.phases[p].fork_overhead_seconds);
+  }
+}
+
+TEST(Calibration, HostStringWithQuotesRoundTrips) {
+  // The emitter must escape what the parser unescapes: a host tag with
+  // quotes/backslashes produces a valid file, not one load() rejects.
+  CalibrationProfile profile = sample_profile();
+  profile.host = "my \"big\" box\\lab\n2nd line";
+  const CalibrationProfile parsed =
+      CalibrationProfile::from_json(profile.to_json());
+  EXPECT_EQ(parsed.host, profile.host);
+}
+
+TEST(Calibration, ProfileSaveAndLoadRoundTripsThroughDisk) {
+  const std::string path = temp_path("paradmm_profile_roundtrip.json");
+  const CalibrationProfile original = sample_profile();
+  original.save(path);
+  const CalibrationProfile loaded = CalibrationProfile::load(path);
+  EXPECT_EQ(loaded.pool_threads, original.pool_threads);
+  EXPECT_DOUBLE_EQ(loaded.phases[4].per_element_seconds,
+                   original.phases[4].per_element_seconds);
+  std::filesystem::remove(path);
+}
+
+TEST(Calibration, FromJsonRejectsInvalidProfilesLoudly) {
+  // A profile that does not parse or validate must throw, never degrade
+  // into silently-default width decisions.
+  EXPECT_THROW(CalibrationProfile::from_json("not json"), PreconditionError);
+  EXPECT_THROW(CalibrationProfile::from_json("{\"version\": 1"),
+               PreconditionError);
+  // Wrong version.
+  CalibrationProfile profile = sample_profile();
+  profile.version = 99;
+  EXPECT_THROW(CalibrationProfile::from_json(profile.to_json()),
+               PreconditionError);
+  // Missing fields.
+  EXPECT_THROW(CalibrationProfile::from_json("{\"version\": 1}"),
+               PreconditionError);
+  // Wrong phase count.
+  EXPECT_THROW(
+      CalibrationProfile::from_json(
+          "{\"version\": 1, \"pool_threads\": 4, \"phases\": []}"),
+      PreconditionError);
+  // Out-of-range constants (serial fraction above 1).
+  profile = sample_profile();
+  profile.phases[2].serial_fraction = 1.5;
+  EXPECT_THROW(CalibrationProfile::from_json(profile.to_json()),
+               PreconditionError);
+  // Misordered phase names.
+  profile = sample_profile();
+  profile.phases[0].name = "z";
+  EXPECT_THROW(CalibrationProfile::from_json(profile.to_json()),
+               PreconditionError);
+  // Unreadable path.
+  EXPECT_THROW(CalibrationProfile::load(temp_path("paradmm_no_such.json")),
+               PreconditionError);
+}
+
+TEST(Calibration, HostCalibratorRecoversASyntheticModelExactly) {
+  // Ground truth per phase; the injected hook synthesizes the timings the
+  // real micro-benchmark would measure if the host behaved exactly like
+  // this model.  The least-squares fit must recover every constant.
+  const CalibrationProfile truth = sample_profile();
+
+  HostCalibrator::Options options;
+  options.pool_threads = 8;  // ladder {1, 2, 4, 8}
+  options.iterations = 10;
+  options.problems = {"svm", "lasso"};
+  options.host = "synthetic";
+  options.measure = [&truth](FactorGraph& graph, std::size_t width,
+                             int iterations) {
+    const std::array<std::size_t, 5> counts = phase_counts(graph);
+    std::vector<double> seconds;
+    for (std::size_t p = 0; p < counts.size(); ++p) {
+      seconds.push_back(truth.phases[p].seconds(counts[p], width) *
+                        iterations);
+    }
+    return seconds;
+  };
+
+  const CalibrationProfile fitted = HostCalibrator(options).calibrate();
+  EXPECT_EQ(fitted.pool_threads, 8u);
+  EXPECT_EQ(fitted.host, "synthetic");
+  for (std::size_t p = 0; p < fitted.phases.size(); ++p) {
+    EXPECT_EQ(fitted.phases[p].name, truth.phases[p].name);
+    EXPECT_NEAR(fitted.phases[p].per_element_seconds,
+                truth.phases[p].per_element_seconds,
+                1e-9 * truth.phases[p].per_element_seconds + 1e-18)
+        << "phase " << p;
+    EXPECT_NEAR(fitted.phases[p].serial_fraction,
+                truth.phases[p].serial_fraction, 1e-6)
+        << "phase " << p;
+    EXPECT_NEAR(fitted.phases[p].fork_overhead_seconds,
+                truth.phases[p].fork_overhead_seconds, 1e-9)
+        << "phase " << p;
+  }
+}
+
+TEST(Calibration, HostCalibratorValidatesItsInputs) {
+  HostCalibrator::Options options;
+  options.iterations = 0;
+  EXPECT_THROW(HostCalibrator{options}, PreconditionError);
+  options = {};
+  options.problems.clear();
+  EXPECT_THROW(HostCalibrator{options}, PreconditionError);
+  options = {};
+  options.problems = {"no-such-problem"};
+  options.measure = [](FactorGraph&, std::size_t, int) {
+    return std::vector<double>(5, 1.0);
+  };
+  EXPECT_THROW(HostCalibrator(options).calibrate(), PreconditionError);
+  // A measurement hook returning the wrong arity is rejected.
+  options = {};
+  options.problems = {"svm"};
+  options.measure = [](FactorGraph&, std::size_t, int) {
+    return std::vector<double>(3, 1.0);
+  };
+  EXPECT_THROW(HostCalibrator(options).calibrate(), PreconditionError);
+}
+
+TEST(Calibration, RealMeasurementProducesAUsableProfile) {
+  // The default (wall-clock) hook on a tiny budget: not checked for
+  // accuracy — timings on a busy CI box are noise — but the fit must stay
+  // within its physical ranges and the profile must serialize.
+  HostCalibrator::Options options;
+  options.pool_threads = 2;
+  options.iterations = 2;
+  options.warmup_iterations = 0;
+  options.problems = {"svm"};
+  const CalibrationProfile profile = HostCalibrator(options).calibrate();
+  for (const auto& phase : profile.phases) {
+    EXPECT_GE(phase.per_element_seconds, 0.0);
+    EXPECT_GE(phase.serial_fraction, 0.0);
+    EXPECT_LE(phase.serial_fraction, 1.0);
+    EXPECT_GE(phase.fork_overhead_seconds, 0.0);
+  }
+  EXPECT_NO_THROW(CalibrationProfile::from_json(profile.to_json()));
+}
+
+TEST(Calibration, CalibratedCostModelPricesWithTheProfile) {
+  const CalibrationProfile profile = sample_profile();
+  const CostModelPtr model = make_calibrated_cost_model(profile);
+  EXPECT_EQ(model->name(), "calibrated");
+
+  const FactorGraph graph = make_consensus_graph(32);
+  const std::array<std::size_t, 5> counts = phase_counts(graph);
+  EXPECT_EQ(counts[0], graph.num_factors());
+  EXPECT_EQ(counts[1], graph.num_edges());
+  EXPECT_EQ(counts[2], graph.num_variables());
+
+  const std::vector<std::size_t> ladder = {1, 2, 4};
+  const std::vector<double> seconds = model->iteration_seconds(graph, ladder);
+  ASSERT_EQ(seconds.size(), ladder.size());
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    EXPECT_DOUBLE_EQ(seconds[i], profile.iteration_seconds(counts, ladder[i]))
+        << "width " << ladder[i];
+  }
+}
+
+TEST(Calibration, CalibratedProfileDrivesTheSchedulerKnee) {
+  // A near-perfectly-parallel profile keeps the knee search doubling to
+  // the cap; a fully serial profile (sigma = 1) keeps the job on one
+  // worker despite its size.  Same code path the runtime uses — the
+  // profile *is* the width policy.
+  const FactorGraph graph = make_consensus_graph(512);
+
+  CalibrationProfile parallel = sample_profile();
+  for (auto& phase : parallel.phases) {
+    phase.serial_fraction = 0.0;
+    phase.fork_overhead_seconds = 0.0;
+    phase.per_element_seconds = 1e-6;
+  }
+  SchedulerOptions options;
+  options.fine_grained_threshold = 1;
+  options.cost_model = make_calibrated_cost_model(parallel);
+  EXPECT_EQ(Scheduler(options, 8).plan(graph).intra_threads, 8u);
+
+  CalibrationProfile serial = parallel;
+  for (auto& phase : serial.phases) phase.serial_fraction = 1.0;
+  options.cost_model = make_calibrated_cost_model(serial);
+  EXPECT_EQ(Scheduler(options, 8).plan(graph).intra_threads, 1u);
+}
+
+TEST(Calibration, ModelPhaseLaneSecondsSplitsTheSerialIteration) {
+  const FactorGraph graph = make_consensus_graph(16);
+  const CostModelPtr model = make_function_cost_model(
+      [](const FactorGraph&, std::span<const std::size_t> widths) {
+        return std::vector<double>(widths.size(), 10.0);
+      });
+  // 10 s/iteration serial over five phase barriers.
+  EXPECT_DOUBLE_EQ(model_phase_lane_seconds(*model, graph), 2.0);
+}
+
+TEST(Calibration, DefaultCostModelHonorsTheEnvOverride) {
+  const std::string path = temp_path("paradmm_env_profile.json");
+  CalibrationProfile profile = sample_profile();
+  profile.host = "env-override";
+  profile.save(path);
+  {
+    ScopedCalibrationEnv env(path);
+    const CostModelPtr model = default_cost_model();
+    ASSERT_TRUE(model);
+    EXPECT_EQ(model->name(), "calibrated");
+    // Predictions come from the env profile, not the devsim default.
+    const FactorGraph graph = make_consensus_graph(16);
+    const std::vector<std::size_t> serial = {1};
+    EXPECT_DOUBLE_EQ(
+        model->iteration_seconds(graph, serial)[0],
+        profile.iteration_seconds(phase_counts(graph), 1));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Calibration, BrokenEnvOverrideFailsLoudly) {
+  // Pointing PARADMM_CALIBRATION_FILE at a missing or invalid file must
+  // throw — an explicitly configured profile silently falling back to the
+  // Opteron spec would skew every width decision with no trace.
+  {
+    ScopedCalibrationEnv env(temp_path("paradmm_missing_profile.json"));
+    EXPECT_THROW(default_cost_model(), PreconditionError);
+  }
+  const std::string path = temp_path("paradmm_invalid_profile.json");
+  std::ofstream(path) << "{\"version\": 99}";
+  {
+    ScopedCalibrationEnv env(path);
+    EXPECT_THROW(default_cost_model(), PreconditionError);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Calibration, DefaultCostModelFallsBackWithoutAnOverride) {
+  // Without the env var the default resolves to the committed profile
+  // (when the source-tree file exists) or the devsim spec — either way a
+  // usable model with positive predictions.
+  ScopedCalibrationEnv env(std::nullopt);
+  const CostModelPtr model = default_cost_model();
+  ASSERT_TRUE(model);
+  const FactorGraph graph = make_consensus_graph(64);
+  const std::vector<std::size_t> probe = {1, 2};
+  const std::vector<double> seconds = model->iteration_seconds(graph, probe);
+  ASSERT_EQ(seconds.size(), 2u);
+  EXPECT_GT(seconds[0], 0.0);
+  EXPECT_GT(seconds[1], 0.0);
+}
+
+}  // namespace
+}  // namespace paradmm::runtime

@@ -102,15 +102,15 @@ TEST(Scheduler, CostModelPicksTheKneeOfTheSpeedupCurve) {
   // must stop doubling at 4 even though the pool has 16.
   SchedulerOptions options;
   options.fine_grained_threshold = 1;
-  options.cost_model = [](const FactorGraph&,
-                          std::span<const std::size_t> widths) {
-    std::vector<double> seconds;
-    for (const std::size_t threads : widths) {
-      seconds.push_back(1.0 /
-                        static_cast<double>(std::min<std::size_t>(threads, 4)));
-    }
-    return seconds;
-  };
+  options.cost_model = make_function_cost_model(
+      [](const FactorGraph&, std::span<const std::size_t> widths) {
+        std::vector<double> seconds;
+        for (const std::size_t threads : widths) {
+          seconds.push_back(
+              1.0 / static_cast<double>(std::min<std::size_t>(threads, 4)));
+        }
+        return seconds;
+      });
   const Scheduler scheduler(options, 16);
   EXPECT_EQ(scheduler.plan(make_consensus_graph(64)).intra_threads, 4u);
 }
@@ -120,14 +120,14 @@ TEST(Scheduler, CostModelCanKeepALargeJobSerial) {
   // whole-solve-per-worker despite crossing the size threshold.
   SchedulerOptions options;
   options.fine_grained_threshold = 1;
-  options.cost_model = [](const FactorGraph&,
-                          std::span<const std::size_t> widths) {
-    std::vector<double> seconds;  // parallelism only hurts
-    for (const std::size_t threads : widths) {
-      seconds.push_back(static_cast<double>(threads));
-    }
-    return seconds;
-  };
+  options.cost_model = make_function_cost_model(
+      [](const FactorGraph&, std::span<const std::size_t> widths) {
+        std::vector<double> seconds;  // parallelism only hurts
+        for (const std::size_t threads : widths) {
+          seconds.push_back(static_cast<double>(threads));
+        }
+        return seconds;
+      });
   const Scheduler scheduler(options, 8);
   EXPECT_FALSE(scheduler.plan(make_consensus_graph(64)).fine_grained());
 }
@@ -137,9 +137,9 @@ TEST(Scheduler, DevsimWidthModelFeedsTheScheduler) {
   // improving times for a large graph, and a width within the pool when
   // plugged into the scheduler.
   const FactorGraph graph = make_consensus_graph(4096);
-  const WidthCostModel model = devsim_width_model();
+  const CostModelPtr model = devsim_width_model();
   const std::vector<std::size_t> probe = {1, 8};
-  const std::vector<double> seconds = model(graph, probe);
+  const std::vector<double> seconds = model->iteration_seconds(graph, probe);
   ASSERT_EQ(seconds.size(), probe.size());
   EXPECT_GT(seconds[0], 0.0);
   EXPECT_LT(seconds[1], seconds[0]);  // 8 cores beat 1 on a large graph

@@ -156,6 +156,75 @@ TEST(WidthGovernor, BoostAccountsForBusySerialLanes) {
   governor.close_lease(racer);
 }
 
+TEST(WidthGovernor, CostModelPriorBoostsBeforeTheFirstSample) {
+  // A lease opened with a cost-model prior (lane-seconds per phase, priced
+  // by the runner's CostModel) projects at its *first* timed barrier — no
+  // warm-up sample needed.  Prior 2 lane-seconds/phase, 10 phases, 4s of
+  // slack: ceil(10 * 2 / 4) = 5 of 8 lanes, before any clock movement.
+  WidthGovernor governor;
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  governor.bind(8, [now] { return now->load(); });
+
+  const auto lease = governor.open_lease(2, /*deadline=*/4.0,
+                                         /*total_phases=*/10,
+                                         /*prior_phase_seconds=*/2.0);
+  EXPECT_EQ(governor.advise(*lease, 2), 5u);  // first barrier, prior-driven
+  EXPECT_EQ(governor.stats().boosts, 1u);
+  governor.close_lease(lease);
+  // A prior is a projection input, not a measurement: with no timed phase
+  // samples the cross-job estimate stays unseeded.
+  EXPECT_DOUBLE_EQ(governor.stats().learned_phase_seconds, 0.0);
+}
+
+TEST(WidthGovernor, ProjectionUsesTheInjectedModelNotTheDefault) {
+  // The satellite contract: the deadline projection prices with whatever
+  // model the lease was opened under.  Two identical solves under two fake
+  // calibrated models — a cheap one (0.5 lane-s/phase) and an expensive
+  // one (4 lane-s/phase) — must project differently at the same barrier:
+  // 8 phases against 4s of slack need ceil(8*0.5/4) = 1 (no boost past
+  // planned 2) vs ceil(8*4/4) = 8 lanes.
+  WidthGovernor governor;
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  governor.bind(8, [now] { return now->load(); });
+
+  const auto cheap = governor.open_lease(2, 4.0, 8, 0.5);
+  EXPECT_EQ(governor.advise(*cheap, 2), 2u);  // projected to make it: no boost
+  governor.close_lease(cheap);
+
+  const auto expensive = governor.open_lease(2, 4.0, 8, 4.0);
+  EXPECT_EQ(governor.advise(*expensive, 2), 8u);  // needs every lane
+  governor.close_lease(expensive);
+
+  const WidthGovernorStats stats = governor.stats();
+  EXPECT_EQ(stats.boosts, 1u);  // only the expensive-model lease boosted
+}
+
+TEST(WidthGovernor, MeasuredSamplesOverrideThePrior) {
+  // Once the solve produces a timed sample of its own, the measurement
+  // wins over the model: a lease whose pessimistic prior (50 lane-s/phase)
+  // claimed the whole pool at its first barrier re-projects from its first
+  // measured phase (0.08 lane-s) and releases the boost — a wrong
+  // calibration can only mis-plan a solve until its first barrier pair.
+  WidthGovernor governor;
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  governor.bind(8, [now] { return now->load(); });
+
+  const auto lease = governor.open_lease(2, /*deadline=*/100.0,
+                                         /*total_phases=*/20,
+                                         /*prior_phase_seconds=*/50.0);
+  // First barrier: the prior projects 20 * 50 / 2 lanes = 500s into a
+  // 100s deadline -> claim every lane.
+  EXPECT_EQ(governor.advise(*lease, 2), 8u);
+  // The measured phase (0.01s at width 8 = 0.08 lane-s) replaces the
+  // prior: 19 phases * 0.08 / 2 lanes clears the deadline easily, so the
+  // solve returns to its planned width.
+  now->store(0.01);
+  EXPECT_EQ(governor.advise(*lease, 8), 2u);
+  governor.close_lease(lease);
+  // And the cross-job estimate learned the measurement, not the prior.
+  EXPECT_NEAR(governor.stats().learned_phase_seconds, 0.08, 1e-12);
+}
+
 TEST(WidthGovernor, DeadlineBoostCanBeDisabled) {
   // deadline_boost = false keeps the yield policy but never exceeds the
   // planned width, however badly the projection misses.

@@ -1,0 +1,93 @@
+// Host calibration driver: micro-benchmarks the four seed problems' ADMM
+// phases at widths {1, 2, 4, ..., pool} on this machine, fits the per-phase
+// serial-fraction/overhead model, and writes the versioned profile JSON the
+// runtime consumes (PARADMM_CALIBRATION_FILE, or the committed default at
+// calibration/default_profile.json).
+//
+//   ./calibrate_host --out calibration/default_profile.json
+//   PARADMM_CALIBRATION_FILE=$PWD/profile.json ctest ...
+//
+// --devsim skips the measurements and fits the same functional form to the
+// devsim Opteron model's *predicted* phase times instead — the synthetic
+// profile committed as the repo's default fallback, so profile-driven code
+// paths behave identically on hosts that never ran a real calibration.
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "devsim/cost_model.hpp"
+#include "devsim/cpu_model.hpp"
+#include "runtime/calibration.hpp"
+#include "support/cli.hpp"
+
+using namespace paradmm;
+using namespace paradmm::runtime;
+
+namespace {
+
+// Measurement hook for --devsim: per-phase seconds the Opteron model
+// predicts for `iterations` iterations of `graph` at `width`, in place of
+// wall-clock measurement.
+HostCalibrator::MeasureFn devsim_measure() {
+  return [](FactorGraph& graph, std::size_t width, int iterations) {
+    const devsim::IterationCosts costs = devsim::extract_iteration_costs(graph);
+    const devsim::MulticoreSpec spec;
+    std::vector<double> seconds;
+    seconds.reserve(costs.phases.size());
+    for (const auto& phase : costs.phases) {
+      const devsim::MulticorePhaseEstimate estimate =
+          devsim::simulate_multicore_phase(phase, spec,
+                                           static_cast<int>(width));
+      seconds.push_back(estimate.seconds * iterations);
+    }
+    return seconds;
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("calibrate_host");
+  flags.add_int("threads", 0, "width ladder ceiling (0 = hardware threads)");
+  flags.add_int("iterations", 20, "timed ADMM iterations per sample");
+  flags.add_int("warmup", 4, "untimed warmup iterations per sample");
+  flags.add_string("out", "host_profile.json", "output profile path");
+  flags.add_string("host", "", "host tag stored in the profile");
+  flags.add_bool("devsim", false,
+                 "fit the devsim Opteron predictions instead of measuring "
+                 "(produces the synthetic committed-default profile)");
+  flags.parse(argc, argv);
+
+  HostCalibrator::Options options;
+  options.pool_threads = static_cast<std::size_t>(flags.get_int("threads"));
+  options.iterations = static_cast<int>(flags.get_int("iterations"));
+  options.warmup_iterations = static_cast<int>(flags.get_int("warmup"));
+  options.host = flags.get_string("host");
+  if (flags.get_bool("devsim")) {
+    options.measure = devsim_measure();
+    if (options.host.empty()) options.host = "devsim-opteron-32c (synthetic)";
+    if (options.pool_threads == 0) options.pool_threads = 32;
+  }
+  if (options.host.empty()) {
+    options.host = "hw" + std::to_string(std::thread::hardware_concurrency()) +
+                   "t";
+  }
+
+  const HostCalibrator calibrator(options);
+  const CalibrationProfile profile = calibrator.calibrate();
+  const std::string out = flags.get_string("out");
+  profile.save(out);
+
+  std::printf("calibrated %zu-lane profile (%s):\n", profile.pool_threads,
+              profile.host.c_str());
+  for (const auto& phase : profile.phases) {
+    std::printf(
+        "  %s: %.3e s/element serial, serial fraction %.4f, fork overhead "
+        "%.3e s/lane\n",
+        phase.name.c_str(), phase.per_element_seconds, phase.serial_fraction,
+        phase.fork_overhead_seconds);
+  }
+  std::printf("wrote %s\n", out.c_str());
+  std::printf("use it: %s=%s ctest ...\n", kCalibrationFileEnv, out.c_str());
+  return 0;
+}
