@@ -24,14 +24,19 @@
 //    a wrong tally is a correctness failure, not noise.
 //
 // Emits BENCH_runtime_throughput.json (to bench/results/) with the
-// headline numbers.
+// headline numbers, including queue-wait and end-to-end latency
+// percentiles from the runtime's histograms.  The mixed run executes with
+// a trace sink attached (write it out with --trace), so the bench
+// exercises the instrumented path it reports on.
 #include <iostream>
+#include <memory>
 #include <tuple>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "problems/svm/registry.hpp"
 #include "runtime/batch_runner.hpp"
+#include "runtime/trace.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
 
@@ -75,7 +80,8 @@ struct RunResult {
 };
 
 RunResult run_workload(const Workload& workload,
-                       const BatchRunnerOptions& runner_options) {
+                       const BatchRunnerOptions& runner_options,
+                       std::shared_ptr<TraceRecorder> trace = nullptr) {
   RunResult result;
 
   WallTimer sequential_timer;
@@ -89,7 +95,9 @@ RunResult run_workload(const Workload& workload,
 
   WallTimer batch_timer;
   {
-    BatchRunner runner(runner_options);
+    BatchRunnerOptions options = runner_options;
+    options.trace_sink = std::move(trace);
+    BatchRunner runner(options);
     std::vector<JobHandle> handles;
     handles.reserve(workload.jobs.size());
     for (const auto& params : workload.jobs) {
@@ -209,6 +217,9 @@ int main(int argc, char** argv) {
                 "scheduler fine-grained threshold in graph elements "
                 "(0 = just below the large instances' size)");
   flags.add_bool("csv", false, "emit CSV instead of aligned tables");
+  flags.add_string("trace", "",
+                   "write a Chrome trace of the mixed batch run here "
+                   "(empty = record but discard)");
   flags.parse(argc, argv);
 
   const int jobs = static_cast<int>(flags.get_int("jobs"));
@@ -255,7 +266,17 @@ int main(int argc, char** argv) {
     mixed.jobs.insert(mixed.jobs.begin() + static_cast<std::ptrdiff_t>(at),
                       job_params(large_points, dimension, 500 + i));
   }
-  const RunResult mix = run_workload(mixed, runner_options);
+  // The mixed batch runs with a trace sink attached so the bench times the
+  // instrumented configuration it ships percentiles for; --trace persists
+  // the recording for Perfetto / trace_dump.
+  auto mixed_trace = std::make_shared<TraceRecorder>();
+  const RunResult mix = run_workload(mixed, runner_options, mixed_trace);
+  const std::string trace_path = flags.get_string("trace");
+  if (!trace_path.empty()) {
+    mixed_trace->write_chrome_trace(trace_path);
+    std::cout << "wrote " << mixed_trace->event_count()
+              << " mixed-run trace events to " << trace_path << '\n';
+  }
 
   // Priority-inversion scenario: same runner config (the large instances
   // are fine-grained), FIFO vs prioritized burst.
@@ -293,6 +314,26 @@ int main(int argc, char** argv) {
                  format_fixed(mix.speedup(), 2) + "x"});
   if (flags.get_bool("csv")) table.print_csv(std::cout);
   else table.print(std::cout);
+
+  // Latency distribution of the batch runs, from the runtime's log-scale
+  // histograms (queue wait = submit -> first slice; end-to-end = submit ->
+  // finish).  These are the fields the regression gate watches for tail
+  // blowups that a mean would hide.
+  Table latency_table({"latency (batch)", "queue p50", "queue p95",
+                       "queue p99", "e2e p50", "e2e p95", "e2e p99"});
+  for (const auto& [label, run] :
+       {std::pair{"small-only", &small}, std::pair{"mixed", &mix}}) {
+    latency_table.add_row({label,
+                           format_duration(run->metrics.queue_wait.p50()),
+                           format_duration(run->metrics.queue_wait.p95()),
+                           format_duration(run->metrics.queue_wait.p99()),
+                           format_duration(run->metrics.end_to_end.p50()),
+                           format_duration(run->metrics.end_to_end.p95()),
+                           format_duration(run->metrics.end_to_end.p99())});
+  }
+  std::cout << '\n';
+  if (flags.get_bool("csv")) latency_table.print_csv(std::cout);
+  else latency_table.print(std::cout);
 
   Table priority_table({"burst scheduling", "burst latency",
                         "finished before wide job", "width shrinks"});
@@ -355,6 +396,33 @@ int main(int argc, char** argv) {
                 << run->batch_converged << " batch vs "
                 << run->sequential_converged << " sequential)\n";
     }
+  }
+
+  // Percentile self-check, valid on any host: every completed job records a
+  // queue wait and an end-to-end latency, and percentiles of a histogram
+  // are monotone by construction.  A violation means the telemetry wiring
+  // broke, not that the machine was slow.
+  bool percentiles_invalid = false;
+  for (const auto& [label, run, total] :
+       {std::tuple{"small-only", &small, uniform.jobs.size()},
+        std::tuple{"mixed", &mix, mixed.jobs.size()}}) {
+    for (const auto& [name, histogram] :
+         {std::pair{"queue_wait", &run->metrics.queue_wait},
+          std::pair{"end_to_end", &run->metrics.end_to_end}}) {
+      const bool monotone = histogram->p50() <= histogram->p95() &&
+                            histogram->p95() <= histogram->p99();
+      if (histogram->count() != total || !monotone) {
+        percentiles_invalid = true;
+        std::cout << "FAIL: " << label << ' ' << name << " histogram holds "
+                  << histogram->count() << '/' << total
+                  << " samples (monotone=" << (monotone ? "yes" : "no")
+                  << ")\n";
+      }
+    }
+  }
+  if (!percentiles_invalid) {
+    std::cout << "PASS: latency histograms hold one sample per job with "
+                 "monotone percentiles\n";
   }
 
   std::cout << "\nthroughput speedup: small-only "
@@ -423,10 +491,34 @@ int main(int argc, char** argv) {
       .set("admission_rejected", rejecting.rejected)
       .set("admission_degraded", degrading.degraded)
       .set("admission_reject_seconds", rejecting.batch_seconds)
-      .set("admission_degrade_seconds", degrading.batch_seconds);
+      .set("admission_degrade_seconds", degrading.batch_seconds)
+      // Latency percentiles from the runtime's histograms.  The tail ratio
+      // p99/p50 is roughly host-independent (both ends scale with machine
+      // speed), so the regression gate can watch mixed-workload tail
+      // blowups without chasing absolute times.
+      .set("queue_wait_p50", small.metrics.queue_wait.p50())
+      .set("queue_wait_p95", small.metrics.queue_wait.p95())
+      .set("queue_wait_p99", small.metrics.queue_wait.p99())
+      .set("e2e_p50", small.metrics.end_to_end.p50())
+      .set("e2e_p95", small.metrics.end_to_end.p95())
+      .set("e2e_p99", small.metrics.end_to_end.p99())
+      .set("mixed_queue_wait_p50", mix.metrics.queue_wait.p50())
+      .set("mixed_queue_wait_p95", mix.metrics.queue_wait.p95())
+      .set("mixed_queue_wait_p99", mix.metrics.queue_wait.p99())
+      .set("mixed_e2e_p50", mix.metrics.end_to_end.p50())
+      .set("mixed_e2e_p95", mix.metrics.end_to_end.p95())
+      .set("mixed_e2e_p99", mix.metrics.end_to_end.p99())
+      .set("mixed_e2e_tail_ratio",
+           mix.metrics.end_to_end.p50() > 0.0
+               ? mix.metrics.end_to_end.p99() / mix.metrics.end_to_end.p50()
+               : 1.0)
+      .set("mixed_trace_events", mixed_trace->event_count());
   const std::string written = result.write(result.default_path());
   std::cout << "\nwrote " << written << '\n';
   // Nonzero exit lets CI catch a throughput regression on real multicore —
-  // and an outcome or admission divergence anywhere.
-  return (target_missed || outcomes_diverged || admission_diverged) ? 1 : 0;
+  // and an outcome, admission, or telemetry divergence anywhere.
+  return (target_missed || outcomes_diverged || admission_diverged ||
+          percentiles_invalid)
+             ? 1
+             : 0;
 }

@@ -2,18 +2,28 @@
 """Bench regression gate for BENCH_runtime_throughput.json.
 
 Compares a freshly produced bench JSON against the committed baseline and
-fails (exit 1) when any gated throughput metric regressed by more than the
-tolerance.  The gated metrics are the *relative* speedups (batch vs
-sequential on the same machine), so the comparison is meaningful across
-runner hardware generations as long as both runs actually exercised
-parallelism — like the bench's own >=2x check, the gate only engages when
-both runs saw at least --min-threads hardware threads.  Otherwise it prints
-a note and exits 0, so laptop/container baselines never hard-fail CI while
-the artifact trajectory still accumulates.
+fails (exit 1) when any gated metric regressed by more than the tolerance.
+Each gated metric carries a direction: "higher" metrics (the relative
+speedups) regress by dropping, "lower" metrics (the mixed end-to-end tail
+ratio p99/p50) regress by rising.  Both kinds are *relative* quantities
+(batch vs sequential, tail vs median on the same machine), so the
+comparison is meaningful across runner hardware generations as long as
+both runs actually exercised parallelism — like the bench's own >=2x
+check, the gate only engages when both runs saw at least --min-threads
+hardware threads.  Otherwise it prints a note and exits 0, so
+laptop/container baselines never hard-fail CI while the artifact
+trajectory still accumulates.
 
-A gated metric missing or non-numeric in either file is a hard failure
-(exit 1), checked before the thread gate: a baseline that silently stopped
-carrying a compared field would otherwise turn the gate into a no-op pass.
+Field-presence rules, checked before the thread gate:
+
+  * gated field missing or non-numeric in FRESH -> hard fail (exit 1): a
+    bench that silently stopped emitting a compared field would otherwise
+    turn the gate into a no-op pass.
+  * gated field absent from BASELINE but valid in fresh -> note + skip
+    that metric: the committed baseline simply predates the field
+    (additive bench evolution must not force lockstep baseline edits).
+  * gated field PRESENT in baseline but non-numeric -> hard fail: that is
+    corruption, not age.
 
 Usage:
     check_regression.py BASELINE.json FRESH.json [--tolerance 0.15]
@@ -23,8 +33,13 @@ import argparse
 import json
 import sys
 
-# Higher is better for every gated metric.
-GATED_METRICS = ["speedup", "mixed_speedup"]
+# metric -> direction of goodness.  "higher": regression = fractional drop
+# beyond tolerance; "lower": regression = fractional rise beyond tolerance.
+GATED_METRICS = {
+    "speedup": "higher",
+    "mixed_speedup": "higher",
+    "mixed_e2e_tail_ratio": "lower",
+}
 
 
 def load(path):
@@ -36,12 +51,16 @@ def load(path):
         return None
 
 
+def numeric(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("fresh")
     parser.add_argument("--tolerance", type=float, default=0.15,
-                        help="allowed fractional drop (default 0.15 = 15%%)")
+                        help="allowed fractional change (default 0.15 = 15%%)")
     parser.add_argument("--min-threads", type=int, default=4,
                         help="hardware threads both runs need for the gate")
     args = parser.parse_args()
@@ -56,27 +75,35 @@ def main():
         return 0
 
     # Structural validity is independent of the hardware gate below: a
-    # gated metric that vanished from either file (renamed bench field,
+    # gated metric that vanished from the FRESH file (renamed bench field,
     # truncated JSON) must fail even on a laptop baseline — the silent
     # alternative is a gate that passes forever while comparing nothing.
+    # The baseline gets the additive allowance: a key it never had is a
+    # skip (it predates the field), a key it has with garbage is a fail.
     missing = []
+    additive = []
     for metric in GATED_METRICS:
-        for label, record in (("baseline", baseline), ("fresh", fresh)):
-            value = record.get(metric)
-            if not isinstance(value, (int, float)) or isinstance(value, bool):
-                missing.append(f"{metric} ({label})")
+        if not numeric(fresh.get(metric)):
+            missing.append(f"{metric} (fresh)")
+        if metric not in baseline:
+            additive.append(metric)
+        elif not numeric(baseline.get(metric)):
+            missing.append(f"{metric} (baseline)")
     if missing:
         print("check_regression: FAIL — gated metrics missing or non-numeric: "
               + ", ".join(missing))
         return 1
+    for metric in additive:
+        print(f"check_regression: note — baseline predates {metric}; "
+              "skipped (additive field, refresh the baseline to arm it)")
 
     base_threads = int(baseline.get("hardware_threads", 0))
     fresh_threads = int(fresh.get("hardware_threads", 0))
     if base_threads < args.min_threads or fresh_threads < args.min_threads:
         print(f"check_regression: note — gate needs >= {args.min_threads} "
               f"hardware threads on both runs (baseline {base_threads}, "
-              f"fresh {fresh_threads}); speedups are not comparable, "
-              "skipping")
+              f"fresh {fresh_threads}); relative metrics are not "
+              "comparable, skipping")
         if base_threads < args.min_threads <= fresh_threads:
             print("check_regression: to arm the gate, commit a baseline "
                   "produced on >= 4-thread hardware — e.g. the fresh JSON "
@@ -86,23 +113,32 @@ def main():
         return 0
 
     failures = []
-    for metric in GATED_METRICS:
+    for metric, direction in GATED_METRICS.items():
+        if metric in additive:
+            continue
         base = baseline.get(metric)
         now = fresh.get(metric)
         if base <= 0:
             print(f"  {metric}: baseline {base} not positive, skipped")
             continue
-        drop = (base - now) / base
+        # Signed fractional change toward "worse": positive = regression.
+        if direction == "higher":
+            change = (base - now) / base
+            arrow = -change
+        else:
+            change = (now - base) / base
+            arrow = change
         verdict = "OK"
-        if drop > args.tolerance:
+        if change > args.tolerance:
             verdict = "REGRESSED"
             failures.append(metric)
-        print(f"  {metric}: baseline {base:.3f} -> fresh {now:.3f} "
-              f"({-drop:+.1%}) {verdict}")
+        print(f"  {metric} ({direction} is better): baseline {base:.3f} -> "
+              f"fresh {now:.3f} ({arrow:+.1%}) {verdict}")
 
     if failures:
-        print(f"check_regression: FAIL — {', '.join(failures)} dropped more "
-              f"than {args.tolerance:.0%} vs the committed baseline")
+        print(f"check_regression: FAIL — {', '.join(failures)} moved the "
+              f"wrong way by more than {args.tolerance:.0%} vs the committed "
+              "baseline")
         return 1
     print("check_regression: PASS")
     return 0

@@ -5,10 +5,16 @@ Written as unittest cases so they run under either runner:
     python3 -m pytest bench/test_check_regression.py   # CI
     python3 bench/test_check_regression.py             # no pytest installed
 
-The regression pinned here: a baseline JSON missing a gated field used to
-be a silent "skipped" line and exit 0 — a gate that passes forever while
-comparing nothing.  Missing/non-numeric gated fields are now a hard fail,
-checked even when the hardware-thread gate would skip the comparison.
+Two regressions pinned here.  First: a gated field missing from the FRESH
+JSON used to be a silent "skipped" line and exit 0 — a gate that passes
+forever while comparing nothing; it is a hard fail, checked even when the
+hardware-thread gate would skip the comparison.  Second: the baseline side
+gets an *additive allowance* — a gated field the committed baseline never
+had (it predates the field) is a note + skip rather than a hard fail, so
+adding bench fields does not force lockstep baseline edits; but a field
+the baseline carries with a non-numeric value is corruption and still
+fails.  Direction-awareness is pinned too: "lower is better" metrics
+(mixed_e2e_tail_ratio) regress by rising, not dropping.
 """
 
 import json
@@ -22,12 +28,13 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       "check_regression.py")
 
 
-def good_record(speedup=3.0, mixed_speedup=2.0, threads=8):
+def good_record(speedup=3.0, mixed_speedup=2.0, tail_ratio=1.5, threads=8):
     return {
         "bench": "runtime_throughput",
         "hardware_threads": threads,
         "speedup": speedup,
         "mixed_speedup": mixed_speedup,
+        "mixed_e2e_tail_ratio": tail_ratio,
     }
 
 
@@ -70,9 +77,43 @@ class CheckRegressionGate(unittest.TestCase):
                           good_record(speedup=2.9), "--tolerance", "0.15")
         self.assertEqual(result.returncode, 0, result.stdout)
 
-    def test_missing_baseline_field_is_a_hard_failure(self):
+    def test_tail_ratio_rising_beyond_tolerance_fails(self):
+        # "lower is better": the regression direction is a RISE.
+        result = run_gate(good_record(tail_ratio=1.5),
+                          good_record(tail_ratio=2.0), "--tolerance", "0.15")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("mixed_e2e_tail_ratio", result.stdout)
+        self.assertIn("REGRESSED", result.stdout)
+
+    def test_tail_ratio_dropping_passes(self):
+        # A large improvement in a lower-is-better metric must never trip
+        # the gate, however far it moves.
+        result = run_gate(good_record(tail_ratio=3.0),
+                          good_record(tail_ratio=1.1), "--tolerance", "0.15")
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("PASS", result.stdout)
+
+    def test_field_absent_from_baseline_is_an_additive_skip(self):
+        # The committed baseline predates the field: note + skip, and the
+        # still-shared metrics are compared as usual.
         baseline = good_record()
-        del baseline["mixed_speedup"]
+        del baseline["mixed_e2e_tail_ratio"]
+        result = run_gate(baseline, good_record())
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("predates mixed_e2e_tail_ratio", result.stdout)
+        self.assertIn("PASS", result.stdout)
+
+    def test_additive_skip_does_not_mask_other_regressions(self):
+        baseline = good_record(speedup=3.0)
+        del baseline["mixed_e2e_tail_ratio"]
+        result = run_gate(baseline, good_record(speedup=1.0))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("REGRESSED", result.stdout)
+
+    def test_non_numeric_baseline_field_is_a_hard_failure(self):
+        # Present-but-garbage is corruption, not an old baseline.
+        baseline = good_record()
+        baseline["mixed_speedup"] = "fast"
         result = run_gate(baseline, good_record())
         self.assertEqual(result.returncode, 1, result.stdout)
         self.assertIn("mixed_speedup (baseline)", result.stdout)
@@ -84,19 +125,19 @@ class CheckRegressionGate(unittest.TestCase):
         self.assertEqual(result.returncode, 1, result.stdout)
         self.assertIn("speedup (fresh)", result.stdout)
 
-    def test_non_numeric_field_is_a_hard_failure(self):
+    def test_non_numeric_fresh_field_is_a_hard_failure(self):
         fresh = good_record()
         fresh["speedup"] = "fast"
         result = run_gate(good_record(), fresh)
         self.assertEqual(result.returncode, 1, result.stdout)
 
-    def test_missing_field_fails_even_under_the_thread_gate(self):
-        # The old bug's worst case: a 1-thread container baseline would
-        # skip the comparison AND hide the missing field.  Structural
-        # validation now runs first.
-        baseline = good_record(threads=1)
-        del baseline["speedup"]
-        result = run_gate(baseline, good_record(threads=1))
+    def test_missing_fresh_field_fails_even_under_the_thread_gate(self):
+        # The old bug's worst case: a 1-thread container run would skip the
+        # comparison AND hide the missing field.  Structural validation of
+        # the fresh record runs first.
+        fresh = good_record(threads=1)
+        del fresh["speedup"]
+        result = run_gate(good_record(threads=1), fresh)
         self.assertEqual(result.returncode, 1, result.stdout)
 
     def test_thread_gate_still_skips_valid_low_thread_runs(self):

@@ -271,6 +271,9 @@ SolverReport AdmmSolver::run(
     if (residuals.within(options_.primal_tolerance, options_.dual_tolerance)) {
       report.converged = true;
     }
+    if (options_.on_residuals) {
+      options_.on_residuals(IterationStatus{iteration, residuals});
+    }
     if (callback && !callback(IterationStatus{iteration, residuals})) break;
     if (report.converged) break;
   }

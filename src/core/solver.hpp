@@ -33,6 +33,12 @@ enum class RhoPolicy {
   kThreeWeight,        ///< TWA (ref [9]): POs may emit 0 / standard / inf weights
 };
 
+/// Status handed to the iteration callback after every check interval.
+struct IterationStatus {
+  int iteration = 0;
+  Residuals residuals;
+};
+
 struct SolverOptions {
   BackendKind backend = BackendKind::kSerial;
   std::size_t threads = 1;
@@ -52,12 +58,12 @@ struct SolverOptions {
 
   /// Collect per-phase wall-clock timings (small overhead).
   bool record_phase_timings = true;
-};
 
-/// Status handed to the iteration callback after every check interval.
-struct IterationStatus {
-  int iteration = 0;
-  Residuals residuals;
+  /// Telemetry-only observer, invoked after every residual check (same
+  /// cadence as the run() callback, just before it).  Unlike the callback
+  /// it cannot stop the solve — the batch runtime wires a trace sink's
+  /// per-iteration residual events here without touching control flow.
+  std::function<void(const IterationStatus&)> on_residuals;
 };
 
 /// Result of AdmmSolver::run.

@@ -111,12 +111,13 @@ class PersistentBackend final : public ExecutionBackend {
 class BorrowedPoolBackend final : public ExecutionBackend {
  public:
   BorrowedPoolBackend(ThreadPool& pool, std::size_t width,
-                      WidthProvider renegotiate)
+                      WidthProvider renegotiate, PhaseObserver observe_phase)
       : pool_(pool),
         planned_(std::min(width == 0 ? pool.concurrency() : width,
                           pool.concurrency())),
         width_(planned_),
-        renegotiate_(std::move(renegotiate)) {}
+        renegotiate_(std::move(renegotiate)),
+        observe_phase_(std::move(observe_phase)) {}
 
   void run(std::span<const Phase> phases, int iterations,
            PhaseTimings* timings) override {
@@ -142,6 +143,7 @@ class BorrowedPoolBackend final : public ExecutionBackend {
               for (std::size_t i = begin; i < end; ++i) phase.apply(i);
             });
         if (timings) timings->add(p, timer.seconds());
+        if (observe_phase_) observe_phase_(p, width_, timer.seconds());
       }
     }
   }
@@ -156,15 +158,17 @@ class BorrowedPoolBackend final : public ExecutionBackend {
   std::size_t planned_;
   std::size_t width_;  // width of the most recent fork
   WidthProvider renegotiate_;
+  PhaseObserver observe_phase_;
 };
 
 }  // namespace
 
 std::unique_ptr<ExecutionBackend> make_pool_backend(ThreadPool& pool,
                                                     std::size_t width,
-                                                    WidthProvider renegotiate) {
-  return std::make_unique<BorrowedPoolBackend>(pool, width,
-                                               std::move(renegotiate));
+                                                    WidthProvider renegotiate,
+                                                    PhaseObserver observe_phase) {
+  return std::make_unique<BorrowedPoolBackend>(
+      pool, width, std::move(renegotiate), std::move(observe_phase));
 }
 
 std::string_view to_string(BackendKind kind) {

@@ -109,6 +109,13 @@ class ThreadPool;
 using WidthProvider =
     std::function<std::size_t(std::size_t planned, std::size_t current)>;
 
+/// Invoked after every phase barrier of a pool backend built with one:
+/// (phase index within the iteration, fork width used, wall seconds from
+/// fork to barrier).  Same threading contract as WidthProvider.  The batch
+/// runtime's trace layer uses this to emit per-phase per-width spans.
+using PhaseObserver =
+    std::function<void(std::size_t phase, std::size_t width, double seconds)>;
+
 /// A fork/join backend over a *borrowed* ThreadPool: identical schedule and
 /// numerics to kForkJoin, but the pool is shared with other users instead
 /// of being owned by the backend.  The batch-solve runtime uses this to run
@@ -129,6 +136,7 @@ using WidthProvider =
 /// Phase numerics are width-independent, so renegotiation affects
 /// scheduling only; the policy itself stays out of this layer.
 std::unique_ptr<ExecutionBackend> make_pool_backend(
-    ThreadPool& pool, std::size_t width = 0, WidthProvider renegotiate = {});
+    ThreadPool& pool, std::size_t width = 0, WidthProvider renegotiate = {},
+    PhaseObserver observe_phase = {});
 
 }  // namespace paradmm

@@ -151,13 +151,14 @@ void ThreadPool::submit(std::function<void()> task) {
   wake_workers_.notify_one();
 }
 
-bool ThreadPool::pop_task_locked(std::size_t home,
-                                 std::function<void()>& task) {
+bool ThreadPool::pop_task_locked(std::size_t home, std::function<void()>& task,
+                                 std::size_t* source) {
   if (queued_count_ == 0) return false;
   const std::size_t n = queues_.size();
   for (std::size_t probe = 0; probe < n; ++probe) {
     const std::size_t q = (home + probe) % n;
     if (queues_[q].empty()) continue;
+    if (source != nullptr) *source = q;
     if (probe == 0) {
       // Own queue: oldest first, so a worker drains its backlog in
       // submission order.
@@ -194,6 +195,8 @@ bool ThreadPool::backlogged_locked() const {
 
 bool ThreadPool::pop_and_run_task(bool only_if_backlogged) {
   std::function<void()> task;
+  std::size_t source = 0;
+  std::shared_ptr<const PoolEventHook> hook;
   {
     std::lock_guard lock(mutex_);
     if (queued_count_ == 0) return false;
@@ -202,10 +205,12 @@ bool ThreadPool::pop_and_run_task(bool only_if_backlogged) {
     }
     // External helpers rotate their starting queue so repeated helping
     // spreads across workers; the pop itself shares the workers' path.
-    if (!pop_task_locked(steal_cursor_++ % queues_.size(), task)) {
+    if (!pop_task_locked(steal_cursor_++ % queues_.size(), task, &source)) {
       return false;  // unreachable: queued > 0 under the same lock
     }
+    hook = event_hook_;
   }
+  if (hook) (*hook)("help-task", source, 0);
   try {
     task();
   } catch (...) {
@@ -232,15 +237,20 @@ void ThreadPool::help_until(const std::function<bool()>& stop,
     // Fork chunks first: a group in flight has its forking thread blocked
     // at the phase barrier, so serving a chunk shortens a critical path.
     if (ForkGroup* group = claimable_group_locked()) {
-      run_group_chunk(*group, group->next_rank++, lock);
+      const std::size_t rank = group->next_rank++;
+      if (event_hook_) (*event_hook_)("help-chunk", rank, group->parts);
+      run_group_chunk(*group, rank, lock);
       continue;
     }
 
     if (queued_count_ > 0 && !queues_.empty()) {
       if (serve_tasks && backlogged_locked()) {
         std::function<void()> task;
-        if (pop_task_locked(steal_cursor_++ % queues_.size(), task)) {
+        std::size_t source = 0;
+        if (pop_task_locked(steal_cursor_++ % queues_.size(), task, &source)) {
+          const auto hook = event_hook_;
           lock.unlock();
+          if (hook) (*hook)("help-task", source, 0);
           try {
             task();
           } catch (...) {
@@ -267,6 +277,16 @@ void ThreadPool::help_until(const std::function<bool()>& stop,
     // a bare wait inside this re-checking loop cannot miss an update.
     wake_workers_.wait(lock);
   }
+}
+
+void ThreadPool::set_event_hook(PoolEventHook hook) {
+  std::lock_guard lock(mutex_);
+  event_hook_ =
+      hook ? std::make_shared<const PoolEventHook>(std::move(hook)) : nullptr;
+}
+
+std::shared_ptr<const PoolEventHook> ThreadPool::event_hook_locked() const {
+  return event_hook_;
 }
 
 void ThreadPool::notify_helpers() {
@@ -307,8 +327,11 @@ void ThreadPool::worker_loop(std::size_t rank) {
     }
 
     std::function<void()> task;
-    if (!pop_task_locked(rank, task)) continue;
+    std::size_t source = rank;
+    if (!pop_task_locked(rank, task, &source)) continue;
+    const auto hook = source != rank ? event_hook_ : nullptr;
     lock.unlock();
+    if (hook) (*hook)("steal", rank, source);
     try {
       task();
     } catch (...) {

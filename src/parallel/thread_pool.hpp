@@ -36,11 +36,27 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace paradmm {
+
+/// Observability callback for scheduling events the pool's counters cannot
+/// express (see set_event_hook).  `kind` is one of:
+///   "steal"      — a worker popped from another worker's queue;
+///                  a = thief worker rank, b = victim queue index.
+///   "help-chunk" — a thread lent via help_until served a fork-group chunk;
+///                  a = chunk rank, b = the group's width (chunk count).
+///   "help-task"  — an external helper (try_run_one_task / help_until) ran
+///                  a queued task; a = source queue index, b = 0.
+/// May be invoked concurrently from any pool or helper thread, sometimes
+/// while the pool's internal mutex is held — the hook must be cheap and
+/// must never call back into the pool.
+using PoolEventHook =
+    std::function<void(std::string_view kind, std::size_t a, std::size_t b)>;
 
 class ThreadPool {
  public:
@@ -147,6 +163,14 @@ class ThreadPool {
   /// sleep again).
   void notify_helpers();
 
+  /// Installs (or clears, with an empty function) the scheduling-event
+  /// hook.  Written under the pool mutex and read under it by every
+  /// emission site, so installing before concurrent use is race-free; the
+  /// batch runtime installs its trace sink's hook at construction, before
+  /// any job can run.  With no hook installed the emission sites are a
+  /// null-check — scheduling behavior is identical.
+  void set_event_hook(PoolEventHook hook);
+
   /// Blocks until no submitted task is queued or running.
   void wait_tasks_idle();
 
@@ -179,8 +203,12 @@ class ThreadPool {
   ForkGroup* claimable_group_locked();
   // Pops a task: own queue front first (for workers), then steals from the
   // other queues.  `home` is the preferred queue (workers pass their rank;
-  // external helpers pass the rotating steal cursor).
-  bool pop_task_locked(std::size_t home, std::function<void()>& task);
+  // external helpers pass the rotating steal cursor).  `source` (optional)
+  // receives the queue index the task came from.
+  bool pop_task_locked(std::size_t home, std::function<void()>& task,
+                       std::size_t* source = nullptr);
+  // Copy of the installed hook (mutex_ must be held); empty when none.
+  std::shared_ptr<const PoolEventHook> event_hook_locked() const;
   void finish_task();
   bool pop_and_run_task(bool only_if_backlogged);
   // More queued tasks than workers-without-a-task could absorb: a helper
@@ -200,6 +228,9 @@ class ThreadPool {
   std::size_t queued_count_ = 0;     // sum of queue sizes (O(1) idle check)
   std::size_t tasks_in_flight_ = 0;  // queued + currently running
   bool shutting_down_ = false;
+  // Guarded by mutex_; shared_ptr so an emission site can copy it under
+  // the lock and invoke outside without racing a concurrent reinstall.
+  std::shared_ptr<const PoolEventHook> event_hook_;
 };
 
 }  // namespace paradmm

@@ -80,6 +80,21 @@ SchedulerOptions scheduler_options_with_model(SchedulerOptions scheduler,
   return scheduler;
 }
 
+// The display name every lifecycle event of a job shares (the async span
+// name in particular — Chrome matches begin/end by it).
+std::string job_span_name(const detail::JobControl& job) {
+  return job.label.empty() ? "job-" + std::to_string(job.sequence) : job.label;
+}
+
+// Args identifying the job on every lifecycle event; the sequence
+// disambiguates same-labelled jobs.
+std::vector<TraceArg> job_args(const detail::JobControl& job) {
+  std::vector<TraceArg> args;
+  args.push_back(TraceRecorder::arg("job", job_span_name(job)));
+  args.push_back(TraceRecorder::arg("sequence", job.sequence));
+  return args;
+}
+
 }  // namespace
 
 BatchRunner::BatchRunner(BatchRunnerOptions options)
@@ -106,6 +121,33 @@ BatchRunner::BatchRunner(BatchRunnerOptions options)
   // read the same clock — one axis, so "finished_at <= deadline" and "the
   // projection missed the deadline" mean the same thing everywhere.
   governor_.bind(pool_.concurrency(), clock_);
+  if (options.trace_sink) {
+    trace_keepalive_ = std::move(options.trace_sink);
+    trace_ = trace_keepalive_.get();
+    // Trace timestamps live on the runner's clock axis — the one deadlines,
+    // aging, and the governor's projections already share — so a virtual
+    // clock makes the whole trace deterministic.
+    trace_->set_clock(clock_);
+    governor_.bind_trace(trace_);
+    // The hook owns the recorder (not a raw pointer): the pool outlives
+    // trace_keepalive_ in the destructor order, and a worker may emit a
+    // steal event up until the pool itself winds down.
+    pool_.set_event_hook([trace = trace_keepalive_](std::string_view kind,
+                                                    std::size_t a,
+                                                    std::size_t b) {
+      std::vector<TraceArg> args;
+      if (kind == "steal") {
+        args.push_back(TraceRecorder::arg("thief", a));
+        args.push_back(TraceRecorder::arg("victim", b));
+      } else if (kind == "help-chunk") {
+        args.push_back(TraceRecorder::arg("chunk", a));
+        args.push_back(TraceRecorder::arg("width", b));
+      } else {  // "help-task"
+        args.push_back(TraceRecorder::arg("queue", a));
+      }
+      trace->instant(std::string(kind), "pool", std::move(args));
+    });
+  }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
   dispatcher_id_ = dispatcher_.get_id();
 }
@@ -135,6 +177,7 @@ JobHandle BatchRunner::submit(SolveJob job) {
   control->priority = job.priority;
   control->deadline = job.deadline;
   control->submit_time = clock_();
+  control->queued_since = control->submit_time;
 
   // Price the job before taking the runner lock (the model call may be
   // O(graph)): its serial cost is the load later admission projections
@@ -167,6 +210,32 @@ JobHandle BatchRunner::submit(SolveJob job) {
     }
   }
   collector_.on_submit(depth);
+  if (trace_ != nullptr) {
+    // One async span per job, submit -> finish, id = sequence; every
+    // lifecycle event inside carries the same job/sequence args.
+    trace_->async_begin(job_span_name(*control), "job", control->sequence);
+    auto args = job_args(*control);
+    args.push_back(TraceRecorder::arg("priority", control->priority));
+    if (std::isfinite(control->deadline)) {
+      args.push_back(TraceRecorder::arg("deadline", control->deadline));
+    }
+    args.push_back(
+        TraceRecorder::arg("verdict", to_string(control->admission)));
+    trace_->instant("submit", "job", std::move(args));
+    if (control->admission != AdmissionVerdict::kAdmitted) {
+      // The admission decision with its evidence: the projected finish the
+      // verdict compared against the deadline.
+      auto verdict = job_args(*control);
+      verdict.push_back(
+          TraceRecorder::arg("verdict", to_string(control->admission)));
+      if (!std::isnan(control->admission_projected)) {
+        verdict.push_back(
+            TraceRecorder::arg("projected", control->admission_projected));
+      }
+      verdict.push_back(TraceRecorder::arg("deadline", control->deadline));
+      trace_->instant("admission", "admission", std::move(verdict));
+    }
+  }
   if (control->admission == AdmissionVerdict::kRejected) {
     // Terminal without ever occupying the queue: no dispatch, no pool
     // lane, no wait_all() obligation — the handle is already settled.
@@ -248,6 +317,7 @@ AdmissionVerdict BatchRunner::admit(
   const double projected =
       now + ahead_seconds / static_cast<double>(pool_.concurrency()) +
       best_case_seconds;
+  control->admission_projected = projected;
   if (projected <= control->deadline) return AdmissionVerdict::kAdmitted;
   return admission_ == AdmissionPolicy::kRejectInfeasible
              ? AdmissionVerdict::kRejected
@@ -260,6 +330,12 @@ void BatchRunner::reject(const std::shared_ptr<detail::JobControl>& control,
   finish.outcome = JobState::kRejected;
   finish.had_deadline = true;  // only finite deadlines are ever rejected
   collector_.on_finish(finish);
+  if (trace_ != nullptr) {
+    auto args = job_args(*control);
+    args.push_back(TraceRecorder::arg("outcome", "rejected"));
+    trace_->instant("finish", "job", std::move(args));
+    trace_->async_end(job_span_name(*control), "job", control->sequence);
+  }
   {
     std::lock_guard lock(control->mutex);
     control->finished_at = now;
@@ -361,6 +437,16 @@ void BatchRunner::dispatcher_loop() {
       ++inflight_;
     }
 
+    if (trace_ != nullptr) {
+      // The ready-queue residency just ended: queued_since is written only
+      // while the job sits in queue_ (submit and requeue, under mutex_),
+      // and this thread just popped it, so the read is race-free.
+      const double now = trace_->now();
+      trace_->complete("queued", "job", job->queued_since,
+                       std::max(0.0, now - job->queued_since),
+                       job_args(*job));
+    }
+
     // A job cancelled while queued is finalized here instead of being
     // handed to the pool: shipping it to execute() just to notice the
     // cancel would occupy a worker slot ahead of live jobs.  A preempted
@@ -453,6 +539,10 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
   // solves are capacity in use, not backlog for the governor to relieve.
   governor_.job_done_waiting();
   job->started = true;
+  // First lane start on the runner clock: queue-wait = this minus submit.
+  // Recorded with or without a trace sink — the latency histograms are
+  // part of RuntimeMetrics — and reading the clock never alters dispatch.
+  if (std::isnan(job->first_start_time)) job->first_start_time = clock_();
   // Every slice announces itself to the running gauge; the matching
   // release is on_preempt (yield) or finalize (terminal).
   collector_.on_start(job->plan.intra_threads);
@@ -466,6 +556,7 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
   const bool may_yield = pool_.has_workers() &&
                          std::this_thread::get_id() == dispatcher_id_;
 
+  const double slice_start = trace_ != nullptr ? trace_->now() : 0.0;
   WallTimer timer;
   SolverReport report;
   std::string error;
@@ -494,6 +585,20 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
     // global cadence too.
     options.max_iterations =
         std::max(0, job->options.max_iterations - job->iterations_done);
+    if (trace_ != nullptr) {
+      // Per-check-interval residual telemetry, on the observer hook so it
+      // can never alter the solve's control flow.  The global iteration
+      // index (resumed slices included) keeps preempted solves readable.
+      options.on_residuals = [trace = trace_, control = job.get()](
+                                 const IterationStatus& status) {
+        auto args = job_args(*control);
+        args.push_back(TraceRecorder::arg(
+            "iteration", control->iterations_done + status.iteration));
+        args.push_back(TraceRecorder::arg("primal", status.residuals.primal));
+        args.push_back(TraceRecorder::arg("dual", status.residuals.dual));
+        trace->instant("residuals", "solver", std::move(args));
+      };
+    }
     if (job->plan.fine_grained()) {
       // Width-governed borrowed-pool backend: the solve's five phases fork
       // over at most intra_threads lanes, renegotiated against the shared
@@ -514,6 +619,26 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
       info.on_width = [control = job.get()](std::size_t width) {
         control->current_width.store(width, std::memory_order_relaxed);
       };
+      if (trace_ != nullptr) {
+        // Per-phase per-width spans from the backend's barrier observer.
+        // The observer's wall-seconds argument is deliberately ignored:
+        // span bounds come from runner-clock deltas between barriers, so
+        // a virtual-clock run exports a byte-identical trace.
+        info.on_phase = [trace = trace_, control = job.get(),
+                         last = trace_->now()](std::size_t phase,
+                                               std::size_t width,
+                                               double) mutable {
+          const double now = trace->now();
+          const char* name = phase < SolverReport::kPhaseNames.size()
+                                 ? SolverReport::kPhaseNames[phase]
+                                 : "phase";
+          auto args = job_args(*control);
+          args.push_back(TraceRecorder::arg("width", width));
+          trace->complete(name, "phase", last, std::max(0.0, now - last),
+                          std::move(args));
+          last = now;
+        };
+      }
       const auto backend = make_governed_pool_backend(
           pool_, job->plan.intra_threads, governor_, std::move(info));
       AdmmSolver solver(*job->graph, options, *backend);
@@ -547,8 +672,26 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
   job->wall_so_far += timer.seconds();
   accumulate_phase_seconds(job->phase_seconds_so_far, report.phase_seconds);
 
-  if (!failed && saw_yield && !saw_cancel && !report.converged &&
-      job->iterations_done < job->options.max_iterations) {
+  const bool yielding = !failed && saw_yield && !saw_cancel &&
+                        !report.converged &&
+                        job->iterations_done < job->options.max_iterations;
+  if (trace_ != nullptr) {
+    // One span per execution slice; a preempted solve shows several, with
+    // "preempt" markers and "queued" spans between them.
+    auto args = job_args(*job);
+    args.push_back(TraceRecorder::arg("width", job->plan.intra_threads));
+    args.push_back(TraceRecorder::arg("iterations", report.iterations));
+    args.push_back(TraceRecorder::arg(
+        "outcome", failed                                ? "failed"
+                   : yielding                            ? "preempted"
+                   : (saw_cancel && !report.converged)   ? "cancelled"
+                                                         : "done"));
+    const double now = trace_->now();
+    trace_->complete("slice", "job", slice_start,
+                     std::max(0.0, now - slice_start), std::move(args));
+  }
+
+  if (yielding) {
     // Keep the slice's report: if the parked job is cancelled before it
     // resumes, it still reports the residuals it actually reached.
     job->last_report = std::move(report);
@@ -580,10 +723,17 @@ void BatchRunner::requeue(const std::shared_ptr<detail::JobControl>& job) {
   }
   job->changed.notify_all();
   collector_.on_preempt(job->plan.intra_threads);
+  if (trace_ != nullptr) {
+    auto args = job_args(*job);
+    args.push_back(TraceRecorder::arg("width", job->plan.intra_threads));
+    trace_->instant("preempt", "job", std::move(args));
+  }
+  const double requeued_at = clock_();
   std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
     governor_.job_waiting();
+    job->queued_since = requeued_at;  // next "queued" span starts here
     queue_.insert(job);
     --inflight_;
     depth = queue_.size();
@@ -607,7 +757,26 @@ void BatchRunner::finalize(const std::shared_ptr<detail::JobControl>& job,
   finish.had_deadline = std::isfinite(job->deadline);
   finish.met_deadline = finished_at <= job->deadline;
   finish.phase_seconds = &report.phase_seconds;
+  // Latency telemetry on the runner's clock axis: queue-wait is submit ->
+  // first lane start (unmeasured for jobs finalized without ever running),
+  // end-to-end is submit -> this finalize.
+  finish.end_to_end_seconds = std::max(0.0, finished_at - job->submit_time);
+  if (ran && !std::isnan(job->first_start_time)) {
+    finish.queue_wait_seconds =
+        std::max(0.0, job->first_start_time - job->submit_time);
+  }
   collector_.on_finish(finish);
+  if (trace_ != nullptr) {
+    auto args = job_args(*job);
+    args.push_back(TraceRecorder::arg("outcome", to_string(outcome)));
+    args.push_back(TraceRecorder::arg("e2e", finish.end_to_end_seconds));
+    if (finish.queue_wait_seconds >= 0.0) {
+      args.push_back(
+          TraceRecorder::arg("queue_wait", finish.queue_wait_seconds));
+    }
+    trace_->instant("finish", "job", std::move(args));
+    trace_->async_end(job_span_name(*job), "job", job->sequence);
+  }
   {
     std::lock_guard lock(job->mutex);
     job->report = std::move(report);

@@ -70,6 +70,7 @@
 #include "runtime/problem_registry.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/solve_job.hpp"
+#include "runtime/trace.hpp"
 #include "runtime/width_governor.hpp"
 #include "support/timer.hpp"
 
@@ -145,6 +146,20 @@ struct BatchRunnerOptions {
   /// left empty otherwise, which reproduces the un-priced runtime —
   /// size-proportional widths, projections from measured samples only.
   CostModelPtr cost_model;
+
+  /// Structured-event trace sink (runtime/trace.hpp).  When set, the
+  /// runner binds its clock to the recorder and instruments the whole
+  /// decision surface: job lifecycle spans (submit -> queued -> slices ->
+  /// finish, admission verdicts and preemptions included), governor
+  /// shrink/grow/boost events with their evidence, per-phase per-width
+  /// spans of fine-grained solves, pool steal/help events, and
+  /// per-iteration residual telemetry.  Export the recorder after
+  /// wait_all() (or after destroying the runner) with
+  /// TraceRecorder::write_chrome_trace.  Null (the default): every
+  /// instrumentation site is a null pointer check — dispatch order, solve
+  /// results, and RuntimeMetrics counters are bitwise identical to the
+  /// untraced runtime (property-tested).
+  std::shared_ptr<TraceRecorder> trace_sink;
 };
 
 class BatchRunner {
@@ -261,6 +276,12 @@ class BatchRunner {
   CostModelPtr cost_model_;  // before scheduler_: it may feed its options
   Scheduler scheduler_;
   WidthGovernor governor_;
+  // Trace sink, fixed at construction (before the dispatcher starts, so no
+  // recording site ever races the install).  The raw pointer is the hot
+  // null-check at every instrumentation site; the shared_ptr keeps the
+  // caller's recorder alive for the runner's lifetime.
+  std::shared_ptr<TraceRecorder> trace_keepalive_;
+  TraceRecorder* trace_ = nullptr;
   MetricsCollector collector_;
   WallTimer since_start_;
   std::function<double()> clock_;

@@ -16,7 +16,9 @@
 #include "devsim/cost_model.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/problem_registry.hpp"
+#include "runtime/trace.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 
 namespace paradmm::runtime {
 
@@ -24,194 +26,9 @@ namespace {
 
 constexpr std::array<const char*, 5> kPhaseNames = {"x", "m", "z", "u", "n"};
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader for the profile format.
-//
-// The repo deliberately carries no external JSON dependency (bench results
-// are written with a hand-rolled emitter, bench/bench_util.hpp); profiles
-// need the reading half too, so this is a small recursive-descent parser
-// for the JSON subset the profile uses: objects, arrays, strings, finite
-// numbers, and the three literals.  Errors throw PreconditionError with
-// the byte offset — a profile that does not parse must fail loudly, never
-// degrade into default width decisions.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue value = parse_value();
-    skip_whitespace();
-    require(at_ == text_.size(), error("trailing characters after JSON value"));
-    return value;
-  }
-
- private:
-  std::string error(const std::string& what) const {
-    return "calibration profile JSON: " + what + " (at byte " +
-           std::to_string(at_) + ")";
-  }
-
-  void skip_whitespace() {
-    while (at_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[at_]))) {
-      ++at_;
-    }
-  }
-
-  char peek() {
-    skip_whitespace();
-    require(at_ < text_.size(), error("unexpected end of input"));
-    return text_[at_];
-  }
-
-  void expect(char c) {
-    require(peek() == c, error(std::string("expected '") + c + "'"));
-    ++at_;
-  }
-
-  bool consume(char c) {
-    if (at_ < text_.size() && peek() == c) {
-      ++at_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') return parse_string();
-    if (c == 't' || c == 'f') return parse_bool();
-    if (c == 'n') return parse_null();
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    JsonValue value;
-    value.kind = JsonValue::Kind::kObject;
-    expect('{');
-    if (consume('}')) return value;
-    do {
-      JsonValue key = parse_string();
-      expect(':');
-      value.object[key.string] = parse_value();
-    } while (consume(','));
-    expect('}');
-    return value;
-  }
-
-  JsonValue parse_array() {
-    JsonValue value;
-    value.kind = JsonValue::Kind::kArray;
-    expect('[');
-    if (consume(']')) return value;
-    do {
-      value.array.push_back(parse_value());
-    } while (consume(','));
-    expect(']');
-    return value;
-  }
-
-  JsonValue parse_string() {
-    JsonValue value;
-    value.kind = JsonValue::Kind::kString;
-    expect('"');
-    while (true) {
-      require(at_ < text_.size(), error("unterminated string"));
-      const char c = text_[at_++];
-      if (c == '"') break;
-      if (c == '\\') {
-        require(at_ < text_.size(), error("unterminated escape"));
-        const char escaped = text_[at_++];
-        switch (escaped) {
-          case '"': value.string += '"'; break;
-          case '\\': value.string += '\\'; break;
-          case '/': value.string += '/'; break;
-          case 'n': value.string += '\n'; break;
-          case 't': value.string += '\t'; break;
-          case 'r': value.string += '\r'; break;
-          case 'b': value.string += '\b'; break;
-          case 'f': value.string += '\f'; break;
-          case 'u': {
-            // The profile writer never emits non-ASCII; decode the BMP
-            // escape to a single byte when it fits, else reject.
-            require(at_ + 4 <= text_.size(), error("truncated \\u escape"));
-            const std::string hex(text_.substr(at_, 4));
-            at_ += 4;
-            char* end = nullptr;
-            const long code = std::strtol(hex.c_str(), &end, 16);
-            require(end == hex.c_str() + 4, error("invalid \\u escape"));
-            require(code >= 0 && code < 128,
-                    error("non-ASCII \\u escape unsupported"));
-            value.string += static_cast<char>(code);
-            break;
-          }
-          default: require(false, error("unknown escape character"));
-        }
-      } else {
-        value.string += c;
-      }
-    }
-    return value;
-  }
-
-  JsonValue parse_bool() {
-    JsonValue value;
-    value.kind = JsonValue::Kind::kBool;
-    if (text_.substr(at_, 4) == "true") {
-      value.boolean = true;
-      at_ += 4;
-    } else if (text_.substr(at_, 5) == "false") {
-      value.boolean = false;
-      at_ += 5;
-    } else {
-      require(false, error("invalid literal"));
-    }
-    return value;
-  }
-
-  JsonValue parse_null() {
-    require(text_.substr(at_, 4) == "null", error("invalid literal"));
-    at_ += 4;
-    return JsonValue{};
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = at_;
-    while (at_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[at_])) ||
-            text_[at_] == '-' || text_[at_] == '+' || text_[at_] == '.' ||
-            text_[at_] == 'e' || text_[at_] == 'E')) {
-      ++at_;
-    }
-    const std::string token(text_.substr(start, at_ - start));
-    char* end = nullptr;
-    const double parsed = std::strtod(token.c_str(), &end);
-    require(!token.empty() && end == token.c_str() + token.size() &&
-                std::isfinite(parsed),
-            error("invalid number"));
-    JsonValue value;
-    value.kind = JsonValue::Kind::kNumber;
-    value.number = parsed;
-    return value;
-  }
-
-  std::string_view text_;
-  std::size_t at_ = 0;
-};
+// The JSON reader itself lives in support/json.hpp (shared with the trace
+// exporter and tools/trace_dump); what stays here is the profile-specific
+// schema validation and its error wording.
 
 const JsonValue& member(const JsonValue& object, const std::string& key) {
   const auto it = object.object.find(key);
@@ -225,37 +42,6 @@ double number_member(const JsonValue& object, const std::string& key) {
   require(value.kind == JsonValue::Kind::kNumber,
           "calibration profile JSON: field \"" + key + "\" must be a number");
   return value.number;
-}
-
-std::string json_number(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof buffer, "%.17g", value);
-  return buffer;
-}
-
-// Emitter-side escaping, so a host tag like `my "big" box` round-trips
-// instead of producing a file load() later rejects.
-std::string json_quote(const std::string& text) {
-  std::string out = "\"";
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
 }
 
 }  // namespace
@@ -303,7 +89,7 @@ std::string CalibrationProfile::to_json() const {
 }
 
 CalibrationProfile CalibrationProfile::from_json(std::string_view text) {
-  const JsonValue root = JsonParser(text).parse();
+  const JsonValue root = JsonParser(text, "calibration profile JSON").parse();
   require(root.kind == JsonValue::Kind::kObject,
           "calibration profile JSON: top level must be an object");
 
@@ -505,8 +291,18 @@ CalibrationProfile HostCalibrator::calibrate() const {
       // trajectory from the same initial state, so widths are comparable.
       BuiltProblem built = registry.build(problem);
       const std::array<std::size_t, 5> counts = phase_counts(*built.graph);
+      const double measure_start =
+          options_.trace != nullptr ? options_.trace->now() : 0.0;
       const std::vector<double> seconds =
           measure(*built.graph, width, iterations);
+      if (options_.trace != nullptr) {
+        // One span per ladder sample: the calibration run's own timeline.
+        options_.trace->complete(
+            problem, "calibration", measure_start,
+            std::max(0.0, options_.trace->now() - measure_start),
+            {TraceRecorder::arg("width", width),
+             TraceRecorder::arg("iterations", iterations)});
+      }
       require(seconds.size() == serial_samples.size(),
               "HostCalibrator measurement must return the five per-phase "
               "seconds (x, m, z, u, n)");

@@ -53,6 +53,7 @@ class FactorGraph;
 namespace paradmm::runtime {
 
 class ProblemRegistry;
+class TraceRecorder;
 
 /// Shared pricing interface: predicted seconds for one ADMM iteration of
 /// `graph` at each candidate width in `widths` (result is index-parallel to
@@ -158,6 +159,11 @@ class HostCalibrator {
     MeasureFn measure;
     /// Informational host tag stored in the profile.
     std::string host;
+    /// Optional trace sink (runtime/trace.hpp): calibrate() records one
+    /// "calibration"-category span per (problem, width) measurement, so the
+    /// measurement ladder itself can be inspected in Perfetto
+    /// (calibrate_host --trace).  Borrowed; must outlive calibrate().
+    TraceRecorder* trace = nullptr;
   };
 
   // Two overloads instead of one defaulted argument: gcc cannot parse a

@@ -35,6 +35,20 @@ void RuntimeMetrics::print(std::ostream& out) const {
   table.add_row({"job wall max", format_duration(max_job_seconds)});
   table.add_row(
       {"worker utilization", format_fixed(100.0 * worker_utilization(), 1) + "%"});
+  // Percentile rows read from the log-scale histograms; rendered with the
+  // same duration formatting as the wall rows so the alignment contract
+  // (every printed line equal width) holds whatever the magnitudes.
+  const auto percentiles = [&](const char* name,
+                               const LatencyHistogram& histogram) {
+    if (histogram.count() == 0) return;
+    table.add_row({std::string(name) + " p50/p95/p99",
+                   format_duration(histogram.p50()) + " / " +
+                       format_duration(histogram.p95()) + " / " +
+                       format_duration(histogram.p99())});
+  };
+  percentiles("queue wait", queue_wait);
+  percentiles("solve wall", solve_wall);
+  percentiles("end-to-end", end_to_end);
   table.add_row({"width renegotiations",
                  count(width_shrinks) + " shrinks, " + count(width_grows) +
                      " grows, " + count(width_boosts) + " boosts"});
@@ -128,6 +142,17 @@ void MetricsCollector::on_finish(const JobFinish& finish) {
   }
   if (finish.was_running) --metrics_.running_by_width[finish.threads_used];
   if (!finish.ran) return;  // cancelled-while-queued: no solve to account for
+  if (finish.outcome == JobState::kDone) {
+    // Latency percentiles describe served requests: cancelled / failed
+    // outcomes would fold operator intervention and bugs into the tail.
+    if (finish.queue_wait_seconds >= 0.0) {
+      metrics_.queue_wait.record(finish.queue_wait_seconds);
+    }
+    metrics_.solve_wall.record(finish.wall_seconds);
+    if (finish.end_to_end_seconds >= 0.0) {
+      metrics_.end_to_end.record(finish.end_to_end_seconds);
+    }
+  }
   ++metrics_.finished_by_width[finish.threads_used];
   ++metrics_.ran_jobs;
   if (finish.threads_used > 1) ++metrics_.fine_grained_jobs;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "runtime/solve_job.hpp"
+#include "runtime/trace.hpp"
 #include "runtime/width_governor.hpp"
 
 namespace paradmm::runtime {
@@ -78,6 +79,15 @@ struct RuntimeMetrics {
   double min_job_seconds = 0.0;
   double max_job_seconds = 0.0;
 
+  /// Latency distributions over completed (kDone, ran) jobs, on the runner
+  /// clock: time from submit to first dispatch, executed solve wall time,
+  /// and submit-to-terminal end-to-end.  Log-scale fixed buckets; the p50 /
+  /// p95 / p99 rows in print() and the bench percentile JSON fields read
+  /// from here.
+  LatencyHistogram queue_wait;
+  LatencyHistogram solve_wall;
+  LatencyHistogram end_to_end;
+
   /// Jobs in a terminal state (rejected-at-submit included — every handle
   /// is settled).
   std::size_t finished() const {
@@ -145,6 +155,11 @@ struct JobFinish {
   /// Per-phase wall seconds of the executed solve (empty when timing was
   /// off or the job never ran).
   const std::vector<double>* phase_seconds = nullptr;
+  /// Latencies on the runner clock for the histograms (negative =
+  /// unmeasured; only kDone jobs that ran contribute).  queue_wait is the
+  /// submit-to-first-dispatch wait; end_to_end is submit-to-terminal.
+  double queue_wait_seconds = -1.0;
+  double end_to_end_seconds = -1.0;
 };
 
 /// Thread-safe accumulator behind BatchRunner::metrics().

@@ -119,6 +119,11 @@ struct JobControl {
   // 0 when the runner has no model).
   AdmissionVerdict admission = AdmissionVerdict::kAdmitted;
   double serial_seconds_per_iteration = 0.0;
+  // The admission check's projected finish (runner clock; NaN when the
+  // verdict was kAdmitted without a projection) — surfaced so rejection /
+  // degradation trace events carry the projected-vs-deadline numbers that
+  // justified the verdict.
+  double admission_projected = std::numeric_limits<double>::quiet_NaN();
   // Cost-model prior for the governor's deadline projection (lane-seconds
   // per phase barrier; 0 when the runner has no model).
   double prior_phase_lane_seconds = 0.0;
@@ -136,6 +141,13 @@ struct JobControl {
   bool started = false;        // on_start / kRunning happened
   int iterations_done = 0;     // across all slices so far
   double wall_so_far = 0.0;    // executed wall seconds across slices
+  // Latency bookkeeping (runner clock): when the current wait in the ready
+  // queue began (submit time, then each requeue), and when the job first
+  // started executing (NaN until then).  queue-wait = first start − submit;
+  // end-to-end = finish − submit.  Same write/ordering discipline as the
+  // slice bookkeeping above.
+  double queued_since = 0.0;
+  double first_start_time = std::numeric_limits<double>::quiet_NaN();
   std::vector<double> phase_seconds_so_far;
   // The most recent slice's solver report (residuals after the last
   // completed check): a preempted job cancelled while parked still

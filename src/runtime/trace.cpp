@@ -1,0 +1,273 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/timer.hpp"
+
+namespace paradmm::runtime {
+
+namespace {
+
+std::uint64_t next_recorder_serial() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+const char* phase_letter(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kComplete: return "X";
+    case TraceEvent::Kind::kInstant: return "i";
+    case TraceEvent::Kind::kAsyncBegin: return "b";
+    case TraceEvent::Kind::kAsyncEnd: return "e";
+  }
+  return "i";
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : serial_(next_recorder_serial()) {
+  auto since_construction = std::make_shared<WallTimer>();
+  clock_ = [since_construction] { return since_construction->seconds(); };
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+void TraceRecorder::set_clock(std::function<double()> clock) {
+  require(static_cast<bool>(clock), "TraceRecorder clock must be callable");
+  clock_ = std::move(clock);
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  // One cached buffer per thread, keyed by the recorder's serial so a
+  // recorder allocated at a recycled address never inherits a stale entry.
+  // The registry mutex is only taken on a cache miss — once per
+  // (thread, recorder) pair — so steady-state recording touches nothing
+  // shared across threads.
+  thread_local std::uint64_t cached_serial = 0;
+  thread_local std::shared_ptr<ThreadBuffer> cached;
+  if (!cached || cached_serial != serial_) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    {
+      std::lock_guard lock(registry_mutex_);
+      buffer->tid = buffers_.size();
+      buffers_.push_back(buffer);
+    }
+    cached = std::move(buffer);
+    cached_serial = serial_;
+  }
+  return *cached;
+}
+
+void TraceRecorder::record(ThreadBuffer& buffer, TraceEvent event) {
+  event.tid = buffer.tid;
+  std::lock_guard lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+void TraceRecorder::complete(std::string name, std::string category,
+                             double start, double duration,
+                             std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kComplete;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.start = start;
+  event.duration = duration;
+  event.args = std::move(args);
+  record(local_buffer(), std::move(event));
+}
+
+void TraceRecorder::instant(std::string name, std::string category,
+                            std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kInstant;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.start = now();
+  event.args = std::move(args);
+  record(local_buffer(), std::move(event));
+}
+
+void TraceRecorder::async_begin(std::string name, std::string category,
+                                std::uint64_t id, std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kAsyncBegin;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.start = now();
+  event.id = id;
+  event.args = std::move(args);
+  record(local_buffer(), std::move(event));
+}
+
+void TraceRecorder::async_end(std::string name, std::string category,
+                              std::uint64_t id, std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kAsyncEnd;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.start = now();
+  event.id = id;
+  event.args = std::move(args);
+  record(local_buffer(), std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard lock(buffer->mutex);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  // Stable: per-thread recording order breaks (start, tid) ties, so for a
+  // fixed clock the merged order — and therefore the export — is
+  // deterministic.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start != b.start) return a.start < b.start;
+                     return a.tid < b.tid;
+                   });
+  return events;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::size_t count = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+void TraceRecorder::export_chrome_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> events = snapshot();
+  out << "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    out << "{\"name\":" << json_quote(event.name)
+        << ",\"cat\":" << json_quote(event.category) << ",\"ph\":\""
+        << phase_letter(event.kind) << "\",\"ts\":"
+        << json_number(event.start * 1e6);
+    if (event.kind == TraceEvent::Kind::kComplete) {
+      out << ",\"dur\":" << json_number(event.duration * 1e6);
+    }
+    if (event.kind == TraceEvent::Kind::kInstant) {
+      out << ",\"s\":\"t\"";  // thread-scoped instant marker
+    }
+    if (event.kind == TraceEvent::Kind::kAsyncBegin ||
+        event.kind == TraceEvent::Kind::kAsyncEnd) {
+      out << ",\"id\":" << event.id;
+    }
+    out << ",\"pid\":1,\"tid\":" << event.tid;
+    if (!event.args.empty()) {
+      out << ",\"args\":{";
+      for (std::size_t a = 0; a < event.args.size(); ++a) {
+        if (a != 0) out << ",";
+        out << json_quote(event.args[a].key) << ":" << event.args[a].value;
+      }
+      out << "}";
+    }
+    out << "}" << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+}
+
+void TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "cannot open trace output file: " + path);
+  export_chrome_trace(out);
+  out.flush();
+  require(out.good(), "failed writing trace output file: " + path);
+}
+
+TraceArg TraceRecorder::arg(std::string key, double value) {
+  return {std::move(key),
+          std::isfinite(value) ? json_number(value) : std::string("null")};
+}
+
+TraceArg TraceRecorder::arg(std::string key, long long value) {
+  return {std::move(key), std::to_string(value)};
+}
+
+TraceArg TraceRecorder::arg(std::string key, unsigned long long value) {
+  return {std::move(key), std::to_string(value)};
+}
+
+TraceArg TraceRecorder::arg(std::string key, std::size_t value) {
+  return {std::move(key), std::to_string(value)};
+}
+
+TraceArg TraceRecorder::arg(std::string key, int value) {
+  return {std::move(key), std::to_string(value)};
+}
+
+TraceArg TraceRecorder::arg(std::string key, bool value) {
+  return {std::move(key), value ? "true" : "false"};
+}
+
+TraceArg TraceRecorder::arg(std::string key, const std::string& value) {
+  return {std::move(key), json_quote(value)};
+}
+
+TraceArg TraceRecorder::arg(std::string key, std::string_view value) {
+  return {std::move(key), json_quote(std::string(value))};
+}
+
+TraceArg TraceRecorder::arg(std::string key, const char* value) {
+  return {std::move(key), json_quote(std::string(value))};
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+void LatencyHistogram::record(double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0.0) return;
+  std::size_t index = 0;
+  if (seconds > kMinSeconds) {
+    // Bucket i > 0 covers (upper(i-1), upper(i)]; a sample exactly on a
+    // bucket's upper bound lands in that bucket, which is what makes
+    // percentile() exact on boundary-valued distributions.
+    const double position = 4.0 * std::log2(seconds / kMinSeconds);
+    const double raw = std::ceil(position);
+    index = raw <= 0.0 ? 1
+                       : std::min<std::size_t>(static_cast<std::size_t>(raw),
+                                               kBuckets - 1);
+  }
+  ++counts_[index];
+  ++count_;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(clamped / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) return bucket_upper_bound(i);
+  }
+  return bucket_upper_bound(kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_upper_bound(std::size_t index) {
+  return kMinSeconds * std::exp2(static_cast<double>(index) / 4.0);
+}
+
+}  // namespace paradmm::runtime

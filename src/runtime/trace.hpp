@@ -1,0 +1,191 @@
+// Structured runtime tracing: a lock-cheap, per-thread-buffered event
+// recorder plus a Chrome trace-event JSON exporter, and the log-scale
+// latency histogram the runtime's percentile metrics are built on.
+//
+// The runtime makes rich adaptive decisions — priority aging, mid-solve
+// width renegotiation, deadline boosting, admission control — and the
+// counter table (RuntimeMetrics) can say *how many* happened but never
+// *when* or *why*.  A TraceRecorder attached as
+// BatchRunnerOptions::trace_sink captures the whole decision surface as
+// timestamped events: job lifecycle spans (submit -> queued -> slices ->
+// finish, preemptions and admission verdicts included, each carrying the
+// numbers that justified it), governor shrink/grow/boost instants with
+// their lane-seconds evidence, per-phase per-width barrier spans (the
+// paper's per-phase timeline, recovered from a live mixed workload),
+// ThreadPool steal/help events, and per-iteration residual telemetry.
+//
+// Design constraints, in order:
+//
+//  * Near-zero cost when absent.  Every instrumentation site null-checks a
+//    raw pointer; with no sink attached the runtime's scheduling, results,
+//    and counters are bitwise identical to the untraced build (property-
+//    tested in tests/runtime/test_trace.cpp).
+//  * Lock-cheap when present.  Each recording thread appends to its own
+//    buffer under its own mutex (found via a thread_local cache), so
+//    steady-state recording never contends across threads; the recorder-
+//    wide registry mutex is touched once per thread ever, and at export.
+//  * Deterministic under virtual clocks.  Events are timestamped on the
+//    recorder's injectable clock — the BatchRunner binds its own runner
+//    clock (BatchRunnerOptions::clock) to an attached sink, so a test
+//    driving a virtual clock gets bit-identical trace output run to run.
+//
+// Export is the Chrome trace-event JSON format ("traceEvents" array of
+// ph: X/i/b/e records, microsecond timestamps), loadable in Perfetto or
+// chrome://tracing and summarized offline by tools/trace_dump.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace paradmm::runtime {
+
+/// One key/value annotation on a trace event.  `value` is a pre-rendered
+/// JSON literal (a quoted string, a number, true/false/null) — rendering
+/// happens at the recording site via TraceRecorder::arg so export is a
+/// straight concatenation.
+struct TraceArg {
+  std::string key;
+  std::string value;
+};
+
+/// One recorded event.  `start`/`duration` are seconds on the recorder's
+/// clock; `tid` is the recorder-assigned index of the recording thread
+/// (registration order); `id` pairs async begin/end events.
+struct TraceEvent {
+  enum class Kind { kComplete, kInstant, kAsyncBegin, kAsyncEnd };
+  Kind kind = Kind::kInstant;
+  std::string name;
+  std::string category;
+  double start = 0.0;
+  double duration = 0.0;  // kComplete only
+  std::uint64_t id = 0;   // kAsyncBegin / kAsyncEnd only
+  std::uint64_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Thread-safe structured event recorder.  Events buffer in memory until
+/// exported; a recorder is cheap to create and is typically dropped (or
+/// exported) after one workload.
+class TraceRecorder {
+ public:
+  /// Default clock: wall seconds since construction.
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Rebinds the timestamp clock (any monotone non-decreasing function of
+  /// time).  The BatchRunner binds its runner clock here when the recorder
+  /// is attached as a trace sink, so trace timestamps live on the same
+  /// axis as deadlines — and virtual-clock tests get deterministic traces.
+  /// Must be called before events are recorded from other threads (the
+  /// runner does it at construction, before any job can run).
+  void set_clock(std::function<double()> clock);
+
+  /// Current reading of the recorder's clock.
+  double now() const { return clock_(); }
+
+  /// A span that already happened: [start, start + duration] on the
+  /// recorder's clock.
+  void complete(std::string name, std::string category, double start,
+                double duration, std::vector<TraceArg> args = {});
+  /// A point-in-time marker, stamped with now().
+  void instant(std::string name, std::string category,
+               std::vector<TraceArg> args = {});
+  /// Async span pair: begin/end may land on different threads; matched by
+  /// (category, name, id).  The runtime uses one per job, id = sequence.
+  void async_begin(std::string name, std::string category, std::uint64_t id,
+                   std::vector<TraceArg> args = {});
+  void async_end(std::string name, std::string category, std::uint64_t id,
+                 std::vector<TraceArg> args = {});
+
+  /// All events recorded so far, merged across threads and stably sorted
+  /// by (start, tid, per-thread order).
+  std::vector<TraceEvent> snapshot() const;
+
+  std::size_t event_count() const;
+
+  /// Writes the Chrome trace-event JSON ({"traceEvents": [...]}) for
+  /// everything recorded so far.  Timestamps are clock seconds x 1e6
+  /// (the format's microsecond unit).  Output is a pure function of the
+  /// recorded events, so virtual-clock runs export byte-identical files.
+  void export_chrome_trace(std::ostream& out) const;
+
+  /// export_chrome_trace to `path`; throws PreconditionError on I/O error.
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Argument constructors: render once at the recording site.
+  static TraceArg arg(std::string key, double value);
+  static TraceArg arg(std::string key, long long value);
+  static TraceArg arg(std::string key, unsigned long long value);
+  static TraceArg arg(std::string key, std::size_t value);
+  static TraceArg arg(std::string key, int value);
+  static TraceArg arg(std::string key, bool value);
+  static TraceArg arg(std::string key, const std::string& value);
+  static TraceArg arg(std::string key, std::string_view value);
+  static TraceArg arg(std::string key, const char* value);
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::uint64_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadBuffer& local_buffer();
+  void record(ThreadBuffer& buffer, TraceEvent event);
+
+  // Distinguishes recorders in the thread_local buffer cache: a recorder
+  // allocated at a recycled address must not inherit the old cache entry.
+  const std::uint64_t serial_;
+  std::function<double()> clock_;
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// Fixed-bucket log-scale latency histogram: ~quarter-octave buckets
+/// (successive upper bounds a factor 2^(1/4) apart) from 1 microsecond up
+/// to about an hour, so any latency the runtime can plausibly see lands in
+/// a bucket within ~19% relative width.  percentile() returns the upper
+/// bound of the bucket holding the requested rank — an overestimate by at
+/// most one bucket width, and *exact* for samples that sit on a bucket
+/// boundary (what the percentile-exactness tests pin).  Not internally
+/// synchronized; MetricsCollector guards its histograms with its own lock.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 128;
+  static constexpr double kMinSeconds = 1e-6;
+
+  /// Folds one sample in.  Non-finite and negative samples are dropped
+  /// (latencies are differences of one monotone clock, so they indicate a
+  /// caller bug, not a tail).
+  void record(double seconds);
+
+  std::size_t count() const { return count_; }
+
+  /// Upper bound of the bucket containing the p-th percentile sample
+  /// (p in [0, 100]); 0 when empty.
+  double percentile(double p) const;
+
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
+
+  /// Upper bound of bucket `index`: kMinSeconds * 2^(index / 4).
+  static double bucket_upper_bound(std::size_t index);
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace paradmm::runtime

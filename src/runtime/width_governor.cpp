@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "parallel/thread_pool.hpp"
+#include "runtime/trace.hpp"
 #include "support/error.hpp"
 
 namespace paradmm::runtime {
@@ -21,6 +22,8 @@ void WidthGovernor::bind(std::size_t pool_width,
   pool_width_ = pool_width;
   clock_ = std::move(clock);
 }
+
+void WidthGovernor::bind_trace(TraceRecorder* trace) { trace_ = trace; }
 
 void WidthGovernor::job_waiting() {
   waiting_.fetch_add(1, std::memory_order_relaxed);
@@ -87,114 +90,152 @@ void WidthGovernor::close_lease(const LeasePtr& lease) {
 }
 
 std::size_t WidthGovernor::advise(Lease& lease, std::size_t current_width) {
-  std::lock_guard lock(mutex_);
+  std::size_t target = 0;
+  // Decision evidence, captured under the lock and emitted as a trace
+  // event after it (the recorder's buffer mutex must stay a leaf lock):
+  // the per-phase lane-seconds estimate the projection would use, the
+  // projected finish at the yield-policy width (NaN when no projection
+  // ran), and the instantaneous backlog.
+  double evidence_per_phase = 0.0;
+  double projected = std::numeric_limits<double>::quiet_NaN();
+  std::size_t backlog = 0;
+  {
+    std::lock_guard lock(mutex_);
 
-  // Timestamp the barrier: the interval since the previous one is the wall
-  // clock of exactly one phase, normalized to lane-seconds by the width it
-  // forked with so samples at different widths agree.
-  bool fresh_sample = false;
-  double now = 0.0;
-  const bool timed = static_cast<bool>(clock_);
-  if (timed) {
-    now = clock_();
-    if (lease.timed) {
-      const double delta = now - lease.last_barrier;
-      if (delta > 0.0) {
-        lease.cost_units += delta * static_cast<double>(current_width);
-        fresh_sample = true;
+    // Timestamp the barrier: the interval since the previous one is the
+    // wall clock of exactly one phase, normalized to lane-seconds by the
+    // width it forked with so samples at different widths agree.
+    bool fresh_sample = false;
+    double now = 0.0;
+    const bool timed = static_cast<bool>(clock_);
+    if (timed) {
+      now = clock_();
+      if (lease.timed) {
+        const double delta = now - lease.last_barrier;
+        if (delta > 0.0) {
+          lease.cost_units += delta * static_cast<double>(current_width);
+          fresh_sample = true;
+        }
+        ++lease.phases_done;
+      } else {
+        lease.timed = true;
       }
-      ++lease.phases_done;
-    } else {
-      lease.timed = true;
+      lease.last_barrier = now;
     }
-    lease.last_barrier = now;
-  }
 
-  std::size_t target = backlog_target(lease.planned);
+    backlog = waiting_.load(std::memory_order_relaxed);
+    target = backlog_target(lease.planned);
 
-  // Deadline boost: project the finish at the width the yield policy would
-  // assign; past the deadline, claim the smallest width projected to meet
-  // it instead of yielding.  The per-phase cost is the lease's own
-  // measured samples when it has any, else its cost-model prior (priced by
-  // the runner's shared CostModel — a calibrated host profile when one is
-  // loaded), else the cross-job EWMA.  Re-evaluated only on new
-  // information: a fresh clock sample, or — with a prior — the first timed
-  // barrier, so an already-infeasible solve boosts before producing any
-  // sample of its own.  Between evaluations the held boost stays put
-  // rather than decaying on an optimistic cost estimate, and the claim is
-  // always bounded by the lane ledger so the governed total never exceeds
-  // the pool.
-  if (options_.enabled && options_.deadline_boost && timed &&
-      pool_width_ > 0 && std::isfinite(lease.deadline) &&
-      lease.total_phases > lease.phases_done) {
+    // The per-phase cost estimate: the lease's own measured samples when it
+    // has any, else its cost-model prior (priced by the runner's shared
+    // CostModel — a calibrated host profile when one is loaded), else the
+    // cross-job EWMA.
     const bool own_samples = lease.phases_done > 0 && lease.cost_units > 0.0;
-    double per_phase =
+    const double per_phase =
         own_samples
             ? lease.cost_units / static_cast<double>(lease.phases_done)
             : (lease.prior_phase_seconds > 0.0 ? lease.prior_phase_seconds
                                                : learned_phase_seconds_);
-    const bool first_barrier_with_prior =
-        lease.phases_done == 0 && lease.prior_phase_seconds > 0.0;
-    if ((fresh_sample || first_barrier_with_prior) && per_phase > 0.0) {
-      const auto remaining =
-          static_cast<double>(lease.total_phases - lease.phases_done);
-      const double at_target =
-          now + remaining * per_phase /
-                    static_cast<double>(std::max<std::size_t>(target, 1));
-      if (at_target > lease.deadline) {
-        const double slack = lease.deadline - now;
-        std::size_t needed = pool_width_;
-        if (slack > 0.0) {
-          const double raw = std::ceil(remaining * per_phase / slack);
-          needed = raw >= static_cast<double>(pool_width_)
-                       ? pool_width_
-                       : static_cast<std::size_t>(raw);
+    evidence_per_phase = per_phase;
+
+    // Deadline boost: project the finish at the width the yield policy
+    // would assign; past the deadline, claim the smallest width projected
+    // to meet it instead of yielding.  Re-evaluated only on new
+    // information: a fresh clock sample, or — with a prior — the first
+    // timed barrier, so an already-infeasible solve boosts before producing
+    // any sample of its own.  Between evaluations the held boost stays put
+    // rather than decaying on an optimistic cost estimate, and the claim is
+    // always bounded by the lane ledger so the governed total never exceeds
+    // the pool.
+    if (options_.enabled && options_.deadline_boost && timed &&
+        pool_width_ > 0 && std::isfinite(lease.deadline) &&
+        lease.total_phases > lease.phases_done) {
+      const bool first_barrier_with_prior =
+          lease.phases_done == 0 && lease.prior_phase_seconds > 0.0;
+      if ((fresh_sample || first_barrier_with_prior) && per_phase > 0.0) {
+        const auto remaining =
+            static_cast<double>(lease.total_phases - lease.phases_done);
+        const double at_target =
+            now + remaining * per_phase /
+                      static_cast<double>(std::max<std::size_t>(target, 1));
+        projected = at_target;
+        if (at_target > lease.deadline) {
+          const double slack = lease.deadline - now;
+          std::size_t needed = pool_width_;
+          if (slack > 0.0) {
+            const double raw = std::ceil(remaining * per_phase / slack);
+            needed = raw >= static_cast<double>(pool_width_)
+                         ? pool_width_
+                         : static_cast<std::size_t>(raw);
+          }
+          lease.boost_width = std::clamp(needed, lease.planned, pool_width_);
+        } else {
+          lease.boost_width = 0;  // projection clears the deadline: stop
         }
-        lease.boost_width = std::clamp(needed, lease.planned, pool_width_);
+      }
+    } else {
+      lease.boost_width = 0;
+    }
+
+    if (lease.boost_width > 0) {
+      // The ledger cap: a boost may only claim lanes nobody else holds —
+      // neither another governed solve's granted width nor a lane pinned by
+      // a running serial whole-solve (its own planned width is always
+      // available to it).
+      const std::size_t occupied =
+          (leased_width_ - lease.width) +
+          busy_serial_.load(std::memory_order_relaxed);
+      const std::size_t extra_cap =
+          pool_width_ > occupied + lease.planned
+              ? pool_width_ - occupied - lease.planned
+              : 0;
+      target = std::max(
+          target, std::min(lease.boost_width, lease.planned + extra_cap));
+    }
+
+    if (target < current_width) {
+      shrinks_.fetch_add(1, std::memory_order_relaxed);
+    } else if (target > current_width) {
+      if (target > lease.planned) {
+        boosts_.fetch_add(1, std::memory_order_relaxed);
       } else {
-        lease.boost_width = 0;  // projection clears the deadline: stop boosting
+        grows_.fetch_add(1, std::memory_order_relaxed);
       }
     }
-  } else {
-    lease.boost_width = 0;
+
+    // Ledger update, including the lanes-above-planned gauge.
+    const std::size_t old_extra =
+        lease.width > lease.planned ? lease.width - lease.planned : 0;
+    const std::size_t new_extra =
+        target > lease.planned ? target - lease.planned : 0;
+    leased_width_ += target;
+    leased_width_ -= lease.width;
+    boosted_lanes_ += new_extra;
+    boosted_lanes_ -= old_extra;
+    lease.width = target;
   }
 
-  if (lease.boost_width > 0) {
-    // The ledger cap: a boost may only claim lanes nobody else holds —
-    // neither another governed solve's granted width nor a lane pinned by
-    // a running serial whole-solve (its own planned width is always
-    // available to it).
-    const std::size_t occupied =
-        (leased_width_ - lease.width) +
-        busy_serial_.load(std::memory_order_relaxed);
-    const std::size_t extra_cap =
-        pool_width_ > occupied + lease.planned
-            ? pool_width_ - occupied - lease.planned
-            : 0;
-    target = std::max(target,
-                      std::min(lease.boost_width, lease.planned + extra_cap));
-  }
-
-  if (target < current_width) {
-    shrinks_.fetch_add(1, std::memory_order_relaxed);
-  } else if (target > current_width) {
-    if (target > lease.planned) {
-      boosts_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      grows_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_ != nullptr && target != current_width) {
+    const char* kind = target < current_width  ? "shrink"
+                       : target > lease.planned ? "boost"
+                                                 : "grow";
+    std::vector<TraceArg> args;
+    args.push_back(TraceRecorder::arg("from", current_width));
+    args.push_back(TraceRecorder::arg("to", target));
+    args.push_back(TraceRecorder::arg("planned", lease.planned));
+    args.push_back(TraceRecorder::arg("waiting", backlog));
+    if (evidence_per_phase > 0.0) {
+      args.push_back(
+          TraceRecorder::arg("phase_lane_seconds", evidence_per_phase));
     }
+    if (std::isfinite(lease.deadline)) {
+      args.push_back(TraceRecorder::arg("deadline", lease.deadline));
+      if (std::isfinite(projected)) {
+        args.push_back(TraceRecorder::arg("projected", projected));
+      }
+    }
+    trace_->instant(kind, "governor", std::move(args));
   }
-
-  // Ledger update, including the lanes-above-planned gauge.
-  const std::size_t old_extra =
-      lease.width > lease.planned ? lease.width - lease.planned : 0;
-  const std::size_t new_extra =
-      target > lease.planned ? target - lease.planned : 0;
-  leased_width_ += target;
-  leased_width_ -= lease.width;
-  boosted_lanes_ += new_extra;
-  boosted_lanes_ -= old_extra;
-  lease.width = target;
   return target;
 }
 
@@ -242,7 +283,8 @@ class GovernedBackend final : public ExecutionBackend {
               const std::size_t width = governor_.advise(*lease_, current);
               if (on_width_) on_width_(width);
               return width;
-            })) {}
+            },
+            std::move(info.on_phase))) {}
 
   ~GovernedBackend() override { governor_.close_lease(lease_); }
 

@@ -57,6 +57,8 @@ class ThreadPool;
 
 namespace paradmm::runtime {
 
+class TraceRecorder;
+
 struct WidthGovernorOptions {
   /// When false, advise() always returns the planned width (fixed-width
   /// scheduling, the pre-governor behavior).
@@ -117,6 +119,10 @@ struct GovernedSolveInfo {
   /// Observer invoked with every granted width (the runtime mirrors it
   /// into JobHandle::current_width).  Runs under no governor lock.
   std::function<void(std::size_t)> on_width;
+  /// Observer invoked after every phase barrier with (phase index, fork
+  /// width, wall seconds) — forwarded to the pool backend's PhaseObserver.
+  /// The runtime's trace layer emits per-phase per-width spans from it.
+  PhaseObserver on_phase;
 };
 
 /// Thread-safe: the BatchRunner feeds waiting-job counts from the submit
@@ -152,6 +158,14 @@ class WidthGovernor {
   /// (unit tests, standalone backends) never times barriers and never
   /// boosts.
   void bind(std::size_t pool_width, std::function<double()> clock);
+
+  /// Attaches (or detaches, with nullptr) a trace sink: every advise() that
+  /// changes a leased solve's width emits a shrink/grow/boost instant event
+  /// carrying the evidence behind the decision (backlog, per-phase
+  /// lane-seconds estimate, deadline projection).  The recorder must
+  /// outlive the governor's use of it; the BatchRunner attaches its sink at
+  /// construction, before any governed solve can run.
+  void bind_trace(TraceRecorder* trace);
 
   /// A solve entered the waiting set (submitted, not yet executing).
   void job_waiting();
@@ -199,6 +213,7 @@ class WidthGovernor {
   WidthGovernorOptions options_;
   std::size_t pool_width_ = 0;        // 0 until bind(): boosts disabled
   std::function<double()> clock_;
+  TraceRecorder* trace_ = nullptr;    // set before concurrent use (bind_trace)
 
   std::atomic<std::size_t> waiting_{0};
   std::atomic<std::size_t> busy_serial_{0};

@@ -1,0 +1,198 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace paradmm {
+
+JsonValue JsonParser::parse() {
+  JsonValue value = parse_value();
+  skip_whitespace();
+  require(at_ == text_.size(), error("trailing characters after JSON value"));
+  return value;
+}
+
+std::string JsonParser::error(const std::string& what) const {
+  return context_ + ": " + what + " (at byte " + std::to_string(at_) + ")";
+}
+
+void JsonParser::skip_whitespace() {
+  while (at_ < text_.size() &&
+         std::isspace(static_cast<unsigned char>(text_[at_]))) {
+    ++at_;
+  }
+}
+
+char JsonParser::peek() {
+  skip_whitespace();
+  require(at_ < text_.size(), error("unexpected end of input"));
+  return text_[at_];
+}
+
+void JsonParser::expect(char c) {
+  require(peek() == c, error(std::string("expected '") + c + "'"));
+  ++at_;
+}
+
+bool JsonParser::consume(char c) {
+  if (at_ < text_.size() && peek() == c) {
+    ++at_;
+    return true;
+  }
+  return false;
+}
+
+JsonValue JsonParser::parse_value() {
+  const char c = peek();
+  if (c == '{') return parse_object();
+  if (c == '[') return parse_array();
+  if (c == '"') return parse_string();
+  if (c == 't' || c == 'f') return parse_bool();
+  if (c == 'n') return parse_null();
+  return parse_number();
+}
+
+JsonValue JsonParser::parse_object() {
+  JsonValue value;
+  value.kind = JsonValue::Kind::kObject;
+  expect('{');
+  if (consume('}')) return value;
+  do {
+    JsonValue key = parse_string();
+    expect(':');
+    value.object[key.string] = parse_value();
+  } while (consume(','));
+  expect('}');
+  return value;
+}
+
+JsonValue JsonParser::parse_array() {
+  JsonValue value;
+  value.kind = JsonValue::Kind::kArray;
+  expect('[');
+  if (consume(']')) return value;
+  do {
+    value.array.push_back(parse_value());
+  } while (consume(','));
+  expect(']');
+  return value;
+}
+
+JsonValue JsonParser::parse_string() {
+  JsonValue value;
+  value.kind = JsonValue::Kind::kString;
+  expect('"');
+  while (true) {
+    require(at_ < text_.size(), error("unterminated string"));
+    const char c = text_[at_++];
+    if (c == '"') break;
+    if (c == '\\') {
+      require(at_ < text_.size(), error("unterminated escape"));
+      const char escaped = text_[at_++];
+      switch (escaped) {
+        case '"': value.string += '"'; break;
+        case '\\': value.string += '\\'; break;
+        case '/': value.string += '/'; break;
+        case 'n': value.string += '\n'; break;
+        case 't': value.string += '\t'; break;
+        case 'r': value.string += '\r'; break;
+        case 'b': value.string += '\b'; break;
+        case 'f': value.string += '\f'; break;
+        case 'u': {
+          // The in-repo writers never emit non-ASCII; decode the BMP
+          // escape to a single byte when it fits, else reject.
+          require(at_ + 4 <= text_.size(), error("truncated \\u escape"));
+          const std::string hex(text_.substr(at_, 4));
+          at_ += 4;
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          require(end == hex.c_str() + 4, error("invalid \\u escape"));
+          require(code >= 0 && code < 128,
+                  error("non-ASCII \\u escape unsupported"));
+          value.string += static_cast<char>(code);
+          break;
+        }
+        default: require(false, error("unknown escape character"));
+      }
+    } else {
+      value.string += c;
+    }
+  }
+  return value;
+}
+
+JsonValue JsonParser::parse_bool() {
+  JsonValue value;
+  value.kind = JsonValue::Kind::kBool;
+  if (text_.substr(at_, 4) == "true") {
+    value.boolean = true;
+    at_ += 4;
+  } else if (text_.substr(at_, 5) == "false") {
+    value.boolean = false;
+    at_ += 5;
+  } else {
+    require(false, error("invalid literal"));
+  }
+  return value;
+}
+
+JsonValue JsonParser::parse_null() {
+  require(text_.substr(at_, 4) == "null", error("invalid literal"));
+  at_ += 4;
+  return JsonValue{};
+}
+
+JsonValue JsonParser::parse_number() {
+  const std::size_t start = at_;
+  while (at_ < text_.size() &&
+         (std::isdigit(static_cast<unsigned char>(text_[at_])) ||
+          text_[at_] == '-' || text_[at_] == '+' || text_[at_] == '.' ||
+          text_[at_] == 'e' || text_[at_] == 'E')) {
+    ++at_;
+  }
+  const std::string token(text_.substr(start, at_ - start));
+  char* end = nullptr;
+  const double parsed = std::strtod(token.c_str(), &end);
+  require(!token.empty() && end == token.c_str() + token.size() &&
+              std::isfinite(parsed),
+          error("invalid number"));
+  JsonValue value;
+  value.kind = JsonValue::Kind::kNumber;
+  value.number = parsed;
+  return value;
+}
+
+std::string json_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string json_quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace paradmm

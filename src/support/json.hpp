@@ -1,0 +1,68 @@
+// Minimal hand-rolled JSON: a recursive-descent reader plus the two
+// emission helpers the writers share.
+//
+// The repo deliberately carries no external JSON dependency (bench results
+// are written with a hand-rolled emitter, bench/bench_util.hpp).  The
+// reading half started life inside the calibration-profile loader and is
+// shared here so every JSON consumer — calibration profiles, trace files
+// (tools/trace_dump), tests validating exported traces — parses with the
+// same code.  The subset covered is what those writers emit: objects,
+// arrays, strings, finite numbers, and the three literals.  Errors throw
+// PreconditionError with the byte offset — a file that does not parse must
+// fail loudly, never degrade into silent defaults.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paradmm {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+/// Parses one JSON document.  `context` prefixes every error message so a
+/// caller's diagnostics name the file kind being read ("calibration
+/// profile JSON", "trace JSON", ...).
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text, std::string context = "JSON")
+      : text_(text), context_(std::move(context)) {}
+
+  JsonValue parse();
+
+ private:
+  std::string error(const std::string& what) const;
+  void skip_whitespace();
+  char peek();
+  void expect(char c);
+  bool consume(char c);
+  JsonValue parse_value();
+  JsonValue parse_object();
+  JsonValue parse_array();
+  JsonValue parse_string();
+  JsonValue parse_bool();
+  JsonValue parse_null();
+  JsonValue parse_number();
+
+  std::string_view text_;
+  std::string context_;
+  std::size_t at_ = 0;
+};
+
+/// Shortest round-trip rendering of a finite double (%.17g).
+std::string json_number(double value);
+
+/// Emitter-side escaping, so a string like `my "big" box` round-trips
+/// instead of producing a file the parser later rejects.
+std::string json_quote(const std::string& text);
+
+}  // namespace paradmm

@@ -304,47 +304,53 @@ TEST(Admission, RejectAndDegradeKeepAdmittedResultsBitwise) {
   // Job 1's deadline is provably infeasible (20 iterations x 1 s vs 2 s).
   const std::vector<double> deadlines = {kNoDeadline, 2.0, kNoDeadline};
 
+  // The graphs must outlive the handles: JobHandle::graph() is a borrowed
+  // pointer, and the z comparisons below read through it after the run.
+  struct PolicyRun {
+    std::vector<FactorGraph> graphs;
+    std::vector<JobHandle> handles;
+  };
   const auto run_policy = [&](AdmissionPolicy policy) {
     auto now = std::make_shared<std::atomic<double>>(0.0);
-    std::vector<FactorGraph> graphs;
+    PolicyRun run;
     for (const auto& targets : arrival_targets) {
-      graphs.push_back(make_consensus_graph(targets));
+      run.graphs.push_back(make_consensus_graph(targets));
     }
-    std::vector<JobHandle> handles;
     {
       BatchRunner runner(admission_options(policy, now));
-      for (std::size_t i = 0; i < graphs.size(); ++i) {
+      for (std::size_t i = 0; i < run.graphs.size(); ++i) {
         SolveJob job;
-        job.graph = &graphs[i];
+        job.graph = &run.graphs[i];
         job.options = budget(20);
         job.deadline = deadlines[i];
-        handles.push_back(runner.submit(std::move(job)));
+        run.handles.push_back(runner.submit(std::move(job)));
       }
       runner.wait_all();
     }
-    return handles;
+    return run;
   };
 
   const auto accept = run_policy(AdmissionPolicy::kAccept);
   const auto reject = run_policy(AdmissionPolicy::kRejectInfeasible);
   const auto degrade = run_policy(AdmissionPolicy::kDegradeToBestEffort);
 
-  EXPECT_EQ(reject[1].state(), JobState::kRejected);
-  EXPECT_EQ(degrade[1].state(), JobState::kDone);
-  EXPECT_EQ(degrade[1].admission_verdict(), AdmissionVerdict::kBestEffort);
+  EXPECT_EQ(reject.handles[1].state(), JobState::kRejected);
+  EXPECT_EQ(degrade.handles[1].state(), JobState::kDone);
+  EXPECT_EQ(degrade.handles[1].admission_verdict(),
+            AdmissionVerdict::kBestEffort);
 
-  for (std::size_t i = 0; i < accept.size(); ++i) {
-    const auto expected = z_copy(accept[i].graph());
+  for (std::size_t i = 0; i < accept.handles.size(); ++i) {
+    const auto expected = z_copy(accept.handles[i].graph());
     // Every degraded-policy job ran (degrade admits everything) and must
     // match the accept run; the reject run only solved the survivors.
-    const auto under_degrade = z_copy(degrade[i].graph());
+    const auto under_degrade = z_copy(degrade.handles[i].graph());
     ASSERT_EQ(under_degrade.size(), expected.size()) << "job " << i;
     for (std::size_t s = 0; s < expected.size(); ++s) {
       EXPECT_EQ(under_degrade[s], expected[s])
           << "job " << i << " z scalar " << s;
     }
-    if (reject[i].state() == JobState::kRejected) continue;
-    const auto under_reject = z_copy(reject[i].graph());
+    if (reject.handles[i].state() == JobState::kRejected) continue;
+    const auto under_reject = z_copy(reject.handles[i].graph());
     ASSERT_EQ(under_reject.size(), expected.size()) << "job " << i;
     for (std::size_t s = 0; s < expected.size(); ++s) {
       EXPECT_EQ(under_reject[s], expected[s])

@@ -47,6 +47,14 @@ TEST(RuntimeMetricsPrint, WideCountersKeepEveryLineAligned) {
   metrics.running_by_width[16] = 123456;
   metrics.peak_running_by_width[16] = 234567;
   metrics.finished_by_width[16] = 1000000;
+  // Latency histograms spanning microseconds to kiloseconds: the
+  // percentile rows must hold the same every-line-equal-width contract as
+  // every counter row.
+  metrics.queue_wait.record(2e-6);
+  metrics.queue_wait.record(1234.5);
+  metrics.solve_wall.record(0.5);
+  metrics.solve_wall.record(3.25);
+  metrics.end_to_end.record(2000.0);
 
   std::ostringstream out;
   metrics.print(out);
@@ -65,6 +73,18 @@ TEST(RuntimeMetricsPrint, WideCountersKeepEveryLineAligned) {
   EXPECT_NE(text.find("11,111/22,222"), std::string::npos);  // met/missed
   EXPECT_NE(text.find("width 16 jobs"), std::string::npos);
   EXPECT_NE(text.find("1,000,000 finished"), std::string::npos);
+  EXPECT_NE(text.find("queue wait p50/p95/p99"), std::string::npos);
+  EXPECT_NE(text.find("solve wall p50/p95/p99"), std::string::npos);
+  EXPECT_NE(text.find("end-to-end p50/p95/p99"), std::string::npos);
+}
+
+TEST(RuntimeMetricsPrint, EmptyHistogramsRenderNoPercentileRows) {
+  RuntimeMetrics metrics;
+  metrics.workers = 2;
+  std::ostringstream out;
+  metrics.print(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("p50/p95/p99"), std::string::npos);
 }
 
 TEST(MetricsCollector, TracksPreemptionsDeadlinesAndPhaseSeconds) {
@@ -87,6 +107,8 @@ TEST(MetricsCollector, TracksPreemptionsDeadlinesAndPhaseSeconds) {
   met.had_deadline = true;
   met.met_deadline = true;
   met.phase_seconds = &phases_a;
+  met.queue_wait_seconds = 0.25;
+  met.end_to_end_seconds = 2.0;
   collector.on_finish(met);
 
   const std::vector<double> phases_b{0.5, 0.4, 0.3, 0.2, 0.1};
@@ -99,6 +121,8 @@ TEST(MetricsCollector, TracksPreemptionsDeadlinesAndPhaseSeconds) {
   missed.had_deadline = true;
   missed.met_deadline = false;
   missed.phase_seconds = &phases_b;
+  missed.queue_wait_seconds = 0.5;
+  missed.end_to_end_seconds = 4.0;
   collector.on_finish(missed);
 
   // A cancelled job never counts toward the deadline scoreboard — it
@@ -132,6 +156,14 @@ TEST(MetricsCollector, TracksPreemptionsDeadlinesAndPhaseSeconds) {
   EXPECT_EQ(metrics.running_by_width.at(1), 0u);
   EXPECT_EQ(metrics.finished_by_width.at(2), 1u);
   EXPECT_EQ(metrics.finished_by_width.at(1), 1u);
+  // Latency tallies: only completed jobs feed the histograms (the
+  // cancelled finish above carried no measurements and must not count).
+  EXPECT_EQ(metrics.queue_wait.count(), 2u);
+  EXPECT_EQ(metrics.solve_wall.count(), 2u);
+  EXPECT_EQ(metrics.end_to_end.count(), 2u);
+  EXPECT_GE(metrics.queue_wait.p50(), 0.25);
+  EXPECT_GE(metrics.end_to_end.p99(), 4.0);
+  EXPECT_LE(metrics.end_to_end.p99(), 4.0 * 1.19);  // within one bucket
 }
 
 }  // namespace

@@ -17,11 +17,19 @@
 // Scale the soak locally with PARADMM_STRESS_ITERS (default 3 keeps the
 // tier-1 run fast; the acceptance soak is 100) and offset the seed range
 // with PARADMM_STRESS_SEED.
+//
+// Every iteration runs with a TraceRecorder attached — the sanitizer soaks
+// exercise the trace layer's concurrency for free — and when an iteration
+// fails with PARADMM_STRESS_ARTIFACT_DIR set, the seed's full trace and
+// metrics table are dumped there (CI uploads them on failure), so a flaky
+// interleaving leaves its own timeline behind.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -29,6 +37,7 @@
 
 #include "core/prox_library.hpp"
 #include "runtime/batch_runner.hpp"
+#include "runtime/trace.hpp"
 #include "support/rng.hpp"
 
 namespace paradmm::runtime {
@@ -63,6 +72,27 @@ FactorGraph make_consensus_graph(std::size_t factors, bool throwing) {
   return graph;
 }
 
+/// On assertion failure with PARADMM_STRESS_ARTIFACT_DIR set, drops the
+/// failing seed's trace and metrics table there for post-mortem.
+void dump_failure_artifacts(std::uint64_t seed, const TraceRecorder& trace,
+                            const RuntimeMetrics& metrics) {
+  const char* dir = std::getenv("PARADMM_STRESS_ARTIFACT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string base =
+      std::string(dir) + "/stress_seed_" + std::to_string(seed);
+  try {
+    trace.write_chrome_trace(base + ".trace.json");
+    std::ofstream metrics_out(base + ".metrics.txt");
+    metrics.print(metrics_out);
+    std::fprintf(stderr,
+                 "stress: wrote failure artifacts %s.trace.json / "
+                 "%s.metrics.txt\n",
+                 base.c_str(), base.c_str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "stress: artifact dump failed: %s\n", error.what());
+  }
+}
+
 void run_stress_iteration(std::uint64_t seed) {
   SCOPED_TRACE("stress seed " + std::to_string(seed));
   Rng rng(seed);
@@ -80,6 +110,13 @@ void run_stress_iteration(std::uint64_t seed) {
   // wide solves claim lanes.  Neither may violate any conservation law.
   if (rng.uniform() < 0.5) options.aging_rate = rng.uniform(0.0, 2.0);
   if (rng.uniform() < 0.25) options.governor.deadline_boost = false;
+
+  // Every iteration records a full trace: the sanitizer soaks (TSAN,
+  // ASan+UBSan) exercise concurrent recording from workers, the
+  // dispatcher, and submitters on every seed.
+  auto trace = std::make_shared<TraceRecorder>();
+  options.trace_sink = trace;
+  RuntimeMetrics metrics;
 
   const std::size_t jobs = 50 + rng.uniform_index(151);  // 50..200
   std::vector<std::unique_ptr<FactorGraph>> graphs;
@@ -136,7 +173,7 @@ void run_stress_iteration(std::uint64_t seed) {
       }
     }
 
-    const RuntimeMetrics metrics = runner.metrics();
+    metrics = runner.metrics();
     EXPECT_EQ(metrics.submitted, jobs);
     EXPECT_EQ(metrics.completed + metrics.cancelled + metrics.failed, jobs);
     EXPECT_EQ(metrics.queue_depth, 0u);
@@ -161,6 +198,10 @@ void run_stress_iteration(std::uint64_t seed) {
   // Handles stay valid and terminal after the runner is gone.
   for (const auto& handle : handles) {
     EXPECT_TRUE(is_terminal(handle.state()));
+  }
+
+  if (::testing::Test::HasFailure()) {
+    dump_failure_artifacts(seed, *trace, metrics);
   }
 }
 

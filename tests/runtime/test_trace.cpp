@@ -1,0 +1,397 @@
+// The trace layer's contracts: histogram percentile exactness, virtual-
+// clock determinism (byte-identical export run to run), Chrome trace-event
+// schema (parseable by the shared JSON parser, loadable in Perfetto), and
+// the bitwise no-op property — with no sink attached, dispatch order,
+// solve results, and RuntimeMetrics are identical to the traced run.
+//
+// Determinism technique (same as test_priority.cpp): a single-lane runner
+// on a virtual clock whose first job parks inside its progress callback;
+// everything submitted while it is parked queues up together, and after
+// release the execution order is exactly the dispatch policy's order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/prox_library.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/trace.hpp"
+#include "support/json.hpp"
+
+namespace paradmm::runtime {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.percentile(50.0), 0.0);
+  EXPECT_EQ(histogram.p99(), 0.0);
+}
+
+TEST(LatencyHistogram, BoundarySamplesAreExact) {
+  // Samples on a bucket boundary (kMinSeconds * 2^k) come back exactly:
+  // the promise that makes percentile assertions in other tests crisp.
+  for (int k = 0; k <= 20; ++k) {
+    LatencyHistogram histogram;
+    const double sample = LatencyHistogram::kMinSeconds * std::exp2(k);
+    histogram.record(sample);
+    EXPECT_DOUBLE_EQ(histogram.percentile(100.0), sample) << "k=" << k;
+    EXPECT_DOUBLE_EQ(histogram.p50(), sample) << "k=" << k;
+  }
+}
+
+TEST(LatencyHistogram, InBucketSamplesOverestimateByAtMostOneBucket) {
+  const double samples[] = {3.7e-6, 0.00042, 0.0371, 1.31, 47.0, 1234.5};
+  for (const double sample : samples) {
+    LatencyHistogram histogram;
+    histogram.record(sample);
+    const double reported = histogram.percentile(100.0);
+    EXPECT_GE(reported, sample);
+    EXPECT_LE(reported, sample * std::exp2(0.25) * (1.0 + 1e-12));
+  }
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotoneAndRankCorrect) {
+  LatencyHistogram histogram;
+  // 80 boundary samples from ~1 ms up: kMin * 2^(10 + j/4) walks the
+  // bucket ladder one sample per bucket (index 40 + j stays below the
+  // 127-bucket saturation point), so rank arithmetic is exact.
+  for (int j = 0; j < 80; ++j) {
+    histogram.record(LatencyHistogram::kMinSeconds * std::exp2(10 + j / 4.0));
+  }
+  EXPECT_EQ(histogram.count(), 80u);
+  EXPECT_LE(histogram.p50(), histogram.p95());
+  EXPECT_LE(histogram.p95(), histogram.p99());
+  // With one sample per bucket, rank r (= ceil(p/100 * 80)) lands on
+  // sample j = r - 1.
+  EXPECT_DOUBLE_EQ(histogram.p50(),
+                   LatencyHistogram::kMinSeconds * std::exp2(10 + 39 / 4.0));
+  EXPECT_DOUBLE_EQ(histogram.p95(),
+                   LatencyHistogram::kMinSeconds * std::exp2(10 + 75 / 4.0));
+  EXPECT_DOUBLE_EQ(histogram.p99(),
+                   LatencyHistogram::kMinSeconds * std::exp2(10 + 79 / 4.0));
+  EXPECT_DOUBLE_EQ(histogram.percentile(100.0),
+                   LatencyHistogram::kMinSeconds * std::exp2(10 + 79 / 4.0));
+}
+
+TEST(LatencyHistogram, SaturatesAtTheTopBucketForHugeSamples) {
+  LatencyHistogram histogram;
+  histogram.record(1e9);  // ~31 years: clamps to the last bucket
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_DOUBLE_EQ(
+      histogram.percentile(100.0),
+      LatencyHistogram::bucket_upper_bound(LatencyHistogram::kBuckets - 1));
+}
+
+TEST(LatencyHistogram, DropsGarbageSamples) {
+  LatencyHistogram histogram;
+  histogram.record(-1.0);
+  histogram.record(std::nan(""));
+  histogram.record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(histogram.count(), 0u);
+  histogram.record(0.5);
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder primitives
+
+TEST(TraceRecorder, RecordsAndSortsOnInjectedClock) {
+  TraceRecorder recorder;
+  auto vclock = std::make_shared<std::atomic<double>>(0.0);
+  recorder.set_clock([vclock] { return vclock->load(); });
+
+  vclock->store(2.0);
+  recorder.instant("late", "test");
+  vclock->store(1.0);
+  recorder.instant("early", "test");
+  recorder.complete("span", "test", 0.5, 1.5,
+                    {TraceRecorder::arg("width", std::size_t{4})});
+
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "span");    // start 0.5
+  EXPECT_EQ(events[1].name, "early");   // start 1.0
+  EXPECT_EQ(events[2].name, "late");    // start 2.0
+  EXPECT_DOUBLE_EQ(events[0].duration, 1.5);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].key, "width");
+  EXPECT_EQ(events[0].args[0].value, "4");
+}
+
+TEST(TraceRecorder, ThreadsGetStableTidsAndLoseNoEvents) {
+  TraceRecorder recorder;
+  auto vclock = std::make_shared<std::atomic<double>>(1.0);
+  recorder.set_clock([vclock] { return vclock->load(); });
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        recorder.instant("tick", "test");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  std::set<std::uint64_t> tids;
+  for (const auto& event : events) tids.insert(event.tid);
+  EXPECT_EQ(tids.size(), kThreads);
+  for (const std::uint64_t tid : tids) EXPECT_LT(tid, kThreads);
+}
+
+// ---------------------------------------------------------------------------
+// Export schema
+
+TEST(TraceExport, ChromeJsonRoundTripsThroughTheSharedParser) {
+  TraceRecorder recorder;
+  auto vclock = std::make_shared<std::atomic<double>>(0.25);
+  recorder.set_clock([vclock] { return vclock->load(); });
+
+  recorder.async_begin("job-0", "job", 7);
+  recorder.instant("submit", "job",
+                   {TraceRecorder::arg("priority", 3),
+                    TraceRecorder::arg("label", std::string("a\"b\\c"))});
+  recorder.complete("queued", "job", 0.25, 0.5,
+                    {TraceRecorder::arg("deadline", 12.5),
+                     TraceRecorder::arg("projected",
+                                        std::nan(""))});  // null, not NaN
+  vclock->store(0.75);
+  recorder.async_end("job-0", "job", 7);
+
+  std::ostringstream out;
+  recorder.export_chrome_trace(out);
+  const std::string text = out.str();
+
+  JsonParser parser(text, "trace JSON");
+  const JsonValue root = parser.parse();
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  const auto& events = root.object.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(events.array.size(), 4u);
+
+  for (const auto& event : events.array) {
+    ASSERT_EQ(event.kind, JsonValue::Kind::kObject);
+    // The fields Perfetto requires on every record.
+    for (const char* field : {"name", "cat", "ph", "ts", "pid", "tid"}) {
+      EXPECT_TRUE(event.object.count(field)) << "missing " << field;
+    }
+    const std::string& ph = event.object.at("ph").string;
+    if (ph == "X") {
+      EXPECT_TRUE(event.object.count("dur"));
+    }
+    if (ph == "b" || ph == "e") {
+      EXPECT_TRUE(event.object.count("id"));
+    }
+    if (ph == "i") {
+      EXPECT_EQ(event.object.at("s").string, "t");
+    }
+  }
+
+  // Timestamps are microseconds on the injected clock.
+  const auto& begin = events.array[0];
+  EXPECT_EQ(begin.object.at("ph").string, "b");
+  EXPECT_DOUBLE_EQ(begin.object.at("ts").number, 0.25 * 1e6);
+  const auto& queued = events.array[2];
+  EXPECT_DOUBLE_EQ(queued.object.at("dur").number, 0.5 * 1e6);
+  // A NaN arg renders as JSON null; an embedded quote/backslash survives.
+  const auto& submit = events.array[1];
+  EXPECT_EQ(submit.object.at("args").object.at("label").string, "a\"b\\c");
+  EXPECT_EQ(queued.object.at("args").object.at("projected").kind,
+            JsonValue::Kind::kNull);
+}
+
+// ---------------------------------------------------------------------------
+// Runner integration: deterministic traces and the bitwise no-op property
+
+FactorGraph make_tiny_graph(double target) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{target}), {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  return graph;
+}
+
+/// One run of the canonical parked-dispatcher scenario: a blocker job
+/// parks the single-lane dispatcher, three prioritized jobs queue behind
+/// it on a stepped virtual clock, release, drain.  Returns the exported
+/// trace and (via out-params) the observed start order and final z values.
+std::string traced_scenario_export(std::vector<std::size_t>* start_order,
+                                   std::vector<double>* z_values,
+                                   RuntimeMetrics* metrics_out,
+                                   bool with_sink) {
+  auto vclock = std::make_shared<std::atomic<double>>(0.0);
+  auto sink = std::make_shared<TraceRecorder>();
+  BatchRunnerOptions options;
+  options.threads = 1;
+  options.clock = [vclock] { return vclock->load(); };
+  if (with_sink) options.trace_sink = sink;
+
+  std::mutex order_mutex;
+  std::vector<std::size_t> order;
+  std::vector<char> recorded(3, 0);
+  std::vector<std::unique_ptr<FactorGraph>> graphs;
+  {
+    BatchRunner runner(options);
+
+    std::atomic<bool> parked{false};
+    std::atomic<bool> release{false};
+    FactorGraph blocker_graph = make_tiny_graph(0.0);
+    SolveJob blocker;
+    blocker.graph = &blocker_graph;
+    blocker.label = "blocker";
+    blocker.options.max_iterations = 20;
+    blocker.options.check_interval = 10;
+    blocker.progress = [&](const IterationStatus&) {
+      parked.store(true);
+      while (!release.load()) std::this_thread::yield();
+    };
+    runner.submit(std::move(blocker));
+    while (!parked.load()) std::this_thread::yield();
+
+    const int priorities[] = {0, 5, 2};
+    for (std::size_t i = 0; i < 3; ++i) {
+      graphs.push_back(std::make_unique<FactorGraph>(
+          make_tiny_graph(static_cast<double>(i + 1))));
+      vclock->store(static_cast<double>(i + 1));
+      SolveJob job;
+      job.graph = graphs.back().get();
+      job.label = "job-" + std::to_string(i);
+      job.priority = priorities[i];
+      job.deadline = i == 2 ? 30.0 : kNoDeadline;
+      job.options.max_iterations = 20;
+      job.options.check_interval = 10;
+      job.progress = [&, i](const IterationStatus&) {
+        std::lock_guard lock(order_mutex);
+        if (!recorded[i]) {
+          recorded[i] = 1;
+          order.push_back(i);
+        }
+      };
+      runner.submit(std::move(job));
+    }
+
+    vclock->store(4.0);
+    release.store(true);
+    runner.wait_all();
+    if (metrics_out != nullptr) *metrics_out = runner.metrics();
+  }
+
+  if (start_order != nullptr) *start_order = order;
+  if (z_values != nullptr) {
+    z_values->clear();
+    for (const auto& graph : graphs) {
+      for (const double z : graph->z_values()) z_values->push_back(z);
+    }
+  }
+  std::ostringstream out;
+  sink->export_chrome_trace(out);
+  return out.str();
+}
+
+TEST(TraceExport, VirtualClockRunsExportByteIdenticalTraces) {
+  std::vector<std::size_t> order_a;
+  std::vector<std::size_t> order_b;
+  const std::string run_a = traced_scenario_export(&order_a, nullptr, nullptr,
+                                                   /*with_sink=*/true);
+  const std::string run_b = traced_scenario_export(&order_b, nullptr, nullptr,
+                                                   /*with_sink=*/true);
+  // Priority order: job-1 (5), job-2 (2), job-0 (0).
+  const std::vector<std::size_t> expected{1, 2, 0};
+  EXPECT_EQ(order_a, expected);
+  EXPECT_EQ(order_b, expected);
+  EXPECT_EQ(run_a, run_b) << "trace export is not deterministic";
+  EXPECT_NE(run_a.find("\"submit\""), std::string::npos);
+  EXPECT_NE(run_a.find("\"queued\""), std::string::npos);
+  EXPECT_NE(run_a.find("\"residuals\""), std::string::npos);
+  EXPECT_NE(run_a.find("\"finish\""), std::string::npos);
+}
+
+TEST(TraceExport, RunnerTraceParsesAndPairsEveryAsyncSpan) {
+  const std::string text = traced_scenario_export(nullptr, nullptr, nullptr,
+                                                  /*with_sink=*/true);
+  JsonParser parser(text, "trace JSON");
+  const JsonValue root = parser.parse();
+  const auto& events = root.object.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+  ASSERT_FALSE(events.array.empty());
+
+  // Every job's async span must pair begin/end on (cat, name, id) —
+  // unpaired spans render as broken bars in Perfetto.
+  std::map<std::string, int> balance;
+  for (const auto& event : events.array) {
+    const std::string& ph = event.object.at("ph").string;
+    if (ph != "b" && ph != "e") continue;
+    std::ostringstream key;
+    key << event.object.at("cat").string << '/'
+        << event.object.at("name").string << '/'
+        << event.object.at("id").number;
+    balance[key.str()] += ph == "b" ? 1 : -1;
+  }
+  EXPECT_EQ(balance.size(), 4u);  // blocker + three jobs
+  for (const auto& [key, count] : balance) {
+    EXPECT_EQ(count, 0) << "unpaired async span: " << key;
+  }
+}
+
+TEST(TraceNoOp, DetachedSinkLeavesRunBitwiseIdentical) {
+  std::vector<std::size_t> order_traced;
+  std::vector<std::size_t> order_plain;
+  std::vector<double> z_traced;
+  std::vector<double> z_plain;
+  RuntimeMetrics metrics_traced;
+  RuntimeMetrics metrics_plain;
+  const std::string traced = traced_scenario_export(
+      &order_traced, &z_traced, &metrics_traced, /*with_sink=*/true);
+  const std::string plain = traced_scenario_export(
+      &order_plain, &z_plain, &metrics_plain, /*with_sink=*/false);
+
+  // The untraced run records nothing...
+  EXPECT_EQ(plain, "{\"traceEvents\":[\n]}\n");
+  EXPECT_GT(traced.size(), plain.size());
+
+  // ...and behaves identically: same dispatch order, bitwise-equal solver
+  // trajectories, equal metrics counters and latency tallies.
+  EXPECT_EQ(order_traced, order_plain);
+  ASSERT_EQ(z_traced.size(), z_plain.size());
+  for (std::size_t i = 0; i < z_traced.size(); ++i) {
+    EXPECT_EQ(z_traced[i], z_plain[i]) << "z diverged at " << i;
+  }
+  EXPECT_EQ(metrics_traced.submitted, metrics_plain.submitted);
+  EXPECT_EQ(metrics_traced.completed, metrics_plain.completed);
+  EXPECT_EQ(metrics_traced.cancelled, metrics_plain.cancelled);
+  EXPECT_EQ(metrics_traced.failed, metrics_plain.failed);
+  EXPECT_EQ(metrics_traced.dispatcher_preemptions,
+            metrics_plain.dispatcher_preemptions);
+  EXPECT_EQ(metrics_traced.queue_wait.count(),
+            metrics_plain.queue_wait.count());
+  EXPECT_EQ(metrics_traced.solve_wall.count(),
+            metrics_plain.solve_wall.count());
+  EXPECT_EQ(metrics_traced.end_to_end.count(),
+            metrics_plain.end_to_end.count());
+  // Queue-wait and end-to-end run on the virtual clock, so the percentile
+  // values themselves are deterministic and must agree too.
+  EXPECT_DOUBLE_EQ(metrics_traced.queue_wait.p99(),
+                   metrics_plain.queue_wait.p99());
+  EXPECT_DOUBLE_EQ(metrics_traced.end_to_end.p99(),
+                   metrics_plain.end_to_end.p99());
+}
+
+}  // namespace
+}  // namespace paradmm::runtime

@@ -18,6 +18,7 @@
 #include "devsim/cost_model.hpp"
 #include "devsim/cpu_model.hpp"
 #include "runtime/calibration.hpp"
+#include "runtime/trace.hpp"
 #include "support/cli.hpp"
 
 using namespace paradmm;
@@ -53,6 +54,9 @@ int main(int argc, char** argv) {
   flags.add_int("warmup", 4, "untimed warmup iterations per sample");
   flags.add_string("out", "host_profile.json", "output profile path");
   flags.add_string("host", "", "host tag stored in the profile");
+  flags.add_string("trace", "",
+                   "write a Chrome trace of the measurement ladder here "
+                   "(one span per problem/width sample; empty = off)");
   flags.add_bool("devsim", false,
                  "fit the devsim Opteron predictions instead of measuring "
                  "(produces the synthetic committed-default profile)");
@@ -73,10 +77,18 @@ int main(int argc, char** argv) {
                    "t";
   }
 
+  const std::string trace_path = flags.get_string("trace");
+  TraceRecorder trace;
+  if (!trace_path.empty()) options.trace = &trace;
+
   const HostCalibrator calibrator(options);
   const CalibrationProfile profile = calibrator.calibrate();
   const std::string out = flags.get_string("out");
   profile.save(out);
+  if (!trace_path.empty()) {
+    trace.write_chrome_trace(trace_path);
+    std::printf("wrote measurement trace %s\n", trace_path.c_str());
+  }
 
   std::printf("calibrated %zu-lane profile (%s):\n", profile.pool_threads,
               profile.host.c_str());

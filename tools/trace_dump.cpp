@@ -1,0 +1,159 @@
+// Offline summarizer for Chrome trace-event JSON written by the runtime's
+// TraceRecorder (BatchRunnerOptions::trace_sink, bench --trace,
+// calibrate_host --trace).  The trace file itself loads in Perfetto /
+// chrome://tracing; this tool answers the questions a timeline makes you
+// scroll for:
+//
+//   * per-phase width occupancy — how many seconds each ADMM phase spent
+//     forked at each width (the live mixed-workload version of the paper's
+//     per-phase scaling tables),
+//   * decision counts — every governor shrink/grow/boost, admission
+//     verdict, pool steal/help, and job lifecycle event by name,
+//   * the top-K tail jobs by end-to-end latency, with queue wait and
+//     outcome, straight from the "finish" events.
+//
+//   ./trace_dump --in trace.json --top 10
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+#include "support/json.hpp"
+
+using namespace paradmm;
+
+namespace {
+
+struct FinishRecord {
+  std::string job;
+  std::string outcome;
+  double e2e = 0.0;
+  double queue_wait = -1.0;  // negative: unmeasured (never ran)
+};
+
+std::string load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "trace_dump: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+const JsonValue* find(const JsonValue& object, const std::string& key) {
+  if (object.kind != JsonValue::Kind::kObject) return nullptr;
+  const auto it = object.object.find(key);
+  return it == object.object.end() ? nullptr : &it->second;
+}
+
+double number_or(const JsonValue* value, double fallback) {
+  return value != nullptr && value->kind == JsonValue::Kind::kNumber
+             ? value->number
+             : fallback;
+}
+
+std::string string_or(const JsonValue* value, const std::string& fallback) {
+  return value != nullptr && value->kind == JsonValue::Kind::kString
+             ? value->string
+             : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("trace_dump");
+  flags.add_string("in", "trace.json", "Chrome trace-event JSON to summarize");
+  flags.add_int("top", 10, "tail jobs to list (by end-to-end latency)");
+  flags.parse(argc, argv);
+
+  const std::string text = load_file(flags.get_string("in"));
+  JsonParser parser(text, "trace JSON");
+  const JsonValue root = parser.parse();
+  const JsonValue* events = find(root, "traceEvents");
+  require(events != nullptr && events->kind == JsonValue::Kind::kArray,
+          "trace_dump: input has no traceEvents array");
+
+  // (phase name, width) -> accumulated seconds, from "phase"-category
+  // complete spans; (category, name) -> count for every event.
+  std::map<std::string, std::map<long long, double>> occupancy;
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  std::vector<FinishRecord> finishes;
+
+  for (const JsonValue& event : events->array) {
+    const std::string name = string_or(find(event, "name"), "?");
+    const std::string category = string_or(find(event, "cat"), "?");
+    ++counts[{category, name}];
+
+    if (category == "phase" &&
+        string_or(find(event, "ph"), "") == "X") {
+      const JsonValue* args = find(event, "args");
+      const double dur_us = number_or(find(event, "dur"), 0.0);
+      const long long width = static_cast<long long>(
+          number_or(args != nullptr ? find(*args, "width") : nullptr, 0.0));
+      occupancy[name][width] += dur_us / 1e6;
+    }
+
+    if (category == "job" && name == "finish") {
+      const JsonValue* args = find(event, "args");
+      if (args == nullptr) continue;
+      FinishRecord record;
+      record.job = string_or(find(*args, "job"), "?");
+      record.outcome = string_or(find(*args, "outcome"), "?");
+      record.e2e = number_or(find(*args, "e2e"), 0.0);
+      record.queue_wait = number_or(find(*args, "queue_wait"), -1.0);
+      finishes.push_back(std::move(record));
+    }
+  }
+
+  std::printf("%zu events in %s\n\n", events->array.size(),
+              flags.get_string("in").c_str());
+
+  if (!occupancy.empty()) {
+    std::printf("phase occupancy (seconds by fork width):\n");
+    for (const auto& [phase, widths] : occupancy) {
+      std::printf("  %s:", phase.c_str());
+      for (const auto& [width, seconds] : widths) {
+        std::printf("  w%lld %s", width, format_duration(seconds).c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("event counts:\n");
+  for (const auto& [key, count] : counts) {
+    std::printf("  %s %s\n",
+                pad_right(key.first + "/" + key.second, 24).c_str(),
+                format_thousands(static_cast<long long>(count)).c_str());
+  }
+
+  if (!finishes.empty()) {
+    const std::size_t top =
+        std::min(finishes.size(),
+                 static_cast<std::size_t>(std::max(flags.get_int("top"),
+                                                   static_cast<long long>(0))));
+    std::partial_sort(finishes.begin(), finishes.begin() + top, finishes.end(),
+                      [](const FinishRecord& a, const FinishRecord& b) {
+                        return a.e2e > b.e2e;
+                      });
+    std::printf("\ntop %zu jobs by end-to-end latency:\n", top);
+    for (std::size_t i = 0; i < top; ++i) {
+      const FinishRecord& record = finishes[i];
+      std::printf("  %s %s e2e %s",
+                  pad_right(record.job, 20).c_str(),
+                  pad_right(record.outcome, 10).c_str(),
+                  format_duration(record.e2e).c_str());
+      if (record.queue_wait >= 0.0) {
+        std::printf("  queue %s", format_duration(record.queue_wait).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
