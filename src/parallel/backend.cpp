@@ -58,6 +58,13 @@ class ForkJoinBackend final : public ExecutionBackend {
 
 // Paper's Fig. 4 "second approach": one persistent parallel region for the
 // whole batch of iterations; threads meet at a barrier after every phase.
+//
+// Synchronization discipline: this backend holds no mutex at all — the
+// std::barrier is the only primitive, phase tasks own disjoint output
+// slices, and rank 0 is the sole writer of `timings`.  Barriers are not
+// mutual-exclusion capabilities, so they are deliberately outside the
+// paradmm::Mutex / lockdep regime (see support/lockdep.hpp); there is no
+// acquisition order to validate because nothing here nests.
 class PersistentBackend final : public ExecutionBackend {
  public:
   explicit PersistentBackend(std::size_t threads) : threads_(threads) {

@@ -105,7 +105,10 @@ class ThreadPool;
 /// given the planned (maximum) width and the width of the previous fork,
 /// returns the width for the next one.  Must be thread-safe (it runs on
 /// whichever thread the solve landed on) and cheap (five calls per ADMM
-/// iteration).
+/// iteration).  It is called with no paradmm lock held and may take leaf
+/// locks of its own (the runtime's WidthGovernor does — see the lock
+/// hierarchy in ROADMAP.md); it must not acquire the pool's or runner's
+/// mutex, directly or indirectly.
 using WidthProvider =
     std::function<std::size_t(std::size_t planned, std::size_t current)>;
 

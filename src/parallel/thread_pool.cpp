@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   wake_workers_.notify_all();
@@ -82,7 +82,7 @@ void ThreadPool::parallel_for_chunks(
   group.parts = parts;
   group.unfinished = parts;
 
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   groups_.push_back(&group);
   lock.unlock();
   // Wake only as many workers as the group can use: a width-2 fork on a
@@ -101,26 +101,32 @@ void ThreadPool::parallel_for_chunks(
   // helps — which is why forking from inside a submitted task cannot
   // deadlock.
   while (group.next_rank < group.parts) {
-    run_group_chunk(group, group.next_rank++, lock);
+    const std::size_t rank = group.next_rank++;
+    lock.unlock();
+    std::exception_ptr error = run_chunk(group, rank);
+    lock.lock();
+    finish_chunk_locked(group, std::move(error));
   }
-  group.done.wait(lock, [&group] { return group.unfinished == 0; });
+  while (group.unfinished != 0) group.done.wait(lock);
   groups_.erase(std::find(groups_.begin(), groups_.end(), &group));
   lock.unlock();
 
   if (group.error) std::rethrow_exception(group.error);
 }
 
-void ThreadPool::run_group_chunk(ForkGroup& group, std::size_t rank,
-                                 std::unique_lock<std::mutex>& lock) {
-  lock.unlock();
+std::exception_ptr ThreadPool::run_chunk(const ForkGroup& group,
+                                         std::size_t rank) {
   const auto [begin, end] = static_chunk(group.count, rank, group.parts);
-  std::exception_ptr error;
   try {
     (*group.body)(begin, end);
   } catch (...) {
-    error = std::current_exception();
+    return std::current_exception();
   }
-  lock.lock();
+  return nullptr;
+}
+
+void ThreadPool::finish_chunk_locked(ForkGroup& group,
+                                     std::exception_ptr error) {
   if (error && !group.error) group.error = std::move(error);
   if (--group.unfinished == 0) group.done.notify_one();
 }
@@ -140,7 +146,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const std::size_t home = current_worker_pool == this
                                  ? current_worker_rank
                                  : next_queue_++ % queues_.size();
@@ -178,7 +184,7 @@ bool ThreadPool::pop_task_locked(std::size_t home, std::function<void()>& task,
 
 void ThreadPool::finish_task() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     --tasks_in_flight_;
     if (tasks_in_flight_ > 0) return;
   }
@@ -198,7 +204,7 @@ bool ThreadPool::pop_and_run_task(bool only_if_backlogged) {
   std::size_t source = 0;
   std::shared_ptr<const PoolEventHook> hook;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (queued_count_ == 0) return false;
     if (only_if_backlogged && !backlogged_locked()) {
       return false;  // an idle worker takes it
@@ -230,7 +236,7 @@ bool ThreadPool::try_run_one_backlogged_task() {
 void ThreadPool::help_until(const std::function<bool()>& stop,
                             bool serve_tasks) {
   require(static_cast<bool>(stop), "help_until requires a stop predicate");
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   for (;;) {
     if (stop() || shutting_down_) return;
 
@@ -239,7 +245,10 @@ void ThreadPool::help_until(const std::function<bool()>& stop,
     if (ForkGroup* group = claimable_group_locked()) {
       const std::size_t rank = group->next_rank++;
       if (event_hook_) (*event_hook_)("help-chunk", rank, group->parts);
-      run_group_chunk(*group, rank, lock);
+      lock.unlock();
+      std::exception_ptr error = run_chunk(*group, rank);
+      lock.lock();
+      finish_chunk_locked(*group, std::move(error));
       continue;
     }
 
@@ -280,7 +289,7 @@ void ThreadPool::help_until(const std::function<bool()>& stop,
 }
 
 void ThreadPool::set_event_hook(PoolEventHook hook) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   event_hook_ =
       hook ? std::make_shared<const PoolEventHook>(std::move(hook)) : nullptr;
 }
@@ -294,35 +303,39 @@ void ThreadPool::notify_helpers() {
   // false is either still holding the mutex (it will see the flag on its
   // next loop) or already waiting — acquiring the mutex here orders this
   // notify after its wait began, so the wakeup cannot be lost.
-  { std::lock_guard lock(mutex_); }
+  { MutexLock lock(mutex_); }
   wake_workers_.notify_all();
 }
 
 void ThreadPool::wait_tasks_idle() {
-  std::unique_lock lock(mutex_);
-  tasks_idle_.wait(lock, [this] { return tasks_in_flight_ == 0; });
+  UniqueLock lock(mutex_);
+  while (tasks_in_flight_ != 0) tasks_idle_.wait(lock);
 }
 
 std::size_t ThreadPool::queued_tasks() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return queued_count_;
 }
 
 void ThreadPool::worker_loop(std::size_t rank) {
   current_worker_pool = this;
   current_worker_rank = rank;
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   for (;;) {
-    wake_workers_.wait(lock, [&] {
-      return shutting_down_ || claimable_group_locked() != nullptr ||
-             queued_count_ > 0;
-    });
+    while (!(shutting_down_ || claimable_group_locked() != nullptr ||
+             queued_count_ > 0)) {
+      wake_workers_.wait(lock);
+    }
     if (shutting_down_) return;
 
     if (ForkGroup* group = claimable_group_locked()) {
       // Fork chunks outrank queued tasks: a fork in flight is
       // latency-sensitive (its caller blocks at the phase barrier).
-      run_group_chunk(*group, group->next_rank++, lock);
+      const std::size_t chunk = group->next_rank++;
+      lock.unlock();
+      std::exception_ptr error = run_chunk(*group, chunk);
+      lock.lock();
+      finish_chunk_locked(*group, std::move(error));
       continue;
     }
 

@@ -29,18 +29,26 @@
 //    Fork-group chunks outrank queued tasks (a fork in flight has a caller
 //    blocked at the phase barrier); a worker already inside a task
 //    finishes it before helping a fork.
+//
+// Locking: everything mutable hangs off the single pool mutex_ (a
+// paradmm::Mutex, so the guarded-by contracts below are compiler-checked
+// under clang -Wthread-safety and lock order is validated in
+// PARADMM_LOCKDEP builds).  The pool mutex is held while emitting the
+// "help-chunk" hook, so in the sanctioned lock hierarchy (ROADMAP.md) it
+// sits above the trace recorder's locks and below the batch runner's.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "support/lockdep.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace paradmm {
 
@@ -90,18 +98,22 @@ class ThreadPool {
   /// still completes and the first exception is rethrown to the caller
   /// (remaining chunks run; later exceptions are dropped).
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body)
+      PARADMM_EXCLUDES(mutex_);
   void parallel_for(std::size_t count, std::size_t width,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body)
+      PARADMM_EXCLUDES(mutex_);
 
   /// Invokes body(begin, end) on each participant's chunk instead of per
   /// index — lets hot loops avoid a std::function call per element.
   void parallel_for_chunks(
       std::size_t count,
-      const std::function<void(std::size_t, std::size_t)>& body);
+      const std::function<void(std::size_t, std::size_t)>& body)
+      PARADMM_EXCLUDES(mutex_);
   void parallel_for_chunks(
       std::size_t count, std::size_t width,
-      const std::function<void(std::size_t, std::size_t)>& body);
+      const std::function<void(std::size_t, std::size_t)>& body)
+      PARADMM_EXCLUDES(mutex_);
 
   /// Static chunk [begin, end) for participant `rank` of `parts` over
   /// `count` items; mirrors the AssignThreads helper in the paper's Fig. 4.
@@ -121,19 +133,19 @@ class ThreadPool {
   /// ran it (fire-and-forget has no caller to receive it); a helper thread
   /// running it via try_run_one_task gets it rethrown.  Tasks that care
   /// must catch and record their own errors.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) PARADMM_EXCLUDES(mutex_);
 
   /// Pops one queued task from any run queue (if any) and runs it on the
   /// calling thread.  Returns whether a task ran.  Lets an otherwise-idle
   /// external thread (e.g. the batch runtime's dispatcher) add a
   /// concurrent lane instead of sleeping while work is queued.
-  bool try_run_one_task();
+  bool try_run_one_task() PARADMM_EXCLUDES(mutex_);
 
   /// Like try_run_one_task, but only when the queues hold more tasks than
   /// the workers not currently running one could absorb — so a helping
   /// thread that must stay responsive (the dispatcher) never steals work
   /// an idle worker would have picked up anyway.
-  bool try_run_one_backlogged_task();
+  bool try_run_one_backlogged_task() PARADMM_EXCLUDES(mutex_);
 
   /// Lends the calling thread to the pool until `stop()` returns true:
   /// fork-group chunks are served first (a fork in flight has its caller
@@ -156,12 +168,13 @@ class ThreadPool {
   /// notify_helpers(); flipping it alone leaves the helper asleep.
   /// Exceptions escaping a task run here are dropped (fire-and-forget,
   /// same contract as worker-run tasks).
-  void help_until(const std::function<bool()>& stop, bool serve_tasks = true);
+  void help_until(const std::function<bool()>& stop, bool serve_tasks = true)
+      PARADMM_EXCLUDES(mutex_);
 
   /// Wakes threads blocked in help_until so they re-evaluate their stop
   /// condition (workers woken spuriously re-check their own predicate and
   /// sleep again).
-  void notify_helpers();
+  void notify_helpers() PARADMM_EXCLUDES(mutex_);
 
   /// Installs (or clears, with an empty function) the scheduling-event
   /// hook.  Written under the pool mutex and read under it by every
@@ -169,19 +182,24 @@ class ThreadPool {
   /// batch runtime installs its trace sink's hook at construction, before
   /// any job can run.  With no hook installed the emission sites are a
   /// null-check — scheduling behavior is identical.
-  void set_event_hook(PoolEventHook hook);
+  void set_event_hook(PoolEventHook hook) PARADMM_EXCLUDES(mutex_);
 
   /// Blocks until no submitted task is queued or running.
-  void wait_tasks_idle();
+  void wait_tasks_idle() PARADMM_EXCLUDES(mutex_);
 
   /// Tasks submitted but not yet picked up by a worker (all queues).
-  std::size_t queued_tasks() const;
+  std::size_t queued_tasks() const PARADMM_EXCLUDES(mutex_);
 
  private:
   // One in-flight width-bounded fork: `parts` chunks claimed one at a time
   // under the pool mutex by workers and by the forking thread itself.
   // Stack-allocated in parallel_for_chunks; lives in `groups_` until every
-  // chunk has finished.
+  // chunk has finished.  The mutable fields (next_rank, unfinished, error)
+  // are guarded by the owning pool's mutex_ — not expressible as a
+  // GUARDED_BY from inside this struct, so the contract lives on the
+  // accessors: chunks are claimed and finished only inside REQUIRES(mutex_)
+  // code, while the immutable descriptor (body, count, parts) is read
+  // lock-free by run_chunk.
   struct ForkGroup {
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::size_t count = 0;
@@ -191,46 +209,60 @@ class ThreadPool {
     // First exception thrown by any chunk; rethrown to the forking thread
     // after the join (later ones are dropped).
     std::exception_ptr error;
-    std::condition_variable done;  // signaled when unfinished hits zero
+    CondVar done;  // signaled when unfinished hits zero
   };
 
-  void worker_loop(std::size_t rank);
-  // Runs chunk `rank` of `group` outside the lock, then re-locks to record
-  // completion (and the first error).  `lock` is held on entry and exit.
-  void run_group_chunk(ForkGroup& group, std::size_t rank,
-                       std::unique_lock<std::mutex>& lock);
+  void worker_loop(std::size_t rank) PARADMM_EXCLUDES(mutex_);
+  // Runs chunk `rank` of `group` with no pool lock held (the chunk was
+  // claimed under the lock; `unfinished` keeps the group alive until
+  // finish_chunk_locked records the completion).  Returns the exception
+  // the body threw, if any.
+  static std::exception_ptr run_chunk(const ForkGroup& group,
+                                      std::size_t rank);
+  // Records a completed chunk: first error wins, last chunk signals the
+  // forking thread.
+  void finish_chunk_locked(ForkGroup& group, std::exception_ptr error)
+      PARADMM_REQUIRES(mutex_);
   // First group with an unclaimed chunk, in fork order (FIFO).
-  ForkGroup* claimable_group_locked();
+  ForkGroup* claimable_group_locked() PARADMM_REQUIRES(mutex_);
   // Pops a task: own queue front first (for workers), then steals from the
   // other queues.  `home` is the preferred queue (workers pass their rank;
   // external helpers pass the rotating steal cursor).  `source` (optional)
   // receives the queue index the task came from.
   bool pop_task_locked(std::size_t home, std::function<void()>& task,
-                       std::size_t* source = nullptr);
+                       std::size_t* source = nullptr)
+      PARADMM_REQUIRES(mutex_);
   // Copy of the installed hook (mutex_ must be held); empty when none.
-  std::shared_ptr<const PoolEventHook> event_hook_locked() const;
-  void finish_task();
-  bool pop_and_run_task(bool only_if_backlogged);
+  std::shared_ptr<const PoolEventHook> event_hook_locked() const
+      PARADMM_REQUIRES(mutex_);
+  void finish_task() PARADMM_EXCLUDES(mutex_);
+  bool pop_and_run_task(bool only_if_backlogged) PARADMM_EXCLUDES(mutex_);
   // More queued tasks than workers-without-a-task could absorb: a helper
   // taking one cannot be stealing work an idle worker would have run.
-  bool backlogged_locked() const;
+  bool backlogged_locked() const PARADMM_REQUIRES(mutex_);
 
   std::vector<std::thread> workers_;
-  mutable std::mutex mutex_;
-  std::condition_variable wake_workers_;
-  std::condition_variable tasks_idle_;
-  std::vector<ForkGroup*> groups_;  // active forks, oldest first
+  mutable Mutex mutex_{"ThreadPool"};
+  CondVar wake_workers_;
+  CondVar tasks_idle_;
+  // Active forks, oldest first.
+  std::vector<ForkGroup*> groups_ PARADMM_GUARDED_BY(mutex_);
   // Run queues: one per worker.  With zero workers there are no queues and
   // submit() runs tasks inline.
-  std::vector<std::deque<std::function<void()>>> queues_;
-  std::size_t next_queue_ = 0;       // round-robin cursor for external submits
-  std::size_t steal_cursor_ = 0;     // rotating start for external helpers
-  std::size_t queued_count_ = 0;     // sum of queue sizes (O(1) idle check)
-  std::size_t tasks_in_flight_ = 0;  // queued + currently running
-  bool shutting_down_ = false;
-  // Guarded by mutex_; shared_ptr so an emission site can copy it under
-  // the lock and invoke outside without racing a concurrent reinstall.
-  std::shared_ptr<const PoolEventHook> event_hook_;
+  std::vector<std::deque<std::function<void()>>> queues_
+      PARADMM_GUARDED_BY(mutex_);
+  // Round-robin cursor for external submits.
+  std::size_t next_queue_ PARADMM_GUARDED_BY(mutex_) = 0;
+  // Rotating start for external helpers.
+  std::size_t steal_cursor_ PARADMM_GUARDED_BY(mutex_) = 0;
+  // Sum of queue sizes (O(1) idle check).
+  std::size_t queued_count_ PARADMM_GUARDED_BY(mutex_) = 0;
+  // Queued + currently running.
+  std::size_t tasks_in_flight_ PARADMM_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ PARADMM_GUARDED_BY(mutex_) = false;
+  // shared_ptr so an emission site can copy it under the lock and invoke
+  // outside without racing a concurrent reinstall.
+  std::shared_ptr<const PoolEventHook> event_hook_ PARADMM_GUARDED_BY(mutex_);
 };
 
 }  // namespace paradmm

@@ -154,7 +154,7 @@ BatchRunner::BatchRunner(BatchRunnerOptions options)
 
 BatchRunner::~BatchRunner() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   dispatcher_wake_.store(true, std::memory_order_release);
@@ -189,7 +189,7 @@ JobHandle BatchRunner::submit(SolveJob job) {
 
   std::size_t depth = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     require(!stopping_, "BatchRunner is shutting down");
     control->sequence = next_sequence_++;
     if (admission_ != AdmissionPolicy::kAccept &&
@@ -337,7 +337,7 @@ void BatchRunner::reject(const std::shared_ptr<detail::JobControl>& control,
     trace_->async_end(job_span_name(*control), "job", control->sequence);
   }
   {
-    std::lock_guard lock(control->mutex);
+    MutexLock lock(control->mutex);
     control->finished_at = now;
     control->state = JobState::kRejected;
   }
@@ -368,14 +368,14 @@ SolveJob BatchRunner::make_job(const std::string& problem,
 }
 
 void BatchRunner::wait_all() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return unfinished_ == 0; });
+  UniqueLock lock(mutex_);
+  while (unfinished_ != 0) all_done_.wait(lock);
 }
 
 RuntimeMetrics BatchRunner::metrics() const {
   std::size_t depth = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     depth = queue_.size();
   }
   return collector_.snapshot(since_start_.seconds(), pool_.concurrency(),
@@ -383,7 +383,7 @@ RuntimeMetrics BatchRunner::metrics() const {
 }
 
 bool BatchRunner::dispatch_pressure(const detail::JobControl& running) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (queue_.empty()) return false;
   // A free lane means the queued job could be dispatched immediately if
   // the dispatcher were not pinned inside this solve.
@@ -398,7 +398,7 @@ void BatchRunner::dispatcher_loop() {
   for (;;) {
     std::shared_ptr<detail::JobControl> job;
     {
-      std::unique_lock lock(mutex_);
+      UniqueLock lock(mutex_);
       const bool lanes_full = inflight_ >= pool_.concurrency();
       const bool queue_drained = queue_.empty();
       if (queue_drained || lanes_full) {
@@ -460,7 +460,7 @@ void BatchRunner::dispatcher_loop() {
                  /*ran=*/true, /*was_running=*/false);
       } else {
         {
-          std::lock_guard job_lock(job->mutex);
+          MutexLock job_lock(job->mutex);
           job->plan = JobPlan{};
           job->planned = true;
         }
@@ -478,7 +478,7 @@ void BatchRunner::dispatcher_loop() {
     // mid-solve for no reason.
     bool already_planned = false;
     {
-      std::lock_guard job_lock(job->mutex);
+      MutexLock job_lock(job->mutex);
       already_planned = job->planned;
     }
     if (!already_planned) {
@@ -492,7 +492,7 @@ void BatchRunner::dispatcher_loop() {
         plan_error = "unknown exception from Scheduler::plan";
       }
       {
-        std::lock_guard job_lock(job->mutex);
+        MutexLock job_lock(job->mutex);
         job->plan = plan;
         job->planned = true;
       }
@@ -518,8 +518,14 @@ void BatchRunner::dispatcher_loop() {
 
 void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
   const bool resumed = job->started;
+  // The plan is copied out under the job lock — the scheduler wrote it
+  // under the same lock on the dispatcher — and the local is the only
+  // thing this slice reads from it afterwards: every later use (fork
+  // width, gauges, trace args, the requeue width) would otherwise touch
+  // the guarded field from an unlocked context.
+  JobPlan plan;
   {
-    std::unique_lock lock(job->mutex);
+    UniqueLock lock(job->mutex);
     if (job->cancel_requested.load(std::memory_order_relaxed)) {
       lock.unlock();
       governor_.job_done_waiting();
@@ -534,6 +540,7 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
       return;
     }
     job->state = JobState::kRunning;
+    plan = job->plan;
   }
   // Off the waiting set the moment a lane is actually running it: running
   // solves are capacity in use, not backlog for the governor to relieve.
@@ -545,7 +552,7 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
   if (std::isnan(job->first_start_time)) job->first_start_time = clock_();
   // Every slice announces itself to the running gauge; the matching
   // release is on_preempt (yield) or finalize (terminal).
-  collector_.on_start(job->plan.intra_threads);
+  collector_.on_start(plan.intra_threads);
   job->changed.notify_all();
 
   // The preemption bound on the dispatcher lane: only a solve running *on
@@ -599,7 +606,7 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
         trace->instant("residuals", "solver", std::move(args));
       };
     }
-    if (job->plan.fine_grained()) {
+    if (plan.fine_grained()) {
       // Width-governed borrowed-pool backend: the solve's five phases fork
       // over at most intra_threads lanes, renegotiated against the shared
       // governor at every phase barrier (shrink under backlog, grow back
@@ -640,7 +647,7 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
         };
       }
       const auto backend = make_governed_pool_backend(
-          pool_, job->plan.intra_threads, governor_, std::move(info));
+          pool_, plan.intra_threads, governor_, std::move(info));
       AdmmSolver solver(*job->graph, options, *backend);
       report = solver.run(callback);
     } else {
@@ -679,7 +686,7 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
     // One span per execution slice; a preempted solve shows several, with
     // "preempt" markers and "queued" spans between them.
     auto args = job_args(*job);
-    args.push_back(TraceRecorder::arg("width", job->plan.intra_threads));
+    args.push_back(TraceRecorder::arg("width", plan.intra_threads));
     args.push_back(TraceRecorder::arg("iterations", report.iterations));
     args.push_back(TraceRecorder::arg(
         "outcome", failed                                ? "failed"
@@ -695,7 +702,7 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
     // Keep the slice's report: if the parked job is cancelled before it
     // resumes, it still reports the residuals it actually reached.
     job->last_report = std::move(report);
-    requeue(job);
+    requeue(job, plan.intra_threads);
     return;
   }
 
@@ -709,7 +716,8 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
            std::move(error), /*ran=*/true, /*was_running=*/true);
 }
 
-void BatchRunner::requeue(const std::shared_ptr<detail::JobControl>& job) {
+void BatchRunner::requeue(const std::shared_ptr<detail::JobControl>& job,
+                          std::size_t width) {
   // Back into the ready queue under its original (priority, deadline,
   // sequence) key: the preempted solve keeps its place in its priority
   // class — and its accrued age — so yielding can never starve it.  It is
@@ -718,20 +726,20 @@ void BatchRunner::requeue(const std::shared_ptr<detail::JobControl>& job) {
   // dispatcher yields, so it returns from its helping stint right after
   // this and re-enters the dispatch loop; no pool notify needed.
   {
-    std::lock_guard job_lock(job->mutex);
+    MutexLock job_lock(job->mutex);
     job->state = JobState::kQueued;
   }
   job->changed.notify_all();
-  collector_.on_preempt(job->plan.intra_threads);
+  collector_.on_preempt(width);
   if (trace_ != nullptr) {
     auto args = job_args(*job);
-    args.push_back(TraceRecorder::arg("width", job->plan.intra_threads));
+    args.push_back(TraceRecorder::arg("width", width));
     trace_->instant("preempt", "job", std::move(args));
   }
   const double requeued_at = clock_();
   std::size_t depth = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     governor_.job_waiting();
     job->queued_since = requeued_at;  // next "queued" span starts here
     queue_.insert(job);
@@ -746,12 +754,20 @@ void BatchRunner::finalize(const std::shared_ptr<detail::JobControl>& job,
                            JobState outcome, SolverReport report,
                            std::string error, bool ran, bool was_running) {
   const double finished_at = clock_();
+  // The planned width, read under the job lock: a job finalized off the
+  // dispatcher (cancelled while parked after a preemption) reaches here
+  // with no slice-local copy of the plan in scope.
+  std::size_t threads_used = 0;
+  {
+    MutexLock job_lock(job->mutex);
+    threads_used = job->plan.intra_threads;
+  }
   // Record metrics before the state flips to terminal, so a waiter woken by
   // wait() immediately observes this job in metrics().
   JobFinish finish;
   finish.outcome = outcome;
   finish.wall_seconds = job->wall_so_far;
-  finish.threads_used = job->plan.intra_threads;
+  finish.threads_used = threads_used;
   finish.ran = ran;
   finish.was_running = was_running;
   finish.had_deadline = std::isfinite(job->deadline);
@@ -778,7 +794,7 @@ void BatchRunner::finalize(const std::shared_ptr<detail::JobControl>& job,
     trace_->async_end(job_span_name(*job), "job", job->sequence);
   }
   {
-    std::lock_guard lock(job->mutex);
+    MutexLock lock(job->mutex);
     job->report = std::move(report);
     job->error = std::move(error);
     job->wall_seconds = job->wall_so_far;
@@ -794,7 +810,7 @@ void BatchRunner::finalize(const std::shared_ptr<detail::JobControl>& job,
     // dispatch stall, so the dispatcher is pulled back from its helping
     // stint too (runner-mutex -> pool-mutex is the only nesting of the
     // two locks anywhere, so notify_helpers() here cannot deadlock).
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     --unfinished_;
     --inflight_;  // a dispatch lane freed up
     dispatcher_wake_.store(true);

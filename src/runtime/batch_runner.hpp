@@ -72,6 +72,8 @@
 #include "runtime/solve_job.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/width_governor.hpp"
+#include "support/lockdep.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/timer.hpp"
 
 namespace paradmm::runtime {
@@ -175,7 +177,7 @@ class BatchRunner {
 
   /// Enqueues a job; returns immediately.  Dispatch order among queued
   /// jobs is (priority desc, deadline asc, submit order asc).
-  JobHandle submit(SolveJob job);
+  JobHandle submit(SolveJob job) PARADMM_EXCLUDES(mutex_);
 
   /// Builds `problem` from `registry` (ProblemRegistry::global() when
   /// null) and enqueues it; the built instance is owned by the job.
@@ -192,10 +194,10 @@ class BatchRunner {
                            const ProblemRegistry* registry = nullptr);
 
   /// Blocks until every job submitted so far is terminal.
-  void wait_all();
+  void wait_all() PARADMM_EXCLUDES(mutex_);
 
   /// Snapshot of throughput counters.
-  RuntimeMetrics metrics() const;
+  RuntimeMetrics metrics() const PARADMM_EXCLUDES(mutex_);
 
   /// Shared-pool concurrency (workers + dispatcher participant).
   std::size_t threads() const { return pool_.concurrency(); }
@@ -246,21 +248,26 @@ class BatchRunner {
 
   using ReadyQueue = std::set<std::shared_ptr<detail::JobControl>, JobOrder>;
 
-  void dispatcher_loop();
-  void execute(const std::shared_ptr<detail::JobControl>& job);
+  void dispatcher_loop() PARADMM_EXCLUDES(mutex_);
+  void execute(const std::shared_ptr<detail::JobControl>& job)
+      PARADMM_EXCLUDES(mutex_);
   // `ran`: the job executed at least one slice (wall/occupancy stats
   // apply).  `was_running`: it still occupies the running gauge — false
   // when it was finalized while parked in the ready queue after a
   // preemption (the yield already released its slot).
   void finalize(const std::shared_ptr<detail::JobControl>& job,
                 JobState outcome, SolverReport report, std::string error,
-                bool ran, bool was_running);
+                bool ran, bool was_running) PARADMM_EXCLUDES(mutex_);
   // Returns the yielded job to the ready queue (dispatcher preemption).
-  void requeue(const std::shared_ptr<detail::JobControl>& job);
+  // `width` is the yielded slice's planned fork width (for the preempt
+  // gauge release and trace event).
+  void requeue(const std::shared_ptr<detail::JobControl>& job,
+               std::size_t width) PARADMM_EXCLUDES(mutex_);
   // Whether the solve `running` (on the dispatcher lane) should yield: a
   // job is queued and either a dispatch lane is free or the queued job
   // outranks the running one under the current policy.
-  bool dispatch_pressure(const detail::JobControl& running);
+  bool dispatch_pressure(const detail::JobControl& running)
+      PARADMM_EXCLUDES(mutex_);
   // Prices `control`'s graph with the cost model (fills
   // serial_seconds_per_iteration and the governor prior) and returns the
   // job's best-case solve seconds: the full iteration budget at the
@@ -269,7 +276,8 @@ class BatchRunner {
   // The submit-time admission projection for a finite-deadline job, and
   // the terminal bookkeeping of a rejected one.
   AdmissionVerdict admit(const std::shared_ptr<detail::JobControl>& control,
-                         double best_case_seconds, double now);
+                         double best_case_seconds, double now)
+      PARADMM_REQUIRES(mutex_);
   void reject(const std::shared_ptr<detail::JobControl>& control, double now);
 
   ThreadPool pool_;
@@ -288,16 +296,19 @@ class BatchRunner {
   double aging_rate_ = 0.0;
   AdmissionPolicy admission_ = AdmissionPolicy::kAccept;
 
-  mutable std::mutex mutex_;
-  std::condition_variable all_done_;
-  ReadyQueue queue_;
-  std::uint64_t next_sequence_ = 0;
-  std::size_t unfinished_ = 0;
+  // The runner mutex is the root of the runtime's lock hierarchy: the
+  // pool's mutex (via notify_helpers in finalize) and the trace locks may
+  // be acquired below it, never above — see ROADMAP "Lock hierarchy".
+  mutable Mutex mutex_{"BatchRunner"};
+  CondVar all_done_;
+  ReadyQueue queue_ PARADMM_GUARDED_BY(mutex_);
+  std::uint64_t next_sequence_ PARADMM_GUARDED_BY(mutex_) = 0;
+  std::size_t unfinished_ PARADMM_GUARDED_BY(mutex_) = 0;
   // Jobs popped from queue_ but not yet finalized.  Dispatch stalls at
   // pool concurrency so the backlog stays in the priority queue (ordered)
   // rather than in the pool's FIFO run queues (not).
-  std::size_t inflight_ = 0;
-  bool stopping_ = false;
+  std::size_t inflight_ PARADMM_GUARDED_BY(mutex_) = 0;
+  bool stopping_ PARADMM_GUARDED_BY(mutex_) = false;
   // True whenever the dispatcher has something to look at (a submission,
   // a freed lane, or shutdown); its pool-helping stint polls this to know
   // when to return.  Both flags use seq_cst: wake is stored before

@@ -96,36 +96,36 @@ void RuntimeMetrics::print(std::ostream& out) const {
 }
 
 void MetricsCollector::on_submit(std::size_t queue_depth) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ++metrics_.submitted;
   metrics_.peak_queue_depth = std::max(metrics_.peak_queue_depth, queue_depth);
 }
 
 void MetricsCollector::on_degraded() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ++metrics_.degraded;
 }
 
 void MetricsCollector::on_queue_depth(std::size_t queue_depth) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   metrics_.peak_queue_depth = std::max(metrics_.peak_queue_depth, queue_depth);
 }
 
 void MetricsCollector::on_start(std::size_t threads_used) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const std::size_t running = ++metrics_.running_by_width[threads_used];
   auto& peak = metrics_.peak_running_by_width[threads_used];
   peak = std::max(peak, running);
 }
 
 void MetricsCollector::on_preempt(std::size_t threads_used) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ++metrics_.dispatcher_preemptions;
   --metrics_.running_by_width[threads_used];
 }
 
 void MetricsCollector::on_finish(const JobFinish& finish) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   switch (finish.outcome) {
     case JobState::kDone: ++metrics_.completed; break;
     case JobState::kCancelled: ++metrics_.cancelled; break;
@@ -175,7 +175,7 @@ RuntimeMetrics MetricsCollector::snapshot(double elapsed_seconds,
                                           std::size_t workers,
                                           std::size_t queue_depth,
                                           WidthGovernorStats governor) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   RuntimeMetrics out = metrics_;
   out.elapsed_seconds = elapsed_seconds;
   out.workers = workers;

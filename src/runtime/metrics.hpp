@@ -5,13 +5,14 @@
 #include <algorithm>
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
 #include "runtime/solve_job.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/width_governor.hpp"
+#include "support/lockdep.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace paradmm::runtime {
 
@@ -189,9 +190,10 @@ class MetricsCollector {
                           WidthGovernorStats governor = {}) const;
 
  private:
-  mutable std::mutex mutex_;
-  RuntimeMetrics metrics_;
-  bool any_finished_ = false;
+  // Leaf lock: nothing else is ever acquired while it is held.
+  mutable Mutex mutex_{"MetricsCollector"};
+  RuntimeMetrics metrics_ PARADMM_GUARDED_BY(mutex_);
+  bool any_finished_ PARADMM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace paradmm::runtime

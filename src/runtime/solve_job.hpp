@@ -8,12 +8,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +19,8 @@
 #include "core/solver.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/error.hpp"
+#include "support/lockdep.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace paradmm::runtime {
 
@@ -154,16 +154,24 @@ struct JobControl {
   // reports the progress it actually made.
   SolverReport last_report;
 
-  mutable std::mutex mutex;
-  mutable std::condition_variable changed;
-  JobState state = JobState::kQueued;
-  bool planned = false;  // set when the scheduler has decided `plan`
-  JobPlan plan;          // valid once `planned`
-  SolverReport report;   // valid in kDone/kCancelled
-  std::string error;     // non-empty in kFailed
-  double wall_seconds = 0.0;
+  // The job lock is a leaf in the runtime's lock hierarchy: it is never
+  // held while acquiring another paradmm lock (the runner releases it
+  // before touching its own mutex, the pool's, or the governor's).
+  mutable Mutex mutex{"JobControl"};
+  mutable CondVar changed;
+  JobState state PARADMM_GUARDED_BY(mutex) = JobState::kQueued;
+  // Set when the scheduler has decided `plan`.
+  bool planned PARADMM_GUARDED_BY(mutex) = false;
+  // Valid once `planned`.
+  JobPlan plan PARADMM_GUARDED_BY(mutex);
+  // Valid in kDone/kCancelled.
+  SolverReport report PARADMM_GUARDED_BY(mutex);
+  // Non-empty in kFailed.
+  std::string error PARADMM_GUARDED_BY(mutex);
+  double wall_seconds PARADMM_GUARDED_BY(mutex) = 0.0;
   // Runner clock value when the job went terminal (NaN until then).
-  double finished_at = std::numeric_limits<double>::quiet_NaN();
+  double finished_at PARADMM_GUARDED_BY(mutex) =
+      std::numeric_limits<double>::quiet_NaN();
 };
 
 }  // namespace detail
@@ -178,15 +186,17 @@ class JobHandle {
   bool valid() const { return static_cast<bool>(control_); }
 
   JobState state() const {
-    std::lock_guard lock(control()->mutex);
-    return control_->state;
+    const detail::JobControl& c = *control();
+    MutexLock lock(c.mutex);
+    return c.state;
   }
 
   /// Blocks until the job reaches a terminal state and returns it.
   JobState wait() const {
-    std::unique_lock lock(control()->mutex);
-    control_->changed.wait(lock, [&] { return is_terminal(control_->state); });
-    return control_->state;
+    const detail::JobControl& c = *control();
+    UniqueLock lock(c.mutex);
+    while (!is_terminal(c.state)) c.changed.wait(lock);
+    return c.state;
   }
 
   /// Requests cooperative cancellation; the solve stops at its next check
@@ -199,28 +209,31 @@ class JobHandle {
   /// cancelled job reports the iterations it completed); kFailed and
   /// kRejected jobs have no report — a rejected job never ran at all.
   const SolverReport& report() const {
-    std::lock_guard lock(control()->mutex);
-    require(is_terminal(control_->state), "job has not finished");
-    require(control_->state != JobState::kFailed,
+    const detail::JobControl& c = *control();
+    MutexLock lock(c.mutex);
+    require(is_terminal(c.state), "job has not finished");
+    require(c.state != JobState::kFailed,
             "job failed; see JobHandle::error()");
-    require(control_->state != JobState::kRejected,
+    require(c.state != JobState::kRejected,
             "job was rejected at submit (infeasible deadline) and never "
             "ran; see JobHandle::admission_verdict()");
-    return control_->report;
+    return c.report;
   }
 
   /// What the solve threw (empty unless kFailed).
   const std::string& error() const {
-    std::lock_guard lock(control()->mutex);
-    return control_->error;
+    const detail::JobControl& c = *control();
+    MutexLock lock(c.mutex);
+    return c.error;
   }
 
   /// The scheduler's decision for this job; valid once the dispatcher has
   /// planned it (before that, a PreconditionError).
   JobPlan plan() const {
-    std::lock_guard lock(control()->mutex);
-    require(control_->planned, "job has not been planned yet");
-    return control_->plan;
+    const detail::JobControl& c = *control();
+    MutexLock lock(c.mutex);
+    require(c.planned, "job has not been planned yet");
+    return c.plan;
   }
 
   /// The job's graph (solution readout lives in graph().solution(...)).
@@ -251,14 +264,16 @@ class JobHandle {
   /// then.  finished_at() <= deadline() is the runner's definition of a
   /// met deadline.
   double finished_at() const {
-    std::lock_guard lock(control()->mutex);
-    return control_->finished_at;
+    const detail::JobControl& c = *control();
+    MutexLock lock(c.mutex);
+    return c.finished_at;
   }
 
   /// Wall-clock seconds of the solve; valid in terminal states.
   double wall_seconds() const {
-    std::lock_guard lock(control()->mutex);
-    return control_->wall_seconds;
+    const detail::JobControl& c = *control();
+    MutexLock lock(c.mutex);
+    return c.wall_seconds;
   }
 
  private:

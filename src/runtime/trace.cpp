@@ -54,7 +54,7 @@ TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
   if (!cached || cached_serial != serial_) {
     auto buffer = std::make_shared<ThreadBuffer>();
     {
-      std::lock_guard lock(registry_mutex_);
+      MutexLock lock(registry_mutex_);
       buffer->tid = buffers_.size();
       buffers_.push_back(buffer);
     }
@@ -66,7 +66,7 @@ TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
 
 void TraceRecorder::record(ThreadBuffer& buffer, TraceEvent event) {
   event.tid = buffer.tid;
-  std::lock_guard lock(buffer.mutex);
+  MutexLock lock(buffer.mutex);
   buffer.events.push_back(std::move(event));
 }
 
@@ -121,12 +121,12 @@ void TraceRecorder::async_end(std::string name, std::string category,
 std::vector<TraceEvent> TraceRecorder::snapshot() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     buffers = buffers_;
   }
   std::vector<TraceEvent> events;
   for (const auto& buffer : buffers) {
-    std::lock_guard lock(buffer->mutex);
+    MutexLock lock(buffer->mutex);
     events.insert(events.end(), buffer->events.begin(), buffer->events.end());
   }
   // Stable: per-thread recording order breaks (start, tid) ties, so for a
@@ -143,12 +143,12 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
 std::size_t TraceRecorder::event_count() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     buffers = buffers_;
   }
   std::size_t count = 0;
   for (const auto& buffer : buffers) {
-    std::lock_guard lock(buffer->mutex);
+    MutexLock lock(buffer->mutex);
     count += buffer->events.size();
   }
   return count;

@@ -39,10 +39,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "support/lockdep.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace paradmm::runtime {
 
@@ -134,10 +136,18 @@ class TraceRecorder {
   static TraceArg arg(std::string key, const char* value);
 
  private:
+  // Both trace locks are leaves in the runtime's lock hierarchy: record()
+  // and the registry only ever hold one of them at a time, and no other
+  // paradmm lock is acquired underneath (emission sites may hold the pool
+  // or runner mutex above them — see ROADMAP "Lock hierarchy").
   struct ThreadBuffer {
-    std::mutex mutex;
+    Mutex mutex{"TraceRecorder::buffer"};
+    // Recorder-assigned thread index: written once (under the registry
+    // lock, before the buffer pointer is published through the
+    // thread_local cache) and immutable afterwards, so record() reads it
+    // without the buffer lock.
     std::uint64_t tid = 0;
-    std::vector<TraceEvent> events;
+    std::vector<TraceEvent> events PARADMM_GUARDED_BY(mutex);
   };
 
   ThreadBuffer& local_buffer();
@@ -148,8 +158,9 @@ class TraceRecorder {
   const std::uint64_t serial_;
   std::function<double()> clock_;
 
-  mutable std::mutex registry_mutex_;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex registry_mutex_{"TraceRecorder::registry"};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+      PARADMM_GUARDED_BY(registry_mutex_);
 };
 
 /// Fixed-bucket log-scale latency histogram: ~quarter-octave buckets

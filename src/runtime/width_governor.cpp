@@ -66,14 +66,14 @@ WidthGovernor::LeasePtr WidthGovernor::open_lease(std::size_t planned_width,
   lease->total_phases = total_phases;
   lease->prior_phase_seconds =
       prior_phase_seconds > 0.0 ? prior_phase_seconds : 0.0;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   leased_width_ += planned_width;
   return lease;
 }
 
 void WidthGovernor::close_lease(const LeasePtr& lease) {
   if (!lease) return;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   leased_width_ -= lease->width;
   if (lease->width > lease->planned) {
     boosted_lanes_ -= lease->width - lease->planned;
@@ -100,7 +100,7 @@ std::size_t WidthGovernor::advise(Lease& lease, std::size_t current_width) {
   double projected = std::numeric_limits<double>::quiet_NaN();
   std::size_t backlog = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
 
     // Timestamp the barrier: the interval since the previous one is the
     // wall clock of exactly one phase, normalized to lane-seconds by the
@@ -256,7 +256,7 @@ WidthGovernorStats WidthGovernor::stats() const {
   stats.grows = grows_.load(std::memory_order_relaxed);
   stats.boosts = boosts_.load(std::memory_order_relaxed);
   stats.waiting_jobs = waiting_.load(std::memory_order_relaxed);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   stats.boosted_lanes = boosted_lanes_;
   stats.learned_phase_seconds = learned_phase_seconds_;
   return stats;

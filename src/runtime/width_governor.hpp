@@ -47,9 +47,10 @@
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 
 #include "parallel/backend.hpp"
+#include "support/lockdep.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace paradmm {
 class ThreadPool;
@@ -132,7 +133,11 @@ class WidthGovernor {
  public:
   /// One running governed solve's seat in the lane ledger.  Owned by the
   /// governor; callers treat it as an opaque token between open_lease()
-  /// and close_lease().
+  /// and close_lease().  After open_lease publishes it, every mutation
+  /// happens under the governor's mutex_ (advise() and close_lease();
+  /// not expressible as GUARDED_BY from a nested struct — the capability
+  /// lives on a different object).  The solve thread that owns the lease
+  /// — the only writer — may read fields without the lock.
   struct Lease {
     std::size_t planned = 0;       ///< scheduler-planned width (boost floor)
     std::size_t width = 0;         ///< last granted width (ledger holding)
@@ -224,11 +229,13 @@ class WidthGovernor {
   // Lane ledger (and the learned cost it feeds): sum of every open lease's
   // granted width, plus the lanes granted above planned.  One mutex guards
   // both — advise() runs once per phase, which is the unit of real solver
-  // work, so contention here is negligible.
-  mutable std::mutex mutex_;
-  std::size_t leased_width_ = 0;
-  std::size_t boosted_lanes_ = 0;
-  double learned_phase_seconds_ = 0.0;
+  // work, so contention here is negligible.  The governor lock is a leaf
+  // in the runtime's lock hierarchy: advise() releases it before emitting
+  // trace events, and nothing is acquired while it is held.
+  mutable Mutex mutex_{"WidthGovernor"};
+  std::size_t leased_width_ PARADMM_GUARDED_BY(mutex_) = 0;
+  std::size_t boosted_lanes_ PARADMM_GUARDED_BY(mutex_) = 0;
+  double learned_phase_seconds_ PARADMM_GUARDED_BY(mutex_) = 0.0;
 };
 
 /// A width-bounded fork/join backend over a borrowed ThreadPool (same

@@ -1,0 +1,311 @@
+#include "support/lockdep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace paradmm {
+
+namespace lockdep {
+namespace {
+
+// Failure handler slot.  Kept in every build (tests install one through
+// the same call sites whether or not the validator is compiled in); only
+// lockdep builds ever invoke it.
+std::mutex handler_mutex;  // NOLINT: the validator cannot instrument itself
+Handler failure_handler;
+
+// [[maybe_unused]]: only lockdep builds have call sites.
+[[maybe_unused]] void fail(const char* kind, const std::string& message) {
+  Handler handler;
+  {
+    std::lock_guard lock(handler_mutex);
+    handler = failure_handler;
+  }
+  if (handler) {
+    handler(Violation{kind, message});
+    return;  // test mode: caller skips recording the offending edge
+  }
+  std::fputs(message.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+Handler set_failure_handler(Handler handler) {
+  std::lock_guard lock(handler_mutex);
+  std::swap(failure_handler, handler);
+  return handler;
+}
+
+#if PARADMM_LOCKDEP_ENABLED
+
+namespace {
+
+std::atomic<bool> runtime_enabled{true};
+
+// The global order graph.  Nodes are lock *classes* (one per distinct
+// Mutex name); edges A -> B mean "A was held while B was acquired".  The
+// graph only grows (reset_order_graph clears edges, never nodes, so the
+// node ids cached on Mutex instances stay valid), and a cycle check runs
+// exactly when a new edge would be inserted — an acyclic graph stays
+// acyclic under edge removal, so checking at insertion is complete.
+struct Registry {
+  std::mutex mutex;  // NOLINT: the validator cannot instrument itself
+  std::map<std::string, unsigned> ids;    // name -> node id (from 1)
+  std::vector<std::string> names{""};     // node id -> name; [0] unused
+  std::vector<std::set<unsigned>> out{{}};  // adjacency, indexed by node id
+  // For each edge, the named held-stack that first established it — this
+  // is the "other" sequence a cycle report prints.
+  std::map<std::pair<unsigned, unsigned>, std::vector<std::string>> examples;
+  // Bumped by reset_order_graph so per-thread edge caches invalidate.
+  std::atomic<unsigned long long> epoch{1};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Per-thread state: the stack of held Mutex instances, plus a cache of
+// edges this thread has already pushed through the registry — steady
+// state acquisitions of a known-good order touch no global lock.
+struct ThreadState {
+  std::vector<const Mutex*> held;
+  unsigned long long cache_epoch = 0;
+  std::set<std::pair<unsigned, unsigned>> seen_edges;
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+// True if `to` is reachable from `from` in the order graph (iterative
+// DFS; caller holds the registry mutex).  `path` receives the node
+// sequence from -> ... -> to when found.
+bool find_path(const Registry& reg, unsigned from, unsigned to,
+               std::vector<unsigned>& path) {
+  std::vector<unsigned> stack{from};
+  std::map<unsigned, unsigned> parent;  // child -> parent in the DFS tree
+  std::set<unsigned> visited{from};
+  while (!stack.empty()) {
+    const unsigned node = stack.back();
+    stack.pop_back();
+    if (node == to) {
+      for (unsigned n = to; n != from; n = parent.at(n)) path.push_back(n);
+      path.push_back(from);
+      std::reverse(path.begin(), path.end());
+      return true;
+    }
+    for (unsigned next : reg.out[node]) {
+      if (visited.insert(next).second) {
+        parent[next] = node;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+std::string quote(const char* name) { return "\"" + std::string(name) + "\""; }
+std::string quote(const std::string& name) { return "\"" + name + "\""; }
+
+std::string held_sequence(const ThreadState& state, const Mutex& acquiring) {
+  std::string out;
+  for (const Mutex* m : state.held) {
+    out += quote(m->name());
+    out += " -> ";
+  }
+  out += quote(acquiring.name());
+  return out;
+}
+
+}  // namespace
+
+bool enabled() { return runtime_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  runtime_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset_order_graph() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (auto& edges : reg.out) edges.clear();
+  reg.examples.clear();
+  reg.epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Friend of Mutex: resolves and caches the instance's node id.
+struct LockdepRegistryAccess {
+  // Caller holds the registry mutex for the slow path.
+  static unsigned node_id(Registry& reg, const Mutex& m) {
+    unsigned id = m.node_.load(std::memory_order_relaxed);
+    if (id != 0) return id;
+    auto [it, inserted] = reg.ids.emplace(m.name(), 0);
+    if (inserted) {
+      it->second = static_cast<unsigned>(reg.names.size());
+      reg.names.emplace_back(m.name());
+      reg.out.emplace_back();
+    }
+    m.node_.store(it->second, std::memory_order_relaxed);
+    return it->second;
+  }
+  static unsigned cached_node_id(const Mutex& m) {
+    return m.node_.load(std::memory_order_relaxed);
+  }
+};
+
+namespace detail {
+
+void check_acquire(const Mutex& m) {
+  if (!enabled()) return;
+  ThreadState& state = thread_state();
+
+  for (const Mutex* held : state.held) {
+    if (held == &m) {
+      std::string message =
+          "paradmm lockdep: re-entrant acquisition of " + quote(m.name()) +
+          "\n  this thread already holds: " + held_sequence(state, m) +
+          "\n  paradmm::Mutex is non-recursive; release before reacquiring\n";
+      fail("re-entrant", message);
+      return;
+    }
+  }
+  if (state.held.empty()) return;  // first lock: nothing to order against
+
+  Registry& reg = registry();
+
+  // Fast path: every (held, acquiring) pair already vetted by this thread
+  // since the last graph reset.
+  const unsigned long long epoch = reg.epoch.load(std::memory_order_relaxed);
+  if (state.cache_epoch != epoch) {
+    state.seen_edges.clear();
+    state.cache_epoch = epoch;
+  }
+  const unsigned cached_to = LockdepRegistryAccess::cached_node_id(m);
+  if (cached_to != 0) {
+    bool all_seen = true;
+    for (const Mutex* held : state.held) {
+      const unsigned from = LockdepRegistryAccess::cached_node_id(*held);
+      if (from == 0 || !state.seen_edges.count({from, cached_to})) {
+        all_seen = false;
+        break;
+      }
+    }
+    if (all_seen) return;
+  }
+
+  std::lock_guard lock(reg.mutex);
+  const unsigned to = LockdepRegistryAccess::node_id(reg, m);
+  for (const Mutex* held : state.held) {
+    const unsigned from = LockdepRegistryAccess::node_id(reg, *held);
+    if (state.seen_edges.count({from, to})) continue;
+    if (reg.out[from].count(to)) {  // edge already recorded: known good
+      state.seen_edges.insert({from, to});
+      continue;
+    }
+
+    // New edge from -> to.  A path to -> ... -> from means inserting it
+    // closes a cycle (from == to is the trivial case: two instances of
+    // one lock class nested).
+    std::vector<unsigned> path;
+    if (from == to || find_path(reg, to, from, path)) {
+      if (path.empty()) path = {to, from};
+      std::string message =
+          "paradmm lockdep: lock-order cycle detected (potential deadlock)\n"
+          "  this thread is acquiring " +
+          quote(m.name()) + " while holding: " + held_sequence(state, m) +
+          "\n  that requires the order " + quote(reg.names[from]) + " -> " +
+          quote(reg.names[to]) +
+          ", but the reverse order is already recorded:\n";
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto example = reg.examples.find({path[i], path[i + 1]});
+        message += "    " + quote(reg.names[path[i]]) + " -> " +
+                   quote(reg.names[path[i + 1]]) +
+                   "  (first acquired in the sequence: ";
+        if (example != reg.examples.end()) {
+          for (std::size_t j = 0; j < example->second.size(); ++j) {
+            if (j != 0) message += " -> ";
+            message += quote(example->second[j]);
+          }
+        }
+        message += ")\n";
+      }
+      message += "  fix: acquire these locks in one order everywhere\n";
+      fail("cycle", message);
+      continue;  // handler returned (test mode): leave the graph acyclic
+    }
+
+    reg.out[from].insert(to);
+    std::vector<std::string> example;
+    example.reserve(state.held.size() + 1);
+    for (const Mutex* h : state.held) example.emplace_back(h->name());
+    example.emplace_back(m.name());
+    reg.examples.emplace(std::make_pair(from, to), std::move(example));
+    state.seen_edges.insert({from, to});
+  }
+}
+
+void note_acquired(const Mutex& m) {
+  if (!enabled()) return;
+  thread_state().held.push_back(&m);
+}
+
+void note_released(const Mutex& m) {
+  if (!enabled()) return;
+  auto& held = thread_state().held;
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (*it == &m) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Not tracked (acquired while checking was off): nothing to unwind.
+}
+
+}  // namespace detail
+
+#else  // !PARADMM_LOCKDEP_ENABLED
+
+bool enabled() { return false; }
+void set_enabled(bool) {}
+void reset_order_graph() {}
+
+namespace detail {
+void check_acquire(const Mutex&) {}
+void note_acquired(const Mutex&) {}
+void note_released(const Mutex&) {}
+}  // namespace detail
+
+#endif  // PARADMM_LOCKDEP_ENABLED
+
+}  // namespace lockdep
+
+// Defined here (not inline) so the header needs no lockdep internals: the
+// wait releases the wrapper's bookkeeping, parks on the native handle,
+// and re-runs the order check on reacquisition — a wait with other locks
+// held re-establishes its edges exactly like a fresh acquisition.
+void CondVar::wait(UniqueLock& lock) {
+  Mutex& m = *lock.mutex();
+#if PARADMM_LOCKDEP_ENABLED
+  lockdep::detail::note_released(m);
+#endif
+  std::unique_lock<std::mutex> native(m.mutex_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();  // the wrapper keeps ownership after the wait
+#if PARADMM_LOCKDEP_ENABLED
+  lockdep::detail::check_acquire(m);
+  lockdep::detail::note_acquired(m);
+#endif
+}
+
+}  // namespace paradmm

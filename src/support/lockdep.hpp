@@ -1,0 +1,221 @@
+// paradmm::Mutex — the annotated lock the whole runtime uses, with an
+// optional lockdep-style lock-order validator behind PARADMM_LOCKDEP.
+//
+// Two jobs in one wrapper:
+//
+//  * Static: the class carries PARADMM_CAPABILITY, so clang's
+//    -Wthread-safety can prove GUARDED_BY/REQUIRES contracts against it
+//    (libstdc++'s std::mutex is unannotated and proves nothing).  In a
+//    normal build Mutex is a plain std::mutex plus a pointer-sized static
+//    name — no extra locking, no atomics, no allocation.
+//
+//  * Dynamic (PARADMM_LOCKDEP builds only): every acquisition feeds a
+//    global lock-*order* graph keyed by lock name (one node per lock
+//    class, like the Linux kernel's lockdep — per-instance nodes would
+//    make every per-job mutex its own node and miss ABBA between
+//    instances of the same class).  Holding A while acquiring B records
+//    the edge A -> B; the first acquisition whose edge would close a
+//    cycle fails *immediately and deterministically* — no unlucky
+//    interleaving needed, the mere order is the bug.  Re-entrant
+//    acquisition of a held instance fails the same way.  The default
+//    failure handler prints both named lock sequences (the acquiring
+//    thread's held stack and the recorded sequence that established the
+//    conflicting order) and aborts; tests install their own handler.
+//
+// The sanctioned acquisition order for the runtime's locks is documented
+// in ROADMAP.md ("Lock hierarchy"); tools/lint_invariants.py enforces
+// that no naked std::mutex member exists outside this wrapper.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "support/thread_annotations.hpp"
+
+#if defined(PARADMM_LOCKDEP) && PARADMM_LOCKDEP
+#define PARADMM_LOCKDEP_ENABLED 1
+#else
+#define PARADMM_LOCKDEP_ENABLED 0
+#endif
+
+namespace paradmm {
+
+class Mutex;
+
+namespace lockdep {
+
+/// Whether this build carries the validator at all (PARADMM_LOCKDEP).
+constexpr bool build_enabled() { return PARADMM_LOCKDEP_ENABLED != 0; }
+
+/// Runtime switch, default on in lockdep builds (always false otherwise).
+/// Toggle only while the calling process holds no paradmm::Mutex — the
+/// held-lock bookkeeping pauses with it.  This is what lets one binary
+/// property-test that checking changes nothing about scheduling.
+bool enabled();
+void set_enabled(bool on);
+
+/// A detected violation: `kind` is "cycle" or "re-entrant"; `message` is
+/// the full human-readable report naming both lock sequences.
+struct Violation {
+  std::string kind;
+  std::string message;
+};
+
+/// Called on a violation instead of the default report+abort; installing
+/// an empty handler restores the default.  Returns the previous handler.
+/// If the handler returns, the offending edge is NOT recorded and the
+/// acquisition proceeds (test mode: the graph stays acyclic so one bad
+/// pattern fires exactly once per attempt).
+using Handler = std::function<void(const Violation&)>;
+Handler set_failure_handler(Handler handler);
+
+/// Forgets every recorded edge (not the held-lock stacks) — test
+/// isolation, so one suite's deliberate ABBA does not poison another's
+/// graph.  No-op when the validator is off.
+void reset_order_graph();
+
+namespace detail {
+// Instrumentation points used by Mutex/CondVar; no-ops unless the build
+// and the runtime switch are both on.
+void check_acquire(const Mutex& m);   // before blocking on m
+void note_acquired(const Mutex& m);   // m is now held
+void note_released(const Mutex& m);   // m is no longer held
+}  // namespace detail
+
+struct LockdepRegistryAccess;  // validator-internal friend of Mutex
+
+}  // namespace lockdep
+
+/// The annotated mutex.  `name` labels the lock *class* in lockdep
+/// reports and must be a string literal (stored, not copied).  Instances
+/// sharing a name share a node in the order graph.
+class PARADMM_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name) noexcept : name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PARADMM_ACQUIRE() {
+#if PARADMM_LOCKDEP_ENABLED
+    lockdep::detail::check_acquire(*this);
+    mutex_.lock();
+    lockdep::detail::note_acquired(*this);
+#else
+    mutex_.lock();
+#endif
+  }
+
+  void unlock() PARADMM_RELEASE() {
+#if PARADMM_LOCKDEP_ENABLED
+    lockdep::detail::note_released(*this);
+#endif
+    mutex_.unlock();
+  }
+
+  bool try_lock() PARADMM_TRY_ACQUIRE(true) {
+#if PARADMM_LOCKDEP_ENABLED
+    // A trylock cannot deadlock (it fails instead of blocking), so it
+    // joins the held stack without cycle enforcement.
+    if (!mutex_.try_lock()) return false;
+    lockdep::detail::note_acquired(*this);
+    return true;
+#else
+    return mutex_.try_lock();
+#endif
+  }
+
+  const char* name() const noexcept { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+  const char* name_;
+#if PARADMM_LOCKDEP_ENABLED
+  // Cached node id in the order graph (0 = unresolved), so steady-state
+  // acquisitions resolve their class without the registry lock.
+  mutable std::atomic<unsigned> node_{0};
+  friend struct lockdep::LockdepRegistryAccess;
+#endif
+};
+
+/// Scope guard, the std::lock_guard counterpart (non-movable, always
+/// owns).  Preferred at every site that does not unlock early or wait.
+class PARADMM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) PARADMM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() PARADMM_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Scope guard with manual unlock()/lock() — the std::unique_lock
+/// counterpart, and the lock type CondVar::wait takes.
+class PARADMM_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) PARADMM_ACQUIRE(mutex)
+      : mutex_(&mutex), owned_(true) {
+    mutex_->lock();
+  }
+  ~UniqueLock() PARADMM_RELEASE() {
+    if (owned_) mutex_->unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() PARADMM_ACQUIRE() {
+    mutex_->lock();
+    owned_ = true;
+  }
+  void unlock() PARADMM_RELEASE() {
+    owned_ = false;
+    mutex_->unlock();
+  }
+
+  bool owns_lock() const noexcept { return owned_; }
+  Mutex* mutex() const noexcept { return mutex_; }
+
+ private:
+  Mutex* mutex_;
+  bool owned_;
+};
+
+/// Condition variable paired with paradmm::Mutex.  Backed by a plain
+/// std::condition_variable on the wrapper's native handle (not
+/// condition_variable_any, which would cost an allocation and an extra
+/// internal mutex per instance — ForkGroup stack-allocates one per fork).
+/// No predicate overload on purpose: callers write explicit
+/// `while (!cond) cv.wait(lock);` loops, which keeps the guarded reads
+/// inside the annotated enclosing function where clang can see the lock
+/// is held (a predicate lambda is analyzed as a separate, unannotated
+/// function and would warn).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, waits, and reacquires.  As far as the
+  /// static analysis is concerned the capability stays held across the
+  /// call (the net effect is true; the interior handoff is invisible on
+  /// purpose).  Lockdep sees the real release and reacquisition.
+  void wait(UniqueLock& lock);
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace paradmm

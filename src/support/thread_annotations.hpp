@@ -1,0 +1,74 @@
+// Clang thread-safety-analysis macros (no-ops on other compilers).
+//
+// These turn the runtime's informal "guarded by mutex_" comments into
+// contracts the compiler proves: a field marked PARADMM_GUARDED_BY(m) can
+// only be touched while m is held, and a *_locked helper marked
+// PARADMM_REQUIRES(m) can only be called from a context that already holds
+// it.  The analysis is purely static (flow-sensitive, intra-procedural)
+// and free at runtime; the CI static-analysis job compiles the tree with
+// clang and -Wthread-safety -Werror so a violated contract fails the
+// build.  GCC has no equivalent attribute set, so every macro expands to
+// nothing there and the annotated code is byte-identical to unannotated
+// code.
+//
+// The macro set mirrors the capability vocabulary from the Clang docs
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed so it
+// cannot collide with another library's spelling of the same attributes.
+// Only paradmm::Mutex (src/support/lockdep.hpp) carries the CAPABILITY
+// attribute: libstdc++'s std::mutex is unannotated, which is why the
+// runtime's mutexes all migrate to the wrapper.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define PARADMM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PARADMM_THREAD_ANNOTATION
+#define PARADMM_THREAD_ANNOTATION(x)  // not Clang: expands to nothing
+#endif
+
+// On types: declares a class to be a lockable capability ("mutex" is the
+// diagnostic noun clang uses in warnings).
+#define PARADMM_CAPABILITY(x) PARADMM_THREAD_ANNOTATION(capability(x))
+
+// On RAII guard types whose constructor acquires and destructor releases.
+#define PARADMM_SCOPED_CAPABILITY PARADMM_THREAD_ANNOTATION(scoped_lockable)
+
+// On data members: may only be read or written while `x` is held.
+#define PARADMM_GUARDED_BY(x) PARADMM_THREAD_ANNOTATION(guarded_by(x))
+
+// On pointer/smart-pointer members: the *pointee* is guarded by `x` (the
+// pointer itself may be read freely).
+#define PARADMM_PT_GUARDED_BY(x) PARADMM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On functions: caller must hold the capabilities (the `_locked` helper
+// contract — calling without the lock is a compile error under clang).
+#define PARADMM_REQUIRES(...) \
+  PARADMM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PARADMM_REQUIRES_SHARED(...) \
+  PARADMM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// On functions: acquires/releases the named capabilities (no argument
+// means "this", for lock/unlock members of the capability type itself).
+#define PARADMM_ACQUIRE(...) \
+  PARADMM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PARADMM_RELEASE(...) \
+  PARADMM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PARADMM_TRY_ACQUIRE(...) \
+  PARADMM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// On functions: caller must NOT hold the capability (catches self-deadlock
+// on a non-recursive mutex at compile time).
+#define PARADMM_EXCLUDES(...) \
+  PARADMM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// On functions returning a reference to a guarded object.
+#define PARADMM_RETURN_CAPABILITY(x) \
+  PARADMM_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow (e.g. lock handoff
+// through a condition-variable wait).  Every use should carry a one-line
+// justification at the site.
+#define PARADMM_NO_THREAD_SAFETY_ANALYSIS \
+  PARADMM_THREAD_ANNOTATION(no_thread_safety_analysis)

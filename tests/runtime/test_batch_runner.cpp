@@ -732,6 +732,97 @@ TEST(BatchRunner, JobArrivingMidSolveOnTheDispatcherLaneStartsWithinOneBarrier) 
   }
 }
 
+TEST(BatchRunner, PreemptedJobCancelledWhileParkedSettlesWithItsPlannedWidth) {
+  // Regression test for the plan read-side discipline: a preempted job
+  // cancelled while parked in the ready queue is finalized by the
+  // DISPATCHER (the cancel-while-queued ran path), with no executing
+  // slice in scope — the finalize must read the planned width back from
+  // the job under its lock, not from a slice-local that doesn't exist on
+  // this path.  Before the fix the width was read from the shared field
+  // without the lock; the pinned finished_by_width entry is the
+  // observable that catches a garbage or torn read.
+  BatchRunnerOptions options;
+  options.threads = 2;  // 1 worker + dispatcher
+  BatchRunner runner(options);
+
+  // B1 occupies the lone worker.
+  std::atomic<bool> b1_parked{false};
+  std::atomic<bool> release_b1{false};
+  FactorGraph b1_graph = make_consensus_graph({0.0, 1.0});
+  SolveJob b1;
+  b1.graph = &b1_graph;
+  b1.options.max_iterations = 20;
+  b1.options.check_interval = 10;
+  b1.progress = [&](const IterationStatus&) {
+    b1_parked.store(true);
+    while (!release_b1.load()) std::this_thread::yield();
+  };
+  JobHandle h1 = runner.submit(std::move(b1));
+  while (!b1_parked.load()) std::this_thread::yield();
+
+  // B2 runs on the helping dispatcher and parks at its first barrier.
+  std::atomic<int> b2_calls{0};
+  std::atomic<bool> b2_hold{true};
+  FactorGraph b2_graph = make_consensus_graph({2.0, 9.0});
+  SolveJob b2;
+  b2.graph = &b2_graph;
+  b2.options.max_iterations = 60;
+  b2.options.check_interval = 10;
+  b2.options.primal_tolerance = 0.0;
+  b2.options.dual_tolerance = 0.0;
+  b2.progress = [&](const IterationStatus&) {
+    if (++b2_calls == 1) {
+      while (b2_hold.load()) std::this_thread::yield();
+    }
+  };
+  JobHandle h2 = runner.submit(std::move(b2));
+  while (b2_calls.load() == 0) std::this_thread::yield();
+
+  // A high-priority arrival forces B2 to yield at its parked barrier.
+  // The arrival itself parks on the dispatcher lane, holding open a
+  // window in which B2 sits in the ready queue, started and preempted.
+  std::atomic<bool> arrival_parked{false};
+  std::atomic<bool> release_arrival{false};
+  FactorGraph c_graph = make_consensus_graph({5.0});
+  SolveJob arrival;
+  arrival.graph = &c_graph;
+  arrival.options.max_iterations = 20;
+  arrival.options.check_interval = 10;
+  arrival.priority = 10;
+  arrival.progress = [&](const IterationStatus&) {
+    arrival_parked.store(true);
+    while (!release_arrival.load()) std::this_thread::yield();
+  };
+  JobHandle hc = runner.submit(std::move(arrival));
+  b2_hold.store(false);  // B2's parked barrier returns — and yields
+  while (!arrival_parked.load()) std::this_thread::yield();
+
+  // B2 is now parked in the queue mid-solve.  Cancel it there; the
+  // dispatcher finalizes it directly once the arrival releases the lane.
+  h2.request_cancel();
+  release_arrival.store(true);
+  release_b1.store(true);
+  runner.wait_all();
+
+  EXPECT_EQ(h1.state(), JobState::kDone);
+  EXPECT_EQ(hc.state(), JobState::kDone);
+  ASSERT_EQ(h2.state(), JobState::kCancelled);
+  // It ran exactly the one barrier before yielding: a ran cancellation
+  // keeps the partial report.
+  EXPECT_EQ(h2.report().iterations, 10);
+
+  const RuntimeMetrics metrics = runner.metrics();
+  EXPECT_EQ(metrics.completed, 2u);
+  EXPECT_EQ(metrics.cancelled, 1u);
+  EXPECT_GE(metrics.dispatcher_preemptions, 1u);
+  // All three jobs ran and settled at the planned serial width — the
+  // preempted cancellation included, whose width reaches the tally via
+  // the locked read in finalize.
+  EXPECT_EQ(metrics.ran_jobs, 3u);
+  ASSERT_EQ(metrics.finished_by_width.count(1), 1u);
+  EXPECT_EQ(metrics.finished_by_width.at(1), 3u);
+}
+
 TEST(BatchRunner, ToStringCoversAllStates) {
   EXPECT_EQ(to_string(JobState::kQueued), "queued");
   EXPECT_EQ(to_string(JobState::kRunning), "running");

@@ -1,0 +1,426 @@
+// The lock-order validator's contracts (support/lockdep.hpp):
+//
+//  * an ABBA order across two threads is detected deterministically — at
+//    the first acquisition that creates the cycle, no unlucky
+//    interleaving required — and the diagnostic names BOTH lock
+//    sequences (the acquiring thread's held stack and the recorded
+//    sequence that established the conflicting order);
+//  * consistent nesting never false-positives, however many threads
+//    repeat it;
+//  * re-entrant acquisition of a held instance is rejected;
+//  * with the validator compiled out (or switched off) the same call
+//    sites compile and behave identically — the bitwise on/off property
+//    is pinned against a full BatchRunner scenario, mirroring the
+//    trace layer's null-sink test;
+//  * the default handler aborts, naming both sequences (death test).
+//
+// Every runtime-violation test skips cleanly in non-lockdep builds: this
+// file compiles and links in both, which is itself the compile-parity
+// half of the wrapper-off contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/prox_library.hpp"
+#include "runtime/batch_runner.hpp"
+#include "support/lockdep.hpp"
+
+namespace paradmm {
+namespace {
+
+// Installs a capturing failure handler for one test, restoring the
+// previous handler (usually none: report+abort) on destruction.
+class CaptureViolations {
+ public:
+  CaptureViolations() {
+    previous_ = lockdep::set_failure_handler(
+        [this](const lockdep::Violation& violation) {
+          violations_.push_back(violation);
+        });
+  }
+  ~CaptureViolations() { lockdep::set_failure_handler(std::move(previous_)); }
+
+  const std::vector<lockdep::Violation>& violations() const {
+    return violations_;
+  }
+
+ private:
+  lockdep::Handler previous_;
+  std::vector<lockdep::Violation> violations_;
+};
+
+// A handler that throws instead of returning, for sites where letting
+// the acquisition proceed would genuinely deadlock (re-entrant locking
+// of a non-recursive mutex).
+struct ViolationError : std::runtime_error {
+  explicit ViolationError(lockdep::Violation violation)
+      : std::runtime_error(violation.message),
+        violation(std::move(violation)) {}
+  lockdep::Violation violation;
+};
+
+class ThrowOnViolation {
+ public:
+  ThrowOnViolation() {
+    previous_ = lockdep::set_failure_handler(
+        [](const lockdep::Violation& violation) {
+          throw ViolationError(violation);
+        });
+  }
+  ~ThrowOnViolation() { lockdep::set_failure_handler(std::move(previous_)); }
+
+ private:
+  lockdep::Handler previous_;
+};
+
+// ---------------------------------------------------------------------------
+// Wrapper semantics that hold in EVERY build (validator on or off): these
+// are the call sites whose compile-and-run parity the wrapper-off build
+// must keep.
+
+TEST(LockdepWrapper, MutexLockAndUniqueLockCallSitesBehave) {
+  Mutex mutex("test-wrapper");
+  EXPECT_STREQ(mutex.name(), "test-wrapper");
+  int guarded = 0;
+  {
+    MutexLock lock(mutex);
+    guarded = 1;
+  }
+  {
+    UniqueLock lock(mutex);
+    EXPECT_TRUE(lock.owns_lock());
+    guarded = 2;
+    lock.unlock();
+    EXPECT_FALSE(lock.owns_lock());
+    lock.lock();
+    EXPECT_TRUE(lock.owns_lock());
+    EXPECT_EQ(lock.mutex(), &mutex);
+  }
+  EXPECT_EQ(guarded, 2);
+}
+
+TEST(LockdepWrapper, TryLockFailsWhileHeldElsewhere) {
+  Mutex mutex("test-trylock");
+  std::atomic<bool> held{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    MutexLock lock(mutex);
+    held.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!held.load()) std::this_thread::yield();
+  EXPECT_FALSE(mutex.try_lock());
+  release.store(true);
+  holder.join();
+  ASSERT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(LockdepWrapper, CondVarWaitAndNotifyRoundTrip) {
+  Mutex mutex("test-condvar");
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(mutex);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    UniqueLock lock(mutex);
+    while (!ready) cv.wait(lock);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(LockdepApi, DisabledBuildReportsDisabled) {
+  if (lockdep::build_enabled()) {
+    EXPECT_TRUE(lockdep::enabled());
+    return;
+  }
+  // Non-lockdep build: the switch is pinned off and the toggles are
+  // no-ops through the exact same entry points lockdep builds use.
+  EXPECT_FALSE(lockdep::enabled());
+  lockdep::set_enabled(true);
+  EXPECT_FALSE(lockdep::enabled());
+  lockdep::reset_order_graph();
+}
+
+// ---------------------------------------------------------------------------
+// Validator behavior (lockdep builds only).
+
+TEST(Lockdep, ConsistentNestingAcrossThreadsRaisesNoViolation) {
+  if (!lockdep::build_enabled()) GTEST_SKIP() << "PARADMM_LOCKDEP is off";
+  lockdep::reset_order_graph();
+  CaptureViolations capture;
+  Mutex outer("nest-outer");
+  Mutex inner("nest-inner");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        MutexLock first(outer);
+        MutexLock second(inner);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_TRUE(capture.violations().empty());
+}
+
+TEST(Lockdep, AbbaAcrossTwoThreadsIsDetectedAtTheClosingAcquisition) {
+  if (!lockdep::build_enabled()) GTEST_SKIP() << "PARADMM_LOCKDEP is off";
+  lockdep::reset_order_graph();
+  CaptureViolations capture;
+  Mutex a("abba-A");
+  Mutex b("abba-B");
+
+  // Thread 1 records the order A -> B and finishes.  No violation: the
+  // graph merely learns the edge.
+  std::thread first([&] {
+    MutexLock lock_a(a);
+    MutexLock lock_b(b);
+  });
+  first.join();
+  ASSERT_TRUE(capture.violations().empty());
+
+  // Thread 2 then acquires B -> A.  Nobody holds anything concurrently —
+  // there is no actual deadlock on this run — but the mere order closes
+  // the cycle and must be reported at this exact acquisition.
+  std::thread second([&] {
+    MutexLock lock_b(b);
+    MutexLock lock_a(a);  // the closing acquisition
+  });
+  second.join();
+
+  ASSERT_EQ(capture.violations().size(), 1u);
+  const lockdep::Violation& violation = capture.violations()[0];
+  EXPECT_EQ(violation.kind, "cycle");
+  // The diagnostic names both sequences: this thread's held stack...
+  EXPECT_NE(violation.message.find("\"abba-B\" -> \"abba-A\""),
+            std::string::npos)
+      << violation.message;
+  // ...and the recorded sequence that established the reverse order.
+  EXPECT_NE(violation.message.find("\"abba-A\" -> \"abba-B\""),
+            std::string::npos)
+      << violation.message;
+  EXPECT_NE(violation.message.find("cycle"), std::string::npos);
+}
+
+TEST(Lockdep, SameNameDistinctInstancesNestingIsACycle) {
+  if (!lockdep::build_enabled()) GTEST_SKIP() << "PARADMM_LOCKDEP is off";
+  // The graph is keyed by lock *class* (name), like kernel lockdep:
+  // nesting two instances of one class is the classic per-object ABBA
+  // waiting to happen (thread 1 nests j1 -> j2 while thread 2 nests
+  // j2 -> j1), so it is flagged on the first occurrence.
+  lockdep::reset_order_graph();
+  CaptureViolations capture;
+  Mutex first_instance("job-lock");
+  Mutex second_instance("job-lock");
+  {
+    MutexLock outer(first_instance);
+    MutexLock inner(second_instance);
+  }
+  ASSERT_EQ(capture.violations().size(), 1u);
+  EXPECT_EQ(capture.violations()[0].kind, "cycle");
+  EXPECT_NE(capture.violations()[0].message.find("\"job-lock\""),
+            std::string::npos);
+}
+
+TEST(Lockdep, ReentrantAcquisitionIsRejected) {
+  if (!lockdep::build_enabled()) GTEST_SKIP() << "PARADMM_LOCKDEP is off";
+  lockdep::reset_order_graph();
+  ThrowOnViolation thrower;
+  Mutex mutex("reentrant-lock");
+  UniqueLock lock(mutex);
+  try {
+    mutex.lock();  // would self-deadlock; the validator fires first
+    FAIL() << "re-entrant acquisition was not rejected";
+  } catch (const ViolationError& error) {
+    EXPECT_EQ(error.violation.kind, "re-entrant");
+    EXPECT_NE(error.violation.message.find("\"reentrant-lock\""),
+              std::string::npos)
+        << error.violation.message;
+  }
+}
+
+TEST(Lockdep, ResetOrderGraphForgetsRecordedEdges) {
+  if (!lockdep::build_enabled()) GTEST_SKIP() << "PARADMM_LOCKDEP is off";
+  lockdep::reset_order_graph();
+  CaptureViolations capture;
+  Mutex a("reset-A");
+  Mutex b("reset-B");
+  {
+    MutexLock lock_a(a);
+    MutexLock lock_b(b);  // records A -> B
+  }
+  lockdep::reset_order_graph();
+  {
+    MutexLock lock_b(b);
+    MutexLock lock_a(a);  // would close the cycle, but the edge is gone
+  }
+  EXPECT_TRUE(capture.violations().empty());
+  lockdep::reset_order_graph();  // drop the B -> A edge recorded just now
+}
+
+TEST(LockdepDeath, DefaultHandlerAbortsNamingBothSequences) {
+  if (!lockdep::build_enabled()) GTEST_SKIP() << "PARADMM_LOCKDEP is off";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto abba = [] {
+    lockdep::reset_order_graph();
+    Mutex a("death-A");
+    Mutex b("death-B");
+    {
+      MutexLock lock_a(a);
+      MutexLock lock_b(b);
+    }
+    MutexLock lock_b(b);
+    MutexLock lock_a(a);  // no handler installed: report + abort
+  };
+  // The report must carry both named sequences.  Death-test regexes are
+  // line-oriented, so each sequence is asserted by its own child run.
+  EXPECT_DEATH(abba(), "lock-order cycle detected");
+  EXPECT_DEATH(abba(), "while holding: \"death-B\" -> \"death-A\"");
+  EXPECT_DEATH(abba(), "\"death-A\" -> \"death-B\"");
+}
+
+// ---------------------------------------------------------------------------
+// The zero-interference property: with the validator switched off at
+// runtime, a full BatchRunner scenario is bitwise identical to the
+// checked run — same dispatch order, same solver trajectories, same
+// metrics.  Mirrors TraceNoOp.DetachedSinkLeavesRunBitwiseIdentical
+// (tests/runtime/test_trace.cpp).  In non-lockdep builds set_enabled is
+// a no-op and both runs are trivially the plain-mutex runtime; the test
+// still runs, pinning the call-site parity.
+
+runtime::RuntimeMetrics lockdep_scenario(bool validate,
+                                         std::vector<std::size_t>* start_order,
+                                         std::vector<double>* z_values) {
+  using namespace paradmm::runtime;
+  lockdep::set_enabled(validate);
+  auto vclock = std::make_shared<std::atomic<double>>(0.0);
+  BatchRunnerOptions options;
+  options.threads = 1;
+  options.clock = [vclock] { return vclock->load(); };
+
+  std::mutex order_mutex;
+  std::vector<std::size_t> order;
+  std::vector<char> recorded(3, 0);
+  std::vector<std::unique_ptr<FactorGraph>> graphs;
+  RuntimeMetrics metrics;
+  {
+    BatchRunner runner(options);
+
+    std::atomic<bool> parked{false};
+    std::atomic<bool> release{false};
+    FactorGraph blocker_graph;
+    const VariableId blocker_w = blocker_graph.add_variable(1);
+    blocker_graph.add_factor(
+        std::make_shared<SumSquaresProx>(1.0, std::vector<double>{0.0}),
+        {blocker_w});
+    blocker_graph.set_uniform_parameters(1.0, 1.0);
+    SolveJob blocker;
+    blocker.graph = &blocker_graph;
+    blocker.label = "blocker";
+    blocker.options.max_iterations = 20;
+    blocker.options.check_interval = 10;
+    blocker.progress = [&](const IterationStatus&) {
+      parked.store(true);
+      while (!release.load()) std::this_thread::yield();
+    };
+    runner.submit(std::move(blocker));
+    while (!parked.load()) std::this_thread::yield();
+
+    const int priorities[] = {0, 5, 2};
+    for (std::size_t i = 0; i < 3; ++i) {
+      auto graph = std::make_unique<FactorGraph>();
+      const VariableId w = graph->add_variable(1);
+      graph->add_factor(
+          std::make_shared<SumSquaresProx>(
+              1.0, std::vector<double>{static_cast<double>(i + 1)}),
+          {w});
+      graph->set_uniform_parameters(1.0, 1.0);
+      graphs.push_back(std::move(graph));
+      vclock->store(static_cast<double>(i + 1));
+      SolveJob job;
+      job.graph = graphs.back().get();
+      job.label = "job-" + std::to_string(i);
+      job.priority = priorities[i];
+      job.options.max_iterations = 20;
+      job.options.check_interval = 10;
+      job.progress = [&, i](const IterationStatus&) {
+        std::lock_guard lock(order_mutex);
+        if (!recorded[i]) {
+          recorded[i] = 1;
+          order.push_back(i);
+        }
+      };
+      runner.submit(std::move(job));
+    }
+
+    vclock->store(4.0);
+    release.store(true);
+    runner.wait_all();
+    metrics = runner.metrics();
+  }
+  lockdep::set_enabled(true);
+
+  if (start_order != nullptr) *start_order = order;
+  if (z_values != nullptr) {
+    z_values->clear();
+    for (const auto& graph : graphs) {
+      for (const double z : graph->z_values()) z_values->push_back(z);
+    }
+  }
+  return metrics;
+}
+
+TEST(LockdepNoOp, DisabledValidatorLeavesRunBitwiseIdentical) {
+  std::vector<std::size_t> order_checked;
+  std::vector<std::size_t> order_plain;
+  std::vector<double> z_checked;
+  std::vector<double> z_plain;
+  const runtime::RuntimeMetrics metrics_checked =
+      lockdep_scenario(/*validate=*/true, &order_checked, &z_checked);
+  const runtime::RuntimeMetrics metrics_plain =
+      lockdep_scenario(/*validate=*/false, &order_plain, &z_plain);
+
+  // Priority order: job-1 (5), job-2 (2), job-0 (0) — and identical
+  // between the checked and unchecked runs.
+  const std::vector<std::size_t> expected{1, 2, 0};
+  EXPECT_EQ(order_checked, expected);
+  EXPECT_EQ(order_plain, expected);
+
+  ASSERT_EQ(z_checked.size(), z_plain.size());
+  for (std::size_t i = 0; i < z_checked.size(); ++i) {
+    EXPECT_EQ(z_checked[i], z_plain[i]) << "z diverged at " << i;
+  }
+
+  EXPECT_EQ(metrics_checked.submitted, metrics_plain.submitted);
+  EXPECT_EQ(metrics_checked.completed, metrics_plain.completed);
+  EXPECT_EQ(metrics_checked.cancelled, metrics_plain.cancelled);
+  EXPECT_EQ(metrics_checked.failed, metrics_plain.failed);
+  EXPECT_EQ(metrics_checked.dispatcher_preemptions,
+            metrics_plain.dispatcher_preemptions);
+  EXPECT_EQ(metrics_checked.finished_by_width, metrics_plain.finished_by_width);
+  EXPECT_EQ(metrics_checked.queue_wait.count(),
+            metrics_plain.queue_wait.count());
+  EXPECT_EQ(metrics_checked.end_to_end.count(),
+            metrics_plain.end_to_end.count());
+  // Latencies run on the virtual clock, so the percentile values are
+  // deterministic and must agree exactly.
+  EXPECT_DOUBLE_EQ(metrics_checked.queue_wait.p99(),
+                   metrics_plain.queue_wait.p99());
+  EXPECT_DOUBLE_EQ(metrics_checked.end_to_end.p99(),
+                   metrics_plain.end_to_end.p99());
+}
+
+}  // namespace
+}  // namespace paradmm

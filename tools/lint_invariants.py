@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Repo-wide invariant lints that clang-tidy cannot express.
+
+Run from anywhere inside the repository:
+
+    python3 tools/lint_invariants.py
+
+Exit status 0 means every invariant holds; violations print one
+GCC-style `file:line: error:` diagnostic each and exit 1.
+
+Invariants enforced (each with a short rationale — see README
+"Static analysis"):
+
+ 1. No wall-clock reads outside the timer.  Every call site that reads
+    std::chrono::{steady,system,high_resolution}_clock under src/ must
+    live in src/support/timer.hpp (the WallTimer abstraction and the
+    default-clock factory built on it).  Everything else takes time as
+    an injected `std::function<double()>` clock, which is what keeps
+    virtual-clock tests deterministic — a stray ::now() breaks that
+    silently.
+
+ 2. No naked standard mutexes.  Under src/, members or locals of
+    std::mutex / std::recursive_mutex / std::shared_mutex /
+    std::condition_variable{,_any} may only appear in
+    src/support/lockdep.{hpp,cpp} — the annotated paradmm::Mutex /
+    CondVar wrapper and the validator's own self-exempt internals.
+    A naked std::mutex is invisible to both the Clang thread-safety
+    analysis and the lock-order validator.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+
+CLOCK_PATTERN = re.compile(
+    r"\b(?:std::chrono::)?"
+    r"(?:steady_clock|system_clock|high_resolution_clock)\b"
+)
+CLOCK_ALLOWLIST = {SRC / "support" / "timer.hpp"}
+
+MUTEX_PATTERN = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|recursive_timed_mutex|timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?)\b"
+)
+MUTEX_ALLOWLIST = {
+    SRC / "support" / "lockdep.hpp",
+    SRC / "support" / "lockdep.cpp",
+}
+
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_comments(text: str) -> list[str]:
+    """Source lines with // and /* */ comment text blanked out
+    (line structure preserved so reported line numbers stay true)."""
+    # Blank block comments, keeping newlines.
+    def blank(match: re.Match[str]) -> str:
+        return "".join("\n" if c == "\n" else " " for c in match.group(0))
+
+    text = re.sub(r"/\*.*?\*/", blank, text, flags=re.DOTALL)
+    return [LINE_COMMENT.sub("", line) for line in text.splitlines()]
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    lines = strip_comments(path.read_text(encoding="utf-8"))
+    rel = path.relative_to(REPO_ROOT)
+    for number, line in enumerate(lines, start=1):
+        if path not in CLOCK_ALLOWLIST and CLOCK_PATTERN.search(line):
+            errors.append(
+                f"{rel}:{number}: error: wall-clock read outside "
+                f"src/support/timer.hpp — inject a clock "
+                f"(std::function<double()>) instead"
+            )
+        if path not in MUTEX_ALLOWLIST and MUTEX_PATTERN.search(line):
+            errors.append(
+                f"{rel}:{number}: error: naked standard mutex/condvar "
+                f"outside src/support/lockdep.* — use paradmm::Mutex / "
+                f"paradmm::CondVar so the thread-safety analysis and the "
+                f"lock-order validator can see it"
+            )
+    return errors
+
+
+def main() -> int:
+    if not SRC.is_dir():
+        print(f"error: {SRC} not found", file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix in SOURCE_SUFFIXES and path.is_file():
+            errors.extend(check_file(path))
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"\nlint_invariants: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
