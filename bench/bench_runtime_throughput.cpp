@@ -21,21 +21,29 @@
 //    reject-infeasible the runner turns them away at submit and only the
 //    feasible half runs; under degrade-to-best-effort everything runs but
 //    the infeasible half is flagged.  The counts are exact on any host —
-//    a wrong tally is a correctness failure, not noise.
+//    a wrong tally is a correctness failure, not noise;
+//  * continuous admission — the mid-queue counterpart: expired-deadline
+//    jobs hide behind parked lanes, so only re-projection (not submit-time
+//    admission) can catch them.  A frozen virtual clock and a flat
+//    1 s/iteration cost model make the shed set exact arithmetic.
 //
 // Emits BENCH_runtime_throughput.json (to bench/results/) with the
 // headline numbers, including queue-wait and end-to-end latency
 // percentiles from the runtime's histograms.  The mixed run executes with
 // a trace sink attached (write it out with --trace), so the bench
 // exercises the instrumented path it reports on.
+#include <atomic>
 #include <iostream>
 #include <memory>
+#include <span>
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "problems/svm/registry.hpp"
 #include "runtime/batch_runner.hpp"
+#include "runtime/calibration.hpp"
 #include "runtime/trace.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
@@ -202,6 +210,82 @@ AdmissionResult run_admission_scenario(BatchRunnerOptions runner_options,
   return result;
 }
 
+struct ShedResult {
+  std::size_t shed = 0;
+  std::size_t degraded = 0;
+  std::size_t completed = 0;
+  double batch_seconds = 0.0;
+};
+
+// Open-loop continuous-admission scenario, exact on any host: a frozen
+// virtual clock plus a flat 1 s/iteration cost model make every
+// re-projection pure arithmetic.  Two gate jobs park both lanes of a
+// 2-lane runner while `pairs` feasible and `pairs` already-expired jobs
+// queue up behind them; the first finish after the gates release
+// re-projects the whole backlog, and the runner sheds (reject-infeasible)
+// or degrades (degrade-to-best-effort) exactly the expired half before it
+// can occupy a lane — under accept, the same half runs to completion and
+// the batch pays for it in wall clock.
+ShedResult run_shed_scenario(AdmissionPolicy policy, int pairs,
+                             std::size_t points, std::size_t dimension,
+                             int iterations) {
+  ShedResult result;
+  auto clock_now = std::make_shared<std::atomic<double>>(0.0);
+  BatchRunnerOptions options;
+  options.threads = 2;
+  options.reprojection = policy;
+  options.clock = [clock_now] { return clock_now->load(); };
+  options.cost_model = make_function_cost_model(
+      [](const FactorGraph&, std::span<const std::size_t> widths) {
+        return std::vector<double>(widths.size(), 1.0);
+      },
+      "unit-iteration");
+
+  WallTimer timer;
+  {
+    BatchRunner runner(options);
+    std::atomic<int> parked{0};
+    std::atomic<bool> release{false};
+    for (int i = 0; i < 2; ++i) {
+      SolveJob gate = BatchRunner::make_job(
+          "svm", job_params(points, dimension, 300 + i), job_options(2));
+      gate.options.check_interval = 1;
+      gate.priority = 10;
+      gate.label = "gate";
+      gate.progress = [&parked, &release](const IterationStatus&) {
+        if (release.load()) return;
+        parked.fetch_add(1);
+        while (!release.load()) std::this_thread::yield();
+      };
+      runner.submit(std::move(gate));
+    }
+    while (parked.load() < 2) std::this_thread::yield();
+
+    for (int i = 0; i < pairs; ++i) {
+      SolveJob feasible = BatchRunner::make_job(
+          "svm", job_params(points, dimension, 400 + i),
+          job_options(iterations));
+      // Generous even with the full backlog (degraded jobs included)
+      // queued ahead: the worst projection is pairs*I + I/2 seconds.
+      feasible.deadline = static_cast<double>(pairs + 1) * iterations;
+      runner.submit(std::move(feasible));
+      SolveJob doomed = BatchRunner::make_job(
+          "svm", job_params(points, dimension, 450 + i),
+          job_options(iterations));
+      doomed.deadline = 0.0;  // provably late behind any backlog
+      runner.submit(std::move(doomed));
+    }
+    release.store(true);
+    runner.wait_all();
+    const RuntimeMetrics metrics = runner.metrics();
+    result.shed = metrics.shed_late;
+    result.degraded = metrics.degraded;
+    result.completed = metrics.completed;
+  }
+  result.batch_seconds = timer.seconds();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -297,6 +381,18 @@ int main(int argc, char** argv) {
       runner_options, AdmissionPolicy::kDegradeToBestEffort, admission_pairs,
       points, dimension, iterations);
 
+  // Continuous-admission (re-projection) scenario: the mid-queue
+  // counterpart of submit-time admission, on its own 2-lane virtual-clock
+  // runner so the shed set is exact arithmetic on any host.
+  const ShedResult shed_accept = run_shed_scenario(
+      AdmissionPolicy::kAccept, admission_pairs, points, dimension, iterations);
+  const ShedResult shed_reject =
+      run_shed_scenario(AdmissionPolicy::kRejectInfeasible, admission_pairs,
+                        points, dimension, iterations);
+  const ShedResult shed_degrade =
+      run_shed_scenario(AdmissionPolicy::kDegradeToBestEffort, admission_pairs,
+                        points, dimension, iterations);
+
   const std::size_t pool_threads = mix.metrics.workers;
   Table table({"workload", "jobs", "converged seq/batch", "sequential",
                "batch", "speedup"});
@@ -367,6 +463,28 @@ int main(int argc, char** argv) {
   if (flags.get_bool("csv")) admission_table.print_csv(std::cout);
   else admission_table.print(std::cout);
 
+  Table shed_table({"re-projection policy", "shed late", "degraded",
+                    "completed", "batch"});
+  shed_table.add_row({"accept", std::to_string(shed_accept.shed),
+                      std::to_string(shed_accept.degraded),
+                      std::to_string(shed_accept.completed),
+                      format_duration(shed_accept.batch_seconds)});
+  shed_table.add_row({"reject-infeasible", std::to_string(shed_reject.shed),
+                      std::to_string(shed_reject.degraded),
+                      std::to_string(shed_reject.completed),
+                      format_duration(shed_reject.batch_seconds)});
+  shed_table.add_row({"degrade-to-best-effort",
+                      std::to_string(shed_degrade.shed),
+                      std::to_string(shed_degrade.degraded),
+                      std::to_string(shed_degrade.completed),
+                      format_duration(shed_degrade.batch_seconds)});
+  std::cout << "\ncontinuous-admission scenario (" << admission_pairs
+            << " feasible + " << admission_pairs
+            << " expired-deadline jobs queued behind parked lanes, "
+               "virtual clock):\n";
+  if (flags.get_bool("csv")) shed_table.print_csv(std::cout);
+  else shed_table.print(std::cout);
+
   // Admission tallies are exact arithmetic on any host: reject turns away
   // exactly the expired-deadline half and runs the rest; degrade runs
   // everything, flagging the same half.  Any other count is a correctness
@@ -379,6 +497,21 @@ int main(int argc, char** argv) {
   if (admission_diverged) {
     std::cout << "FAIL: admission tallies diverged from the exact expected "
                  "counts\n";
+  }
+
+  // So are the re-projection tallies (the gates add two completions to
+  // every run): reject sheds exactly the expired half mid-queue, degrade
+  // runs it flagged, accept runs everything unflagged.
+  const bool shed_diverged =
+      shed_accept.shed != 0 || shed_accept.degraded != 0 ||
+      shed_accept.completed != 2 * expected + 2 ||
+      shed_reject.shed != expected || shed_reject.degraded != 0 ||
+      shed_reject.completed != expected + 2 || shed_degrade.shed != 0 ||
+      shed_degrade.degraded != expected ||
+      shed_degrade.completed != 2 * expected + 2;
+  if (shed_diverged) {
+    std::cout << "FAIL: re-projection tallies diverged from the exact "
+                 "expected counts\n";
   }
 
   // The runner solves the exact same instances with the same options, and
@@ -492,6 +625,13 @@ int main(int argc, char** argv) {
       .set("admission_degraded", degrading.degraded)
       .set("admission_reject_seconds", rejecting.batch_seconds)
       .set("admission_degrade_seconds", degrading.batch_seconds)
+      // Continuous-admission scenario: exact mid-queue shed/degrade
+      // tallies plus the wall clock each policy paid for the same backlog.
+      .set("reprojection_shed", shed_reject.shed)
+      .set("reprojection_degraded", shed_degrade.degraded)
+      .set("reprojection_accept_seconds", shed_accept.batch_seconds)
+      .set("reprojection_shed_seconds", shed_reject.batch_seconds)
+      .set("reprojection_degrade_seconds", shed_degrade.batch_seconds)
       // Latency percentiles from the runtime's histograms.  The tail ratio
       // p99/p50 is roughly host-independent (both ends scale with machine
       // speed), so the regression gate can watch mixed-workload tail
@@ -518,7 +658,7 @@ int main(int argc, char** argv) {
   // Nonzero exit lets CI catch a throughput regression on real multicore —
   // and an outcome, admission, or telemetry divergence anywhere.
   return (target_missed || outcomes_diverged || admission_diverged ||
-          percentiles_invalid)
+          shed_diverged || percentiles_invalid)
              ? 1
              : 0;
 }

@@ -147,6 +147,29 @@ class CheckRegressionGate(unittest.TestCase):
         self.assertEqual(result.returncode, 0, result.stdout)
         self.assertIn("skipping", result.stdout)
 
+    def test_thread_mismatch_notes_gate_not_binding(self):
+        # Both runs clear the floor on different machines: the comparison
+        # still runs, but the mismatch is called out loudly.
+        result = run_gate(good_record(threads=8), good_record(threads=16))
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("gate not binding", result.stdout)
+        self.assertIn("PASS", result.stdout)
+
+    def test_thread_mismatch_still_fails_real_regressions(self):
+        # The not-binding note is advisory, not a waiver: a regression
+        # beyond tolerance fails even across mismatched hardware.
+        result = run_gate(good_record(speedup=3.0, threads=8),
+                          good_record(speedup=1.0, threads=16),
+                          "--tolerance", "0.15")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("gate not binding", result.stdout)
+        self.assertIn("REGRESSED", result.stdout)
+
+    def test_matching_threads_print_no_mismatch_note(self):
+        result = run_gate(good_record(), good_record())
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertNotIn("gate not binding", result.stdout)
+
     def test_unreadable_fresh_fails(self):
         result = run_gate(good_record(), "{not json")
         self.assertEqual(result.returncode, 1, result.stdout)

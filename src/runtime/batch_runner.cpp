@@ -16,6 +16,7 @@ std::string_view to_string(JobState state) {
     case JobState::kCancelled: return "cancelled";
     case JobState::kFailed: return "failed";
     case JobState::kRejected: return "rejected";
+    case JobState::kShedLate: return "shed-late";
   }
   return "unknown";
 }
@@ -58,17 +59,36 @@ SolverReport stitched_report(const detail::JobControl& job,
   return last_slice;
 }
 
-// The runner's pricing model: the caller's, else — once admission needs
-// prices — the environment's default (calibrated host profile when one is
-// configured or committed, devsim Opteron spec otherwise).  With admission
-// off and no model supplied the runner stays un-priced, reproducing the
-// pre-calibration behavior exactly.
-CostModelPtr resolve_cost_model(const BatchRunnerOptions& options) {
-  if (options.cost_model) return options.cost_model;
-  if (options.admission != AdmissionPolicy::kAccept) {
-    return default_cost_model();
+// The online re-fit state: only materialized when asked for — a null
+// recalibrator keeps every sample-capture site a pointer check, so the
+// disabled runtime is bitwise identical to the pre-recalibration one.
+std::shared_ptr<OnlineRecalibrator> make_recalibrator(
+    const BatchRunnerOptions& options) {
+  if (!options.recalibration.enabled) return nullptr;
+  return std::make_shared<OnlineRecalibrator>(options.recalibration);
+}
+
+// The runner's pricing model: the caller's, else — once admission,
+// re-projection, or re-calibration needs prices — the environment's
+// default (calibrated host profile when one is configured or committed,
+// devsim Opteron spec otherwise).  With everything off and no model
+// supplied the runner stays un-priced, reproducing the pre-calibration
+// behavior exactly.  A live recalibrator wraps the base model: the same
+// pointer prices width planning, admission, and re-projection, so every
+// decision tracks the re-fitted profile the moment one exists.
+CostModelPtr resolve_cost_model(
+    const BatchRunnerOptions& options,
+    const std::shared_ptr<OnlineRecalibrator>& recalibrator) {
+  CostModelPtr base = options.cost_model;
+  if (!base && (options.admission != AdmissionPolicy::kAccept ||
+                options.reprojection != AdmissionPolicy::kAccept ||
+                recalibrator != nullptr)) {
+    base = default_cost_model();
   }
-  return nullptr;
+  if (base && recalibrator) {
+    return make_online_cost_model(std::move(base), recalibrator);
+  }
+  return base;
 }
 
 // One model everywhere: when the scheduler was not given its own cost
@@ -99,7 +119,8 @@ std::vector<TraceArg> job_args(const detail::JobControl& job) {
 
 BatchRunner::BatchRunner(BatchRunnerOptions options)
     : pool_(resolve_threads(options.threads)),
-      cost_model_(resolve_cost_model(options)),
+      recalibrator_(make_recalibrator(options)),
+      cost_model_(resolve_cost_model(options, recalibrator_)),
       // Solves run as tasks on the pool's workers, but the idle dispatcher
       // lends itself to the pool as a fork-chunk lane (help_until in the
       // dispatcher loop), so a fine-grained fork can occupy the full pool
@@ -112,15 +133,24 @@ BatchRunner::BatchRunner(BatchRunnerOptions options)
       governor_(options.governor),
       aging_rate_(options.aging_rate),
       admission_(options.admission),
+      reprojection_(options.reprojection),
+      reprojection_interval_(options.reprojection_interval),
       queue_(JobOrder{options.aging_rate}) {
   require(std::isfinite(aging_rate_) && aging_rate_ >= 0.0,
           "BatchRunner aging_rate must be finite and >= 0");
+  require(std::isfinite(reprojection_interval_) &&
+              reprojection_interval_ >= 0.0,
+          "BatchRunner reprojection_interval must be finite and >= 0");
   clock_ = options.clock ? std::move(options.clock)
                          : [this] { return since_start_.seconds(); };
   // Deadlines, aging waits, and the governor's deadline projections all
   // read the same clock — one axis, so "finished_at <= deadline" and "the
   // projection missed the deadline" mean the same thing everywhere.
   governor_.bind(pool_.concurrency(), clock_);
+  // The governor's phase barriers are where measured per-phase wall-clock
+  // already exists; bound before the dispatcher starts, so no governed
+  // solve can race the install.
+  if (recalibrator_) governor_.bind_recalibration(recalibrator_.get());
   if (options.trace_sink) {
     trace_keepalive_ = std::move(options.trace_sink);
     trace_ = trace_keepalive_.get();
@@ -187,6 +217,11 @@ JobHandle BatchRunner::submit(SolveJob job) {
   double best_case_seconds = 0.0;
   if (cost_model_) best_case_seconds = price_job(*control);
 
+  // The verdict is decided once, under the lock, and every post-lock step
+  // reads this local: the queued job's atomic admission field may be
+  // flipped to best-effort by a concurrent re-projection pass the moment
+  // the lock is released, and that flip does its own accounting.
+  AdmissionVerdict verdict = AdmissionVerdict::kAdmitted;
   std::size_t depth = 0;
   {
     MutexLock lock(mutex_);
@@ -194,10 +229,10 @@ JobHandle BatchRunner::submit(SolveJob job) {
     control->sequence = next_sequence_++;
     if (admission_ != AdmissionPolicy::kAccept &&
         std::isfinite(control->deadline)) {
-      control->admission = admit(control, best_case_seconds,
-                                 control->submit_time);
+      verdict = admit(control, best_case_seconds, control->submit_time);
+      control->admission.store(verdict, std::memory_order_relaxed);
     }
-    if (control->admission == AdmissionVerdict::kRejected) {
+    if (verdict == AdmissionVerdict::kRejected) {
       depth = queue_.size();
     } else {
       // Into the governor's waiting set under the same lock that publishes
@@ -219,30 +254,28 @@ JobHandle BatchRunner::submit(SolveJob job) {
     if (std::isfinite(control->deadline)) {
       args.push_back(TraceRecorder::arg("deadline", control->deadline));
     }
-    args.push_back(
-        TraceRecorder::arg("verdict", to_string(control->admission)));
+    args.push_back(TraceRecorder::arg("verdict", to_string(verdict)));
     trace_->instant("submit", "job", std::move(args));
-    if (control->admission != AdmissionVerdict::kAdmitted) {
+    if (verdict != AdmissionVerdict::kAdmitted) {
       // The admission decision with its evidence: the projected finish the
       // verdict compared against the deadline.
-      auto verdict = job_args(*control);
-      verdict.push_back(
-          TraceRecorder::arg("verdict", to_string(control->admission)));
+      auto evidence = job_args(*control);
+      evidence.push_back(TraceRecorder::arg("verdict", to_string(verdict)));
       if (!std::isnan(control->admission_projected)) {
-        verdict.push_back(
+        evidence.push_back(
             TraceRecorder::arg("projected", control->admission_projected));
       }
-      verdict.push_back(TraceRecorder::arg("deadline", control->deadline));
-      trace_->instant("admission", "admission", std::move(verdict));
+      evidence.push_back(TraceRecorder::arg("deadline", control->deadline));
+      trace_->instant("admission", "admission", std::move(evidence));
     }
   }
-  if (control->admission == AdmissionVerdict::kRejected) {
+  if (verdict == AdmissionVerdict::kRejected) {
     // Terminal without ever occupying the queue: no dispatch, no pool
     // lane, no wait_all() obligation — the handle is already settled.
     reject(control, control->submit_time);
     return JobHandle(control);
   }
-  if (control->admission == AdmissionVerdict::kBestEffort) {
+  if (verdict == AdmissionVerdict::kBestEffort) {
     collector_.on_degraded();
   }
   // The dispatcher may be lending itself to the pool; the wake flag plus
@@ -256,14 +289,15 @@ JobHandle BatchRunner::submit(SolveJob job) {
 }
 
 double BatchRunner::price_job(detail::JobControl& control) const {
-  // The full width ladder is only needed for an admission projection (the
-  // best-case floor); a job that will never be projected — admission off,
-  // or no finite deadline — prices the serial point alone, which is all
-  // the load accounting and the governor prior consume.  (The scheduler
-  // still prices its own ladder at plan() time for fine-grained jobs;
-  // caching a plan here instead would move user-model exceptions from the
-  // dispatcher's containment onto the submit path for every job.)
-  const bool need_ladder = admission_ != AdmissionPolicy::kAccept &&
+  // The full width ladder is only needed for an admission or re-projection
+  // check (the best-case floor); a job that will never be projected —
+  // both off, or no finite deadline — prices the serial point alone, which
+  // is all the load accounting and the governor prior consume.  (The
+  // scheduler still prices its own ladder at plan() time for fine-grained
+  // jobs; caching a plan here instead would move user-model exceptions
+  // from the dispatcher's containment onto the submit path for every job.)
+  const bool need_ladder = (admission_ != AdmissionPolicy::kAccept ||
+                            reprojection_ != AdmissionPolicy::kAccept) &&
                            std::isfinite(control.deadline);
   const std::vector<std::size_t> ladder =
       need_ladder ? width_ladder(pool_.concurrency())
@@ -284,6 +318,10 @@ double BatchRunner::price_job(detail::JobControl& control) const {
   for (const double s : seconds) {
     if (std::isfinite(s) && s > 0.0) best = std::min(best, s);
   }
+  // Mid-queue re-projection re-prices the job from its *remaining*
+  // iterations, so the per-iteration floor is kept alongside the
+  // submit-time product.
+  control.best_seconds_per_iteration = best;
   return best * iterations;
 }
 
@@ -344,6 +382,157 @@ void BatchRunner::reject(const std::shared_ptr<detail::JobControl>& control,
   control->changed.notify_all();
 }
 
+void BatchRunner::reproject_locked(
+    double now, std::vector<std::shared_ptr<detail::JobControl>>* shed,
+    std::vector<std::shared_ptr<detail::JobControl>>* degraded) {
+  if (reprojection_ == AdmissionPolicy::kAccept) return;
+  if (now - last_reprojection_ < reprojection_interval_) return;
+  last_reprojection_ = now;
+  // One walk in dispatch order, re-running admit()'s projection with
+  // admit()'s own arithmetic: the prefix sum of queued serial work is the
+  // load charged "ahead" of each job, spread perfectly over the pool, and
+  // the job's own cost is its remaining iterations at the model's best
+  // ladder width.  The projection stays deliberately optimistic — the
+  // submit-time proof sketch — so a shed job is provably late, not merely
+  // predicted late.
+  const double pool = static_cast<double>(pool_.concurrency());
+  double ahead_seconds = 0.0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const auto& queued = *it;
+    const int remaining =
+        std::max(queued->options.max_iterations - queued->iterations_done, 0);
+    const double own_serial = queued->serial_seconds_per_iteration *
+                              static_cast<double>(remaining);
+    // Re-check only jobs still racing a deadline they could arm: already
+    // best-effort jobs carry no promise to revoke, and a job cancelled
+    // while queued settles as a cancellation at its dispatch (shedding it
+    // here would overwrite the caller's verdict with ours).  Both still
+    // contribute their queued work to the jobs behind them — exactly as
+    // admit() charges them.
+    const bool checkable =
+        std::isfinite(queued->deadline) &&
+        queued->admission.load(std::memory_order_relaxed) ==
+            AdmissionVerdict::kAdmitted &&
+        !queued->cancel_requested.load(std::memory_order_relaxed);
+    if (checkable) {
+      const double projected =
+          now + ahead_seconds / pool +
+          queued->best_seconds_per_iteration * static_cast<double>(remaining);
+      if (projected > queued->deadline) {
+        // Evidence, written under the runner mutex and read by the settle
+        // step this same thread runs next (and by the handle only after
+        // the terminal state is published under the job mutex).
+        queued->reprojection_projected = projected;
+        queued->reprojection_ahead_seconds = ahead_seconds;
+        if (reprojection_ == AdmissionPolicy::kRejectInfeasible) {
+          shed->push_back(queued);
+          it = queue_.erase(it);
+          // A shed job runs nothing, so the jobs behind it are relieved
+          // of its load: skip the ahead_seconds contribution.
+          continue;
+        }
+        queued->admission.store(AdmissionVerdict::kBestEffort,
+                                std::memory_order_relaxed);
+        degraded->push_back(queued);
+      }
+    }
+    ahead_seconds += own_serial;
+    ++it;
+  }
+}
+
+void BatchRunner::settle_reprojected(
+    double now, const std::vector<std::shared_ptr<detail::JobControl>>& shed,
+    const std::vector<std::shared_ptr<detail::JobControl>>& degraded,
+    std::size_t depth) {
+  for (const auto& job : degraded) {
+    collector_.on_degraded();
+    if (trace_ != nullptr) {
+      auto args = job_args(*job);
+      args.push_back(TraceRecorder::arg("verdict", "best-effort"));
+      args.push_back(
+          TraceRecorder::arg("projected", job->reprojection_projected));
+      args.push_back(TraceRecorder::arg("deadline", job->deadline));
+      args.push_back(TraceRecorder::arg("ahead_seconds",
+                                        job->reprojection_ahead_seconds));
+      trace_->instant("reprojection", "admission", std::move(args));
+    }
+  }
+  for (const auto& job : shed) {
+    // The job left the ready queue without dispatching: release its
+    // governor waiting slot, settle its metrics and trace span, and flip
+    // its handle terminal — the kQueued -> kShedLate analog of a
+    // cancel-while-queued finalize.  A preempted job shed while parked
+    // keeps the progress its slices already banked.
+    governor_.job_done_waiting();
+    SolverReport report =
+        job->started ? stitched_report(*job, job->last_report)
+                     : SolverReport{};
+    std::size_t threads_used = 0;
+    {
+      MutexLock job_lock(job->mutex);
+      if (!job->planned) {
+        job->plan = JobPlan{};
+        job->planned = true;
+      }
+      threads_used = job->plan.intra_threads;
+    }
+    JobFinish finish;
+    finish.outcome = JobState::kShedLate;
+    finish.wall_seconds = job->wall_so_far;
+    finish.threads_used = threads_used;
+    finish.ran = job->started;
+    finish.was_running = false;
+    finish.had_deadline = true;  // only finite deadlines are ever shed
+    finish.met_deadline = false;
+    finish.phase_seconds = &report.phase_seconds;
+    finish.end_to_end_seconds = std::max(0.0, now - job->submit_time);
+    if (job->started && !std::isnan(job->first_start_time)) {
+      finish.queue_wait_seconds =
+          std::max(0.0, job->first_start_time - job->submit_time);
+    }
+    collector_.on_finish(finish);
+    if (trace_ != nullptr) {
+      auto evidence = job_args(*job);
+      evidence.push_back(TraceRecorder::arg("verdict", "shed-late"));
+      evidence.push_back(
+          TraceRecorder::arg("projected", job->reprojection_projected));
+      evidence.push_back(TraceRecorder::arg("deadline", job->deadline));
+      evidence.push_back(TraceRecorder::arg("ahead_seconds",
+                                            job->reprojection_ahead_seconds));
+      trace_->instant("reprojection", "admission", std::move(evidence));
+      auto args = job_args(*job);
+      args.push_back(TraceRecorder::arg("outcome", "shed-late"));
+      args.push_back(TraceRecorder::arg("e2e", finish.end_to_end_seconds));
+      if (finish.queue_wait_seconds >= 0.0) {
+        args.push_back(
+            TraceRecorder::arg("queue_wait", finish.queue_wait_seconds));
+      }
+      trace_->instant("finish", "job", std::move(args));
+      trace_->async_end(job_span_name(*job), "job", job->sequence);
+    }
+    {
+      MutexLock job_lock(job->mutex);
+      job->report = std::move(report);
+      job->wall_seconds = job->wall_so_far;
+      job->finished_at = now;
+      job->state = JobState::kShedLate;
+    }
+    job->changed.notify_all();
+  }
+  if (!shed.empty()) {
+    collector_.on_queue_depth(depth);
+    // Last statement on purpose: releasing the shed jobs' unfinished_
+    // counts may let a wait_all() caller destroy this runner the moment
+    // the lock drops, so nothing below may touch it.  (Shed jobs were
+    // never inflight_ — they went from the ready queue straight to
+    // terminal.)
+    MutexLock lock(mutex_);
+    unfinished_ -= shed.size();
+    all_done_.notify_all();
+  }
+}
+
 JobHandle BatchRunner::submit(const std::string& problem,
                               const std::any& params, SolverOptions options,
                               ProgressFn progress,
@@ -378,8 +567,16 @@ RuntimeMetrics BatchRunner::metrics() const {
     MutexLock lock(mutex_);
     depth = queue_.size();
   }
-  return collector_.snapshot(since_start_.seconds(), pool_.concurrency(),
-                             depth, governor_.stats());
+  RuntimeMetrics out = collector_.snapshot(
+      since_start_.seconds(), pool_.concurrency(), depth, governor_.stats());
+  if (recalibrator_) {
+    const RecalibrationStats recal = recalibrator_->stats();
+    out.recalibration_samples = recal.samples;
+    out.recalibration_refits = recal.refits;
+    out.recalibration_drift = recal.last_drift;
+    out.recalibration_drifted = recal.drifted;
+  }
+  return out;
 }
 
 bool BatchRunner::dispatch_pressure(const detail::JobControl& running) {
@@ -397,6 +594,10 @@ bool BatchRunner::dispatch_pressure(const detail::JobControl& running) {
 void BatchRunner::dispatcher_loop() {
   for (;;) {
     std::shared_ptr<detail::JobControl> job;
+    std::vector<std::shared_ptr<detail::JobControl>> shed;
+    std::vector<std::shared_ptr<detail::JobControl>> degraded;
+    std::size_t depth_after_shed = 0;
+    double reproject_now = 0.0;
     {
       UniqueLock lock(mutex_);
       const bool lanes_full = inflight_ >= pool_.concurrency();
@@ -419,11 +620,10 @@ void BatchRunner::dispatcher_loop() {
         // ready queue at its next progress barrier whenever dispatch
         // pressure appears (see the yield check in execute()) — the
         // preemption bound that lets a job arriving mid-solve start
-        // within one barrier.  The bound presumes the solve *has*
-        // mid-solve barriers: with check_interval <= 0 (or >= the whole
-        // budget) the callback fires once at the end, and such a solve
-        // pins the helper for its duration, exactly like every
-        // dispatcher-picked solve did before preemption existed.
+        // within one barrier.  The bound holds for every solve: execute()
+        // clamps the effective check_interval so even a whole-budget (or
+        // checks-disabled) configuration hits at least one mid-solve
+        // barrier.
         pool_.help_until([this] { return dispatcher_wake_.load(); },
                          /*serve_tasks=*/true);
         dispatcher_helping_.store(false);
@@ -435,6 +635,21 @@ void BatchRunner::dispatcher_loop() {
       job = *front;
       queue_.erase(front);
       ++inflight_;
+      // The pop changed the queue's shape: everything that was behind this
+      // job just moved up, and everything that was ahead of a given waiter
+      // shrank — re-project the remainder while the lock is already held.
+      // (The popped job itself is out of the queue and cannot be shed.)
+      if (reprojection_ != AdmissionPolicy::kAccept) {
+        reproject_now = clock_();
+        reproject_locked(reproject_now, &shed, &degraded);
+        depth_after_shed = queue_.size();
+      }
+    }
+    // The dispatcher thread outlives every settle it runs (the destructor
+    // joins it before wait_all), so touching the runner here is safe even
+    // when the shed jobs were the last unfinished ones.
+    if (!shed.empty() || !degraded.empty()) {
+      settle_reprojected(reproject_now, shed, degraded, depth_after_shed);
     }
 
     if (trace_ != nullptr) {
@@ -585,6 +800,20 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
 
   try {
     SolverOptions options = job->options;
+    // Every solve must hit at least one *mid-solve* progress barrier: with
+    // check_interval <= 0 or >= the whole budget, the progress callback
+    // fires only after the last iteration, so cancellation, dispatcher
+    // preemption, governor shrink, and deadline re-projection could never
+    // act on the job while it runs — the solve pins its lane for its full
+    // duration (the PR 4 preemption bound presumed barriers that such a
+    // job never produced).  Clamping to budget-1 guarantees one barrier
+    // with at most one extra residual check; jobs whose interval is
+    // already below their budget are untouched (bitwise).
+    const int budget = job->options.max_iterations;
+    if (budget >= 2 &&
+        (options.check_interval <= 0 || options.check_interval >= budget)) {
+      options.check_interval = budget - 1;
+    }
     // Resumable slices: the solver keeps all trajectory state in the graph
     // arrays, so running the remaining budget continues the uninterrupted
     // solve bitwise — and because yields land on progress barriers
@@ -615,14 +844,24 @@ void BatchRunner::execute(const std::shared_ptr<detail::JobControl>& job) {
       // of its own); its ledger lease spans this slice.
       GovernedSolveInfo info;
       // A best-effort job (admitted past a provably infeasible deadline
-      // under the degrade policy) keeps its queue order but must not burn
-      // lanes racing the lost cause — its deadline never arms boosting.
-      info.deadline = job->admission == AdmissionVerdict::kBestEffort
+      // under the degrade policy, or degraded in place by a mid-queue
+      // re-projection) keeps its queue order but must not burn lanes
+      // racing the lost cause — its deadline never arms boosting.  The
+      // verdict is read once per slice: a re-projection pass may flip it
+      // while the job waits, and the flip takes effect at the next
+      // dispatch.
+      info.deadline = job->admission.load(std::memory_order_relaxed) ==
+                              AdmissionVerdict::kBestEffort
                           ? kNoDeadline
                           : job->deadline;
       info.total_phases = SolverReport::kPhaseNames.size() *
                           static_cast<std::size_t>(options.max_iterations);
       info.prior_phase_seconds = job->prior_phase_lane_seconds;
+      // With online re-calibration on, the lease's timed barriers become
+      // (phase, count, width, seconds) samples; all-zero counts (the
+      // default) keep sample capture off and the governed path bitwise
+      // unchanged.
+      if (recalibrator_) info.phase_counts = phase_counts(*job->graph);
       info.on_width = [control = job.get()](std::size_t width) {
         control->current_width.store(width, std::memory_order_relaxed);
       };
@@ -738,16 +977,31 @@ void BatchRunner::requeue(const std::shared_ptr<detail::JobControl>& job,
   }
   const double requeued_at = clock_();
   std::size_t depth = 0;
+  std::vector<std::shared_ptr<detail::JobControl>> shed;
+  std::vector<std::shared_ptr<detail::JobControl>> degraded;
   {
     MutexLock lock(mutex_);
     governor_.job_waiting();
     job->queued_since = requeued_at;  // next "queued" span starts here
     queue_.insert(job);
     --inflight_;
+    // The requeue changed the queue's shape: the parked job's remaining
+    // work now sits ahead of everything it outranks — re-project under the
+    // same lock.  The just-requeued job itself is checkable too: a
+    // preempted solve whose banked progress plus queued-ahead load now
+    // provably misses its deadline is shed while parked.
+    reproject_locked(requeued_at, &shed, &degraded);
     depth = queue_.size();
     dispatcher_wake_.store(true);
   }
   collector_.on_queue_depth(depth);
+  // Settle last: only the dispatcher thread yields (and therefore
+  // requeues), and the destructor joins it before wait_all can return, so
+  // the runner outlives this call even if it releases the last unfinished_
+  // counts.
+  if (!shed.empty() || !degraded.empty()) {
+    settle_reprojected(requeued_at, shed, degraded, depth);
+  }
 }
 
 void BatchRunner::finalize(const std::shared_ptr<detail::JobControl>& job,
@@ -802,6 +1056,23 @@ void BatchRunner::finalize(const std::shared_ptr<detail::JobControl>& job,
     job->state = outcome;
   }
   job->changed.notify_all();
+  // A finish changed the queue's shape (a lane freed up, and the finished
+  // job's load left the system): re-project and settle *before* this job's
+  // own unfinished_ count is released below — that count is what keeps the
+  // runner alive through the settle, whichever thread runs it.
+  if (reprojection_ != AdmissionPolicy::kAccept) {
+    std::vector<std::shared_ptr<detail::JobControl>> shed;
+    std::vector<std::shared_ptr<detail::JobControl>> degraded;
+    std::size_t depth = 0;
+    {
+      MutexLock lock(mutex_);
+      reproject_locked(finished_at, &shed, &degraded);
+      depth = queue_.size();
+    }
+    if (!shed.empty() || !degraded.empty()) {
+      settle_reprojected(finished_at, shed, degraded, depth);
+    }
+  }
   {
     // Everything below stays under the lock: a wait_all() caller
     // (including the destructor) may destroy this runner the moment

@@ -59,10 +59,12 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "parallel/thread_pool.hpp"
 #include "runtime/calibration.hpp"
@@ -138,6 +140,43 @@ struct BatchRunnerOptions {
   /// default kAccept skips the check entirely.
   AdmissionPolicy admission = AdmissionPolicy::kAccept;
 
+  /// Continuous admission — the mid-queue counterpart of `admission`: a
+  /// submit-time verdict goes stale the moment the queue changes shape, so
+  /// on every queue-shape change (a dispatch, a finish, a preemption
+  /// requeue — rate-limited by `reprojection_interval`) the runner
+  /// re-projects each still-admitted finite-deadline job waiting in the
+  /// ready queue with the *same* shared-CostModel formula submit-time
+  /// admission used (queued-ahead serial work spread perfectly over the
+  /// pool, plus the job's own best-case solve time), so the two checks can
+  /// never disagree.  A job whose re-projection is now provably late is
+  /// shed to the terminal JobState::kShedLate (kRejectInfeasible) or
+  /// flagged AdmissionVerdict::kBestEffort in place (kDegradeToBestEffort
+  /// — it keeps its queue position but stops arming deadline boosts); the
+  /// evidence (projected finish, queued-ahead seconds) lands in the trace
+  /// and RuntimeMetrics either way.  The default kAccept disables
+  /// re-projection entirely, reproducing the reprojection-free runtime
+  /// bitwise.
+  AdmissionPolicy reprojection = AdmissionPolicy::kAccept;
+
+  /// Minimum runner-clock seconds between two re-projection passes (each
+  /// pass walks the ready queue under the runner mutex, so a hot queue
+  /// should not pay it on every event).  0 (the default) re-projects on
+  /// every queue-shape change — the right setting for virtual-clock tests
+  /// and modest queues.  Must be finite and >= 0.
+  double reprojection_interval = 0.0;
+
+  /// Online calibration re-fit (see OnlineRecalibrator in
+  /// runtime/calibration.hpp): with `recalibration.enabled`, every timed
+  /// phase barrier of a governed solve feeds its measured (phase, count,
+  /// width, seconds) sample into a live least-squares re-fit of the Amdahl
+  /// cost form, and the runner's shared cost model serves the re-fitted
+  /// profile once one exists — width planning, boost priors, admission,
+  /// and re-projection all track the live machine instead of a static
+  /// profile.  `recalibration.baseline` seeds the fit (and the drift
+  /// comparison); disabled (the default) records nothing and changes
+  /// nothing.
+  RecalibrationOptions recalibration;
+
   /// The shared pricing model (runtime/calibration.hpp) behind width
   /// planning (when scheduler.cost_model is unset), the governor's
   /// deadline-boost projections (as the pre-sample prior), and the
@@ -211,6 +250,12 @@ class BatchRunner {
   /// (null when admission is off and no model was supplied).
   const CostModelPtr& cost_model() const { return cost_model_; }
 
+  /// The online re-fit state (null unless recalibration.enabled): live
+  /// profile, sample/refit counters, drift vs the loaded baseline.
+  const std::shared_ptr<OnlineRecalibrator>& recalibrator() const {
+    return recalibrator_;
+  }
+
  private:
   // Priority order for the ready queue: (effective) priority desc, then
   // deadline asc, then submit sequence asc.  The sequence is unique, so
@@ -280,7 +325,33 @@ class BatchRunner {
       PARADMM_REQUIRES(mutex_);
   void reject(const std::shared_ptr<detail::JobControl>& control, double now);
 
+  // Continuous admission: one rate-limited pass over the ready queue (in
+  // dispatch order) re-running the submit-time projection for every
+  // still-admitted finite-deadline job.  Provably-late jobs are erased
+  // from queue_ into `shed` (kRejectInfeasible) or flagged best-effort in
+  // place into `degraded` (kDegradeToBestEffort); their evidence fields
+  // (reprojection_projected / reprojection_ahead_seconds) are filled here,
+  // under the runner mutex.  No-op under the rate limit or with
+  // reprojection disabled.
+  void reproject_locked(double now,
+                        std::vector<std::shared_ptr<detail::JobControl>>* shed,
+                        std::vector<std::shared_ptr<detail::JobControl>>*
+                            degraded) PARADMM_REQUIRES(mutex_);
+  // Settles the jobs a re-projection pass shed or degraded, outside the
+  // runner mutex: metrics, trace evidence, terminal kShedLate state, and
+  // — last, because releasing the final unfinished_ counts may let a
+  // wait_all() caller destroy this runner — the shed jobs' queue
+  // accounting.  Callers must hold live unfinished_ coverage of their own
+  // (the dispatcher thread, or a finalize that has not yet released its
+  // job's count) so the runner outlives every earlier statement.
+  void settle_reprojected(
+      double now, const std::vector<std::shared_ptr<detail::JobControl>>& shed,
+      const std::vector<std::shared_ptr<detail::JobControl>>& degraded,
+      std::size_t depth) PARADMM_EXCLUDES(mutex_);
+
   ThreadPool pool_;
+  // Before cost_model_: the resolved model may wrap the recalibrator.
+  std::shared_ptr<OnlineRecalibrator> recalibrator_;
   CostModelPtr cost_model_;  // before scheduler_: it may feed its options
   Scheduler scheduler_;
   WidthGovernor governor_;
@@ -295,6 +366,8 @@ class BatchRunner {
   std::function<double()> clock_;
   double aging_rate_ = 0.0;
   AdmissionPolicy admission_ = AdmissionPolicy::kAccept;
+  AdmissionPolicy reprojection_ = AdmissionPolicy::kAccept;
+  double reprojection_interval_ = 0.0;
 
   // The runner mutex is the root of the runtime's lock hierarchy: the
   // pool's mutex (via notify_helpers in finalize) and the trace locks may
@@ -308,6 +381,10 @@ class BatchRunner {
   // pool concurrency so the backlog stays in the priority queue (ordered)
   // rather than in the pool's FIFO run queues (not).
   std::size_t inflight_ PARADMM_GUARDED_BY(mutex_) = 0;
+  // Runner-clock timestamp of the last re-projection pass; -infinity so
+  // the first queue-shape change always re-projects.
+  double last_reprojection_ PARADMM_GUARDED_BY(mutex_) =
+      -std::numeric_limits<double>::infinity();
   bool stopping_ PARADMM_GUARDED_BY(mutex_) = false;
   // True whenever the dispatcher has something to look at (a submission,
   // a freed lane, or shutdown); its pool-helping stint polls this to know

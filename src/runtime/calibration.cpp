@@ -314,6 +314,9 @@ CalibrationProfile HostCalibrator::calibrate() const {
         sample.count = counts[p];
         sample.width = width;
         sample.seconds = seconds[p] / static_cast<double>(iterations);
+        if (options_.sample_sink) {
+          options_.sample_sink(p, sample.count, sample.width, sample.seconds);
+        }
         (width == 1 ? serial_samples : wide_samples)[p].push_back(sample);
       }
     }
@@ -464,6 +467,252 @@ double model_phase_lane_seconds(const CostModel& model,
   require(seconds.size() == 1,
           "cost model must return one prediction per candidate width");
   return phase_lane_seconds_from_serial(seconds[0]);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineRecalibrator
+// ---------------------------------------------------------------------------
+
+OnlineRecalibrator::OnlineRecalibrator(RecalibrationOptions options)
+    : options_(std::move(options)) {
+  require(options_.refit_interval >= 1,
+          "RecalibrationOptions refit_interval must be >= 1");
+  require(std::isfinite(options_.drift_tolerance) &&
+              options_.drift_tolerance >= 0.0,
+          "RecalibrationOptions drift_tolerance must be finite and >= 0");
+  MutexLock lock(mutex_);
+  profile_ = options_.baseline;
+  // A default-constructed baseline has empty phase names and a zero
+  // pool_threads ceiling; fill the invariants from_json enforces so the
+  // re-fit profile always round-trips through save()/load().
+  for (std::size_t p = 0; p < profile_.phases.size(); ++p) {
+    if (profile_.phases[p].name.empty()) {
+      profile_.phases[p].name = kPhaseNames[p];
+    }
+  }
+}
+
+bool OnlineRecalibrator::record_sample(std::size_t phase, std::size_t count,
+                                       std::size_t width, double seconds) {
+  if (phase >= accum_.size() || count == 0 || width == 0 ||
+      !std::isfinite(seconds) || seconds <= 0.0) {
+    return false;
+  }
+  MutexLock lock(mutex_);
+  PhaseAccum& a = accum_[phase];
+  const double c = static_cast<double>(count);
+  const double w = static_cast<double>(width);
+  const double x[3] = {c / w, c, w - 1.0};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) a.m[i][j] += x[i] * x[j];
+    a.v[i] += x[i] * seconds;
+  }
+  ++a.samples;
+  a.count_sum += c;
+  a.seconds_sum += seconds;
+  a.baseline_pred_sum += options_.baseline.phases[phase].seconds(count, width);
+  if (a.first_width == 0) {
+    a.first_width = width;
+  } else if (a.first_width != width) {
+    a.multi_width = true;
+  }
+  if (width == 1) {
+    ++a.n1;
+    a.rate1_sum += seconds / c;
+  }
+  max_width_seen_ = std::max(max_width_seen_, width);
+  ++samples_;
+  if (samples_ % options_.refit_interval == 0) return refit_locked();
+  return false;
+}
+
+bool OnlineRecalibrator::refit_now() {
+  MutexLock lock(mutex_);
+  return refit_locked();
+}
+
+namespace {
+
+// Solves the 3x3 normal equations by Cramer's rule; false on a (near-)
+// singular design.
+bool solve3(const double m[3][3], const double v[3], double out[3]) {
+  const double det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+                     m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+                     m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  if (std::abs(det) < 1e-30) return false;
+  const auto replace_det = [&](int col) {
+    double r[3][3];
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) r[i][j] = j == col ? v[i] : m[i][j];
+    }
+    return r[0][0] * (r[1][1] * r[2][2] - r[1][2] * r[2][1]) -
+           r[0][1] * (r[1][0] * r[2][2] - r[1][2] * r[2][0]) +
+           r[0][2] * (r[1][0] * r[2][1] - r[1][1] * r[2][0]);
+  };
+  for (int col = 0; col < 3; ++col) out[col] = replace_det(col) / det;
+  return true;
+}
+
+// Builds a PhaseCalibration from the substituted linear parameters
+// (A = e*(1-sigma), B = e*sigma, o = fork overhead); false when the fit is
+// physically meaningless (non-positive per-element cost).
+bool phase_from_linear(double a, double b, double overhead,
+                       const PhaseCalibration& baseline,
+                       PhaseCalibration* out) {
+  const double e = a + b;
+  if (!std::isfinite(e) || e <= 0.0) return false;
+  *out = baseline;
+  out->per_element_seconds = e;
+  out->serial_fraction = std::clamp(b / e, 0.0, 1.0);
+  out->fork_overhead_seconds =
+      std::isfinite(overhead) ? std::max(overhead, 0.0) : 0.0;
+  return true;
+}
+
+}  // namespace
+
+bool OnlineRecalibrator::refit_locked() {
+  bool any_changed = false;
+  double drift = 0.0;
+  for (std::size_t p = 0; p < accum_.size(); ++p) {
+    PhaseAccum& a = accum_[p];
+    if (a.samples == 0) continue;
+    const PhaseCalibration& baseline = options_.baseline.phases[p];
+    PhaseCalibration fit = profile_.phases[p];  // keep name + fallbacks
+    bool fitted = false;
+    if (a.multi_width) {
+      // Full 3-parameter fit; a rank-deficient design (e.g. one count at
+      // two widths) falls back to the 2-parameter (A, B) subsystem with
+      // the baseline's fork overhead held fixed.
+      double abo[3];
+      if (solve3(a.m, a.v, abo) &&
+          phase_from_linear(abo[0], abo[1], abo[2], fit, &fit)) {
+        fitted = true;
+      } else {
+        const double o = baseline.fork_overhead_seconds;
+        const double b1 = a.v[0] - o * a.m[0][2];
+        const double b2 = a.v[1] - o * a.m[1][2];
+        const double det = a.m[0][0] * a.m[1][1] - a.m[0][1] * a.m[1][0];
+        if (std::abs(det) > 1e-30) {
+          const double fit_a = (b1 * a.m[1][1] - b2 * a.m[0][1]) / det;
+          const double fit_b = (a.m[0][0] * b2 - a.m[1][0] * b1) / det;
+          fitted = phase_from_linear(fit_a, fit_b, o, fit, &fit);
+        }
+      }
+    } else if (a.first_width == 1 && a.n1 > 0 && a.rate1_sum > 0.0) {
+      // Serial-only stream: at width 1 the observation is exactly
+      // count * per_element, so only the per-element scale is
+      // identifiable; sigma and overhead keep their current values.
+      fit.per_element_seconds = a.rate1_sum / static_cast<double>(a.n1);
+      fitted = true;
+    } else if (a.baseline_pred_sum > 0.0 && a.seconds_sum > 0.0) {
+      // Single wide width: rescale the baseline so its prediction matches
+      // the observed mean at that width (shape unidentifiable).
+      const double scale = a.seconds_sum / a.baseline_pred_sum;
+      fit.per_element_seconds = baseline.per_element_seconds * scale;
+      fit.serial_fraction = baseline.serial_fraction;
+      fit.fork_overhead_seconds = baseline.fork_overhead_seconds * scale;
+      fitted = fit.per_element_seconds > 0.0;
+    }
+    if (!fitted) continue;
+    profile_.phases[p] = fit;
+    a.fitted = true;
+    any_changed = true;
+    // Drift vs the loaded baseline, at the shapes actually observed: the
+    // mean task count, widths 1 and the widest sample seen.
+    const auto count_ref = static_cast<std::size_t>(
+        std::max(1.0, a.count_sum / static_cast<double>(a.samples)));
+    for (const std::size_t w :
+         {std::size_t{1}, std::max<std::size_t>(max_width_seen_, 1)}) {
+      const double base = baseline.seconds(count_ref, w);
+      if (base <= 0.0) continue;
+      const double live = fit.seconds(count_ref, w);
+      drift = std::max(drift, std::abs(live - base) / base);
+    }
+  }
+  if (!any_changed) return false;
+  ++refits_;
+  last_drift_ = drift;
+  drifted_ = drift > options_.drift_tolerance;
+  if (profile_.pool_threads == 0) {
+    profile_.pool_threads = std::max<std::size_t>(max_width_seen_, 1);
+  }
+  if (profile_.host.empty()) profile_.host = "online-refit";
+  // Priceable: every phase either re-fitted from live data or carrying a
+  // usable baseline cost — a profile with silent zero phases would
+  // underprice everything downstream.
+  has_refit_ = true;
+  for (std::size_t p = 0; p < accum_.size(); ++p) {
+    if (!accum_[p].fitted && profile_.phases[p].per_element_seconds <= 0.0) {
+      has_refit_ = false;
+      break;
+    }
+  }
+  return true;
+}
+
+bool OnlineRecalibrator::has_refit() const {
+  MutexLock lock(mutex_);
+  return has_refit_;
+}
+
+CalibrationProfile OnlineRecalibrator::current_profile() const {
+  MutexLock lock(mutex_);
+  return profile_;
+}
+
+RecalibrationStats OnlineRecalibrator::stats() const {
+  MutexLock lock(mutex_);
+  RecalibrationStats stats;
+  stats.samples = samples_;
+  stats.refits = refits_;
+  stats.last_drift = last_drift_;
+  stats.drifted = drifted_;
+  return stats;
+}
+
+namespace {
+
+class OnlineCostModel final : public CostModel {
+ public:
+  OnlineCostModel(CostModelPtr base,
+                  std::shared_ptr<OnlineRecalibrator> recalibrator)
+      : base_(std::move(base)), recalibrator_(std::move(recalibrator)) {}
+
+  std::string_view name() const override { return "online-recalibrated"; }
+
+  std::vector<double> iteration_seconds(
+      const FactorGraph& graph,
+      std::span<const std::size_t> widths) const override {
+    if (recalibrator_->has_refit()) {
+      const CalibrationProfile profile = recalibrator_->current_profile();
+      const std::array<std::size_t, 5> counts = phase_counts(graph);
+      std::vector<double> seconds;
+      seconds.reserve(widths.size());
+      for (const std::size_t width : widths) {
+        seconds.push_back(profile.iteration_seconds(counts, width));
+      }
+      return seconds;
+    }
+    return base_->iteration_seconds(graph, widths);
+  }
+
+ private:
+  CostModelPtr base_;
+  std::shared_ptr<OnlineRecalibrator> recalibrator_;
+};
+
+}  // namespace
+
+CostModelPtr make_online_cost_model(
+    CostModelPtr base, std::shared_ptr<OnlineRecalibrator> recalibrator) {
+  require(static_cast<bool>(base),
+          "make_online_cost_model needs a base model to serve before the "
+          "first re-fit");
+  require(static_cast<bool>(recalibrator),
+          "make_online_cost_model needs a recalibrator");
+  return std::make_shared<OnlineCostModel>(std::move(base),
+                                           std::move(recalibrator));
 }
 
 }  // namespace paradmm::runtime

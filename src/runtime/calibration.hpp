@@ -45,6 +45,8 @@
 #include <vector>
 
 #include "devsim/cpu_model.hpp"
+#include "support/lockdep.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace paradmm {
 class FactorGraph;
@@ -164,6 +166,14 @@ class HostCalibrator {
     /// measurement ladder itself can be inspected in Perfetto
     /// (calibrate_host --trace).  Borrowed; must outlive calibrate().
     TraceRecorder* trace = nullptr;
+    /// Optional per-sample observer, invoked once per (phase, task count,
+    /// width, per-iteration seconds) measurement after validation — the
+    /// same sample shape OnlineRecalibrator::record_sample consumes, so a
+    /// caller can replay a calibration run through the online re-fit path
+    /// (calibrate_host --refit-out).
+    std::function<void(std::size_t phase, std::size_t count,
+                       std::size_t width, double seconds)>
+        sample_sink;
   };
 
   // Two overloads instead of one defaulted argument: gcc cannot parse a
@@ -230,5 +240,124 @@ double phase_lane_seconds_from_serial(double serial_iteration_seconds);
 /// phase_lane_seconds_from_serial.
 double model_phase_lane_seconds(const CostModel& model,
                                 const FactorGraph& graph);
+
+// ---------------------------------------------------------------------------
+// Online calibration re-fit
+// ---------------------------------------------------------------------------
+
+/// Options for the runtime's online calibration re-fit (the live half of
+/// the calibration loop): measured per-phase barrier timings from governor
+/// leases accumulate here, and every `refit_interval` samples the Amdahl
+/// phase models are re-fitted by least squares against the live data.
+struct RecalibrationOptions {
+  /// Master switch (BatchRunnerOptions::recalibration).  Disabled (the
+  /// default), no sample is ever recorded and pricing is byte-identical to
+  /// the static-profile runtime.
+  bool enabled = false;
+  /// Samples between automatic re-fits.  Must be >= 1.
+  std::size_t refit_interval = 64;
+  /// Relative prediction change (re-fit vs the loaded baseline, at the
+  /// observed phase shapes) above which the re-fit is flagged as drifted —
+  /// the signal that the committed profile no longer describes this host.
+  double drift_tolerance = 0.25;
+  /// The profile re-fits start from and drift is measured against
+  /// (typically the loaded PARADMM_CALIBRATION_FILE / committed profile).
+  /// Phases the live data cannot identify keep their baseline constants.
+  CalibrationProfile baseline;
+};
+
+/// Snapshot of the re-fit state (surfaced through RuntimeMetrics).
+struct RecalibrationStats {
+  std::size_t samples = 0;      ///< measured phase barriers folded in
+  std::size_t refits = 0;       ///< least-squares re-fits performed
+  double last_drift = 0.0;      ///< last re-fit's max relative prediction
+                                ///< change vs the baseline profile
+  bool drifted = false;         ///< last_drift exceeded drift_tolerance
+};
+
+/// Folds measured per-phase samples — (phase index, task count, fork
+/// width, wall seconds for that one barrier) — into running least-squares
+/// accumulators and periodically re-fits the five PhaseCalibration models
+/// against the same functional form the HostCalibrator fits offline:
+///
+///   seconds(count, w) = count*(A/w + B) + overhead*(w - 1),
+///   A = e*(1 - sigma), B = e*sigma
+///
+/// which is linear in (A, B, overhead), so the re-fit is a closed-form 3x3
+/// normal-equation solve.  Identifiability degrades gracefully: with
+/// samples at a single width the width terms cannot be separated, so a
+/// width-1 stream re-fits only the per-element scale (sigma and overhead
+/// keep their baseline values) and a single wide width rescales the
+/// baseline to match the observed seconds.  Thread-safe behind a leaf
+/// mutex; record_sample must not be called with any other paradmm lock
+/// held (the WidthGovernor calls it after releasing its own).
+class OnlineRecalibrator {
+ public:
+  explicit OnlineRecalibrator(RecalibrationOptions options);
+
+  /// Records one measured phase barrier; returns true when this sample
+  /// triggered an automatic re-fit (every refit_interval samples) that
+  /// updated the profile.  Samples with a zero count, zero width, or
+  /// non-positive/non-finite seconds are ignored.
+  bool record_sample(std::size_t phase, std::size_t count, std::size_t width,
+                     double seconds) PARADMM_EXCLUDES(mutex_);
+
+  /// Forces a re-fit from the samples recorded so far; returns true when
+  /// any phase model changed.  (record_sample calls this automatically on
+  /// the refit_interval cadence.)
+  bool refit_now() PARADMM_EXCLUDES(mutex_);
+
+  /// True once a re-fit produced a fully priceable profile (every phase
+  /// either re-fitted or carrying usable baseline constants) — the gate
+  /// the online cost model checks before serving re-fit prices.
+  bool has_refit() const PARADMM_EXCLUDES(mutex_);
+
+  /// The live profile: the baseline until the first successful re-fit,
+  /// then the re-fitted phases (un-identifiable phases keep baseline
+  /// constants).  Safe to persist (CalibrationProfile::save) — the
+  /// calibrate_host --refit-out round trip.
+  CalibrationProfile current_profile() const PARADMM_EXCLUDES(mutex_);
+
+  RecalibrationStats stats() const PARADMM_EXCLUDES(mutex_);
+
+ private:
+  // Running least-squares state of one phase, over x = [count/w, count,
+  // w-1] (normal equations), plus the degenerate-design fallbacks.
+  struct PhaseAccum {
+    double m[3][3] = {{0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}};
+    double v[3] = {0.0, 0.0, 0.0};
+    std::size_t samples = 0;
+    double count_sum = 0.0;
+    double seconds_sum = 0.0;
+    double baseline_pred_sum = 0.0;  // baseline predictions at the samples
+    std::size_t first_width = 0;
+    bool multi_width = false;
+    std::size_t n1 = 0;        // width-1 samples
+    double rate1_sum = 0.0;    // sum of seconds/count at width 1
+    bool fitted = false;       // at least one successful re-fit
+  };
+
+  bool refit_locked() PARADMM_REQUIRES(mutex_);
+
+  RecalibrationOptions options_;
+
+  // Leaf lock: nothing else is ever acquired while it is held.
+  mutable Mutex mutex_{"OnlineRecalibrator"};
+  std::array<PhaseAccum, 5> accum_ PARADMM_GUARDED_BY(mutex_);
+  CalibrationProfile profile_ PARADMM_GUARDED_BY(mutex_);
+  bool has_refit_ PARADMM_GUARDED_BY(mutex_) = false;
+  std::size_t max_width_seen_ PARADMM_GUARDED_BY(mutex_) = 0;
+  std::size_t samples_ PARADMM_GUARDED_BY(mutex_) = 0;
+  std::size_t refits_ PARADMM_GUARDED_BY(mutex_) = 0;
+  double last_drift_ PARADMM_GUARDED_BY(mutex_) = 0.0;
+  bool drifted_ PARADMM_GUARDED_BY(mutex_) = false;
+};
+
+/// CostModel that serves `base` prices until `recalibrator` produces its
+/// first usable re-fit profile, then the live re-fit prices — so width
+/// planning, boost priors, admission, and re-projection all migrate to the
+/// measured host behavior together, atomically per pricing call.
+CostModelPtr make_online_cost_model(
+    CostModelPtr base, std::shared_ptr<OnlineRecalibrator> recalibrator);
 
 }  // namespace paradmm::runtime

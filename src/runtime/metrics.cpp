@@ -23,8 +23,9 @@ void RuntimeMetrics::print(std::ostream& out) const {
   table.add_row({"completed", count(completed)});
   table.add_row({"cancelled", count(cancelled)});
   table.add_row({"failed", count(failed)});
-  table.add_row({"admission rejected/degraded",
-                 count(rejected) + "/" + count(degraded)});
+  table.add_row({"admission rejected/degraded/shed",
+                 count(rejected) + "/" + count(degraded) + "/" +
+                     count(shed_late)});
   table.add_row({"fine-grained jobs", count(fine_grained_jobs)});
   table.add_row({"queue depth", count(queue_depth)});
   table.add_row({"peak queue depth", count(peak_queue_depth)});
@@ -59,6 +60,13 @@ void RuntimeMetrics::print(std::ostream& out) const {
   if (learned_phase_seconds > 0.0) {
     table.add_row(
         {"learned phase cost", format_duration(learned_phase_seconds)});
+  }
+  if (recalibration_samples > 0) {
+    table.add_row({"recalibration",
+                   count(recalibration_samples) + " samples, " +
+                       count(recalibration_refits) + " refits, drift " +
+                       format_fixed(100.0 * recalibration_drift, 1) + "%" +
+                       (recalibration_drifted ? " (drifted)" : "")});
   }
   if (!phase_seconds.empty()) {
     std::string cells;
@@ -131,6 +139,7 @@ void MetricsCollector::on_finish(const JobFinish& finish) {
     case JobState::kCancelled: ++metrics_.cancelled; break;
     case JobState::kFailed: ++metrics_.failed; break;
     case JobState::kRejected: ++metrics_.rejected; break;
+    case JobState::kShedLate: ++metrics_.shed_late; break;
     default: break;
   }
   if (finish.outcome == JobState::kDone && finish.had_deadline) {

@@ -29,6 +29,11 @@ struct RuntimeMetrics {
   /// admitted anyway as flagged best-effort under the degrade policy.
   std::size_t rejected = 0;
   std::size_t degraded = 0;
+  /// Continuous-admission outcome (BatchRunnerOptions::reprojection): jobs
+  /// admitted at submit but shed from the ready queue mid-wait when a
+  /// re-projection proved their deadline unmeetable (JobState::kShedLate).
+  /// Mid-queue degrades count in `degraded` alongside submit-time ones.
+  std::size_t shed_late = 0;
   std::size_t queue_depth = 0;      ///< jobs waiting right now
   std::size_t peak_queue_depth = 0;
   std::size_t fine_grained_jobs = 0;  ///< jobs the scheduler ran intra-parallel
@@ -69,6 +74,16 @@ struct RuntimeMetrics {
   std::size_t deadlines_met = 0;
   std::size_t deadlines_missed = 0;
 
+  /// Online calibration re-fit activity (BatchRunnerOptions::recalibration,
+  /// see OnlineRecalibrator): measured phase samples folded in, re-fits
+  /// performed, and the last re-fit's drift vs the loaded baseline profile
+  /// (max relative prediction change; `recalibration_drifted` flags a
+  /// drift beyond the configured tolerance).  All zero when disabled.
+  std::size_t recalibration_samples = 0;
+  std::size_t recalibration_refits = 0;
+  double recalibration_drift = 0.0;
+  bool recalibration_drifted = false;
+
   /// Accumulated wall seconds per ADMM phase (x, m, z, u, n) across every
   /// job that executed with phase timing enabled — the per-phase wall-clock
   /// telemetry the governor's estimator mirrors.
@@ -89,15 +104,15 @@ struct RuntimeMetrics {
   LatencyHistogram solve_wall;
   LatencyHistogram end_to_end;
 
-  /// Jobs in a terminal state (rejected-at-submit included — every handle
-  /// is settled).
+  /// Jobs in a terminal state (rejected-at-submit and shed-mid-queue
+  /// included — every handle is settled).
   std::size_t finished() const {
-    return completed + cancelled + failed + rejected;
+    return completed + cancelled + failed + rejected + shed_late;
   }
 
-  /// Throughput of jobs the runner actually served.  Rejected jobs are
-  /// terminal but never ran — counting them would inflate jobs/sec exactly
-  /// when admission control is turning work away.
+  /// Throughput of jobs the runner actually served.  Rejected and shed
+  /// jobs are terminal but never delivered a solve — counting them would
+  /// inflate jobs/sec exactly when admission control is turning work away.
   double jobs_per_second() const {
     return elapsed_seconds > 0.0
                ? static_cast<double>(completed + cancelled + failed) /

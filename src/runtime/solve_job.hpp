@@ -34,13 +34,18 @@ enum class JobState {
   kFailed,     ///< the solve threw; see JobHandle::error()
   kRejected,   ///< refused at submit: the deadline was provably infeasible
                ///< under BatchRunnerOptions::admission (never dispatched)
+  kShedLate,   ///< shed from the ready queue mid-wait: a re-projection
+               ///< proved the deadline unmeetable after admission (see
+               ///< BatchRunnerOptions::reprojection); a preempted job shed
+               ///< while parked keeps the progress it already made
 };
 
 std::string_view to_string(JobState state);
 
 inline bool is_terminal(JobState state) {
   return state == JobState::kDone || state == JobState::kCancelled ||
-         state == JobState::kFailed || state == JobState::kRejected;
+         state == JobState::kFailed || state == JobState::kRejected ||
+         state == JobState::kShedLate;
 }
 
 /// The runner's submit-time admission decision for a job (see
@@ -111,14 +116,22 @@ struct JobControl {
   double deadline = kNoDeadline;
   std::uint64_t sequence = 0;   // runner-assigned submit order (FIFO ties)
   double submit_time = 0.0;     // runner clock at submit (priority aging)
-  // Admission bookkeeping, fixed before the handle is returned: the
-  // verdict, and the job's cost-model price (serial seconds per
-  // iteration — later submissions' projections charge it for the job's
-  // *remaining* budget while it waits ahead of them, so a preempted job
-  // parked mid-solve is only charged for the work it actually has left;
-  // 0 when the runner has no model).
-  AdmissionVerdict admission = AdmissionVerdict::kAdmitted;
+  // Admission bookkeeping: the verdict, and the job's cost-model price
+  // (serial seconds per iteration — later submissions' projections charge
+  // it for the job's *remaining* budget while it waits ahead of them, so a
+  // preempted job parked mid-solve is only charged for the work it
+  // actually has left; 0 when the runner has no model).  The verdict is
+  // atomic because continuous admission (BatchRunnerOptions::reprojection,
+  // degrade policy) may flip an admitted queued job to kBestEffort while
+  // handle readers poll it; every other field here is still fixed before
+  // the handle is returned.
+  std::atomic<AdmissionVerdict> admission{AdmissionVerdict::kAdmitted};
   double serial_seconds_per_iteration = 0.0;
+  // Best-case seconds per iteration across the runner's width ladder (the
+  // floor the admission projection charges the job for its own remaining
+  // work); equals serial_seconds_per_iteration unless the model says a
+  // wider fork is cheaper.  0 when the runner never priced the ladder.
+  double best_seconds_per_iteration = 0.0;
   // The admission check's projected finish (runner clock; NaN when the
   // verdict was kAdmitted without a projection) — surfaced so rejection /
   // degradation trace events carry the projected-vs-deadline numbers that
@@ -127,6 +140,14 @@ struct JobControl {
   // Cost-model prior for the governor's deadline projection (lane-seconds
   // per phase barrier; 0 when the runner has no model).
   double prior_phase_lane_seconds = 0.0;
+  // Re-projection evidence (continuous admission): the projected finish
+  // and the queued-ahead serial seconds that proved the job late.  Written
+  // under the runner mutex by the re-projection pass and read by the same
+  // thread's settle step (trace + terminal bookkeeping) — never
+  // concurrently.  NaN until a re-projection verdict lands.
+  double reprojection_projected = std::numeric_limits<double>::quiet_NaN();
+  double reprojection_ahead_seconds =
+      std::numeric_limits<double>::quiet_NaN();
 
   std::atomic<bool> cancel_requested{false};
 
@@ -205,9 +226,10 @@ class JobHandle {
     control()->cancel_requested.store(true, std::memory_order_relaxed);
   }
 
-  /// Final report; call after wait().  Valid in kDone and kCancelled (a
-  /// cancelled job reports the iterations it completed); kFailed and
-  /// kRejected jobs have no report — a rejected job never ran at all.
+  /// Final report; call after wait().  Valid in kDone, kCancelled, and
+  /// kShedLate (a cancelled or shed job reports the iterations it
+  /// completed — possibly zero); kFailed and kRejected jobs have no report
+  /// — a rejected job never ran at all.
   const SolverReport& report() const {
     const detail::JobControl& c = *control();
     MutexLock lock(c.mutex);
@@ -245,12 +267,16 @@ class JobHandle {
   int priority() const { return control()->priority; }
   double deadline() const { return control()->deadline; }
 
-  /// The runner's submit-time admission decision (fixed before submit()
-  /// returned): kAdmitted unless the runner's admission policy projected
-  /// the job's finite deadline as infeasible — then kRejected (job is
-  /// already terminal in JobState::kRejected) or kBestEffort (job runs,
-  /// deadline boosting disarmed), by policy.
-  AdmissionVerdict admission_verdict() const { return control()->admission; }
+  /// The runner's admission decision: kAdmitted unless an admission or
+  /// re-projection check projected the job's finite deadline as infeasible
+  /// — then kRejected (job is already terminal in JobState::kRejected) or
+  /// kBestEffort (job runs, deadline boosting disarmed), by policy.  Fixed
+  /// before submit() returned except under continuous admission
+  /// (BatchRunnerOptions::reprojection, degrade policy), which may flip an
+  /// admitted queued job to kBestEffort mid-wait.
+  AdmissionVerdict admission_verdict() const {
+    return control()->admission.load(std::memory_order_relaxed);
+  }
 
   /// Width of the solve's most recent phase fork: 0 before the first fork,
   /// 1 for whole-solve jobs, and above plan().intra_threads while the
@@ -267,6 +293,25 @@ class JobHandle {
     const detail::JobControl& c = *control();
     MutexLock lock(c.mutex);
     return c.finished_at;
+  }
+
+  /// Continuous-admission evidence (BatchRunnerOptions::reprojection): the
+  /// re-projected finish and the queued-ahead serial seconds that proved
+  /// this job late mid-queue.  NaN unless a re-projection verdict (shed or
+  /// degrade) landed on the job.  Valid once the job is terminal — the
+  /// evidence is written before the terminal state (or the re-dispatch)
+  /// it justified, so the terminal wait orders the read.
+  double reprojection_projected() const {
+    const detail::JobControl& c = *control();
+    MutexLock lock(c.mutex);
+    require(is_terminal(c.state), "job has not finished");
+    return c.reprojection_projected;
+  }
+  double reprojection_ahead_seconds() const {
+    const detail::JobControl& c = *control();
+    MutexLock lock(c.mutex);
+    require(is_terminal(c.state), "job has not finished");
+    return c.reprojection_ahead_seconds;
   }
 
   /// Wall-clock seconds of the solve; valid in terminal states.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "parallel/thread_pool.hpp"
+#include "runtime/calibration.hpp"
 #include "runtime/trace.hpp"
 #include "support/error.hpp"
 
@@ -24,6 +25,10 @@ void WidthGovernor::bind(std::size_t pool_width,
 }
 
 void WidthGovernor::bind_trace(TraceRecorder* trace) { trace_ = trace; }
+
+void WidthGovernor::bind_recalibration(OnlineRecalibrator* recalibrator) {
+  recal_ = recalibrator;
+}
 
 void WidthGovernor::job_waiting() {
   waiting_.fetch_add(1, std::memory_order_relaxed);
@@ -55,17 +60,25 @@ std::size_t WidthGovernor::backlog_target(std::size_t planned_width) const {
   return target;
 }
 
-WidthGovernor::LeasePtr WidthGovernor::open_lease(std::size_t planned_width,
-                                                  double deadline,
-                                                  std::size_t total_phases,
-                                                  double prior_phase_seconds) {
+WidthGovernor::LeasePtr WidthGovernor::open_lease(
+    std::size_t planned_width, double deadline, std::size_t total_phases,
+    double prior_phase_seconds, std::array<std::size_t, 5> phase_counts) {
+  // A prior below zero (or NaN/inf) means the cost model that priced it is
+  // broken; clamping it to "no prior" here would silently disable the
+  // first-barrier deadline boost for exactly the solves that asked for it.
+  // Zero stays the documented "no prior" sentinel, and genuinely tiny
+  // positive priors pass through untouched so they still arm the boost.
+  require(std::isfinite(prior_phase_seconds) && prior_phase_seconds >= 0.0,
+          "open_lease prior_phase_seconds must be finite and >= 0 (0 = no "
+          "prior); a negative or non-finite prior means the cost model that "
+          "priced this solve is broken");
   auto lease = std::make_shared<Lease>();
   lease->planned = planned_width;
   lease->width = planned_width;
   lease->deadline = deadline;
   lease->total_phases = total_phases;
-  lease->prior_phase_seconds =
-      prior_phase_seconds > 0.0 ? prior_phase_seconds : 0.0;
+  lease->prior_phase_seconds = prior_phase_seconds;
+  lease->phase_counts = phase_counts;
   MutexLock lock(mutex_);
   leased_width_ += planned_width;
   return lease;
@@ -99,6 +112,11 @@ std::size_t WidthGovernor::advise(Lease& lease, std::size_t current_width) {
   double evidence_per_phase = 0.0;
   double projected = std::numeric_limits<double>::quiet_NaN();
   std::size_t backlog = 0;
+  // Re-calibration sample, captured under the lock and recorded after it
+  // (the recalibrator's mutex must stay a leaf, never nested under ours).
+  double sample_seconds = 0.0;
+  std::size_t sample_phase = 0;
+  std::size_t sample_count = 0;
   {
     MutexLock lock(mutex_);
 
@@ -115,6 +133,12 @@ std::size_t WidthGovernor::advise(Lease& lease, std::size_t current_width) {
         if (delta > 0.0) {
           lease.cost_units += delta * static_cast<double>(current_width);
           fresh_sample = true;
+          // The interval times the phase the solve just finished: barrier
+          // k closes phase (k-1) mod 5 in the fixed x,m,z,u,n rotation,
+          // and phases_done (pre-increment) is exactly that index mod 5.
+          sample_phase = lease.phases_done % lease.phase_counts.size();
+          sample_count = lease.phase_counts[sample_phase];
+          sample_seconds = delta;
         }
         ++lease.phases_done;
       } else {
@@ -236,6 +260,24 @@ std::size_t WidthGovernor::advise(Lease& lease, std::size_t current_width) {
     }
     trace_->instant(kind, "governor", std::move(args));
   }
+
+  // Feed the measured phase into the online re-calibrator (a leaf mutex of
+  // its own, acquired with no governor lock held).  A true return means
+  // this sample triggered a periodic re-fit — surface it in the trace so
+  // the drift story is visible next to the width decisions it will change.
+  if (recal_ != nullptr && sample_seconds > 0.0 && sample_count > 0) {
+    const bool refit = recal_->record_sample(sample_phase, sample_count,
+                                             current_width, sample_seconds);
+    if (refit && trace_ != nullptr) {
+      const RecalibrationStats stats = recal_->stats();
+      std::vector<TraceArg> args;
+      args.push_back(TraceRecorder::arg("samples", stats.samples));
+      args.push_back(TraceRecorder::arg("refits", stats.refits));
+      args.push_back(TraceRecorder::arg("drift", stats.last_drift));
+      args.push_back(TraceRecorder::arg("drifted", stats.drifted));
+      trace_->instant("refit", "calibration", std::move(args));
+    }
+  }
   return target;
 }
 
@@ -275,7 +317,8 @@ class GovernedBackend final : public ExecutionBackend {
         lease_(governor.open_lease(
             std::min(planned_width == 0 ? pool.concurrency() : planned_width,
                      pool.concurrency()),
-            info.deadline, info.total_phases, info.prior_phase_seconds)),
+            info.deadline, info.total_phases, info.prior_phase_seconds,
+            info.phase_counts)),
         on_width_(std::move(info.on_width)),
         inner_(make_pool_backend(
             pool, planned_width,

@@ -42,6 +42,7 @@
 // but never exceed planned widths.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <functional>
@@ -58,6 +59,7 @@ class ThreadPool;
 
 namespace paradmm::runtime {
 
+class OnlineRecalibrator;
 class TraceRecorder;
 
 struct WidthGovernorOptions {
@@ -117,6 +119,12 @@ struct GovernedSolveInfo {
   /// positive prior a solve can be boosted at its *first* barrier — no
   /// warm-up sample needed to notice an already-infeasible pace.
   double prior_phase_seconds = 0.0;
+  /// Per-phase task counts of the governed graph (the x,m,z,u,n order of
+  /// runtime/calibration.hpp's phase_counts).  Barrier timestamps carry
+  /// these counts into the online re-calibrator so every measured phase
+  /// becomes a (count, width, seconds) sample against the Amdahl form;
+  /// all-zero (the default) disables sample capture for this solve.
+  std::array<std::size_t, 5> phase_counts{};
   /// Observer invoked with every granted width (the runtime mirrors it
   /// into JobHandle::current_width).  Runs under no governor lock.
   std::function<void(std::size_t)> on_width;
@@ -147,6 +155,9 @@ class WidthGovernor {
     double cost_units = 0.0;       ///< sum of phase seconds x fork width
     double prior_phase_seconds = 0.0;  ///< cost-model prior (lane-seconds
                                        ///< per phase; 0 = none)
+    std::array<std::size_t, 5> phase_counts{};  ///< graph task counts per
+                                                ///< phase (all-zero = no
+                                                ///< re-calibration samples)
     double last_barrier = 0.0;     ///< clock at the previous barrier
     bool timed = false;            ///< last_barrier is valid
     std::size_t boost_width = 0;   ///< held boost (0 = none); sticky between
@@ -172,6 +183,16 @@ class WidthGovernor {
   /// construction, before any governed solve can run.
   void bind_trace(TraceRecorder* trace);
 
+  /// Attaches (or detaches, with nullptr) an online re-calibration sink:
+  /// every timed phase barrier of a lease carrying phase counts feeds a
+  /// (phase, count, width, wall seconds) sample into it — the governor is
+  /// where measured per-phase wall-clock already exists, so calibration
+  /// learns for free.  Samples are recorded after the governor's own lock
+  /// is released (the recalibrator holds its own leaf mutex).  The sink
+  /// must outlive the governor's use of it; the BatchRunner attaches it at
+  /// construction, before any governed solve can run.
+  void bind_recalibration(OnlineRecalibrator* recalibrator);
+
   /// A solve entered the waiting set (submitted, not yet executing).
   void job_waiting();
   /// A solve left the waiting set (started executing, or was finalized
@@ -188,10 +209,16 @@ class WidthGovernor {
   /// Registers a governed solve with the lane ledger at its planned width.
   /// `prior_phase_seconds` (lane-seconds per phase, 0 = none) seeds the
   /// deadline projection before the solve's first measured sample — see
-  /// GovernedSolveInfo::prior_phase_seconds.
+  /// GovernedSolveInfo::prior_phase_seconds.  Throws PreconditionError on
+  /// a negative or non-finite prior: a cost model that prices a phase
+  /// below zero is broken, and silently clamping it would mask the bug
+  /// while quietly disabling the first-barrier deadline boost.
+  /// `phase_counts` (all-zero by default) enables re-calibration sample
+  /// capture at this lease's barriers.
   LeasePtr open_lease(std::size_t planned_width, double deadline,
                       std::size_t total_phases,
-                      double prior_phase_seconds = 0.0);
+                      double prior_phase_seconds = 0.0,
+                      std::array<std::size_t, 5> phase_counts = {});
   /// Returns the lease's lanes to the ledger and folds its measured
   /// per-phase cost into the cross-job estimate.
   void close_lease(const LeasePtr& lease);
@@ -219,6 +246,8 @@ class WidthGovernor {
   std::size_t pool_width_ = 0;        // 0 until bind(): boosts disabled
   std::function<double()> clock_;
   TraceRecorder* trace_ = nullptr;    // set before concurrent use (bind_trace)
+  OnlineRecalibrator* recal_ = nullptr;  // set before concurrent use
+                                         // (bind_recalibration)
 
   std::atomic<std::size_t> waiting_{0};
   std::atomic<std::size_t> busy_serial_{0};

@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -354,6 +356,218 @@ TEST(Calibration, DefaultCostModelFallsBackWithoutAnOverride) {
   ASSERT_EQ(seconds.size(), 2u);
   EXPECT_GT(seconds[0], 0.0);
   EXPECT_GT(seconds[1], 0.0);
+}
+
+TEST(Calibration, OnlineRefitRecoversASyntheticModelExactly) {
+  // Ground truth with distinct per-phase constants; samples synthesized
+  // from it at three counts x three widths are exactly the Amdahl-plus-
+  // overhead form the 3x3 normal-equation re-fit solves, so the fit must
+  // recover every constant — from a deliberately wrong baseline.
+  CalibrationProfile truth = sample_profile();
+  for (std::size_t p = 0; p < truth.phases.size(); ++p) {
+    truth.phases[p].per_element_seconds = 1e-6 * static_cast<double>(p + 1);
+    truth.phases[p].serial_fraction = 0.1 * static_cast<double>(p + 1);
+    truth.phases[p].fork_overhead_seconds = 1e-5 * static_cast<double>(p + 1);
+  }
+
+  RecalibrationOptions options;
+  options.enabled = true;
+  options.refit_interval = 1000;  // manual refit only
+  options.drift_tolerance = 0.25;
+  options.baseline = sample_profile();  // far from the truth
+
+  OnlineRecalibrator recalibrator(options);
+  EXPECT_FALSE(recalibrator.has_refit());
+  std::size_t fed = 0;
+  for (std::size_t p = 0; p < truth.phases.size(); ++p) {
+    for (const std::size_t count : {100u, 200u, 400u}) {
+      for (const std::size_t width : {1u, 2u, 4u}) {
+        recalibrator.record_sample(p, count, width,
+                                   truth.phases[p].seconds(count, width));
+        ++fed;
+      }
+    }
+  }
+  EXPECT_TRUE(recalibrator.refit_now());
+  EXPECT_TRUE(recalibrator.has_refit());
+
+  const CalibrationProfile fitted = recalibrator.current_profile();
+  for (std::size_t p = 0; p < fitted.phases.size(); ++p) {
+    EXPECT_NEAR(fitted.phases[p].per_element_seconds,
+                truth.phases[p].per_element_seconds,
+                1e-9 * truth.phases[p].per_element_seconds)
+        << "phase " << p;
+    EXPECT_NEAR(fitted.phases[p].serial_fraction,
+                truth.phases[p].serial_fraction, 1e-6)
+        << "phase " << p;
+    EXPECT_NEAR(fitted.phases[p].fork_overhead_seconds,
+                truth.phases[p].fork_overhead_seconds, 1e-9)
+        << "phase " << p;
+  }
+  const RecalibrationStats stats = recalibrator.stats();
+  EXPECT_EQ(stats.samples, fed);
+  EXPECT_EQ(stats.refits, 1u);
+  // The baseline is a different model entirely: the re-fit must flag the
+  // drift it measured against it.
+  EXPECT_GT(stats.last_drift, options.drift_tolerance);
+  EXPECT_TRUE(stats.drifted);
+}
+
+TEST(Calibration, OnlineRefitMeasuresNoDriftAgainstItsOwnBaseline) {
+  // Samples synthesized from the baseline itself re-fit to the same
+  // model: drift ~0, flag clear.
+  RecalibrationOptions options;
+  options.enabled = true;
+  options.refit_interval = 1000;
+  options.baseline = sample_profile();
+  OnlineRecalibrator recalibrator(options);
+  for (std::size_t p = 0; p < options.baseline.phases.size(); ++p) {
+    for (const std::size_t count : {100u, 300u}) {
+      for (const std::size_t width : {1u, 2u, 8u}) {
+        recalibrator.record_sample(
+            p, count, width, options.baseline.phases[p].seconds(count, width));
+      }
+    }
+  }
+  recalibrator.refit_now();
+  const RecalibrationStats stats = recalibrator.stats();
+  EXPECT_LT(stats.last_drift, 1e-6);
+  EXPECT_FALSE(stats.drifted);
+}
+
+TEST(Calibration, OnlineRefitAutoFitsOnTheSampleInterval) {
+  // record_sample() returns true exactly on the refit_interval cadence.
+  RecalibrationOptions options;
+  options.enabled = true;
+  options.refit_interval = 5;
+  options.baseline = sample_profile();
+  OnlineRecalibrator recalibrator(options);
+  const double rate = options.baseline.phases[0].per_element_seconds;
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_FALSE(recalibrator.record_sample(0, 100, 1, 100 * rate))
+        << "sample " << i;
+  }
+  EXPECT_TRUE(recalibrator.record_sample(0, 100, 1, 100 * rate));
+  EXPECT_TRUE(recalibrator.has_refit());
+  EXPECT_EQ(recalibrator.stats().refits, 1u);
+}
+
+TEST(Calibration, OnlineRefitWidthOneStreamRescalesOnlyTheScale) {
+  // A width-1 stream identifies only the per-element scale: sigma and
+  // overhead keep their baseline constants while per_element tracks the
+  // observed rate (here 2x the baseline's).
+  RecalibrationOptions options;
+  options.enabled = true;
+  options.refit_interval = 1000;
+  options.baseline = sample_profile();
+  OnlineRecalibrator recalibrator(options);
+  const PhaseCalibration& base = options.baseline.phases[2];
+  for (const std::size_t count : {50u, 100u, 200u}) {
+    recalibrator.record_sample(
+        2, count, 1,
+        2.0 * base.per_element_seconds * static_cast<double>(count));
+  }
+  EXPECT_TRUE(recalibrator.refit_now());
+  const PhaseCalibration fitted = recalibrator.current_profile().phases[2];
+  EXPECT_NEAR(fitted.per_element_seconds, 2.0 * base.per_element_seconds,
+              1e-12);
+  EXPECT_DOUBLE_EQ(fitted.serial_fraction, base.serial_fraction);
+  EXPECT_DOUBLE_EQ(fitted.fork_overhead_seconds, base.fork_overhead_seconds);
+  // Phases with no samples at all keep the baseline untouched.
+  EXPECT_DOUBLE_EQ(recalibrator.current_profile().phases[0].per_element_seconds,
+                   options.baseline.phases[0].per_element_seconds);
+}
+
+TEST(Calibration, OnlineRefitIgnoresInvalidSamplesAndOptions) {
+  RecalibrationOptions options;
+  options.enabled = true;
+  options.baseline = sample_profile();
+  OnlineRecalibrator recalibrator(options);
+  // Out-of-range phase, zero count/width, non-positive or non-finite
+  // seconds: all dropped without counting.
+  EXPECT_FALSE(recalibrator.record_sample(5, 100, 1, 1.0));
+  EXPECT_FALSE(recalibrator.record_sample(0, 0, 1, 1.0));
+  EXPECT_FALSE(recalibrator.record_sample(0, 100, 0, 1.0));
+  EXPECT_FALSE(recalibrator.record_sample(0, 100, 1, 0.0));
+  EXPECT_FALSE(recalibrator.record_sample(0, 100, 1, -1.0));
+  EXPECT_FALSE(recalibrator.record_sample(
+      0, 100, 1, std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(recalibrator.stats().samples, 0u);
+
+  // Constructor validation: a zero refit interval or a broken drift
+  // tolerance is a configuration error, not a silent no-op.
+  RecalibrationOptions broken = options;
+  broken.refit_interval = 0;
+  EXPECT_THROW(OnlineRecalibrator{broken}, PreconditionError);
+  broken = options;
+  broken.drift_tolerance = -0.5;
+  EXPECT_THROW(OnlineRecalibrator{broken}, PreconditionError);
+  broken = options;
+  broken.drift_tolerance = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(OnlineRecalibrator{broken}, PreconditionError);
+}
+
+TEST(Calibration, OnlineCostModelSwitchesAfterTheFirstRefit) {
+  // The pricing handover: the wrapped model serves the base prices until
+  // the recalibrator's first usable re-fit, then the live profile's.
+  RecalibrationOptions options;
+  options.enabled = true;
+  options.refit_interval = 1000;
+  options.baseline = sample_profile();
+  auto recalibrator = std::make_shared<OnlineRecalibrator>(options);
+
+  const CostModelPtr base = make_function_cost_model(
+      [](const FactorGraph&, std::span<const std::size_t> widths) {
+        return std::vector<double>(widths.size(), 123.0);
+      },
+      "flat");
+  const CostModelPtr model = make_online_cost_model(base, recalibrator);
+  EXPECT_EQ(model->name(), "online-recalibrated");
+
+  const FactorGraph graph = make_consensus_graph(16);
+  const std::vector<std::size_t> ladder = {1, 2};
+  EXPECT_DOUBLE_EQ(model->iteration_seconds(graph, ladder)[0], 123.0);
+
+  for (std::size_t p = 0; p < options.baseline.phases.size(); ++p) {
+    for (const std::size_t count : {100u, 200u}) {
+      for (const std::size_t width : {1u, 4u}) {
+        recalibrator->record_sample(
+            p, count, width, options.baseline.phases[p].seconds(count, width));
+      }
+    }
+  }
+  ASSERT_TRUE(recalibrator->refit_now());
+  const CalibrationProfile live = recalibrator->current_profile();
+  const std::vector<double> priced = model->iteration_seconds(graph, ladder);
+  const std::array<std::size_t, 5> counts = phase_counts(graph);
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    EXPECT_DOUBLE_EQ(priced[i], live.iteration_seconds(counts, ladder[i]))
+        << "width " << ladder[i];
+  }
+}
+
+TEST(Calibration, OnlineRefitProfileRoundTripsThroughDisk) {
+  // The --refit-out persistence contract: the live profile is a valid,
+  // loadable CalibrationProfile.
+  RecalibrationOptions options;
+  options.enabled = true;
+  options.baseline = sample_profile();
+  OnlineRecalibrator recalibrator(options);
+  for (const std::size_t width : {1u, 2u, 4u}) {
+    for (std::size_t p = 0; p < 5; ++p) {
+      recalibrator.record_sample(
+          p, 100, width, options.baseline.phases[p].seconds(100, width));
+    }
+  }
+  recalibrator.refit_now();
+  const std::string path = temp_path("paradmm_refit_roundtrip.json");
+  recalibrator.current_profile().save(path);
+  const CalibrationProfile loaded = CalibrationProfile::load(path);
+  EXPECT_EQ(loaded.version, CalibrationProfile::kVersion);
+  for (std::size_t p = 0; p < loaded.phases.size(); ++p) {
+    EXPECT_GT(loaded.phases[p].per_element_seconds, 0.0) << "phase " << p;
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace

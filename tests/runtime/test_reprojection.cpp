@@ -1,0 +1,498 @@
+// Continuous admission: the BatchRunner's mid-queue re-projection
+// (BatchRunnerOptions::reprojection) that sheds or degrades admitted jobs
+// whose deadlines a queue-shape change has made provably unmeetable.
+//
+// Determinism: every scenario runs on a frozen virtual clock against the
+// injected 1-second-per-iteration cost model (the test_admission idiom),
+// with the dispatch lanes saturated by jobs parked inside their progress
+// callbacks — so the queue shape at each re-projection, and therefore the
+// shed verdict and its evidence, are exact arithmetic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/prox_library.hpp"
+#include "core/solver.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/trace.hpp"
+#include "support/error.hpp"
+
+namespace paradmm::runtime {
+namespace {
+
+FactorGraph make_consensus_graph(const std::vector<double>& targets) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  for (const double t : targets) {
+    graph.add_factor(
+        std::make_shared<SumSquaresProx>(1.0, std::vector<double>{t}), {w});
+  }
+  graph.set_uniform_parameters(1.0, 1.0);
+  return graph;
+}
+
+std::vector<double> z_copy(const FactorGraph& graph) {
+  const auto z = graph.z_values();
+  return {z.begin(), z.end()};
+}
+
+/// 1 second per ADMM iteration at every width: a queued job's remaining
+/// load and its own best-case floor both equal its remaining iterations.
+CostModelPtr one_second_per_iteration() {
+  return make_function_cost_model(
+      [](const FactorGraph&, std::span<const std::size_t> widths) {
+        return std::vector<double>(widths.size(), 1.0);
+      },
+      "one-second-per-iteration");
+}
+
+SolverOptions budget(int iterations) {
+  SolverOptions options;
+  options.max_iterations = iterations;
+  options.check_interval = iterations;
+  return options;
+}
+
+BatchRunnerOptions reprojection_options(
+    AdmissionPolicy policy, std::shared_ptr<std::atomic<double>> now) {
+  BatchRunnerOptions options;
+  options.threads = 2;
+  options.reprojection = policy;
+  options.cost_model = one_second_per_iteration();
+  options.clock = [now] { return now->load(); };
+  return options;
+}
+
+/// The canonical shed scenario, exact on the virtual clock:
+///
+///   * two blockers park inside their progress callbacks and saturate both
+///     dispatch lanes, so the ready queue is frozen;
+///   * a 30-iteration filler queues at priority 5 (no deadline);
+///   * the victim (1 iteration, deadline 20) queues behind it.  At submit
+///     its projection is 0 + 30/2 + 1 = 16 <= 20: admitted.
+///   * the clock advances to 5 and the blockers are released.  The first
+///     queue-shape event re-projects the victim at 5 + 30/2 + 1 = 21 > 20:
+///     provably late, with 30 s of queued-ahead evidence.
+///
+/// Under kRejectInfeasible the victim is shed (kShedLate); under
+/// kDegradeToBestEffort it runs flagged.  Returns the handles as
+/// {blocker, blocker, filler, victim}.
+struct ShedScenario {
+  std::vector<FactorGraph> graphs;
+  std::vector<JobHandle> handles;
+  RuntimeMetrics metrics;
+};
+
+ShedScenario run_shed_scenario(BatchRunnerOptions options,
+                               std::shared_ptr<std::atomic<double>> now) {
+  ShedScenario run;
+  run.graphs.push_back(make_consensus_graph({1.0}));
+  run.graphs.push_back(make_consensus_graph({2.0}));
+  run.graphs.push_back(make_consensus_graph({1.0, 2.0, 3.0}));
+  run.graphs.push_back(make_consensus_graph({4.0}));
+
+  BatchRunner runner(std::move(options));
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool release = false;
+  std::atomic<int> blocked{0};
+  for (int b = 0; b < 2; ++b) {
+    SolveJob job;
+    job.graph = &run.graphs[static_cast<std::size_t>(b)];
+    job.options = budget(2);
+    job.options.check_interval = 1;
+    job.label = "blocker";
+    job.progress = [&](const IterationStatus&) {
+      blocked.fetch_add(1);
+      std::unique_lock lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return release; });
+    };
+    run.handles.push_back(runner.submit(std::move(job)));
+  }
+  while (blocked.load() < 2) std::this_thread::yield();
+
+  SolveJob filler;
+  filler.graph = &run.graphs[2];
+  filler.options = budget(30);
+  filler.priority = 5;
+  filler.label = "filler";
+  run.handles.push_back(runner.submit(std::move(filler)));
+
+  SolveJob victim;
+  victim.graph = &run.graphs[3];
+  victim.options = budget(1);
+  victim.deadline = 20.0;
+  victim.label = "victim";
+  run.handles.push_back(runner.submit(std::move(victim)));
+  EXPECT_EQ(run.handles[3].admission_verdict(), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(run.handles[3].state(), JobState::kQueued);
+
+  now->store(5.0);
+  {
+    std::lock_guard lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  runner.wait_all();
+  run.metrics = runner.metrics();
+  return run;
+}
+
+TEST(Reprojection, QueueStallShedsProvablyLateJobWithEvidence) {
+  // kRejectInfeasible: the victim — feasible at submit — is shed the
+  // moment the 5-second stall makes its projection miss, with the exact
+  // projected-vs-deadline arithmetic as evidence.
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  const ShedScenario run = run_shed_scenario(
+      reprojection_options(AdmissionPolicy::kRejectInfeasible, now), now);
+
+  EXPECT_EQ(run.handles[0].state(), JobState::kDone);
+  EXPECT_EQ(run.handles[1].state(), JobState::kDone);
+  EXPECT_EQ(run.handles[2].state(), JobState::kDone);
+  const JobHandle& victim = run.handles[3];
+  EXPECT_EQ(victim.wait(), JobState::kShedLate);
+  // The evidence is the proof sketch: 5 (clock) + 30/2 (filler's queued
+  // load over 2 lanes) + 1 (own best case) = 21 > deadline 20.
+  EXPECT_DOUBLE_EQ(victim.reprojection_projected(), 21.0);
+  EXPECT_DOUBLE_EQ(victim.reprojection_ahead_seconds(), 30.0);
+  EXPECT_DOUBLE_EQ(victim.finished_at(), 5.0);  // settled at the shed event
+  // A shed-while-queued job never ran: empty report, no fork, and its
+  // submit-time admission verdict stands (it *was* admitted).
+  EXPECT_EQ(victim.report().iterations, 0);
+  EXPECT_EQ(victim.current_width(), 0u);
+  EXPECT_EQ(victim.admission_verdict(), AdmissionVerdict::kAdmitted);
+
+  EXPECT_EQ(run.metrics.submitted, 4u);
+  EXPECT_EQ(run.metrics.completed, 3u);
+  EXPECT_EQ(run.metrics.shed_late, 1u);
+  EXPECT_EQ(run.metrics.rejected, 0u);
+  EXPECT_EQ(run.metrics.degraded, 0u);
+  EXPECT_EQ(run.metrics.finished(), 4u);
+  EXPECT_EQ(run.metrics.waiting_jobs, 0u);  // governor books balance
+  EXPECT_EQ(run.metrics.queue_depth, 0u);
+}
+
+TEST(Reprojection, DegradePolicyRunsTheLateJobFlagged) {
+  // kDegradeToBestEffort: same provably-late projection, but the victim
+  // keeps its queue slot, runs to completion, and carries the kBestEffort
+  // flag plus the same evidence instead of going terminal.
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  const ShedScenario run = run_shed_scenario(
+      reprojection_options(AdmissionPolicy::kDegradeToBestEffort, now), now);
+
+  const JobHandle& victim = run.handles[3];
+  EXPECT_EQ(victim.wait(), JobState::kDone);
+  EXPECT_EQ(victim.admission_verdict(), AdmissionVerdict::kBestEffort);
+  EXPECT_EQ(victim.report().iterations, 1);
+  EXPECT_DOUBLE_EQ(victim.reprojection_projected(), 21.0);
+  EXPECT_DOUBLE_EQ(victim.reprojection_ahead_seconds(), 30.0);
+
+  EXPECT_EQ(run.metrics.completed, 4u);
+  EXPECT_EQ(run.metrics.shed_late, 0u);
+  EXPECT_EQ(run.metrics.degraded, 1u);
+}
+
+TEST(Reprojection, ShedSetIsIdenticalAcrossRepeatedRuns) {
+  // The shed verdict depends only on the (deterministic) queue shape and
+  // the virtual clock, not on thread interleaving: repeated runs shed
+  // exactly the same job with exactly the same evidence.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    SCOPED_TRACE("repeat " + std::to_string(repeat));
+    auto now = std::make_shared<std::atomic<double>>(0.0);
+    const ShedScenario run = run_shed_scenario(
+        reprojection_options(AdmissionPolicy::kRejectInfeasible, now), now);
+    std::vector<JobState> states;
+    states.reserve(run.handles.size());
+    for (const auto& handle : run.handles) states.push_back(handle.state());
+    const std::vector<JobState> expected = {JobState::kDone, JobState::kDone,
+                                            JobState::kDone,
+                                            JobState::kShedLate};
+    EXPECT_EQ(states, expected);
+    EXPECT_DOUBLE_EQ(run.handles[3].reprojection_projected(), 21.0);
+    EXPECT_DOUBLE_EQ(run.handles[3].reprojection_ahead_seconds(), 30.0);
+    EXPECT_EQ(run.metrics.shed_late, 1u);
+  }
+}
+
+TEST(Reprojection, RateLimiterSkipsBackToBackReprojections) {
+  // reprojection_interval = 10 on the same scenario: the blockers'
+  // dispatch at clock 0 consumes the first re-projection, and every event
+  // at clock 5 lands inside the 10-second window — so the victim is never
+  // re-checked and runs to completion (missing its deadline is then the
+  // scoreboard's business, not admission's).
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  BatchRunnerOptions options =
+      reprojection_options(AdmissionPolicy::kRejectInfeasible, now);
+  options.reprojection_interval = 10.0;
+  const ShedScenario run = run_shed_scenario(std::move(options), now);
+
+  EXPECT_EQ(run.handles[3].state(), JobState::kDone);
+  EXPECT_EQ(run.metrics.shed_late, 0u);
+  EXPECT_EQ(run.metrics.completed, 4u);
+  // The evidence fields stay NaN: no verdict ever landed.
+  EXPECT_TRUE(std::isnan(run.handles[3].reprojection_projected()));
+}
+
+TEST(Reprojection, AcceptPolicyIsBitwiseIdenticalToTheStaticRuntime) {
+  // The off-switch property: reprojection = kAccept (the default) must
+  // reproduce the pre-reprojection runtime bitwise — same arrival set,
+  // finite deadlines included, scalar-for-scalar identical z vectors.
+  const std::vector<std::vector<double>> arrival_targets = {
+      {1.0, 2.0}, {3.0}, {-1.0, 0.5, 2.5}, {4.0, 4.0}};
+  const std::vector<double> deadlines = {0.001, kNoDeadline, 0.5, kNoDeadline};
+
+  const auto run_batch = [&](BatchRunnerOptions options,
+                             const std::vector<double>& batch_deadlines) {
+    std::vector<FactorGraph> graphs;
+    graphs.reserve(arrival_targets.size());
+    for (const auto& targets : arrival_targets) {
+      graphs.push_back(make_consensus_graph(targets));
+    }
+    std::vector<JobHandle> handles;
+    {
+      BatchRunner runner(std::move(options));
+      for (std::size_t i = 0; i < graphs.size(); ++i) {
+        SolveJob job;
+        job.graph = &graphs[i];
+        job.options = budget(40);
+        job.deadline = batch_deadlines[i];
+        handles.push_back(runner.submit(std::move(job)));
+      }
+      runner.wait_all();
+    }
+    std::vector<std::vector<double>> results;
+    for (auto& handle : handles) {
+      EXPECT_EQ(handle.state(), JobState::kDone);
+      results.push_back(z_copy(handle.graph()));
+    }
+    return results;
+  };
+  const auto expect_bitwise = [](const std::vector<std::vector<double>>& a,
+                                 const std::vector<std::vector<double>>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      ASSERT_EQ(a[i].size(), b[i].size()) << "job " << i;
+      for (std::size_t s = 0; s < b[i].size(); ++s) {
+        EXPECT_EQ(a[i][s], b[i][s]) << "job " << i << " z scalar " << s;
+      }
+    }
+  };
+
+  BatchRunnerOptions reference_options;
+  reference_options.threads = 2;
+  const auto reference = run_batch(reference_options, deadlines);
+
+  // Off switch: policy explicitly kAccept, cost model and clock attached.
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  const auto accepted = run_batch(
+      reprojection_options(AdmissionPolicy::kAccept, now), deadlines);
+  expect_bitwise(accepted, reference);
+
+  // Armed but never firing: the shed policy with no finite deadline in the
+  // batch has nothing to check and must also be bitwise-identical.
+  const std::vector<double> no_deadlines(arrival_targets.size(), kNoDeadline);
+  BatchRunnerOptions reference_inf_options;
+  reference_inf_options.threads = 2;
+  const auto reference_inf = run_batch(reference_inf_options, no_deadlines);
+  auto now2 = std::make_shared<std::atomic<double>>(0.0);
+  const auto armed = run_batch(
+      reprojection_options(AdmissionPolicy::kRejectInfeasible, now2),
+      no_deadlines);
+  expect_bitwise(armed, reference_inf);
+}
+
+TEST(Reprojection, TraceExportCarriesTheShedEvidence) {
+  // The acceptance criterion's visibility half: the Chrome-trace export of
+  // a shed run contains the "reprojection" instant with the projected
+  // finish, the deadline, and the queued-ahead seconds that proved the
+  // job late, plus the shed-late finish event.
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  BatchRunnerOptions options =
+      reprojection_options(AdmissionPolicy::kRejectInfeasible, now);
+  auto trace = std::make_shared<TraceRecorder>();
+  options.trace_sink = trace;
+  const ShedScenario run = run_shed_scenario(std::move(options), now);
+  ASSERT_EQ(run.handles[3].state(), JobState::kShedLate);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "paradmm_reprojection.json")
+          .string();
+  trace->write_chrome_trace(path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string exported = buffer.str();
+  std::filesystem::remove(path);
+
+  EXPECT_NE(exported.find("\"reprojection\""), std::string::npos);
+  EXPECT_NE(exported.find("shed-late"), std::string::npos);
+  EXPECT_NE(exported.find("\"projected\""), std::string::npos);
+  EXPECT_NE(exported.find("\"ahead_seconds\""), std::string::npos);
+  EXPECT_NE(exported.find("\"deadline\""), std::string::npos);
+}
+
+TEST(Reprojection, CheckIntervalClampForcesAMidSolveBarrier) {
+  // The serial whole-solve preemption-latency fix: a job submitted with
+  // check_interval <= 0 or >= its budget used to run barrier-free to the
+  // end — uncancellable and unpreemptable once started.  The runner now
+  // clamps the effective interval to (budget - 1), so every multi-
+  // iteration solve hits at least one mid-solve barrier; and because
+  // residual checks never alter the trajectory, the clamp is invisible in
+  // the numerics.
+  const auto run_job = [](int check_interval, std::vector<int>* barriers) {
+    FactorGraph graph = make_consensus_graph({1.0, 2.0});
+    BatchRunnerOptions options;
+    options.threads = 2;
+    BatchRunner runner(options);
+    SolveJob job;
+    job.graph = &graph;
+    job.options.max_iterations = 10;  // converges at 28: never stops early
+    job.options.check_interval = check_interval;
+    job.progress = [barriers](const IterationStatus& status) {
+      barriers->push_back(status.iteration);
+    };
+    JobHandle handle = runner.submit(std::move(job));
+    EXPECT_EQ(handle.wait(), JobState::kDone);
+    EXPECT_EQ(handle.report().iterations, 10);
+    return z_copy(handle.graph());
+  };
+
+  // Reference trajectory: a direct whole-budget solve.
+  FactorGraph reference = make_consensus_graph({1.0, 2.0});
+  SolverOptions reference_options;
+  reference_options.max_iterations = 10;
+  reference_options.check_interval = 10;
+  solve(reference, reference_options);
+  const auto expected = z_copy(reference);
+
+  // check_interval = 0 ("never check") now hits the clamped barrier at
+  // iteration 9 before finishing at 10.
+  std::vector<int> barriers_zero;
+  const auto z_zero = run_job(0, &barriers_zero);
+  EXPECT_EQ(barriers_zero, (std::vector<int>{9, 10}));
+
+  // check_interval past the budget clamps the same way.
+  std::vector<int> barriers_past;
+  const auto z_past = run_job(100, &barriers_past);
+  EXPECT_EQ(barriers_past, (std::vector<int>{9, 10}));
+
+  // A job already under the clamp is untouched: same barriers as ever.
+  std::vector<int> barriers_under;
+  const auto z_under = run_job(5, &barriers_under);
+  EXPECT_EQ(barriers_under, (std::vector<int>{5, 10}));
+
+  for (const auto* z : {&z_zero, &z_past, &z_under}) {
+    ASSERT_EQ(z->size(), expected.size());
+    for (std::size_t s = 0; s < expected.size(); ++s) {
+      EXPECT_EQ((*z)[s], expected[s]) << "z scalar " << s;
+    }
+  }
+}
+
+TEST(Reprojection, ClampedSerialSolveIsCancellableMidFlight) {
+  // The observable payoff of the clamp: a whole-solve job submitted with
+  // "no checks" can now notice a cancellation at its clamped mid-solve
+  // barrier instead of running its full budget.  The cancel is requested
+  // from inside the barrier callback, so the timing is deterministic.
+  FactorGraph graph = make_consensus_graph({1.0, 2.0});
+  BatchRunnerOptions options;
+  options.threads = 1;
+  BatchRunner runner(options);
+  JobHandle handle;
+  std::atomic<bool> handle_ready{false};
+  std::atomic<bool> cancelled_at_barrier{false};
+  SolveJob job;
+  job.graph = &graph;
+  job.options.max_iterations = 20;  // converges at 28: no early stop
+  job.options.check_interval = 0;   // "never check": clamped to 19
+  job.progress = [&](const IterationStatus&) {
+    while (!handle_ready.load()) std::this_thread::yield();
+    if (!cancelled_at_barrier.exchange(true)) handle.request_cancel();
+  };
+  handle = runner.submit(std::move(job));
+  handle_ready.store(true);
+  EXPECT_EQ(handle.wait(), JobState::kCancelled);
+  EXPECT_TRUE(cancelled_at_barrier.load());
+  EXPECT_EQ(handle.report().iterations, 19);  // stopped at the clamped barrier
+}
+
+TEST(Reprojection, RecalibrationLoopSurfacesInRunnerMetrics) {
+  // The calibration-loop wiring end to end: with recalibration enabled a
+  // fine-grained batch feeds measured barrier timings from governor leases
+  // into the shared OnlineRecalibrator, and the runner's metrics surface
+  // the same sample/refit counters the recalibrator reports.  (Real clock
+  // — sample counts are host-dependent, so only consistency is asserted.)
+  BatchRunnerOptions options;
+  options.threads = 2;
+  options.scheduler.fine_grained_threshold = 1;  // everything forks
+  options.recalibration.enabled = true;
+  options.recalibration.refit_interval = 5;
+  // A baseline with positive per-phase costs: even a single-width sample
+  // stream (everything measured at the planned width) re-fits through the
+  // rescale fallback, and the live profile is saveable from the start.
+  options.recalibration.baseline.pool_threads = 2;
+  for (auto& phase : options.recalibration.baseline.phases) {
+    phase.per_element_seconds = 1e-7;
+  }
+  // Perfect scaling makes the planner fork (the devsim default would keep
+  // graphs this small serial, and a serial solve opens no governor lease).
+  options.cost_model = make_function_cost_model(
+      [](const FactorGraph&, std::span<const std::size_t> widths) {
+        std::vector<double> seconds;
+        seconds.reserve(widths.size());
+        for (const std::size_t width : widths) {
+          seconds.push_back(1.0 / static_cast<double>(width));
+        }
+        return seconds;
+      },
+      "perfect-scaling");
+  BatchRunner runner(options);
+  ASSERT_TRUE(runner.recalibrator() != nullptr);
+
+  std::vector<FactorGraph> graphs;
+  for (int i = 0; i < 4; ++i) {
+    graphs.push_back(make_consensus_graph({1.0, 2.0, 3.0, 4.0}));
+  }
+  std::vector<JobHandle> handles;
+  for (auto& graph : graphs) {
+    SolveJob job;
+    job.graph = &graph;
+    job.options = budget(40);
+    job.options.check_interval = 10;
+    handles.push_back(runner.submit(std::move(job)));
+  }
+  runner.wait_all();
+  for (const auto& handle : handles) {
+    EXPECT_EQ(handle.state(), JobState::kDone);
+  }
+
+  const RuntimeMetrics metrics = runner.metrics();
+  const RecalibrationStats stats = runner.recalibrator()->stats();
+  EXPECT_GT(stats.samples, 0u);  // the governed barriers actually fed it
+  EXPECT_EQ(metrics.recalibration_samples, stats.samples);
+  EXPECT_EQ(metrics.recalibration_refits, stats.refits);
+  EXPECT_EQ(metrics.recalibration_drifted, stats.drifted);
+  // Whatever was measured, the live profile must stay a valid, saveable
+  // calibration (the --refit-out persistence contract).
+  const CalibrationProfile live = runner.recalibrator()->current_profile();
+  EXPECT_NO_THROW(CalibrationProfile::from_json(live.to_json()));
+
+  // And the off-switch: a default-options runner allocates no recalibrator.
+  BatchRunner plain{BatchRunnerOptions{}};
+  EXPECT_TRUE(plain.recalibrator() == nullptr);
+}
+
+}  // namespace
+}  // namespace paradmm::runtime

@@ -1,9 +1,10 @@
 // Deterministic runtime stress harness (CTest label: stress).
 //
 // Seeded pseudo-random batches of 50–200 mixed-size jobs — random
-// priorities, deadlines, widths, failing solves, and cancellations
-// mid-flight — pushed through runners of 1..4 lanes with width
-// renegotiation active.  The arrival sets are exactly reproducible from
+// priorities, deadlines, widths, failing solves, cancellations
+// mid-flight, and (on a slice of the seeds) continuous-admission
+// re-projection shedding or degrading late work — pushed through
+// runners of 1..4 lanes with width renegotiation active.  The arrival sets are exactly reproducible from
 // the seed; the assertions are the runtime's conservation laws, which
 // must hold on every interleaving the OS produces:
 //
@@ -110,6 +111,21 @@ void run_stress_iteration(std::uint64_t seed) {
   // wide solves claim lanes.  Neither may violate any conservation law.
   if (rng.uniform() < 0.5) options.aging_rate = rng.uniform(0.0, 2.0);
   if (rng.uniform() < 0.25) options.governor.deadline_boost = false;
+  // Continuous admission in the mix: a random slice of the seeds runs
+  // with mid-queue re-projection armed (shed or degrade), pricing with
+  // the resolved default cost model against the runner clock the 0..50
+  // deadlines below share.  Shedding must obey the same conservation
+  // laws as every other terminal outcome.
+  const double reprojection_roll = rng.uniform();
+  if (reprojection_roll < 0.3) {
+    options.reprojection = AdmissionPolicy::kRejectInfeasible;
+  } else if (reprojection_roll < 0.6) {
+    options.reprojection = AdmissionPolicy::kDegradeToBestEffort;
+  }
+  if (options.reprojection != AdmissionPolicy::kAccept &&
+      rng.uniform() < 0.5) {
+    options.reprojection_interval = rng.uniform(0.0, 0.05);
+  }
 
   // Every iteration records a full trace: the sanitizer soaks (TSAN,
   // ASan+UBSan) exercise concurrent recording from workers, the
@@ -121,6 +137,7 @@ void run_stress_iteration(std::uint64_t seed) {
   const std::size_t jobs = 50 + rng.uniform_index(151);  // 50..200
   std::vector<std::unique_ptr<FactorGraph>> graphs;
   std::vector<char> throwing(jobs, 0);
+  std::vector<char> deadlined(jobs, 0);
   graphs.reserve(jobs);
 
   std::vector<JobHandle> handles;
@@ -139,7 +156,10 @@ void run_stress_iteration(std::uint64_t seed) {
       job.options.max_iterations = 1 + static_cast<int>(rng.uniform_index(60));
       job.options.check_interval = 5;
       job.priority = static_cast<int>(rng.uniform_index(5));
-      if (rng.uniform() < 0.3) job.deadline = rng.uniform(0.0, 50.0);
+      if (rng.uniform() < 0.3) {
+        job.deadline = rng.uniform(0.0, 50.0);
+        deadlined[i] = 1;
+      }
       job.label = "stress-" + std::to_string(i);
 
       const double cancel_roll = rng.uniform();
@@ -160,22 +180,34 @@ void run_stress_iteration(std::uint64_t seed) {
     runner.wait_all();
 
     // Conservation laws.  Every job terminal, in a state its kind allows.
+    // kShedLate is legal only for a finite-deadline job while the shed
+    // policy is armed — re-projection must never touch anything else.
+    const bool shedding =
+        options.reprojection == AdmissionPolicy::kRejectInfeasible;
     for (std::size_t i = 0; i < jobs; ++i) {
       ASSERT_TRUE(is_terminal(handles[i].state())) << handles[i].label();
+      const bool shed_ok = shedding && deadlined[i] &&
+                           handles[i].state() == JobState::kShedLate;
       if (throwing[i]) {
         EXPECT_TRUE(handles[i].state() == JobState::kFailed ||
-                    handles[i].state() == JobState::kCancelled)
+                    handles[i].state() == JobState::kCancelled || shed_ok)
             << handles[i].label() << ": " << to_string(handles[i].state());
       } else {
         EXPECT_TRUE(handles[i].state() == JobState::kDone ||
-                    handles[i].state() == JobState::kCancelled)
+                    handles[i].state() == JobState::kCancelled || shed_ok)
             << handles[i].label() << ": " << to_string(handles[i].state());
       }
     }
 
     metrics = runner.metrics();
     EXPECT_EQ(metrics.submitted, jobs);
-    EXPECT_EQ(metrics.completed + metrics.cancelled + metrics.failed, jobs);
+    EXPECT_EQ(metrics.completed + metrics.cancelled + metrics.failed +
+                  metrics.shed_late,
+              jobs);
+    if (!shedding) {
+      EXPECT_EQ(metrics.shed_late, 0u);
+    }
+    EXPECT_EQ(metrics.rejected, 0u);  // submit-time admission stays off
     EXPECT_EQ(metrics.queue_depth, 0u);
     EXPECT_EQ(metrics.waiting_jobs, 0u);  // governor books balance
 

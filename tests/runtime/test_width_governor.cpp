@@ -18,6 +18,7 @@
 #include "core/solver.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/batch_runner.hpp"
+#include "runtime/calibration.hpp"
 #include "runtime/width_governor.hpp"
 #include "support/error.hpp"
 
@@ -223,6 +224,92 @@ TEST(WidthGovernor, MeasuredSamplesOverrideThePrior) {
   governor.close_lease(lease);
   // And the cross-job estimate learned the measurement, not the prior.
   EXPECT_NEAR(governor.stats().learned_phase_seconds, 0.08, 1e-12);
+}
+
+TEST(WidthGovernor, OpenLeaseRejectsInvalidPriorsLoudly) {
+  // A negative or non-finite prior means the cost model that priced the
+  // solve is broken; the old behavior clamped it to "no prior", silently
+  // disarming the first-barrier boost for exactly the solves that asked
+  // for it.  Now it throws at the door.
+  WidthGovernor governor;
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  governor.bind(8, [now] { return now->load(); });
+
+  EXPECT_THROW(governor.open_lease(2, 4.0, 10, -1.0), PreconditionError);
+  EXPECT_THROW(governor.open_lease(2, 4.0, 10, -1e-300), PreconditionError);
+  EXPECT_THROW(
+      governor.open_lease(2, 4.0, 10,
+                          std::numeric_limits<double>::quiet_NaN()),
+      PreconditionError);
+  EXPECT_THROW(governor.open_lease(2, 4.0, 10,
+                                   std::numeric_limits<double>::infinity()),
+               PreconditionError);
+  // A throwing open_lease must not leak ledger width.
+  EXPECT_EQ(governor.stats().boosted_lanes, 0u);
+  // Zero stays the documented "no prior" sentinel.
+  const auto lease = governor.open_lease(2, 4.0, 10, 0.0);
+  EXPECT_EQ(governor.advise(*lease, 2), 2u);  // no prior: no boost yet
+  governor.close_lease(lease);
+}
+
+TEST(WidthGovernor, TinyPositivePriorStillArmsTheFirstBarrierBoost) {
+  // The other half of the fix: a genuinely tiny positive prior passes
+  // through untouched and still drives the first-barrier projection.
+  // Prior 1e-3 lane-seconds over 10 phases against 2 ms of slack:
+  // ceil(10 * 1e-3 / 0.002) = 5 of 8 lanes, before any clock movement.
+  WidthGovernor governor;
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  governor.bind(8, [now] { return now->load(); });
+
+  const auto lease = governor.open_lease(2, /*deadline=*/0.002,
+                                         /*total_phases=*/10,
+                                         /*prior_phase_seconds=*/1e-3);
+  EXPECT_EQ(governor.advise(*lease, 2), 5u);
+  EXPECT_EQ(governor.stats().boosts, 1u);
+  governor.close_lease(lease);
+}
+
+TEST(WidthGovernor, TimedBarriersFeedTheOnlineRecalibrator) {
+  // With a recalibrator bound and per-phase task counts on the lease,
+  // every timed barrier becomes one (phase, count, width, seconds) sample:
+  // barrier k closes phase (k-1) mod 5, and the untimed first barrier and
+  // frozen-clock barriers produce nothing.
+  RecalibrationOptions recal_options;
+  recal_options.enabled = true;
+  recal_options.refit_interval = 100;  // no auto-refit mid-test
+  OnlineRecalibrator recalibrator(recal_options);
+
+  WidthGovernor governor;
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  governor.bind(8, [now] { return now->load(); });
+  governor.bind_recalibration(&recalibrator);
+
+  const std::array<std::size_t, 5> counts = {10, 20, 30, 20, 20};
+  const auto lease = governor.open_lease(
+      2, std::numeric_limits<double>::infinity(), 0, 0.0, counts);
+  governor.advise(*lease, 2);  // first barrier: arms the timer, no sample
+  EXPECT_EQ(recalibrator.stats().samples, 0u);
+
+  now->store(1.0);
+  governor.advise(*lease, 2);  // closes phase 0 (x): 1.0 s over count 10
+  EXPECT_EQ(recalibrator.stats().samples, 1u);
+
+  now->store(1.5);
+  governor.advise(*lease, 2);  // closes phase 1 (m): 0.5 s over count 20
+  EXPECT_EQ(recalibrator.stats().samples, 2u);
+
+  governor.advise(*lease, 2);  // frozen clock: delta 0, no sample
+  EXPECT_EQ(recalibrator.stats().samples, 2u);
+  governor.close_lease(lease);
+
+  // All-zero counts (the default) keep sample capture off entirely.
+  const auto plain = governor.open_lease(
+      2, std::numeric_limits<double>::infinity(), 0, 0.0);
+  governor.advise(*plain, 2);
+  now->store(3.0);
+  governor.advise(*plain, 2);
+  EXPECT_EQ(recalibrator.stats().samples, 2u);
+  governor.close_lease(plain);
 }
 
 TEST(WidthGovernor, DeadlineBoostCanBeDisabled) {

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <iostream>
 #include <thread>
+#include <vector>
 
 #include "devsim/cost_model.hpp"
 #include "devsim/cpu_model.hpp"
@@ -57,6 +58,11 @@ int main(int argc, char** argv) {
   flags.add_string("trace", "",
                    "write a Chrome trace of the measurement ladder here "
                    "(one span per problem/width sample; empty = off)");
+  flags.add_string("refit-out", "",
+                   "replay the measured samples through the runtime's "
+                   "online re-fit path (OnlineRecalibrator, seeded with "
+                   "the fitted profile) and write the re-fit profile here "
+                   "(empty = off)");
   flags.add_bool("devsim", false,
                  "fit the devsim Opteron predictions instead of measuring "
                  "(produces the synthetic committed-default profile)");
@@ -81,10 +87,55 @@ int main(int argc, char** argv) {
   TraceRecorder trace;
   if (!trace_path.empty()) options.trace = &trace;
 
+  // --refit-out: buffer every measured sample during the single calibrate()
+  // run, then replay the buffer through the runtime's online re-fit path —
+  // the exact code the BatchRunner runs live — and persist its re-fit
+  // profile.  Exercises the offline-fit / online-refit round trip without
+  // measuring twice.
+  struct RefitSample {
+    std::size_t phase, count, width;
+    double seconds;
+  };
+  std::vector<RefitSample> refit_samples;
+  const std::string refit_out = flags.get_string("refit-out");
+  if (!refit_out.empty()) {
+    options.sample_sink = [&refit_samples](std::size_t phase,
+                                           std::size_t count,
+                                           std::size_t width, double seconds) {
+      refit_samples.push_back({phase, count, width, seconds});
+    };
+  }
+
   const HostCalibrator calibrator(options);
   const CalibrationProfile profile = calibrator.calibrate();
   const std::string out = flags.get_string("out");
   profile.save(out);
+
+  if (!refit_out.empty()) {
+    RecalibrationOptions recal;
+    recal.enabled = true;
+    recal.baseline = profile;
+    OnlineRecalibrator recalibrator(recal);
+    for (const RefitSample& sample : refit_samples) {
+      recalibrator.record_sample(sample.phase, sample.count, sample.width,
+                                 sample.seconds);
+    }
+    recalibrator.refit_now();
+    const RecalibrationStats stats = recalibrator.stats();
+    CalibrationProfile refit = recalibrator.current_profile();
+    if (refit.host.empty() || refit.host == "online-refit") {
+      refit.host = profile.host;
+    }
+    if (refit.host.find("online re-fit") == std::string::npos) {
+      refit.host += " (online re-fit)";
+    }
+    refit.save(refit_out);
+    std::printf(
+        "wrote online re-fit profile %s (%zu samples, %zu refits, drift "
+        "%.2f%% vs offline fit)\n",
+        refit_out.c_str(), stats.samples, stats.refits,
+        100.0 * stats.last_drift);
+  }
   if (!trace_path.empty()) {
     trace.write_chrome_trace(trace_path);
     std::printf("wrote measurement trace %s\n", trace_path.c_str());
