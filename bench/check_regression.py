@@ -43,6 +43,10 @@ GATED_METRICS = {
     "speedup": "higher",
     "mixed_speedup": "higher",
     "mixed_e2e_tail_ratio": "lower",
+    # Arrival-rate (multi-tenant service) scenario: end-to-end p99/p50 of
+    # the closed-loop run.  Host-relative like the mixed tail ratio; a rise
+    # means the contended service regime grew a latency tail.
+    "arrival_e2e_tail_ratio": "lower",
 }
 
 

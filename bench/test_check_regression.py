@@ -28,13 +28,15 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       "check_regression.py")
 
 
-def good_record(speedup=3.0, mixed_speedup=2.0, tail_ratio=1.5, threads=8):
+def good_record(speedup=3.0, mixed_speedup=2.0, tail_ratio=1.5,
+                arrival_tail_ratio=2.0, threads=8):
     return {
         "bench": "runtime_throughput",
         "hardware_threads": threads,
         "speedup": speedup,
         "mixed_speedup": mixed_speedup,
         "mixed_e2e_tail_ratio": tail_ratio,
+        "arrival_e2e_tail_ratio": arrival_tail_ratio,
     }
 
 
@@ -91,6 +93,26 @@ class CheckRegressionGate(unittest.TestCase):
         result = run_gate(good_record(tail_ratio=3.0),
                           good_record(tail_ratio=1.1), "--tolerance", "0.15")
         self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("PASS", result.stdout)
+
+    def test_arrival_tail_ratio_is_gated_lower_is_better(self):
+        # The arrival-rate (multi-tenant service) tail ratio regresses by
+        # rising, exactly like the mixed one.
+        result = run_gate(good_record(arrival_tail_ratio=2.0),
+                          good_record(arrival_tail_ratio=3.0),
+                          "--tolerance", "0.15")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("arrival_e2e_tail_ratio", result.stdout)
+        self.assertIn("REGRESSED", result.stdout)
+
+    def test_arrival_tail_ratio_gets_the_additive_allowance(self):
+        # Committed baselines predate the arrival scenario: note + skip,
+        # never a hard fail.
+        baseline = good_record()
+        del baseline["arrival_e2e_tail_ratio"]
+        result = run_gate(baseline, good_record())
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("predates arrival_e2e_tail_ratio", result.stdout)
         self.assertIn("PASS", result.stdout)
 
     def test_field_absent_from_baseline_is_an_additive_skip(self):

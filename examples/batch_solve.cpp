@@ -4,7 +4,8 @@
 //   1. look up what the ProblemRegistry can build,
 //   2. submit a mix of small jobs (whole-solve-per-worker) and one job
 //      forced through the fine-grained path,
-//   3. jump the queue with a high-priority job (make_job + priority),
+//   3. jump the queue with a high-priority job (the fluent SubmitRequest
+//      builder — the same schema the solver service accepts as JSON),
 //   4. watch progress via the per-job callback, cancel one job,
 //   5. submit a job whose deadline is provably infeasible and watch
 //      admission control reject it at the door (the runner prices work
@@ -23,6 +24,7 @@
 #include "problems/packing/registry.hpp"
 #include "problems/svm/registry.hpp"
 #include "runtime/batch_runner.hpp"
+#include "runtime/submit_request.hpp"
 #include "runtime/trace.hpp"
 #include "support/cli.hpp"
 
@@ -94,19 +96,22 @@ int main(int argc, char** argv) {
   // An urgent job: priority 10 dispatches ahead of everything still
   // queued (the jobs above that are already running keep their lanes,
   // but the WidthGovernor shrinks the wide packing solve so a lane frees
-  // up sooner).  make_job builds a registry problem without submitting,
-  // so priority/deadline can be set first.
-  svm::SvmJobParams urgent_params;
-  urgent_params.points = 32;
-  urgent_params.data_seed = 99;
-  SolveJob urgent = BatchRunner::make_job("svm", urgent_params, solve_options);
-  urgent.priority = 10;
+  // up sooner).  SubmitRequest is the one submission schema: the fluent
+  // chain below and a {"problem": "svm", "priority": 10, "deadline": 5.0}
+  // line on the solver service's socket build the identical job.
   // Deadlines live on the runner clock (seconds since construction unless
   // BatchRunnerOptions::clock overrides it): earliest-deadline-first
   // within a priority class, and a fine-grained solve racing this value
   // gets boosted lanes instead of yielding them to the backlog.
-  urgent.deadline = 5.0;
-  JobHandle urgent_svm = runner.submit(std::move(urgent));
+  svm::SvmJobParams urgent_params;
+  urgent_params.points = 32;
+  urgent_params.data_seed = 99;
+  JobHandle urgent_svm = runner.submit(SubmitRequest("svm")
+                                           .params(urgent_params)
+                                           .options(solve_options)
+                                           .priority(10)
+                                           .deadline(5.0)
+                                           .label("urgent"));
 
   // One job of every other problem kind, with a progress callback.
   JobHandle mpc = runner.submit(
@@ -130,9 +135,10 @@ int main(int argc, char** argv) {
   svm::SvmJobParams doomed_params;
   doomed_params.points = 32;
   doomed_params.data_seed = 123;
-  SolveJob doomed = BatchRunner::make_job("svm", doomed_params, solve_options);
-  doomed.deadline = 0.001;
-  JobHandle doomed_svm = runner.submit(std::move(doomed));
+  JobHandle doomed_svm = runner.submit(SubmitRequest("svm")
+                                           .params(doomed_params)
+                                           .options(solve_options)
+                                           .deadline(0.001));
   std::printf("infeasible-deadline svm: %s at submit (verdict: %s)\n",
               to_string(doomed_svm.state()).data(),
               to_string(doomed_svm.admission_verdict()).data());

@@ -17,6 +17,7 @@ std::string_view to_string(JobState state) {
     case JobState::kFailed: return "failed";
     case JobState::kRejected: return "rejected";
     case JobState::kShedLate: return "shed-late";
+    case JobState::kQuotaRejected: return "quota-rejected";
   }
   return "unknown";
 }
@@ -107,11 +108,16 @@ std::string job_span_name(const detail::JobControl& job) {
 }
 
 // Args identifying the job on every lifecycle event; the sequence
-// disambiguates same-labelled jobs.
+// disambiguates same-labelled jobs.  Tenant-tagged when the job belongs to
+// a named tenant — jobs of the implicit tenant add nothing, so the
+// tenant-free trace stays byte-identical.
 std::vector<TraceArg> job_args(const detail::JobControl& job) {
   std::vector<TraceArg> args;
   args.push_back(TraceRecorder::arg("job", job_span_name(job)));
   args.push_back(TraceRecorder::arg("sequence", job.sequence));
+  if (!job.tenant.empty()) {
+    args.push_back(TraceRecorder::arg("tenant", job.tenant));
+  }
   return args;
 }
 
@@ -135,6 +141,7 @@ BatchRunner::BatchRunner(BatchRunnerOptions options)
       admission_(options.admission),
       reprojection_(options.reprojection),
       reprojection_interval_(options.reprojection_interval),
+      tenants_(std::move(options.tenants)),
       queue_(JobOrder{options.aging_rate}) {
   require(std::isfinite(aging_rate_) && aging_rate_ >= 0.0,
           "BatchRunner aging_rate must be finite and >= 0");
@@ -206,6 +213,7 @@ JobHandle BatchRunner::submit(SolveJob job) {
   control->label = std::move(job.label);
   control->priority = job.priority;
   control->deadline = job.deadline;
+  control->tenant = std::move(job.tenant);
   control->submit_time = clock_();
   control->queued_since = control->submit_time;
 
@@ -222,29 +230,46 @@ JobHandle BatchRunner::submit(SolveJob job) {
   // flipped to best-effort by a concurrent re-projection pass the moment
   // the lock is released, and that flip does its own accounting.
   AdmissionVerdict verdict = AdmissionVerdict::kAdmitted;
+  bool quota_refused = false;
   std::size_t depth = 0;
   {
     MutexLock lock(mutex_);
     require(!stopping_, "BatchRunner is shutting down");
     control->sequence = next_sequence_++;
-    if (admission_ != AdmissionPolicy::kAccept &&
-        std::isfinite(control->deadline)) {
-      verdict = admit(control, best_case_seconds, control->submit_time);
-      control->admission.store(verdict, std::memory_order_relaxed);
-    }
-    if (verdict == AdmissionVerdict::kRejected) {
+    // The tenant's max_queued quota gates everything else: a submission it
+    // refuses never gets an admission projection (there is no queue slot
+    // for the projection to defend) and never consumes virtual time.
+    if (tenants_.active() && tenants_.queue_full(control->tenant)) {
+      quota_refused = true;
+      control->quota_queued = tenants_.queued(control->tenant);
+      control->quota_limit = tenants_.quota(control->tenant).max_queued;
       depth = queue_.size();
     } else {
-      // Into the governor's waiting set under the same lock that publishes
-      // the job: the dispatcher needs this mutex to pop it, so the paired
-      // job_done_waiting() can never run first and underflow the counter.
-      governor_.job_waiting();
-      queue_.insert(control);
-      ++unfinished_;
-      depth = queue_.size();
+      if (admission_ != AdmissionPolicy::kAccept &&
+          std::isfinite(control->deadline)) {
+        verdict = admit(control, best_case_seconds, control->submit_time);
+        control->admission.store(verdict, std::memory_order_relaxed);
+      }
+      if (verdict == AdmissionVerdict::kRejected) {
+        depth = queue_.size();
+      } else {
+        // The weighted-fair tag is issued under the same lock that inserts
+        // the job, so queue order and virtual time can never disagree.
+        if (tenants_.active()) {
+          control->vstart = tenants_.on_submit(control->tenant);
+        }
+        // Into the governor's waiting set under the same lock that
+        // publishes the job: the dispatcher needs this mutex to pop it, so
+        // the paired job_done_waiting() can never run first and underflow
+        // the counter.
+        governor_.job_waiting();
+        queue_.insert(control);
+        ++unfinished_;
+        depth = queue_.size();
+      }
     }
   }
-  collector_.on_submit(depth);
+  collector_.on_submit(depth, control->tenant);
   if (trace_ != nullptr) {
     // One async span per job, submit -> finish, id = sequence; every
     // lifecycle event inside carries the same job/sequence args.
@@ -256,6 +281,16 @@ JobHandle BatchRunner::submit(SolveJob job) {
     }
     args.push_back(TraceRecorder::arg("verdict", to_string(verdict)));
     trace_->instant("submit", "job", std::move(args));
+    if (quota_refused) {
+      // The quota decision with its evidence: the tenant's ready-queue
+      // occupancy against the max_queued limit that refused it.
+      auto evidence = job_args(*control);
+      evidence.push_back(TraceRecorder::arg("verdict", "quota-rejected"));
+      evidence.push_back(TraceRecorder::arg("queued", control->quota_queued));
+      evidence.push_back(
+          TraceRecorder::arg("max_queued", control->quota_limit));
+      trace_->instant("quota", "admission", std::move(evidence));
+    }
     if (verdict != AdmissionVerdict::kAdmitted) {
       // The admission decision with its evidence: the projected finish the
       // verdict compared against the deadline.
@@ -268,6 +303,12 @@ JobHandle BatchRunner::submit(SolveJob job) {
       evidence.push_back(TraceRecorder::arg("deadline", control->deadline));
       trace_->instant("admission", "admission", std::move(evidence));
     }
+  }
+  if (quota_refused) {
+    // Terminal without ever occupying the queue — the quota analog of the
+    // admission rejection below.
+    reject_quota(control, control->submit_time);
+    return JobHandle(control);
   }
   if (verdict == AdmissionVerdict::kRejected) {
     // Terminal without ever occupying the queue: no dispatch, no pool
@@ -367,6 +408,7 @@ void BatchRunner::reject(const std::shared_ptr<detail::JobControl>& control,
   JobFinish finish;
   finish.outcome = JobState::kRejected;
   finish.had_deadline = true;  // only finite deadlines are ever rejected
+  finish.tenant = control->tenant;
   collector_.on_finish(finish);
   if (trace_ != nullptr) {
     auto args = job_args(*control);
@@ -378,6 +420,27 @@ void BatchRunner::reject(const std::shared_ptr<detail::JobControl>& control,
     MutexLock lock(control->mutex);
     control->finished_at = now;
     control->state = JobState::kRejected;
+  }
+  control->changed.notify_all();
+}
+
+void BatchRunner::reject_quota(
+    const std::shared_ptr<detail::JobControl>& control, double now) {
+  JobFinish finish;
+  finish.outcome = JobState::kQuotaRejected;
+  finish.had_deadline = std::isfinite(control->deadline);
+  finish.tenant = control->tenant;
+  collector_.on_finish(finish);
+  if (trace_ != nullptr) {
+    auto args = job_args(*control);
+    args.push_back(TraceRecorder::arg("outcome", "quota-rejected"));
+    trace_->instant("finish", "job", std::move(args));
+    trace_->async_end(job_span_name(*control), "job", control->sequence);
+  }
+  {
+    MutexLock lock(control->mutex);
+    control->finished_at = now;
+    control->state = JobState::kQuotaRejected;
   }
   control->changed.notify_all();
 }
@@ -425,6 +488,7 @@ void BatchRunner::reproject_locked(
         queued->reprojection_projected = projected;
         queued->reprojection_ahead_seconds = ahead_seconds;
         if (reprojection_ == AdmissionPolicy::kRejectInfeasible) {
+          if (tenants_.active()) tenants_.on_shed(queued->tenant);
           shed->push_back(queued);
           it = queue_.erase(it);
           // A shed job runs nothing, so the jobs behind it are relieved
@@ -479,6 +543,7 @@ void BatchRunner::settle_reprojected(
     }
     JobFinish finish;
     finish.outcome = JobState::kShedLate;
+    finish.tenant = job->tenant;
     finish.wall_seconds = job->wall_so_far;
     finish.threads_used = threads_used;
     finish.ran = job->started;
@@ -537,23 +602,22 @@ JobHandle BatchRunner::submit(const std::string& problem,
                               const std::any& params, SolverOptions options,
                               ProgressFn progress,
                               const ProblemRegistry* registry) {
-  SolveJob job = make_job(problem, params, options, registry);
-  job.progress = std::move(progress);
-  return submit(std::move(job));
+  // Thin wrapper: the fluent builder is the one construction path, so the
+  // legacy overload can never drift from it (bitwise-tested).
+  return submit(SubmitRequest(problem)
+                    .params(params)
+                    .options(std::move(options))
+                    .progress(std::move(progress)),
+                registry);
 }
 
 SolveJob BatchRunner::make_job(const std::string& problem,
                                const std::any& params, SolverOptions options,
                                const ProblemRegistry* registry) {
-  const ProblemRegistry& source =
-      registry ? *registry : ProblemRegistry::global();
-  BuiltProblem built = source.build(problem, params);
-  SolveJob job;
-  job.graph = built.graph;
-  job.owner = std::move(built.owner);
-  job.options = options;
-  job.label = problem;
-  return job;
+  return SubmitRequest(problem)
+      .params(params)
+      .options(std::move(options))
+      .build(registry);
 }
 
 void BatchRunner::wait_all() {
@@ -582,13 +646,23 @@ RuntimeMetrics BatchRunner::metrics() const {
 bool BatchRunner::dispatch_pressure(const detail::JobControl& running) {
   MutexLock lock(mutex_);
   if (queue_.empty()) return false;
+  // The job a yield would let dispatch is the first *dispatchable* one:
+  // a tenant at its max_in_flight quota holds its queued jobs, and
+  // yielding for a job that cannot dispatch anyway buys nothing.
+  auto front = queue_.begin();
+  if (tenants_.active()) {
+    while (front != queue_.end() && !tenants_.dispatchable((*front)->tenant)) {
+      ++front;
+    }
+    if (front == queue_.end()) return false;
+  }
   // A free lane means the queued job could be dispatched immediately if
   // the dispatcher were not pinned inside this solve.
   if (inflight_ < pool_.concurrency()) return true;
   // Lanes full: yielding only helps if something queued should run before
   // the solve the dispatcher is pinned on (same order the queue is keyed
   // by, aged keys included).
-  return queue_.key_comp().before(**queue_.begin(), running);
+  return queue_.key_comp().before(**front, running);
 }
 
 void BatchRunner::dispatcher_loop() {
@@ -602,7 +676,23 @@ void BatchRunner::dispatcher_loop() {
       UniqueLock lock(mutex_);
       const bool lanes_full = inflight_ >= pool_.concurrency();
       const bool queue_drained = queue_.empty();
-      if (queue_drained || lanes_full) {
+      // Highest (effective) priority first; virtual time, deadline, then
+      // submit order break ties.  With tenant quotas active the front is
+      // the first job whose tenant has in-flight headroom — a capped
+      // tenant's jobs stay queued while others dispatch past them, and
+      // every quota-blocked job is released by some finalize (each
+      // in-flight job terminates and wakes this loop).
+      auto front = queue_.end();
+      if (!queue_drained && !lanes_full) {
+        front = queue_.begin();
+        if (tenants_.active()) {
+          while (front != queue_.end() &&
+                 !tenants_.dispatchable((*front)->tenant)) {
+            ++front;
+          }
+        }
+      }
+      if (front == queue_.end()) {
         if (queue_drained && stopping_) return;  // nothing left to dispatch
         // Clearing the flag while holding the mutex cannot lose a wakeup:
         // submit() and finalize() set it only after changing queue_ /
@@ -629,12 +719,10 @@ void BatchRunner::dispatcher_loop() {
         dispatcher_helping_.store(false);
         continue;
       }
-      // Highest (effective) priority first; deadline, then submit order
-      // break ties.
-      const auto front = queue_.begin();
       job = *front;
       queue_.erase(front);
       ++inflight_;
+      if (tenants_.active()) tenants_.on_dispatch(job->tenant, job->vstart);
       // The pop changed the queue's shape: everything that was behind this
       // job just moved up, and everything that was ahead of a given waiter
       // shrank — re-project the remainder while the lock is already held.
@@ -985,6 +1073,9 @@ void BatchRunner::requeue(const std::shared_ptr<detail::JobControl>& job,
     job->queued_since = requeued_at;  // next "queued" span starts here
     queue_.insert(job);
     --inflight_;
+    // Back under its original virtual-start tag (never re-tagged: yielding
+    // must not cost the job its weighted-fair position).
+    if (tenants_.active()) tenants_.on_requeue(job->tenant);
     // The requeue changed the queue's shape: the parked job's remaining
     // work now sits ahead of everything it outranks — re-project under the
     // same lock.  The just-requeued job itself is checkable too: a
@@ -1020,6 +1111,7 @@ void BatchRunner::finalize(const std::shared_ptr<detail::JobControl>& job,
   // wait() immediately observes this job in metrics().
   JobFinish finish;
   finish.outcome = outcome;
+  finish.tenant = job->tenant;
   finish.wall_seconds = job->wall_so_far;
   finish.threads_used = threads_used;
   finish.ran = ran;
@@ -1084,6 +1176,10 @@ void BatchRunner::finalize(const std::shared_ptr<detail::JobControl>& job,
     MutexLock lock(mutex_);
     --unfinished_;
     --inflight_;  // a dispatch lane freed up
+    // Every finalized job was dispatched (rejections and sheds settle
+    // elsewhere), so the tenant in-flight release mirrors inflight_
+    // exactly — and may unblock a quota-held queued job, hence the wake.
+    if (tenants_.active()) tenants_.on_finalize(job->tenant);
     dispatcher_wake_.store(true);
     if (dispatcher_helping_.load()) pool_.notify_helpers();
     all_done_.notify_all();

@@ -72,6 +72,8 @@
 #include "runtime/problem_registry.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/solve_job.hpp"
+#include "runtime/submit_request.hpp"
+#include "runtime/tenant_registry.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/width_governor.hpp"
 #include "support/lockdep.hpp"
@@ -188,6 +190,18 @@ struct BatchRunnerOptions {
   /// size-proportional widths, projections from measured samples only.
   CostModelPtr cost_model;
 
+  /// Per-tenant weights and quotas (runtime/tenant_registry.hpp).  With
+  /// any tenant defined, same-priority dispatch is ordered by weighted-
+  /// fair virtual time (a backlogged weight-3 tenant dispatches 3 jobs per
+  /// backlogged weight-1 job), a submission past its tenant's max_queued
+  /// quota goes terminal as JobState::kQuotaRejected with evidence on the
+  /// handle, and a tenant at its max_in_flight quota holds its queued jobs
+  /// while other tenants dispatch past them.  The default (no tenants
+  /// defined) keeps every virtual tag at 0 and skips every quota check —
+  /// dispatch order, trajectories, and metrics are bitwise identical to
+  /// the tenant-free runtime (property-tested).
+  TenantRegistry tenants;
+
   /// Structured-event trace sink (runtime/trace.hpp).  When set, the
   /// runner binds its clock to the recorder and instruments the whole
   /// decision surface: job lifecycle spans (submit -> queued -> slices ->
@@ -215,11 +229,25 @@ class BatchRunner {
   BatchRunner& operator=(const BatchRunner&) = delete;
 
   /// Enqueues a job; returns immediately.  Dispatch order among queued
-  /// jobs is (priority desc, deadline asc, submit order asc).
+  /// jobs is (priority desc, tenant virtual time asc, deadline asc, submit
+  /// order asc) — the virtual-time term is 0 for every job unless
+  /// options.tenants defines a tenant, collapsing the order to the classic
+  /// (priority, deadline, submit order).
   JobHandle submit(SolveJob job) PARADMM_EXCLUDES(mutex_);
 
+  /// The one submission schema (runtime/submit_request.hpp): builds the
+  /// request's problem from `registry` (ProblemRegistry::global() when
+  /// null) and enqueues it.  The service wire format submits through this
+  /// same call.
+  JobHandle submit(const SubmitRequest& request,
+                   const ProblemRegistry* registry = nullptr) {
+    return submit(request.build(registry));
+  }
+
   /// Builds `problem` from `registry` (ProblemRegistry::global() when
-  /// null) and enqueues it; the built instance is owned by the job.
+  /// null) and enqueues it; the built instance is owned by the job.  Thin
+  /// wrapper over submit(SubmitRequest) — kept for source compatibility
+  /// (bitwise-tested against the builder path).
   JobHandle submit(const std::string& problem, const std::any& params = {},
                    SolverOptions options = {}, ProgressFn progress = {},
                    const ProblemRegistry* registry = nullptr);
@@ -258,15 +286,21 @@ class BatchRunner {
 
  private:
   // Priority order for the ready queue: (effective) priority desc, then
-  // deadline asc, then submit sequence asc.  The sequence is unique, so
-  // this is a strict total order — dispatch is deterministic for a fixed
-  // arrival set.  Aging needs no clock here: every queued job ages at the
-  // same rate, so the time-dependent effective priorities
-  // priority + rate x (now - submit) order exactly like the static keys
-  // priority - rate x submit — `now` cancels (the runner clock is monotone,
-  // so the wait is never negative), and the sorted set stays valid because
-  // every key component is fixed at submit.  rate == 0 keeps the integer
-  // compare, reproducing the pure-priority order bitwise.
+  // tenant virtual-start tag asc, then deadline asc, then submit sequence
+  // asc.  The sequence is unique, so this is a strict total order —
+  // dispatch is deterministic for a fixed arrival set.  Aging needs no
+  // clock here: every queued job ages at the same rate, so the
+  // time-dependent effective priorities priority + rate x (now - submit)
+  // order exactly like the static keys priority - rate x submit — `now`
+  // cancels (the runner clock is monotone, so the wait is never negative),
+  // and the sorted set stays valid because every key component is fixed at
+  // submit.  rate == 0 keeps the integer compare, reproducing the
+  // pure-priority order bitwise.  The virtual-start tag (weighted-fair
+  // dispatch, runtime/tenant_registry.hpp) is 0 for every job unless a
+  // tenant is defined, so the tenant-free order is reproduced bitwise too;
+  // with tenants active it interleaves same-priority backlogs in weight
+  // proportion, ahead of the EDF tiebreak (fairness is the contract
+  // between tenants; deadlines still order jobs whose tags tie).
   struct JobOrder {
     double aging_rate = 0.0;
 
@@ -286,6 +320,7 @@ class BatchRunner {
       } else if (a.priority != b.priority) {
         return a.priority > b.priority;
       }
+      if (a.vstart != b.vstart) return a.vstart < b.vstart;
       if (a.deadline != b.deadline) return a.deadline < b.deadline;
       return a.sequence < b.sequence;
     }
@@ -324,6 +359,12 @@ class BatchRunner {
                          double best_case_seconds, double now)
       PARADMM_REQUIRES(mutex_);
   void reject(const std::shared_ptr<detail::JobControl>& control, double now);
+  // Terminal bookkeeping of a submission refused by its tenant's
+  // max_queued quota (JobState::kQuotaRejected): the quota analog of
+  // reject() — no queue slot, no governor waiting entry, no wait_all()
+  // obligation.
+  void reject_quota(const std::shared_ptr<detail::JobControl>& control,
+                    double now);
 
   // Continuous admission: one rate-limited pass over the ready queue (in
   // dispatch order) re-running the submit-time projection for every
@@ -374,6 +415,9 @@ class BatchRunner {
   // be acquired below it, never above — see ROADMAP "Lock hierarchy".
   mutable Mutex mutex_{"BatchRunner"};
   CondVar all_done_;
+  // Per-tenant quotas and weighted-fair virtual-time accounting; inert
+  // (active() == false) unless options.tenants defined a tenant.
+  TenantRegistry tenants_ PARADMM_GUARDED_BY(mutex_);
   ReadyQueue queue_ PARADMM_GUARDED_BY(mutex_);
   std::uint64_t next_sequence_ PARADMM_GUARDED_BY(mutex_) = 0;
   std::size_t unfinished_ PARADMM_GUARDED_BY(mutex_) = 0;

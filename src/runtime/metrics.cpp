@@ -26,6 +26,11 @@ void RuntimeMetrics::print(std::ostream& out) const {
   table.add_row({"admission rejected/degraded/shed",
                  count(rejected) + "/" + count(degraded) + "/" +
                      count(shed_late)});
+  // Quota refusals only exist with tenants defined; the row appears only
+  // then, so the tenant-free table is unchanged.
+  if (quota_rejected > 0) {
+    table.add_row({"quota rejected", count(quota_rejected)});
+  }
   table.add_row({"fine-grained jobs", count(fine_grained_jobs)});
   table.add_row({"queue depth", count(queue_depth)});
   table.add_row({"peak queue depth", count(peak_queue_depth)});
@@ -50,6 +55,20 @@ void RuntimeMetrics::print(std::ostream& out) const {
   percentiles("queue wait", queue_wait);
   percentiles("solve wall", solve_wall);
   percentiles("end-to-end", end_to_end);
+  // One row per named tenant (sorted — std::map — so the rendering is
+  // deterministic), plus its end-to-end percentiles when any job finished.
+  // The Table sizes columns to the widest cell, so the every-line-equal-
+  // width contract holds with tenant rows present or absent.
+  for (const auto& [name, tenant] : tenants) {
+    const std::size_t other = tenant.cancelled + tenant.failed +
+                              tenant.rejected + tenant.shed_late;
+    table.add_row({"tenant " + name,
+                   count(tenant.submitted) + " submitted, " +
+                       count(tenant.completed) + " done, " +
+                       count(tenant.quota_rejected) + " quota-rejected, " +
+                       count(other) + " other"});
+    percentiles(("tenant " + name + " e2e").c_str(), tenant.end_to_end);
+  }
   table.add_row({"width renegotiations",
                  count(width_shrinks) + " shrinks, " + count(width_grows) +
                      " grows, " + count(width_boosts) + " boosts"});
@@ -103,9 +122,11 @@ void RuntimeMetrics::print(std::ostream& out) const {
   table.print(out);
 }
 
-void MetricsCollector::on_submit(std::size_t queue_depth) {
+void MetricsCollector::on_submit(std::size_t queue_depth,
+                                 const std::string& tenant) {
   MutexLock lock(mutex_);
   ++metrics_.submitted;
+  if (!tenant.empty()) ++metrics_.tenants[tenant].submitted;
   metrics_.peak_queue_depth = std::max(metrics_.peak_queue_depth, queue_depth);
 }
 
@@ -140,7 +161,24 @@ void MetricsCollector::on_finish(const JobFinish& finish) {
     case JobState::kFailed: ++metrics_.failed; break;
     case JobState::kRejected: ++metrics_.rejected; break;
     case JobState::kShedLate: ++metrics_.shed_late; break;
+    case JobState::kQuotaRejected: ++metrics_.quota_rejected; break;
     default: break;
+  }
+  if (!finish.tenant.empty()) {
+    RuntimeMetrics::TenantMetrics& tenant = metrics_.tenants[finish.tenant];
+    switch (finish.outcome) {
+      case JobState::kDone: ++tenant.completed; break;
+      case JobState::kCancelled: ++tenant.cancelled; break;
+      case JobState::kFailed: ++tenant.failed; break;
+      case JobState::kRejected: ++tenant.rejected; break;
+      case JobState::kShedLate: ++tenant.shed_late; break;
+      case JobState::kQuotaRejected: ++tenant.quota_rejected; break;
+      default: break;
+    }
+    if (finish.outcome == JobState::kDone && finish.ran &&
+        finish.end_to_end_seconds >= 0.0) {
+      tenant.end_to_end.record(finish.end_to_end_seconds);
+    }
   }
   if (finish.outcome == JobState::kDone && finish.had_deadline) {
     if (finish.met_deadline) {

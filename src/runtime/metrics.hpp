@@ -34,6 +34,10 @@ struct RuntimeMetrics {
   /// re-projection proved their deadline unmeetable (JobState::kShedLate).
   /// Mid-queue degrades count in `degraded` alongside submit-time ones.
   std::size_t shed_late = 0;
+  /// Tenant-quota outcome (runtime/tenant_registry.hpp): submissions
+  /// refused because their tenant was at its max_queued quota
+  /// (JobState::kQuotaRejected).  0 whenever no tenants are defined.
+  std::size_t quota_rejected = 0;
   std::size_t queue_depth = 0;      ///< jobs waiting right now
   std::size_t peak_queue_depth = 0;
   std::size_t fine_grained_jobs = 0;  ///< jobs the scheduler ran intra-parallel
@@ -104,10 +108,29 @@ struct RuntimeMetrics {
   LatencyHistogram solve_wall;
   LatencyHistogram end_to_end;
 
-  /// Jobs in a terminal state (rejected-at-submit and shed-mid-queue
-  /// included — every handle is settled).
+  /// Per-tenant slice of the tallies above, keyed by tenant name; only
+  /// named tenants appear (jobs of the implicit "" tenant leave the map
+  /// empty, so the tenant-free snapshot is unchanged by this field).
+  struct TenantMetrics {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t cancelled = 0;
+    std::size_t failed = 0;
+    std::size_t rejected = 0;       ///< admission-rejected at submit
+    std::size_t quota_rejected = 0; ///< refused by the max_queued quota
+    std::size_t shed_late = 0;
+    /// Submit-to-terminal latency of the tenant's completed (kDone, ran)
+    /// jobs — the per-tenant percentile source the arrival-rate bench and
+    /// print() read.
+    LatencyHistogram end_to_end;
+  };
+  std::map<std::string, TenantMetrics> tenants;
+
+  /// Jobs in a terminal state (rejected-at-submit, quota-refused, and
+  /// shed-mid-queue included — every handle is settled).
   std::size_t finished() const {
-    return completed + cancelled + failed + rejected + shed_late;
+    return completed + cancelled + failed + rejected + shed_late +
+           quota_rejected;
   }
 
   /// Throughput of jobs the runner actually served.  Rejected and shed
@@ -176,12 +199,16 @@ struct JobFinish {
   /// submit-to-first-dispatch wait; end_to_end is submit-to-terminal.
   double queue_wait_seconds = -1.0;
   double end_to_end_seconds = -1.0;
+  /// The job's tenant; empty (the implicit tenant) records no per-tenant
+  /// tallies.
+  std::string tenant;
 };
 
 /// Thread-safe accumulator behind BatchRunner::metrics().
 class MetricsCollector {
  public:
-  void on_submit(std::size_t queue_depth);
+  /// `tenant` non-empty also bumps that tenant's submitted tally.
+  void on_submit(std::size_t queue_depth, const std::string& tenant = {});
   /// A submission was admitted as flagged best-effort (degrade policy,
   /// provably infeasible deadline).  Rejections need no hook: a rejected
   /// job reaches on_finish with outcome kRejected.

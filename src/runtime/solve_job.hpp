@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -38,6 +39,10 @@ enum class JobState {
                ///< proved the deadline unmeetable after admission (see
                ///< BatchRunnerOptions::reprojection); a preempted job shed
                ///< while parked keeps the progress it already made
+  kQuotaRejected,  ///< refused at submit: the job's tenant was already at
+                   ///< its max_queued quota (see runtime/tenant_registry.hpp;
+                   ///< never dispatched — evidence on the handle via
+                   ///< JobHandle::terminal_reason())
 };
 
 std::string_view to_string(JobState state);
@@ -45,7 +50,7 @@ std::string_view to_string(JobState state);
 inline bool is_terminal(JobState state) {
   return state == JobState::kDone || state == JobState::kCancelled ||
          state == JobState::kFailed || state == JobState::kRejected ||
-         state == JobState::kShedLate;
+         state == JobState::kShedLate || state == JobState::kQuotaRejected;
 }
 
 /// The runner's submit-time admission decision for a job (see
@@ -100,6 +105,14 @@ struct SolveJob {
   /// lanes instead of yielding them (see runtime/width_governor.hpp), and
   /// the job counts toward metrics().deadlines_met / deadlines_missed.
   double deadline = kNoDeadline;
+
+  /// The traffic class the job is accounted against (see
+  /// runtime/tenant_registry.hpp): its weight orders same-priority dispatch
+  /// by weighted-fair virtual time, and its quotas can refuse the
+  /// submission (JobState::kQuotaRejected) or hold it queued.  Empty (the
+  /// default) is the implicit tenant; with no tenants defined on the
+  /// runner the field is inert and dispatch is bitwise tenant-free.
+  std::string tenant;
 };
 
 namespace detail {
@@ -114,8 +127,18 @@ struct JobControl {
   std::string label;
   int priority = 0;
   double deadline = kNoDeadline;
+  std::string tenant;
   std::uint64_t sequence = 0;   // runner-assigned submit order (FIFO ties)
   double submit_time = 0.0;     // runner clock at submit (priority aging)
+  // Weighted-fair virtual-start tag (runtime/tenant_registry.hpp), fixed
+  // when the job enters the ready queue; orders same-priority dispatch.
+  // 0 whenever no tenants are defined, which keeps the tenant-free
+  // dispatch order bitwise.
+  double vstart = 0.0;
+  // Quota evidence (kQuotaRejected only): the tenant's ready-queue
+  // occupancy and its max_queued limit at the refused submit.
+  std::size_t quota_queued = 0;
+  std::size_t quota_limit = 0;
   // Admission bookkeeping: the verdict, and the job's cost-model price
   // (serial seconds per iteration — later submissions' projections charge
   // it for the job's *remaining* budget while it waits ahead of them, so a
@@ -197,6 +220,32 @@ struct JobControl {
 
 }  // namespace detail
 
+/// Everything the runner knows about why a job reached its terminal state,
+/// in one struct: the state itself, the admission verdict, the projection
+/// evidence that justified a rejection / shed / degrade, and the tenant
+/// quota evidence behind a kQuotaRejected.  Unifies the per-PR evidence
+/// accessors (admission_verdict, reprojection_projected /
+/// reprojection_ahead_seconds, quota fields) behind one call —
+/// JobHandle::terminal_reason(); the old getters remain as thin reads of
+/// the same fields.
+struct TerminalReason {
+  JobState state = JobState::kQueued;
+  AdmissionVerdict verdict = AdmissionVerdict::kAdmitted;
+  /// The projected finish that justified the verdict: the re-projection's
+  /// when one landed (kShedLate / mid-queue degrade), else the submit-time
+  /// admission projection; NaN when the job was never projected.
+  double projected_finish = std::numeric_limits<double>::quiet_NaN();
+  double deadline = kNoDeadline;
+  /// Queued-ahead serial seconds the re-projection charged (NaN unless a
+  /// re-projection verdict landed).
+  double queued_ahead_seconds = std::numeric_limits<double>::quiet_NaN();
+  std::string tenant;
+  /// Quota evidence (kQuotaRejected only, both 0 otherwise): the tenant's
+  /// ready-queue occupancy at the refused submit, and its max_queued limit.
+  std::size_t quota_queued = 0;
+  std::size_t quota_limit = 0;
+};
+
 /// Future-like handle to a submitted job.  Copyable; all copies observe the
 /// same job.  Outliving the BatchRunner is safe for reads — the runner
 /// drives every job to a terminal state before its destructor returns.
@@ -239,6 +288,9 @@ class JobHandle {
     require(c.state != JobState::kRejected,
             "job was rejected at submit (infeasible deadline) and never "
             "ran; see JobHandle::admission_verdict()");
+    require(c.state != JobState::kQuotaRejected,
+            "job was refused at submit (tenant max_queued quota) and never "
+            "ran; see JobHandle::terminal_reason()");
     return c.report;
   }
 
@@ -263,9 +315,42 @@ class JobHandle {
 
   const std::string& label() const { return control()->label; }
 
-  /// Dispatch priority / deadline, as submitted (fixed for the job's life).
+  /// Dispatch priority / deadline / tenant, as submitted (fixed for the
+  /// job's life).
   int priority() const { return control()->priority; }
   double deadline() const { return control()->deadline; }
+  const std::string& tenant() const { return control()->tenant; }
+
+  /// Runner clock value when the job was submitted (fixed before submit()
+  /// returned the handle).  finished_at() - submitted_at() is the job's
+  /// end-to-end latency on the axis the latency histograms use.
+  double submitted_at() const { return control()->submit_time; }
+
+  /// The one-stop terminal evidence record: state, admission verdict, the
+  /// projection that justified a rejection / shed / degrade, and the
+  /// tenant quota evidence behind a kQuotaRejected.  Call after wait().
+  /// Prefer this over the per-field getters below (admission_verdict,
+  /// reprojection_projected, reprojection_ahead_seconds), which predate it
+  /// and remain only for source compatibility.
+  TerminalReason terminal_reason() const {
+    const detail::JobControl& c = *control();
+    TerminalReason reason;
+    MutexLock lock(c.mutex);
+    require(is_terminal(c.state), "job has not finished");
+    reason.state = c.state;
+    reason.verdict = c.admission.load(std::memory_order_relaxed);
+    // The freshest projection wins: a re-projection verdict supersedes the
+    // submit-time one it re-checked.
+    reason.projected_finish = !std::isnan(c.reprojection_projected)
+                                  ? c.reprojection_projected
+                                  : c.admission_projected;
+    reason.deadline = c.deadline;
+    reason.queued_ahead_seconds = c.reprojection_ahead_seconds;
+    reason.tenant = c.tenant;
+    reason.quota_queued = c.quota_queued;
+    reason.quota_limit = c.quota_limit;
+    return reason;
+  }
 
   /// The runner's admission decision: kAdmitted unless an admission or
   /// re-projection check projected the job's finite deadline as infeasible
@@ -274,6 +359,8 @@ class JobHandle {
   /// before submit() returned except under continuous admission
   /// (BatchRunnerOptions::reprojection, degrade policy), which may flip an
   /// admitted queued job to kBestEffort mid-wait.
+  /// Deprecated in favor of terminal_reason().verdict (kept for source
+  /// compatibility; this one is also readable before the job is terminal).
   AdmissionVerdict admission_verdict() const {
     return control()->admission.load(std::memory_order_relaxed);
   }
@@ -300,7 +387,9 @@ class JobHandle {
   /// this job late mid-queue.  NaN unless a re-projection verdict (shed or
   /// degrade) landed on the job.  Valid once the job is terminal — the
   /// evidence is written before the terminal state (or the re-dispatch)
-  /// it justified, so the terminal wait orders the read.
+  /// it justified, so the terminal wait orders the read.  Deprecated in
+  /// favor of terminal_reason().projected_finish / .queued_ahead_seconds
+  /// (kept for source compatibility).
   double reprojection_projected() const {
     const detail::JobControl& c = *control();
     MutexLock lock(c.mutex);

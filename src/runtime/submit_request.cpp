@@ -1,0 +1,116 @@
+#include "runtime/submit_request.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace paradmm::runtime {
+
+SolveJob SubmitRequest::build(const ProblemRegistry* registry) const {
+  require(!problem_.empty(), "SubmitRequest needs a problem name");
+  const ProblemRegistry& source =
+      registry != nullptr ? *registry : ProblemRegistry::global();
+  BuiltProblem built = source.build(problem_, params_);
+  SolveJob job;
+  job.graph = built.graph;
+  job.owner = std::move(built.owner);
+  job.options = options_;
+  job.progress = progress_;
+  job.label = label_.empty() ? problem_ : label_;
+  job.priority = priority_;
+  job.deadline = deadline_;
+  job.tenant = tenant_;
+  return job;
+}
+
+std::string SubmitRequest::to_json() const {
+  // Only non-default fields go on the wire, so a request round-trips to
+  // the minimal line a human would have written.  The defaults compared
+  // against are SolverOptions{} — the same ones from_json fills in.
+  const SolverOptions defaults;
+  std::string out = "{\"problem\": " + json_quote(problem_);
+  if (!tenant_.empty()) out += ", \"tenant\": " + json_quote(tenant_);
+  if (priority_ != 0) {
+    out += ", \"priority\": " + json_number(static_cast<double>(priority_));
+  }
+  if (std::isfinite(deadline_)) {
+    out += ", \"deadline\": " + json_number(deadline_);
+  }
+  if (options_.max_iterations != defaults.max_iterations) {
+    out += ", \"max_iterations\": " +
+           json_number(static_cast<double>(options_.max_iterations));
+  }
+  if (options_.check_interval != defaults.check_interval) {
+    out += ", \"check_interval\": " +
+           json_number(static_cast<double>(options_.check_interval));
+  }
+  if (!label_.empty()) out += ", \"label\": " + json_quote(label_);
+  out += "}";
+  return out;
+}
+
+namespace {
+
+double number_field(const JsonValue& value, const std::string& key,
+                    const std::string& context) {
+  require(value.kind == JsonValue::Kind::kNumber,
+          context + ": field \"" + key + "\" must be a number");
+  return value.number;
+}
+
+int int_field(const JsonValue& value, const std::string& key,
+              const std::string& context) {
+  const double number = number_field(value, key, context);
+  require(number == std::floor(number),
+          context + ": field \"" + key + "\" must be an integer");
+  return static_cast<int>(number);
+}
+
+std::string string_field(const JsonValue& value, const std::string& key,
+                         const std::string& context) {
+  require(value.kind == JsonValue::Kind::kString,
+          context + ": field \"" + key + "\" must be a string");
+  return value.string;
+}
+
+}  // namespace
+
+SubmitRequest SubmitRequest::from_json(const JsonValue& value,
+                                       const std::string& context) {
+  require(value.kind == JsonValue::Kind::kObject,
+          context + ": a submit request must be a JSON object");
+  SubmitRequest request;
+  for (const auto& [key, field] : value.object) {
+    if (key == "problem") {
+      request.problem(string_field(field, key, context));
+    } else if (key == "tenant") {
+      request.tenant(string_field(field, key, context));
+    } else if (key == "priority") {
+      request.priority(int_field(field, key, context));
+    } else if (key == "deadline") {
+      request.deadline(number_field(field, key, context));
+    } else if (key == "max_iterations") {
+      request.max_iterations(int_field(field, key, context));
+    } else if (key == "check_interval") {
+      request.check_interval(int_field(field, key, context));
+    } else if (key == "label") {
+      request.label(string_field(field, key, context));
+    } else {
+      // Loud, not lenient: a typo'd field silently ignored would submit a
+      // different job than the caller wrote.
+      require(false, context + ": unknown field \"" + key + "\"");
+    }
+  }
+  require(!request.problem().empty(),
+          context + ": field \"problem\" is required");
+  return request;
+}
+
+SubmitRequest SubmitRequest::from_json_text(std::string_view text,
+                                            const std::string& context) {
+  JsonParser parser(text, context);
+  return from_json(parser.parse(), context);
+}
+
+}  // namespace paradmm::runtime

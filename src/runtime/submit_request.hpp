@@ -1,0 +1,129 @@
+// The one submission schema of the batch runtime: a fluent builder for
+// SolveJobs that the C++ API and the solver service's wire format share.
+//
+// The submission surface grew field by field across the runtime PRs
+// (priority, deadline, check_interval, tenant, ...), leaving callers to
+// make_job() a SolveJob and then assign fields.  SubmitRequest consolidates
+// that into one chainable value —
+//
+//   runner.submit(SubmitRequest("lasso").priority(10).deadline(5.0)
+//                     .tenant("alpha"));
+//
+// — and doubles as the newline-delimited JSON wire schema of
+// tools/solve_server (to_json / from_json round-trip exactly the fields
+// below), so a job submitted over the socket and one submitted in-process
+// are literally the same request.  The pre-existing
+// submit(problem, params, ...) overloads delegate through here
+// (bitwise-tested), so there is exactly one construction path.
+#pragma once
+
+#include <any>
+#include <string>
+#include <string_view>
+
+#include "runtime/problem_registry.hpp"
+#include "runtime/solve_job.hpp"
+#include "support/json.hpp"
+
+namespace paradmm::runtime {
+
+class SubmitRequest {
+ public:
+  SubmitRequest() = default;
+  explicit SubmitRequest(std::string problem) : problem_(std::move(problem)) {}
+
+  /// Registry name of the problem to build (required before build()).
+  SubmitRequest& problem(std::string name) {
+    problem_ = std::move(name);
+    return *this;
+  }
+  const std::string& problem() const { return problem_; }
+
+  /// Type-erased problem parameters (see params_or_default); not part of
+  /// the wire schema — service submissions build registry defaults.
+  SubmitRequest& params(std::any params) {
+    params_ = std::move(params);
+    return *this;
+  }
+  const std::any& params() const { return params_; }
+
+  /// Whole-struct solver options; the fluent max_iterations() /
+  /// check_interval() below edit the same struct.
+  SubmitRequest& options(SolverOptions options) {
+    options_ = std::move(options);
+    return *this;
+  }
+  const SolverOptions& options() const { return options_; }
+
+  SubmitRequest& max_iterations(int iterations) {
+    options_.max_iterations = iterations;
+    return *this;
+  }
+  int max_iterations() const { return options_.max_iterations; }
+
+  SubmitRequest& check_interval(int interval) {
+    options_.check_interval = interval;
+    return *this;
+  }
+  int check_interval() const { return options_.check_interval; }
+
+  SubmitRequest& priority(int priority) {
+    priority_ = priority;
+    return *this;
+  }
+  int priority() const { return priority_; }
+
+  SubmitRequest& deadline(double deadline) {
+    deadline_ = deadline;
+    return *this;
+  }
+  double deadline() const { return deadline_; }
+
+  SubmitRequest& tenant(std::string tenant) {
+    tenant_ = std::move(tenant);
+    return *this;
+  }
+  const std::string& tenant() const { return tenant_; }
+
+  /// Display label; defaults to the problem name when left empty.
+  SubmitRequest& label(std::string label) {
+    label_ = std::move(label);
+    return *this;
+  }
+  const std::string& label() const { return label_; }
+
+  SubmitRequest& progress(ProgressFn progress) {
+    progress_ = std::move(progress);
+    return *this;
+  }
+  const ProgressFn& progress() const { return progress_; }
+
+  /// Builds the problem from `registry` (ProblemRegistry::global() when
+  /// null) and materializes the SolveJob this request describes; the built
+  /// instance rides along in job.owner.
+  SolveJob build(const ProblemRegistry* registry = nullptr) const;
+
+  /// The wire form: one JSON object with only the non-default fields set
+  /// ({"problem": ..., "tenant": ..., "priority": ..., "deadline": ...,
+  /// "max_iterations": ..., "check_interval": ..., "label": ...}).
+  std::string to_json() const;
+
+  /// Parses the wire form back; unknown keys and wrong types are
+  /// PreconditionErrors naming the key (`context` prefixes the message).
+  static SubmitRequest from_json(const JsonValue& value,
+                                 const std::string& context = "SubmitRequest");
+  static SubmitRequest from_json_text(
+      std::string_view text, const std::string& context = "SubmitRequest");
+
+ private:
+  std::string problem_;
+  std::any params_;
+  SolverOptions options_;
+  int priority_ = 0;
+  double deadline_ = kNoDeadline;
+  std::string tenant_;
+  std::string label_;
+  ProgressFn progress_;
+};
+
+}  // namespace paradmm::runtime

@@ -1,0 +1,82 @@
+#include "runtime/tenant_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace paradmm::runtime {
+
+namespace {
+const TenantQuota kDefaultQuota{};
+}  // namespace
+
+TenantRegistry& TenantRegistry::define(const std::string& name,
+                                       TenantQuota quota) {
+  require(std::isfinite(quota.weight) && quota.weight > 0.0,
+          "tenant weight must be finite and > 0");
+  state(name).quota = quota;
+  active_ = true;
+  return *this;
+}
+
+const TenantQuota& TenantRegistry::quota(const std::string& name) const {
+  const State* found = find(name);
+  return found != nullptr ? found->quota : kDefaultQuota;
+}
+
+const TenantRegistry::State* TenantRegistry::find(
+    const std::string& name) const {
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+bool TenantRegistry::queue_full(const std::string& name) const {
+  const State* found = find(name);
+  if (found == nullptr || found->quota.max_queued == 0) return false;
+  return found->queued >= found->quota.max_queued;
+}
+
+std::size_t TenantRegistry::queued(const std::string& name) const {
+  const State* found = find(name);
+  return found != nullptr ? found->queued : 0;
+}
+
+bool TenantRegistry::dispatchable(const std::string& name) const {
+  const State* found = find(name);
+  if (found == nullptr || found->quota.max_in_flight == 0) return true;
+  return found->in_flight < found->quota.max_in_flight;
+}
+
+double TenantRegistry::on_submit(const std::string& name) {
+  State& tenant = state(name);
+  // Start-time fair queuing: an idle tenant re-enters at the current
+  // virtual time (no banked credit), a backlogged one queues behind its
+  // own last virtual finish — so sustained backlogs interleave in weight
+  // proportion whatever their arrival pattern.
+  const double vstart = std::max(virtual_now_, tenant.virtual_finish);
+  tenant.virtual_finish = vstart + 1.0 / tenant.quota.weight;
+  ++tenant.queued;
+  return vstart;
+}
+
+void TenantRegistry::on_dispatch(const std::string& name, double vstart) {
+  State& tenant = state(name);
+  --tenant.queued;
+  ++tenant.in_flight;
+  virtual_now_ = std::max(virtual_now_, vstart);
+}
+
+void TenantRegistry::on_requeue(const std::string& name) {
+  State& tenant = state(name);
+  --tenant.in_flight;
+  ++tenant.queued;
+}
+
+void TenantRegistry::on_shed(const std::string& name) { --state(name).queued; }
+
+void TenantRegistry::on_finalize(const std::string& name) {
+  --state(name).in_flight;
+}
+
+}  // namespace paradmm::runtime

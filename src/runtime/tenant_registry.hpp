@@ -1,0 +1,111 @@
+// Per-tenant quotas and weighted-fair dispatch state for the BatchRunner.
+//
+// A tenant is a named traffic class (SolveJob::tenant / SubmitRequest::
+// tenant): jobs of one tenant share a dispatch weight and two quotas —
+// max_queued bounds ready-queue occupancy at submit (excess submissions go
+// terminal as JobState::kQuotaRejected with evidence on the handle), and
+// max_in_flight bounds how many of the tenant's jobs may be dispatched at
+// once (excess stays in the ready queue; other tenants dispatch past it).
+//
+// Weighted fairness uses start-time fair queuing on a virtual time axis:
+// each submission is tagged vstart = max(V, tenant's last virtual finish)
+// and advances the tenant's virtual finish by 1 / weight; V itself advances
+// to the largest tag ever dispatched.  The ready queue orders same-priority
+// jobs by that tag, so a backlogged weight-3 tenant dispatches three jobs
+// for every one of a backlogged weight-1 tenant, while an idle tenant
+// re-enters at the current V instead of hoarding credit.  With no tenants
+// defined (the default) every tag is 0 and nothing here is ever consulted —
+// the runner reproduces the tenant-free dispatch order bitwise.
+//
+// The registry is configuration plus accounting, not a concurrent object:
+// callers define tenants before handing it to BatchRunnerOptions, and the
+// runner mutates the accounting side only under its own mutex.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace paradmm::runtime {
+
+/// Per-tenant dispatch weight and admission quotas.
+struct TenantQuota {
+  /// Weighted-fair dispatch share relative to other tenants (a backlogged
+  /// weight-3 tenant gets 3x the dispatches of a backlogged weight-1
+  /// tenant).  Must be finite and > 0.
+  double weight = 1.0;
+  /// Max jobs of this tenant in the ready queue; a submission that would
+  /// exceed it goes terminal as JobState::kQuotaRejected.  0 = unlimited.
+  std::size_t max_queued = 0;
+  /// Max jobs of this tenant dispatched (popped, not yet terminal) at
+  /// once; excess stays queued while other tenants dispatch past it.
+  /// 0 = unlimited.
+  std::size_t max_in_flight = 0;
+};
+
+class TenantRegistry {
+ public:
+  /// Declares `name` with its quota (replacing any earlier definition).
+  /// Any define() call activates tenant-aware dispatch for the whole
+  /// runner; tenants that are never defined (including the implicit ""
+  /// tenant) get the default TenantQuota — weight 1, unlimited.
+  TenantRegistry& define(const std::string& name, TenantQuota quota);
+
+  /// Whether any tenant was defined: false (the default) disables every
+  /// quota check and keeps all virtual-time tags at 0, reproducing the
+  /// tenant-free dispatch order bitwise.
+  bool active() const { return active_; }
+
+  /// The quota `name` is held to (the default quota when never defined).
+  const TenantQuota& quota(const std::string& name) const;
+
+  // Accounting, driven by the runner under its own mutex. ---------------
+
+  /// Whether a submission by `name` would exceed its max_queued quota.
+  bool queue_full(const std::string& name) const;
+
+  /// Jobs of `name` in the ready queue right now (quota evidence).
+  std::size_t queued(const std::string& name) const;
+
+  /// Whether a queued job of `name` may dispatch now (max_in_flight
+  /// headroom).
+  bool dispatchable(const std::string& name) const;
+
+  /// A job of `name` entered the ready queue; returns its virtual-start
+  /// tag and advances the tenant's virtual finish by 1 / weight.
+  double on_submit(const std::string& name);
+
+  /// A queued job of `name` was popped for dispatch; `vstart` is the tag
+  /// on_submit() issued it (advances the global virtual time).
+  void on_dispatch(const std::string& name, double vstart);
+
+  /// A dispatched job of `name` was preempted back into the ready queue
+  /// (it keeps its original tag — yielding never costs queue position).
+  void on_requeue(const std::string& name);
+
+  /// A queued job of `name` left the queue without dispatching (shed by a
+  /// re-projection pass, never cancelled-at-dispatch — those pop first).
+  void on_shed(const std::string& name);
+
+  /// A dispatched job of `name` reached a terminal state.
+  void on_finalize(const std::string& name);
+
+ private:
+  struct State {
+    TenantQuota quota;
+    std::size_t queued = 0;
+    std::size_t in_flight = 0;
+    /// Virtual finish of the tenant's last-tagged submission.
+    double virtual_finish = 0.0;
+  };
+
+  State& state(const std::string& name) { return tenants_[name]; }
+  const State* find(const std::string& name) const;
+
+  std::map<std::string, State> tenants_;
+  bool active_ = false;
+  /// Global virtual time V: the largest virtual-start tag ever dispatched.
+  double virtual_now_ = 0.0;
+};
+
+}  // namespace paradmm::runtime

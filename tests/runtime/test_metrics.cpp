@@ -78,6 +78,127 @@ TEST(RuntimeMetricsPrint, WideCountersKeepEveryLineAligned) {
   EXPECT_NE(text.find("end-to-end p50/p95/p99"), std::string::npos);
 }
 
+TEST(RuntimeMetricsPrint, TenantRowsKeepEveryLineAligned) {
+  // Per-tenant rows (and the conditional quota-rejected row) join the
+  // table only when named tenants / quota refusals exist — and when they
+  // do, they must hold the same every-line-equal-width contract as every
+  // other row, including with wide counters and wide tenant names.
+  RuntimeMetrics metrics;
+  metrics.workers = 4;
+  metrics.submitted = 1234567;
+  metrics.completed = 1200000;
+  metrics.quota_rejected = 34567;
+  metrics.elapsed_seconds = 60.0;
+
+  RuntimeMetrics::TenantMetrics& alpha = metrics.tenants["alpha"];
+  alpha.submitted = 1000000;
+  alpha.completed = 980000;
+  alpha.quota_rejected = 20000;
+  alpha.end_to_end.record(2e-6);
+  alpha.end_to_end.record(1234.5);
+  RuntimeMetrics::TenantMetrics& beta =
+      metrics.tenants["a-much-longer-tenant-name"];
+  beta.submitted = 234567;
+  beta.completed = 220000;
+  beta.quota_rejected = 14567;
+  beta.shed_late = 3;
+
+  std::ostringstream out;
+  metrics.print(out);
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_GE(lines.size(), 20u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.size(), lines.front().size())
+        << "misaligned row: '" << line << "'";
+  }
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("quota rejected"), std::string::npos);
+  EXPECT_NE(text.find("34,567"), std::string::npos);
+  EXPECT_NE(text.find("tenant alpha"), std::string::npos);
+  EXPECT_NE(text.find("1,000,000 submitted"), std::string::npos);
+  EXPECT_NE(text.find("20,000 quota-rejected"), std::string::npos);
+  EXPECT_NE(text.find("tenant alpha e2e p50/p95/p99"), std::string::npos);
+  EXPECT_NE(text.find("tenant a-much-longer-tenant-name"), std::string::npos);
+  // Beta finished nothing that ran: no percentile row for it.
+  EXPECT_EQ(text.find("tenant a-much-longer-tenant-name e2e"),
+            std::string::npos);
+}
+
+TEST(RuntimeMetricsPrint, NoTenantsAndNoQuotaRefusalsRenderNoExtraRows) {
+  // The tenant-free table is unchanged by the per-tenant feature: no
+  // tenant rows, and no quota-rejected row while the counter is zero.
+  RuntimeMetrics metrics;
+  metrics.workers = 2;
+  metrics.submitted = 5;
+  metrics.completed = 5;
+  std::ostringstream out;
+  metrics.print(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("tenant"), std::string::npos);
+  EXPECT_EQ(text.find("quota rejected"), std::string::npos);
+}
+
+TEST(MetricsCollector, TalliesPerTenantOutcomesAndLatency) {
+  MetricsCollector collector;
+  collector.on_submit(1, "alpha");
+  collector.on_submit(2, "alpha");
+  collector.on_submit(3, "alpha");
+  collector.on_submit(1, "beta");
+  collector.on_submit(1);  // implicit tenant: no per-tenant tally
+
+  JobFinish done;
+  done.outcome = JobState::kDone;
+  done.tenant = "alpha";
+  done.ran = true;
+  done.was_running = true;
+  done.wall_seconds = 0.5;
+  done.queue_wait_seconds = 0.1;
+  done.end_to_end_seconds = 1.0;
+  collector.on_finish(done);
+
+  JobFinish quota;
+  quota.outcome = JobState::kQuotaRejected;
+  quota.tenant = "alpha";
+  collector.on_finish(quota);
+
+  JobFinish shed;
+  shed.outcome = JobState::kShedLate;
+  shed.tenant = "alpha";
+  collector.on_finish(shed);
+
+  JobFinish rejected;
+  rejected.outcome = JobState::kRejected;
+  rejected.tenant = "beta";
+  collector.on_finish(rejected);
+
+  JobFinish untagged;
+  untagged.outcome = JobState::kDone;
+  untagged.ran = true;
+  untagged.was_running = true;
+  untagged.wall_seconds = 0.25;
+  untagged.end_to_end_seconds = 0.5;
+  collector.on_finish(untagged);
+
+  const RuntimeMetrics metrics = collector.snapshot(10.0, 2, 0);
+  EXPECT_EQ(metrics.quota_rejected, 1u);
+  ASSERT_EQ(metrics.tenants.size(), 2u);  // "" never appears
+  const RuntimeMetrics::TenantMetrics& alpha = metrics.tenants.at("alpha");
+  EXPECT_EQ(alpha.submitted, 3u);
+  EXPECT_EQ(alpha.completed, 1u);
+  EXPECT_EQ(alpha.quota_rejected, 1u);
+  EXPECT_EQ(alpha.shed_late, 1u);
+  EXPECT_EQ(alpha.end_to_end.count(), 1u);  // only the kDone job records
+  const RuntimeMetrics::TenantMetrics& beta = metrics.tenants.at("beta");
+  EXPECT_EQ(beta.submitted, 1u);
+  EXPECT_EQ(beta.rejected, 1u);
+  EXPECT_EQ(beta.end_to_end.count(), 0u);
+  // The global tallies still see every job, tenant-tagged or not.
+  EXPECT_EQ(metrics.submitted, 5u);
+  EXPECT_EQ(metrics.completed, 2u);
+  EXPECT_EQ(metrics.end_to_end.count(), 2u);
+}
+
 TEST(RuntimeMetricsPrint, EmptyHistogramsRenderNoPercentileRows) {
   RuntimeMetrics metrics;
   metrics.workers = 2;

@@ -126,6 +126,26 @@ void run_stress_iteration(std::uint64_t seed) {
       rng.uniform() < 0.5) {
     options.reprojection_interval = rng.uniform(0.0, 0.05);
   }
+  // Tenancy in the mix: half the seeds define 2..3 weighted tenants,
+  // occasionally with max_queued / max_in_flight quotas armed, and tag
+  // most jobs with a random tenant (the rest ride the implicit ""
+  // tenant).  Weighted-fair dispatch, held-at-quota jobs, and quota
+  // refusals must obey the same conservation laws as every other outcome.
+  std::vector<std::string> tenant_names;
+  std::vector<char> tenant_queue_limited;
+  if (rng.uniform() < 0.5) {
+    const std::size_t tenant_count = 2 + rng.uniform_index(2);  // 2..3
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      TenantQuota quota;
+      quota.weight = 0.5 + rng.uniform(0.0, 4.0);
+      if (rng.uniform() < 0.3) quota.max_queued = 5 + rng.uniform_index(40);
+      if (rng.uniform() < 0.3) quota.max_in_flight = 1 + rng.uniform_index(3);
+      const std::string name = "tenant-" + std::to_string(t);
+      options.tenants.define(name, quota);
+      tenant_names.push_back(name);
+      tenant_queue_limited.push_back(quota.max_queued > 0 ? 1 : 0);
+    }
+  }
 
   // Every iteration records a full trace: the sanitizer soaks (TSAN,
   // ASan+UBSan) exercise concurrent recording from workers, the
@@ -138,6 +158,7 @@ void run_stress_iteration(std::uint64_t seed) {
   std::vector<std::unique_ptr<FactorGraph>> graphs;
   std::vector<char> throwing(jobs, 0);
   std::vector<char> deadlined(jobs, 0);
+  std::vector<char> quota_limited(jobs, 0);
   graphs.reserve(jobs);
 
   std::vector<JobHandle> handles;
@@ -161,6 +182,11 @@ void run_stress_iteration(std::uint64_t seed) {
         deadlined[i] = 1;
       }
       job.label = "stress-" + std::to_string(i);
+      if (!tenant_names.empty() && rng.uniform() < 0.8) {
+        const std::size_t t = rng.uniform_index(tenant_names.size());
+        job.tenant = tenant_names[t];
+        quota_limited[i] = tenant_queue_limited[t];
+      }
 
       const double cancel_roll = rng.uniform();
       handles.push_back(runner.submit(std::move(job)));
@@ -188,13 +214,25 @@ void run_stress_iteration(std::uint64_t seed) {
       ASSERT_TRUE(is_terminal(handles[i].state())) << handles[i].label();
       const bool shed_ok = shedding && deadlined[i] &&
                            handles[i].state() == JobState::kShedLate;
+      // kQuotaRejected is legal only for a job whose tenant carries a
+      // max_queued quota — and its evidence must name that tenant.
+      const bool quota_ok = quota_limited[i] != 0 &&
+                            handles[i].state() == JobState::kQuotaRejected;
+      if (quota_ok) {
+        const TerminalReason reason = handles[i].terminal_reason();
+        EXPECT_EQ(reason.tenant, handles[i].tenant());
+        EXPECT_GT(reason.quota_limit, 0u);
+        EXPECT_GE(reason.quota_queued, reason.quota_limit);
+      }
       if (throwing[i]) {
         EXPECT_TRUE(handles[i].state() == JobState::kFailed ||
-                    handles[i].state() == JobState::kCancelled || shed_ok)
+                    handles[i].state() == JobState::kCancelled || shed_ok ||
+                    quota_ok)
             << handles[i].label() << ": " << to_string(handles[i].state());
       } else {
         EXPECT_TRUE(handles[i].state() == JobState::kDone ||
-                    handles[i].state() == JobState::kCancelled || shed_ok)
+                    handles[i].state() == JobState::kCancelled || shed_ok ||
+                    quota_ok)
             << handles[i].label() << ": " << to_string(handles[i].state());
       }
     }
@@ -202,10 +240,23 @@ void run_stress_iteration(std::uint64_t seed) {
     metrics = runner.metrics();
     EXPECT_EQ(metrics.submitted, jobs);
     EXPECT_EQ(metrics.completed + metrics.cancelled + metrics.failed +
-                  metrics.shed_late,
+                  metrics.shed_late + metrics.quota_rejected,
               jobs);
     if (!shedding) {
       EXPECT_EQ(metrics.shed_late, 0u);
+    }
+    if (tenant_names.empty()) {
+      EXPECT_EQ(metrics.quota_rejected, 0u);
+      EXPECT_TRUE(metrics.tenants.empty());
+    }
+    // Per-tenant conservation: each named tenant's submissions all reach
+    // exactly one of its outcome tallies.
+    for (const auto& [name, tenant] : metrics.tenants) {
+      EXPECT_EQ(tenant.submitted,
+                tenant.completed + tenant.cancelled + tenant.failed +
+                    tenant.rejected + tenant.quota_rejected +
+                    tenant.shed_late)
+          << "tenant " << name;
     }
     EXPECT_EQ(metrics.rejected, 0u);  // submit-time admission stays off
     EXPECT_EQ(metrics.queue_depth, 0u);
@@ -344,6 +395,117 @@ TEST(StressSchedule, SustainedHighPriorityStreamCannotStarveTheTail) {
             << " (t=" << wave_time[w] << ", bound=" << bound << ")";
       }
     }
+  }
+}
+
+TEST(StressSchedule, SkewedTenantWeightsMeetTheFairnessBound) {
+  // The weighted-fairness acceptance scenario: N tenants at seeded skewed
+  // weights, all backlogged from the start behind a parked dispatcher.
+  // Start-time fair queuing promises each backlogged tenant a throughput
+  // share proportional to its weight over any dispatch window, to within
+  // a constant number of jobs — so over the first W dispatches, tenant t
+  // must land W x weight_t / total_weight dispatches, +/- a small
+  // tolerance independent of the weights drawn.  threads == 1 makes the
+  // observed start order exactly the dispatch order.
+  const int iterations = std::max(1, env_int("PARADMM_STRESS_ITERS", 3) / 3);
+  const int base_seed = env_int("PARADMM_STRESS_SEED", 1);
+  for (int iter = 0; iter < iterations; ++iter) {
+    const auto seed = static_cast<std::uint64_t>(base_seed + iter);
+    SCOPED_TRACE("fairness seed " + std::to_string(seed));
+    Rng rng(seed);
+
+    const std::size_t tenant_count = 2 + rng.uniform_index(3);  // 2..4
+    std::vector<double> weights(tenant_count);
+    double total_weight = 0.0;
+    for (auto& weight : weights) {
+      weight = static_cast<double>(1 + rng.uniform_index(5));  // 1..5
+      total_weight += weight;
+    }
+
+    BatchRunnerOptions options;
+    options.threads = 1;
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      options.tenants.define("tenant-" + std::to_string(t),
+                             {weights[t], 0, 0});
+    }
+    BatchRunner runner(options);
+
+    std::atomic<bool> parked{false};
+    std::atomic<bool> release{false};
+    FactorGraph blocker_graph = make_consensus_graph(2, false);
+    SolveJob blocker;
+    blocker.graph = &blocker_graph;
+    blocker.options.max_iterations = 20;
+    blocker.options.check_interval = 10;
+    blocker.tenant = "blocker";
+    blocker.progress = [&](const IterationStatus&) {
+      parked.store(true);
+      while (!release.load()) std::this_thread::yield();
+    };
+    runner.submit(std::move(blocker));
+    while (!parked.load()) std::this_thread::yield();
+
+    // Each tenant submits enough jobs to stay backlogged through the whole
+    // measurement window, whatever its share.
+    const std::size_t window = 24;
+    std::vector<std::size_t> quota_jobs(tenant_count);
+    std::size_t total_jobs = 0;
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      const double share = weights[t] / total_weight;
+      quota_jobs[t] =
+          static_cast<std::size_t>(static_cast<double>(window) * share) + 3;
+      total_jobs += quota_jobs[t];
+    }
+
+    std::mutex order_mutex;
+    std::vector<std::size_t> order;  // tenant index per dispatch
+    std::vector<std::unique_ptr<FactorGraph>> graphs;
+    std::size_t submitted = 0;
+    for (std::size_t round = 0; submitted < total_jobs; ++round) {
+      for (std::size_t t = 0; t < tenant_count; ++t) {
+        if (round >= quota_jobs[t]) continue;
+        graphs.push_back(
+            std::make_unique<FactorGraph>(make_consensus_graph(1, false)));
+        SolveJob job;
+        job.graph = graphs.back().get();
+        job.options.max_iterations = 10;
+        job.options.check_interval = 5;
+        job.tenant = "tenant-" + std::to_string(t);
+        std::atomic<bool>* seen = new std::atomic<bool>(false);
+        job.owner = std::shared_ptr<void>(seen, [](void* p) {
+          delete static_cast<std::atomic<bool>*>(p);
+        });
+        job.progress = [&, t, seen](const IterationStatus&) {
+          if (!seen->exchange(true)) {
+            std::lock_guard lock(order_mutex);
+            order.push_back(t);
+          }
+        };
+        runner.submit(std::move(job));
+        ++submitted;
+      }
+    }
+
+    release.store(true);
+    runner.wait_all();
+
+    ASSERT_EQ(order.size(), total_jobs);
+    std::vector<double> dispatched(tenant_count, 0.0);
+    for (std::size_t p = 0; p < window; ++p) dispatched[order[p]] += 1.0;
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      const double expected =
+          static_cast<double>(window) * weights[t] / total_weight;
+      EXPECT_NEAR(dispatched[t], expected, 2.5)
+          << "tenant " << t << " (weight " << weights[t] << " of "
+          << total_weight << ") got " << dispatched[t] << " of the first "
+          << window << " dispatches, expected ~" << expected;
+    }
+
+    // Conservation still holds under the skewed-weight load.
+    const RuntimeMetrics metrics = runner.metrics();
+    EXPECT_EQ(metrics.submitted, total_jobs + 1);  // + the blocker
+    EXPECT_EQ(metrics.completed, total_jobs + 1);
+    EXPECT_EQ(metrics.quota_rejected, 0u);
   }
 }
 

@@ -1,0 +1,562 @@
+// Per-tenant weighted-fair dispatch and quota enforcement
+// (runtime/tenant_registry.hpp), plus the unified submission /
+// terminal-evidence API (SubmitRequest, TerminalReason) the tenancy work
+// redesigned.
+//
+// Dispatch-order tests reuse the parked-dispatcher technique of
+// test_priority.cpp: a single-lane runner whose first job parks inside its
+// progress callback, so everything submitted meanwhile lands in the ready
+// queue together and execution order *is* dispatch order.  The expected
+// order is computed in-test from the same start-time-fair-queuing model
+// the registry implements — vstart = max(V, tenant virtual finish),
+// virtual finish advances by 1/weight per job — so observed and expected
+// orders must agree exactly, not statistically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/prox_library.hpp"
+#include "runtime/batch_runner.hpp"
+#include "support/rng.hpp"
+
+namespace paradmm::runtime {
+namespace {
+
+FactorGraph make_tiny_graph(double target) {
+  FactorGraph graph;
+  const VariableId w = graph.add_variable(1);
+  graph.add_factor(
+      std::make_shared<SumSquaresProx>(1.0, std::vector<double>{target}), {w});
+  graph.set_uniform_parameters(1.0, 1.0);
+  return graph;
+}
+
+struct Arrival {
+  std::string tenant;
+  int priority = 0;
+  double deadline = kNoDeadline;
+};
+
+/// Submits `arrivals` while the dispatcher is parked inside a blocker job
+/// (tenant "blocker", so it never perturbs the arrivals' virtual clocks),
+/// releases it, and returns the order (arrival indices) in which the jobs
+/// started executing.
+std::vector<std::size_t> dispatch_order(
+    const std::map<std::string, TenantQuota>& tenants,
+    const std::vector<Arrival>& arrivals) {
+  BatchRunnerOptions options;
+  options.threads = 1;
+  for (const auto& [name, quota] : tenants) {
+    options.tenants.define(name, quota);
+  }
+  BatchRunner runner(options);
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  FactorGraph blocker_graph = make_tiny_graph(0.0);
+  SolveJob blocker;
+  blocker.graph = &blocker_graph;
+  blocker.options.max_iterations = 20;
+  blocker.options.check_interval = 10;
+  blocker.tenant = "blocker";
+  blocker.progress = [&](const IterationStatus&) {
+    parked.store(true);
+    while (!release.load()) std::this_thread::yield();
+  };
+  runner.submit(std::move(blocker));
+  while (!parked.load()) std::this_thread::yield();
+
+  std::mutex order_mutex;
+  std::vector<std::size_t> order;
+  std::vector<std::unique_ptr<FactorGraph>> graphs;
+  std::vector<char> recorded(arrivals.size(), 0);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    graphs.push_back(std::make_unique<FactorGraph>(
+        make_tiny_graph(static_cast<double>(i))));
+    SolveJob job;
+    job.graph = graphs.back().get();
+    job.options.max_iterations = 20;
+    job.options.check_interval = 10;
+    job.tenant = arrivals[i].tenant;
+    job.priority = arrivals[i].priority;
+    job.deadline = arrivals[i].deadline;
+    job.progress = [&, i](const IterationStatus&) {
+      std::lock_guard lock(order_mutex);
+      if (!recorded[i]) {
+        recorded[i] = 1;
+        order.push_back(i);
+      }
+    };
+    runner.submit(std::move(job));
+  }
+
+  release.store(true);
+  runner.wait_all();
+  return order;
+}
+
+/// The registry's SFQ model, replayed in-test: every arrival is tagged
+/// vstart = max(V, tenant virtual finish) at submit, the tenant's virtual
+/// finish advances by 1/weight, and V is still 0 while the dispatcher is
+/// parked (it only advances at dispatch).  Expected dispatch order is then
+/// (priority desc, vstart asc, deadline asc, submit order asc) — the
+/// runner's JobOrder with the same tags, so agreement is exact.
+std::vector<std::size_t> expected_sfq_order(
+    const std::map<std::string, TenantQuota>& tenants,
+    const std::vector<Arrival>& arrivals) {
+  std::map<std::string, double> virtual_finish;
+  std::vector<double> vstart(arrivals.size(), 0.0);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const auto it = tenants.find(arrivals[i].tenant);
+    const double weight = it != tenants.end() ? it->second.weight : 1.0;
+    double& finish = virtual_finish[arrivals[i].tenant];
+    vstart[i] = std::max(0.0, finish);
+    finish = vstart[i] + 1.0 / weight;
+  }
+  std::vector<std::size_t> expected(arrivals.size());
+  std::iota(expected.begin(), expected.end(), 0);
+  std::sort(expected.begin(), expected.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (arrivals[a].priority != arrivals[b].priority) {
+                return arrivals[a].priority > arrivals[b].priority;
+              }
+              if (vstart[a] != vstart[b]) return vstart[a] < vstart[b];
+              if (arrivals[a].deadline != arrivals[b].deadline) {
+                return arrivals[a].deadline < arrivals[b].deadline;
+              }
+              return a < b;
+            });
+  return expected;
+}
+
+/// The tenant-free policy order (priority desc, deadline asc, submit order
+/// asc) — the PR-8 dispatch contract.
+std::vector<std::size_t> tenant_free_order(
+    const std::vector<Arrival>& arrivals) {
+  std::vector<std::size_t> expected(arrivals.size());
+  std::iota(expected.begin(), expected.end(), 0);
+  std::sort(expected.begin(), expected.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (arrivals[a].priority != arrivals[b].priority) {
+                return arrivals[a].priority > arrivals[b].priority;
+              }
+              if (arrivals[a].deadline != arrivals[b].deadline) {
+                return arrivals[a].deadline < arrivals[b].deadline;
+              }
+              return a < b;
+            });
+  return expected;
+}
+
+TEST(TenantDispatch, SeededArrivalsMatchTheWeightedFairModelExactly) {
+  // Property: for any seeded multi-tenant arrival set queued together, the
+  // observed start order equals the SFQ model order exactly — weighted-
+  // fair interleaving is deterministic, not statistical.
+  const std::map<std::string, TenantQuota> tenants{
+      {"alpha", {3.0, 0, 0}}, {"beta", {2.0, 0, 0}}, {"gamma", {1.0, 0, 0}}};
+  const std::vector<std::string> names{"alpha", "beta", "gamma"};
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const std::size_t jobs = 18 + rng.uniform_index(13);  // 18..30
+    std::vector<Arrival> arrivals(jobs);
+    for (auto& arrival : arrivals) {
+      arrival.tenant = names[rng.uniform_index(names.size())];
+      arrival.priority = static_cast<int>(rng.uniform_index(3));
+      if (rng.uniform() < 0.4) arrival.deadline = rng.uniform(0.0, 100.0);
+    }
+    EXPECT_EQ(dispatch_order(tenants, arrivals),
+              expected_sfq_order(tenants, arrivals))
+        << "seed " << seed;
+  }
+}
+
+TEST(TenantDispatch, BackloggedTenantsInterleaveInWeightProportion) {
+  // Two same-priority backlogs at weights 3:1: the weight-3 tenant lands 3
+  // dispatches per weight-1 dispatch.  Exact check against the model, plus
+  // the headline ratio: 6 of the first 8 dispatches are alpha's.
+  const std::map<std::string, TenantQuota> tenants{{"alpha", {3.0, 0, 0}},
+                                                   {"beta", {1.0, 0, 0}}};
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i < 12; ++i) arrivals.push_back({"alpha"});
+  for (int i = 0; i < 4; ++i) arrivals.push_back({"beta"});
+
+  const std::vector<std::size_t> order = dispatch_order(tenants, arrivals);
+  EXPECT_EQ(order, expected_sfq_order(tenants, arrivals));
+
+  ASSERT_GE(order.size(), 8u);
+  const std::size_t alpha_in_first_8 = static_cast<std::size_t>(
+      std::count_if(order.begin(), order.begin() + 8,
+                    [&](std::size_t i) { return arrivals[i].tenant == "alpha"; }));
+  EXPECT_EQ(alpha_in_first_8, 6u);
+}
+
+TEST(TenantDispatch, PriorityClassesStillDominateWeights) {
+  // Fairness orders *within* a priority class: a priority-5 job of a
+  // weight-1 tenant dispatches before every priority-0 job of a weight-100
+  // tenant.
+  const std::map<std::string, TenantQuota> tenants{{"small", {1.0, 0, 0}},
+                                                   {"huge", {100.0, 0, 0}}};
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i < 5; ++i) arrivals.push_back({"huge", 0});
+  arrivals.push_back({"small", 5});
+
+  const std::vector<std::size_t> order = dispatch_order(tenants, arrivals);
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.front(), 5u);
+  EXPECT_EQ(order, expected_sfq_order(tenants, arrivals));
+}
+
+TEST(TenantDispatch, ZeroConfigKeepsTheTenantFreeOrderBitwise) {
+  // The bitwise-compatibility contract of the default: with no tenants
+  // defined on the runner, tenant tags on jobs are inert and the observed
+  // order is exactly the PR-8 (priority, deadline, submit order) policy —
+  // even for jobs that *carry* tenant names.
+  for (std::uint64_t seed = 31; seed <= 34; ++seed) {
+    Rng rng(seed);
+    std::vector<Arrival> arrivals(20);
+    for (auto& arrival : arrivals) {
+      arrival.tenant = rng.uniform() < 0.5 ? "alpha" : "beta";
+      arrival.priority = static_cast<int>(rng.uniform_index(3));
+      if (rng.uniform() < 0.5) arrival.deadline = rng.uniform(0.0, 50.0);
+    }
+    EXPECT_EQ(dispatch_order({}, arrivals), tenant_free_order(arrivals))
+        << "seed " << seed;
+  }
+}
+
+TEST(TenantDispatch, UndefinedTenantsGetTheDefaultWeight) {
+  // With the registry active, a tenant never define()d dispatches at the
+  // default weight 1 and unlimited quotas — submitting as an unknown
+  // tenant is not an error.
+  const std::map<std::string, TenantQuota> tenants{{"alpha", {2.0, 0, 0}}};
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i < 6; ++i) arrivals.push_back({"alpha"});
+  for (int i = 0; i < 3; ++i) arrivals.push_back({"mystery"});
+  // Model must use weight 1.0 for "mystery" — expected_sfq_order's
+  // tenants.find falls back to exactly that.
+  EXPECT_EQ(dispatch_order(tenants, arrivals),
+            expected_sfq_order(tenants, arrivals));
+}
+
+TEST(TenantRegistryUnit, RejectsBadWeightsAndTracksAccounting) {
+  TenantRegistry registry;
+  EXPECT_FALSE(registry.active());
+  EXPECT_THROW(registry.define("bad", {0.0, 0, 0}), PreconditionError);
+  EXPECT_THROW(registry.define("bad", {-1.0, 0, 0}), PreconditionError);
+  EXPECT_THROW(
+      registry.define("bad",
+                      {std::numeric_limits<double>::infinity(), 0, 0}),
+      PreconditionError);
+
+  registry.define("alpha", {2.0, 2, 1});
+  EXPECT_TRUE(registry.active());
+
+  // SFQ bookkeeping: two submissions space virtual starts by 1/weight.
+  const double first = registry.on_submit("alpha");
+  const double second = registry.on_submit("alpha");
+  EXPECT_DOUBLE_EQ(first, 0.0);
+  EXPECT_DOUBLE_EQ(second, 0.5);
+  EXPECT_EQ(registry.queued("alpha"), 2u);
+  EXPECT_TRUE(registry.queue_full("alpha"));
+
+  // Dispatch moves queued -> in-flight and the max_in_flight quota bites.
+  EXPECT_TRUE(registry.dispatchable("alpha"));
+  registry.on_dispatch("alpha", first);
+  EXPECT_EQ(registry.queued("alpha"), 1u);
+  EXPECT_FALSE(registry.dispatchable("alpha"));
+  // A requeue (dispatcher preemption) releases the slot again.
+  registry.on_requeue("alpha");
+  EXPECT_TRUE(registry.dispatchable("alpha"));
+  registry.on_dispatch("alpha", second);
+  registry.on_finalize("alpha");
+  registry.on_shed("alpha");
+  EXPECT_EQ(registry.queued("alpha"), 0u);
+  EXPECT_FALSE(registry.queue_full("alpha"));
+
+  // An idle tenant re-enters at the current virtual time, not at its stale
+  // virtual finish — no banked credit, but no penalty either.
+  const double third = registry.on_submit("alpha");
+  EXPECT_GE(third, second);
+}
+
+TEST(TenantQuota, MaxQueuedRefusesAtSubmitWithEvidence) {
+  BatchRunnerOptions options;
+  options.threads = 1;
+  options.tenants.define("alpha", {1.0, /*max_queued=*/2, 0});
+  BatchRunner runner(options);
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  FactorGraph blocker_graph = make_tiny_graph(0.0);
+  SolveJob blocker;
+  blocker.graph = &blocker_graph;
+  blocker.options.max_iterations = 20;
+  blocker.options.check_interval = 10;
+  blocker.tenant = "blocker";
+  blocker.progress = [&](const IterationStatus&) {
+    parked.store(true);
+    while (!release.load()) std::this_thread::yield();
+  };
+  runner.submit(std::move(blocker));
+  while (!parked.load()) std::this_thread::yield();
+
+  std::vector<std::unique_ptr<FactorGraph>> graphs;
+  const auto submit_alpha = [&] {
+    graphs.push_back(std::make_unique<FactorGraph>(make_tiny_graph(1.0)));
+    SolveJob job;
+    job.graph = graphs.back().get();
+    job.options.max_iterations = 20;
+    job.tenant = "alpha";
+    return runner.submit(std::move(job));
+  };
+  JobHandle first = submit_alpha();
+  JobHandle second = submit_alpha();
+  JobHandle refused = submit_alpha();  // alpha is at max_queued == 2
+
+  // The refusal is terminal at submit — no release needed to observe it.
+  EXPECT_EQ(refused.wait(), JobState::kQuotaRejected);
+  const TerminalReason reason = refused.terminal_reason();
+  EXPECT_EQ(reason.state, JobState::kQuotaRejected);
+  EXPECT_EQ(reason.tenant, "alpha");
+  EXPECT_EQ(reason.quota_queued, 2u);
+  EXPECT_EQ(reason.quota_limit, 2u);
+  EXPECT_THROW(refused.report(), PreconditionError);
+
+  release.store(true);
+  runner.wait_all();
+  EXPECT_EQ(first.state(), JobState::kDone);
+  EXPECT_EQ(second.state(), JobState::kDone);
+
+  const RuntimeMetrics metrics = runner.metrics();
+  EXPECT_EQ(metrics.quota_rejected, 1u);
+  ASSERT_EQ(metrics.tenants.count("alpha"), 1u);
+  EXPECT_EQ(metrics.tenants.at("alpha").submitted, 3u);
+  EXPECT_EQ(metrics.tenants.at("alpha").completed, 2u);
+  EXPECT_EQ(metrics.tenants.at("alpha").quota_rejected, 1u);
+  // Conservation: every submission reached exactly one terminal tally.
+  EXPECT_EQ(metrics.finished(), metrics.submitted);
+}
+
+TEST(TenantQuota, MaxInFlightHoldsJobsWhileOtherTenantsDispatchPast) {
+  // alpha at max_in_flight 1: while its first job is parked mid-solve, its
+  // second must stay queued — but beta's job dispatches straight past the
+  // held one and completes.  When the parked job finishes, the held job is
+  // released and completes too.
+  BatchRunnerOptions options;
+  options.threads = 4;
+  options.tenants.define("alpha", {1.0, 0, /*max_in_flight=*/1});
+  options.tenants.define("beta", {1.0, 0, 0});
+  BatchRunner runner(options);
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  FactorGraph parked_graph = make_tiny_graph(0.0);
+  SolveJob holder;
+  holder.graph = &parked_graph;
+  holder.options.max_iterations = 20;
+  holder.options.check_interval = 10;
+  holder.tenant = "alpha";
+  holder.progress = [&](const IterationStatus&) {
+    parked.store(true);
+    while (!release.load()) std::this_thread::yield();
+  };
+  JobHandle held_open = runner.submit(std::move(holder));
+  while (!parked.load()) std::this_thread::yield();
+
+  FactorGraph blocked_graph = make_tiny_graph(1.0);
+  SolveJob blocked;
+  blocked.graph = &blocked_graph;
+  blocked.options.max_iterations = 20;
+  blocked.tenant = "alpha";
+  JobHandle held = runner.submit(std::move(blocked));
+
+  FactorGraph beta_graph = make_tiny_graph(2.0);
+  SolveJob passing;
+  passing.graph = &beta_graph;
+  passing.options.max_iterations = 20;
+  passing.tenant = "beta";
+  JobHandle passed = runner.submit(std::move(passing));
+
+  // beta completes while alpha's second job is still held at the quota —
+  // the dispatcher scanned past the blocked head of the queue.
+  EXPECT_EQ(passed.wait(), JobState::kDone);
+  EXPECT_EQ(held.state(), JobState::kQueued);
+
+  release.store(true);
+  runner.wait_all();
+  EXPECT_EQ(held_open.state(), JobState::kDone);
+  EXPECT_EQ(held.state(), JobState::kDone);
+  EXPECT_EQ(runner.metrics().completed, 3u);
+}
+
+TEST(TenantTerminalReason, ReportsEvidencePerTerminalKind) {
+  // kDone under the accept policy: admitted, no projection, tenant tag.
+  {
+    BatchRunnerOptions options;
+    options.threads = 2;
+    options.tenants.define("alpha", {1.0, 0, 0});
+    BatchRunner runner(options);
+    JobHandle done = runner.submit(
+        SubmitRequest("lasso").tenant("alpha").max_iterations(10));
+    done.wait();
+    const TerminalReason reason = done.terminal_reason();
+    EXPECT_EQ(reason.state, JobState::kDone);
+    EXPECT_EQ(reason.verdict, AdmissionVerdict::kAdmitted);
+    EXPECT_EQ(reason.tenant, "alpha");
+    EXPECT_TRUE(std::isnan(reason.projected_finish));
+    EXPECT_EQ(reason.deadline, kNoDeadline);
+    EXPECT_EQ(reason.quota_limit, 0u);
+  }
+  // kRejected under the reject policy: a deadline already in the past is
+  // provably infeasible, and the projection that proved it is on the
+  // handle.
+  {
+    BatchRunnerOptions options;
+    options.threads = 2;
+    options.admission = AdmissionPolicy::kRejectInfeasible;
+    BatchRunner runner(options);
+    JobHandle rejected = runner.submit(
+        SubmitRequest("lasso").deadline(0.0).max_iterations(10));
+    EXPECT_EQ(rejected.wait(), JobState::kRejected);
+    const TerminalReason reason = rejected.terminal_reason();
+    EXPECT_EQ(reason.state, JobState::kRejected);
+    EXPECT_EQ(reason.verdict, AdmissionVerdict::kRejected);
+    EXPECT_EQ(reason.deadline, 0.0);
+    EXPECT_FALSE(std::isnan(reason.projected_finish));
+    EXPECT_GT(reason.projected_finish, 0.0);
+    // The deprecated per-field getters read the same evidence.
+    EXPECT_EQ(rejected.admission_verdict(), AdmissionVerdict::kRejected);
+  }
+  // A non-terminal job refuses the accessor: the evidence record is a
+  // statement about why the job *ended*.
+  {
+    BatchRunnerOptions options;
+    options.threads = 1;
+    BatchRunner runner(options);
+    std::atomic<bool> parked{false};
+    std::atomic<bool> release{false};
+    FactorGraph graph = make_tiny_graph(0.0);
+    SolveJob job;
+    job.graph = &graph;
+    job.options.max_iterations = 20;
+    job.options.check_interval = 10;
+    job.progress = [&](const IterationStatus&) {
+      parked.store(true);
+      while (!release.load()) std::this_thread::yield();
+    };
+    JobHandle running = runner.submit(std::move(job));
+    while (!parked.load()) std::this_thread::yield();
+    EXPECT_THROW(running.terminal_reason(), PreconditionError);
+    release.store(true);
+    runner.wait_all();
+    EXPECT_EQ(running.terminal_reason().state, JobState::kDone);
+  }
+}
+
+TEST(SubmitRequestApi, BuilderCarriesEveryFieldOntoTheHandle) {
+  BatchRunnerOptions options;
+  options.threads = 2;
+  options.tenants.define("alpha", {1.0, 0, 0});
+  BatchRunner runner(options);
+  std::atomic<int> progress_calls{0};
+  JobHandle handle = runner.submit(SubmitRequest("lasso")
+                                       .tenant("alpha")
+                                       .priority(7)
+                                       .deadline(250.0)
+                                       .label("my-job")
+                                       .max_iterations(30)
+                                       .check_interval(10)
+                                       .progress([&](const IterationStatus&) {
+                                         progress_calls.fetch_add(1);
+                                       }));
+  handle.wait();
+  EXPECT_EQ(handle.priority(), 7);
+  EXPECT_EQ(handle.deadline(), 250.0);
+  EXPECT_EQ(handle.tenant(), "alpha");
+  EXPECT_EQ(handle.label(), "my-job");
+  EXPECT_EQ(handle.state(), JobState::kDone);
+  EXPECT_LE(handle.report().iterations, 30);
+  EXPECT_GT(progress_calls.load(), 0);
+}
+
+TEST(SubmitRequestApi, ClassicOverloadDelegatesToTheBuilderPath) {
+  // submit(problem, params, options) is a thin wrapper over
+  // submit(SubmitRequest): the two paths must produce identical reports
+  // for the same deterministic problem.
+  SolverOptions solver_options;
+  solver_options.max_iterations = 25;
+
+  BatchRunnerOptions options;
+  options.threads = 1;
+  BatchRunner classic_runner(options);
+  JobHandle classic = classic_runner.submit("lasso", {}, solver_options);
+  classic.wait();
+
+  BatchRunner builder_runner(options);
+  JobHandle built = builder_runner.submit(
+      SubmitRequest("lasso").max_iterations(25));
+  built.wait();
+
+  ASSERT_EQ(classic.state(), JobState::kDone);
+  ASSERT_EQ(built.state(), JobState::kDone);
+  EXPECT_EQ(classic.report().iterations, built.report().iterations);
+  EXPECT_EQ(classic.report().converged, built.report().converged);
+  EXPECT_DOUBLE_EQ(classic.report().final_residuals.primal,
+                   built.report().final_residuals.primal);
+  EXPECT_EQ(classic.label(), built.label());  // both default to the problem
+}
+
+TEST(SubmitRequestApi, JsonRoundTripPreservesEveryField) {
+  const SubmitRequest request = SubmitRequest("lasso")
+                                    .tenant("alpha")
+                                    .priority(3)
+                                    .deadline(1.5)
+                                    .label("wire-job")
+                                    .max_iterations(200)
+                                    .check_interval(25);
+  const std::string json = request.to_json();
+  const SubmitRequest parsed =
+      SubmitRequest::from_json_text(json, "round trip");
+  EXPECT_EQ(parsed.problem(), "lasso");
+  EXPECT_EQ(parsed.tenant(), "alpha");
+  EXPECT_EQ(parsed.priority(), 3);
+  EXPECT_DOUBLE_EQ(parsed.deadline(), 1.5);
+  EXPECT_EQ(parsed.label(), "wire-job");
+  EXPECT_EQ(parsed.max_iterations(), 200);
+  EXPECT_EQ(parsed.check_interval(), 25);
+  // Defaults stay off the wire and come back as defaults.
+  const SubmitRequest minimal = SubmitRequest::from_json_text(
+      SubmitRequest("svm").to_json(), "round trip");
+  EXPECT_EQ(minimal.problem(), "svm");
+  EXPECT_EQ(minimal.priority(), 0);
+  EXPECT_EQ(minimal.deadline(), kNoDeadline);
+  EXPECT_TRUE(minimal.tenant().empty());
+}
+
+TEST(SubmitRequestApi, MalformedWireRequestsAreRefusedLoudly) {
+  // Unknown keys name themselves in the error (a typo'd field silently
+  // ignored would be a misconfigured job silently accepted).
+  EXPECT_THROW(SubmitRequest::from_json_text(
+                   R"({"problem": "lasso", "prioritty": 3})", "wire"),
+               PreconditionError);
+  // The problem name is mandatory.
+  EXPECT_THROW(SubmitRequest::from_json_text(R"({"priority": 3})", "wire"),
+               PreconditionError);
+  // Integer fields refuse fractional numbers.
+  EXPECT_THROW(SubmitRequest::from_json_text(
+                   R"({"problem": "lasso", "max_iterations": 1.5})", "wire"),
+               PreconditionError);
+  // And a request with no problem cannot build.
+  EXPECT_THROW(SubmitRequest().build(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace paradmm::runtime

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Loopback smoke test of the solver service (registered in CTest as
+# ServiceLoopback.Smoke): start solve_server on a private AF_UNIX socket
+# with two weighted tenants and the reject admission policy, submit a
+# mixed batch through solve_client — per tenant, N feasible jobs (no
+# deadline) and M doomed jobs (deadline 0.0, deterministically infeasible
+# under the reject policy) — and assert the exact per-tenant verdict
+# stream: conservation (one terminal event per submission) plus exact
+# done / rejected tallies per tenant.  The client exits nonzero on any
+# mismatch, which fails the test.
+#
+# Usage: service_smoke.sh <solve_server-binary> <solve_client-binary>
+set -eu
+
+SERVER=$1
+CLIENT=$2
+SOCKET="${TMPDIR:-/tmp}/paradmm_smoke_$$.sock"
+
+"$SERVER" --socket "$SOCKET" --threads 2 --admission reject \
+    --tenants "alpha:3,beta:1" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SOCKET"' EXIT
+
+# The server unlinks any stale socket and binds before accepting, so the
+# path appearing means connect() will be served.
+tries=0
+while [ ! -S "$SOCKET" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "service_smoke: server socket never appeared" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "service_smoke: server exited before binding its socket" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$CLIENT" --socket "$SOCKET" --problem lasso --iterations 40 \
+    --tenants "alpha:5:3,beta:4:2" \
+    --expect "alpha:done=5,rejected=3;beta:done=4,rejected=2" \
+    --shutdown
+
+# Shutdown must be clean: the server drains, says bye, and exits 0 (its
+# final metrics table goes to the test log).
+wait "$SERVER_PID"
+echo "service_smoke: OK"

@@ -1,0 +1,362 @@
+// Test/demo client for solve_server: submits a mixed batch of jobs over
+// the AF_UNIX socket, reads the verdict stream, and verifies it.
+//
+//   ./solve_client --socket /tmp/paradmm.sock --problem lasso
+//       --iterations 40 --tenants "alpha:6:0,beta:2:4"
+//       --expect "alpha:done=6,rejected=0;beta:done=2,rejected=4" --shutdown
+//
+// --tenants here is the *submission plan* (unlike the server flag):
+// name:feasible[:doomed] submits `feasible` jobs with no deadline and
+// `doomed` jobs with deadline 0.0 for that tenant — under a server running
+// --admission reject, a 0.0 deadline is deterministically infeasible (any
+// projected finish is > 0), so the doomed jobs are exact admission
+// rejections whatever the host's speed.  An empty --tenants submits the
+// plan "":feasible:doomed on the implicit tenant.
+//
+// The client then drains, checks conservation (exactly one terminal event
+// per submission, ids matching), checks every event's tenant tag, and —
+// when --expect is given — checks exact per-(tenant, state) tallies
+// ("tenant:state=count,...;tenant:..."; states not named are expected 0).
+// Exit code 0 only if every check passes, so a CI step can gate on it.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+using namespace paradmm;
+
+namespace {
+
+struct TenantPlan {
+  std::string name;
+  int feasible = 0;
+  int doomed = 0;
+};
+
+std::vector<std::string> split(const std::string& text, char separator) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(separator, begin);
+    if (end == std::string::npos) end = text.size();
+    out.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+int parse_count(const std::string& text, const std::string& what) {
+  try {
+    const int value = std::stoi(text);
+    require(value >= 0, "solve_client: " + what + " must be >= 0");
+    return value;
+  } catch (const PreconditionError&) {
+    throw;
+  } catch (const std::exception&) {
+    require(false, "solve_client: bad count \"" + text + "\" in " + what);
+  }
+  return 0;
+}
+
+// "alpha:6:0,beta:2:4" -> submission plans; "" -> one implicit-tenant plan.
+std::vector<TenantPlan> parse_plans(const std::string& spec, int feasible,
+                                    int doomed) {
+  std::vector<TenantPlan> plans;
+  if (spec.empty()) {
+    plans.push_back({"", feasible, doomed});
+    return plans;
+  }
+  for (const std::string& entry : split(spec, ',')) {
+    if (entry.empty()) continue;
+    const std::vector<std::string> parts = split(entry, ':');
+    require(parts.size() >= 2 && parts.size() <= 3 && !parts[0].empty(),
+            "solve_client: --tenants entries are name:feasible[:doomed] "
+            "(got \"" +
+                entry + "\")");
+    TenantPlan plan;
+    plan.name = parts[0];
+    plan.feasible = parse_count(parts[1], "--tenants feasible count");
+    plan.doomed =
+        parts.size() > 2 ? parse_count(parts[2], "--tenants doomed count") : 0;
+    plans.push_back(plan);
+  }
+  return plans;
+}
+
+// "alpha:done=6,rejected=4;beta:done=2" -> expected[tenant][state] = count.
+std::map<std::string, std::map<std::string, int>> parse_expect(
+    const std::string& spec) {
+  std::map<std::string, std::map<std::string, int>> expected;
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    require(colon != std::string::npos,
+            "solve_client: --expect entries are tenant:state=count,... "
+            "(got \"" +
+                entry + "\")");
+    const std::string tenant = entry.substr(0, colon);
+    for (const std::string& pair :
+         split(entry.substr(colon + 1), ',')) {
+      if (pair.empty()) continue;
+      const std::size_t equals = pair.find('=');
+      require(equals != std::string::npos,
+              "solve_client: --expect tallies are state=count (got \"" +
+                  pair + "\")");
+      expected[tenant][pair.substr(0, equals)] =
+          parse_count(pair.substr(equals + 1), "--expect count");
+    }
+  }
+  return expected;
+}
+
+bool write_all(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + sent, text.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool next(std::string* line) {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+const JsonValue* find(const JsonValue& object, const std::string& key) {
+  if (object.kind != JsonValue::Kind::kObject) return nullptr;
+  const auto it = object.object.find(key);
+  return it == object.object.end() ? nullptr : &it->second;
+}
+
+std::string string_or(const JsonValue* value, const std::string& fallback) {
+  return value != nullptr && value->kind == JsonValue::Kind::kString
+             ? value->string
+             : fallback;
+}
+
+// The "job" object on the wire: the SubmitRequest schema
+// (runtime/submit_request.hpp).
+std::string submit_line(long long id, const std::string& problem,
+                        int iterations, const std::string& tenant,
+                        bool doomed) {
+  std::string job = "{\"problem\": " + json_quote(problem) +
+                    ", \"max_iterations\": " +
+                    json_number(static_cast<double>(iterations));
+  if (!tenant.empty()) job += ", \"tenant\": " + json_quote(tenant);
+  // Deadline 0.0 is already in the past on the runner clock: under
+  // --admission reject the projection can only land strictly later, so
+  // the verdict is an exact, host-independent rejection.
+  if (doomed) job += ", \"deadline\": 0";
+  job += "}";
+  return "{\"op\": \"submit\", \"id\": " + std::to_string(id) +
+         ", \"job\": " + job + "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("solve_client");
+  flags.add_string("socket", "", "AF_UNIX socket path to connect to (required)");
+  flags.add_string("problem", "lasso", "registered problem to submit");
+  flags.add_int("iterations", 40, "max_iterations per job");
+  flags.add_string("tenants", "",
+                   "submission plan: name:feasible[:doomed],... (empty = one "
+                   "implicit-tenant plan from --feasible/--doomed)");
+  flags.add_int("feasible", 4, "implicit-tenant feasible jobs (no --tenants)");
+  flags.add_int("doomed", 0, "implicit-tenant doomed jobs (no --tenants)");
+  flags.add_string("expect", "",
+                   "exact verdict tallies: tenant:state=count,...;tenant:... "
+                   "(unnamed states expected 0; empty = skip)");
+  flags.add_bool("shutdown", false, "send shutdown (instead of drain) at end");
+
+  int failures = 0;
+  const auto check = [&failures](bool ok, const std::string& what) {
+    if (!ok) {
+      ++failures;
+      std::cerr << "solve_client: FAIL: " << what << std::endl;
+    }
+  };
+
+  try {
+    flags.parse(argc, argv);
+    const std::string socket_path = flags.get_string("socket");
+    require(!socket_path.empty(), "solve_client: --socket is required");
+    const std::vector<TenantPlan> plans =
+        parse_plans(flags.get_string("tenants"), flags.get_int("feasible"),
+                    flags.get_int("doomed"));
+    const auto expected = parse_expect(flags.get_string("expect"));
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    require(fd >= 0, "solve_client: socket() failed");
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    require(socket_path.size() < sizeof address.sun_path,
+            "solve_client: socket path too long");
+    std::strncpy(address.sun_path, socket_path.c_str(),
+                 sizeof address.sun_path - 1);
+    require(::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                      sizeof address) == 0,
+            "solve_client: connect(" + socket_path + ") failed: " +
+                std::strerror(errno));
+
+    // Submit the whole plan, interleaving tenants round-robin so the
+    // server sees mixed arrival order (the fairness-relevant shape), then
+    // drain.  id -> (tenant, doomed) remembers what each id was.
+    std::map<long long, std::pair<std::string, bool>> submitted;
+    long long next_id = 0;
+    std::string batch;
+    bool remaining = true;
+    for (int round = 0; remaining; ++round) {
+      remaining = false;
+      for (const TenantPlan& plan : plans) {
+        const int total = plan.feasible + plan.doomed;
+        if (round >= total) continue;
+        remaining = true;
+        const bool doomed = round >= plan.feasible;
+        batch += submit_line(next_id, flags.get_string("problem"),
+                             flags.get_int("iterations"), plan.name, doomed);
+        submitted[next_id] = {plan.name, doomed};
+        ++next_id;
+      }
+    }
+    batch += flags.get_bool("shutdown") ? "{\"op\": \"shutdown\"}\n"
+                                        : "{\"op\": \"drain\"}\n";
+    require(write_all(fd, batch), "solve_client: write failed");
+
+    // Read events until the drained/bye marker; tally terminal verdicts.
+    LineReader reader(fd);
+    std::map<std::string, std::map<std::string, int>> tallies;
+    std::set<long long> settled;
+    std::string line;
+    bool finished = false;
+    while (!finished && reader.next(&line)) {
+      const JsonValue event =
+          JsonParser(line, "solve_client event").parse();
+      const std::string kind = string_or(find(event, "event"), "");
+      if (kind == "drained" || kind == "bye") {
+        finished = true;
+      } else if (kind == "error") {
+        check(false, "server error event: " + line);
+      } else if (kind == "terminal") {
+        const JsonValue* id_field = find(event, "id");
+        check(id_field != nullptr &&
+                  id_field->kind == JsonValue::Kind::kNumber,
+              "terminal event without numeric id: " + line);
+        if (id_field == nullptr) continue;
+        const long long id = static_cast<long long>(id_field->number);
+        const auto it = submitted.find(id);
+        check(it != submitted.end(),
+              "terminal event for unknown id " + std::to_string(id));
+        check(settled.insert(id).second,
+              "duplicate terminal event for id " + std::to_string(id));
+        const std::string tenant = string_or(find(event, "tenant"), "");
+        if (it != submitted.end()) {
+          check(tenant == it->second.first,
+                "id " + std::to_string(id) + " submitted as tenant \"" +
+                    it->second.first + "\" but settled as \"" + tenant +
+                    "\"");
+        }
+        const std::string state = string_or(find(event, "state"), "?");
+        ++tallies[tenant][state];
+        std::cout << line << std::endl;
+      }
+    }
+    check(finished, "connection closed before drained/bye");
+
+    // Conservation: exactly one verdict per submission (duplicates were
+    // already checked at insert).
+    check(settled.size() == submitted.size(),
+          "conservation: " + std::to_string(submitted.size()) +
+              " submissions but " + std::to_string(settled.size()) +
+              " terminal events");
+
+    // Exact per-(tenant, state) tallies.  "done"/"rejected" shorthand maps
+    // to the wire states; any state seen but not named in --expect must be
+    // 0, and vice versa.
+    if (!expected.empty()) {
+      const auto canonical = [](const std::string& state) {
+        if (state == "done") return std::string("done");
+        if (state == "rejected") return std::string("rejected");
+        return state;
+      };
+      for (const auto& [tenant, states] : expected) {
+        for (const auto& [state, count] : states) {
+          const auto tenant_it = tallies.find(tenant);
+          const int seen =
+              tenant_it == tallies.end()
+                  ? 0
+                  : [&] {
+                      const auto state_it =
+                          tenant_it->second.find(canonical(state));
+                      return state_it == tenant_it->second.end()
+                                 ? 0
+                                 : state_it->second;
+                    }();
+          check(seen == count, "tenant \"" + tenant + "\" expected " +
+                                   std::to_string(count) + " " + state +
+                                   " but saw " + std::to_string(seen));
+        }
+      }
+      for (const auto& [tenant, states] : tallies) {
+        for (const auto& [state, count] : states) {
+          const auto tenant_it = expected.find(tenant);
+          const bool named = tenant_it != expected.end() &&
+                             tenant_it->second.count(state) > 0;
+          if (!named) {
+            check(count == 0, "tenant \"" + tenant + "\" saw " +
+                                  std::to_string(count) + " unexpected " +
+                                  state + " verdicts");
+          }
+        }
+      }
+    }
+
+    ::close(fd);
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << std::endl;
+    return 1;
+  }
+  if (failures == 0) {
+    std::cout << "solve_client: OK (" << "all checks passed)" << std::endl;
+  }
+  return failures == 0 ? 0 : 1;
+}

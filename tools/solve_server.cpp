@@ -1,0 +1,440 @@
+// Long-lived solver service: newline-delimited JSON over a local (AF_UNIX)
+// stream socket, streaming submissions into one persistent BatchRunner and
+// streaming terminal verdicts back.
+//
+// Wire protocol — one JSON object per line, in both directions.
+// Client -> server ops:
+//
+//   {"op": "submit", "id": 7, "job": {"problem": "lasso", "tenant": "alpha",
+//                                     "priority": 2, "deadline": 1.5,
+//                                     "max_iterations": 200}}
+//   {"op": "metrics"}        one-line runner counter snapshot
+//   {"op": "drain"}          block until every accepted job is terminal
+//   {"op": "shutdown"}       drain, say bye, and stop the server
+//
+// The "job" object is exactly the SubmitRequest wire schema
+// (runtime/submit_request.hpp) — the same schema the C++ API submits, so a
+// socket job and an in-process job are the same request.  Server -> client
+// events:
+//
+//   {"event": "terminal", "id": 7, "label": ..., "tenant": ..., "state":
+//    "done" | "cancelled" | "failed" | "rejected" | "shed-late" |
+//    "quota-rejected", "verdict": ..., "e2e": ..., "wall": ...,
+//    "iterations": ..., evidence fields when they exist}
+//   {"event": "metrics", ...}   {"event": "drained", "jobs": N}
+//   {"event": "error", "message": ...}   {"event": "bye"}
+//
+// Every accepted submission gets exactly one "terminal" event, in
+// submission order (a verdict is written as soon as its job is terminal
+// and every earlier verdict is out), with its latency evidence read off
+// the handle: end-to-end and executed wall seconds on the runner clock.
+// Malformed lines get an "error" event and the connection keeps going —
+// one bad request must not kill a batch.
+//
+// Tenancy: --tenants "alpha:3,beta:1:8:2" defines per-tenant weights and
+// quotas as name:weight[:max_queued[:max_in_flight]] (0 = unlimited); see
+// runtime/tenant_registry.hpp for the fairness and quota semantics.
+//
+//   ./solve_server --socket /tmp/paradmm.sock --threads 4
+//       --admission reject --tenants "alpha:3,beta:1:8:2"
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/batch_runner.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+using namespace paradmm;
+using namespace paradmm::runtime;
+
+namespace {
+
+AdmissionPolicy parse_policy(const std::string& text,
+                             const std::string& flag) {
+  if (text == "accept") return AdmissionPolicy::kAccept;
+  if (text == "reject") return AdmissionPolicy::kRejectInfeasible;
+  if (text == "degrade") return AdmissionPolicy::kDegradeToBestEffort;
+  require(false, "solve_server: --" + flag +
+                     " must be accept, reject, or degrade (got \"" + text +
+                     "\")");
+  return AdmissionPolicy::kAccept;
+}
+
+// "alpha:3,beta:1:8:2" -> define(name, {weight[, max_queued[, max_in_flight]]})
+TenantRegistry parse_tenants(const std::string& spec) {
+  TenantRegistry registry;
+  std::size_t begin = 0;
+  while (begin < spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    std::vector<std::string> parts;
+    std::size_t part_begin = 0;
+    while (true) {
+      const std::size_t colon = entry.find(':', part_begin);
+      if (colon == std::string::npos) {
+        parts.push_back(entry.substr(part_begin));
+        break;
+      }
+      parts.push_back(entry.substr(part_begin, colon - part_begin));
+      part_begin = colon + 1;
+    }
+    require(!parts[0].empty() && parts.size() <= 4,
+            "solve_server: --tenants entries are "
+            "name:weight[:max_queued[:max_in_flight]] (got \"" +
+                entry + "\")");
+    TenantQuota quota;
+    try {
+      if (parts.size() > 1) quota.weight = std::stod(parts[1]);
+      if (parts.size() > 2) {
+        quota.max_queued = static_cast<std::size_t>(std::stoul(parts[2]));
+      }
+      if (parts.size() > 3) {
+        quota.max_in_flight = static_cast<std::size_t>(std::stoul(parts[3]));
+      }
+    } catch (const std::exception&) {
+      require(false, "solve_server: bad number in --tenants entry \"" +
+                         entry + "\"");
+    }
+    registry.define(parts[0], quota);
+  }
+  return registry;
+}
+
+// Blocking full write; false when the peer went away (the reader will see
+// EOF and wind the connection down).
+bool write_all(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + sent, text.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Both the reader (errors, drained, metrics) and the settler (verdicts)
+// write to the socket; the lock keeps their lines whole.
+class LineWriter {
+ public:
+  explicit LineWriter(int fd) : fd_(fd) {}
+  bool write_line(const std::string& json) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return write_all(fd_, json + "\n");
+  }
+
+ private:
+  int fd_;
+  std::mutex mutex_;
+};
+
+// Incremental reader splitting the byte stream into lines.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  // False on EOF / error with no buffered line left.
+  bool next(std::string* line) {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+struct Pending {
+  long long id = 0;
+  JobHandle handle;
+};
+
+// Submissions flow reader -> settler through this queue; the settler waits
+// each handle in submission order and streams its verdict line.
+struct VerdictStream {
+  std::mutex mutex;
+  std::condition_variable changed;
+  std::deque<Pending> pending;
+  bool closing = false;
+  std::size_t settled = 0;
+};
+
+std::string verdict_line(long long id, const JobHandle& handle) {
+  const TerminalReason reason = handle.terminal_reason();
+  std::string out = "{\"event\": \"terminal\", \"id\": " +
+                    std::to_string(id) +
+                    ", \"label\": " + json_quote(handle.label()) +
+                    ", \"tenant\": " + json_quote(reason.tenant) +
+                    ", \"state\": " +
+                    json_quote(std::string(to_string(reason.state)));
+  out += ", \"verdict\": " +
+         json_quote(std::string(to_string(reason.verdict)));
+  // Latency evidence on the runner clock: submit -> terminal, plus the
+  // executed solve wall seconds (0 for jobs that never ran).
+  out += ", \"e2e\": " +
+         json_number(handle.finished_at() - handle.submitted_at());
+  out += ", \"wall\": " + json_number(handle.wall_seconds());
+  if (reason.state == JobState::kDone ||
+      reason.state == JobState::kCancelled ||
+      reason.state == JobState::kShedLate) {
+    out += ", \"iterations\": " +
+           json_number(static_cast<double>(handle.report().iterations));
+  }
+  if (reason.state == JobState::kFailed) {
+    out += ", \"error\": " + json_quote(handle.error());
+  }
+  if (std::isfinite(reason.deadline)) {
+    out += ", \"deadline\": " + json_number(reason.deadline);
+  }
+  if (!std::isnan(reason.projected_finish)) {
+    out += ", \"projected_finish\": " + json_number(reason.projected_finish);
+  }
+  if (!std::isnan(reason.queued_ahead_seconds)) {
+    out += ", \"queued_ahead_seconds\": " +
+           json_number(reason.queued_ahead_seconds);
+  }
+  if (reason.state == JobState::kQuotaRejected) {
+    out += ", \"quota_queued\": " +
+           json_number(static_cast<double>(reason.quota_queued));
+    out += ", \"quota_limit\": " +
+           json_number(static_cast<double>(reason.quota_limit));
+  }
+  out += "}";
+  return out;
+}
+
+std::string metrics_line(const RuntimeMetrics& metrics) {
+  const auto field = [](const char* name, std::size_t value) {
+    return std::string("\"") + name +
+           "\": " + json_number(static_cast<double>(value));
+  };
+  std::string out = "{\"event\": \"metrics\", " +
+                    field("submitted", metrics.submitted) + ", " +
+                    field("completed", metrics.completed) + ", " +
+                    field("cancelled", metrics.cancelled) + ", " +
+                    field("failed", metrics.failed) + ", " +
+                    field("rejected", metrics.rejected) + ", " +
+                    field("shed_late", metrics.shed_late) + ", " +
+                    field("quota_rejected", metrics.quota_rejected) + ", " +
+                    field("queue_depth", metrics.queue_depth);
+  for (const auto& [name, tenant] : metrics.tenants) {
+    out += ", \"tenant_" + name + "_submitted\": " +
+           json_number(static_cast<double>(tenant.submitted));
+    out += ", \"tenant_" + name + "_completed\": " +
+           json_number(static_cast<double>(tenant.completed));
+  }
+  out += "}";
+  return out;
+}
+
+void settler_loop(VerdictStream* stream, LineWriter* writer) {
+  for (;;) {
+    Pending next;
+    {
+      std::unique_lock<std::mutex> lock(stream->mutex);
+      stream->changed.wait(lock, [stream] {
+        return !stream->pending.empty() || stream->closing;
+      });
+      if (stream->pending.empty()) return;  // closing and fully settled
+      next = stream->pending.front();
+    }
+    next.handle.wait();
+    writer->write_line(verdict_line(next.id, next.handle));
+    {
+      std::lock_guard<std::mutex> lock(stream->mutex);
+      stream->pending.pop_front();
+      ++stream->settled;
+    }
+    stream->changed.notify_all();
+  }
+}
+
+const JsonValue* find(const JsonValue& object, const std::string& key) {
+  if (object.kind != JsonValue::Kind::kObject) return nullptr;
+  const auto it = object.object.find(key);
+  return it == object.object.end() ? nullptr : &it->second;
+}
+
+// Handles one connection; returns true when the client asked the whole
+// server to shut down.
+bool serve_connection(int fd, BatchRunner* runner) {
+  LineReader reader(fd);
+  LineWriter writer(fd);
+  VerdictStream stream;
+  std::thread settler(settler_loop, &stream, &writer);
+  long long next_id = 0;
+  bool shutdown_requested = false;
+
+  const auto drain = [&] {
+    std::unique_lock<std::mutex> lock(stream.mutex);
+    stream.changed.wait(lock, [&stream] { return stream.pending.empty(); });
+    return stream.settled;
+  };
+
+  std::string line;
+  while (!shutdown_requested && reader.next(&line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string op;
+    long long id = 0;
+    JobHandle handle;
+    try {
+      JsonParser parser(line, "solve_server request");
+      const JsonValue request = parser.parse();
+      const JsonValue* op_field = find(request, "op");
+      require(op_field != nullptr &&
+                  op_field->kind == JsonValue::Kind::kString,
+              "solve_server request: field \"op\" (string) is required");
+      op = op_field->string;
+      if (op == "submit") {
+        const JsonValue* id_field = find(request, "id");
+        id = id_field != nullptr &&
+                     id_field->kind == JsonValue::Kind::kNumber
+                 ? static_cast<long long>(id_field->number)
+                 : next_id;
+        const JsonValue* job = find(request, "job");
+        require(job != nullptr,
+                "solve_server request: field \"job\" is required for submit");
+        handle = runner->submit(SubmitRequest::from_json(*job, "submit job"));
+        next_id = id + 1;
+      } else {
+        require(op == "drain" || op == "metrics" || op == "shutdown",
+                "solve_server request: unknown op \"" + op + "\"");
+      }
+    } catch (const std::exception& error) {
+      writer.write_line("{\"event\": \"error\", \"message\": " +
+                        json_quote(error.what()) + "}");
+      continue;
+    }
+    if (op == "submit") {
+      std::lock_guard<std::mutex> lock(stream.mutex);
+      stream.pending.push_back({id, handle});
+      stream.changed.notify_all();
+    } else if (op == "metrics") {
+      writer.write_line(metrics_line(runner->metrics()));
+    } else if (op == "drain") {
+      const std::size_t settled = drain();
+      writer.write_line("{\"event\": \"drained\", \"jobs\": " +
+                        json_number(static_cast<double>(settled)) + "}");
+    } else {  // shutdown
+      drain();
+      writer.write_line("{\"event\": \"bye\"}");
+      shutdown_requested = true;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stream.mutex);
+    stream.closing = true;
+  }
+  stream.changed.notify_all();
+  settler.join();
+  return shutdown_requested;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("solve_server");
+  flags.add_string("socket", "", "AF_UNIX socket path to listen on (required)");
+  flags.add_int("threads", 0, "runner pool threads (0 = hardware)");
+  flags.add_double("aging-rate", 0.0, "priority aging rate (see BatchRunner)");
+  flags.add_string("admission", "accept",
+                   "deadline admission policy: accept | reject | degrade");
+  flags.add_string("reprojection", "accept",
+                   "continuous admission policy: accept | reject | degrade");
+  flags.add_string("tenants", "",
+                   "per-tenant quotas: name:weight[:max_queued[:max_in_flight"
+                   "]],... (0 = unlimited)");
+
+  int exit_code = 0;
+  try {
+    flags.parse(argc, argv);
+    const std::string socket_path = flags.get_string("socket");
+    require(!socket_path.empty(), "solve_server: --socket is required");
+
+    // A client that disconnects mid-verdict must surface as a write error,
+    // not a process-killing signal.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    BatchRunnerOptions options;
+    options.threads = static_cast<std::size_t>(flags.get_int("threads"));
+    options.aging_rate = flags.get_double("aging-rate");
+    options.admission = parse_policy(flags.get_string("admission"),
+                                     "admission");
+    options.reprojection = parse_policy(flags.get_string("reprojection"),
+                                        "reprojection");
+    options.tenants = parse_tenants(flags.get_string("tenants"));
+    BatchRunner runner(options);
+
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    require(listener >= 0, "solve_server: socket() failed");
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    require(socket_path.size() < sizeof address.sun_path,
+            "solve_server: socket path too long");
+    std::strncpy(address.sun_path, socket_path.c_str(),
+                 sizeof address.sun_path - 1);
+    ::unlink(socket_path.c_str());
+    require(::bind(listener, reinterpret_cast<const sockaddr*>(&address),
+                   sizeof address) == 0,
+            "solve_server: bind(" + socket_path + ") failed: " +
+                std::strerror(errno));
+    require(::listen(listener, 8) == 0, "solve_server: listen() failed");
+    std::cout << "solve_server: listening on " << socket_path << std::endl;
+
+    // Connections are served one at a time: the service's concurrency
+    // story is the runner's (many jobs in flight), not the socket's — and
+    // a single ordered verdict stream per client stays exact.
+    bool shutdown_requested = false;
+    while (!shutdown_requested) {
+      const int connection = ::accept(listener, nullptr, nullptr);
+      if (connection < 0) {
+        if (errno == EINTR) continue;
+        require(false, std::string("solve_server: accept() failed: ") +
+                           std::strerror(errno));
+      }
+      shutdown_requested = serve_connection(connection, &runner);
+      ::close(connection);
+    }
+    ::close(listener);
+    ::unlink(socket_path.c_str());
+    runner.wait_all();
+    runner.metrics().print(std::cout);
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << std::endl;
+    exit_code = 1;
+  }
+  return exit_code;
+}
