@@ -47,6 +47,18 @@ GATED_METRICS = {
     # the closed-loop run.  Host-relative like the mixed tail ratio; a rise
     # means the contended service regime grew a latency tail.
     "arrival_e2e_tail_ratio": "lower",
+    # Per-kernel phase throughput: vectorized elements/second over the
+    # scalar reference path, single-threaded, per ADMM phase.  Host-relative
+    # (both paths run on the same machine in the same process), so a drop
+    # means the kernel layer itself got slower — the first gated coverage of
+    # raw single-thread speed rather than scheduling.
+    "kernel_z_speedup": "higher",
+    "kernel_u_speedup": "higher",
+    "kernel_n_speedup": "higher",
+    # Time-weighted z+u+n combination — the number the bench's own >= 1.5x
+    # gate watches; gated here too so a slow drift below the absolute floor
+    # is caught relative to the baseline first.
+    "kernel_zun_speedup": "higher",
 }
 
 

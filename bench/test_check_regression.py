@@ -29,7 +29,8 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 
 def good_record(speedup=3.0, mixed_speedup=2.0, tail_ratio=1.5,
-                arrival_tail_ratio=2.0, threads=8):
+                arrival_tail_ratio=2.0, kernel_z=2.0, kernel_u=2.0,
+                kernel_n=2.0, kernel_zun=1.8, threads=8):
     return {
         "bench": "runtime_throughput",
         "hardware_threads": threads,
@@ -37,6 +38,10 @@ def good_record(speedup=3.0, mixed_speedup=2.0, tail_ratio=1.5,
         "mixed_speedup": mixed_speedup,
         "mixed_e2e_tail_ratio": tail_ratio,
         "arrival_e2e_tail_ratio": arrival_tail_ratio,
+        "kernel_z_speedup": kernel_z,
+        "kernel_u_speedup": kernel_u,
+        "kernel_n_speedup": kernel_n,
+        "kernel_zun_speedup": kernel_zun,
     }
 
 
@@ -104,6 +109,35 @@ class CheckRegressionGate(unittest.TestCase):
         self.assertEqual(result.returncode, 1, result.stdout)
         self.assertIn("arrival_e2e_tail_ratio", result.stdout)
         self.assertIn("REGRESSED", result.stdout)
+
+    def test_kernel_speedups_are_gated_higher_is_better(self):
+        # The per-kernel phase speedups (vectorized vs scalar reference)
+        # regress by dropping, like the scheduling-level speedups.
+        result = run_gate(good_record(kernel_z=2.0),
+                          good_record(kernel_z=1.0), "--tolerance", "0.15")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("kernel_z_speedup", result.stdout)
+        self.assertIn("REGRESSED", result.stdout)
+
+    def test_kernel_speedups_get_the_additive_allowance(self):
+        # Baselines committed before the kernel layer predate the fields:
+        # note + skip, never a hard fail.
+        baseline = good_record()
+        for field in ("kernel_z_speedup", "kernel_u_speedup",
+                      "kernel_n_speedup", "kernel_zun_speedup"):
+            del baseline[field]
+        result = run_gate(baseline, good_record())
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("predates kernel_z_speedup", result.stdout)
+        self.assertIn("PASS", result.stdout)
+
+    def test_kernel_speedup_missing_from_fresh_is_a_hard_failure(self):
+        # A bench that silently stops emitting a kernel field must fail.
+        fresh = good_record()
+        del fresh["kernel_u_speedup"]
+        result = run_gate(good_record(), fresh)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("kernel_u_speedup (fresh)", result.stdout)
 
     def test_arrival_tail_ratio_gets_the_additive_allowance(self):
         # Committed baselines predate the arrival scenario: note + skip,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/kernels.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
 
@@ -121,23 +122,53 @@ void AdmmSolver::build_phases() {
   phases_.clear();
   phases_.reserve(5);
 
+  // Each phase carries two equivalent bodies: the per-index `apply` closure
+  // (the reference implementation — kept verbatim, driven directly by tests
+  // and the device models) and a chunked `apply_range` the backends prefer.
+  // The range bodies run the dispatched SoA kernels (math/kernels.hpp); the
+  // table is bound once here, so one solver uses one kernel mode for its
+  // whole lifetime.  In scalar mode the range bodies are bitwise identical
+  // to `apply` (same per-element operation sequence — see docs/kernels.md);
+  // parity between the two paths is pinned by tests/core/test_kernels.cpp.
+  const kernels::KernelTable* kt = &kernels::table(kernels::mode());
+
   // x-phase: one proximal operator per factor.
   phases_.push_back(Phase{
-      "x", factors, [data](std::size_t a) {
+      "x", factors,
+      [data](std::size_t a) {
         const ProxContext ctx(data->soa, data->factor_begin[a],
                               data->factor_degree[a]);
         data->ops[a]->apply(ctx);
+      },
+      [data](std::size_t begin, std::size_t end) {
+        for (std::size_t a = begin; a < end; ++a) {
+          const ProxContext ctx(data->soa, data->factor_begin[a],
+                                data->factor_degree[a]);
+          data->ops[a]->apply(ctx);
+        }
       }});
 
-  // m-phase: m <- x + u, per edge.
-  phases_.push_back(Phase{"m", edges, [data](std::size_t e) {
-                            const std::uint64_t at = data->edge_offset[e];
-                            const std::uint32_t dim = data->edge_dim[e];
-                            for (std::uint32_t d = 0; d < dim; ++d) {
-                              data->m[at + d] =
-                                  data->x[at + d] + data->u[at + d];
-                            }
-                          }});
+  // m-phase: m <- x + u, per edge.  Edge slices are laid out back to back
+  // in edge-creation order (FactorGraph's SoA invariant), so a whole chunk
+  // of edges is one contiguous block and the range body is a single kernel
+  // call over it.
+  phases_.push_back(Phase{
+      "m", edges,
+      [data](std::size_t e) {
+        const std::uint64_t at = data->edge_offset[e];
+        const std::uint32_t dim = data->edge_dim[e];
+        for (std::uint32_t d = 0; d < dim; ++d) {
+          data->m[at + d] = data->x[at + d] + data->u[at + d];
+        }
+      },
+      [data, kt](std::size_t begin, std::size_t end) {
+        if (begin == end) return;
+        const std::uint64_t from = data->edge_offset[begin];
+        const std::uint64_t to =
+            data->edge_offset[end - 1] + data->edge_dim[end - 1];
+        kt->m_update(data->x + from, data->u + from, data->m + from,
+                     static_cast<std::size_t>(to - from));
+      }});
 
   // z-phase: weighted consensus average per variable node.
   phases_.push_back(Phase{"z", variables, [data](std::size_t b) {
@@ -188,34 +219,122 @@ void AdmmSolver::build_phases() {
       }
       if (denominator > 0.0) data->z[z_at + d] = numerator / denominator;
     }
+  }, [data, kt](std::size_t begin, std::size_t end) {
+    // Chunked z-phase, restructured d-inner so every accumulation runs a
+    // dense kernel over the variable's contiguous z slice.  The denominator
+    // is the same scalar for every dimension d, so it is computed once per
+    // variable; accumulating edge contributions in CSR order and dividing
+    // at the end performs the exact operation sequence of the reference
+    // body per element — bitwise identical, reductions included.
+    for (std::size_t b = begin; b < end; ++b) {
+      double* z = data->z + data->var_offset[b];
+      const std::uint32_t dim = data->var_dim[b];
+      const std::uint64_t first = data->var_edges_begin[b];
+      const std::uint64_t last = data->var_edges_begin[b + 1];
+
+      if (data->three_weight) {
+        std::uint32_t infinite_count = 0;
+        for (std::uint64_t i = first; i < last; ++i) {
+          if (data->edge_weight[data->var_edges[i]] == Weight::kInfinite) {
+            ++infinite_count;
+          }
+        }
+        double denominator = 0.0;
+        for (std::uint64_t i = first; i < last; ++i) {
+          const EdgeId e = data->var_edges[i];
+          const Weight w = data->edge_weight[e];
+          if (infinite_count > 0) {
+            if (w == Weight::kInfinite) denominator += 1.0;
+          } else if (w != Weight::kZero) {
+            denominator += data->edge_rho[e];
+          }
+        }
+        // Matches the reference's "denominator > 0.0" write guard: with no
+        // opinion at all, z keeps its previous value.
+        if (!(denominator > 0.0)) continue;
+        kt->fill(z, 0.0, dim);
+        for (std::uint64_t i = first; i < last; ++i) {
+          const EdgeId e = data->var_edges[i];
+          const Weight w = data->edge_weight[e];
+          if (infinite_count > 0) {
+            if (w != Weight::kInfinite) continue;
+            kt->z_accumulate(1.0, data->m + data->edge_offset[e], z, dim);
+          } else {
+            if (w == Weight::kZero) continue;
+            kt->z_accumulate(data->edge_rho[e],
+                             data->m + data->edge_offset[e], z, dim);
+          }
+        }
+        kt->z_divide(denominator, z, dim);
+        continue;
+      }
+
+      double denominator = 0.0;
+      for (std::uint64_t i = first; i < last; ++i) {
+        denominator += data->edge_rho[data->var_edges[i]];
+      }
+      if (!(denominator > 0.0)) continue;
+      kt->fill(z, 0.0, dim);
+      for (std::uint64_t i = first; i < last; ++i) {
+        const EdgeId e = data->var_edges[i];
+        kt->z_accumulate(data->edge_rho[e], data->m + data->edge_offset[e], z,
+                         dim);
+      }
+      kt->z_divide(denominator, z, dim);
+    }
   }});
 
-  // u-phase: u <- u + alpha (x - z_b), per edge.
-  phases_.push_back(Phase{"u", edges, [data](std::size_t e) {
-    const std::uint64_t at = data->edge_offset[e];
-    const std::uint64_t z_at = data->edge_var_offset[e];
-    const std::uint32_t dim = data->edge_dim[e];
-    if (data->three_weight &&
-        data->edge_weight[e] != Weight::kStandard) {
-      // TWA: certain/no-opinion messages carry no running disagreement.
-      for (std::uint32_t d = 0; d < dim; ++d) data->u[at + d] = 0.0;
-      return;
-    }
-    const double alpha = data->edge_alpha[e];
-    for (std::uint32_t d = 0; d < dim; ++d) {
-      data->u[at + d] += alpha * (data->x[at + d] - data->z[z_at + d]);
-    }
-  }});
+  // u-phase: u <- u + alpha (x - z_b), per edge.  The z gather offset
+  // varies per edge, so the range body runs one dense kernel per edge slice
+  // (still contiguous SoA blocks, just not merged across edges).
+  phases_.push_back(Phase{
+      "u", edges,
+      [data](std::size_t e) {
+        const std::uint64_t at = data->edge_offset[e];
+        const std::uint64_t z_at = data->edge_var_offset[e];
+        const std::uint32_t dim = data->edge_dim[e];
+        if (data->three_weight && data->edge_weight[e] != Weight::kStandard) {
+          // TWA: certain/no-opinion messages carry no running disagreement.
+          for (std::uint32_t d = 0; d < dim; ++d) data->u[at + d] = 0.0;
+          return;
+        }
+        const double alpha = data->edge_alpha[e];
+        for (std::uint32_t d = 0; d < dim; ++d) {
+          data->u[at + d] += alpha * (data->x[at + d] - data->z[z_at + d]);
+        }
+      },
+      [data, kt](std::size_t begin, std::size_t end) {
+        for (std::size_t e = begin; e < end; ++e) {
+          const std::uint64_t at = data->edge_offset[e];
+          const std::uint32_t dim = data->edge_dim[e];
+          if (data->three_weight &&
+              data->edge_weight[e] != Weight::kStandard) {
+            kt->fill(data->u + at, 0.0, dim);
+            continue;
+          }
+          kt->u_update(data->edge_alpha[e], data->x + at,
+                       data->z + data->edge_var_offset[e], data->u + at, dim);
+        }
+      }});
 
   // n-phase: n <- z_b - u, per edge.
-  phases_.push_back(Phase{"n", edges, [data](std::size_t e) {
-    const std::uint64_t at = data->edge_offset[e];
-    const std::uint64_t z_at = data->edge_var_offset[e];
-    const std::uint32_t dim = data->edge_dim[e];
-    for (std::uint32_t d = 0; d < dim; ++d) {
-      data->n[at + d] = data->z[z_at + d] - data->u[at + d];
-    }
-  }});
+  phases_.push_back(Phase{
+      "n", edges,
+      [data](std::size_t e) {
+        const std::uint64_t at = data->edge_offset[e];
+        const std::uint64_t z_at = data->edge_var_offset[e];
+        const std::uint32_t dim = data->edge_dim[e];
+        for (std::uint32_t d = 0; d < dim; ++d) {
+          data->n[at + d] = data->z[z_at + d] - data->u[at + d];
+        }
+      },
+      [data, kt](std::size_t begin, std::size_t end) {
+        for (std::size_t e = begin; e < end; ++e) {
+          const std::uint64_t at = data->edge_offset[e];
+          kt->n_update(data->z + data->edge_var_offset[e], data->u + at,
+                       data->n + at, data->edge_dim[e]);
+        }
+      }});
 }
 
 void AdmmSolver::balance_rho(const Residuals& residuals) {

@@ -1,0 +1,210 @@
+#include "math/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "support/error.hpp"
+
+// The scalar table is the *reference* implementation: its loops must stay
+// genuinely scalar even at -O3, or the parity tests and the per-kernel
+// bench speedups would compare the vectorizer against itself.  GCC takes a
+// function-level attribute; Clang takes per-loop pragmas.
+#if defined(__clang__)
+#define PARADMM_SCALAR_FN
+#define PARADMM_SCALAR_LOOP \
+  _Pragma("clang loop vectorize(disable) interleave(disable)")
+#elif defined(__GNUC__)
+#define PARADMM_SCALAR_FN \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#define PARADMM_SCALAR_LOOP
+#else
+#define PARADMM_SCALAR_FN
+#define PARADMM_SCALAR_LOOP
+#endif
+
+#if defined(_MSC_VER)
+#define PARADMM_RESTRICT __restrict
+#else
+#define PARADMM_RESTRICT __restrict__
+#endif
+
+// The vectorized bodies (kernels_vector_impl.inc) are built twice on
+// x86-64 GCC/Clang: once with the translation unit's portable baseline
+// flags (SSE2) and once per-function with target("avx2"), chosen at run
+// time via __builtin_cpu_supports so the binary stays runnable on any
+// x86-64 host.  AVX2 is enabled WITHOUT the fma feature: without the FMA
+// ISA the compiler cannot contract mul+add, so every build of the same
+// source rounds identically and the bitwise elementwise contract against
+// the scalar reference holds on every host.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PARADMM_HAVE_AVX2_DISPATCH 1
+#define PARADMM_AVX2_FN __attribute__((target("avx2")))
+#else
+#define PARADMM_HAVE_AVX2_DISPATCH 0
+#endif
+
+namespace paradmm::kernels {
+namespace scalar {
+
+PARADMM_SCALAR_FN void m_update(const double* x, const double* u, double* m,
+                                std::size_t n) {
+  PARADMM_SCALAR_LOOP
+  for (std::size_t i = 0; i < n; ++i) m[i] = x[i] + u[i];
+}
+
+PARADMM_SCALAR_FN void u_update(double alpha, const double* x, const double* z,
+                                double* u, std::size_t n) {
+  PARADMM_SCALAR_LOOP
+  for (std::size_t i = 0; i < n; ++i) u[i] += alpha * (x[i] - z[i]);
+}
+
+PARADMM_SCALAR_FN void n_update(const double* z, const double* u, double* out,
+                                std::size_t n) {
+  PARADMM_SCALAR_LOOP
+  for (std::size_t i = 0; i < n; ++i) out[i] = z[i] - u[i];
+}
+
+PARADMM_SCALAR_FN void z_accumulate(double rho, const double* m, double* z,
+                                    std::size_t n) {
+  PARADMM_SCALAR_LOOP
+  for (std::size_t i = 0; i < n; ++i) z[i] += rho * m[i];
+}
+
+PARADMM_SCALAR_FN void z_divide(double denom, double* z, std::size_t n) {
+  PARADMM_SCALAR_LOOP
+  for (std::size_t i = 0; i < n; ++i) z[i] /= denom;
+}
+
+PARADMM_SCALAR_FN void fill(double* y, double value, std::size_t n) {
+  PARADMM_SCALAR_LOOP
+  for (std::size_t i = 0; i < n; ++i) y[i] = value;
+}
+
+PARADMM_SCALAR_FN void axpy(double a, const double* x, double* y,
+                            std::size_t n) {
+  PARADMM_SCALAR_LOOP
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+PARADMM_SCALAR_FN double dot(const double* x, const double* y, std::size_t n) {
+  double sum = 0.0;
+  PARADMM_SCALAR_LOOP
+  for (std::size_t i = 0; i < n; ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+PARADMM_SCALAR_FN double norm2_squared(const double* x, std::size_t n) {
+  double sum = 0.0;
+  PARADMM_SCALAR_LOOP
+  for (std::size_t i = 0; i < n; ++i) sum += x[i] * x[i];
+  return sum;
+}
+
+PARADMM_SCALAR_FN double distance_squared(const double* x, const double* y,
+                                          std::size_t n) {
+  double sum = 0.0;
+  PARADMM_SCALAR_LOOP
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = x[i] - y[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace scalar
+
+namespace vectorized {
+#define PARADMM_VECTOR_FN
+#include "math/kernels_vector_impl.inc"
+#undef PARADMM_VECTOR_FN
+}  // namespace vectorized
+
+#if PARADMM_HAVE_AVX2_DISPATCH
+namespace vectorized_avx2 {
+#define PARADMM_VECTOR_FN PARADMM_AVX2_FN
+#include "math/kernels_vector_impl.inc"
+#undef PARADMM_VECTOR_FN
+}  // namespace vectorized_avx2
+#endif
+
+namespace {
+
+constexpr KernelTable kScalarTable = {
+    scalar::m_update,     scalar::u_update, scalar::n_update,
+    scalar::z_accumulate, scalar::z_divide, scalar::fill,
+    scalar::axpy,         scalar::dot,      scalar::norm2_squared,
+    scalar::distance_squared,
+};
+
+constexpr KernelTable kVectorizedTable = {
+    vectorized::m_update,     vectorized::u_update, vectorized::n_update,
+    vectorized::z_accumulate, vectorized::z_divide, vectorized::fill,
+    vectorized::axpy,         vectorized::dot,      vectorized::norm2_squared,
+    vectorized::distance_squared,
+};
+
+#if PARADMM_HAVE_AVX2_DISPATCH
+constexpr KernelTable kVectorizedAvx2Table = {
+    vectorized_avx2::m_update,     vectorized_avx2::u_update,
+    vectorized_avx2::n_update,     vectorized_avx2::z_accumulate,
+    vectorized_avx2::z_divide,     vectorized_avx2::fill,
+    vectorized_avx2::axpy,         vectorized_avx2::dot,
+    vectorized_avx2::norm2_squared, vectorized_avx2::distance_squared,
+};
+#endif
+
+bool host_has_avx2() {
+#if PARADMM_HAVE_AVX2_DISPATCH
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+const KernelTable& vectorized_table() {
+#if PARADMM_HAVE_AVX2_DISPATCH
+  if (host_has_avx2()) return kVectorizedAvx2Table;
+#endif
+  return kVectorizedTable;
+}
+
+KernelMode default_mode() {
+  const char* env = std::getenv("PARADMM_KERNELS");
+  if (env == nullptr || *env == '\0') return KernelMode::kVectorized;
+  const std::string_view value(env);
+  if (value == "scalar") return KernelMode::kScalar;
+  if (value == "vectorized") return KernelMode::kVectorized;
+  throw PreconditionError(
+      "PARADMM_KERNELS must be 'scalar' or 'vectorized' (got '" +
+      std::string(value) + "')");
+}
+
+std::atomic<KernelMode>& mode_slot() {
+  static std::atomic<KernelMode> slot{default_mode()};
+  return slot;
+}
+
+}  // namespace
+
+const char* to_string(KernelMode mode) {
+  return mode == KernelMode::kScalar ? "scalar" : "vectorized";
+}
+
+const KernelTable& table(KernelMode mode) {
+  return mode == KernelMode::kScalar ? kScalarTable : vectorized_table();
+}
+
+const char* vector_isa() { return host_has_avx2() ? "avx2" : "baseline"; }
+
+KernelMode mode() { return mode_slot().load(std::memory_order_relaxed); }
+
+void set_mode(KernelMode mode) {
+  mode_slot().store(mode, std::memory_order_relaxed);
+}
+
+const KernelTable& active() { return table(mode()); }
+
+}  // namespace paradmm::kernels

@@ -1,0 +1,110 @@
+// Vectorized SoA phase kernels behind a runtime dispatch seam.
+//
+// The five ADMM phases and the dense prox reductions spend their time in a
+// handful of flat double-array loops.  This header names those loops once —
+// as raw-pointer kernels over contiguous SoA blocks — and provides two
+// implementations selected at runtime:
+//
+//   * kScalar      — straight scalar loops with compiler vectorization
+//                    disabled: the reference implementation every parity
+//                    test compares against.
+//   * kVectorized  — restrict-qualified, compiler-vectorizable loops
+//                    (lane-striped accumulators for the reductions).  The
+//                    default.  On x86-64 the vectorized table itself is
+//                    picked at runtime: an AVX2 build of the same source
+//                    when the host supports it (vector_isa() == "avx2"),
+//                    the portable SSE2 baseline otherwise.  The AVX2 build
+//                    deliberately excludes FMA, so both builds round
+//                    identically and the contract below is ISA-independent.
+//
+// Pointer contract: within one kernel call the input and output arrays must
+// not alias each other (they are distinct graph arrays, or disjoint slices
+// of one), except where a parameter is explicitly both read and written
+// (u_update's u, z_accumulate's z, axpy's y — an in/out accumulator is fine,
+// overlap between *different* parameters is not).  Alignment: natural
+// (8-byte) double alignment only; the vectorized loops use unaligned vector
+// loads, so callers never need to over-align slices.
+//
+// Determinism contract (version 2, shipped by this layer — see
+// docs/kernels.md):
+//   * Elementwise kernels (m_update, u_update, n_update, z_accumulate,
+//     z_divide, fill, axpy) are bitwise identical across modes — no
+//     floating-point reassociation is involved, so vectorizing them is
+//     value-preserving.
+//   * Reductions (dot, norm2_squared, distance_squared) accumulate in a
+//     fixed order that depends only on the element count n — never on the
+//     fork width or schedule — so determinism-per-width holds within a
+//     mode.  Across modes the vectorized reductions stripe over four
+//     accumulators and therefore differ from scalar by reassociation
+//     rounding; cross-mode comparisons are toleranced, not bitwise.
+//
+// Mode selection: set_mode() or the PARADMM_KERNELS environment variable
+// ("scalar" / "vectorized"; unset means vectorized).  The mode is a
+// process-global test/bench seam, bound by AdmmSolver at construction —
+// changing it mid-solve is unsupported.
+#pragma once
+
+#include <cstddef>
+
+namespace paradmm::kernels {
+
+enum class KernelMode {
+  kScalar,      ///< reference scalar loops, vectorization suppressed
+  kVectorized,  ///< compiler-vectorized loops (default)
+};
+
+/// Human-readable mode name (for logs and bench JSON).
+const char* to_string(KernelMode mode);
+
+/// Dispatch table of raw-pointer kernels.  All spans are (pointer, count)
+/// pairs over caller-owned storage; n may be zero (every kernel is a no-op
+/// then).  See the header comment for the aliasing/alignment contract.
+struct KernelTable {
+  // --- Elementwise phase updates (bitwise identical across modes) ---------
+  /// m[i] = x[i] + u[i].
+  void (*m_update)(const double* x, const double* u, double* m, std::size_t n);
+  /// u[i] += alpha * (x[i] - z[i]).
+  void (*u_update)(double alpha, const double* x, const double* z, double* u,
+                   std::size_t n);
+  /// out[i] = z[i] - u[i].
+  void (*n_update)(const double* z, const double* u, double* out,
+                   std::size_t n);
+  /// z[i] += rho * m[i] — one edge's weighted contribution to a consensus
+  /// slice.
+  void (*z_accumulate)(double rho, const double* m, double* z, std::size_t n);
+  /// z[i] /= denom.  A true divide (not multiply-by-reciprocal) so the
+  /// result is bitwise identical to the scalar numerator/denominator form.
+  void (*z_divide)(double denom, double* z, std::size_t n);
+  /// y[i] = value.
+  void (*fill)(double* y, double value, std::size_t n);
+  /// y[i] += a * x[i].
+  void (*axpy)(double a, const double* x, double* y, std::size_t n);
+
+  // --- Reductions (order depends only on n; toleranced across modes) ------
+  double (*dot)(const double* x, const double* y, std::size_t n);
+  double (*norm2_squared)(const double* x, std::size_t n);
+  double (*distance_squared)(const double* x, const double* y, std::size_t n);
+};
+
+/// The table for an explicit mode (parity tests compare the two directly).
+const KernelTable& table(KernelMode mode);
+
+/// Current process-global mode.  Defaults from PARADMM_KERNELS (unset =>
+/// kVectorized); an unrecognized value fails loudly rather than silently
+/// running the wrong kernels.
+KernelMode mode();
+
+/// Overrides the process-global mode (test/bench seam).  Not for use while
+/// a solve is running — solvers bind their table at construction.
+void set_mode(KernelMode mode);
+
+/// table(mode()) — the table new solvers and the vec:: reductions bind.
+const KernelTable& active();
+
+/// Instruction set the vectorized table was compiled for on this host:
+/// "avx2" when runtime dispatch selected the AVX2 build, "baseline" for
+/// the portable build (SSE2 on x86-64, NEON on aarch64).  Informational —
+/// results are bitwise identical either way (see the header comment).
+const char* vector_isa();
+
+}  // namespace paradmm::kernels

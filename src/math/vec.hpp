@@ -4,12 +4,19 @@
 // phases are written in.  They operate on caller-owned storage (the factor
 // graph's flat arrays), never allocate, and are kept trivially inlinable —
 // the engine's inner loops compile down to straight-line code.
+//
+// The dense reductions (dot / norm2_squared / distance_squared) delegate to
+// the runtime-dispatched kernel layer (math/kernels.hpp), so the prox inner
+// products pick up the vectorized implementations; see that header for the
+// determinism contract.  The elementwise helpers stay plain inline loops —
+// they are reassociation-free, so the compiler vectorizes them in place.
 #pragma once
 
 #include <cmath>
 #include <cstddef>
 #include <span>
 
+#include "math/kernels.hpp"
 #include "support/error.hpp"
 
 namespace paradmm::vec {
@@ -55,13 +62,13 @@ inline void sub(std::span<const double> x, std::span<const double> y,
 /// Inner product <x, y>.
 inline double dot(std::span<const double> x, std::span<const double> y) {
   affirm(x.size() == y.size(), "vec::dot size mismatch");
-  double sum = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
-  return sum;
+  return kernels::active().dot(x.data(), y.data(), x.size());
 }
 
 /// Squared Euclidean norm.
-inline double norm2_squared(std::span<const double> x) { return dot(x, x); }
+inline double norm2_squared(std::span<const double> x) {
+  return kernels::active().norm2_squared(x.data(), x.size());
+}
 
 /// Euclidean norm.
 inline double norm2(std::span<const double> x) {
@@ -79,12 +86,7 @@ inline double norm_inf(std::span<const double> x) {
 inline double distance_squared(std::span<const double> x,
                                std::span<const double> y) {
   affirm(x.size() == y.size(), "vec::distance size mismatch");
-  double sum = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    sum += d * d;
-  }
-  return sum;
+  return kernels::active().distance_squared(x.data(), y.data(), x.size());
 }
 
 /// Euclidean distance ||x - y||.

@@ -19,7 +19,7 @@ class SerialBackend final : public ExecutionBackend {
       for (std::size_t p = 0; p < phases.size(); ++p) {
         WallTimer timer;
         const Phase& phase = phases[p];
-        for (std::size_t i = 0; i < phase.count; ++i) phase.apply(i);
+        apply_phase_range(phase, 0, phase.count);
         if (timings) timings->add(p, timer.seconds());
       }
     }
@@ -42,7 +42,7 @@ class ForkJoinBackend final : public ExecutionBackend {
         const Phase& phase = phases[p];
         pool_.parallel_for_chunks(
             phase.count, [&phase](std::size_t begin, std::size_t end) {
-              for (std::size_t i = begin; i < end; ++i) phase.apply(i);
+              apply_phase_range(phase, begin, end);
             });
         if (timings) timings->add(p, timer.seconds());
       }
@@ -85,7 +85,7 @@ class PersistentBackend final : public ExecutionBackend {
           const Phase& phase = phases[p];
           const auto [begin, end] =
               ThreadPool::static_chunk(phase.count, rank, threads_);
-          for (std::size_t i = begin; i < end; ++i) phase.apply(i);
+          apply_phase_range(phase, begin, end);
           sync.arrive_and_wait();
           if (rank == 0 && timings) {
             // Rank 0's view of the phase: its own work + barrier wait, which
@@ -147,7 +147,7 @@ class BorrowedPoolBackend final : public ExecutionBackend {
         pool_.parallel_for_chunks(
             phase.count, width_,
             [&phase](std::size_t begin, std::size_t end) {
-              for (std::size_t i = begin; i < end; ++i) phase.apply(i);
+              apply_phase_range(phase, begin, end);
             });
         if (timings) timings->add(p, timer.seconds());
         if (observe_phase_) observe_phase_(p, width_, timer.seconds());

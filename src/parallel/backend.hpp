@@ -32,11 +32,33 @@ namespace paradmm {
 /// One parallel update phase: `count` independent tasks plus a barrier at
 /// the end.  `apply(i)` must be safe to run concurrently for distinct i and
 /// must not touch state written by other tasks of the same phase.
+///
+/// `apply_range`, when set, is a batched form the backends prefer: one call
+/// covers the contiguous index range [begin, end) and must be exactly
+/// equivalent to calling `apply(i)` for each i in order.  It exists so the
+/// hot phases can run one kernel call per fork chunk (contiguous SoA block)
+/// instead of one std::function dispatch per element; `apply` stays
+/// populated as the per-index reference path (device models and tests drive
+/// it directly).  Chunk boundaries must not change results — backends may
+/// split [0, count) into any per-width partition.
 struct Phase {
   std::string name;
   std::size_t count = 0;
   std::function<void(std::size_t)> apply;
+  std::function<void(std::size_t, std::size_t)> apply_range;
 };
+
+/// Runs `phase` over [begin, end): the chunked path when the phase provides
+/// one, the per-index reference loop otherwise.  All backends funnel their
+/// chunks through here so the two paths cannot drift apart.
+inline void apply_phase_range(const Phase& phase, std::size_t begin,
+                              std::size_t end) {
+  if (phase.apply_range) {
+    phase.apply_range(begin, end);
+    return;
+  }
+  for (std::size_t i = begin; i < end; ++i) phase.apply(i);
+}
 
 /// Accumulated wall-clock seconds per phase index, across iterations.
 class PhaseTimings {

@@ -33,10 +33,15 @@ class OmpForkJoinBackend final : public ExecutionBackend {
       for (std::size_t p = 0; p < phases.size(); ++p) {
         WallTimer timer;
         const Phase& phase = phases[p];
-        const auto count = static_cast<long long>(phase.count);
-#pragma omp parallel for schedule(static)
-        for (long long i = 0; i < count; ++i) {
-          phase.apply(static_cast<std::size_t>(i));
+        // One fork/join per phase, parallelized over static_chunk ranges
+        // (the same (count, width) partition every other backend uses) so
+        // chunked phases run one kernel call per contiguous SoA block.
+        const auto chunks = static_cast<long long>(threads_);
+#pragma omp parallel for schedule(static, 1)
+        for (long long c = 0; c < chunks; ++c) {
+          const auto [begin, end] = ThreadPool::static_chunk(
+              phase.count, static_cast<std::size_t>(c), threads_);
+          apply_phase_range(phase, begin, end);
         }
         if (timings) timings->add(p, timer.seconds());
       }
@@ -72,7 +77,7 @@ class OmpPersistentBackend final : public ExecutionBackend {
           const Phase& phase = phases[p];
           const auto [begin, end] =
               ThreadPool::static_chunk(phase.count, rank, parts);
-          for (std::size_t i = begin; i < end; ++i) phase.apply(i);
+          apply_phase_range(phase, begin, end);
 #pragma omp barrier
           if (rank == 0 && timings) {
             timings->add(p, timer.seconds());

@@ -91,8 +91,8 @@ void MarginProx::apply(const ProxContext& ctx) const {
   affirm(plane_in.size() == d + 1 && slack_in.size() == 1,
          "MarginProx edge dims mismatch");
 
-  double margin = plane_in[d];  // b
-  for (std::size_t i = 0; i < d; ++i) margin += plane_in[i] * point_[i];
+  // b + <w, point> — the dense inner product rides the dispatched kernels.
+  const double margin = plane_in[d] + vec::dot(plane_in.first(d), point_);
   const double violation = 1.0 - label_ * margin - slack_in[0];
   if (violation <= 0.0) {
     vec::copy(plane_in, plane_out);

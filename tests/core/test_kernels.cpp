@@ -1,0 +1,240 @@
+// Kernel-layer parity: the dispatched SoA kernels (math/kernels.hpp) pin
+// determinism contract v2 — elementwise kernels bitwise identical across
+// modes (including tail remainders and unaligned slices), reductions
+// toleranced across modes but width-independent within one, and the chunked
+// phase path (Phase::apply_range) bitwise equal to the per-index reference
+// on all four seed problems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "math/kernels.hpp"
+#include "parallel/backend.hpp"
+#include "runtime/problem_registry.hpp"
+#include "support/rng.hpp"
+
+namespace paradmm {
+namespace {
+
+// The global kernel mode is a process-wide seam; every test restores it.
+class ModeGuard {
+ public:
+  ModeGuard() : saved_(kernels::mode()) {}
+  ~ModeGuard() { kernels::set_mode(saved_); }
+
+ private:
+  kernels::KernelMode saved_;
+};
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.uniform(-2.0, 2.0);
+  return values;
+}
+
+// Sizes around the 4-lane stripe: empty, sub-stripe, exact multiples, and
+// every tail remainder, plus a couple of bigger blocks.
+const std::size_t kSizes[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,
+                              15, 16, 17, 31, 32, 33, 64, 100};
+// Slices into the graph arrays start at arbitrary edge offsets, so the
+// kernels must behave identically on 16-byte-misaligned doubles.
+const std::size_t kOffsets[] = {0, 1};
+
+const kernels::KernelTable& scalar_table() {
+  return kernels::table(kernels::KernelMode::kScalar);
+}
+const kernels::KernelTable& vectorized_table() {
+  return kernels::table(kernels::KernelMode::kVectorized);
+}
+
+TEST(Kernels, ElementwiseKernelsAreBitwiseIdenticalAcrossModes) {
+  for (const std::size_t n : kSizes) {
+    for (const std::size_t off : kOffsets) {
+      const auto x = random_values(n + off, 11 * n + off);
+      const auto y = random_values(n + off, 13 * n + off + 1);
+      auto out_s = random_values(n + off, 17 * n + off + 2);
+      auto out_v = out_s;  // identical starting state for += kernels
+      const double* xp = x.data() + off;
+      const double* yp = y.data() + off;
+      double* sp = out_s.data() + off;
+      double* vp = out_v.data() + off;
+      const auto expect_equal = [&](const char* kernel) {
+        for (std::size_t i = 0; i < out_s.size(); ++i) {
+          ASSERT_EQ(out_s[i], out_v[i])
+              << kernel << " diverged at n=" << n << " off=" << off
+              << " i=" << i;
+        }
+      };
+
+      scalar_table().m_update(xp, yp, sp, n);
+      vectorized_table().m_update(xp, yp, vp, n);
+      expect_equal("m_update");
+
+      scalar_table().u_update(0.7, xp, yp, sp, n);
+      vectorized_table().u_update(0.7, xp, yp, vp, n);
+      expect_equal("u_update");
+
+      scalar_table().n_update(xp, yp, sp, n);
+      vectorized_table().n_update(xp, yp, vp, n);
+      expect_equal("n_update");
+
+      scalar_table().z_accumulate(1.3, xp, sp, n);
+      vectorized_table().z_accumulate(1.3, xp, vp, n);
+      expect_equal("z_accumulate");
+
+      scalar_table().z_divide(1.7, sp, n);
+      vectorized_table().z_divide(1.7, vp, n);
+      expect_equal("z_divide");
+
+      scalar_table().axpy(-0.3, xp, sp, n);
+      vectorized_table().axpy(-0.3, xp, vp, n);
+      expect_equal("axpy");
+
+      scalar_table().fill(sp, 0.25, n);
+      vectorized_table().fill(vp, 0.25, n);
+      expect_equal("fill");
+    }
+  }
+}
+
+TEST(Kernels, ReductionsAgreeAcrossModesWithinTolerance) {
+  for (const std::size_t n : kSizes) {
+    for (const std::size_t off : kOffsets) {
+      const auto x = random_values(n + off, 23 * n + off);
+      const auto y = random_values(n + off, 29 * n + off + 1);
+      const double* xp = x.data() + off;
+      const double* yp = y.data() + off;
+      // Reassociation over values in [-2, 2] moves the sum by at most a few
+      // ulps per element.
+      const double tol = 1e-12 * static_cast<double>(n + 1);
+      EXPECT_NEAR(scalar_table().dot(xp, yp, n),
+                  vectorized_table().dot(xp, yp, n), tol);
+      EXPECT_NEAR(scalar_table().norm2_squared(xp, n),
+                  vectorized_table().norm2_squared(xp, n), tol);
+      EXPECT_NEAR(scalar_table().distance_squared(xp, yp, n),
+                  vectorized_table().distance_squared(xp, yp, n), tol);
+      // Within a mode the accumulation order is a function of n alone, so
+      // repeated calls are bitwise stable (the per-width guarantee).
+      EXPECT_EQ(vectorized_table().dot(xp, yp, n),
+                vectorized_table().dot(xp, yp, n));
+    }
+  }
+}
+
+TEST(Kernels, ModeSelectionRoundTrips) {
+  ModeGuard guard;
+  kernels::set_mode(kernels::KernelMode::kScalar);
+  EXPECT_EQ(kernels::mode(), kernels::KernelMode::kScalar);
+  EXPECT_EQ(&kernels::active(), &scalar_table());
+  kernels::set_mode(kernels::KernelMode::kVectorized);
+  EXPECT_EQ(kernels::mode(), kernels::KernelMode::kVectorized);
+  EXPECT_EQ(&kernels::active(), &vectorized_table());
+  EXPECT_STREQ(kernels::to_string(kernels::KernelMode::kScalar), "scalar");
+  EXPECT_STREQ(kernels::to_string(kernels::KernelMode::kVectorized),
+               "vectorized");
+}
+
+// ---------------------------------------------------------------- solver
+
+const char* kSeedProblems[] = {"lasso", "mpc", "packing", "svm"};
+
+SolverOptions fixed_iteration_options(int iterations) {
+  SolverOptions options;
+  options.max_iterations = iterations;
+  options.check_interval = 0;
+  options.primal_tolerance = 0.0;  // never converge: every run does exactly
+  options.dual_tolerance = 0.0;    // `iterations` sweeps in lockstep
+  return options;
+}
+
+// Runs `iterations` ADMM sweeps on a fresh registry-built instance and
+// returns the final z array.  `strip_ranges` forces the per-index reference
+// path; `threads` > 1 runs the fork-join backend at that width.
+std::vector<double> run_trajectory(const std::string& problem, int iterations,
+                                   bool strip_ranges, std::size_t threads) {
+  runtime::BuiltProblem built = runtime::ProblemRegistry::global().build(problem);
+  SolverOptions options = fixed_iteration_options(iterations);
+  AdmmSolver solver(*built.graph, options);
+  std::vector<Phase> phases(solver.phases().begin(), solver.phases().end());
+  if (strip_ranges) {
+    for (auto& phase : phases) phase.apply_range = nullptr;
+  }
+  const auto backend =
+      threads <= 1 ? make_backend(BackendKind::kSerial, 1)
+                   : make_backend(BackendKind::kForkJoin, threads);
+  backend->run(phases, iterations);
+  const auto z = built.graph->z_values();
+  return {z.begin(), z.end()};
+}
+
+TEST(Kernels, ChunkedPhasePathMatchesPerIndexReferenceBitwise) {
+  ModeGuard guard;
+  // In *both* modes the range bodies perform the reference's per-element
+  // operation sequence (the z-phase restructure included), so the chunked
+  // path must be bitwise identical to the per-index closures.
+  for (const auto mode :
+       {kernels::KernelMode::kScalar, kernels::KernelMode::kVectorized}) {
+    kernels::set_mode(mode);
+    for (const std::string problem : kSeedProblems) {
+      const auto reference = run_trajectory(problem, 20, true, 1);
+      const auto chunked = run_trajectory(problem, 20, false, 1);
+      ASSERT_EQ(reference.size(), chunked.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(reference[i], chunked[i])
+            << problem << " (" << kernels::to_string(mode)
+            << ") diverged at z[" << i << "]";
+      }
+    }
+  }
+}
+
+TEST(Kernels, TrajectoriesAreBitwiseWidthIndependentPerMode) {
+  ModeGuard guard;
+  // Contract v2 keeps the per-width guarantee: within one mode the chunk
+  // partition never changes results, at any width.
+  for (const auto mode :
+       {kernels::KernelMode::kScalar, kernels::KernelMode::kVectorized}) {
+    kernels::set_mode(mode);
+    for (const std::string problem : kSeedProblems) {
+      const auto width1 = run_trajectory(problem, 20, false, 1);
+      const auto width2 = run_trajectory(problem, 20, false, 2);
+      const auto width4 = run_trajectory(problem, 20, false, 4);
+      ASSERT_EQ(width1.size(), width2.size());
+      ASSERT_EQ(width1.size(), width4.size());
+      for (std::size_t i = 0; i < width1.size(); ++i) {
+        ASSERT_EQ(width1[i], width2[i])
+            << problem << " (" << kernels::to_string(mode)
+            << ") width 2 diverged at z[" << i << "]";
+        ASSERT_EQ(width1[i], width4[i])
+            << problem << " (" << kernels::to_string(mode)
+            << ") width 4 diverged at z[" << i << "]";
+      }
+    }
+  }
+}
+
+TEST(Kernels, SeedProblemTrajectoriesAgreeAcrossModesWithinTolerance) {
+  ModeGuard guard;
+  // Across modes only the reduction order differs (dense prox inner
+  // products, residuals); trajectories agree to reassociation rounding.
+  for (const std::string problem : kSeedProblems) {
+    kernels::set_mode(kernels::KernelMode::kScalar);
+    const auto scalar = run_trajectory(problem, 20, false, 1);
+    kernels::set_mode(kernels::KernelMode::kVectorized);
+    const auto vectorized = run_trajectory(problem, 20, false, 1);
+    ASSERT_EQ(scalar.size(), vectorized.size());
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+      const double tol = 1e-9 * (1.0 + std::abs(scalar[i]));
+      ASSERT_NEAR(scalar[i], vectorized[i], tol)
+          << problem << " diverged across modes at z[" << i << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paradmm

@@ -26,6 +26,19 @@ Invariants enforced (each with a short rationale — see README
     CondVar wrapper and the validator's own self-exempt internals.
     A naked std::mutex is invisible to both the Clang thread-safety
     analysis and the lock-order validator.
+
+ 3. Runtime and kernel headers carry file-level doc comments.  Every
+    public header under src/runtime/ plus the kernel seam
+    (src/math/kernels.hpp) must open with a `//` comment block before
+    any code — these are the subsystem's API surface, and docs/
+    links into them by contract.  A header that starts with code has
+    lost its contract statement.
+
+ 4. docs/ links resolve.  Every relative link target in docs/*.md
+    (and the README) must exist, and a `#fragment` into a markdown
+    file must match one of its headings (GitHub anchor slugs).  Dead
+    internal links rot silently; external http(s) links are not
+    checked.
 """
 
 from __future__ import annotations
@@ -55,6 +68,15 @@ MUTEX_ALLOWLIST = {
 }
 
 LINE_COMMENT = re.compile(r"//.*$")
+
+# Headers that must open with a file-level doc comment (invariant 3).
+DOC_COMMENT_DIRS = [SRC / "runtime"]
+DOC_COMMENT_FILES = [SRC / "math" / "kernels.hpp"]
+
+# Markdown files whose relative links must resolve (invariant 4).
+DOCS = REPO_ROOT / "docs"
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+MARKDOWN_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
 
 
 def strip_comments(text: str) -> list[str]:
@@ -89,6 +111,78 @@ def check_file(path: Path) -> list[str]:
     return errors
 
 
+def check_doc_comment(path: Path) -> list[str]:
+    """Invariant 3: the first non-blank line must start a // comment."""
+    rel = path.relative_to(REPO_ROOT)
+    for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("//"):
+            return []
+        return [
+            f"{rel}:{number}: error: public header lacks a file-level "
+            f"doc comment — state the subsystem contract before any code"
+        ]
+    return []
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-anchor slug: lowercase, drop punctuation,
+    spaces to hyphens (backtick/emphasis markers stripped first)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_anchors(path: Path) -> set[str]:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = MARKDOWN_HEADING.match(line)
+        if match:
+            anchors.add(github_slug(match.group(1)))
+    return anchors
+
+
+def check_markdown_links(path: Path) -> list[str]:
+    """Invariant 4: relative link targets exist; #fragments match a
+    heading of the target markdown file."""
+    errors = []
+    rel = path.relative_to(REPO_ROOT)
+    in_fence = False
+    for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in MARKDOWN_LINK.findall(line):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            base, _, fragment = target.partition("#")
+            dest = path if not base else (path.parent / base).resolve()
+            if base and not dest.exists():
+                errors.append(
+                    f"{rel}:{number}: error: dead link target "
+                    f"'{target}' — {base} does not exist")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in markdown_anchors(dest):
+                    errors.append(
+                        f"{rel}:{number}: error: dead anchor "
+                        f"'{target}' — no heading slugs to "
+                        f"'#{fragment}' in {dest.name}")
+    return errors
+
+
 def main() -> int:
     if not SRC.is_dir():
         print(f"error: {SRC} not found", file=sys.stderr)
@@ -97,6 +191,17 @@ def main() -> int:
     for path in sorted(SRC.rglob("*")):
         if path.suffix in SOURCE_SUFFIXES and path.is_file():
             errors.extend(check_file(path))
+    doc_headers = list(DOC_COMMENT_FILES)
+    for directory in DOC_COMMENT_DIRS:
+        doc_headers.extend(sorted(directory.glob("*.hpp")))
+    for path in doc_headers:
+        if path.is_file():
+            errors.extend(check_doc_comment(path))
+    markdown = sorted(DOCS.glob("*.md")) if DOCS.is_dir() else []
+    markdown.append(REPO_ROOT / "README.md")
+    for path in markdown:
+        if path.is_file():
+            errors.extend(check_markdown_links(path))
     for error in errors:
         print(error)
     if errors:
